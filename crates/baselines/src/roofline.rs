@@ -1,0 +1,129 @@
+//! Roofline device model (Fig. 6).
+
+use serde::{Deserialize, Serialize};
+
+/// A compute/bandwidth ceiling pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Peak integer-multiply throughput (ops/s) after efficiency derating.
+    pub mult_per_s: f64,
+    /// Sustained DRAM bandwidth (bytes/s) after efficiency derating.
+    pub bytes_per_s: f64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Last-level on-chip cache in bytes (per-query working-set budget).
+    pub cache_bytes: u64,
+}
+
+impl Device {
+    /// Ridge point: the arithmetic intensity (mults/byte) above which the
+    /// device is compute bound.
+    pub fn ridge(&self) -> f64 {
+        self.mult_per_s / self.bytes_per_s
+    }
+
+    /// Attained throughput (mults/s) at arithmetic intensity `ai`
+    /// — the roofline curve of Fig. 6 (left).
+    pub fn attained_mult_per_s(&self, ai: f64) -> f64 {
+        (ai * self.bytes_per_s).min(self.mult_per_s)
+    }
+
+    /// Time to execute `mults` operations moving `bytes` of DRAM traffic,
+    /// with perfect compute/transfer overlap (decoupled orchestration).
+    pub fn time_s(&self, mults: f64, bytes: f64) -> f64 {
+        (mults / self.mult_per_s).max(bytes / self.bytes_per_s)
+    }
+
+    /// Whether execution at this `(mults, bytes)` point is memory bound.
+    pub fn memory_bound(&self, mults: f64, bytes: f64) -> bool {
+        bytes / self.bytes_per_s > mults / self.mult_per_s
+    }
+}
+
+/// One point on the roofline plot: a PIR step at a given batch size.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Step label.
+    pub step: &'static str,
+    /// Batch size.
+    pub batch: usize,
+    /// Arithmetic intensity in mults per DRAM byte.
+    pub ai: f64,
+    /// Attained throughput in mult-TOPS.
+    pub tops: f64,
+    /// Whether the point sits on the bandwidth slope.
+    pub memory_bound: bool,
+}
+
+impl Device {
+    /// Builds a roofline point for a step executing `mults` over `bytes`.
+    pub fn point(&self, step: &'static str, batch: usize, mults: f64, bytes: f64) -> RooflinePoint {
+        let ai = mults / bytes.max(1.0);
+        RooflinePoint {
+            step,
+            batch,
+            ai,
+            tops: self.attained_mult_per_s(ai) / 1e12,
+            memory_bound: self.memory_bound(mults, bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rtx4090_paper() -> Device {
+        // Fig. 6 ceilings: 41.3 TOPS, 939 GB/s.
+        Device {
+            name: "RTX 4090 (peak)",
+            mult_per_s: 41.3e12,
+            bytes_per_s: 939e9,
+            mem_capacity: 24 << 30,
+            cache_bytes: 72 << 20,
+        }
+    }
+
+    #[test]
+    fn ridge_matches_fig6() {
+        let d = rtx4090_paper();
+        // 41.3 TOPS / 939 GB/s = 44 mults/byte.
+        assert!((d.ridge() - 43.98).abs() < 0.1);
+    }
+
+    #[test]
+    fn attained_saturates_at_peak() {
+        let d = rtx4090_paper();
+        assert!(d.attained_mult_per_s(1.0) < d.mult_per_s);
+        assert_eq!(d.attained_mult_per_s(1000.0), d.mult_per_s);
+    }
+
+    #[test]
+    fn time_is_max_of_bounds() {
+        let d = rtx4090_paper();
+        let t = d.time_s(41.3e12, 939e9); // 1s compute, 1s memory
+        assert!((t - 1.0).abs() < 1e-9);
+        assert!(d.memory_bound(1.0, 1e12));
+        assert!(!d.memory_bound(1e15, 1.0));
+    }
+
+    #[test]
+    fn batching_raises_rowsel_ai_only() {
+        // The §III-B observation, as roofline points.
+        let d = rtx4090_paper();
+        let db_bytes = 7.0e9f64;
+        let mults = 4.3e9f64;
+        let p1 = d.point("RowSel", 1, mults, db_bytes);
+        let p64 = d.point("RowSel", 64, 64.0 * mults, db_bytes);
+        assert!(p64.ai > 60.0 * p1.ai);
+        assert!(p1.memory_bound);
+        // Fig. 6: the batch-64 RowSel point sits just below the ridge
+        // (44 mults/byte on the 4090); batch 128 crosses into the
+        // compute-bound region.
+        assert!(p64.ai > 0.75 * d.ridge() && p64.ai < d.ridge());
+        let p128 = d.point("RowSel", 128, 128.0 * mults, db_bytes);
+        assert!(!p128.memory_bound);
+    }
+}

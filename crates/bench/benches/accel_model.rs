@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the performance-model layer itself (the
+//! cycle-accounting engine, tree-walk traffic simulation, cluster model).
+use criterion::{criterion_group, criterion_main, Criterion};
+use ive_accel::config::IveConfig;
+use ive_accel::engine::{simulate_batch, DbPlacement};
+use ive_accel::system::IveCluster;
+use ive_baselines::complexity::Geometry;
+use ive_hw::treewalk::{coltor_traffic, TreeSchedule, TreeWalkConfig};
+
+fn bench_engine(c: &mut Criterion) {
+    let cfg = IveConfig::paper_hbm_only();
+    let geom = Geometry::paper_for_db_bytes(16 << 30);
+    let mut group = c.benchmark_group("model");
+    group.sample_size(20);
+    group.bench_function("simulate_batch/16GB/b64", |b| {
+        b.iter(|| simulate_batch(&cfg, &geom, 64, DbPlacement::Hbm))
+    });
+    let cluster = IveCluster::paper(16).expect("valid");
+    let big = Geometry::paper_for_db_bytes(1024 << 30);
+    group.bench_function("cluster/1TB/b128", |b| {
+        b.iter(|| cluster.run(&big, 128).expect("fits"))
+    });
+    group.finish();
+}
+
+fn bench_treewalk(c: &mut Criterion) {
+    let cfg = TreeWalkConfig {
+        depth: 15,
+        ct_bytes: 112 << 10,
+        key_bytes: 1120 << 10,
+        temp_bytes: 112 << 10,
+        buffer_bytes: 4 << 20,
+    };
+    let mut group = c.benchmark_group("treewalk");
+    group.sample_size(10);
+    for (name, s) in [
+        ("bfs", TreeSchedule::Bfs),
+        ("dfs", TreeSchedule::Dfs),
+        ("hs_dfs", TreeSchedule::Hs { subtree_depth: 3, inner_bfs: false }),
+    ] {
+        group.bench_function(format!("coltor_d15/{name}"), |b| {
+            b.iter(|| coltor_traffic(&cfg, s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_treewalk);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the HE primitives the accelerator executes:
+//! external product (⊡) and Subs.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ive_he::{BfvCiphertext, HeParams, Plaintext, RgswCiphertext, SecretKey, SubsKey};
+use rand::{Rng, SeedableRng};
+
+fn setup() -> (HeParams, SecretKey, rand::rngs::StdRng) {
+    let params = HeParams::toy();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let sk = SecretKey::generate(&params, &mut rng);
+    (params, sk, rng)
+}
+
+fn bench_external_product(c: &mut Criterion) {
+    let (params, sk, mut rng) = setup();
+    let vals: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
+    let m = Plaintext::new(&params, vals).expect("valid");
+    let ct = BfvCiphertext::encrypt(&params, &sk, &m, &mut rng);
+    let rgsw = RgswCiphertext::encrypt_bit(&params, &sk, true, &mut rng);
+    let mut group = c.benchmark_group("he");
+    group.sample_size(20);
+    group.bench_function("external_product/n256", |b| {
+        b.iter(|| rgsw.external_product(&params, &ct).expect("compatible"))
+    });
+    group.bench_function("cmux/n256", |b| {
+        b.iter(|| rgsw.cmux(&params, &ct, &ct).expect("compatible"))
+    });
+    group.finish();
+}
+
+fn bench_subs(c: &mut Criterion) {
+    let (params, sk, mut rng) = setup();
+    let vals: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
+    let m = Plaintext::new(&params, vals).expect("valid");
+    let ct = BfvCiphertext::encrypt(&params, &sk, &m, &mut rng);
+    let key = SubsKey::generate(&params, &sk, params.n() + 1, &mut rng);
+    let mut group = c.benchmark_group("he");
+    group.sample_size(20);
+    group.bench_function("subs/n256", |b| {
+        b.iter(|| key.apply(&params, &ct).expect("compatible"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_external_product, bench_subs);
+criterion_main!(benches);

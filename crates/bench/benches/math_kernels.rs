@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks of the arithmetic substrate: the NTT and the
+//! three modular-reduction strategies of §IV-G.
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ive_math::modulus::Modulus;
+use ive_math::ntt::NttTable;
+use ive_math::reduce::{Barrett, Solinas};
+use rand::{Rng, SeedableRng};
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    group.sample_size(20);
+    for n in [1usize << 10, 1 << 12] {
+        let m = Modulus::special_primes()[0];
+        let table = NttTable::new(&m, n).expect("NTT-friendly");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+        group.bench_function(format!("forward/{n}"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut a| table.forward(&mut a),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("inverse/{n}"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut a| table.inverse(&mut a),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    // The §IV-G ablation: Solinas folding vs Barrett vs 128-bit remainder.
+    let q = (1u64 << 27) + (1 << 15) + 1;
+    let barrett = Barrett::new(q);
+    let solinas = Solinas::new(q).expect("special shape");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let xs: Vec<u128> =
+        (0..4096).map(|_| rng.gen::<u64>() as u128 * rng.gen_range(0..q) as u128).collect();
+    let mut group = c.benchmark_group("modreduce");
+    group.sample_size(30);
+    group.bench_function("barrett", |b| {
+        b.iter(|| xs.iter().map(|&x| barrett.reduce(x)).fold(0u64, u64::wrapping_add))
+    });
+    group.bench_function("solinas", |b| {
+        b.iter(|| xs.iter().map(|&x| solinas.reduce(x)).fold(0u64, u64::wrapping_add))
+    });
+    group.bench_function("u128_rem", |b| {
+        b.iter(|| xs.iter().map(|&x| (x % q as u128) as u64).fold(0u64, u64::wrapping_add))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the three PIR steps and the end-to-end answer
+//! on the toy geometry.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ive_pir::{Database, PirClient, PirParams, PirServer};
+use rand::SeedableRng;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let params = PirParams::toy();
+    let records: Vec<Vec<u8>> = (0..params.num_records())
+        .map(|i| format!("record {i}").into_bytes())
+        .collect();
+    let db = Database::from_records(&params, &records).expect("fits");
+    let server = PirServer::new(&params, db).expect("valid geometry");
+    let mut client =
+        PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(4)).expect("keygen");
+    let query = client.query(21).expect("in range");
+    let expanded = server.expand(client.public_keys(), &query).expect("keys ok");
+    let rows = server.row_sel(&expanded).expect("shape ok");
+
+    let mut group = c.benchmark_group("pir_toy");
+    group.sample_size(10);
+    group.bench_function("expand_query", |b| {
+        b.iter(|| server.expand(client.public_keys(), &query).expect("keys ok"))
+    });
+    group.bench_function("row_sel", |b| {
+        b.iter(|| server.row_sel(&expanded).expect("shape ok"))
+    });
+    group.bench_function("col_tor", |b| {
+        b.iter(|| server.col_tor_step(rows.clone(), &query).expect("bits ok"))
+    });
+    group.bench_function("answer_end_to_end", |b| {
+        b.iter(|| server.answer(client.public_keys(), &query).expect("pipeline ok"))
+    });
+    group.finish();
+}
+
+fn bench_simplepir(c: &mut Criterion) {
+    use ive_pir::simplepir::{SimplePirClient, SimplePirParams, SimplePirServer};
+    let params = SimplePirParams { n: 512, p: 1 << 8, m1: 128, m2: 128 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let entries: Vec<u32> =
+        (0..params.m1 * params.m2).map(|i| (i % params.p as usize) as u32).collect();
+    let server = SimplePirServer::new(params, &entries, &mut rng).expect("valid");
+    let client = SimplePirClient::new(params, &mut rng);
+    let qu = client.query(server.public_a(), 7, &mut rng).expect("in range");
+    let mut group = c.benchmark_group("simplepir");
+    group.sample_size(20);
+    group.bench_function("answer/16k_cells", |b| {
+        b.iter(|| server.answer(&qu).expect("shape ok"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_simplepir);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 12: QPS and energy across CPU, GPUs and IVE.
+use ive_bench::{fig12, fmt};
+
+fn main() {
+    let rows = fig12::rows();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}GB", r.db_gib),
+                r.platform.clone(),
+                r.qps.map(fmt::f).unwrap_or_else(|| "-".into()),
+                r.speedup_vs_cpu.map(|s| format!("{:.1}x", s)).unwrap_or_else(|| "-".into()),
+                r.energy_j.map(|e| format!("{e:.3}")).unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "Fig. 12: PIR throughput and energy (batch 64 where batched)",
+        &["DB", "platform", "QPS", "vs CPU", "J/query"],
+        &table,
+    );
+    println!(
+        "gmean IVE speedup over CPU (2-8GB): {:.1}x (paper: 687.6x)",
+        fig12::gmean_ive_speedup(&rows)
+    );
+}

@@ -1,0 +1,83 @@
+//! Regenerates Fig. 13: the five sensitivity studies.
+use ive_bench::{fig13, fmt};
+
+fn main() {
+    let a: Vec<Vec<String>> = fig13::fig13a()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}GB", r.db_gib),
+                fmt::pct(r.expand),
+                fmt::pct(r.rowsel),
+                fmt::pct(r.coltor),
+                fmt::pct(r.comm),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "Fig. 13a: execution-time breakdown (batch 64)",
+        &["DB", "ExpandQuery", "RowSel", "ColTor", "Comm"],
+        &a,
+    );
+
+    let b: Vec<Vec<String>> = fig13::fig13b()
+        .iter()
+        .map(|r| vec![r.label.into(), fmt::f(1e3 * r.latency_s), format!("{:.2}x", r.speedup)])
+        .collect();
+    fmt::print_table(
+        "Fig. 13b: scheduling algorithms (16GB, batch 64)",
+        &["algorithm", "latency (ms)", "speedup vs BFS"],
+        &b,
+    );
+
+    let c: Vec<Vec<String>> = fig13::fig13c()
+        .iter()
+        .map(|p| {
+            vec![
+                p.batch.to_string(),
+                fmt::f(1e3 * p.latency_s),
+                fmt::f(p.qps),
+                fmt::f(1e3 * p.min_latency_s),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "Fig. 13c: batch scaling, 16GB DB",
+        &["batch", "latency (ms)", "QPS", "min latency (ms)"],
+        &c,
+    );
+
+    let (d128, d1t) = fig13::fig13d();
+    let mk = |pts: &[fig13::BatchPoint]| {
+        pts.iter()
+            .map(|p| vec![p.batch.to_string(), fmt::f(p.latency_s), fmt::f(p.qps)])
+            .collect::<Vec<_>>()
+    };
+    fmt::print_table(
+        "Fig. 13d: 128GB DB, one IVE system (LPDDR)",
+        &["batch", "latency (s)", "QPS/system"],
+        &mk(&d128),
+    );
+    fmt::print_table(
+        "Fig. 13d: 1TB DB, 16-system cluster",
+        &["batch", "latency (s)", "QPS/system"],
+        &mk(&d1t),
+    );
+
+    let e: Vec<Vec<String>> = fig13::fig13e()
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.into(),
+                format!("{:.3}", p.energy),
+                format!("{:.3}", p.delay),
+                format!("{:.3}", p.area),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "Fig. 13e: architectural ablation (relative to Base)",
+        &["config", "energy", "delay", "area"],
+        &e,
+    );
+}

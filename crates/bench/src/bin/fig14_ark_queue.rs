@@ -1,0 +1,52 @@
+//! Regenerates Fig. 14: the ARK-like comparison and the load-latency
+//! curve of the batch scheduler.
+use ive_bench::{fig14, fmt};
+
+fn main() {
+    let a: Vec<Vec<String>> = fig14::fig14a()
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.into(),
+                fmt::f(1e3 * r.delay_s),
+                format!("{:.3}", r.energy_j),
+                fmt::f(r.area_mm2),
+                format!("{:.1}x", r.edap_rel),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "Fig. 14a: IVE vs ARK-like (16GB, batch 64)",
+        &["system", "delay (ms)", "J/query", "area (mm2)", "EDAP vs IVE"],
+        &a,
+    );
+
+    let ll = fig14::fig14b();
+    println!(
+        "single-query latency {:.1}ms; no-batching limit {:.1} QPS; window {:.0}ms",
+        1e3 * ll.single_latency_s,
+        1.0 / ll.single_latency_s,
+        1e3 * ll.window_s
+    );
+    let mk = |pts: &[ive_accel::queue::QueuePoint]| {
+        pts.iter()
+            .map(|p| {
+                vec![
+                    fmt::f(p.offered_qps),
+                    fmt::f(1e3 * p.avg_latency_s),
+                    fmt::f(p.avg_batch),
+                ]
+            })
+            .collect::<Vec<_>>()
+    };
+    fmt::print_table(
+        "Fig. 14b: batching (window 32ms)",
+        &["offered QPS", "avg latency (ms)", "avg batch"],
+        &mk(&ll.batching),
+    );
+    fmt::print_table(
+        "Fig. 14b: no batching",
+        &["offered QPS", "avg latency (ms)", "avg batch"],
+        &mk(&ll.no_batching),
+    );
+}

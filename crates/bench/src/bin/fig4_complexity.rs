@@ -1,0 +1,31 @@
+//! Regenerates Fig. 4: computational-complexity breakdowns.
+use ive_bench::{fig4, fmt};
+
+fn main() {
+    let a: Vec<Vec<String>> = fig4::fig4a()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}GB", r.db_gib),
+                fmt::pct(r.expand),
+                fmt::pct(r.rowsel),
+                fmt::pct(r.coltor),
+                format!("{:.3e}", r.total_mults),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "Fig. 4a: complexity breakdown vs DB size (D0 = 256)",
+        &["DB", "ExpandQuery", "RowSel", "ColTor", "total mults"],
+        &a,
+    );
+    let b: Vec<Vec<String>> = fig4::fig4b()
+        .iter()
+        .map(|r| vec![r.d0.to_string(), format!("{:.3}", r.relative)])
+        .collect();
+    fmt::print_table(
+        "Fig. 4b: relative complexity vs D0 (2GB DB)",
+        &["D0", "relative to D0=128"],
+        &b,
+    );
+}

@@ -1,0 +1,40 @@
+//! Regenerates Fig. 6: the RTX 4090 roofline and batch-scaling study.
+use ive_bench::{fig6, fmt};
+
+fn main() {
+    let pts: Vec<Vec<String>> = fig6::roofline_points()
+        .iter()
+        .map(|p| {
+            vec![
+                p.step.to_string(),
+                p.batch.to_string(),
+                fmt::f(p.ai),
+                fmt::f(p.tops),
+                if p.memory_bound { "memory" } else { "compute" }.into(),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "Fig. 6 (left): roofline points, 2GB DB on RTX 4090 (41.3 TOPS, 939 GB/s)",
+        &["step", "batch", "mults/byte", "attained TOPS", "bound"],
+        &pts,
+    );
+    let rows: Vec<Vec<String>> = fig6::batch_scaling()
+        .iter()
+        .map(|r| {
+            vec![
+                r.batch.to_string(),
+                fmt::f(1e3 * r.total_s / r.batch as f64),
+                fmt::f(1e3 * r.expand_s / r.batch as f64),
+                fmt::f(1e3 * r.rowsel_s / r.batch as f64),
+                fmt::f(1e3 * r.coltor_s / r.batch as f64),
+                fmt::f(r.qps),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "Fig. 6 (right): amortized execution time per query (ms), RTX 4090, 2GB DB",
+        &["batch", "total", "ExpandQuery", "RowSel", "ColTor", "QPS"],
+        &rows,
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 7d: per-step op-type mix.
+use ive_bench::{fig7d, fmt};
+
+fn main() {
+    let rows: Vec<Vec<String>> = fig7d::rows()
+        .iter()
+        .map(|r| {
+            vec![
+                r.step.to_string(),
+                fmt::pct(r.ntt),
+                fmt::pct(r.gemm),
+                fmt::pct(r.icrt),
+                fmt::pct(r.elem),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "Fig. 7d: share of multiplications by op type (8GB DB)",
+        &["step", "(i)NTT", "GEMM", "(i)CRT", "elem"],
+        &rows,
+    );
+}

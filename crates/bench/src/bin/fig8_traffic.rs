@@ -1,0 +1,31 @@
+//! Regenerates Fig. 8: DRAM traffic by scheduling method.
+use ive_bench::{fig8, fmt};
+
+fn to_rows(rows: &[ive_bench::fig8::TrafficRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{}MB", r.chip_sram_mb),
+                fmt::gb(r.traffic.ct_load),
+                fmt::gb(r.traffic.ct_store),
+                fmt::gb(r.traffic.key_load),
+                fmt::gb(r.traffic.total()),
+                format!("{:.2}x", r.reduction_vs_bfs),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    fmt::print_table(
+        "Fig. 8a: ExpandQuery DRAM traffic, 32 queries, 8GB DB (GB)",
+        &["schedule", "SRAM", "ct load", "ct store", "evk load", "total", "vs BFS"],
+        &to_rows(&fig8::expand_rows()),
+    );
+    fmt::print_table(
+        "Fig. 8b: ColTor DRAM traffic, 32 queries, 8GB DB (GB)",
+        &["schedule", "SRAM", "ct load", "ct store", "RGSW load", "total", "vs BFS"],
+        &to_rows(&fig8::coltor_rows()),
+    );
+}

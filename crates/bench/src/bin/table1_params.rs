@@ -1,0 +1,7 @@
+//! Regenerates Table I (parameters) from the live implementation.
+use ive_bench::{fmt, table1};
+
+fn main() {
+    let rows = table1::rows();
+    fmt::print_table("Table I: symbols and values", &table1::headers(), &rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table II: area and peak power of the 32-core IVE.
+use ive_bench::{fmt, table2};
+
+fn main() {
+    fmt::print_table("Table II: 32-core IVE area and power", &table2::headers(), &table2::rows());
+}

@@ -1,0 +1,44 @@
+//! Regenerates Table III: IVE versus prior PIR hardware.
+use ive_bench::{fmt, table3};
+
+fn main() {
+    let prior: Vec<Vec<String>> = table3::prior_rows()
+        .iter()
+        .map(|r| {
+            let q = |v: Option<f64>| v.map(fmt::f).unwrap_or_else(|| "-".into());
+            vec![
+                r.system.into(),
+                if r.multi_server { "Multi" } else { "Single" }.into(),
+                r.platform.into(),
+                q(r.synth_qps[0]),
+                q(r.synth_qps[1]),
+                q(r.synth_qps[2]),
+                q(r.workload_qps[0]),
+                q(r.workload_qps[1]),
+                q(r.workload_qps[2]),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "Table III (prior work, reported QPS)",
+        &["system", "servers", "platform", "2GB", "4GB", "8GB", "Vcall", "Comm", "Fsys"],
+        &prior,
+    );
+    let ive: Vec<Vec<String>> = table3::ive_rows()
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{}GB", r.db_gib),
+                fmt::f(r.qps),
+                fmt::f(r.qps_per_system),
+                r.vs_inspire.map(|v| format!("{v:.0}x")).unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "Table III (IVE; workloads use a 16-system cluster at batch 128)",
+        &["workload", "DB", "QPS", "QPS/system", "vs INSPIRE"],
+        &ive,
+    );
+}

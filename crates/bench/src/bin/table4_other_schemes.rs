@@ -1,0 +1,22 @@
+//! Regenerates Table IV: SimplePIR / KsPIR on CPU versus IVE.
+use ive_bench::{fmt, table4};
+
+fn main() {
+    let rows: Vec<Vec<String>> = table4::rows()
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.into(),
+                format!("{}GB", r.db_gib),
+                fmt::f(r.cpu_qps),
+                fmt::f(r.ive_qps),
+                format!("{:.0}x", r.speedup),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "Table IV: other single-server schemes, CPU vs IVE",
+        &["scheme", "DB", "CPU QPS", "IVE QPS", "speedup"],
+        &rows,
+    );
+}

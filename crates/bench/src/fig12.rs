@@ -1,0 +1,149 @@
+//! Fig. 12 — PIR throughput (QPS) and energy (J/query) of the 32-core
+//! CPU, RTX 4090, H100 (single and batched) and IVE across 2/4/8GB
+//! synthesized databases.
+
+use ive_accel::config::IveConfig;
+use ive_accel::cost::{energy_per_query_j, EnergyParams};
+use ive_accel::engine::{simulate_batch, DbPlacement};
+use ive_baselines::complexity::Geometry;
+use ive_baselines::cpu::CpuModel;
+use ive_baselines::gpu::GpuModel;
+
+use crate::GIB;
+
+/// One platform × DB-size measurement.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Platform label (as in the figure legend).
+    pub platform: String,
+    /// Database size (GiB).
+    pub db_gib: u64,
+    /// Queries per second (`None` when the configuration does not fit,
+    /// e.g. the 4090 with the 8GB preprocessed database).
+    pub qps: Option<f64>,
+    /// Joules per query.
+    pub energy_j: Option<f64>,
+    /// Speedup over the CPU row of the same size.
+    pub speedup_vs_cpu: Option<f64>,
+}
+
+/// All Fig. 12 rows.
+pub fn rows() -> Vec<Fig12Row> {
+    let cpu = CpuModel::default();
+    let gpus = [GpuModel::rtx4090(), GpuModel::h100()];
+    let ive_cfg = IveConfig::paper_hbm_only();
+    let ep = EnergyParams::default();
+    let mut out = Vec::new();
+    for &gib in &[2u64, 4, 8] {
+        let geom = Geometry::paper_for_db_bytes(gib * GIB);
+        let c = cpu.run(&geom);
+        out.push(Fig12Row {
+            platform: "CPU (32)".into(),
+            db_gib: gib,
+            qps: Some(c.qps),
+            energy_j: Some(c.energy_j),
+            speedup_vs_cpu: Some(1.0),
+        });
+        for gpu in &gpus {
+            for (mode, batch) in [("S", 1usize), ("B", 64)] {
+                let report = gpu.run(&geom, batch.min(gpu.max_batch(&geom, batch).max(1)));
+                let (qps, energy) = match &report {
+                    Some(r) => (Some(r.qps), Some(r.energy_j)),
+                    None => (None, None),
+                };
+                out.push(Fig12Row {
+                    platform: format!("{} ({mode})", gpu.name),
+                    db_gib: gib,
+                    qps,
+                    energy_j: energy,
+                    speedup_vs_cpu: qps.map(|q| q / c.qps),
+                });
+            }
+        }
+        let r = simulate_batch(&ive_cfg, &geom, 64, DbPlacement::Hbm);
+        out.push(Fig12Row {
+            platform: "IVE".into(),
+            db_gib: gib,
+            qps: Some(r.qps),
+            energy_j: Some(energy_per_query_j(&ive_cfg, &geom, &r, &ep)),
+            speedup_vs_cpu: Some(r.qps / c.qps),
+        });
+    }
+    out
+}
+
+/// Geometric-mean IVE speedup over the CPU across 2–8GB (the paper's
+/// 687.6×).
+pub fn gmean_ive_speedup(rows: &[Fig12Row]) -> f64 {
+    let speedups: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.platform == "IVE")
+        .filter_map(|r| r.speedup_vs_cpu)
+        .collect();
+    let product: f64 = speedups.iter().product();
+    product.powf(1.0 / speedups.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ive_qps_anchors() {
+        let rows = rows();
+        for (gib, paper) in [(2u64, 4261.0), (4, 2350.0), (8, 1242.0)] {
+            let r = rows
+                .iter()
+                .find(|r| r.platform == "IVE" && r.db_gib == gib)
+                .expect("IVE row");
+            let qps = r.qps.expect("present");
+            assert!((qps / paper - 1.0).abs() < 0.25, "{gib}GB {qps:.0} vs {paper}");
+        }
+    }
+
+    #[test]
+    fn gmean_speedup_near_687() {
+        let g = gmean_ive_speedup(&rows());
+        assert!((400.0..1000.0).contains(&g), "gmean {g:.1}");
+    }
+
+    #[test]
+    fn rtx4090_absent_at_8gb() {
+        let rows = rows();
+        let r = rows
+            .iter()
+            .find(|r| r.platform.starts_with("RTX 4090 (B)") && r.db_gib == 8)
+            .expect("row exists");
+        assert!(r.qps.is_none(), "4090 must not fit the 8GB preprocessed DB");
+    }
+
+    #[test]
+    fn ordering_cpu_lt_gpu_lt_ive() {
+        let rows = rows();
+        for gib in [2u64, 4] {
+            let q = |p: &str| {
+                rows.iter()
+                    .find(|r| r.platform == p && r.db_gib == gib)
+                    .and_then(|r| r.qps)
+                    .expect("qps")
+            };
+            assert!(q("CPU (32)") < q("RTX 4090 (S)"));
+            assert!(q("RTX 4090 (S)") < q("RTX 4090 (B)"));
+            assert!(q("RTX 4090 (B)") < q("IVE"));
+            assert!(q("H100 (B)") < q("IVE"));
+        }
+    }
+
+    #[test]
+    fn ive_energy_rows_match() {
+        let rows = rows();
+        for (gib, paper) in [(2u64, 0.03), (4, 0.05), (8, 0.09)] {
+            let e = rows
+                .iter()
+                .find(|r| r.platform == "IVE" && r.db_gib == gib)
+                .and_then(|r| r.energy_j)
+                .expect("energy");
+            assert!((e / paper - 1.0).abs() < 0.4, "{gib}GB {e:.3} vs {paper}");
+        }
+    }
+}

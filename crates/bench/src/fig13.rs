@@ -1,0 +1,216 @@
+//! Fig. 13 — sensitivity studies: (a) execution-time breakdown versus DB
+//! size, (b) scheduling algorithms, (c) batch-size scaling at 16GB,
+//! (d) batch-size scaling at 128GB / 1TB, (e) architectural ablation.
+
+use ive_accel::config::{IveConfig, SchedulePolicy};
+use ive_accel::cost::{fig13e_ablation, AblationPoint};
+use ive_accel::engine::{simulate_batch, DbPlacement};
+use ive_accel::system::{IveCluster, IveSystem};
+use ive_baselines::complexity::Geometry;
+
+use crate::GIB;
+
+/// Fig. 13a: per-step execution-time shares at batch 64.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakdownRow {
+    /// Database size (GiB).
+    pub db_gib: u64,
+    /// ExpandQuery share of batch time.
+    pub expand: f64,
+    /// RowSel share.
+    pub rowsel: f64,
+    /// ColTor share.
+    pub coltor: f64,
+    /// Communication share.
+    pub comm: f64,
+}
+
+/// Fig. 13a rows for 2/4/8GB.
+pub fn fig13a() -> Vec<BreakdownRow> {
+    let cfg = IveConfig::paper_hbm_only();
+    [2u64, 4, 8]
+        .iter()
+        .map(|&gib| {
+            let geom = Geometry::paper_for_db_bytes(gib * GIB);
+            let r = simulate_batch(&cfg, &geom, 64, DbPlacement::Hbm);
+            BreakdownRow {
+                db_gib: gib,
+                expand: r.expand.seconds / r.total_s,
+                rowsel: r.rowsel.seconds / r.total_s,
+                coltor: r.coltor.seconds / r.total_s,
+                comm: r.comm_s / r.total_s,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 13b: one scheduling-algorithm configuration.
+#[derive(Debug, Clone)]
+pub struct AlgoRow {
+    /// Label (as in the figure).
+    pub label: &'static str,
+    /// Batch latency (s) on the 16GB DB at batch 64.
+    pub latency_s: f64,
+    /// Speedup versus BFS.
+    pub speedup: f64,
+}
+
+/// Fig. 13b rows.
+pub fn fig13b() -> Vec<AlgoRow> {
+    let geom = Geometry::paper_for_db_bytes(16 * GIB);
+    let variants: [(&str, SchedulePolicy, bool); 4] = [
+        ("BFS", SchedulePolicy::Bfs, false),
+        ("DFS", SchedulePolicy::Dfs, false),
+        ("HS (w/ DFS)", SchedulePolicy::HsDfs, false),
+        ("HS+RO (w/ DFS)", SchedulePolicy::HsDfs, true),
+    ];
+    let mut rows: Vec<AlgoRow> = variants
+        .iter()
+        .map(|&(label, policy, ro)| {
+            let mut cfg = IveConfig::paper_hbm_only();
+            cfg.policy = policy;
+            cfg.reduction_overlap = ro;
+            let r = simulate_batch(&cfg, &geom, 64, DbPlacement::Hbm);
+            AlgoRow { label, latency_s: r.total_s, speedup: 0.0 }
+        })
+        .collect();
+    let bfs = rows[0].latency_s;
+    for r in rows.iter_mut() {
+        r.speedup = bfs / r.latency_s;
+    }
+    rows
+}
+
+/// Fig. 13c/d: one batch-size point.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPoint {
+    /// Batch size.
+    pub batch: usize,
+    /// Batch latency (s).
+    pub latency_s: f64,
+    /// QPS (per system).
+    pub qps: f64,
+    /// The DB-read latency floor.
+    pub min_latency_s: f64,
+}
+
+/// Fig. 13c: 16GB (HBM-resident), batch 1–96.
+pub fn fig13c() -> Vec<BatchPoint> {
+    let sys = IveSystem::paper();
+    let geom = Geometry::paper_for_db_bytes(16 * GIB);
+    [1usize, 8, 16, 32, 64, 96]
+        .iter()
+        .map(|&b| {
+            let r = sys.run(&geom, b).expect("fits HBM");
+            BatchPoint {
+                batch: b,
+                latency_s: r.total_s,
+                qps: r.qps,
+                min_latency_s: r.min_latency_s,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 13d: 128GB on one system (LPDDR) and 1TB on a 16-system cluster.
+pub fn fig13d() -> (Vec<BatchPoint>, Vec<BatchPoint>) {
+    let sys = IveSystem::paper();
+    let geom128 = Geometry::paper_for_db_bytes(128 * GIB);
+    let batches = [32usize, 64, 96, 128, 160];
+    let single: Vec<BatchPoint> = batches
+        .iter()
+        .map(|&b| {
+            let r = sys.run(&geom128, b).expect("fits LPDDR");
+            BatchPoint {
+                batch: b,
+                latency_s: r.total_s,
+                qps: r.qps,
+                min_latency_s: r.min_latency_s,
+            }
+        })
+        .collect();
+    let cluster = IveCluster::paper(16).expect("valid size");
+    let geom1t = Geometry::paper_for_db_bytes(1024 * GIB);
+    let clustered: Vec<BatchPoint> = batches
+        .iter()
+        .map(|&b| {
+            let r = cluster.run(&geom1t, b).expect("slices fit");
+            BatchPoint {
+                batch: b,
+                latency_s: r.total_s,
+                qps: r.qps_per_system,
+                min_latency_s: r.per_system.min_latency_s,
+            }
+        })
+        .collect();
+    (single, clustered)
+}
+
+/// Fig. 13e: the `Base`/`+Sp`/`+SysNTTU` ablation (8GB, batch 64).
+pub fn fig13e() -> Vec<AblationPoint> {
+    fig13e_ablation(&Geometry::paper_for_db_bytes(8 * GIB), 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13a_rowsel_share_grows_with_db() {
+        // Fig. 13a: RowSel 63% -> 69% -> 73% for 2/4/8GB.
+        let rows = fig13a();
+        assert!(rows[0].rowsel < rows[1].rowsel && rows[1].rowsel < rows[2].rowsel);
+        for r in &rows {
+            assert!((0.5..0.9).contains(&r.rowsel), "{r:?}");
+            assert!(r.comm < 0.08, "comm share {:.3}", r.comm); // §VI-C: <8%
+        }
+    }
+
+    #[test]
+    fn fig13b_monotone_improvements() {
+        let rows = fig13b();
+        assert_eq!(rows[0].speedup, 1.0);
+        let hs_ro = rows.last().expect("non-empty");
+        assert!(hs_ro.speedup > 1.05, "total speedup {:.2}", hs_ro.speedup);
+        // Paper: ~1.2x for HS, ~1.26x total.
+        assert!(hs_ro.speedup < 1.8);
+    }
+
+    #[test]
+    fn fig13c_saturation_and_latency_bound() {
+        let pts = fig13c();
+        let q64 = pts.iter().find(|p| p.batch == 64).expect("point");
+        let q96 = pts.iter().find(|p| p.batch == 96).expect("point");
+        // Saturation: ≤15% QPS gain past batch 64 (paper: 1.1x from 32
+        // to 64, then plateau).
+        assert!(q96.qps / q64.qps < 1.15);
+        // Latency at saturation is a small multiple of the DB-read floor
+        // (paper: 3.46x).
+        let mult = q64.latency_s / q64.min_latency_s;
+        assert!((2.0..6.0).contains(&mult), "latency multiple {mult:.2}");
+    }
+
+    #[test]
+    fn fig13d_product_invariant() {
+        // QPS·DBsize stays nearly constant at saturation across
+        // 16GB/128GB/1TB (§VI-C).
+        let c16 = fig13c();
+        let (s128, c1t) = fig13d();
+        let p16 = c16.iter().find(|p| p.batch == 64).expect("pt").qps * 16.0;
+        let p128 = s128.iter().find(|p| p.batch == 128).expect("pt").qps * 128.0;
+        let p1t = c1t.iter().find(|p| p.batch == 128).expect("pt").qps * 1024.0;
+        let all = [p16, p128, p1t];
+        let max = all.iter().cloned().fold(f64::MIN, f64::max);
+        let min = all.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 1.6, "products {all:?}");
+    }
+
+    #[test]
+    fn fig13e_bars() {
+        let pts = fig13e();
+        assert_eq!(pts.len(), 3);
+        assert!((pts[1].area - 0.96).abs() < 0.02);
+        assert!((pts[2].area - 0.90).abs() < 0.03);
+        assert!(pts[2].energy > 1.0);
+    }
+}

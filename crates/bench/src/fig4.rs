@@ -1,0 +1,100 @@
+//! Fig. 4 — computational complexity breakdowns.
+//!
+//! (a) per-step share of integer multiplications for 2–16GB databases at
+//! `D0 = 256`; (b) total complexity relative to `D0 = 128` for a 2GB
+//! database across `D0 ∈ {128, 256, 512, 1024}`.
+
+use ive_baselines::complexity::{per_query_ops, Geometry};
+
+use crate::GIB;
+
+/// One Fig. 4a row.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakdownRow {
+    /// Database size in GiB.
+    pub db_gib: u64,
+    /// ExpandQuery share of total multiplications.
+    pub expand: f64,
+    /// RowSel share.
+    pub rowsel: f64,
+    /// ColTor share.
+    pub coltor: f64,
+    /// Total integer multiplications per query.
+    pub total_mults: f64,
+}
+
+/// Fig. 4a: shares across database sizes.
+pub fn fig4a() -> Vec<BreakdownRow> {
+    [2u64, 4, 8, 16]
+        .iter()
+        .map(|&gib| {
+            let g = Geometry::paper_for_db_bytes(gib * GIB);
+            let ops = per_query_ops(&g);
+            let total = ops.total_mults(g.n);
+            BreakdownRow {
+                db_gib: gib,
+                expand: ops.expand.mults(g.n) / total,
+                rowsel: ops.rowsel.mults(g.n) / total,
+                coltor: ops.coltor.mults(g.n) / total,
+                total_mults: total,
+            }
+        })
+        .collect()
+}
+
+/// One Fig. 4b row.
+#[derive(Debug, Clone, Copy)]
+pub struct D0Row {
+    /// First-dimension size.
+    pub d0: usize,
+    /// Total multiplications relative to `D0 = 128`.
+    pub relative: f64,
+}
+
+/// Fig. 4b: relative complexity across `D0` for a 2GB database.
+pub fn fig4b() -> Vec<D0Row> {
+    let base = {
+        let g = Geometry::paper_with_d0(2 * GIB, 128);
+        per_query_ops(&g).total_mults(g.n)
+    };
+    [128usize, 256, 512, 1024]
+        .iter()
+        .map(|&d0| {
+            let g = Geometry::paper_with_d0(2 * GIB, d0);
+            D0Row { d0, relative: per_query_ops(&g).total_mults(g.n) / base }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4a_trends() {
+        let rows = fig4a();
+        assert_eq!(rows.len(), 4);
+        // ExpandQuery share shrinks monotonically as the DB grows
+        // (fixed D0, growing RowSel/ColTor): 14% -> 2% in the paper.
+        for w in rows.windows(2) {
+            assert!(w[1].expand < w[0].expand);
+            assert!(w[1].total_mults > w[0].total_mults);
+        }
+        // RowSel dominates everywhere.
+        for r in &rows {
+            assert!(r.rowsel > 0.5, "{r:?}");
+            assert!((r.expand + r.rowsel + r.coltor - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig4b_minimum_location() {
+        let rows = fig4b();
+        let min = rows
+            .iter()
+            .min_by(|a, b| a.relative.partial_cmp(&b.relative).expect("finite"))
+            .expect("non-empty");
+        assert!(min.d0 == 256 || min.d0 == 512);
+        assert!((rows[0].relative - 1.0).abs() < 1e-9);
+    }
+}

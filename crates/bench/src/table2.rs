@@ -1,0 +1,46 @@
+//! Table II — area and peak power of the 32-core IVE.
+
+use ive_accel::config::IveConfig;
+use ive_accel::cost::{area_mm2, peak_power_w};
+
+/// One component row: name, area (mm²), peak power (W).
+pub fn rows() -> Vec<Vec<String>> {
+    let cfg = IveConfig::paper();
+    let a = area_mm2(&cfg);
+    let p = peak_power_w(&cfg);
+    use ive_accel::cost::{area_constants as ac, power_constants as pc};
+    vec![
+        vec!["sysNTTU".into(), format!("{:.2}", ac::SYSNTTU_PAIR), format!("{:.2}", pc::SYSNTTU_PAIR)],
+        vec!["iCRTU".into(), format!("{:.2}", ac::ICRTU), format!("{:.2}", pc::ICRTU)],
+        vec!["EWU".into(), format!("{:.2}", ac::EWU), format!("{:.2}", pc::EWU)],
+        vec!["AutoU".into(), format!("{:.2}", ac::AUTOU), format!("{:.2}", pc::AUTOU)],
+        vec!["RF & buffers".into(), format!("{:.2}", a.core_sram), format!("{:.2}", p.core_sram)],
+        vec!["1 core".into(), format!("{:.2}", a.core_total), format!("{:.2}", p.core_total)],
+        vec![
+            format!("{} cores", cfg.cores),
+            format!("{:.1}", a.cores_total),
+            format!("{:.1}", p.cores_total),
+        ],
+        vec!["NoC".into(), format!("{:.1}", a.noc), format!("{:.1}", p.noc)],
+        vec!["HBM".into(), format!("{:.1}", a.hbm), format!("{:.1}", p.hbm)],
+        vec!["Sum".into(), format!("{:.1}", a.total), format!("{:.1}", p.total)],
+    ]
+}
+
+/// Column headers.
+pub fn headers() -> [&'static str; 3] {
+    ["Component", "Area (mm2)", "Peak power (W)"]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn totals_match_table2() {
+        let rows = super::rows();
+        let sum = rows.last().expect("sum row");
+        let area: f64 = sum[1].parse().expect("number");
+        let power: f64 = sum[2].parse().expect("number");
+        assert!((area - 155.3).abs() < 1.0, "area {area}");
+        assert!((power - 239.1).abs() < 1.5, "power {power}");
+    }
+}

@@ -1,0 +1,336 @@
+//! The IVE execution engine: per-step time accounting for a batched PIR
+//! run (§IV, §VI-A "Performance modeling").
+//!
+//! Each step is decomposed into primitive operations (from the shared
+//! complexity model), mapped onto the functional units of Fig. 9, and
+//! overlapped with its DRAM traffic under decoupled data orchestration:
+//! `step time = max(compute time, memory time)`. `ExpandQuery` and
+//! `ColTor` run under query-level parallelism (one query per core), with
+//! the register file bounding each core's tree working set; `RowSel` runs
+//! under coefficient-level parallelism across the whole chip (§IV-D).
+
+use ive_baselines::complexity::{per_query_ops, Geometry};
+use ive_hw::traffic::Traffic;
+use ive_hw::treewalk::{coltor_traffic, expand_traffic, TreeWalkConfig};
+use ive_hw::unit::Work;
+use serde::{Deserialize, Serialize};
+
+use crate::config::IveConfig;
+
+/// Where the preprocessed database resides during `RowSel` (§V scale-up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DbPlacement {
+    /// Database streamed from on-package HBM.
+    Hbm,
+    /// Database streamed from the LPDDR expander while HBM serves the
+    /// client-specific steps.
+    Lpddr,
+}
+
+/// Timing of one pipeline step.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StepTime {
+    /// Wall-clock seconds (max of the two components).
+    pub seconds: f64,
+    /// Compute-side seconds.
+    pub compute_s: f64,
+    /// Memory-side seconds.
+    pub memory_s: f64,
+    /// DRAM traffic charged to the step.
+    pub traffic: Traffic,
+}
+
+impl StepTime {
+    fn new(compute_s: f64, memory_s: f64, traffic: Traffic) -> Self {
+        StepTime { seconds: compute_s.max(memory_s), compute_s, memory_s, traffic }
+    }
+
+    /// Whether the step is memory bound.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_s > self.compute_s
+    }
+}
+
+/// A full batched-PIR execution report.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Batch size.
+    pub batch: usize,
+    /// `ExpandQuery` timing.
+    pub expand: StepTime,
+    /// `RowSel` timing.
+    pub rowsel: StepTime,
+    /// `ColTor` timing.
+    pub coltor: StepTime,
+    /// Host communication seconds (query up, response down).
+    pub comm_s: f64,
+    /// End-to-end batch latency in seconds.
+    pub total_s: f64,
+    /// Sustained queries per second.
+    pub qps: f64,
+    /// The DB-read latency floor (the "Min. latency" bar of Fig. 13c).
+    pub min_latency_s: f64,
+}
+
+/// Times one batch of queries on one IVE chip.
+///
+/// # Panics
+/// Panics if `batch == 0`.
+pub fn simulate_batch(
+    cfg: &IveConfig,
+    geom: &Geometry,
+    batch: usize,
+    placement: DbPlacement,
+) -> RunReport {
+    assert!(batch > 0, "batch must be positive");
+    let ops = per_query_ops(geom);
+    let n = geom.n;
+    let eff = cfg.compute_efficiency;
+    // QLP steps: one query per core, ceil(batch/cores) rounds.
+    let qlp_rounds = batch.div_ceil(cfg.cores) as f64;
+    let b = batch as f64;
+
+    // --- per-core unit rates -------------------------------------------
+    let core_gemm = cfg.gemm_macs_per_cycle_core;
+    let core_ntt_engines = cfg.sysnttu_per_core as f64;
+    let ntt_cycles = cfg.ntt_cycles_per_poly(n);
+    let core_icrt = (n as f64).sqrt(); // √N iCRTU cells (§IV-F)
+    let core_ewu = cfg.lanes as f64;
+    let core_auto = 2.0 * cfg.lanes as f64; // wide RF ports (§IV-F)
+
+    let work_per_core = |s: &ive_baselines::complexity::StepOps| Work {
+        ntt: s.residue_ntts * ntt_cycles / core_ntt_engines,
+        gemm: s.gemm_macs / core_gemm,
+        icrt: s.icrt_coeffs / core_icrt,
+        ewu: s.elem_macs / core_ewu,
+        auto_u: s.auto_coeffs / core_auto,
+    };
+    let cycles_of = |w: &Work| {
+        if cfg.shared_sysnttu { w.cycles_shared_sysnttu() } else { w.cycles_split_units() }
+    };
+
+    // --- ExpandQuery ----------------------------------------------------
+    let expand_walk = TreeWalkConfig {
+        depth: geom.d0.ilog2(),
+        ct_bytes: geom.ct_bytes(),
+        key_bytes: geom.evk_bytes(),
+        temp_bytes: dcp_temp_bytes(cfg, geom, 1),
+        buffer_bytes: cfg.walk_buffer(),
+    };
+    let mut expand_traf =
+        expand_traffic(&expand_walk, cfg.schedule_for(&expand_walk)).traffic;
+    if geom.rgsw_conversion {
+        // Generated RGSW selection bits spill for the ColTor step.
+        expand_traf.ct_store += geom.dims as u64 * geom.rgsw_bytes();
+    }
+    let expand_traf = expand_traf.scaled(batch as u64);
+    let expand_compute =
+        qlp_rounds * cycles_of(&work_per_core(&ops.expand)) / (cfg.freq_hz * eff);
+    let expand_mem = cfg.hbm.transfer_time(expand_traf.total());
+    // The QLP->CLP layout transposition of the expanded ciphertexts
+    // (Fig. 10) rides on the step boundary.
+    let noc = crate::noc::NocModel::from_config(cfg);
+    let expand_noc =
+        noc.transition_time_s(batch as u64 * geom.d0 as u64 * geom.ct_bytes());
+    let expand = StepTime::new(expand_compute + expand_noc, expand_mem, expand_traf);
+
+    // --- RowSel ----------------------------------------------------------
+    let rowsel_compute = b * ops.rowsel.gemm_macs / (cfg.gemm_macs_per_s() * eff);
+    let db_bytes = geom.preprocessed_db_bytes();
+    let mut rowsel_traf = Traffic::zero();
+    rowsel_traf.db_stream = db_bytes;
+    // Expanded query ciphertexts in, row ciphertexts out (all on HBM).
+    rowsel_traf.ct_load = b as u64 * geom.d0 as u64 * geom.ct_bytes();
+    rowsel_traf.ct_store =
+        (b * geom.rows_filled() * geom.ct_bytes() as f64).round() as u64;
+    let rowsel_mem = match placement {
+        DbPlacement::Hbm => cfg.hbm.transfer_time(rowsel_traf.total()),
+        DbPlacement::Lpddr => {
+            let lp = cfg.lpddr.expect("LPDDR placement without an expander");
+            // DB streaming and HBM ciphertext traffic overlap on separate
+            // channels (§V): the slower one bounds the step.
+            lp.transfer_time(db_bytes).max(
+                cfg.hbm.transfer_time(rowsel_traf.total() - db_bytes),
+            )
+        }
+    };
+    let rowsel = StepTime::new(rowsel_compute, rowsel_mem, rowsel_traf);
+
+    // --- ColTor ----------------------------------------------------------
+    let coltor_walk = TreeWalkConfig {
+        depth: geom.dims,
+        ct_bytes: geom.ct_bytes(),
+        key_bytes: geom.rgsw_bytes(),
+        temp_bytes: dcp_temp_bytes(cfg, geom, 2),
+        buffer_bytes: cfg.walk_buffer(),
+    };
+    // Empty subtrees of a partially filled tournament are skipped, so
+    // traffic scales with the fill fraction.
+    let coltor_traf = coltor_traffic(&coltor_walk, cfg.schedule_for(&coltor_walk))
+        .traffic
+        .scaled_f(b * geom.fill);
+    let coltor_compute =
+        qlp_rounds * cycles_of(&work_per_core(&ops.coltor)) / (cfg.freq_hz * eff);
+    let coltor_mem = cfg.hbm.transfer_time(coltor_traf.total());
+    // CLP->QLP transposition of the RowSel outputs feeding the tournament.
+    let coltor_noc = noc
+        .transition_time_s((b * geom.rows_filled() * geom.ct_bytes() as f64).round() as u64);
+    let coltor = StepTime::new(coltor_compute + coltor_noc, coltor_mem, coltor_traf);
+
+    // --- host communication ----------------------------------------------
+    let comm_s = cfg.pcie.transfer_time(b as u64 * geom.query_comm_bytes());
+
+    let total_s = expand.seconds + rowsel.seconds + coltor.seconds + comm_s;
+    let db_spec = match placement {
+        DbPlacement::Hbm => &cfg.hbm,
+        DbPlacement::Lpddr => cfg.lpddr.as_ref().expect("checked above"),
+    };
+    RunReport {
+        batch,
+        expand,
+        rowsel,
+        coltor,
+        comm_s,
+        total_s,
+        qps: b / total_s,
+        min_latency_s: db_spec.transfer_time(db_bytes),
+    }
+}
+
+/// Scratch bytes the `Dcp` expansion occupies during one tree operation:
+/// `ℓ_key` polynomials per decomposed ciphertext polynomial, collapsed to
+/// one by reduction overlapping (§IV-A).
+fn dcp_temp_bytes(cfg: &IveConfig, geom: &Geometry, polys_decomposed: u64) -> u64 {
+    let poly = geom.ct_bytes() / 2;
+    if cfg.reduction_overlap {
+        polys_decomposed * poly
+    } else {
+        polys_decomposed * 5 * poly // key-material gadget length ℓ = 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulePolicy;
+
+    const GIB: u64 = 1 << 30;
+
+    fn run(gib: u64, batch: usize) -> RunReport {
+        let cfg = IveConfig::paper_hbm_only();
+        let geom = Geometry::paper_for_db_bytes(gib * GIB);
+        simulate_batch(&cfg, &geom, batch, DbPlacement::Hbm)
+    }
+
+    #[test]
+    fn fig12_headline_qps_anchors() {
+        // Fig. 12: IVE reaches 4261 / 2350 / 1242 QPS for 2/4/8GB at
+        // batch 64. The model must land within 25% of each.
+        for (gib, paper) in [(2u64, 4261.0), (4, 2350.0), (8, 1242.0)] {
+            let r = run(gib, 64);
+            let ratio = r.qps / paper;
+            assert!(
+                (0.75..1.25).contains(&ratio),
+                "{gib}GB: model {:.0} vs paper {paper} ({ratio:.2}x)",
+                r.qps
+            );
+        }
+    }
+
+    #[test]
+    fn fig13c_16gb_saturation() {
+        // Fig. 13c: saturation around 591 QPS at batch 64 for 16GB.
+        let r = run(16, 64);
+        assert!((r.qps / 591.0 - 1.0).abs() < 0.25, "model {:.0}", r.qps);
+        // Batching beyond 64 plateaus: QPS gain from 64 to 96 under 15%.
+        let r96 = run(16, 96);
+        assert!(r96.qps / r.qps < 1.15);
+        // Latency grows ~linearly in batch once compute bound.
+        assert!(r96.total_s > r.total_s * 1.3);
+    }
+
+    #[test]
+    fn rowsel_becomes_compute_bound_with_batching() {
+        // §III-B: without batching RowSel is memory bound; at batch 64 it
+        // is compute bound.
+        let single = run(8, 1);
+        assert!(single.rowsel.memory_bound());
+        let batched = run(8, 64);
+        assert!(!batched.rowsel.memory_bound());
+    }
+
+    #[test]
+    fn expand_and_coltor_do_not_amortize() {
+        // §III-B: client-specific steps scale linearly with batch size.
+        let b1 = run(8, 32);
+        let b2 = run(8, 64);
+        let lin = |f: fn(&RunReport) -> f64| f(&b2) / f(&b1);
+        assert!((lin(|r| r.expand.seconds) - 2.0).abs() < 0.3);
+        assert!((lin(|r| r.coltor.seconds) - 2.0).abs() < 0.3);
+        // ...while RowSel grows sublinearly until compute bound.
+        assert!(b2.rowsel.seconds / b1.rowsel.seconds <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn min_latency_is_db_read_floor() {
+        let r = run(16, 1);
+        // 56GB preprocessed over 2TB/s HBM ≈ 27ms.
+        assert!((r.min_latency_s - 0.0273).abs() < 0.003);
+        assert!(r.total_s >= r.min_latency_s);
+    }
+
+    #[test]
+    fn fig13b_schedule_ablation_ordering() {
+        // Fig. 13b: BFS slowest; DFS better; HS(DFS) better still; +R.O.
+        // best — 1.2–1.26x end-to-end gaps on a 16GB DB.
+        let geom = Geometry::paper_for_db_bytes(16 * GIB);
+        let mut cfg = IveConfig::paper_hbm_only();
+        let mut time = |policy, ro| {
+            cfg.policy = policy;
+            cfg.reduction_overlap = ro;
+            simulate_batch(&cfg, &geom, 64, DbPlacement::Hbm).total_s
+        };
+        let bfs = time(SchedulePolicy::Bfs, false);
+        let hs = time(SchedulePolicy::HsDfs, false);
+        let hs_ro = time(SchedulePolicy::HsDfs, true);
+        assert!(bfs > hs, "bfs {bfs} <= hs {hs}");
+        assert!(hs >= hs_ro, "hs {hs} < hs_ro {hs_ro}");
+        // End-to-end speedup of the full optimization stack is in the
+        // paper's 1.1–1.6x range.
+        let speedup = bfs / hs_ro;
+        assert!((1.05..1.8).contains(&speedup), "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn lpddr_placement_barely_hurts_at_saturating_batch() {
+        // §V: "the lower bandwidth of LPDDR has negligible impact on PIR
+        // throughput as batch size grows".
+        let cfg = IveConfig::paper();
+        let geom = Geometry::paper_for_db_bytes(16 * GIB);
+        let hbm = simulate_batch(&cfg, &geom, 128, DbPlacement::Hbm);
+        let lp = simulate_batch(&cfg, &geom, 128, DbPlacement::Lpddr);
+        assert!(lp.qps > 0.8 * hbm.qps, "lp {:.0} hbm {:.0}", lp.qps, hbm.qps);
+        // At batch 1 the LPDDR stream dominates visibly.
+        let hbm1 = simulate_batch(&cfg, &geom, 1, DbPlacement::Hbm);
+        let lp1 = simulate_batch(&cfg, &geom, 1, DbPlacement::Lpddr);
+        assert!(lp1.total_s > 2.0 * hbm1.total_s);
+    }
+
+    #[test]
+    fn qps_times_db_size_roughly_constant() {
+        // Fig. 13d: "the product of QPS per IVE and DB size remains
+        // nearly constant" at saturation.
+        let p2 = run(2, 64).qps * 2.0;
+        let p8 = run(8, 64).qps * 8.0;
+        let p16 = run(16, 64).qps * 16.0;
+        let max = p2.max(p8).max(p16);
+        let min = p2.min(p8).min(p16);
+        assert!(max / min < 1.4, "products {p2:.0} {p8:.0} {p16:.0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_rejected() {
+        let _ = run(2, 0);
+    }
+}

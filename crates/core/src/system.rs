@@ -1,0 +1,282 @@
+//! Scale-up and scale-out deployment (§V, Fig. 11, Table III, Fig. 13d).
+//!
+//! A scale-up **IVE system** pairs the accelerator with an LPDDR expander:
+//! databases that fit HBM stay there; larger ones stream from LPDDR during
+//! `RowSel` while HBM keeps serving the client-specific steps.
+//!
+//! A scale-out **IVE cluster** connects `S` systems through a PCIe switch
+//! with record-level parallelism (RLP): the `D/D0` dimension is
+//! partitioned, every system runs `RowSel` plus its local share of the
+//! `ColTor` tournament, and one system gathers the `S` partial results for
+//! the final `log2(S)` tournament levels.
+
+use ive_baselines::complexity::{external_product_ops, Geometry};
+use serde::{Deserialize, Serialize};
+
+use crate::config::IveConfig;
+use crate::engine::{simulate_batch, DbPlacement, RunReport};
+
+/// Errors from the deployment layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// The preprocessed database exceeds every memory tier.
+    DbTooLarge {
+        /// Preprocessed bytes required.
+        need: u64,
+        /// Largest tier available.
+        capacity: u64,
+    },
+    /// The cluster size must be a power of two no larger than the
+    /// tournament width.
+    BadClusterSize(usize),
+}
+
+impl core::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SystemError::DbTooLarge { need, capacity } => write!(
+                f,
+                "preprocessed database of {need} bytes exceeds the {capacity}-byte memory"
+            ),
+            SystemError::BadClusterSize(s) => {
+                write!(f, "cluster size {s} must be a power of two within the tree width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// A scale-up IVE system (accelerator + heterogeneous memory).
+#[derive(Debug, Clone)]
+pub struct IveSystem {
+    /// The accelerator configuration.
+    pub config: IveConfig,
+}
+
+impl IveSystem {
+    /// The paper's scale-up system (Fig. 11).
+    pub fn paper() -> Self {
+        IveSystem { config: IveConfig::paper() }
+    }
+
+    /// Chooses the database placement: HBM when the preprocessed database
+    /// fits (avoiding LPDDR latency, §V), LPDDR otherwise.
+    ///
+    /// # Errors
+    /// Fails when the database exceeds the LPDDR capacity too.
+    pub fn placement_for(&self, geom: &Geometry) -> Result<DbPlacement, SystemError> {
+        let need = geom.preprocessed_db_bytes();
+        if self.config.hbm.fits(need) {
+            return Ok(DbPlacement::Hbm);
+        }
+        match &self.config.lpddr {
+            Some(lp) if lp.fits(need) => Ok(DbPlacement::Lpddr),
+            Some(lp) => Err(SystemError::DbTooLarge { need, capacity: lp.capacity_bytes }),
+            None => {
+                Err(SystemError::DbTooLarge { need, capacity: self.config.hbm.capacity_bytes })
+            }
+        }
+    }
+
+    /// Runs one batch with automatic placement.
+    ///
+    /// # Errors
+    /// Fails when the database does not fit this system.
+    pub fn run(&self, geom: &Geometry, batch: usize) -> Result<RunReport, SystemError> {
+        let placement = self.placement_for(geom)?;
+        Ok(simulate_batch(&self.config, geom, batch, placement))
+    }
+}
+
+/// A scale-out cluster of identical IVE systems.
+#[derive(Debug, Clone)]
+pub struct IveCluster {
+    /// The member system.
+    pub system: IveSystem,
+    /// Number of systems `S` (a power of two).
+    pub num_systems: usize,
+}
+
+/// Timing report for a clustered batch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Batch size.
+    pub batch: usize,
+    /// The per-system run over its database slice.
+    pub per_system: RunReport,
+    /// Gathering the `S` partial ciphertexts over the PCIe switch.
+    pub gather_s: f64,
+    /// The final `log2(S)` tournament levels on the gathering system.
+    pub final_coltor_s: f64,
+    /// End-to-end batch latency.
+    pub total_s: f64,
+    /// Cluster queries per second.
+    pub qps: f64,
+    /// QPS divided by `S` — the "per IVE system" metric of Table III.
+    pub qps_per_system: f64,
+}
+
+impl IveCluster {
+    /// Builds a cluster of `num_systems` paper-configuration systems.
+    ///
+    /// # Errors
+    /// Fails when `num_systems` is not a power of two.
+    pub fn paper(num_systems: usize) -> Result<Self, SystemError> {
+        if num_systems == 0 || !num_systems.is_power_of_two() {
+            return Err(SystemError::BadClusterSize(num_systems));
+        }
+        Ok(IveCluster { system: IveSystem::paper(), num_systems })
+    }
+
+    /// Runs one batch across the cluster with RLP partitioning.
+    ///
+    /// # Errors
+    /// Fails when the slice still exceeds a system's memory or the cluster
+    /// is wider than the tournament.
+    pub fn run(&self, geom: &Geometry, batch: usize) -> Result<ClusterReport, SystemError> {
+        let s = self.num_systems;
+        let log_s = s.trailing_zeros();
+        if geom.dims < log_s {
+            return Err(SystemError::BadClusterSize(s));
+        }
+        // Each system owns a D/(D0·S) × D0 slice (§V): same D0, fewer
+        // binary dimensions.
+        let local = Geometry { dims: geom.dims - log_s, ..*geom };
+        let per_system = self.system.run(&local, batch)?;
+
+        // Gather: every query sends S−1 partial ciphertexts through the
+        // switch ("each node sends only a single ciphertext", §V).
+        let switch = ive_hw::mem::MemSpec::pcie_switch();
+        let gather_bytes = batch as u64 * (s as u64 - 1) * geom.ct_bytes();
+        let gather_s = switch.transfer_time(gather_bytes);
+
+        // Final log2(S) tournament levels: S−1 external products per query
+        // on the gathering system (QLP over its cores).
+        let cfg = &self.system.config;
+        let ops = external_product_ops(geom).scaled_ops((s - 1) as f64);
+        let rounds = batch.div_ceil(cfg.cores) as f64;
+        let core_cycles = ops.residue_ntts * cfg.ntt_cycles_per_poly(geom.n)
+            / cfg.sysnttu_per_core as f64
+            + ops.gemm_macs / cfg.gemm_macs_per_cycle_core;
+        let final_coltor_s =
+            rounds * core_cycles / (cfg.freq_hz * cfg.compute_efficiency);
+
+        let total_s = per_system.total_s + gather_s + final_coltor_s;
+        let qps = batch as f64 / total_s;
+        Ok(ClusterReport {
+            batch,
+            per_system,
+            gather_s,
+            final_coltor_s,
+            total_s,
+            qps,
+            qps_per_system: qps / s as f64,
+        })
+    }
+}
+
+/// Helper: scale a `StepOps` (free function to avoid a pub API on the
+/// baselines type).
+trait ScaledOps {
+    fn scaled_ops(&self, f: f64) -> Self;
+}
+
+impl ScaledOps for ive_baselines::complexity::StepOps {
+    fn scaled_ops(&self, f: f64) -> Self {
+        ive_baselines::complexity::StepOps {
+            residue_ntts: self.residue_ntts * f,
+            gemm_macs: self.gemm_macs * f,
+            icrt_coeffs: self.icrt_coeffs * f,
+            elem_macs: self.elem_macs * f,
+            auto_coeffs: self.auto_coeffs * f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn placement_picks_hbm_for_small_dbs() {
+        let sys = IveSystem::paper();
+        let small = Geometry::paper_for_db_bytes(16 * GIB); // 56GB prep < 96GB
+        assert!(matches!(sys.placement_for(&small), Ok(DbPlacement::Hbm)));
+        let large = Geometry::paper_for_db_bytes(128 * GIB); // 448GB prep
+        assert!(matches!(sys.placement_for(&large), Ok(DbPlacement::Lpddr)));
+        let huge = Geometry::paper_for_db_bytes(256 * GIB); // 896GB prep
+        assert!(sys.placement_for(&huge).is_err());
+    }
+
+    #[test]
+    fn fig13d_128gb_saturation() {
+        // Fig. 13d: a single IVE system reaches ~79.9 QPS on a 128GB DB
+        // at batch 128 with LPDDR streaming.
+        let sys = IveSystem::paper();
+        let geom = Geometry::paper_for_db_bytes(128 * GIB);
+        let r = sys.run(&geom, 128).expect("fits in LPDDR");
+        assert!(
+            (r.qps / 79.9 - 1.0).abs() < 0.3,
+            "model {:.1} QPS vs paper 79.9",
+            r.qps
+        );
+    }
+
+    #[test]
+    fn fig13d_1tb_cluster() {
+        // Fig. 13d: 16 systems on a 1TB DB reach ~9.89 QPS per system at
+        // batch 128.
+        let cluster = IveCluster::paper(16).unwrap();
+        let geom = Geometry::paper_for_db_bytes(1024 * GIB);
+        let r = cluster.run(&geom, 128).expect("slices fit");
+        assert!(
+            (r.qps_per_system / 9.89 - 1.0).abs() < 0.3,
+            "model {:.2} QPS/system vs paper 9.89",
+            r.qps_per_system
+        );
+        // Gathering overhead is negligible (§V): below 3% of the batch.
+        assert!(r.gather_s + r.final_coltor_s < 0.03 * r.total_s);
+    }
+
+    #[test]
+    fn table3_workload_rows() {
+        // Table III: 16-system cluster, batch 128 — Vcall 413.0,
+        // Comm 544.6, Fsys 127.5 QPS (within 25%).
+        let cluster = IveCluster::paper(16).unwrap();
+        for (db_gib, paper) in [(384u64, 413.0), (288, 544.6), (1280, 127.5)] {
+            let geom = Geometry::paper_for_db_bytes(db_gib * GIB);
+            let r = cluster.run(&geom, 128).expect("fits");
+            let ratio = r.qps / paper;
+            assert!(
+                (0.75..1.25).contains(&ratio),
+                "{db_gib}GB: model {:.1} vs paper {paper} ({ratio:.2}x)",
+                r.qps
+            );
+        }
+    }
+
+    #[test]
+    fn comm_latency_beats_inspire_by_two_orders() {
+        // §VI-B: 0.24s for Comm vs INSPIRE's 36s (~150x).
+        let cluster = IveCluster::paper(16).unwrap();
+        let geom = Geometry::paper_for_db_bytes(288 * GIB);
+        let r = cluster.run(&geom, 128).expect("fits");
+        assert!(r.total_s < 0.5, "batch latency {:.2}s", r.total_s);
+        assert!(36.0 / r.total_s > 70.0);
+    }
+
+    #[test]
+    fn bad_cluster_sizes_rejected() {
+        assert!(IveCluster::paper(0).is_err());
+        assert!(IveCluster::paper(12).is_err());
+        let cluster = IveCluster::paper(16).unwrap();
+        // A tournament shallower than log2(S) cannot be partitioned.
+        let mut tiny = Geometry::paper_for_db_bytes(2 * GIB);
+        tiny.dims = 2;
+        assert!(cluster.run(&tiny, 8).is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! BFV→RGSW conversion (the [34] trick referenced in §II-C).
+//!
+//! `ExpandQuery` can only produce BFV ciphertexts, but `ColTor` consumes
+//! RGSW selection bits. An RGSW of `m` is `2ℓ` RLWE rows: the *b*-rows
+//! have phase `m·z^j` — exactly what expanding a packed polynomial with
+//! coefficients `m·z^j` yields — and the *a*-rows have phase `−m·z^j·s`,
+//! which requires multiplying an encrypted value by the secret key.
+//!
+//! That multiplication is done with a relinearization-style key: for
+//! `ct = (a, b)` with phase `x`,
+//!
+//! ```text
+//! phase((−b, 0)) = b·s = a·s² + e·s + x·s
+//! ```
+//!
+//! so key-switching `Dcp(a)` against encryptions of `−z^j·s²` cancels the
+//! `a·s²` term, leaving `x·s + e·s + (gadget noise)`; negating gives the
+//! needed `−x·s` row. The extra `e·s` term keeps noise growth additive.
+
+use rand::Rng;
+
+use ive_math::rns::{Form, RnsPoly};
+
+use crate::bfv::BfvCiphertext;
+use crate::keys::SecretKey;
+use crate::params::HeParams;
+use crate::rgsw::{RgswCiphertext, RgswRow};
+use crate::HeError;
+
+/// The conversion key: `ℓ` RLWE rows encrypting `−z^j·s²` under `s`
+/// (a relinearization key in gadget form).
+#[derive(Debug, Clone)]
+pub struct RgswConversionKey {
+    rows: Vec<(RnsPoly, RnsPoly)>,
+}
+
+impl RgswConversionKey {
+    /// Generates the conversion key.
+    pub fn generate<R: Rng + ?Sized>(params: &HeParams, sk: &SecretKey, rng: &mut R) -> Self {
+        let ring = params.ring();
+        let powers = params.gadget().powers();
+        // s² in NTT form.
+        let mut s2 = sk.ntt().clone();
+        s2.mul_assign_pointwise(sk.ntt()).expect("forms match");
+        let mut rows = Vec::with_capacity(params.gadget().ell());
+        for &zj in powers.iter().take(params.gadget().ell()) {
+            let k = RnsPoly::sample_uniform(ring, Form::Ntt, rng);
+            let mut e = RnsPoly::sample_cbd(ring, params.eta(), rng);
+            e.to_ntt();
+            // b = k·s + e − z^j·s²
+            let mut b = k.clone();
+            b.mul_assign_pointwise(sk.ntt()).expect("forms match");
+            b.add_assign(&e).expect("forms match");
+            let mut term = s2.clone();
+            term.mul_scalar_u128(zj);
+            b.sub_assign(&term).expect("forms match");
+            rows.push((k, b));
+        }
+        RgswConversionKey { rows }
+    }
+
+    /// The gadget rows.
+    #[inline]
+    pub fn rows(&self) -> &[(RnsPoly, RnsPoly)] {
+        &self.rows
+    }
+
+    /// Serialized size in the packed hardware layout (same shape as an
+    /// `evk_r`).
+    pub fn byte_len(&self, params: &HeParams) -> usize {
+        params.evk_bytes()
+    }
+
+    /// Produces a ciphertext whose phase is `−s·x` from one whose phase
+    /// is `x`.
+    ///
+    /// # Errors
+    /// Fails on ring mismatch.
+    pub fn times_neg_s(
+        &self,
+        params: &HeParams,
+        ct: &BfvCiphertext,
+    ) -> Result<BfvCiphertext, HeError> {
+        let gadget = params.gadget();
+        // Key-switch Dcp(a) against the −z^j·s² rows.
+        let mut a = ct.a.clone();
+        a.to_coeff();
+        let mut digits = a.decompose(gadget)?;
+        for d in digits.iter_mut() {
+            d.to_ntt();
+        }
+        let mut out = BfvCiphertext::zero(params);
+        for (u, (ka, kb)) in digits.iter().zip(&self.rows) {
+            out.a.fma_pointwise(u, ka)?;
+            out.b.fma_pointwise(u, kb)?;
+        }
+        // Add (−b, 0): phase becomes x·s + e·s + gadget noise.
+        let mut b = ct.b.clone();
+        b.to_ntt();
+        out.a.sub_assign(&b)?;
+        // Negate for −x·s.
+        out.a.neg_assign();
+        out.b.neg_assign();
+        Ok(out)
+    }
+
+    /// Assembles an RGSW ciphertext from `ℓ` BFV ciphertexts whose phases
+    /// are `m·z^j` (scale-1, as produced by expanding a digit-packed
+    /// query): the *b*-rows are the inputs themselves; the *a*-rows come
+    /// from [`RgswConversionKey::times_neg_s`].
+    ///
+    /// # Errors
+    /// Fails when the digit count differs from `ℓ` or on ring mismatch.
+    pub fn convert(
+        &self,
+        params: &HeParams,
+        digit_cts: &[BfvCiphertext],
+    ) -> Result<RgswCiphertext, HeError> {
+        let ell = params.gadget().ell();
+        if digit_cts.len() != ell {
+            return Err(HeError::MissingKey(format!(
+                "conversion needs {ell} digit ciphertexts, got {}",
+                digit_cts.len()
+            )));
+        }
+        let mut rows = Vec::with_capacity(2 * ell);
+        for ct in digit_cts {
+            let neg_s = self.times_neg_s(params, ct)?;
+            rows.push(RgswRow { a: neg_s.a, b: neg_s.b });
+        }
+        for ct in digit_cts {
+            rows.push(RgswRow { a: ct.a.clone(), b: ct.b.clone() });
+        }
+        Ok(RgswCiphertext::from_rows(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfv::Plaintext;
+    use ive_math::rns::RnsPoly;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (HeParams, SecretKey, rand::rngs::StdRng) {
+        let params = HeParams::toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(555);
+        let sk = SecretKey::generate(&params, &mut rng);
+        (params, sk, rng)
+    }
+
+    /// Encrypts an RNS message at scale 1 (phase = message + noise).
+    fn encrypt_raw(
+        params: &HeParams,
+        sk: &SecretKey,
+        msg_coeffs: &[u128],
+        rng: &mut impl Rng,
+    ) -> BfvCiphertext {
+        let mut msg = RnsPoly::from_coeffs_u128(params.ring(), msg_coeffs);
+        msg.to_ntt();
+        BfvCiphertext::encrypt_rns(params, sk, &msg, rng)
+    }
+
+    #[test]
+    fn times_neg_s_has_correct_phase() {
+        let (params, sk, mut rng) = setup();
+        let key = RgswConversionKey::generate(&params, &sk, &mut rng);
+        // Encrypt x = z^0 = 1 (constant), convert, and check the phase is
+        // −s + small noise by adding s·(phase 1) back.
+        let mut coeffs = vec![0u128; params.n()];
+        coeffs[0] = 1;
+        let ct = encrypt_raw(&params, &sk, &coeffs, &mut rng);
+        let neg_s_ct = key.times_neg_s(&params, &ct).unwrap();
+        // phase(neg_s_ct) + s should be ~0 (small norm).
+        let phase = neg_s_ct.phase(&sk);
+        let q = params.q_big();
+        let s_wide = sk.coeff().to_coeffs_u128().unwrap();
+        let max_err = phase
+            .iter()
+            .zip(&s_wide)
+            .map(|(&p, &s)| {
+                let sum = (p + s) % q;
+                sum.min(q - sum)
+            })
+            .max()
+            .unwrap();
+        // Noise must be far below Δ (it includes e·s ~ N·e).
+        assert!(max_err < params.delta() / 1024, "residual {max_err}");
+    }
+
+    #[test]
+    fn converted_rgsw_acts_like_native() {
+        let (params, sk, mut rng) = setup();
+        let key = RgswConversionKey::generate(&params, &sk, &mut rng);
+        for bit in [0u64, 1] {
+            // Digit ciphertexts: scale-1 encryptions of bit·z^j.
+            let digit_cts: Vec<BfvCiphertext> = params
+                .gadget()
+                .powers()
+                .iter()
+                .map(|&zj| {
+                    let mut coeffs = vec![0u128; params.n()];
+                    coeffs[0] = (bit as u128) * (zj % params.q_big());
+                    encrypt_raw(&params, &sk, &coeffs, &mut rng)
+                })
+                .collect();
+            let rgsw = key.convert(&params, &digit_cts).unwrap();
+            // Use it in an external product.
+            let m: Vec<u64> =
+                (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
+            let pt = Plaintext::new(&params, m).unwrap();
+            let ct = BfvCiphertext::encrypt(&params, &sk, &pt, &mut rng);
+            let out = rgsw.external_product(&params, &ct).unwrap();
+            let got = out.decrypt(&params, &sk);
+            if bit == 1 {
+                assert_eq!(got, pt, "bit 1 must select the message");
+            } else {
+                assert_eq!(got, Plaintext::zero(&params), "bit 0 must clear it");
+            }
+        }
+    }
+
+    #[test]
+    fn converted_rgsw_cmux_matches_native_rgsw() {
+        let (params, sk, mut rng) = setup();
+        let key = RgswConversionKey::generate(&params, &sk, &mut rng);
+        let digit_cts: Vec<BfvCiphertext> = params
+            .gadget()
+            .powers()
+            .iter()
+            .map(|&zj| {
+                let mut coeffs = vec![0u128; params.n()];
+                coeffs[0] = zj % params.q_big();
+                encrypt_raw(&params, &sk, &coeffs, &mut rng)
+            })
+            .collect();
+        let converted = key.convert(&params, &digit_cts).unwrap();
+        let mx = Plaintext::monomial(&params, 1, 7).unwrap();
+        let my = Plaintext::monomial(&params, 2, 9).unwrap();
+        let x = BfvCiphertext::encrypt(&params, &sk, &mx, &mut rng);
+        let y = BfvCiphertext::encrypt(&params, &sk, &my, &mut rng);
+        let sel = converted.cmux(&params, &x, &y).unwrap();
+        assert_eq!(sel.decrypt(&params, &sk), mx);
+    }
+
+    #[test]
+    fn wrong_digit_count_rejected() {
+        let (params, sk, mut rng) = setup();
+        let key = RgswConversionKey::generate(&params, &sk, &mut rng);
+        assert!(key.convert(&params, &[]).is_err());
+    }
+}

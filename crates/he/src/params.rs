@@ -1,0 +1,210 @@
+//! HE parameter sets (Table I).
+
+use std::sync::Arc;
+
+use ive_math::gadget::Gadget;
+use ive_math::reduce::inv_mod_u128;
+use ive_math::rns::{Form, RingContext, RnsPoly};
+
+use crate::HeError;
+
+/// A complete BFV/RGSW parameter set over a shared ring context.
+///
+/// The paper's defaults (Table I): `N = 2^12`, four special 28-bit primes
+/// (`Q` = 109 bits), `P = 2^32`, gadget base `z = 2^14..2^22` with
+/// `ℓ = 5..8`, and narrow centered-binomial noise.
+#[derive(Debug, Clone)]
+pub struct HeParams {
+    ring: Arc<RingContext>,
+    p_bits: u32,
+    gadget: Gadget,
+    eta: u32,
+    delta: u128,
+    /// `NTT(X^{-1})` — multiplying by this implements the `X^{-1}` step of
+    /// `ExpandQuery` (§II-A) as a plaintext product.
+    x_inv_ntt: RnsPoly,
+}
+
+impl HeParams {
+    /// Builds a parameter set.
+    ///
+    /// # Errors
+    /// Fails when `p_bits` is out of `(0, 32]`, `P >= Q`, or the gadget
+    /// does not cover `Q`.
+    pub fn new(
+        ring: Arc<RingContext>,
+        p_bits: u32,
+        gadget: Gadget,
+        eta: u32,
+    ) -> Result<Self, HeError> {
+        if p_bits == 0 || p_bits > 32 {
+            return Err(HeError::InvalidParams(format!(
+                "plaintext modulus 2^{p_bits} unsupported (need 1..=32 bits)"
+            )));
+        }
+        let q_big = ring.basis().q_big();
+        if (1u128 << p_bits) >= q_big {
+            return Err(HeError::InvalidParams("plaintext modulus exceeds Q".into()));
+        }
+        gadget.check_covers(q_big)?;
+        let delta = q_big >> p_bits; // floor(Q / 2^p_bits)
+        // X^{-1} = -X^{N-1} in R_Q.
+        let n = ring.n();
+        let mut x_inv = RnsPoly::zero(&ring, Form::Coeff);
+        for (m, modulus) in ring.basis().moduli().iter().enumerate() {
+            x_inv.residue_mut(m)[n - 1] = modulus.value() - 1;
+        }
+        x_inv.to_ntt();
+        Ok(HeParams { ring, p_bits, gadget, eta, delta, x_inv_ntt: x_inv })
+    }
+
+    /// The paper's Table I parameter set: `N = 2^12`, `P = 2^32`,
+    /// `z = 2^14`, `ℓ = 8`.
+    pub fn paper() -> Self {
+        let ring = RingContext::paper_ring();
+        let gadget = Gadget::for_modulus(ring.basis().q_big(), 14);
+        HeParams::new(ring, 32, gadget, 4).expect("paper parameters are valid")
+    }
+
+    /// Small parameters for fast tests: `N = 256`, three special primes
+    /// (`Q` = 82 bits), `P = 2^16`, `z = 2^14`.
+    pub fn toy() -> Self {
+        let ring = RingContext::test_ring(256, 3);
+        let gadget = Gadget::for_modulus(ring.basis().q_big(), 14);
+        HeParams::new(ring, 16, gadget, 4).expect("toy parameters are valid")
+    }
+
+    /// The ring context.
+    #[inline]
+    pub fn ring(&self) -> &Arc<RingContext> {
+        &self.ring
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.ring.n()
+    }
+
+    /// Plaintext modulus `P = 2^p_bits`.
+    #[inline]
+    pub fn p(&self) -> u64 {
+        if self.p_bits == 64 { 0 } else { 1u64 << self.p_bits }
+    }
+
+    /// `log2(P)`.
+    #[inline]
+    pub fn p_bits(&self) -> u32 {
+        self.p_bits
+    }
+
+    /// The ciphertext modulus `Q`.
+    #[inline]
+    pub fn q_big(&self) -> u128 {
+        self.ring.basis().q_big()
+    }
+
+    /// The encoding scale `Δ = ⌊Q/P⌋`.
+    #[inline]
+    pub fn delta(&self) -> u128 {
+        self.delta
+    }
+
+    /// The gadget (`z`, `ℓ`) used by `Dcp`.
+    #[inline]
+    pub fn gadget(&self) -> &Gadget {
+        &self.gadget
+    }
+
+    /// Centered-binomial noise parameter.
+    #[inline]
+    pub fn eta(&self) -> u32 {
+        self.eta
+    }
+
+    /// `NTT(X^{-1})` for the `ExpandQuery` odd-branch product.
+    #[inline]
+    pub fn x_inv_ntt(&self) -> &RnsPoly {
+        &self.x_inv_ntt
+    }
+
+    /// `2^{-depth} mod Q` — the client-side pre-scaling that cancels the
+    /// `×2` growth per `ExpandQuery` level (§II-A works over `R_Q`, where
+    /// 2 is invertible even though `P` is a power of two).
+    pub fn inv_two_pow(&self, depth: u32) -> u128 {
+        let q = self.q_big();
+        let inv2 = inv_mod_u128(2, q).expect("Q is odd");
+        let mut acc: u128 = 1;
+        for _ in 0..depth {
+            // acc * inv2 mod q via the wide helpers (q can exceed 64 bits).
+            let (hi, lo) = ive_math::wide::mul_u128(acc, inv2);
+            acc = ive_math::wide::div_rem_wide(hi, lo, q).1;
+        }
+        acc
+    }
+
+    /// Bytes of one BFV ciphertext in the packed hardware layout
+    /// (2 polynomials; 112KB for the paper ring, §II-B).
+    pub fn ct_bytes(&self) -> usize {
+        2 * self.ring.poly_bytes()
+    }
+
+    /// Bytes of one RGSW ciphertext (`2 × 2ℓ` polynomials; 1120KB for the
+    /// paper ring with `ℓ = 5`... `ℓ = 8` scales accordingly, §II-C).
+    pub fn rgsw_bytes(&self) -> usize {
+        2 * 2 * self.gadget.ell() * self.ring.poly_bytes()
+    }
+
+    /// Bytes of one `evk_r` (`2 × ℓ` polynomials; 560KB for the paper ring
+    /// with `ℓ = 5`, §II-D).
+    pub fn evk_bytes(&self) -> usize {
+        2 * self.gadget.ell() * self.ring.poly_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match_section_2() {
+        // With ℓ = 5 (z = 2^22): ct 112KB, RGSW 1120KB, evk 560KB.
+        let ring = RingContext::paper_ring();
+        let gadget = Gadget::for_modulus(ring.basis().q_big(), 22);
+        let p = HeParams::new(ring, 32, gadget, 4).unwrap();
+        assert_eq!(p.gadget().ell(), 5);
+        assert_eq!(p.ct_bytes(), 112 * 1024);
+        assert_eq!(p.rgsw_bytes(), 1120 * 1024);
+        assert_eq!(p.evk_bytes(), 560 * 1024);
+    }
+
+    #[test]
+    fn delta_times_p_close_to_q() {
+        let p = HeParams::toy();
+        let q = p.q_big();
+        assert!(p.delta() * (p.p() as u128) <= q);
+        assert!((p.delta() + 1) * (p.p() as u128) > q);
+    }
+
+    #[test]
+    fn inv_two_pow_inverts() {
+        let p = HeParams::toy();
+        let q = p.q_big();
+        for d in [0u32, 1, 5, 8] {
+            let inv = p.inv_two_pow(d);
+            let (hi, lo) = ive_math::wide::mul_u128(inv, 1u128 << d);
+            let r = ive_math::wide::div_rem_wide(hi, lo, q).1;
+            assert_eq!(r, 1, "depth {d}");
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let ring = RingContext::test_ring(64, 2);
+        let g = Gadget::for_modulus(ring.basis().q_big(), 14);
+        assert!(HeParams::new(Arc::clone(&ring), 0, g, 4).is_err());
+        assert!(HeParams::new(Arc::clone(&ring), 33, g, 4).is_err());
+        let tiny = Gadget::new(2, 2);
+        assert!(HeParams::new(ring, 16, tiny, 4).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! The substitution operation `Subs(ct, r)` (§II-A, §II-D).
+//!
+//! `Subs` replaces `X` with `X^r` inside the encrypted polynomial: apply
+//! the automorphism `τ_r` to both ciphertext polynomials — after which the
+//! result decrypts under `τ_r(s)` — and key-switch back to `s` using the
+//! evaluation key `evk_r`:
+//!
+//! ```text
+//! Subs(ct, r) = evk_r · Dcp(a_τ) + (0, b_τ)
+//! ```
+//!
+//! `ExpandQuery` invokes this with `r = N/2^j + 1` at tree depth `j`,
+//! consuming one distinct `evk_r` per depth (Fig. 2-(1)).
+
+use rand::Rng;
+
+use ive_math::rns::{Form, RnsPoly};
+
+use crate::bfv::BfvCiphertext;
+use crate::keys::SecretKey;
+use crate::params::HeParams;
+use crate::HeError;
+
+/// The evaluation key `evk_r`: `ℓ` RLWE rows encrypting `-z^j·τ_r(s)`
+/// under `s`, in NTT form (a `2 × ℓ` matrix of polynomials, §II-D).
+#[derive(Debug, Clone)]
+pub struct SubsKey {
+    r: usize,
+    rows: Vec<(RnsPoly, RnsPoly)>,
+}
+
+impl SubsKey {
+    /// Generates `evk_r` for the automorphism exponent `r` (odd).
+    ///
+    /// # Panics
+    /// Panics if `r` is even.
+    pub fn generate<R: Rng + ?Sized>(
+        params: &HeParams,
+        sk: &SecretKey,
+        r: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(r % 2 == 1, "automorphism exponent must be odd");
+        let ring = params.ring();
+        let ell = params.gadget().ell();
+        let powers = params.gadget().powers();
+        let s_tau = sk.automorphism_ntt(r);
+        let mut rows = Vec::with_capacity(ell);
+        for &zj in powers.iter().take(ell) {
+            let k = RnsPoly::sample_uniform(ring, Form::Ntt, rng);
+            let mut e = RnsPoly::sample_cbd(ring, params.eta(), rng);
+            e.to_ntt();
+            // b = k·s + e - z^j·s_τ
+            let mut b = k.clone();
+            b.mul_assign_pointwise(sk.ntt()).expect("forms match");
+            b.add_assign(&e).expect("forms match");
+            let mut term = s_tau.clone();
+            term.mul_scalar_u128(zj);
+            b.sub_assign(&term).expect("forms match");
+            rows.push((k, b));
+        }
+        SubsKey { r, rows }
+    }
+
+    /// The automorphism exponent this key serves.
+    #[inline]
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// The `ℓ` RLWE rows.
+    #[inline]
+    pub fn rows(&self) -> &[(RnsPoly, RnsPoly)] {
+        &self.rows
+    }
+
+    /// Applies `Subs(ct, r)`.
+    ///
+    /// # Errors
+    /// Fails on ring mismatch.
+    pub fn apply(&self, params: &HeParams, ct: &BfvCiphertext) -> Result<BfvCiphertext, HeError> {
+        let gadget = params.gadget();
+        // Automorphism in coefficient domain.
+        let mut a = ct.a.clone();
+        let mut b = ct.b.clone();
+        a.to_coeff();
+        b.to_coeff();
+        let a_tau = a.automorphism(self.r)?;
+        let mut b_tau = b.automorphism(self.r)?;
+
+        // Dcp(a_τ) then key-switch GEMM with evk_r.
+        let mut digits = a_tau.decompose(gadget)?;
+        for d in digits.iter_mut() {
+            d.to_ntt();
+        }
+        let mut out = BfvCiphertext::zero(params);
+        for (u, (ka, kb)) in digits.iter().zip(&self.rows) {
+            out.a.fma_pointwise(u, ka)?;
+            out.b.fma_pointwise(u, kb)?;
+        }
+        b_tau.to_ntt();
+        out.b.add_assign(&b_tau)?;
+        Ok(out)
+    }
+
+    /// Serialized size in the packed hardware layout (560KB for the paper
+    /// ring with `ℓ = 5`, §II-D).
+    pub fn byte_len(&self, params: &HeParams) -> usize {
+        params.evk_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfv::Plaintext;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (HeParams, SecretKey, rand::rngs::StdRng) {
+        let params = HeParams::toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        let sk = SecretKey::generate(&params, &mut rng);
+        (params, sk, rng)
+    }
+
+    #[test]
+    fn subs_applies_automorphism_to_plaintext() {
+        let (params, sk, mut rng) = setup();
+        let n = params.n();
+        for r in [3usize, 5, n + 1, n / 2 + 1] {
+            let vals: Vec<u64> =
+                (0..n).map(|_| rng.gen_range(0..params.p())).collect();
+            let m = Plaintext::new(&params, vals.clone()).unwrap();
+            let ct = BfvCiphertext::encrypt(&params, &sk, &m, &mut rng);
+            let key = SubsKey::generate(&params, &sk, r, &mut rng);
+            let out = key.apply(&params, &ct).unwrap();
+            let expect = ive_math::poly::automorphism(&vals, r, params.p());
+            assert_eq!(out.decrypt(&params, &sk).values(), &expect[..], "r={r}");
+        }
+    }
+
+    #[test]
+    fn subs_n_plus_one_even_odd_split() {
+        // The §II-A identity: ct + Subs(ct, N+1) keeps 2×even terms,
+        // ct − Subs(ct, N+1) keeps 2×odd terms.
+        let (params, sk, mut rng) = setup();
+        let n = params.n();
+        let vals: Vec<u64> = (0..n).map(|_| rng.gen_range(0..params.p() / 4)).collect();
+        let m = Plaintext::new(&params, vals.clone()).unwrap();
+        let ct = BfvCiphertext::encrypt(&params, &sk, &m, &mut rng);
+        let key = SubsKey::generate(&params, &sk, n + 1, &mut rng);
+        let subbed = key.apply(&params, &ct).unwrap();
+
+        let mut even = ct.clone();
+        even.add_assign(&subbed).unwrap();
+        let even_m = even.decrypt(&params, &sk);
+        let p = params.p();
+        for i in 0..n {
+            let expect = if i % 2 == 0 { (2 * vals[i]) % p } else { 0 };
+            assert_eq!(even_m.values()[i], expect, "even branch, coeff {i}");
+        }
+
+        let mut odd = ct.clone();
+        odd.sub_assign(&subbed).unwrap();
+        let odd_m = odd.decrypt(&params, &sk);
+        for i in 0..n {
+            let expect = if i % 2 == 1 { (2 * vals[i]) % p } else { 0 };
+            assert_eq!(odd_m.values()[i], expect, "odd branch, coeff {i}");
+        }
+    }
+
+    #[test]
+    fn subs_key_size() {
+        let (params, sk, mut rng) = setup();
+        let key = SubsKey::generate(&params, &sk, 3, &mut rng);
+        assert_eq!(key.rows().len(), params.gadget().ell());
+        assert_eq!(key.byte_len(&params), params.evk_bytes());
+        assert_eq!(key.r(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_exponent_rejected() {
+        let (params, sk, mut rng) = setup();
+        let _ = SubsKey::generate(&params, &sk, 4, &mut rng);
+    }
+}

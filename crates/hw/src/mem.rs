@@ -1,0 +1,103 @@
+//! Memory and interconnect specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per gigabyte (the paper uses binary units: 1TB = 2^40 B).
+pub const GIB: u64 = 1 << 30;
+
+/// A bandwidth/capacity specification for a DRAM device or link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Peak bandwidth in bytes per second.
+    pub bytes_per_s: f64,
+    /// Capacity in bytes (`u64::MAX` for links).
+    pub capacity_bytes: u64,
+}
+
+impl MemSpec {
+    /// One 24GB HBM stack at 512GB/s (§VI-A, [82]).
+    pub fn hbm_stack() -> Self {
+        MemSpec { name: "HBM stack", bytes_per_s: 512e9, capacity_bytes: 24 * GIB }
+    }
+
+    /// The chip-wide HBM system: four stacks (2TB/s, 96GB).
+    pub fn hbm_chip() -> Self {
+        MemSpec { name: "HBM x4", bytes_per_s: 4.0 * 512e9, capacity_bytes: 96 * GIB }
+    }
+
+    /// One 3D-stacked LPDDR module: 128GB at 128GB/s (§V, [83]).
+    pub fn lpddr_module() -> Self {
+        MemSpec { name: "LPDDR module", bytes_per_s: 128e9, capacity_bytes: 128 * GIB }
+    }
+
+    /// The scale-up LPDDR expander: four modules (512GB/s, 512GB).
+    pub fn lpddr_system() -> Self {
+        MemSpec { name: "LPDDR x4", bytes_per_s: 4.0 * 128e9, capacity_bytes: 512 * GIB }
+    }
+
+    /// Eight-channel DDR5-4800 (the Xeon Max baseline host memory).
+    pub fn ddr5_host() -> Self {
+        MemSpec { name: "DDR5-4800 x8", bytes_per_s: 307e9, capacity_bytes: 1024 * GIB }
+    }
+
+    /// RTX 4090 GDDR6X as used in the paper's roofline (939GB/s, Fig. 6).
+    pub fn gddr6x_4090() -> Self {
+        MemSpec { name: "GDDR6X (4090)", bytes_per_s: 939e9, capacity_bytes: 24 * GIB }
+    }
+
+    /// H100 SXM HBM3.
+    pub fn hbm3_h100() -> Self {
+        MemSpec { name: "HBM3 (H100)", bytes_per_s: 3350e9, capacity_bytes: 80 * GIB }
+    }
+
+    /// The cluster PCIe switch: up to 128GB/s (§V scale-out).
+    pub fn pcie_switch() -> Self {
+        MemSpec { name: "PCIe switch", bytes_per_s: 128e9, capacity_bytes: u64::MAX }
+    }
+
+    /// Host-to-accelerator PCIe Gen5 x16 link.
+    pub fn pcie_gen5() -> Self {
+        MemSpec { name: "PCIe Gen5 x16", bytes_per_s: 64e9, capacity_bytes: u64::MAX }
+    }
+
+    /// Time to move `bytes` at peak bandwidth, in seconds.
+    #[inline]
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bytes_per_s
+    }
+
+    /// Whether `bytes` fit in this device.
+    #[inline]
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_memory_system() {
+        let hbm = MemSpec::hbm_chip();
+        assert_eq!(hbm.capacity_bytes, 96 * GIB);
+        assert_eq!(hbm.bytes_per_s, 2048e9);
+        let lp = MemSpec::lpddr_system();
+        assert_eq!(lp.capacity_bytes, 512 * GIB);
+        assert_eq!(lp.bytes_per_s, 512e9);
+        // An IVE system supports up to 128GB of (raw) DB: preprocessed
+        // 3.5x = 448GB fits the LPDDR expander.
+        assert!(lp.fits(448 * GIB));
+        assert!(!lp.fits(513 * GIB));
+    }
+
+    #[test]
+    fn transfer_time_scales() {
+        let hbm = MemSpec::hbm_chip();
+        let t = hbm.transfer_time(2048_000_000_000);
+        assert!((t - 1.0).abs() < 1e-9);
+        assert_eq!(hbm.transfer_time(0), 0.0);
+    }
+}

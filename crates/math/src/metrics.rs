@@ -1,0 +1,94 @@
+//! Global operation counters for model validation.
+//!
+//! The performance models in `ive-baselines` *predict* how many primitive
+//! operations each PIR step executes. These counters let tests *measure*
+//! the functional stack doing the same work and compare — closing the
+//! loop between the cryptography and the accelerator model.
+//!
+//! Counters are process-global and lock-free; tests that read them should
+//! live in their own integration-test binary so unrelated parallel tests
+//! don't perturb the numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static RESIDUE_NTTS: AtomicU64 = AtomicU64::new(0);
+static POINTWISE_MACS: AtomicU64 = AtomicU64::new(0);
+static ICRT_COEFFS: AtomicU64 = AtomicU64::new(0);
+static AUTO_COEFFS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpSnapshot {
+    /// Residue-polynomial (i)NTT executions.
+    pub residue_ntts: u64,
+    /// Modular multiply-accumulates in pointwise products/FMAs.
+    pub pointwise_macs: u64,
+    /// Coefficients reconstructed through iCRT.
+    pub icrt_coeffs: u64,
+    /// Coefficients moved through automorphisms.
+    pub auto_coeffs: u64,
+}
+
+impl OpSnapshot {
+    /// Difference since an earlier snapshot.
+    pub fn delta_since(&self, earlier: &OpSnapshot) -> OpSnapshot {
+        OpSnapshot {
+            residue_ntts: self.residue_ntts - earlier.residue_ntts,
+            pointwise_macs: self.pointwise_macs - earlier.pointwise_macs,
+            icrt_coeffs: self.icrt_coeffs - earlier.icrt_coeffs,
+            auto_coeffs: self.auto_coeffs - earlier.auto_coeffs,
+        }
+    }
+}
+
+/// Reads the current counters.
+pub fn snapshot() -> OpSnapshot {
+    OpSnapshot {
+        residue_ntts: RESIDUE_NTTS.load(Ordering::Relaxed),
+        pointwise_macs: POINTWISE_MACS.load(Ordering::Relaxed),
+        icrt_coeffs: ICRT_COEFFS.load(Ordering::Relaxed),
+        auto_coeffs: AUTO_COEFFS.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets all counters to zero (single-process tests only).
+pub fn reset() {
+    RESIDUE_NTTS.store(0, Ordering::Relaxed);
+    POINTWISE_MACS.store(0, Ordering::Relaxed);
+    ICRT_COEFFS.store(0, Ordering::Relaxed);
+    AUTO_COEFFS.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn count_residue_ntts(n: u64) {
+    RESIDUE_NTTS.fetch_add(n, Ordering::Relaxed);
+}
+pub(crate) fn count_pointwise_macs(n: u64) {
+    POINTWISE_MACS.fetch_add(n, Ordering::Relaxed);
+}
+pub(crate) fn count_icrt_coeffs(n: u64) {
+    ICRT_COEFFS.fetch_add(n, Ordering::Relaxed);
+}
+pub(crate) fn count_auto_coeffs(n: u64) {
+    AUTO_COEFFS.fetch_add(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_arithmetic() {
+        let a = OpSnapshot { residue_ntts: 5, pointwise_macs: 100, icrt_coeffs: 7, auto_coeffs: 3 };
+        let b = OpSnapshot {
+            residue_ntts: 12,
+            pointwise_macs: 150,
+            icrt_coeffs: 9,
+            auto_coeffs: 3,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.residue_ntts, 7);
+        assert_eq!(d.pointwise_macs, 50);
+        assert_eq!(d.icrt_coeffs, 2);
+        assert_eq!(d.auto_coeffs, 0);
+    }
+}

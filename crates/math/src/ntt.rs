@@ -1,0 +1,245 @@
+//! Negacyclic number-theoretic transform over a prime field.
+//!
+//! The transform evaluates a polynomial of degree `< n` at the odd powers of
+//! a primitive `2n`-th root of unity `ψ`, so that pointwise multiplication
+//! corresponds to negacyclic convolution in `Z_q[X]/(X^n + 1)` (§II-B).
+//!
+//! The butterfly networks follow the fused-twist formulation (Longa–Naehrig,
+//! as used by SEAL and hardware NTT units such as F1's): Cooley–Tukey
+//! decimation-in-time forward, Gentleman–Sande decimation-in-frequency
+//! inverse, with Shoup lazy multiplication on precomputed twiddles.
+
+use crate::modulus::Modulus;
+use crate::reduce::ShoupMul;
+use crate::{bit_reverse, log2_exact, MathError};
+
+/// Precomputed tables for an `n`-point negacyclic NTT modulo a fixed prime.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    n: usize,
+    modulus: Modulus,
+    /// `ψ^{bitrev(i, log n)}` for the forward pass.
+    psi_rev: Vec<ShoupMul>,
+    /// `ψ^{-bitrev(i, log n)}` for the inverse pass.
+    ipsi_rev: Vec<ShoupMul>,
+    /// `n^{-1} (mod q)` for final inverse scaling.
+    n_inv: ShoupMul,
+}
+
+impl NttTable {
+    /// Builds tables for degree `n` (a power of two `>= 2`).
+    ///
+    /// # Errors
+    /// Fails when `2n` does not divide `q - 1`.
+    pub fn new(modulus: &Modulus, n: usize) -> Result<Self, MathError> {
+        let log_n = log2_exact(n)?;
+        let q = modulus.value();
+        if (q - 1) % (2 * n as u64) != 0 {
+            return Err(MathError::NotNttFriendly { q, n });
+        }
+        let psi = modulus.element_of_order(2 * n as u64)?;
+        let ipsi = modulus.inv(psi);
+        let mut psi_rev = vec![ShoupMul::new(1, q); n];
+        let mut ipsi_rev = vec![ShoupMul::new(1, q); n];
+        let mut pow_f = 1u64;
+        let mut pow_i = 1u64;
+        let mut pows_f = vec![0u64; n];
+        let mut pows_i = vec![0u64; n];
+        for i in 0..n {
+            pows_f[i] = pow_f;
+            pows_i[i] = pow_i;
+            pow_f = modulus.mul(pow_f, psi);
+            pow_i = modulus.mul(pow_i, ipsi);
+        }
+        for i in 0..n {
+            let r = bit_reverse(i, log_n);
+            psi_rev[i] = ShoupMul::new(pows_f[r], q);
+            ipsi_rev[i] = ShoupMul::new(pows_i[r], q);
+        }
+        let n_inv = ShoupMul::new(modulus.inv(n as u64), q);
+        Ok(NttTable { n, modulus: *modulus, psi_rev, ipsi_rev, n_inv })
+    }
+
+    /// The transform size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The field modulus.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// In-place forward negacyclic NTT (coefficient order in, transform
+    /// order out).
+    ///
+    /// # Panics
+    /// Panics if `a.len() != n`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let q = self.modulus.value();
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t >>= 1;
+            for i in 0..m {
+                let w = self.psi_rev[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = w.mul(a[j + t], q);
+                    a[j] = crate::reduce::add_mod(u, v, q);
+                    a[j + t] = crate::reduce::sub_mod(u, v, q);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (transform order in, coefficient
+    /// order out), including the `n^{-1}` scaling.
+    ///
+    /// # Panics
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let q = self.modulus.value();
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let w = self.ipsi_rev[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = crate::reduce::add_mod(u, v, q);
+                    a[j + t] = w.mul(crate::reduce::sub_mod(u, v, q), q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = self.n_inv.mul(*x, q);
+        }
+    }
+
+    /// Pointwise product `a ⊙ b` into `a` (both in transform order).
+    ///
+    /// # Panics
+    /// Panics if slice lengths differ from `n`.
+    pub fn pointwise_mul_assign(&self, a: &mut [u64], b: &[u64]) {
+        assert_eq!(a.len(), self.n);
+        assert_eq!(b.len(), self.n);
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = self.modulus.mul(*x, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::negacyclic_mul_schoolbook;
+    use rand::{Rng, SeedableRng};
+
+    fn table(n: usize) -> NttTable {
+        NttTable::new(&Modulus::special_primes()[0], n).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for n in [2usize, 8, 64, 256, 4096] {
+            let t = table(n);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+            let orig: Vec<u64> =
+                (0..n).map(|_| rng.gen_range(0..t.modulus().value())).collect();
+            let mut a = orig.clone();
+            t.forward(&mut a);
+            t.inverse(&mut a);
+            assert_eq!(a, orig, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_schoolbook_negacyclic_product() {
+        let n = 128;
+        let t = table(n);
+        let q = t.modulus().value();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            let expected = negacyclic_mul_schoolbook(&a, &b, q);
+            let mut fa = a.clone();
+            let mut fb = b.clone();
+            t.forward(&mut fa);
+            t.forward(&mut fb);
+            t.pointwise_mul_assign(&mut fa, &fb);
+            t.inverse(&mut fa);
+            assert_eq!(fa, expected);
+        }
+    }
+
+    #[test]
+    fn x_times_x_pow_nminus1_is_minus_one() {
+        // X * X^{n-1} = X^n = -1 in the negacyclic ring.
+        let n = 64;
+        let t = table(n);
+        let q = t.modulus().value();
+        let mut a = vec![0u64; n];
+        let mut b = vec![0u64; n];
+        a[1] = 1;
+        b[n - 1] = 1;
+        t.forward(&mut a);
+        t.forward(&mut b);
+        t.pointwise_mul_assign(&mut a, &b);
+        t.inverse(&mut a);
+        let mut expected = vec![0u64; n];
+        expected[0] = q - 1;
+        assert_eq!(a, expected);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let t = table(n);
+        let q = t.modulus().value();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let sum: Vec<u64> =
+            a.iter().zip(&b).map(|(&x, &y)| crate::reduce::add_mod(x, y, q)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        t.forward(&mut fs);
+        for i in 0..n {
+            assert_eq!(fs[i], crate::reduce::add_mod(fa[i], fb[i], q));
+        }
+    }
+
+    #[test]
+    fn all_special_primes_support_degree_4096() {
+        for m in Modulus::special_primes() {
+            assert!(NttTable::new(&m, 4096).is_ok());
+        }
+    }
+
+    #[test]
+    fn unfriendly_modulus_rejected() {
+        // 97 - 1 = 96 is not divisible by 2·64.
+        let m = Modulus::new(97);
+        assert!(matches!(
+            NttTable::new(&m, 64),
+            Err(MathError::NotNttFriendly { .. })
+        ));
+    }
+}

@@ -1,0 +1,257 @@
+//! The four-step NTT decomposition — the dataflow the sysNTTU wires up
+//! (Fig. 9: butterfly columns plus "Twist, Transpose & Bit-Reverse").
+//!
+//! An `N = R·C` negacyclic NTT factors into:
+//!
+//! 1. pre-twist by `ψ^i` (folding the negacyclic wrap into a cyclic one),
+//! 2. `C` column NTTs of size `R`,
+//! 3. element-wise twiddle by `ω^{r·c}` (the "twisting cells" of Fig. 9),
+//! 4. transpose, and `R` row NTTs of size `C`.
+//!
+//! Hardware NTT units (F1's, reused by IVE) stream a `√N × √N` tile
+//! through `√N/2 · log N` butterflies in exactly this shape; the paper's
+//! `32 × 16` systolic reuse maps the same cells to GEMM. This module
+//! implements the algorithm faithfully and proves it equivalent to the
+//! direct transform, so the performance model's per-unit cycle counts
+//! rest on a dataflow that demonstrably computes the right thing.
+
+use crate::modulus::Modulus;
+use crate::{log2_exact, MathError};
+
+/// A four-step negacyclic NTT plan for `N = R·C` (both powers of two).
+#[derive(Debug)]
+pub struct FourStepNtt {
+    n: usize,
+    rows: usize, // R: size of the column transforms
+    cols: usize, // C: size of the row transforms
+    modulus: Modulus,
+    /// Pre-twist `ψ^i` for the negacyclic fold.
+    pre_twist: Vec<u64>,
+    /// Inter-stage twiddles `ω^{r·c}` (row-major `R × C`).
+    twiddles: Vec<u64>,
+    col_table: CyclicNtt,
+    row_table: CyclicNtt,
+}
+
+/// A plain cyclic (non-negacyclic) power-of-two NTT: textbook iterative
+/// Cooley–Tukey with a bit-reversal input permutation and natural-order
+/// output.
+#[derive(Debug)]
+struct CyclicNtt {
+    n: usize,
+    modulus: Modulus,
+    /// Natural powers `ω^i`.
+    pows: Vec<u64>,
+}
+
+impl CyclicNtt {
+    fn new(modulus: &Modulus, n: usize, omega: u64) -> Result<Self, MathError> {
+        log2_exact(n)?;
+        debug_assert_eq!(modulus.pow(omega, n as u64), 1, "omega must have order n");
+        let mut pows = vec![1u64; n];
+        for i in 1..n {
+            pows[i] = modulus.mul(pows[i - 1], omega);
+        }
+        Ok(CyclicNtt { n, modulus: *modulus, pows })
+    }
+
+    /// In-place forward cyclic NTT: `X[k] = Σ_i x_i ω^{ik}`, natural
+    /// order in and out.
+    fn forward(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let n = self.n;
+        let log_n = n.trailing_zeros();
+        let q = self.modulus.value();
+        for i in 0..n {
+            let j = crate::bit_reverse(i, log_n);
+            if i < j {
+                a.swap(i, j);
+            }
+        }
+        let mut len = 2usize;
+        while len <= n {
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for j in 0..len / 2 {
+                    let w = self.pows[stride * j];
+                    let u = a[start + j];
+                    let v = self.modulus.mul(a[start + j + len / 2], w);
+                    a[start + j] = crate::reduce::add_mod(u, v, q);
+                    a[start + j + len / 2] = crate::reduce::sub_mod(u, v, q);
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+impl FourStepNtt {
+    /// Builds a plan with `R = C = √N` (the hardware tile shape) or the
+    /// nearest split for odd log sizes.
+    ///
+    /// # Errors
+    /// Fails when the modulus lacks the required roots of unity.
+    pub fn new(modulus: &Modulus, n: usize) -> Result<Self, MathError> {
+        let log_n = log2_exact(n)?;
+        let log_r = log_n.div_ceil(2);
+        let rows = 1usize << log_r;
+        let cols = n / rows;
+        if (modulus.value() - 1) % (2 * n as u64) != 0 {
+            return Err(MathError::NotNttFriendly { q: modulus.value(), n });
+        }
+        let psi = modulus.element_of_order(2 * n as u64)?;
+        let omega = modulus.mul(psi, psi); // primitive N-th root
+        // Pre-twist folds X^N + 1 into X^N − 1.
+        let mut pre_twist = vec![1u64; n];
+        for i in 1..n {
+            pre_twist[i] = modulus.mul(pre_twist[i - 1], psi);
+        }
+        // Inter-stage twiddles ω^{r·c}.
+        let mut twiddles = vec![1u64; n];
+        for r in 0..rows {
+            for c in 0..cols {
+                twiddles[r * cols + c] = modulus.pow(omega, (r * c) as u64);
+            }
+        }
+        let omega_r = modulus.pow(omega, cols as u64); // primitive R-th root
+        let omega_c = modulus.pow(omega, rows as u64); // primitive C-th root
+        Ok(FourStepNtt {
+            n,
+            rows,
+            cols,
+            modulus: *modulus,
+            pre_twist,
+            twiddles,
+            col_table: CyclicNtt::new(modulus, rows, omega_r)?,
+            row_table: CyclicNtt::new(modulus, cols, omega_c)?,
+        })
+    }
+
+    /// The tile shape `(R, C)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Forward negacyclic NTT via the four-step dataflow. The output is
+    /// the *multiset* of evaluations at odd powers of `ψ` in a
+    /// plan-internal order; use [`FourStepNtt::forward_natural`] to
+    /// compare against [`NttTable`].
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let (rows, cols) = (self.rows, self.cols);
+        // Step 0: negacyclic pre-twist.
+        for (x, &tw) in a.iter_mut().zip(&self.pre_twist) {
+            *x = self.modulus.mul(*x, tw);
+        }
+        // Step 1: column NTTs. Viewing `a` as row-major R×C, each column
+        // is a stride-C slice (the hardware transposes the tile instead).
+        let mut col = vec![0u64; rows];
+        for c in 0..cols {
+            for r in 0..rows {
+                col[r] = a[r * cols + c];
+            }
+            self.col_table.forward(&mut col);
+            for r in 0..rows {
+                a[r * cols + c] = col[r];
+            }
+        }
+        // Step 2: element-wise twiddle ω^{u·c} (the Fig. 9 twisting
+        // cells); the column NTT emits natural order, so `u` is the
+        // storage row.
+        for r in 0..rows {
+            for c in 0..cols {
+                let tw = self.twiddles[r * cols + c];
+                a[r * cols + c] = self.modulus.mul(a[r * cols + c], tw);
+            }
+        }
+        // Step 3: row NTTs.
+        for r in 0..rows {
+            self.row_table.forward(&mut a[r * cols..(r + 1) * cols]);
+        }
+    }
+
+    /// Forward transform returning evaluations sorted as a canonical
+    /// multiset (for equivalence checks against the direct transform).
+    pub fn forward_canonical(&self, mut a: Vec<u64>) -> Vec<u64> {
+        self.forward(&mut a);
+        a.sort_unstable();
+        a
+    }
+}
+
+/// Butterfly count of the four-step plan — must equal the direct
+/// transform's `N/2·log2 N` (the hardware does the same work, just tiled).
+pub fn butterfly_count(n: usize) -> u64 {
+    (n as u64 / 2) * n.trailing_zeros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntt::NttTable;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn four_step_matches_direct_transform() {
+        // Same evaluation multiset as the direct negacyclic NTT.
+        for n in [16usize, 64, 256, 4096] {
+            let m = Modulus::special_primes()[0];
+            let plan = FourStepNtt::new(&m, n).unwrap();
+            let direct = NttTable::new(&m, n).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+            let input: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+            let mut d = input.clone();
+            direct.forward(&mut d);
+            d.sort_unstable();
+            let f = plan.forward_canonical(input);
+            assert_eq!(f, d, "n={n}");
+        }
+    }
+
+    #[test]
+    fn tile_shape_is_square_for_4096() {
+        // N = 2^12 -> 64 x 64, the paper's √N lane structure.
+        let m = Modulus::special_primes()[0];
+        let plan = FourStepNtt::new(&m, 4096).unwrap();
+        assert_eq!(plan.shape(), (64, 64));
+        // Odd log: 128 -> 16 x 8.
+        let plan = FourStepNtt::new(&m, 128).unwrap();
+        assert_eq!(plan.shape(), (16, 8));
+    }
+
+    #[test]
+    fn butterfly_counts_match() {
+        // The four-step factorization performs C·(R/2·logR) +
+        // R·(C/2·logC) = N/2·logN butterflies — the basis of the
+        // sysNTTU's cell count (√N/2 · logN columns).
+        for n in [64usize, 1024, 4096] {
+            let m = Modulus::special_primes()[0];
+            let plan = FourStepNtt::new(&m, n).unwrap();
+            let (r, c) = plan.shape();
+            let four_step =
+                c as u64 * (r as u64 / 2) * r.trailing_zeros() as u64
+                    + r as u64 * (c as u64 / 2) * c.trailing_zeros() as u64;
+            assert_eq!(four_step, butterfly_count(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn linear_in_input() {
+        let m = Modulus::special_primes()[2];
+        let n = 64;
+        let plan = FourStepNtt::new(&m, n).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
+        let mut doubled = a.clone();
+        for x in doubled.iter_mut() {
+            *x = m.add(*x, *x);
+        }
+        let mut fa = a.clone();
+        plan.forward(&mut fa);
+        let mut fd = doubled;
+        plan.forward(&mut fd);
+        for i in 0..n {
+            assert_eq!(fd[i], m.add(fa[i], fa[i]));
+        }
+    }
+}

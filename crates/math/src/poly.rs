@@ -1,0 +1,168 @@
+//! Plain (single-modulus) negacyclic polynomial helpers.
+//!
+//! These are the reference oracles the NTT/RNS fast paths are validated
+//! against, plus the coefficient-domain automorphism used by `Subs` (§II-D).
+
+use crate::reduce::{add_mod, mul_mod, neg_mod, sub_mod};
+
+/// Schoolbook negacyclic product in `Z_q[X]/(X^n + 1)`. `O(n^2)`; test
+/// oracle only.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+pub fn negacyclic_mul_schoolbook(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = mul_mod(a[i], b[j], q);
+            let k = i + j;
+            if k < n {
+                out[k] = add_mod(out[k], prod, q);
+            } else {
+                out[k - n] = sub_mod(out[k - n], prod, q);
+            }
+        }
+    }
+    out
+}
+
+/// Applies the automorphism `τ_r : X -> X^r` to a coefficient vector in
+/// `Z_q[X]/(X^n + 1)`. `r` must be odd (a unit of `Z_{2n}`).
+///
+/// Coefficient `a_i X^i` maps to `±a_i X^{ir mod n}` with the sign flipping
+/// whenever `ir mod 2n >= n` (because `X^n = -1`).
+///
+/// # Panics
+/// Panics if `r` is even or `n` is not a power of two.
+pub fn automorphism(a: &[u64], r: usize, q: u64) -> Vec<u64> {
+    let n = a.len();
+    assert!(n.is_power_of_two());
+    assert!(r % 2 == 1, "automorphism exponent must be odd");
+    let two_n = 2 * n;
+    let mut out = vec![0u64; n];
+    for (i, &c) in a.iter().enumerate() {
+        let e = (i * r) % two_n;
+        if e < n {
+            out[e] = c;
+        } else {
+            out[e - n] = neg_mod(c, q);
+        }
+    }
+    out
+}
+
+/// The automorphism index map: for each output slot, the input slot and
+/// sign it draws from. Hardware automorphism units (ARK's AutoU, reused by
+/// IVE) are exactly this permutation wired up; precomputing it also speeds
+/// repeated software application.
+pub fn automorphism_map(n: usize, r: usize) -> Vec<(usize, bool)> {
+    assert!(n.is_power_of_two());
+    assert!(r % 2 == 1);
+    let two_n = 2 * n;
+    let mut map = vec![(0usize, false); n];
+    for i in 0..n {
+        let e = (i * r) % two_n;
+        if e < n {
+            map[e] = (i, false);
+        } else {
+            map[e - n] = (i, true);
+        }
+    }
+    map
+}
+
+/// Applies a precomputed automorphism map.
+pub fn apply_automorphism_map(a: &[u64], map: &[(usize, bool)], q: u64) -> Vec<u64> {
+    map.iter().map(|&(src, negate)| if negate { neg_mod(a[src], q) } else { a[src] }).collect()
+}
+
+/// Infinity norm of a vector of centered representatives modulo `q`
+/// (distance to the nearest multiple of `q`).
+pub fn inf_norm_centered(a: &[u64], q: u64) -> u64 {
+    a.iter().map(|&c| c.min(q - c % q)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u64 = (1 << 27) + (1 << 15) + 1;
+
+    #[test]
+    fn schoolbook_wraps_negacyclically() {
+        // (X^3) * (X^1) = X^4 = -1 for n = 4.
+        let mut a = vec![0u64; 4];
+        let mut b = vec![0u64; 4];
+        a[3] = 1;
+        b[1] = 1;
+        let p = negacyclic_mul_schoolbook(&a, &b, Q);
+        assert_eq!(p, vec![Q - 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn automorphism_identity() {
+        let a: Vec<u64> = (0..8).collect();
+        assert_eq!(automorphism(&a, 1, Q), a);
+    }
+
+    #[test]
+    fn automorphism_composes() {
+        // τ_r ∘ τ_s = τ_{rs mod 2n}
+        let n = 16;
+        let a: Vec<u64> = (1..=n as u64).collect();
+        let r = 5;
+        let s = 7;
+        let lhs = automorphism(&automorphism(&a, s, Q), r, Q);
+        let rhs = automorphism(&a, (r * s) % (2 * n), Q);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn automorphism_n_plus_one_negates_odd_terms() {
+        // τ_{n+1}(X^i) = X^{i(n+1)} = (-1)^i X^i — the ExpandQuery §II-A identity.
+        let n = 8;
+        let a: Vec<u64> = (1..=n as u64).collect();
+        let t = automorphism(&a, n + 1, Q);
+        for i in 0..n {
+            if i % 2 == 0 {
+                assert_eq!(t[i], a[i]);
+            } else {
+                assert_eq!(t[i], Q - a[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn automorphism_is_ring_homomorphism() {
+        // τ_r(a · b) = τ_r(a) · τ_r(b)
+        let n = 16;
+        let a: Vec<u64> = (0..n as u64).map(|i| i * i + 3).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| 7 * i + 1).collect();
+        let r = 9;
+        let lhs = automorphism(&negacyclic_mul_schoolbook(&a, &b, Q), r, Q);
+        let rhs =
+            negacyclic_mul_schoolbook(&automorphism(&a, r, Q), &automorphism(&b, r, Q), Q);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn map_matches_direct_application() {
+        let n = 32;
+        let a: Vec<u64> = (0..n as u64).map(|i| i * 31 % Q).collect();
+        for r in [3usize, 5, 17, 33, 63] {
+            let map = automorphism_map(n, r);
+            assert_eq!(apply_automorphism_map(&a, &map, Q), automorphism(&a, r, Q));
+        }
+    }
+
+    #[test]
+    fn inf_norm_centers() {
+        assert_eq!(inf_norm_centered(&[0, 1, Q - 1], Q), 1);
+        assert_eq!(inf_norm_centered(&[], Q), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic primality testing and NTT-friendly prime search.
+
+use crate::reduce::{mul_mod, pow_mod};
+
+/// Deterministic Miller–Rabin for `u64` (the standard 12-witness set).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n % p == 0 {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Finds the largest prime `< 2^bits` with `q ≡ 1 (mod 2n)`, scanning
+/// downward. Used to build alternative RNS bases in tests and ablations.
+pub fn find_ntt_prime_below(bits: u32, n: usize) -> Option<u64> {
+    assert!(bits >= 4 && bits <= 62);
+    let step = 2 * n as u64;
+    let top = 1u64 << bits;
+    let mut cand = top - (top % step) + 1;
+    while cand >= top {
+        cand -= step;
+    }
+    while cand > step {
+        if is_prime(cand) {
+            return Some(cand);
+        }
+        cand -= step;
+    }
+    None
+}
+
+/// Finds `count` distinct NTT-friendly primes just below `2^bits`.
+pub fn find_ntt_primes(bits: u32, n: usize, count: usize) -> Vec<u64> {
+    let step = 2 * n as u64;
+    let mut out = Vec::with_capacity(count);
+    let mut cand = match find_ntt_prime_below(bits, n) {
+        Some(c) => c,
+        None => return out,
+    };
+    while out.len() < count && cand > step {
+        if is_prime(cand) {
+            out.push(cand);
+        }
+        cand -= step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes = [2u64, 3, 5, 7, 97, 65537];
+        let composites = [0u64, 1, 4, 9, 91, 65536, 6700417 * 3];
+        for p in primes {
+            assert!(is_prime(p), "{p}");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn paper_primes_are_prime() {
+        for k in [15u32, 17, 21, 22] {
+            assert!(is_prime((1 << 27) + (1 << k) + 1));
+        }
+    }
+
+    #[test]
+    fn found_primes_are_ntt_friendly() {
+        let ps = find_ntt_primes(28, 4096, 3);
+        assert_eq!(ps.len(), 3);
+        for p in ps {
+            assert!(is_prime(p));
+            assert_eq!((p - 1) % 8192, 0);
+            assert!(p < (1 << 28));
+        }
+    }
+
+    #[test]
+    fn carmichael_rejected() {
+        // 561 = 3·11·17 is a Carmichael number.
+        assert!(!is_prime(561));
+        assert!(!is_prime(1729));
+    }
+}

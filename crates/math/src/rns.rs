@@ -1,0 +1,725 @@
+//! Residue number system: CRT/iCRT (Eqs. 2–3) and the RNS polynomial.
+//!
+//! With RNS, a polynomial in `R_Q` becomes a `k × N` matrix of word-sized
+//! residues (the paper's `4 × N` 28-bit structure, §II-B). Additions and
+//! multiplications act independently per residue row; `iCRT` reconstructs
+//! wide coefficients for gadget decomposition (Fig. 3) and decoding.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::gadget::Gadget;
+use crate::modulus::Modulus;
+use crate::ntt::NttTable;
+use crate::poly;
+use crate::{MathError, log2_exact};
+
+/// An RNS basis `Q = q_0 q_1 ... q_{k-1}` with iCRT precomputations.
+#[derive(Debug, Clone)]
+pub struct RnsBasis {
+    moduli: Vec<Modulus>,
+    q_big: u128,
+    /// `Q / q_i`.
+    qi_hat: Vec<u128>,
+    /// `(Q / q_i)^{-1} mod q_i`.
+    qi_hat_inv: Vec<u64>,
+}
+
+impl RnsBasis {
+    /// Builds a basis from distinct primes whose product stays below
+    /// `2^120` (leaving headroom for the iCRT accumulation in `u128`).
+    ///
+    /// # Errors
+    /// Fails on an empty basis, duplicate moduli, or an oversized product.
+    pub fn new(moduli: Vec<Modulus>) -> Result<Self, MathError> {
+        if moduli.is_empty() {
+            return Err(MathError::InvalidBasis("empty basis".into()));
+        }
+        if moduli.len() > 8 {
+            return Err(MathError::InvalidBasis("more than 8 moduli unsupported".into()));
+        }
+        for (i, a) in moduli.iter().enumerate() {
+            for b in &moduli[i + 1..] {
+                if a.value() == b.value() {
+                    return Err(MathError::InvalidBasis(format!(
+                        "duplicate modulus {}",
+                        a.value()
+                    )));
+                }
+            }
+        }
+        let mut q_big: u128 = 1;
+        for m in &moduli {
+            q_big = q_big.checked_mul(m.value() as u128).ok_or_else(|| {
+                MathError::InvalidBasis("modulus product overflows u128".into())
+            })?;
+        }
+        if q_big >= (1u128 << 120) {
+            return Err(MathError::InvalidBasis("modulus product exceeds 2^120".into()));
+        }
+        let qi_hat: Vec<u128> = moduli.iter().map(|m| q_big / m.value() as u128).collect();
+        let qi_hat_inv: Vec<u64> = moduli
+            .iter()
+            .zip(&qi_hat)
+            .map(|(m, &hat)| {
+                let hat_mod = m.reduce_u128(hat);
+                m.inv(hat_mod)
+            })
+            .collect();
+        Ok(RnsBasis { moduli, q_big, qi_hat, qi_hat_inv })
+    }
+
+    /// The paper's basis: four Solinas primes, `Q` = 109 bits (Table I).
+    pub fn paper_basis() -> Self {
+        RnsBasis::new(Modulus::special_primes().to_vec()).expect("paper basis is valid")
+    }
+
+    /// The moduli `q_i`.
+    #[inline]
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// Number of residues `k`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// Whether the basis is empty (never true for a constructed basis).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// The product `Q`.
+    #[inline]
+    pub fn q_big(&self) -> u128 {
+        self.q_big
+    }
+
+    /// CRT (Eq. 2): residues of a wide value.
+    pub fn to_residues(&self, x: u128) -> Vec<u64> {
+        self.moduli.iter().map(|m| m.reduce_u128(x)).collect()
+    }
+
+    /// iCRT (Eq. 3): reconstructs `x mod Q` from its residues.
+    ///
+    /// # Panics
+    /// Panics if `residues.len()` differs from the basis size.
+    pub fn from_residues(&self, residues: &[u64]) -> u128 {
+        assert_eq!(residues.len(), self.len());
+        let mut acc: u128 = 0;
+        for i in 0..self.len() {
+            let scaled = self.moduli[i].mul(residues[i], self.qi_hat_inv[i]);
+            acc += scaled as u128 * self.qi_hat[i] % self.q_big;
+            if acc >= self.q_big {
+                acc -= self.q_big;
+            }
+        }
+        acc
+    }
+
+    /// Residues of a signed value (e.g. centered noise).
+    pub fn signed_to_residues(&self, x: i64) -> Vec<u64> {
+        self.moduli.iter().map(|m| m.reduce_i128(x as i128)).collect()
+    }
+
+    /// Centers `x mod Q` into `(-Q/2, Q/2]`.
+    pub fn center(&self, x: u128) -> i128 {
+        if x > self.q_big / 2 {
+            x as i128 - self.q_big as i128
+        } else {
+            x as i128
+        }
+    }
+}
+
+impl PartialEq for RnsBasis {
+    fn eq(&self, other: &Self) -> bool {
+        self.moduli.iter().map(Modulus::value).eq(other.moduli.iter().map(Modulus::value))
+    }
+}
+impl Eq for RnsBasis {}
+
+/// A negacyclic ring `R_Q = Z_Q[X]/(X^N + 1)` under RNS, with NTT tables
+/// for every residue field.
+#[derive(Debug)]
+pub struct RingContext {
+    n: usize,
+    basis: RnsBasis,
+    ntt: Vec<NttTable>,
+}
+
+impl RingContext {
+    /// Builds a ring of degree `n` over `basis`.
+    ///
+    /// # Errors
+    /// Fails when `n` is not a power of two or some modulus is not
+    /// NTT-friendly at this degree.
+    pub fn new(n: usize, basis: RnsBasis) -> Result<Arc<Self>, MathError> {
+        log2_exact(n)?;
+        let ntt = basis
+            .moduli()
+            .iter()
+            .map(|m| NttTable::new(m, n))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Arc::new(RingContext { n, basis, ntt }))
+    }
+
+    /// The paper's ring: `N = 2^12` over the four special primes.
+    pub fn paper_ring() -> Arc<Self> {
+        RingContext::new(1 << 12, RnsBasis::paper_basis()).expect("paper ring is valid")
+    }
+
+    /// A small ring for fast tests: degree `n` over the first `k` special
+    /// primes.
+    ///
+    /// # Panics
+    /// Panics if `k` is 0 or greater than 4, or `n` unsupported.
+    pub fn test_ring(n: usize, k: usize) -> Arc<Self> {
+        assert!((1..=4).contains(&k));
+        let basis = RnsBasis::new(Modulus::special_primes()[..k].to_vec()).unwrap();
+        RingContext::new(n, basis).unwrap()
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The RNS basis.
+    #[inline]
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+
+    /// NTT table for residue `m`.
+    #[inline]
+    pub fn ntt(&self, m: usize) -> &NttTable {
+        &self.ntt[m]
+    }
+
+    /// Bytes of one `R_Q` polynomial in its hardware layout: residues are
+    /// packed at their native width (28 bits for the special primes),
+    /// giving the paper's 56KB figure for `N = 2^12` with four residues
+    /// (§II-B).
+    pub fn poly_bytes(&self) -> usize {
+        let bits: usize =
+            self.basis.moduli().iter().map(|m| self.n * m.bits() as usize).sum();
+        bits.div_ceil(8)
+    }
+}
+
+impl PartialEq for RingContext {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.basis == other.basis
+    }
+}
+
+/// Representation form of an [`RnsPoly`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Form {
+    /// Coefficient (positional) representation.
+    Coeff,
+    /// Transform (NTT/evaluation) representation.
+    Ntt,
+}
+
+/// A polynomial in `R_Q` stored residue-major (`coeffs[m * n + i]` is
+/// coefficient `i` modulo `q_m`).
+#[derive(Debug, Clone)]
+pub struct RnsPoly {
+    ctx: Arc<RingContext>,
+    form: Form,
+    coeffs: Vec<u64>,
+}
+
+impl PartialEq for RnsPoly {
+    fn eq(&self, other: &Self) -> bool {
+        self.form == other.form && self.ctx == other.ctx && self.coeffs == other.coeffs
+    }
+}
+impl Eq for RnsPoly {}
+
+impl RnsPoly {
+    /// The zero polynomial in the given form.
+    pub fn zero(ctx: &Arc<RingContext>, form: Form) -> Self {
+        RnsPoly {
+            ctx: Arc::clone(ctx),
+            form,
+            coeffs: vec![0; ctx.basis().len() * ctx.n()],
+        }
+    }
+
+    /// Builds a polynomial from wide coefficients (reduced per residue).
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != n`.
+    pub fn from_coeffs_u128(ctx: &Arc<RingContext>, coeffs: &[u128]) -> Self {
+        assert_eq!(coeffs.len(), ctx.n());
+        let mut p = RnsPoly::zero(ctx, Form::Coeff);
+        for (m, modulus) in ctx.basis().moduli().iter().enumerate() {
+            let row = &mut p.coeffs[m * ctx.n()..(m + 1) * ctx.n()];
+            for (dst, &c) in row.iter_mut().zip(coeffs) {
+                *dst = modulus.reduce_u128(c);
+            }
+        }
+        p
+    }
+
+    /// Builds a polynomial from small signed coefficients (secrets, noise).
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != n`.
+    pub fn from_signed_coeffs(ctx: &Arc<RingContext>, coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), ctx.n());
+        let mut p = RnsPoly::zero(ctx, Form::Coeff);
+        for (m, modulus) in ctx.basis().moduli().iter().enumerate() {
+            let row = &mut p.coeffs[m * ctx.n()..(m + 1) * ctx.n()];
+            for (dst, &c) in row.iter_mut().zip(coeffs) {
+                *dst = modulus.reduce_i128(c as i128);
+            }
+        }
+        p
+    }
+
+    /// Uniformly random polynomial in the given form (a fresh mask `a`).
+    pub fn sample_uniform<R: Rng + ?Sized>(
+        ctx: &Arc<RingContext>,
+        form: Form,
+        rng: &mut R,
+    ) -> Self {
+        let mut p = RnsPoly::zero(ctx, form);
+        for (m, modulus) in ctx.basis().moduli().iter().enumerate() {
+            let row = &mut p.coeffs[m * ctx.n()..(m + 1) * ctx.n()];
+            for dst in row.iter_mut() {
+                *dst = rng.gen_range(0..modulus.value());
+            }
+        }
+        p
+    }
+
+    /// Centered-binomial noise polynomial with parameter `eta`
+    /// (variance `eta / 2`), in coefficient form.
+    pub fn sample_cbd<R: Rng + ?Sized>(
+        ctx: &Arc<RingContext>,
+        eta: u32,
+        rng: &mut R,
+    ) -> Self {
+        let n = ctx.n();
+        let mut signed = vec![0i64; n];
+        for s in signed.iter_mut() {
+            let mut acc = 0i64;
+            for _ in 0..eta {
+                acc += rng.gen_range(0..2) as i64;
+                acc -= rng.gen_range(0..2) as i64;
+            }
+            *s = acc;
+        }
+        RnsPoly::from_signed_coeffs(ctx, &signed)
+    }
+
+    /// Uniform ternary polynomial (secret-key distribution), coefficient
+    /// form.
+    pub fn sample_ternary<R: Rng + ?Sized>(ctx: &Arc<RingContext>, rng: &mut R) -> Self {
+        let n = ctx.n();
+        let signed: Vec<i64> = (0..n).map(|_| rng.gen_range(-1i64..=1)).collect();
+        RnsPoly::from_signed_coeffs(ctx, &signed)
+    }
+
+    /// The ring this polynomial lives in.
+    #[inline]
+    pub fn ctx(&self) -> &Arc<RingContext> {
+        &self.ctx
+    }
+
+    /// Current representation form.
+    #[inline]
+    pub fn form(&self) -> Form {
+        self.form
+    }
+
+    /// Residue row `m` (length `n`).
+    #[inline]
+    pub fn residue(&self, m: usize) -> &[u64] {
+        &self.coeffs[m * self.ctx.n()..(m + 1) * self.ctx.n()]
+    }
+
+    /// Mutable residue row `m`.
+    #[inline]
+    pub fn residue_mut(&mut self, m: usize) -> &mut [u64] {
+        let n = self.ctx.n();
+        &mut self.coeffs[m * n..(m + 1) * n]
+    }
+
+    /// Raw residue-major storage.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Converts to NTT form (no-op when already there).
+    pub fn to_ntt(&mut self) {
+        if self.form == Form::Ntt {
+            return;
+        }
+        let n = self.ctx.n();
+        let ctx = Arc::clone(&self.ctx);
+        for m in 0..ctx.basis().len() {
+            ctx.ntt(m).forward(&mut self.coeffs[m * n..(m + 1) * n]);
+        }
+        crate::metrics::count_residue_ntts(ctx.basis().len() as u64);
+        self.form = Form::Ntt;
+    }
+
+    /// Converts to coefficient form (no-op when already there).
+    pub fn to_coeff(&mut self) {
+        if self.form == Form::Coeff {
+            return;
+        }
+        let n = self.ctx.n();
+        let ctx = Arc::clone(&self.ctx);
+        for m in 0..ctx.basis().len() {
+            ctx.ntt(m).inverse(&mut self.coeffs[m * n..(m + 1) * n]);
+        }
+        crate::metrics::count_residue_ntts(ctx.basis().len() as u64);
+        self.form = Form::Coeff;
+    }
+
+    fn check_compatible(&self, other: &Self) -> Result<(), MathError> {
+        if self.ctx != other.ctx {
+            return Err(MathError::FormMismatch("operands from different rings"));
+        }
+        if self.form != other.form {
+            return Err(MathError::FormMismatch("operands in different forms"));
+        }
+        Ok(())
+    }
+
+    /// `self += other` (element-wise; both operands in the same form).
+    ///
+    /// # Errors
+    /// Fails on ring or form mismatch.
+    pub fn add_assign(&mut self, other: &Self) -> Result<(), MathError> {
+        self.check_compatible(other)?;
+        let n = self.ctx.n();
+        for (m, modulus) in self.ctx.basis().moduli().iter().enumerate() {
+            let q = modulus.value();
+            let a = &mut self.coeffs[m * n..(m + 1) * n];
+            let b = &other.coeffs[m * n..(m + 1) * n];
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = crate::reduce::add_mod(*x, y, q);
+            }
+        }
+        Ok(())
+    }
+
+    /// `self -= other`.
+    ///
+    /// # Errors
+    /// Fails on ring or form mismatch.
+    pub fn sub_assign(&mut self, other: &Self) -> Result<(), MathError> {
+        self.check_compatible(other)?;
+        let n = self.ctx.n();
+        for (m, modulus) in self.ctx.basis().moduli().iter().enumerate() {
+            let q = modulus.value();
+            let a = &mut self.coeffs[m * n..(m + 1) * n];
+            let b = &other.coeffs[m * n..(m + 1) * n];
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = crate::reduce::sub_mod(*x, y, q);
+            }
+        }
+        Ok(())
+    }
+
+    /// `self = -self`.
+    pub fn neg_assign(&mut self) {
+        let n = self.ctx.n();
+        for (m, modulus) in self.ctx.basis().moduli().iter().enumerate() {
+            let q = modulus.value();
+            for x in self.coeffs[m * n..(m + 1) * n].iter_mut() {
+                *x = crate::reduce::neg_mod(*x, q);
+            }
+        }
+    }
+
+    /// Pointwise product `self *= other`; both must be in NTT form.
+    ///
+    /// # Errors
+    /// Fails on ring mismatch or when either operand is in coefficient form.
+    pub fn mul_assign_pointwise(&mut self, other: &Self) -> Result<(), MathError> {
+        self.check_compatible(other)?;
+        if self.form != Form::Ntt {
+            return Err(MathError::FormMismatch("pointwise product requires NTT form"));
+        }
+        crate::metrics::count_pointwise_macs((self.ctx.basis().len() * self.ctx.n()) as u64);
+        let n = self.ctx.n();
+        for (m, modulus) in self.ctx.basis().moduli().iter().enumerate() {
+            let a = &mut self.coeffs[m * n..(m + 1) * n];
+            let b = &other.coeffs[m * n..(m + 1) * n];
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = modulus.mul(*x, y);
+            }
+        }
+        Ok(())
+    }
+
+    /// `self += a ⊙ b` (fused multiply-accumulate; all in NTT form).
+    ///
+    /// # Errors
+    /// Fails on ring mismatch or non-NTT operands.
+    pub fn fma_pointwise(&mut self, a: &Self, b: &Self) -> Result<(), MathError> {
+        self.check_compatible(a)?;
+        self.check_compatible(b)?;
+        if self.form != Form::Ntt {
+            return Err(MathError::FormMismatch("pointwise FMA requires NTT form"));
+        }
+        crate::metrics::count_pointwise_macs((self.ctx.basis().len() * self.ctx.n()) as u64);
+        let n = self.ctx.n();
+        for (m, modulus) in self.ctx.basis().moduli().iter().enumerate() {
+            let q = modulus.value();
+            let dst = m * n..(m + 1) * n;
+            for i in 0..n {
+                let prod = modulus.mul(a.coeffs[m * n + i], b.coeffs[m * n + i]);
+                let x = &mut self.coeffs[dst.start + i];
+                *x = crate::reduce::add_mod(*x, prod, q);
+            }
+        }
+        Ok(())
+    }
+
+    /// Multiplies by a wide scalar (`x *= c mod Q`), any form.
+    pub fn mul_scalar_u128(&mut self, c: u128) {
+        let n = self.ctx.n();
+        for (m, modulus) in self.ctx.basis().moduli().iter().enumerate() {
+            let cm = modulus.reduce_u128(c);
+            for x in self.coeffs[m * n..(m + 1) * n].iter_mut() {
+                *x = modulus.mul(*x, cm);
+            }
+        }
+    }
+
+    /// Applies the automorphism `X -> X^r` (coefficient form only).
+    ///
+    /// # Errors
+    /// Fails when the polynomial is in NTT form.
+    pub fn automorphism(&self, r: usize) -> Result<Self, MathError> {
+        if self.form != Form::Coeff {
+            return Err(MathError::FormMismatch("automorphism requires coefficient form"));
+        }
+        let mut out = RnsPoly::zero(&self.ctx, Form::Coeff);
+        for (m, modulus) in self.ctx.basis().moduli().iter().enumerate() {
+            let row = poly::automorphism(self.residue(m), r, modulus.value());
+            out.residue_mut(m).copy_from_slice(&row);
+        }
+        crate::metrics::count_auto_coeffs((self.ctx.basis().len() * self.ctx.n()) as u64);
+        Ok(out)
+    }
+
+    /// Reconstructs wide coefficients via iCRT (coefficient form only).
+    ///
+    /// # Errors
+    /// Fails when the polynomial is in NTT form.
+    pub fn to_coeffs_u128(&self) -> Result<Vec<u128>, MathError> {
+        if self.form != Form::Coeff {
+            return Err(MathError::FormMismatch("iCRT requires coefficient form"));
+        }
+        crate::metrics::count_icrt_coeffs(self.ctx.n() as u64);
+        let n = self.ctx.n();
+        let basis = self.ctx.basis();
+        let mut out = vec![0u128; n];
+        let mut residues = vec![0u64; basis.len()];
+        for (i, dst) in out.iter_mut().enumerate() {
+            for m in 0..basis.len() {
+                residues[m] = self.coeffs[m * n + i];
+            }
+            *dst = basis.from_residues(&residues);
+        }
+        Ok(out)
+    }
+
+    /// Gadget decomposition `Dcp` (Fig. 3): iCRT every coefficient, split
+    /// into `ell` base-`z` digits, and return `ell` polynomials in
+    /// coefficient form.
+    ///
+    /// # Errors
+    /// Fails when in NTT form or when the gadget does not cover `Q`.
+    pub fn decompose(&self, gadget: &Gadget) -> Result<Vec<RnsPoly>, MathError> {
+        gadget.check_covers(self.ctx.basis().q_big())?;
+        let wide = self.to_coeffs_u128()?;
+        let n = self.ctx.n();
+        let basis = self.ctx.basis();
+        let mut out: Vec<RnsPoly> =
+            (0..gadget.ell()).map(|_| RnsPoly::zero(&self.ctx, Form::Coeff)).collect();
+        for (i, &c) in wide.iter().enumerate() {
+            for j in 0..gadget.ell() {
+                let d = gadget.digit(c, j);
+                for (m, modulus) in basis.moduli().iter().enumerate() {
+                    out[j].coeffs[m * n + i] =
+                        if d < modulus.value() { d } else { d % modulus.value() };
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Infinity norm of the centered wide coefficients (coefficient form).
+    ///
+    /// # Errors
+    /// Fails when the polynomial is in NTT form.
+    pub fn inf_norm(&self) -> Result<u128, MathError> {
+        let wide = self.to_coeffs_u128()?;
+        let q = self.ctx.basis().q_big();
+        Ok(wide.iter().map(|&c| c.min(q - c)).max().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx() -> Arc<RingContext> {
+        RingContext::test_ring(64, 3)
+    }
+
+    #[test]
+    fn crt_icrt_roundtrip() {
+        let basis = RnsBasis::paper_basis();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let x = rng.gen::<u128>() % basis.q_big();
+            let rs = basis.to_residues(x);
+            assert_eq!(basis.from_residues(&rs), x);
+        }
+        assert_eq!(basis.from_residues(&basis.to_residues(0)), 0);
+        assert_eq!(
+            basis.from_residues(&basis.to_residues(basis.q_big() - 1)),
+            basis.q_big() - 1
+        );
+    }
+
+    #[test]
+    fn signed_residues_center_correctly() {
+        let basis = RnsBasis::paper_basis();
+        let rs = basis.signed_to_residues(-5);
+        let x = basis.from_residues(&rs);
+        assert_eq!(basis.center(x), -5);
+    }
+
+    #[test]
+    fn duplicate_moduli_rejected() {
+        let m = Modulus::special_primes()[0];
+        assert!(RnsBasis::new(vec![m, m]).is_err());
+    }
+
+    #[test]
+    fn poly_add_sub_neg() {
+        let ctx = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let a = RnsPoly::sample_uniform(&ctx, Form::Coeff, &mut rng);
+        let b = RnsPoly::sample_uniform(&ctx, Form::Coeff, &mut rng);
+        let mut s = a.clone();
+        s.add_assign(&b).unwrap();
+        s.sub_assign(&b).unwrap();
+        assert_eq!(s, a);
+        let mut n = a.clone();
+        n.neg_assign();
+        n.add_assign(&a).unwrap();
+        assert_eq!(n, RnsPoly::zero(&ctx, Form::Coeff));
+    }
+
+    #[test]
+    fn ntt_pointwise_matches_wide_schoolbook() {
+        let ctx = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let a = RnsPoly::sample_uniform(&ctx, Form::Coeff, &mut rng);
+        let b = RnsPoly::sample_uniform(&ctx, Form::Coeff, &mut rng);
+        // Fast path.
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fa.to_ntt();
+        fb.to_ntt();
+        fa.mul_assign_pointwise(&fb).unwrap();
+        fa.to_coeff();
+        // Oracle per residue.
+        for (m, modulus) in ctx.basis().moduli().iter().enumerate() {
+            let expect =
+                poly::negacyclic_mul_schoolbook(a.residue(m), b.residue(m), modulus.value());
+            assert_eq!(fa.residue(m), &expect[..], "residue {m}");
+        }
+    }
+
+    #[test]
+    fn form_mismatch_rejected() {
+        let ctx = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let a = RnsPoly::sample_uniform(&ctx, Form::Coeff, &mut rng);
+        let mut b = RnsPoly::sample_uniform(&ctx, Form::Coeff, &mut rng);
+        b.to_ntt();
+        let mut c = a.clone();
+        assert!(c.add_assign(&b).is_err());
+        assert!(c.clone().mul_assign_pointwise(&a).is_err());
+        assert!(b.automorphism(3).is_err());
+    }
+
+    #[test]
+    fn decompose_recomposes_via_gadget_powers() {
+        let ctx = ctx();
+        let gadget = Gadget::for_modulus(ctx.basis().q_big(), 14);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        let a = RnsPoly::sample_uniform(&ctx, Form::Coeff, &mut rng);
+        let digits = a.decompose(&gadget).unwrap();
+        assert_eq!(digits.len(), gadget.ell());
+        // Σ_j digit_j · z^j == a  (mod Q), coefficient-wise.
+        let mut acc = RnsPoly::zero(&ctx, Form::Coeff);
+        for (j, d) in digits.iter().enumerate() {
+            let mut term = d.clone();
+            term.mul_scalar_u128(1u128 << (14 * j));
+            acc.add_assign(&term).unwrap();
+        }
+        assert_eq!(acc, a);
+    }
+
+    #[test]
+    fn scalar_mul_matches_wide() {
+        let ctx = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+        let a = RnsPoly::sample_uniform(&ctx, Form::Coeff, &mut rng);
+        let c: u128 = 0xDEAD_BEEF_1234;
+        let mut fast = a.clone();
+        fast.mul_scalar_u128(c);
+        let wide = a.to_coeffs_u128().unwrap();
+        let q = ctx.basis().q_big();
+        let expect: Vec<u128> = wide.iter().map(|&x| {
+            let (hi, lo) = crate::wide::mul_u128(x, c);
+            crate::wide::div_rem_wide(hi, lo, q).1
+        }).collect();
+        assert_eq!(fast.to_coeffs_u128().unwrap(), expect);
+    }
+
+    #[test]
+    fn fma_pointwise_accumulates() {
+        let ctx = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut a = RnsPoly::sample_uniform(&ctx, Form::Ntt, &mut rng);
+        let b = RnsPoly::sample_uniform(&ctx, Form::Ntt, &mut rng);
+        let acc0 = RnsPoly::sample_uniform(&ctx, Form::Ntt, &mut rng);
+        let mut acc = acc0.clone();
+        acc.fma_pointwise(&a, &b).unwrap();
+        a.mul_assign_pointwise(&b).unwrap();
+        let mut expect = acc0;
+        expect.add_assign(&a).unwrap();
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn poly_bytes_matches_paper() {
+        // 56KB per R_Q polynomial when N = 2^12 with 4 residues (§II-B).
+        let ring = RingContext::paper_ring();
+        assert_eq!(ring.poly_bytes(), 56 * 1024);
+    }
+}

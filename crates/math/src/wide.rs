@@ -1,0 +1,107 @@
+//! Minimal 256-bit helpers for exact scale-and-round operations.
+//!
+//! BFV decoding computes `round(c · P / Q)` where `c < Q < 2^112` and
+//! `P = 2^32`, whose intermediate product exceeds 128 bits. These helpers
+//! provide the exact wide multiply/divide needed, with no external bignum
+//! dependency.
+
+/// Full 256-bit product of two `u128` values, returned as `(hi, lo)`.
+pub fn mul_u128(a: u128, b: u128) -> (u128, u128) {
+    let (a1, a0) = ((a >> 64) as u64, a as u64);
+    let (b1, b0) = ((b >> 64) as u64, b as u64);
+    let p00 = a0 as u128 * b0 as u128;
+    let p01 = a0 as u128 * b1 as u128;
+    let p10 = a1 as u128 * b0 as u128;
+    let p11 = a1 as u128 * b1 as u128;
+    let mid = (p00 >> 64) + (p01 & 0xFFFF_FFFF_FFFF_FFFF) + (p10 & 0xFFFF_FFFF_FFFF_FFFF);
+    let lo = (p00 & 0xFFFF_FFFF_FFFF_FFFF) | (mid << 64);
+    let hi = p11 + (p01 >> 64) + (p10 >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
+/// Divides the 256-bit value `(hi, lo)` by `d`, returning
+/// `(quotient, remainder)`.
+///
+/// # Panics
+/// Panics if `d == 0`, if `d >= 2^127` (unsupported), or if the quotient
+/// would not fit in a `u128` (i.e. `hi >= d`).
+pub fn div_rem_wide(hi: u128, lo: u128, d: u128) -> (u128, u128) {
+    assert!(d > 0, "division by zero");
+    assert!(d < (1u128 << 127), "divisor too large");
+    assert!(hi < d, "quotient overflow");
+    let mut rem = hi;
+    let mut quot = 0u128;
+    for i in (0..128).rev() {
+        rem = (rem << 1) | ((lo >> i) & 1);
+        if rem >= d {
+            rem -= d;
+            quot |= 1u128 << i;
+        }
+    }
+    (quot, rem)
+}
+
+/// Computes `round(a * b / d)` exactly.
+///
+/// # Panics
+/// Panics under the same conditions as [`div_rem_wide`].
+pub fn mul_div_round(a: u128, b: u128, d: u128) -> u128 {
+    let (hi, lo) = mul_u128(a, b);
+    let (q, r) = div_rem_wide(hi, lo, d);
+    if 2 * r >= d {
+        q + 1
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_small_matches_native() {
+        for (a, b) in [(0u128, 0u128), (1, u64::MAX as u128), (12345, 67890)] {
+            let (hi, lo) = mul_u128(a, b);
+            assert_eq!(hi, 0);
+            assert_eq!(lo, a * b);
+        }
+    }
+
+    #[test]
+    fn mul_max() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let (hi, lo) = mul_u128(u128::MAX, u128::MAX);
+        assert_eq!(lo, 1);
+        assert_eq!(hi, u128::MAX - 1);
+    }
+
+    #[test]
+    fn div_roundtrip() {
+        let a: u128 = (1 << 109) - 12345;
+        let b: u128 = 1 << 32;
+        let d: u128 = (1 << 109) - 7;
+        let (hi, lo) = mul_u128(a, b);
+        let (q, r) = div_rem_wide(hi, lo, d);
+        // Verify q*d + r == a*b.
+        let (vh, vl) = mul_u128(q, d);
+        let (sum_lo, carry) = vl.overflowing_add(r);
+        let sum_hi = vh + u128::from(carry);
+        assert_eq!((sum_hi, sum_lo), (hi, lo));
+        assert!(r < d);
+    }
+
+    #[test]
+    fn rounding_behaviour() {
+        assert_eq!(mul_div_round(7, 1, 2), 4); // 3.5 rounds up
+        assert_eq!(mul_div_round(5, 1, 2), 3); // 2.5 rounds up
+        assert_eq!(mul_div_round(4, 1, 3), 1); // 1.33 rounds down
+        assert_eq!(mul_div_round(0, 99, 17), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quotient overflow")]
+    fn overflowing_quotient_panics() {
+        let _ = div_rem_wide(10, 0, 5);
+    }
+}

@@ -1,0 +1,212 @@
+//! The PIR client: key generation, query construction, response decoding.
+
+use rand::Rng;
+
+use ive_he::{BfvCiphertext, HeParams, Plaintext, RgswCiphertext, SecretKey, SubsKey};
+use ive_math::wide;
+
+use crate::db::plaintext_to_bytes;
+use crate::expand::expansion_exponents;
+use crate::params::PirParams;
+use crate::PirError;
+
+/// The client-specific public material held by the server: one `evk_r` per
+/// `ExpandQuery` depth (§II-A — "up to log N evks in total").
+#[derive(Debug, Clone)]
+pub struct ClientKeys {
+    subs: Vec<SubsKey>,
+}
+
+impl ClientKeys {
+    /// The expansion keys, ordered by tree depth.
+    #[inline]
+    pub fn subs_keys(&self) -> &[SubsKey] {
+        &self.subs
+    }
+
+    /// Total serialized size in the packed hardware layout — the
+    /// client-specific data whose bandwidth demand motivates IVE's
+    /// scratchpad (§III-B).
+    pub fn byte_len(&self, he: &HeParams) -> usize {
+        self.subs.len() * he.evk_bytes()
+    }
+}
+
+/// A PIR query: the packed BFV ciphertext (expanded server-side into the
+/// `D0` one-hot ciphertexts) plus `d` RGSW selection bits for `ColTor`.
+///
+/// The RGSW ciphertexts are uploaded directly (Respire-style, §II-C "we
+/// need only one RGSW ciphertext directly encrypting j*" per binary
+/// dimension); DESIGN.md documents this substitution for the packed
+/// BFV→RGSW conversion.
+#[derive(Debug, Clone)]
+pub struct PirQuery {
+    packed: BfvCiphertext,
+    row_bits: Vec<RgswCiphertext>,
+}
+
+impl PirQuery {
+    /// Reassembles a query from its parts (wire deserialization).
+    pub fn from_parts(packed: BfvCiphertext, row_bits: Vec<RgswCiphertext>) -> Self {
+        PirQuery { packed, row_bits }
+    }
+
+    /// The packed first-dimension ciphertext.
+    #[inline]
+    pub fn packed(&self) -> &BfvCiphertext {
+        &self.packed
+    }
+
+    /// The RGSW row-selection bits, LSB first.
+    #[inline]
+    pub fn row_bits(&self) -> &[RgswCiphertext] {
+        &self.row_bits
+    }
+
+    /// Serialized size in the packed hardware layout (a few MB for Table I
+    /// parameters — the per-query PCIe payload of §VI-C).
+    pub fn byte_len(&self, he: &HeParams) -> usize {
+        he.ct_bytes() + self.row_bits.len() * he.rgsw_bytes()
+    }
+}
+
+/// A PIR client owning a secret key.
+#[derive(Debug)]
+pub struct PirClient<R: Rng> {
+    params: PirParams,
+    sk: SecretKey,
+    keys: ClientKeys,
+    rng: R,
+}
+
+impl<R: Rng> PirClient<R> {
+    /// Generates a fresh secret key and the expansion keys for the given
+    /// geometry.
+    ///
+    /// # Errors
+    /// Currently infallible for valid [`PirParams`]; returns `Result` for
+    /// forward compatibility with externally supplied randomness.
+    pub fn new(params: &PirParams, mut rng: R) -> Result<Self, PirError> {
+        let he = params.he();
+        let sk = SecretKey::generate(he, &mut rng);
+        let subs = expansion_exponents(he.n(), params.log_d0())
+            .into_iter()
+            .map(|r| SubsKey::generate(he, &sk, r, &mut rng))
+            .collect();
+        Ok(PirClient { params: params.clone(), sk, keys: ClientKeys { subs }, rng })
+    }
+
+    /// The public evaluation keys to register with the server.
+    #[inline]
+    pub fn public_keys(&self) -> &ClientKeys {
+        &self.keys
+    }
+
+    /// The scheme parameters.
+    #[inline]
+    pub fn params(&self) -> &PirParams {
+        &self.params
+    }
+
+    /// Builds the query for record `index`.
+    ///
+    /// # Errors
+    /// Fails when `index` is out of range.
+    pub fn query(&mut self, index: usize) -> Result<PirQuery, PirError> {
+        if index >= self.params.num_records() {
+            return Err(PirError::IndexOutOfRange {
+                index,
+                records: self.params.num_records(),
+            });
+        }
+        let he = self.params.he();
+        let (row, col) = self.params.split_index(index);
+
+        // Packed one-hot X^{col}, pre-scaled by Δ·2^{-log D0} mod Q so the
+        // doubling per expansion level cancels (§II-A).
+        let m = Plaintext::monomial(he, col, 1)?;
+        let q = he.q_big();
+        let inv = he.inv_two_pow(self.params.log_d0());
+        let (hi, lo) = wide::mul_u128(he.delta(), inv);
+        let scale = wide::div_rem_wide(hi, lo, q).1;
+        let packed = BfvCiphertext::encrypt_scaled(he, &self.sk, &m, scale, &mut self.rng);
+
+        // RGSW bits of the row index, LSB first (one per binary dimension).
+        let row_bits = (0..self.params.dims())
+            .map(|t| {
+                let bit = (row >> t) & 1 == 1;
+                RgswCiphertext::encrypt_bit(he, &self.sk, bit, &mut self.rng)
+            })
+            .collect();
+        Ok(PirQuery { packed, row_bits })
+    }
+
+    /// Decrypts a server response into the padded record payload
+    /// ([`PirParams::record_bytes`] bytes).
+    ///
+    /// # Errors
+    /// Currently infallible; kept fallible for API stability.
+    pub fn decode(
+        &self,
+        _query: &PirQuery,
+        response: &BfvCiphertext,
+    ) -> Result<Vec<u8>, PirError> {
+        let he = self.params.he();
+        let pt = response.decrypt(he, &self.sk);
+        Ok(plaintext_to_bytes(he, &pt))
+    }
+
+    /// Decodes a modulus-switched (compressed) response.
+    ///
+    /// # Errors
+    /// Currently infallible; kept fallible for API stability.
+    pub fn decode_compressed(
+        &self,
+        _query: &PirQuery,
+        response: &ive_he::modswitch::SwitchedCiphertext,
+    ) -> Result<Vec<u8>, PirError> {
+        let he = self.params.he();
+        let pt = ive_he::modswitch::decrypt_switched(he, &self.sk, response);
+        Ok(plaintext_to_bytes(he, &pt))
+    }
+
+    /// The secret key (tests and noise diagnostics only).
+    #[doc(hidden)]
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.sk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn query_shapes() {
+        let params = PirParams::toy();
+        let mut client =
+            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(61)).unwrap();
+        let q = client.query(13).unwrap();
+        assert_eq!(q.row_bits().len(), params.dims() as usize);
+        assert_eq!(client.public_keys().subs_keys().len(), params.log_d0() as usize);
+        let he = params.he();
+        assert_eq!(
+            q.byte_len(he),
+            he.ct_bytes() + params.dims() as usize * he.rgsw_bytes()
+        );
+        assert_eq!(
+            client.public_keys().byte_len(he),
+            params.log_d0() as usize * he.evk_bytes()
+        );
+    }
+
+    #[test]
+    fn out_of_range_query_rejected() {
+        let params = PirParams::toy();
+        let mut client =
+            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(62)).unwrap();
+        let err = client.query(params.num_records()).unwrap_err();
+        assert!(matches!(err, PirError::IndexOutOfRange { .. }));
+    }
+}

@@ -1,0 +1,225 @@
+//! `ColTor` — the column tournament over RGSW external products (§II-C).
+//!
+//! After `RowSel`, `2^d` ciphertexts remain; each tournament level `t`
+//! halves them with the CMux `sel_t ⊡ (X − Y) + Y`, where `X`/`Y` are the
+//! entries whose row-index bit `t` is 1/0 and `sel_t` is the RGSW
+//! encryption of bit `t` of the target row.
+//!
+//! Three traversal orders are provided — BFS, DFS, and the paper's
+//! hierarchical search (HS, Fig. 7) — which perform *identical arithmetic*
+//! (same CMux on the same operands) in different orders, so their outputs
+//! are bit-identical; they differ only in working-set behaviour, which the
+//! accelerator model in `ive-accel` charges for (Fig. 8).
+
+use ive_he::{BfvCiphertext, HeParams, RgswCiphertext};
+
+use crate::PirError;
+
+/// Traversal order for the tournament.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TournamentOrder {
+    /// Level-by-level (Fig. 7a): maximal `ct_RGSW` reuse, maximal
+    /// intermediate traffic.
+    Bfs,
+    /// Depth-first (Fig. 7b): minimal intermediate traffic, poor
+    /// `ct_RGSW` reuse.
+    Dfs,
+    /// Hierarchical search (Fig. 7c) with the given subtree depth:
+    /// DFS within subtrees whose working set fits on-chip.
+    Hs {
+        /// Levels folded per subtree pass.
+        subtree_depth: u32,
+    },
+}
+
+/// Runs the tournament, consuming `entries` (length must be `2^d` with
+/// `d == sel_bits.len()`), and returns the single surviving ciphertext.
+///
+/// `sel_bits[t]` encrypts bit `t` of the target row index.
+///
+/// # Errors
+/// Fails when the entry count is not a power of two matching the number of
+/// selection bits.
+pub fn col_tor(
+    he: &HeParams,
+    entries: Vec<BfvCiphertext>,
+    sel_bits: &[RgswCiphertext],
+    order: TournamentOrder,
+) -> Result<BfvCiphertext, PirError> {
+    if entries.is_empty() || !entries.len().is_power_of_two() {
+        return Err(PirError::InvalidParams(format!(
+            "tournament over {} entries (need a power of two)",
+            entries.len()
+        )));
+    }
+    let d = entries.len().trailing_zeros() as usize;
+    if sel_bits.len() < d {
+        return Err(PirError::MissingKeys { got: sel_bits.len(), need: d });
+    }
+    match order {
+        TournamentOrder::Bfs => col_tor_bfs(he, entries, sel_bits),
+        TournamentOrder::Dfs => col_tor_dfs(he, &entries, sel_bits),
+        TournamentOrder::Hs { subtree_depth } => {
+            col_tor_hs(he, entries, sel_bits, subtree_depth.max(1))
+        }
+    }
+}
+
+/// One tournament node: `sel ⊡ (x − y) + y` (picks `x` when the bit is 1).
+fn node(
+    he: &HeParams,
+    sel: &RgswCiphertext,
+    x: &BfvCiphertext,
+    y: &BfvCiphertext,
+) -> Result<BfvCiphertext, PirError> {
+    Ok(sel.cmux(he, x, y)?)
+}
+
+fn col_tor_bfs(
+    he: &HeParams,
+    mut entries: Vec<BfvCiphertext>,
+    sel_bits: &[RgswCiphertext],
+) -> Result<BfvCiphertext, PirError> {
+    let d = entries.len().trailing_zeros() as usize;
+    for (t, sel) in sel_bits.iter().enumerate().take(d) {
+        let s = 1usize << t;
+        let pairs = entries.len() >> (t + 1);
+        for j in 0..pairs {
+            let lo = 2 * s * j;
+            let hi = lo + s;
+            let z = node(he, sel, &entries[hi], &entries[lo])?;
+            entries[lo] = z;
+        }
+    }
+    Ok(entries.swap_remove(0))
+}
+
+fn col_tor_dfs(
+    he: &HeParams,
+    entries: &[BfvCiphertext],
+    sel_bits: &[RgswCiphertext],
+) -> Result<BfvCiphertext, PirError> {
+    if entries.len() == 1 {
+        return Ok(entries[0].clone());
+    }
+    let mid = entries.len() / 2;
+    let bit = entries.len().trailing_zeros() as usize - 1;
+    let lo = col_tor_dfs(he, &entries[..mid], sel_bits)?;
+    let hi = col_tor_dfs(he, &entries[mid..], sel_bits)?;
+    node(he, &sel_bits[bit], &hi, &lo)
+}
+
+fn col_tor_hs(
+    he: &HeParams,
+    entries: Vec<BfvCiphertext>,
+    sel_bits: &[RgswCiphertext],
+    subtree_depth: u32,
+) -> Result<BfvCiphertext, PirError> {
+    if entries.len() == 1 {
+        return Ok(entries.into_iter().next().expect("non-empty"));
+    }
+    let d = entries.len().trailing_zeros();
+    let fold = subtree_depth.min(d) as usize;
+    let width = 1usize << fold;
+    // Reduce each subtree of `width` adjacent entries with DFS (Fig. 7c),
+    // consuming the low `fold` selection bits.
+    let mut next = Vec::with_capacity(entries.len() / width);
+    for group in entries.chunks(width) {
+        next.push(col_tor_dfs(he, group, &sel_bits[..fold])?);
+    }
+    col_tor_hs(he, next, &sel_bits[fold..], subtree_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ive_he::{Plaintext, SecretKey};
+    use rand::{Rng, SeedableRng};
+
+    fn setup(
+        d: usize,
+    ) -> (ive_he::HeParams, SecretKey, Vec<BfvCiphertext>, Vec<Plaintext>, rand::rngs::StdRng)
+    {
+        let he = ive_he::HeParams::toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(d as u64 + 100);
+        let sk = SecretKey::generate(&he, &mut rng);
+        let mut cts = Vec::new();
+        let mut msgs = Vec::new();
+        for _ in 0..1 << d {
+            let vals: Vec<u64> = (0..he.n()).map(|_| rng.gen_range(0..he.p())).collect();
+            let m = Plaintext::new(&he, vals).unwrap();
+            cts.push(BfvCiphertext::encrypt(&he, &sk, &m, &mut rng));
+            msgs.push(m);
+        }
+        (he, sk, cts, msgs, rng)
+    }
+
+    fn bits_of(row: usize, d: usize) -> Vec<bool> {
+        (0..d).map(|t| (row >> t) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn tournament_selects_every_row_bfs() {
+        let d = 3;
+        let (he, sk, cts, msgs, mut rng) = setup(d);
+        for target in 0..1usize << d {
+            let sels: Vec<RgswCiphertext> = bits_of(target, d)
+                .iter()
+                .map(|&b| RgswCiphertext::encrypt_bit(&he, &sk, b, &mut rng))
+                .collect();
+            let out =
+                col_tor(&he, cts.clone(), &sels, TournamentOrder::Bfs).unwrap();
+            assert_eq!(out.decrypt(&he, &sk), msgs[target], "target {target}");
+        }
+    }
+
+    #[test]
+    fn orders_produce_identical_ciphertexts() {
+        let d = 3;
+        let (he, sk, cts, _msgs, mut rng) = setup(d);
+        let target = 5;
+        let sels: Vec<RgswCiphertext> = bits_of(target, d)
+            .iter()
+            .map(|&b| RgswCiphertext::encrypt_bit(&he, &sk, b, &mut rng))
+            .collect();
+        let bfs = col_tor(&he, cts.clone(), &sels, TournamentOrder::Bfs).unwrap();
+        let dfs = col_tor(&he, cts.clone(), &sels, TournamentOrder::Dfs).unwrap();
+        for depth in 1..=3 {
+            let hs = col_tor(
+                &he,
+                cts.clone(),
+                &sels,
+                TournamentOrder::Hs { subtree_depth: depth },
+            )
+            .unwrap();
+            assert_eq!(bfs, hs, "HS depth {depth} diverged");
+        }
+        // HS reorders scheduling only; the arithmetic is identical (§IV-A:
+        // "it does not introduce any additional error growth").
+        assert_eq!(bfs, dfs);
+    }
+
+    #[test]
+    fn single_entry_passthrough() {
+        let (he, sk, cts, msgs, _) = setup(0);
+        let out = col_tor(&he, cts, &[], TournamentOrder::Dfs).unwrap();
+        assert_eq!(out.decrypt(&he, &sk), msgs[0]);
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let (he, _, mut cts, _, _) = setup(2);
+        cts.pop();
+        assert!(col_tor(&he, cts, &[], TournamentOrder::Bfs).is_err());
+    }
+
+    #[test]
+    fn missing_bits_rejected() {
+        let (he, sk, cts, _, mut rng) = setup(2);
+        let one_bit = vec![RgswCiphertext::encrypt_bit(&he, &sk, false, &mut rng)];
+        assert!(matches!(
+            col_tor(&he, cts, &one_bit, TournamentOrder::Bfs),
+            Err(PirError::MissingKeys { got: 1, need: 2 })
+        ));
+    }
+}

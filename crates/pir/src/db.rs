@@ -1,0 +1,197 @@
+//! Database packing and preprocessing (§II-B).
+//!
+//! Every record is reinterpreted as `N` chunks of `log P` bits and packed
+//! into one plaintext polynomial of `R_P` (Fig. 1-③). Preprocessing then
+//! lifts each polynomial into `R_Q` with CRT and NTT applied *offline*, so
+//! that `RowSel` becomes pure pointwise multiply-accumulate — the paper
+//! measures this preprocessing to speed PIR by more than 3.9× on CPU.
+
+use rand::Rng;
+
+use ive_he::{HeParams, Plaintext};
+use ive_math::rns::RnsPoly;
+
+use crate::params::PirParams;
+use crate::PirError;
+
+/// A preprocessed PIR database: one NTT-form `R_Q` polynomial per record,
+/// stored row-major over the `(D/D0) × D0` matrix view of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Database {
+    polys: Vec<RnsPoly>,
+    d0: usize,
+}
+
+impl Database {
+    /// Packs and preprocesses byte records.
+    ///
+    /// Records shorter than [`PirParams::record_bytes`] are zero-padded;
+    /// missing trailing records are all-zero. Supplying more records than
+    /// `D`, or a record that exceeds the capacity, is an error.
+    ///
+    /// # Errors
+    /// Returns [`PirError::RecordTooLarge`] / [`PirError::TooManyRecords`].
+    pub fn from_records(params: &PirParams, records: &[Vec<u8>]) -> Result<Self, PirError> {
+        if records.len() > params.num_records() {
+            return Err(PirError::TooManyRecords {
+                got: records.len(),
+                capacity: params.num_records(),
+            });
+        }
+        let capacity = params.record_bytes();
+        let he = params.he();
+        let mut polys = Vec::with_capacity(params.num_records());
+        for (i, rec) in records.iter().enumerate() {
+            if rec.len() > capacity {
+                return Err(PirError::RecordTooLarge { index: i, len: rec.len(), capacity });
+            }
+            polys.push(pack_record(he, rec)?);
+        }
+        while polys.len() < params.num_records() {
+            polys.push(Plaintext::zero(he).to_ntt_poly(he));
+        }
+        Ok(Database { polys, d0: params.d0() })
+    }
+
+    /// A uniformly random database (benchmarks and property tests).
+    pub fn random<R: Rng + ?Sized>(params: &PirParams, rng: &mut R) -> Self {
+        let he = params.he();
+        let polys = (0..params.num_records())
+            .map(|_| {
+                let vals: Vec<u64> =
+                    (0..he.n()).map(|_| rng.gen_range(0..he.p())).collect();
+                Plaintext::new(he, vals).expect("sampled below P").to_ntt_poly(he)
+            })
+            .collect();
+        Database { polys, d0: params.d0() }
+    }
+
+    /// Number of record polynomials.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// Whether the database holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.polys.is_empty()
+    }
+
+    /// The preprocessed polynomial of record `(row, col)`.
+    #[inline]
+    pub fn poly(&self, row: usize, col: usize) -> &RnsPoly {
+        &self.polys[row * self.d0 + col]
+    }
+
+    /// The preprocessed polynomial of flat record `index`.
+    #[inline]
+    pub fn poly_flat(&self, index: usize) -> &RnsPoly {
+        &self.polys[index]
+    }
+
+    /// First-dimension width `D0`.
+    #[inline]
+    pub fn d0(&self) -> usize {
+        self.d0
+    }
+}
+
+/// Packs one byte record into a raw (un-scaled) plaintext polynomial.
+pub(crate) fn pack_record(he: &HeParams, record: &[u8]) -> Result<RnsPoly, PirError> {
+    Ok(plaintext_from_bytes(he, record)?.to_ntt_poly(he))
+}
+
+/// Packs bytes into plaintext coefficients, `log P / 8` bytes per
+/// coefficient, little-endian.
+pub fn plaintext_from_bytes(he: &HeParams, bytes: &[u8]) -> Result<Plaintext, PirError> {
+    let chunk = he.p_bits() as usize / 8;
+    if chunk == 0 || he.p_bits() % 8 != 0 {
+        return Err(PirError::InvalidParams(format!(
+            "plaintext modulus 2^{} is not byte-aligned",
+            he.p_bits()
+        )));
+    }
+    let capacity = he.n() * chunk;
+    if bytes.len() > capacity {
+        return Err(PirError::RecordTooLarge { index: 0, len: bytes.len(), capacity });
+    }
+    let mut vals = vec![0u64; he.n()];
+    for (i, b) in bytes.iter().enumerate() {
+        vals[i / chunk] |= (*b as u64) << (8 * (i % chunk));
+    }
+    Ok(Plaintext::new(he, vals).expect("chunks below P by construction"))
+}
+
+/// Inverse of [`plaintext_from_bytes`]: recovers the byte payload of a
+/// decoded plaintext.
+pub fn plaintext_to_bytes(he: &HeParams, pt: &Plaintext) -> Vec<u8> {
+    let chunk = he.p_bits() as usize / 8;
+    let mut out = Vec::with_capacity(he.n() * chunk);
+    for &v in pt.values() {
+        for j in 0..chunk {
+            out.push(((v >> (8 * j)) & 0xFF) as u8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let params = PirParams::toy();
+        let he = params.he();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for len in [0usize, 1, 17, params.record_bytes()] {
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let pt = plaintext_from_bytes(he, &bytes).unwrap();
+            let back = plaintext_to_bytes(he, &pt);
+            assert_eq!(&back[..len], &bytes[..]);
+            assert!(back[len..].iter().all(|&b| b == 0));
+        }
+    }
+
+    #[test]
+    fn database_pads_missing_records() {
+        let params = PirParams::toy();
+        let db = Database::from_records(&params, &[b"only one".to_vec()]).unwrap();
+        assert_eq!(db.len(), params.num_records());
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let params = PirParams::toy();
+        let too_big = vec![0u8; params.record_bytes() + 1];
+        assert!(matches!(
+            Database::from_records(&params, &[too_big]),
+            Err(PirError::RecordTooLarge { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn too_many_records_rejected() {
+        let params = PirParams::toy();
+        let records = vec![vec![1u8]; params.num_records() + 1];
+        assert!(matches!(
+            Database::from_records(&params, &records),
+            Err(PirError::TooManyRecords { .. })
+        ));
+    }
+
+    #[test]
+    fn matrix_view_indexing() {
+        let params = PirParams::toy();
+        let records: Vec<Vec<u8>> =
+            (0..params.num_records()).map(|i| vec![i as u8; 4]).collect();
+        let db = Database::from_records(&params, &records).unwrap();
+        for i in 0..params.num_records() {
+            let (r, c) = params.split_index(i);
+            assert_eq!(db.poly(r, c), db.poly_flat(i));
+        }
+    }
+}

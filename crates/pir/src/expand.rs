@@ -1,0 +1,189 @@
+//! `ExpandQuery` — oblivious expansion of the packed query (§II-A, Fig. 2).
+//!
+//! From a single ciphertext encrypting `Δ·2^{-L}·X^{i*}` the server derives
+//! `D0 = 2^L` ciphertexts forming the one-hot representation of `i*`.
+//! Level `j` applies `Subs(·, N/2^j + 1)` to every ciphertext and splits it
+//! into an even branch `ct + Subs(ct)` and an odd branch
+//! `(ct − Subs(ct))·X^{-2^j}`; each level doubles the encoded value, which
+//! the client's `2^{-L}` pre-scaling cancels exactly.
+
+use ive_he::{BfvCiphertext, HeParams, SubsKey};
+use ive_math::bit_reverse;
+use ive_math::rns::{Form, RnsPoly};
+
+use crate::PirError;
+
+/// The per-depth automorphism exponents used by `ExpandQuery`:
+/// `r_j = N/2^j + 1` for `j = 0..levels` (§II-A).
+pub fn expansion_exponents(n: usize, levels: u32) -> Vec<usize> {
+    (0..levels).map(|j| n / (1usize << j) + 1).collect()
+}
+
+/// `NTT(X^{-2^j})` — the odd-branch monomial for level `j`.
+///
+/// `X^{-t} = -X^{N-t}` in the negacyclic ring.
+pub fn x_neg_pow_ntt(he: &HeParams, t: usize) -> RnsPoly {
+    let n = he.n();
+    assert!(t >= 1 && t < n);
+    let mut p = RnsPoly::zero(he.ring(), Form::Coeff);
+    for (m, modulus) in he.ring().basis().moduli().iter().enumerate() {
+        p.residue_mut(m)[n - t] = modulus.value() - 1;
+    }
+    p.to_ntt();
+    p
+}
+
+/// Expands the packed query into `2^levels` ciphertexts; output slot `i`
+/// encrypts (the pre-scaled image of) coefficient `i` of the query
+/// polynomial.
+///
+/// `keys[j]` must be the `SubsKey` for exponent `N/2^j + 1`.
+///
+/// # Errors
+/// Fails when too few keys are supplied or a key exponent mismatches.
+pub fn expand_query(
+    he: &HeParams,
+    query: &BfvCiphertext,
+    keys: &[SubsKey],
+    levels: u32,
+) -> Result<Vec<BfvCiphertext>, PirError> {
+    let n = he.n();
+    let exps = expansion_exponents(n, levels);
+    if keys.len() < levels as usize {
+        return Err(PirError::MissingKeys {
+            got: keys.len(),
+            need: levels as usize,
+        });
+    }
+    for (j, &r) in exps.iter().enumerate() {
+        if keys[j].r() != r {
+            return Err(PirError::InvalidParams(format!(
+                "expansion key {j} has exponent {}, expected {r}",
+                keys[j].r()
+            )));
+        }
+    }
+
+    let mut cts = vec![query.clone()];
+    for j in 0..levels as usize {
+        let key = &keys[j];
+        let x_inv = x_neg_pow_ntt(he, 1 << j);
+        let mut next = Vec::with_capacity(cts.len() * 2);
+        for ct in &cts {
+            let sub = key.apply(he, ct)?;
+            let mut even = ct.clone();
+            even.add_assign(&sub)?;
+            let mut odd = ct.clone();
+            odd.sub_assign(&sub)?;
+            odd.mul_plain_assign(&x_inv)?;
+            next.push(even);
+            next.push(odd);
+        }
+        cts = next;
+    }
+
+    // The DFS push order interleaves index bits MSB-first; undo with a
+    // bit-reversal permutation so slot i encrypts coefficient i.
+    let mut out: Vec<Option<BfvCiphertext>> = cts.into_iter().map(Some).collect();
+    let mut reordered = Vec::with_capacity(out.len());
+    for i in 0..out.len() {
+        let src = bit_reverse(i, levels);
+        reordered.push(out[src].take().expect("permutation visits each slot once"));
+    }
+    Ok(reordered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ive_he::{Plaintext, SecretKey};
+    use ive_math::wide;
+    use rand::SeedableRng;
+
+    fn scaled_query(
+        he: &HeParams,
+        sk: &SecretKey,
+        levels: u32,
+        coeffs: &[u64],
+        rng: &mut impl rand::Rng,
+    ) -> BfvCiphertext {
+        let m = Plaintext::new(he, coeffs.to_vec()).unwrap();
+        let q = he.q_big();
+        let inv = he.inv_two_pow(levels);
+        let (hi, lo) = wide::mul_u128(he.delta(), inv);
+        let scale = wide::div_rem_wide(hi, lo, q).1;
+        BfvCiphertext::encrypt_scaled(he, sk, &m, scale, rng)
+    }
+
+    #[test]
+    fn expansion_yields_one_hot() {
+        let he = HeParams::toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let sk = SecretKey::generate(&he, &mut rng);
+        let levels = 3u32;
+        let keys: Vec<SubsKey> = expansion_exponents(he.n(), levels)
+            .iter()
+            .map(|&r| SubsKey::generate(&he, &sk, r, &mut rng))
+            .collect();
+        for target in [0usize, 1, 5, 7] {
+            let mut coeffs = vec![0u64; he.n()];
+            coeffs[target] = 1;
+            let query = scaled_query(&he, &sk, levels, &coeffs, &mut rng);
+            let expanded = expand_query(&he, &query, &keys, levels).unwrap();
+            assert_eq!(expanded.len(), 8);
+            for (i, ct) in expanded.iter().enumerate() {
+                let m = ct.decrypt(&he, &sk);
+                let expect = u64::from(i == target);
+                assert_eq!(m.values()[0], expect, "slot {i}, target {target}");
+                assert!(m.values()[1..].iter().all(|&v| v == 0), "slot {i} clean");
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_carries_arbitrary_values() {
+        // Beyond one-hot: every slot receives its own packed coefficient.
+        let he = HeParams::toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let sk = SecretKey::generate(&he, &mut rng);
+        let levels = 2u32;
+        let keys: Vec<SubsKey> = expansion_exponents(he.n(), levels)
+            .iter()
+            .map(|&r| SubsKey::generate(&he, &sk, r, &mut rng))
+            .collect();
+        let mut coeffs = vec![0u64; he.n()];
+        let payload = [11u64, 22, 33, 44];
+        coeffs[..4].copy_from_slice(&payload);
+        let query = scaled_query(&he, &sk, levels, &coeffs, &mut rng);
+        let expanded = expand_query(&he, &query, &keys, levels).unwrap();
+        for (i, ct) in expanded.iter().enumerate() {
+            assert_eq!(ct.decrypt(&he, &sk).values()[0], payload[i], "slot {i}");
+        }
+    }
+
+    #[test]
+    fn missing_keys_detected() {
+        let he = HeParams::toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let sk = SecretKey::generate(&he, &mut rng);
+        let query = scaled_query(&he, &sk, 3, &vec![0u64; he.n()], &mut rng);
+        let err = expand_query(&he, &query, &[], 3).unwrap_err();
+        assert!(matches!(err, PirError::MissingKeys { got: 0, need: 3 }));
+    }
+
+    #[test]
+    fn wrong_key_exponent_detected() {
+        let he = HeParams::toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+        let sk = SecretKey::generate(&he, &mut rng);
+        let query = scaled_query(&he, &sk, 1, &vec![0u64; he.n()], &mut rng);
+        let bad = vec![SubsKey::generate(&he, &sk, 3, &mut rng)];
+        assert!(expand_query(&he, &query, &bad, 1).is_err());
+    }
+
+    #[test]
+    fn exponent_schedule_matches_paper() {
+        // N+1, N/2+1, N/4+1, ... (§II-A).
+        assert_eq!(expansion_exponents(4096, 3), vec![4097, 2049, 1025]);
+    }
+}

@@ -1,0 +1,145 @@
+//! The single-server PIR protocol layer of the IVE reproduction.
+//!
+//! Implements the paper's main scheme — an optimized OnionPIR variant with
+//! the three-step server pipeline `ExpandQuery → RowSel → ColTor`
+//! (Fig. 2) — plus the two other single-server schemes of Table IV:
+//!
+//! * [`params`] / [`db`] — multi-dimensional geometry (§II-C) and offline
+//!   database preprocessing (§II-B).
+//! * [`expand`] — oblivious query expansion (§II-A).
+//! * [`coltor`] — the RGSW tournament with BFS/DFS/HS traversal orders
+//!   (Fig. 7); orders are bit-identical in output.
+//! * [`client`] / [`server`] — end-to-end protocol endpoints.
+//! * [`simplepir`] — SimplePIR (Regev-matrix PIR with offline hint).
+//! * [`kspir`] — a KsPIR-style scheme (trace-based coefficient extraction
+//!   via automorphism key-switching + RGSW outer dimension).
+//!
+//! # Example
+//!
+//! ```
+//! use ive_pir::{PirParams, Database, PirClient, PirServer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = PirParams::toy();
+//! let records: Vec<Vec<u8>> = (0..params.num_records())
+//!     .map(|i| format!("record #{i}").into_bytes())
+//!     .collect();
+//! let db = Database::from_records(&params, &records)?;
+//! let server = PirServer::new(&params, db)?;
+//! let mut client = PirClient::new(&params, rand::thread_rng())?;
+//!
+//! let query = client.query(7)?;
+//! let response = server.answer(client.public_keys(), &query)?;
+//! let record = client.decode(&query, &response)?;
+//! assert_eq!(&record[..records[7].len()], &records[7][..]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod coltor;
+pub mod db;
+pub mod expand;
+pub mod kspir;
+pub mod packed;
+pub mod params;
+pub mod server;
+pub mod simplepir;
+pub mod wire;
+
+pub use client::{ClientKeys, PirClient, PirQuery};
+pub use coltor::TournamentOrder;
+pub use db::Database;
+pub use params::PirParams;
+pub use server::PirServer;
+
+/// Errors produced by the PIR layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PirError {
+    /// Underlying HE failure.
+    He(ive_he::HeError),
+    /// Underlying arithmetic failure.
+    Math(ive_math::MathError),
+    /// Scheme parameters are inconsistent.
+    InvalidParams(String),
+    /// A record exceeds the per-record capacity.
+    RecordTooLarge {
+        /// Which record.
+        index: usize,
+        /// Its length in bytes.
+        len: usize,
+        /// The per-record capacity in bytes.
+        capacity: usize,
+    },
+    /// More records than the geometry can hold.
+    TooManyRecords {
+        /// Records supplied.
+        got: usize,
+        /// Geometry capacity.
+        capacity: usize,
+    },
+    /// The requested record index is out of range.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Number of records.
+        records: usize,
+    },
+    /// Too few evaluation keys / selection bits supplied.
+    MissingKeys {
+        /// Keys supplied.
+        got: usize,
+        /// Keys required.
+        need: usize,
+    },
+    /// A serialized frame is malformed (truncated, bad magic, shape or
+    /// range violation).
+    Wire(String),
+}
+
+impl From<ive_he::HeError> for PirError {
+    fn from(e: ive_he::HeError) -> Self {
+        PirError::He(e)
+    }
+}
+
+impl From<ive_math::MathError> for PirError {
+    fn from(e: ive_math::MathError) -> Self {
+        PirError::Math(e)
+    }
+}
+
+impl core::fmt::Display for PirError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PirError::He(e) => write!(f, "HE error: {e}"),
+            PirError::Math(e) => write!(f, "math error: {e}"),
+            PirError::InvalidParams(msg) => write!(f, "invalid PIR parameters: {msg}"),
+            PirError::RecordTooLarge { index, len, capacity } => write!(
+                f,
+                "record {index} is {len} bytes but the capacity is {capacity}"
+            ),
+            PirError::TooManyRecords { got, capacity } => {
+                write!(f, "{got} records exceed the database capacity {capacity}")
+            }
+            PirError::IndexOutOfRange { index, records } => {
+                write!(f, "record index {index} out of range (database holds {records})")
+            }
+            PirError::MissingKeys { got, need } => {
+                write!(f, "{got} keys supplied where {need} are required")
+            }
+            PirError::Wire(msg) => write!(f, "malformed wire data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PirError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PirError::He(e) => Some(e),
+            PirError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}

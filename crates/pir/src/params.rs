@@ -1,0 +1,182 @@
+//! PIR parameter sets: the multi-dimensional database geometry of §II-C
+//! layered on top of the HE parameters of Table I.
+
+use ive_he::HeParams;
+
+use crate::PirError;
+
+/// Parameters of the multi-dimensional OnionPIR-style scheme.
+///
+/// The database holds `D = D0 · 2^d` records, viewed as a
+/// `(d+1)`-dimensional structure `D0 × 2 × 2 × ... × 2`: `RowSel` resolves
+/// the initial dimension of size `D0` with expanded BFV ciphertexts, and
+/// `ColTor` resolves the `d` binary dimensions with RGSW external products
+/// (§II-C, Fig. 2).
+#[derive(Debug, Clone)]
+pub struct PirParams {
+    he: HeParams,
+    log_d0: u32,
+    dims: u32,
+}
+
+impl PirParams {
+    /// Builds a parameter set with first-dimension size `d0` (a power of
+    /// two, at most `N`) and `dims` subsequent binary dimensions.
+    ///
+    /// # Errors
+    /// Fails when `d0` is not a power of two in `[2, N]`.
+    pub fn new(he: HeParams, d0: usize, dims: u32) -> Result<Self, PirError> {
+        if d0 < 2 || !d0.is_power_of_two() || d0 > he.n() {
+            return Err(PirError::InvalidParams(format!(
+                "D0 = {d0} must be a power of two in [2, N = {}]",
+                he.n()
+            )));
+        }
+        Ok(PirParams { he, log_d0: d0.trailing_zeros(), dims })
+    }
+
+    /// Small parameters for fast tests: `N = 256`, `D0 = 8`, `d = 3`
+    /// (64 records of 512 bytes).
+    pub fn toy() -> Self {
+        PirParams::new(HeParams::toy(), 8, 3).expect("toy geometry is valid")
+    }
+
+    /// The paper's geometry for a given database size in bytes:
+    /// `N = 2^12`, `P = 2^32`, `D0 = 256`, with `d` chosen so that
+    /// `D0 · 2^d` 16KB records cover the database (Table I, §III-A).
+    ///
+    /// # Errors
+    /// Fails when the size is smaller than `D0` records.
+    pub fn paper_for_db_bytes(db_bytes: u64) -> Result<Self, PirError> {
+        let he = HeParams::paper();
+        let record = (he.n() as u64 * he.p_bits() as u64) / 8;
+        let d0 = 256u64;
+        let records = db_bytes.div_ceil(record).max(d0);
+        let dims = (records.div_ceil(d0) as f64).log2().ceil() as u32;
+        PirParams::new(he, d0 as usize, dims)
+    }
+
+    /// The HE layer parameters.
+    #[inline]
+    pub fn he(&self) -> &HeParams {
+        &self.he
+    }
+
+    /// First-dimension size `D0`.
+    #[inline]
+    pub fn d0(&self) -> usize {
+        1 << self.log_d0
+    }
+
+    /// `log2(D0)` — the `ExpandQuery` tree depth.
+    #[inline]
+    pub fn log_d0(&self) -> u32 {
+        self.log_d0
+    }
+
+    /// Number of binary dimensions `d` — the `ColTor` tournament depth.
+    #[inline]
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Total records `D = D0 · 2^d`.
+    #[inline]
+    pub fn num_records(&self) -> usize {
+        self.d0() << self.dims
+    }
+
+    /// Rows of the `RowSel` matrix view, `D / D0 = 2^d`.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        1 << self.dims
+    }
+
+    /// Bytes of payload per record (`N · log P / 8`; 16KB for Table I).
+    #[inline]
+    pub fn record_bytes(&self) -> usize {
+        self.he.n() * self.he.p_bits() as usize / 8
+    }
+
+    /// Total database payload bytes.
+    #[inline]
+    pub fn db_bytes(&self) -> u64 {
+        self.num_records() as u64 * self.record_bytes() as u64
+    }
+
+    /// Bytes of the *preprocessed* database (records lifted to `R_Q`,
+    /// §II-B: `log Q / log P` times larger).
+    #[inline]
+    pub fn preprocessed_db_bytes(&self) -> u64 {
+        self.num_records() as u64 * self.he.ring().poly_bytes() as u64
+    }
+
+    /// Splits a record index into `(row, col)` for the matrix view
+    /// (`col` resolved by `RowSel`, `row` bits by `ColTor`).
+    ///
+    /// # Panics
+    /// Panics when the index is out of range.
+    pub fn split_index(&self, index: usize) -> (usize, usize) {
+        assert!(index < self.num_records(), "record index out of range");
+        (index / self.d0(), index % self.d0())
+    }
+
+    /// Inverse of [`PirParams::split_index`].
+    pub fn join_index(&self, row: usize, col: usize) -> usize {
+        row * self.d0() + col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_geometry() {
+        let p = PirParams::toy();
+        assert_eq!(p.d0(), 8);
+        assert_eq!(p.dims(), 3);
+        assert_eq!(p.num_records(), 64);
+        assert_eq!(p.num_rows(), 8);
+        assert_eq!(p.record_bytes(), 256 * 16 / 8);
+    }
+
+    #[test]
+    fn paper_2gb_matches_motivation() {
+        // 2GB DB with 16KB records: D = 2^17 = 256 · 2^9 (Fig. 4 setup).
+        let p = PirParams::paper_for_db_bytes(2 << 30).unwrap();
+        assert_eq!(p.d0(), 256);
+        assert_eq!(p.dims(), 9);
+        assert_eq!(p.record_bytes(), 16 * 1024);
+        assert_eq!(p.db_bytes(), 2 << 30);
+        // Preprocessing expands by logQ/logP = 3.5x (< the paper's 3.5x cap).
+        assert_eq!(p.preprocessed_db_bytes(), 7 << 30);
+    }
+
+    #[test]
+    fn table1_dims_range() {
+        // Table I: D = 2^16..2^24 → d = 8..16 at D0 = 2^8.
+        let small = PirParams::paper_for_db_bytes((1u64 << 16) * 16 * 1024).unwrap();
+        assert_eq!(small.dims(), 8);
+        let big = PirParams::paper_for_db_bytes((1u64 << 24) * 16 * 1024).unwrap();
+        assert_eq!(big.dims(), 16);
+    }
+
+    #[test]
+    fn split_join_roundtrip() {
+        let p = PirParams::toy();
+        for i in 0..p.num_records() {
+            let (r, c) = p.split_index(i);
+            assert!(r < p.num_rows() && c < p.d0());
+            assert_eq!(p.join_index(r, c), i);
+        }
+    }
+
+    #[test]
+    fn invalid_d0_rejected() {
+        let he = HeParams::toy();
+        assert!(PirParams::new(he.clone(), 3, 2).is_err());
+        assert!(PirParams::new(he.clone(), 1, 2).is_err());
+        assert!(PirParams::new(he, 512, 2).is_err()); // > N = 256
+    }
+}

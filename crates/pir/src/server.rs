@@ -1,0 +1,332 @@
+//! The PIR server: `ExpandQuery → RowSel → ColTor` (Fig. 2).
+
+use ive_he::BfvCiphertext;
+
+use crate::client::{ClientKeys, PirQuery};
+use crate::coltor::{col_tor, TournamentOrder};
+use crate::db::Database;
+use crate::expand::expand_query;
+use crate::params::PirParams;
+use crate::PirError;
+
+/// Number of worker threads `RowSel` shards rows across.
+const ROWSEL_THREADS: usize = 4;
+/// Minimum rows per worker before sharding pays off.
+const ROWSEL_MIN_ROWS_PER_THREAD: usize = 8;
+
+/// A single-server PIR server holding one preprocessed database.
+#[derive(Debug)]
+pub struct PirServer {
+    params: PirParams,
+    db: Database,
+    order: TournamentOrder,
+}
+
+impl PirServer {
+    /// Wraps a preprocessed database.
+    ///
+    /// # Errors
+    /// Fails when the database size does not match the geometry.
+    pub fn new(params: &PirParams, db: Database) -> Result<Self, PirError> {
+        if db.len() != params.num_records() || db.d0() != params.d0() {
+            return Err(PirError::InvalidParams(format!(
+                "database has {} records (D0 = {}), geometry wants {} (D0 = {})",
+                db.len(),
+                db.d0(),
+                params.num_records(),
+                params.d0()
+            )));
+        }
+        Ok(PirServer {
+            params: params.clone(),
+            db,
+            order: TournamentOrder::Hs { subtree_depth: 2 },
+        })
+    }
+
+    /// Selects the `ColTor` traversal order (results are bit-identical;
+    /// only scheduling differs — §IV-A).
+    pub fn set_tournament_order(&mut self, order: TournamentOrder) {
+        self.order = order;
+    }
+
+    /// The scheme parameters.
+    #[inline]
+    pub fn params(&self) -> &PirParams {
+        &self.params
+    }
+
+    /// The preprocessed database.
+    #[inline]
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Answers one query end to end.
+    ///
+    /// # Errors
+    /// Propagates key/shape mismatches from the three pipeline steps.
+    pub fn answer(&self, keys: &ClientKeys, query: &PirQuery) -> Result<BfvCiphertext, PirError> {
+        let expanded = self.expand(keys, query)?;
+        let rows = self.row_sel(&expanded)?;
+        self.col_tor_step(rows, query)
+    }
+
+    /// Answers one query and modulus-switches the response down to the
+    /// minimal safe residue prefix — a 2× smaller download at Table I
+    /// parameters (OnionPIR's response compression; decode with
+    /// [`PirClient::decode_compressed`]).
+    ///
+    /// # Errors
+    /// Propagates pipeline failures.
+    pub fn answer_compressed(
+        &self,
+        keys: &ClientKeys,
+        query: &PirQuery,
+    ) -> Result<ive_he::modswitch::SwitchedCiphertext, PirError> {
+        let full = self.answer(keys, query)?;
+        Ok(ive_he::modswitch::switch_to_first_prime(self.params.he(), &full)?)
+    }
+
+    /// Answers a batch of queries (possibly from different clients) with
+    /// one database pass: all queries are expanded first, then `RowSel`
+    /// touches each record polynomial once while accumulating for *every*
+    /// query — the multi-client batching of §III-B, functionally.
+    ///
+    /// # Errors
+    /// Propagates failures from any query's pipeline.
+    pub fn answer_batch(
+        &self,
+        requests: &[(&ClientKeys, &PirQuery)],
+    ) -> Result<Vec<BfvCiphertext>, PirError> {
+        let he = self.params.he();
+        // Step 1: per-query expansion (client-specific; not amortizable).
+        let mut expanded = Vec::with_capacity(requests.len());
+        for (keys, query) in requests {
+            expanded.push(self.expand(keys, query)?);
+        }
+        // Step 2: one scan of the database serving all queries (Fig. 5
+        // right: the query matrix gains 2·batch columns).
+        let rows = self.params.num_rows();
+        let mut accs: Vec<Vec<BfvCiphertext>> = (0..requests.len())
+            .map(|_| (0..rows).map(|_| BfvCiphertext::zero(he)).collect())
+            .collect();
+        for r in 0..rows {
+            for i in 0..self.params.d0() {
+                let db_poly = self.db.poly(r, i);
+                for (q, exp) in expanded.iter().enumerate() {
+                    accs[q][r].fma_plain(db_poly, &exp[i])?;
+                }
+            }
+        }
+        // Step 3: per-query tournaments.
+        requests
+            .iter()
+            .zip(accs)
+            .map(|((_, query), acc)| self.col_tor_step(acc, query))
+            .collect()
+    }
+
+    /// Step (1): `ExpandQuery` — derive the `D0` one-hot ciphertexts.
+    ///
+    /// # Errors
+    /// Fails when the client registered too few expansion keys.
+    pub fn expand(
+        &self,
+        keys: &ClientKeys,
+        query: &PirQuery,
+    ) -> Result<Vec<BfvCiphertext>, PirError> {
+        expand_query(
+            self.params.he(),
+            query.packed(),
+            keys.subs_keys(),
+            self.params.log_d0(),
+        )
+    }
+
+    /// Step (2): `RowSel` — `ct⁽⁰⁾_r = Σ_{i<D0} DB[r][i] ⊙ ct[i]` for every
+    /// row `r` (Eq. 1 / Fig. 5). Shards rows across threads when the
+    /// database is large enough.
+    ///
+    /// # Errors
+    /// Fails when `expanded.len() != D0`.
+    pub fn row_sel(&self, expanded: &[BfvCiphertext]) -> Result<Vec<BfvCiphertext>, PirError> {
+        if expanded.len() != self.params.d0() {
+            return Err(PirError::InvalidParams(format!(
+                "RowSel needs {} expanded ciphertexts, got {}",
+                self.params.d0(),
+                expanded.len()
+            )));
+        }
+        let he = self.params.he();
+        let rows = self.params.num_rows();
+        let reduce_row = |r: usize| -> Result<BfvCiphertext, PirError> {
+            let mut acc = BfvCiphertext::zero(he);
+            for (i, ct) in expanded.iter().enumerate() {
+                acc.fma_plain(self.db.poly(r, i), ct)?;
+            }
+            Ok(acc)
+        };
+
+        if rows >= ROWSEL_THREADS * ROWSEL_MIN_ROWS_PER_THREAD {
+            let mut out: Vec<Option<BfvCiphertext>> = vec![None; rows];
+            let chunk = rows.div_ceil(ROWSEL_THREADS);
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (start, slot_chunk) in
+                    (0..rows).step_by(chunk).zip(out.chunks_mut(chunk))
+                {
+                    handles.push(scope.spawn(move |_| -> Result<(), PirError> {
+                        for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                            *slot = Some(reduce_row(start + off)?);
+                        }
+                        Ok(())
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("RowSel worker panicked")?;
+                }
+                Ok::<(), PirError>(())
+            })
+            .expect("RowSel scope panicked")?;
+            Ok(out.into_iter().map(|s| s.expect("all rows filled")).collect())
+        } else {
+            (0..rows).map(reduce_row).collect()
+        }
+    }
+
+    /// Step (3): `ColTor` — tournament over the row ciphertexts using the
+    /// query's RGSW bits.
+    ///
+    /// # Errors
+    /// Fails when the query carries too few selection bits.
+    pub fn col_tor_step(
+        &self,
+        rows: Vec<BfvCiphertext>,
+        query: &PirQuery,
+    ) -> Result<BfvCiphertext, PirError> {
+        col_tor(self.params.he(), rows, query.row_bits(), self.order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::PirClient;
+    use crate::db::Database;
+    use rand::SeedableRng;
+
+    fn records(params: &PirParams) -> Vec<Vec<u8>> {
+        (0..params.num_records())
+            .map(|i| format!("record number {i:04}").into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_retrieval_every_index() {
+        let params = PirParams::toy();
+        let recs = records(&params);
+        let db = Database::from_records(&params, &recs).unwrap();
+        let server = PirServer::new(&params, db).unwrap();
+        let mut client =
+            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(71)).unwrap();
+        // Exhaustive over all 64 records.
+        for target in 0..params.num_records() {
+            let query = client.query(target).unwrap();
+            let response = server.answer(client.public_keys(), &query).unwrap();
+            let got = client.decode(&query, &response).unwrap();
+            assert_eq!(&got[..recs[target].len()], &recs[target][..], "record {target}");
+        }
+    }
+
+    #[test]
+    fn all_tournament_orders_agree_end_to_end() {
+        let params = PirParams::toy();
+        let recs = records(&params);
+        let db = Database::from_records(&params, &recs).unwrap();
+        let mut server = PirServer::new(&params, db).unwrap();
+        let mut client =
+            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(72)).unwrap();
+        let query = client.query(42).unwrap();
+        let mut answers = Vec::new();
+        for order in [
+            TournamentOrder::Bfs,
+            TournamentOrder::Dfs,
+            TournamentOrder::Hs { subtree_depth: 1 },
+            TournamentOrder::Hs { subtree_depth: 2 },
+            TournamentOrder::Hs { subtree_depth: 3 },
+        ] {
+            server.set_tournament_order(order);
+            answers.push(server.answer(client.public_keys(), &query).unwrap());
+        }
+        for a in &answers[1..] {
+            assert_eq!(a, &answers[0]);
+        }
+    }
+
+    #[test]
+    fn batched_answers_match_individual_answers() {
+        // §III-B functionally: one DB pass serves many clients, and each
+        // response is bit-identical to the unbatched one.
+        let params = PirParams::toy();
+        let recs = records(&params);
+        let db = Database::from_records(&params, &recs).unwrap();
+        let server = PirServer::new(&params, db).unwrap();
+        let mut clients: Vec<_> = (0..3)
+            .map(|i| {
+                PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(200 + i)).unwrap()
+            })
+            .collect();
+        let targets = [5usize, 41, 63];
+        let queries: Vec<_> = clients
+            .iter_mut()
+            .zip(targets)
+            .map(|(c, t)| c.query(t).unwrap())
+            .collect();
+        let requests: Vec<_> = clients
+            .iter()
+            .zip(&queries)
+            .map(|(c, q)| (c.public_keys(), q))
+            .collect();
+        let batched = server.answer_batch(&requests).unwrap();
+        for ((client, query), (response, target)) in
+            clients.iter().zip(&queries).zip(batched.iter().zip(targets))
+        {
+            let solo = server.answer(client.public_keys(), query).unwrap();
+            assert_eq!(response, &solo, "batched response diverged");
+            let plain = client.decode(query, response).unwrap();
+            assert_eq!(&plain[..recs[target].len()], &recs[target][..]);
+        }
+    }
+
+    #[test]
+    fn wrong_geometry_rejected() {
+        let params = PirParams::toy();
+        let smaller = PirParams::new(params.he().clone(), 4, 2).unwrap();
+        let db = Database::from_records(&smaller, &[]).unwrap();
+        assert!(PirServer::new(&params, db).is_err());
+    }
+
+    #[test]
+    fn response_noise_stays_within_budget() {
+        // §II-C: response error ≈ RowSel error + O(d)·RGSW error, far below Δ/2.
+        let params = PirParams::toy();
+        let recs = records(&params);
+        let db = Database::from_records(&params, &recs).unwrap();
+        let server = PirServer::new(&params, db).unwrap();
+        let mut client =
+            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(73)).unwrap();
+        let target = 9;
+        let query = client.query(target).unwrap();
+        let response = server.answer(client.public_keys(), &query).unwrap();
+        let he = params.he();
+        let expect = crate::db::plaintext_from_bytes(he, &recs[target]).unwrap();
+        let budget = ive_he::noise::noise_budget_bits(
+            he,
+            client.secret_key(),
+            &response,
+            &expect,
+        );
+        assert!(budget > 5.0, "remaining noise budget only {budget:.1} bits");
+    }
+}

@@ -1,0 +1,270 @@
+//! SimplePIR (Henzinger et al., USENIX Security '23) — the Regev-matrix
+//! baseline of Table IV.
+//!
+//! The database is a `m1 × m2` matrix over `Z_p`. Offline, the server
+//! publishes the hint `H = DB · A` for a public LWE matrix
+//! `A ∈ Z_q^{m2 × n}`. Online, the client sends
+//! `qu = A·s + e + Δ·u_{col}` and the server answers `ans = DB · qu` —
+//! one pass of modular GEMV over the whole database (§VI-D: "SimplePIR
+//! mainly performs modular GEMMs"). All `Z_q` arithmetic is word-exact
+//! with `q = 2^32` (wrapping `u32`).
+
+use rand::Rng;
+
+use crate::PirError;
+
+/// SimplePIR parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplePirParams {
+    /// LWE secret dimension `n` (the paper's reference uses `2^10`).
+    pub n: usize,
+    /// Plaintext modulus `p` (power of two, `<= 2^16`).
+    pub p: u32,
+    /// Database rows `m1`.
+    pub m1: usize,
+    /// Database columns `m2`.
+    pub m2: usize,
+}
+
+impl SimplePirParams {
+    /// A near-square layout for `records` entries of `Z_p`.
+    pub fn for_records(records: usize, n: usize, p: u32) -> Self {
+        let m2 = (records as f64).sqrt().ceil() as usize;
+        let m1 = records.div_ceil(m2);
+        SimplePirParams { n, p, m1, m2 }
+    }
+
+    /// Small parameters for tests.
+    pub fn toy() -> Self {
+        SimplePirParams { n: 64, p: 1 << 8, m1: 16, m2: 16 }
+    }
+
+    /// The scaling factor `Δ = q / p` with `q = 2^32`.
+    #[inline]
+    pub fn delta(&self) -> u32 {
+        debug_assert!(self.p.is_power_of_two());
+        (1u64 << 32).wrapping_div(self.p as u64) as u32
+    }
+
+    /// Per-query upload bytes (`m2` words of `Z_q`).
+    pub fn query_bytes(&self) -> usize {
+        self.m2 * 4
+    }
+
+    /// Per-query download bytes (`m1` words of `Z_q`).
+    pub fn answer_bytes(&self) -> usize {
+        self.m1 * 4
+    }
+
+    /// Offline hint bytes (`m1 × n` words).
+    pub fn hint_bytes(&self) -> usize {
+        self.m1 * self.n * 4
+    }
+}
+
+/// The SimplePIR server: database matrix, public `A`, and hint.
+#[derive(Debug, Clone)]
+pub struct SimplePirServer {
+    params: SimplePirParams,
+    /// `m1 × m2` row-major database over `Z_p`.
+    db: Vec<u32>,
+    /// `m2 × n` row-major public LWE matrix.
+    a: Vec<u32>,
+    /// `m1 × n` row-major hint `DB · A`.
+    hint: Vec<u32>,
+}
+
+impl SimplePirServer {
+    /// Builds the server from `Z_p` entries (row-major, padded with zeros).
+    ///
+    /// # Errors
+    /// Fails when an entry is `>= p` or there are too many entries.
+    pub fn new<R: Rng + ?Sized>(
+        params: SimplePirParams,
+        entries: &[u32],
+        rng: &mut R,
+    ) -> Result<Self, PirError> {
+        let cells = params.m1 * params.m2;
+        if entries.len() > cells {
+            return Err(PirError::TooManyRecords { got: entries.len(), capacity: cells });
+        }
+        if let Some(&v) = entries.iter().find(|&&v| v >= params.p) {
+            return Err(PirError::InvalidParams(format!(
+                "entry {v} exceeds plaintext modulus {}",
+                params.p
+            )));
+        }
+        let mut db = entries.to_vec();
+        db.resize(cells, 0);
+        let a: Vec<u32> = (0..params.m2 * params.n).map(|_| rng.gen()).collect();
+        // Hint: H = DB · A over Z_q (wrapping u32).
+        let mut hint = vec![0u32; params.m1 * params.n];
+        for r in 0..params.m1 {
+            for c in 0..params.m2 {
+                let d = db[r * params.m2 + c];
+                if d == 0 {
+                    continue;
+                }
+                let a_row = &a[c * params.n..(c + 1) * params.n];
+                let h_row = &mut hint[r * params.n..(r + 1) * params.n];
+                for (h, &av) in h_row.iter_mut().zip(a_row) {
+                    *h = h.wrapping_add(d.wrapping_mul(av));
+                }
+            }
+        }
+        Ok(SimplePirServer { params, db, a, hint })
+    }
+
+    /// The parameters.
+    #[inline]
+    pub fn params(&self) -> &SimplePirParams {
+        &self.params
+    }
+
+    /// The public matrix `A` (downloaded once by every client).
+    #[inline]
+    pub fn public_a(&self) -> &[u32] {
+        &self.a
+    }
+
+    /// The offline hint `DB · A` (downloaded once by every client).
+    #[inline]
+    pub fn hint(&self) -> &[u32] {
+        &self.hint
+    }
+
+    /// Online answer: `ans = DB · qu` (the full-database GEMV scan).
+    ///
+    /// # Errors
+    /// Fails when the query length differs from `m2`.
+    pub fn answer(&self, query: &[u32]) -> Result<Vec<u32>, PirError> {
+        if query.len() != self.params.m2 {
+            return Err(PirError::InvalidParams(format!(
+                "query length {} != m2 = {}",
+                query.len(),
+                self.params.m2
+            )));
+        }
+        let mut ans = vec![0u32; self.params.m1];
+        for r in 0..self.params.m1 {
+            let row = &self.db[r * self.params.m2..(r + 1) * self.params.m2];
+            let mut acc = 0u32;
+            for (&d, &qv) in row.iter().zip(query) {
+                acc = acc.wrapping_add(d.wrapping_mul(qv));
+            }
+            ans[r] = acc;
+        }
+        Ok(ans)
+    }
+}
+
+/// The SimplePIR client.
+#[derive(Debug)]
+pub struct SimplePirClient {
+    params: SimplePirParams,
+    secret: Vec<u32>,
+}
+
+impl SimplePirClient {
+    /// Samples a fresh LWE secret.
+    pub fn new<R: Rng + ?Sized>(params: SimplePirParams, rng: &mut R) -> Self {
+        let secret = (0..params.n).map(|_| rng.gen()).collect();
+        SimplePirClient { params, secret }
+    }
+
+    /// Builds a query for column `col`: `qu = A·s + e + Δ·u_col`.
+    ///
+    /// # Errors
+    /// Fails when `col >= m2`.
+    pub fn query<R: Rng + ?Sized>(
+        &self,
+        a: &[u32],
+        col: usize,
+        rng: &mut R,
+    ) -> Result<Vec<u32>, PirError> {
+        if col >= self.params.m2 {
+            return Err(PirError::IndexOutOfRange { index: col, records: self.params.m2 });
+        }
+        let mut qu = vec![0u32; self.params.m2];
+        for c in 0..self.params.m2 {
+            let a_row = &a[c * self.params.n..(c + 1) * self.params.n];
+            let mut acc = 0u32;
+            for (&av, &sv) in a_row.iter().zip(&self.secret) {
+                acc = acc.wrapping_add(av.wrapping_mul(sv));
+            }
+            // Centered-binomial noise (η = 4).
+            let noise: i32 =
+                (0..4).map(|_| rng.gen_range(0..2) - rng.gen_range(0..2i32)).sum();
+            qu[c] = acc.wrapping_add(noise as u32);
+        }
+        qu[col] = qu[col].wrapping_add(self.params.delta());
+        Ok(qu)
+    }
+
+    /// Recovers `DB[row][col]` from the answer using the hint.
+    ///
+    /// # Errors
+    /// Fails when shapes mismatch.
+    pub fn decode(&self, hint: &[u32], ans: &[u32], row: usize) -> Result<u32, PirError> {
+        if row >= self.params.m1 || ans.len() != self.params.m1 {
+            return Err(PirError::IndexOutOfRange { index: row, records: self.params.m1 });
+        }
+        let h_row = &hint[row * self.params.n..(row + 1) * self.params.n];
+        let mut hs = 0u32;
+        for (&hv, &sv) in h_row.iter().zip(&self.secret) {
+            hs = hs.wrapping_add(hv.wrapping_mul(sv));
+        }
+        let noisy = ans[row].wrapping_sub(hs); // Δ·value + small noise
+        let delta = self.params.delta();
+        // Round to the nearest multiple of Δ.
+        let value = ((noisy as u64 + delta as u64 / 2) / delta as u64) as u32;
+        Ok(value % self.params.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn retrieves_every_cell() {
+        let params = SimplePirParams::toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(81);
+        let entries: Vec<u32> =
+            (0..params.m1 * params.m2).map(|i| (i as u32 * 7 + 3) % params.p).collect();
+        let server = SimplePirServer::new(params, &entries, &mut rng).unwrap();
+        let client = SimplePirClient::new(params, &mut rng);
+        for col in [0usize, 3, params.m2 - 1] {
+            let qu = client.query(server.public_a(), col, &mut rng).unwrap();
+            let ans = server.answer(&qu).unwrap();
+            for row in 0..params.m1 {
+                let got = client.decode(server.hint(), &ans, row).unwrap();
+                assert_eq!(got, entries[row * params.m2 + col], "({row},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn near_square_layout() {
+        let p = SimplePirParams::for_records(1000, 64, 1 << 8);
+        assert!(p.m1 * p.m2 >= 1000);
+        assert!(p.m1.abs_diff(p.m2) <= 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range_entries() {
+        let params = SimplePirParams::toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(82);
+        assert!(SimplePirServer::new(params, &[params.p], &mut rng).is_err());
+    }
+
+    #[test]
+    fn communication_sizes() {
+        let params = SimplePirParams::for_records(1 << 20, 1024, 1 << 8);
+        // Query/answer are √D-sized — the SimplePIR trade-off.
+        assert!(params.query_bytes() < 1 << 14);
+        assert!(params.answer_bytes() < 1 << 14);
+        assert!(params.hint_bytes() > params.query_bytes());
+    }
+}

@@ -1,0 +1,59 @@
+//! The waiting-window batch scheduler under live load (§V, Fig. 14b):
+//! how a deployed IVE system trades a bounded latency overhead for an
+//! order-of-magnitude throughput window.
+//!
+//! Run with: `cargo run --release --example batch_scheduler`
+
+use ive::accel::config::IveConfig;
+use ive::accel::engine::{simulate_batch, DbPlacement};
+use ive::accel::queue::{break_even_qps, simulate_poisson, ServiceTable};
+use ive::baselines::complexity::Geometry;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = IveConfig::paper_hbm_only();
+    let geom = Geometry::paper_for_db_bytes(16 << 30);
+
+    // Precompute the batch-size -> latency curve from the engine.
+    let table = ServiceTable::from_fn(64, |b| {
+        simulate_batch(&cfg, &geom, b, DbPlacement::Hbm).total_s
+    });
+    let single = table.latency(1);
+    let window = 0.032;
+    println!(
+        "16GB DB: single-query latency {:.1}ms -> no-batching limit {:.1} QPS",
+        1e3 * single,
+        1.0 / single
+    );
+    println!(
+        "saturated batching sustains up to {:.0} QPS; waiting window {:.0}ms\n",
+        table.max_throughput_qps(),
+        1e3 * window
+    );
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    println!(
+        "{:>12} | {:>16} {:>10} | {:>16}",
+        "offered QPS", "batched lat (ms)", "avg batch", "no-batch lat (ms)"
+    );
+    for load in [2.0f64, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0] {
+        let b = simulate_poisson(&table, window, 64, load, 20_000, &mut rng);
+        let nb = if load < 0.9 / single {
+            format!("{:>16.1}", 1e3 * simulate_poisson(&table, 0.0, 1, load, 20_000, &mut rng).avg_latency_s)
+        } else {
+            format!("{:>16}", "diverges")
+        };
+        println!(
+            "{:>12.0} | {:>16.1} {:>10.1} | {}",
+            load,
+            1e3 * b.avg_latency_s,
+            b.avg_batch,
+            nb
+        );
+    }
+
+    let loads: Vec<f64> = (1..=40).map(|i| i as f64).collect();
+    if let Some(be) = break_even_qps(&table, window, 64, &loads, 8_000, &mut rng) {
+        println!("\nbreak-even load (batching wins beyond this): ~{be:.0} QPS (paper: 9.5)");
+    }
+}

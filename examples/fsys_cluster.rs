@@ -1,0 +1,64 @@
+//! Scale-out planning for the `Fsys` private-file-system workload
+//! (XPIR-style, 1.25TB): how many IVE systems, which memory tier, what
+//! batch size — the §V deployment questions, answered by the model.
+//!
+//! Run with: `cargo run --release --example fsys_cluster`
+
+use ive::accel::{DbPlacement, IveCluster, IveSystem};
+use ive::baselines::complexity::Geometry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db_bytes: u64 = 1280 << 30; // 1.25TB
+    let geom = Geometry::paper_for_db_bytes(db_bytes);
+    println!(
+        "Fsys: {:.2}TB raw = {:.2}TB preprocessed ({} records)",
+        db_bytes as f64 / (1u64 << 40) as f64,
+        geom.preprocessed_db_bytes() as f64 / (1u64 << 40) as f64,
+        geom.num_records()
+    );
+
+    // A single system cannot hold it: the placement check fails.
+    let single = IveSystem::paper();
+    match single.placement_for(&geom) {
+        Err(e) => println!("single system: {e}"),
+        Ok(p) => println!("single system unexpectedly fits in {p:?}"),
+    }
+
+    // Sweep cluster sizes: the smallest S whose slices fit, then the
+    // QPS-per-system invariant across S.
+    println!("\n{:>8} {:>10} {:>12} {:>14} {:>10}", "systems", "tier", "QPS", "QPS/system", "latency");
+    for s in [4usize, 8, 16, 32] {
+        let cluster = IveCluster::paper(s)?;
+        let local = Geometry { dims: geom.dims - s.trailing_zeros(), ..geom };
+        match cluster.system.placement_for(&local) {
+            Err(_) => println!("{s:>8} {:>10} (slice too large)", "-"),
+            Ok(tier) => {
+                let r = cluster.run(&geom, 128)?;
+                println!(
+                    "{s:>8} {:>10} {:>12.1} {:>14.2} {:>9.2}s",
+                    match tier {
+                        DbPlacement::Hbm => "HBM",
+                        DbPlacement::Lpddr => "LPDDR",
+                    },
+                    r.qps,
+                    r.qps_per_system,
+                    r.total_s
+                );
+            }
+        }
+    }
+
+    // Batch-size sensitivity at the paper's 16-system point (Fig. 13d).
+    let cluster = IveCluster::paper(16)?;
+    println!("\n16 systems, batch sweep:");
+    for batch in [32usize, 64, 128, 160] {
+        let r = cluster.run(&geom, batch)?;
+        println!(
+            "  batch {batch:>3}: {:>6.1} QPS, latency {:.2}s, gather {:.1}ms",
+            r.qps,
+            r.total_s,
+            1e3 * r.gather_s
+        );
+    }
+    Ok(())
+}
