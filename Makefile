@@ -1,0 +1,44 @@
+# Convenience targets for the IVE reproduction workspace.
+# `make verify` is the tier-1 gate CI enforces.
+
+CARGO ?= cargo
+
+.PHONY: all build test verify bench figures fmt fmt-check clippy lint clean
+
+all: build
+
+## Build the whole workspace (debug).
+build:
+	$(CARGO) build
+
+## Run every test in the workspace.
+test:
+	$(CARGO) test -q
+
+## Tier-1 verify: exactly what CI runs as the gate.
+verify:
+	$(CARGO) build --release && $(CARGO) test -q
+
+## Run the four Criterion benches (math, HE, PIR pipeline, accel model).
+bench:
+	$(CARGO) bench -p ive_bench
+
+## Regenerate every paper table/figure in one shot.
+figures:
+	$(CARGO) run --release -p ive_bench --bin all_experiments
+
+## Format the tree / check formatting without writing.
+fmt:
+	$(CARGO) fmt --all
+
+fmt-check:
+	$(CARGO) fmt --all -- --check
+
+## Clippy with CI's settings.
+clippy:
+	$(CARGO) clippy --all-targets -- -D warnings
+
+lint: fmt-check clippy
+
+clean:
+	$(CARGO) clean

@@ -215,10 +215,10 @@ pub fn subs_ops(g: &Geometry) -> StepOps {
     let k = g.k as f64;
     let ell = g.ell as f64;
     StepOps {
-        residue_ntts: k + ell * k, // k iNTTs for Dcp, ℓ·k forward NTTs
+        residue_ntts: k + ell * k,    // k iNTTs for Dcp, ℓ·k forward NTTs
         gemm_macs: 2.0 * ell * k * n, // evk_r (2×ℓ) · Dcp(a_τ)
         icrt_coeffs: n,
-        elem_macs: 3.0 * k * n, // even add, odd sub, odd X^{-1} product
+        elem_macs: 3.0 * k * n,   // even add, odd sub, odd X^{-1} product
         auto_coeffs: 2.0 * k * n, // a and b through τ_r
     }
 }
@@ -261,10 +261,7 @@ pub fn per_query_ops(g: &Geometry) -> PirOps {
     }
 
     // RowSel: D plaintext–ciphertext MACs over (a, b).
-    let rowsel = StepOps {
-        gemm_macs: g.num_records() as f64 * 2.0 * k * n,
-        ..StepOps::default()
-    };
+    let rowsel = StepOps { gemm_macs: g.num_records() as f64 * 2.0 * k * n, ..StepOps::default() };
 
     // ColTor: one external product per surviving tournament node
     // (`fill·2^d − 1`; empty subtrees of a partially filled tree are
@@ -331,10 +328,7 @@ mod tests {
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .expect("non-empty")
             .0;
-        assert!(
-            best == 256 || best == 512,
-            "optimum at D0 = {best}, totals {totals:?}"
-        );
+        assert!(best == 256 || best == 512, "optimum at D0 = {best}, totals {totals:?}");
         // And the sweep decreases from 128 to the optimum.
         assert!(totals[0].1 > totals[1].1);
     }

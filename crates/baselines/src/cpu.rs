@@ -62,11 +62,11 @@ impl CpuModel {
         // RowSel streams the preprocessed DB; the other steps stream the
         // client keys and the tournament working set (cache-resident for a
         // single query except the leaf pass).
-        let expand_bytes = (geom.d0 as u64 * geom.ct_bytes()
-            + geom.d0.ilog2() as u64 * geom.evk_bytes()) as f64;
+        let expand_bytes =
+            (geom.d0 as u64 * geom.ct_bytes() + geom.d0.ilog2() as u64 * geom.evk_bytes()) as f64;
         let rowsel_bytes = geom.preprocessed_db_bytes() as f64;
-        let coltor_bytes = (geom.rows() * geom.ct_bytes()
-            + geom.dims as u64 * geom.rgsw_bytes()) as f64;
+        let coltor_bytes =
+            (geom.rows() * geom.ct_bytes() + geom.dims as u64 * geom.rgsw_bytes()) as f64;
         let t = d.time_s(ops.expand.mults(geom.n), expand_bytes)
             + d.time_s(ops.rowsel.mults(geom.n), rowsel_bytes)
             + d.time_s(ops.coltor.mults(geom.n), coltor_bytes);

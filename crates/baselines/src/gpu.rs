@@ -136,11 +136,8 @@ impl GpuModel {
             temp_bytes: geom.ell as u64 * geom.ct_bytes() / 2,
             buffer_bytes: share,
         };
-        let coltor_cfg = TreeWalkConfig {
-            depth: geom.dims,
-            key_bytes: geom.rgsw_bytes(),
-            ..expand_cfg
-        };
+        let coltor_cfg =
+            TreeWalkConfig { depth: geom.dims, key_bytes: geom.rgsw_bytes(), ..expand_cfg };
         // GPUs execute level-synchronous kernels: BFS order.
         let expand_bytes = expand_traffic(&expand_cfg, TreeSchedule::Bfs).traffic.total() as f64;
         let coltor_bytes = coltor_traffic(&coltor_cfg, TreeSchedule::Bfs).traffic.total() as f64;
@@ -187,9 +184,7 @@ mod tests {
         // Fig. 6 right: at batch 1 RowSel dominates; its share falls with
         // batching while ColTor's grows.
         assert!(single.rowsel_s / single.total_s > 0.5);
-        assert!(
-            batched.rowsel_s / batched.total_s < single.rowsel_s / single.total_s
-        );
+        assert!(batched.rowsel_s / batched.total_s < single.rowsel_s / single.total_s);
     }
 
     #[test]

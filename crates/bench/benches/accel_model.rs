@@ -17,9 +17,7 @@ fn bench_engine(c: &mut Criterion) {
     });
     let cluster = IveCluster::paper(16).expect("valid");
     let big = Geometry::paper_for_db_bytes(1024 << 30);
-    group.bench_function("cluster/1TB/b128", |b| {
-        b.iter(|| cluster.run(&big, 128).expect("fits"))
-    });
+    group.bench_function("cluster/1TB/b128", |b| b.iter(|| cluster.run(&big, 128).expect("fits")));
     group.finish();
 }
 
@@ -38,9 +36,7 @@ fn bench_treewalk(c: &mut Criterion) {
         ("dfs", TreeSchedule::Dfs),
         ("hs_dfs", TreeSchedule::Hs { subtree_depth: 3, inner_bfs: false }),
     ] {
-        group.bench_function(format!("coltor_d15/{name}"), |b| {
-            b.iter(|| coltor_traffic(&cfg, s))
-        });
+        group.bench_function(format!("coltor_d15/{name}"), |b| b.iter(|| coltor_traffic(&cfg, s)));
     }
     group.finish();
 }

@@ -36,9 +36,7 @@ fn bench_subs(c: &mut Criterion) {
     let key = SubsKey::generate(&params, &sk, params.n() + 1, &mut rng);
     let mut group = c.benchmark_group("he");
     group.sample_size(20);
-    group.bench_function("subs/n256", |b| {
-        b.iter(|| key.apply(&params, &ct).expect("compatible"))
-    });
+    group.bench_function("subs/n256", |b| b.iter(|| key.apply(&params, &ct).expect("compatible")));
     group.finish();
 }
 

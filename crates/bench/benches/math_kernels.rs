@@ -15,18 +15,10 @@ fn bench_ntt(c: &mut Criterion) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..m.value())).collect();
         group.bench_function(format!("forward/{n}"), |b| {
-            b.iter_batched(
-                || data.clone(),
-                |mut a| table.forward(&mut a),
-                BatchSize::SmallInput,
-            )
+            b.iter_batched(|| data.clone(), |mut a| table.forward(&mut a), BatchSize::SmallInput)
         });
         group.bench_function(format!("inverse/{n}"), |b| {
-            b.iter_batched(
-                || data.clone(),
-                |mut a| table.inverse(&mut a),
-                BatchSize::SmallInput,
-            )
+            b.iter_batched(|| data.clone(), |mut a| table.inverse(&mut a), BatchSize::SmallInput)
         });
     }
     group.finish();

@@ -6,13 +6,11 @@ use rand::SeedableRng;
 
 fn bench_pipeline(c: &mut Criterion) {
     let params = PirParams::toy();
-    let records: Vec<Vec<u8>> = (0..params.num_records())
-        .map(|i| format!("record {i}").into_bytes())
-        .collect();
+    let records: Vec<Vec<u8>> =
+        (0..params.num_records()).map(|i| format!("record {i}").into_bytes()).collect();
     let db = Database::from_records(&params, &records).expect("fits");
     let server = PirServer::new(&params, db).expect("valid geometry");
-    let mut client =
-        PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(4)).expect("keygen");
+    let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(4)).expect("keygen");
     let query = client.query(21).expect("in range");
     let expanded = server.expand(client.public_keys(), &query).expect("keys ok");
     let rows = server.row_sel(&expanded).expect("shape ok");
@@ -22,9 +20,7 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("expand_query", |b| {
         b.iter(|| server.expand(client.public_keys(), &query).expect("keys ok"))
     });
-    group.bench_function("row_sel", |b| {
-        b.iter(|| server.row_sel(&expanded).expect("shape ok"))
-    });
+    group.bench_function("row_sel", |b| b.iter(|| server.row_sel(&expanded).expect("shape ok")));
     group.bench_function("col_tor", |b| {
         b.iter(|| server.col_tor_step(rows.clone(), &query).expect("bits ok"))
     });
@@ -45,9 +41,7 @@ fn bench_simplepir(c: &mut Criterion) {
     let qu = client.query(server.public_a(), 7, &mut rng).expect("in range");
     let mut group = c.benchmark_group("simplepir");
     group.sample_size(20);
-    group.bench_function("answer/16k_cells", |b| {
-        b.iter(|| server.answer(&qu).expect("shape ok"))
-    });
+    group.bench_function("answer/16k_cells", |b| b.iter(|| server.answer(&qu).expect("shape ok")));
     group.finish();
 }
 

@@ -31,11 +31,7 @@ fn main() {
     let mk = |pts: &[ive_accel::queue::QueuePoint]| {
         pts.iter()
             .map(|p| {
-                vec![
-                    fmt::f(p.offered_qps),
-                    fmt::f(1e3 * p.avg_latency_s),
-                    fmt::f(p.avg_batch),
-                ]
+                vec![fmt::f(p.offered_qps), fmt::f(1e3 * p.avg_latency_s), fmt::f(p.avg_batch)]
             })
             .collect::<Vec<_>>()
     };

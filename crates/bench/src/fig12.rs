@@ -75,11 +75,8 @@ pub fn rows() -> Vec<Fig12Row> {
 /// Geometric-mean IVE speedup over the CPU across 2–8GB (the paper's
 /// 687.6×).
 pub fn gmean_ive_speedup(rows: &[Fig12Row]) -> f64 {
-    let speedups: Vec<f64> = rows
-        .iter()
-        .filter(|r| r.platform == "IVE")
-        .filter_map(|r| r.speedup_vs_cpu)
-        .collect();
+    let speedups: Vec<f64> =
+        rows.iter().filter(|r| r.platform == "IVE").filter_map(|r| r.speedup_vs_cpu).collect();
     let product: f64 = speedups.iter().product();
     product.powf(1.0 / speedups.len() as f64)
 }
@@ -92,10 +89,7 @@ mod tests {
     fn ive_qps_anchors() {
         let rows = rows();
         for (gib, paper) in [(2u64, 4261.0), (4, 2350.0), (8, 1242.0)] {
-            let r = rows
-                .iter()
-                .find(|r| r.platform == "IVE" && r.db_gib == gib)
-                .expect("IVE row");
+            let r = rows.iter().find(|r| r.platform == "IVE" && r.db_gib == gib).expect("IVE row");
             let qps = r.qps.expect("present");
             assert!((qps / paper - 1.0).abs() < 0.25, "{gib}GB {qps:.0} vs {paper}");
         }

@@ -68,9 +68,7 @@ pub struct LoadLatency {
 pub fn service_table(max_batch: usize) -> ServiceTable {
     let cfg = IveConfig::paper_hbm_only();
     let geom = Geometry::paper_for_db_bytes(16 * GIB);
-    ServiceTable::from_fn(max_batch, |b| {
-        simulate_batch(&cfg, &geom, b, DbPlacement::Hbm).total_s
-    })
+    ServiceTable::from_fn(max_batch, |b| simulate_batch(&cfg, &geom, b, DbPlacement::Hbm).total_s)
 }
 
 /// Runs the Fig. 14b sweep.
@@ -85,12 +83,9 @@ pub fn fig14b() -> LoadLatency {
         .collect();
     // The no-batching server diverges past its limit; sweep below it.
     let single = table.latency(1);
-    let nb_loads: Vec<f64> =
-        loads.iter().copied().filter(|&q| q < 0.95 / single).collect();
-    let no_batching: Vec<QueuePoint> = nb_loads
-        .iter()
-        .map(|&q| simulate_poisson(&table, 0.0, 1, q, 30_000, &mut rng))
-        .collect();
+    let nb_loads: Vec<f64> = loads.iter().copied().filter(|&q| q < 0.95 / single).collect();
+    let no_batching: Vec<QueuePoint> =
+        nb_loads.iter().map(|&q| simulate_poisson(&table, 0.0, 1, q, 30_000, &mut rng)).collect();
     LoadLatency { batching, no_batching, window_s, single_latency_s: single }
 }
 
@@ -118,12 +113,8 @@ mod tests {
         let nb_limit = 1.0 / ll.single_latency_s;
         // The batching curve stays sane at loads far past the
         // no-batching limit (paper: 44.2x throughput advantage).
-        let high = ll
-            .batching
-            .iter()
-            .filter(|p| p.offered_qps > 5.0 * nb_limit)
-            .last()
-            .expect("high-load point");
+        let high =
+            ll.batching.iter().rfind(|p| p.offered_qps > 5.0 * nb_limit).expect("high-load point");
         assert!(
             high.avg_latency_s < 4.0 * (ll.single_latency_s + ll.window_s),
             "latency {:.3}s at {:.0} QPS",

@@ -30,8 +30,7 @@ pub fn roofline_points() -> Vec<RooflinePoint> {
             buffer_bytes: share,
         };
         let expand_bytes = expand_traffic(&walk, TreeSchedule::Bfs).traffic.total() as f64;
-        let coltor_walk =
-            TreeWalkConfig { depth: g.dims, key_bytes: g.rgsw_bytes(), ..walk };
+        let coltor_walk = TreeWalkConfig { depth: g.dims, key_bytes: g.rgsw_bytes(), ..walk };
         let coltor_bytes = coltor_traffic(&coltor_walk, TreeSchedule::Bfs).traffic.total() as f64;
         points.push(device.point(
             "ExpandQuery",
@@ -45,12 +44,7 @@ pub fn roofline_points() -> Vec<RooflinePoint> {
             b * ops.rowsel.mults(g.n),
             g.preprocessed_db_bytes() as f64,
         ));
-        points.push(device.point(
-            "ColTor",
-            batch,
-            b * ops.coltor.mults(g.n),
-            b * coltor_bytes,
-        ));
+        points.push(device.point("ColTor", batch, b * ops.coltor.mults(g.n), b * coltor_bytes));
     }
     points
 }
@@ -60,10 +54,7 @@ pub fn roofline_points() -> Vec<RooflinePoint> {
 pub fn batch_scaling() -> Vec<GpuReport> {
     let gpu = GpuModel::rtx4090();
     let g = Geometry::paper_for_db_bytes(2 * GIB);
-    [1usize, 4, 16, 64]
-        .iter()
-        .filter_map(|&b| gpu.run(&g, b))
-        .collect()
+    [1usize, 4, 16, 64].iter().filter_map(|&b| gpu.run(&g, b)).collect()
 }
 
 #[cfg(test)]
@@ -74,10 +65,7 @@ mod tests {
     fn rowsel_ai_scales_with_batch_others_do_not() {
         let pts = roofline_points();
         let ai = |step: &str, batch: usize| {
-            pts.iter()
-                .find(|p| p.step == step && p.batch == batch)
-                .expect("point exists")
-                .ai
+            pts.iter().find(|p| p.step == step && p.batch == batch).expect("point exists").ai
         };
         // RowSel: AI grows ~linearly with batch (Fig. 6 arrow).
         assert!(ai("RowSel", 64) > 32.0 * ai("RowSel", 1));
@@ -90,10 +78,7 @@ mod tests {
     #[test]
     fn rowsel_memory_bound_without_batching() {
         let pts = roofline_points();
-        let p = pts
-            .iter()
-            .find(|p| p.step == "RowSel" && p.batch == 1)
-            .expect("point exists");
+        let p = pts.iter().find(|p| p.step == "RowSel" && p.batch == 1).expect("point exists");
         assert!(p.memory_bound);
         // The paper: 1–2 integer mults per byte of DRAM access without
         // batching (raw-DB convention); ours counts preprocessed bytes,
@@ -105,8 +90,7 @@ mod tests {
     fn amortized_time_drops_then_flattens() {
         let reports = batch_scaling();
         assert_eq!(reports.len(), 4);
-        let per_query: Vec<f64> =
-            reports.iter().map(|r| r.total_s / r.batch as f64).collect();
+        let per_query: Vec<f64> = reports.iter().map(|r| r.total_s / r.batch as f64).collect();
         // Fig. 6 right: batch 1 around 12ms/query, dropping steeply.
         assert!(per_query[0] > 3.0 * per_query[3]);
         // RowSel share of the total shrinks with batching.

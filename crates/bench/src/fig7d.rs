@@ -28,11 +28,7 @@ pub fn rows() -> Vec<OpMixRow> {
         let (ntt, gemm, icrt, elem) = s.mult_shares(g.n);
         OpMixRow { step, ntt, gemm, icrt, elem }
     };
-    vec![
-        mk("ExpandQuery", &ops.expand),
-        mk("RowSel", &ops.rowsel),
-        mk("ColTor", &ops.coltor),
-    ]
+    vec![mk("ExpandQuery", &ops.expand), mk("RowSel", &ops.rowsel), mk("ColTor", &ops.coltor)]
 }
 
 #[cfg(test)]

@@ -64,17 +64,13 @@ fn run(expand: bool) -> Vec<TrafficRow> {
         let cfg = walk_config(&geom, expand, per_core, ro);
         // HS depths auto-size against the per-core capacity (§IV-A).
         let schedule = match schedule {
-            TreeSchedule::Hs { inner_bfs, .. } => TreeSchedule::Hs {
-                subtree_depth: cfg.hs_auto_depth(inner_bfs),
-                inner_bfs,
-            },
+            TreeSchedule::Hs { inner_bfs, .. } => {
+                TreeSchedule::Hs { subtree_depth: cfg.hs_auto_depth(inner_bfs), inner_bfs }
+            }
             s => s,
         };
-        let walk = if expand {
-            expand_traffic(&cfg, schedule)
-        } else {
-            coltor_traffic(&cfg, schedule)
-        };
+        let walk =
+            if expand { expand_traffic(&cfg, schedule) } else { coltor_traffic(&cfg, schedule) };
         let traffic = walk.traffic.scaled(BATCH);
         if label == "BFS" {
             bfs128_total = traffic.total();

@@ -12,7 +12,11 @@ pub fn rows() -> Vec<Vec<String>> {
     let q_bits = 128 - he.q_big().leading_zeros();
     let pir = PirParams::paper_for_db_bytes(2 << 30).expect("paper geometry");
     vec![
-        vec!["D".into(), "records".into(), format!("2^16..2^24 (2GB: 2^{})", (pir.num_records() as f64).log2() as u32)],
+        vec![
+            "D".into(),
+            "records".into(),
+            format!("2^16..2^24 (2GB: 2^{})", (pir.num_records() as f64).log2() as u32),
+        ],
         vec!["D0".into(), "initial dimension".into(), format!("{}", pir.d0())],
         vec!["d".into(), "binary dimensions".into(), format!("{} (2GB)", pir.dims())],
         vec!["N".into(), "ring degree".into(), format!("2^{}", he.n().trailing_zeros())],

@@ -10,7 +10,11 @@ pub fn rows() -> Vec<Vec<String>> {
     let p = peak_power_w(&cfg);
     use ive_accel::cost::{area_constants as ac, power_constants as pc};
     vec![
-        vec!["sysNTTU".into(), format!("{:.2}", ac::SYSNTTU_PAIR), format!("{:.2}", pc::SYSNTTU_PAIR)],
+        vec![
+            "sysNTTU".into(),
+            format!("{:.2}", ac::SYSNTTU_PAIR),
+            format!("{:.2}", pc::SYSNTTU_PAIR),
+        ],
         vec!["iCRTU".into(), format!("{:.2}", ac::ICRTU), format!("{:.2}", pc::ICRTU)],
         vec!["EWU".into(), format!("{:.2}", ac::EWU), format!("{:.2}", pc::EWU)],
         vec!["AutoU".into(), format!("{:.2}", ac::AUTOU), format!("{:.2}", pc::AUTOU)],

@@ -10,8 +10,7 @@ use ive_baselines::reported::{self, ReportedRow};
 use crate::GIB;
 
 /// The three real workloads: name, database GiB.
-pub const WORKLOADS: [(&str, u64); 3] =
-    [("Vcall", 384), ("Comm", 288), ("Fsys", 1280)];
+pub const WORKLOADS: [(&str, u64); 3] = [("Vcall", 384), ("Comm", 288), ("Fsys", 1280)];
 
 /// IVE's side of Table III.
 #[derive(Debug, Clone)]
@@ -76,11 +75,7 @@ mod tests {
         let rows = ive_rows();
         for (name, paper) in [("Vcall", 413.0), ("Comm", 544.6), ("Fsys", 127.5)] {
             let r = rows.iter().find(|r| r.workload == name).expect("row");
-            assert!(
-                (r.qps / paper - 1.0).abs() < 0.25,
-                "{name}: {:.1} vs {paper}",
-                r.qps
-            );
+            assert!((r.qps / paper - 1.0).abs() < 0.25, "{name}: {:.1} vs {paper}", r.qps);
         }
     }
 
@@ -90,11 +85,7 @@ mod tests {
         let rows = ive_rows();
         for r in rows.iter().filter(|r| r.vs_inspire.is_some()) {
             let v = r.vs_inspire.expect("checked");
-            assert!(
-                (600.0..2500.0).contains(&v),
-                "{}: {v:.0}x vs INSPIRE",
-                r.workload
-            );
+            assert!((600.0..2500.0).contains(&v), "{}: {v:.0}x vs INSPIRE", r.workload);
         }
     }
 
@@ -104,11 +95,7 @@ mod tests {
         let ive = ive_rows();
         let dpf = reported::dpf_pir();
         for (i, &gib) in [2u64, 4, 8].iter().enumerate() {
-            let ive_qps = ive
-                .iter()
-                .find(|r| r.workload == format!("{gib}GB"))
-                .expect("row")
-                .qps;
+            let ive_qps = ive.iter().find(|r| r.workload == format!("{gib}GB")).expect("row").qps;
             let dpf_qps = dpf.synth_qps[i].expect("reported");
             assert!(ive_qps > 2.0 * dpf_qps, "{gib}GB: {ive_qps:.0} vs {dpf_qps}");
         }

@@ -50,8 +50,8 @@ fn kspir_ive_qps(db_bytes: u64, cfg: &IveConfig, batch: f64) -> f64 {
     // RowSel-equivalent MACs over the preprocessed DB, plus the
     // key-switch overhead per product.
     let geom = Geometry::paper_for_db_bytes(db_bytes);
-    let macs = geom.num_records() as f64 * 2.0 * geom.k as f64 * geom.n as f64
-        * (1.0 + KSPIR_KS_OVERHEAD);
+    let macs =
+        geom.num_records() as f64 * 2.0 * geom.k as f64 * geom.n as f64 * (1.0 + KSPIR_KS_OVERHEAD);
     let compute_s = batch * macs / (cfg.gemm_macs_per_s() * cfg.compute_efficiency);
     let scan_s = geom.preprocessed_db_bytes() as f64 / cfg.hbm.bytes_per_s;
     batch / compute_s.max(scan_s)
@@ -94,10 +94,7 @@ mod tests {
     use super::*;
 
     fn row(scheme: &str, gib: u64) -> Table4Row {
-        rows()
-            .into_iter()
-            .find(|r| r.scheme == scheme && r.db_gib == gib)
-            .expect("row exists")
+        rows().into_iter().find(|r| r.scheme == scheme && r.db_gib == gib).expect("row exists")
     }
 
     #[test]

@@ -134,14 +134,12 @@ impl IveConfig {
         match self.policy {
             SchedulePolicy::Bfs => TreeSchedule::Bfs,
             SchedulePolicy::Dfs => TreeSchedule::Dfs,
-            SchedulePolicy::HsBfs => TreeSchedule::Hs {
-                subtree_depth: cfg.hs_auto_depth(true),
-                inner_bfs: true,
-            },
-            SchedulePolicy::HsDfs => TreeSchedule::Hs {
-                subtree_depth: cfg.hs_auto_depth(false),
-                inner_bfs: false,
-            },
+            SchedulePolicy::HsBfs => {
+                TreeSchedule::Hs { subtree_depth: cfg.hs_auto_depth(true), inner_bfs: true }
+            }
+            SchedulePolicy::HsDfs => {
+                TreeSchedule::Hs { subtree_depth: cfg.hs_auto_depth(false), inner_bfs: false }
+            }
         }
     }
 }
@@ -170,10 +168,7 @@ mod tests {
         // 8192 vs 32768 MACs/cycle: the 4x RowSel gap behind Fig. 14a.
         assert_eq!(ive.gemm_macs_per_s() / ark.gemm_macs_per_s(), 4.0);
         // Same total NTT engine count.
-        assert_eq!(
-            ive.cores * ive.sysnttu_per_core,
-            ark.cores * ark.sysnttu_per_core
-        );
+        assert_eq!(ive.cores * ive.sysnttu_per_core, ark.cores * ark.sysnttu_per_core);
         assert!(!ark.shared_sysnttu);
     }
 

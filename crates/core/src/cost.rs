@@ -206,8 +206,7 @@ pub fn energy_per_query_j(
     } else {
         params.pj_per_hbm_byte
     };
-    let dram_pj =
-        traffic as f64 / report.batch as f64 * params.pj_per_hbm_byte + db * db_pj;
+    let dram_pj = traffic as f64 / report.batch as f64 * params.pj_per_hbm_byte + db * db_pj;
     let static_j = params.static_w * report.total_s / report.batch as f64;
     (compute_pj + dram_pj) * 1e-12 + static_j
 }
@@ -293,10 +292,7 @@ mod tests {
             let geom = Geometry::paper_for_db_bytes(gib * GIB);
             let rep = simulate_batch(&cfg, &geom, 64, DbPlacement::Hbm);
             let e = energy_per_query_j(&cfg, &geom, &rep, &ep);
-            assert!(
-                (e / paper - 1.0).abs() < 0.4,
-                "{gib}GB: model {e:.3} vs paper {paper}"
-            );
+            assert!((e / paper - 1.0).abs() < 0.4, "{gib}GB: model {e:.3} vs paper {paper}");
         }
     }
 

@@ -80,9 +80,8 @@ impl DataflowGraph {
         // Dcp on (a, b): k iNTTs each, then iCRT + bit extraction.
         let mut icrt_ids = Vec::with_capacity(2);
         for _poly in 0..2 {
-            let intts: Vec<usize> = (0..k)
-                .map(|_| self.push(UnitClass::NttMode, ntt_cycles, dep0.clone()))
-                .collect();
+            let intts: Vec<usize> =
+                (0..k).map(|_| self.push(UnitClass::NttMode, ntt_cycles, dep0.clone())).collect();
             icrt_ids.push(self.push(UnitClass::Icrtu, icrt_cycles, intts));
         }
         // 2ℓ digit polynomials: k forward NTTs each, then the gadget GEMM
@@ -92,9 +91,8 @@ impl DataflowGraph {
         let mut gemm_ids = Vec::with_capacity(2 * ell);
         for digit in 0..2 * ell {
             let src = icrt_ids[digit / ell];
-            let ntts: Vec<usize> = (0..k)
-                .map(|_| self.push(UnitClass::NttMode, ntt_cycles, vec![src]))
-                .collect();
+            let ntts: Vec<usize> =
+                (0..k).map(|_| self.push(UnitClass::NttMode, ntt_cycles, vec![src])).collect();
             gemm_ids.push(self.push(UnitClass::GemmMode, gemm_cycles, ntts));
         }
         // CMux arithmetic on the EWU (X−Y before, +Y after).
@@ -119,18 +117,16 @@ impl DataflowGraph {
         let dep0: Vec<usize> = after.into_iter().collect();
         // iNTT(a), automorphism, iCRT, ℓ digit NTTs, key-switch GEMM,
         // plus the b-side automorphism and final add.
-        let intts: Vec<usize> = (0..k)
-            .map(|_| self.push(UnitClass::NttMode, ntt_cycles, dep0.clone()))
-            .collect();
+        let intts: Vec<usize> =
+            (0..k).map(|_| self.push(UnitClass::NttMode, ntt_cycles, dep0.clone())).collect();
         let auto = self.push(UnitClass::Autou, n as f64 / 128.0, intts);
         let icrt = self.push(UnitClass::Icrtu, icrt_cycles, vec![auto]);
         let gemm_cycles =
             2.0 * (k * n) as f64 / cfg.gemm_macs_per_cycle_core * cfg.sysnttu_per_core as f64;
         let mut gemms = Vec::with_capacity(ell);
         for _digit in 0..ell {
-            let ntts: Vec<usize> = (0..k)
-                .map(|_| self.push(UnitClass::NttMode, ntt_cycles, vec![icrt]))
-                .collect();
+            let ntts: Vec<usize> =
+                (0..k).map(|_| self.push(UnitClass::NttMode, ntt_cycles, vec![icrt])).collect();
             gemms.push(self.push(UnitClass::GemmMode, gemm_cycles, ntts));
         }
         let b_auto = self.push(UnitClass::Autou, n as f64 / 128.0, dep0);
@@ -233,8 +229,7 @@ impl DataflowGraph {
             for &dep in &dependents[idx] {
                 remaining[dep] -= 1;
                 if remaining[dep] == 0 {
-                    let ready =
-                        self.ops[dep].deps.iter().map(|&d| finish[d]).fold(0.0, f64::max);
+                    let ready = self.ops[dep].deps.iter().map(|&d| finish[d]).fold(0.0, f64::max);
                     heap.push(Ready(ready, dep));
                 }
             }
@@ -258,10 +253,7 @@ mod tests {
         let mut g = DataflowGraph::new();
         g.push_external_product(&cfg, n, k, ell, None);
         // 2k iNTT + 2ℓk NTT ops on the shared array.
-        assert_eq!(
-            g.total_cycles(UnitClass::NttMode),
-            ((2 * k + 2 * ell * k) as f64) * 32.0
-        );
+        assert_eq!(g.total_cycles(UnitClass::NttMode), ((2 * k + 2 * ell * k) as f64) * 32.0);
         // Gadget GEMM unit-cycles: 4ℓkN MACs at 512 MACs/cycle per
         // sysNTTU instance = 64 cycles per digit, 2ℓ digits.
         assert_eq!(g.total_cycles(UnitClass::GemmMode), 2.0 * ell as f64 * 64.0);

@@ -106,7 +106,11 @@ pub fn simulate_batch(
         auto_u: s.auto_coeffs / core_auto,
     };
     let cycles_of = |w: &Work| {
-        if cfg.shared_sysnttu { w.cycles_shared_sysnttu() } else { w.cycles_split_units() }
+        if cfg.shared_sysnttu {
+            w.cycles_shared_sysnttu()
+        } else {
+            w.cycles_split_units()
+        }
     };
 
     // --- ExpandQuery ----------------------------------------------------
@@ -117,21 +121,18 @@ pub fn simulate_batch(
         temp_bytes: dcp_temp_bytes(cfg, geom, 1),
         buffer_bytes: cfg.walk_buffer(),
     };
-    let mut expand_traf =
-        expand_traffic(&expand_walk, cfg.schedule_for(&expand_walk)).traffic;
+    let mut expand_traf = expand_traffic(&expand_walk, cfg.schedule_for(&expand_walk)).traffic;
     if geom.rgsw_conversion {
         // Generated RGSW selection bits spill for the ColTor step.
         expand_traf.ct_store += geom.dims as u64 * geom.rgsw_bytes();
     }
     let expand_traf = expand_traf.scaled(batch as u64);
-    let expand_compute =
-        qlp_rounds * cycles_of(&work_per_core(&ops.expand)) / (cfg.freq_hz * eff);
+    let expand_compute = qlp_rounds * cycles_of(&work_per_core(&ops.expand)) / (cfg.freq_hz * eff);
     let expand_mem = cfg.hbm.transfer_time(expand_traf.total());
     // The QLP->CLP layout transposition of the expanded ciphertexts
     // (Fig. 10) rides on the step boundary.
     let noc = crate::noc::NocModel::from_config(cfg);
-    let expand_noc =
-        noc.transition_time_s(batch as u64 * geom.d0 as u64 * geom.ct_bytes());
+    let expand_noc = noc.transition_time_s(batch as u64 * geom.d0 as u64 * geom.ct_bytes());
     let expand = StepTime::new(expand_compute + expand_noc, expand_mem, expand_traf);
 
     // --- RowSel ----------------------------------------------------------
@@ -141,17 +142,14 @@ pub fn simulate_batch(
     rowsel_traf.db_stream = db_bytes;
     // Expanded query ciphertexts in, row ciphertexts out (all on HBM).
     rowsel_traf.ct_load = b as u64 * geom.d0 as u64 * geom.ct_bytes();
-    rowsel_traf.ct_store =
-        (b * geom.rows_filled() * geom.ct_bytes() as f64).round() as u64;
+    rowsel_traf.ct_store = (b * geom.rows_filled() * geom.ct_bytes() as f64).round() as u64;
     let rowsel_mem = match placement {
         DbPlacement::Hbm => cfg.hbm.transfer_time(rowsel_traf.total()),
         DbPlacement::Lpddr => {
             let lp = cfg.lpddr.expect("LPDDR placement without an expander");
             // DB streaming and HBM ciphertext traffic overlap on separate
             // channels (§V): the slower one bounds the step.
-            lp.transfer_time(db_bytes).max(
-                cfg.hbm.transfer_time(rowsel_traf.total() - db_bytes),
-            )
+            lp.transfer_time(db_bytes).max(cfg.hbm.transfer_time(rowsel_traf.total() - db_bytes))
         }
     };
     let rowsel = StepTime::new(rowsel_compute, rowsel_mem, rowsel_traf);
@@ -169,12 +167,11 @@ pub fn simulate_batch(
     let coltor_traf = coltor_traffic(&coltor_walk, cfg.schedule_for(&coltor_walk))
         .traffic
         .scaled_f(b * geom.fill);
-    let coltor_compute =
-        qlp_rounds * cycles_of(&work_per_core(&ops.coltor)) / (cfg.freq_hz * eff);
+    let coltor_compute = qlp_rounds * cycles_of(&work_per_core(&ops.coltor)) / (cfg.freq_hz * eff);
     let coltor_mem = cfg.hbm.transfer_time(coltor_traf.total());
     // CLP->QLP transposition of the RowSel outputs feeding the tournament.
-    let coltor_noc = noc
-        .transition_time_s((b * geom.rows_filled() * geom.ct_bytes() as f64).round() as u64);
+    let coltor_noc =
+        noc.transition_time_s((b * geom.rows_filled() * geom.ct_bytes() as f64).round() as u64);
     let coltor = StepTime::new(coltor_compute + coltor_noc, coltor_mem, coltor_traf);
 
     // --- host communication ----------------------------------------------

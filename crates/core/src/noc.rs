@@ -59,8 +59,7 @@ impl NocModel {
 
     /// Seconds for one full QLP↔CLP transition of `bytes`.
     pub fn transition_time_s(&self, bytes: u64) -> f64 {
-        (self.local_transpose_cycles(bytes) + self.global_exchange_cycles(bytes))
-            / self.freq_hz
+        (self.local_transpose_cycles(bytes) + self.global_exchange_cycles(bytes)) / self.freq_hz
     }
 
     /// Global wires required (one per lane), the quantity the paper notes
@@ -104,8 +103,7 @@ mod tests {
         let one = NocModel { cores: 1, lanes: 64, freq_hz: 1e9 };
         assert_eq!(one.global_exchange_cycles(1 << 20), 0.0);
         let many = paper_noc();
-        let frac = many.global_exchange_cycles(1 << 20)
-            / many.local_transpose_cycles(1 << 20);
+        let frac = many.global_exchange_cycles(1 << 20) / many.local_transpose_cycles(1 << 20);
         assert!((frac - 31.0 / 32.0).abs() < 1e-9);
     }
 

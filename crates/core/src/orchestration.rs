@@ -90,8 +90,7 @@ pub fn run_schedule(
         total_cycles: compute_free,
         stall_cycles: stalls,
         compute_cycles: ops.iter().map(|o| o.compute_cycles).sum(),
-        transfer_cycles: ops.iter().map(|o| o.load_bytes as f64).sum::<f64>()
-            / bytes_per_cycle,
+        transfer_cycles: ops.iter().map(|o| o.load_bytes as f64).sum::<f64>() / bytes_per_cycle,
     }
 }
 
@@ -100,9 +99,7 @@ pub fn run_schedule(
 /// fresh operands (HS keeps keys resident) and computing for
 /// `cycles_per_op`.
 pub fn coltor_stream(ops: usize, ct_bytes: u64, cycles_per_op: f64) -> Vec<ScheduledOp> {
-    (0..ops)
-        .map(|_| ScheduledOp { load_bytes: ct_bytes, compute_cycles: cycles_per_op })
-        .collect()
+    (0..ops).map(|_| ScheduledOp { load_bytes: ct_bytes, compute_cycles: cycles_per_op }).collect()
 }
 
 #[cfg(test)]
@@ -142,7 +139,12 @@ mod tests {
         // exactly the engine's model).
         let r = run_schedule(&stream(128), 4, 8.0);
         assert!(r.transfer_cycles > r.compute_cycles);
-        assert!(r.overlap_achieved(0.02), "total {} vs floor {}", r.total_cycles, r.transfer_cycles);
+        assert!(
+            r.overlap_achieved(0.02),
+            "total {} vs floor {}",
+            r.total_cycles,
+            r.transfer_cycles
+        );
     }
 
     #[test]

@@ -21,9 +21,9 @@ pub struct ServiceTable {
 
 impl ServiceTable {
     /// Builds from `f(batch)` for `batch = 1..=max_batch`.
-    pub fn from_fn(max_batch: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+    pub fn from_fn(max_batch: usize, f: impl FnMut(usize) -> f64) -> Self {
         assert!(max_batch >= 1);
-        ServiceTable { latencies: (1..=max_batch).map(|b| f(b)).collect() }
+        ServiceTable { latencies: (1..=max_batch).map(f).collect() }
     }
 
     /// Largest batch the table covers.
@@ -39,11 +39,7 @@ impl ServiceTable {
 
     /// The saturation throughput of the largest batch.
     pub fn max_throughput_qps(&self) -> f64 {
-        self.latencies
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (i + 1) as f64 / t)
-            .fold(0.0, f64::max)
+        self.latencies.iter().enumerate().map(|(i, &t)| (i + 1) as f64 / t).fold(0.0, f64::max)
     }
 }
 
@@ -201,8 +197,8 @@ mod tests {
         let t = table();
         let mut r = rng();
         let loads: Vec<f64> = (1..=30).map(|i| i as f64).collect();
-        let be = break_even_qps(&t, 0.032, 64, &loads, 4000, &mut r)
-            .expect("break-even within 30 QPS");
+        let be =
+            break_even_qps(&t, 0.032, 64, &loads, 4000, &mut r).expect("break-even within 30 QPS");
         assert!((2.0..30.0).contains(&be), "break-even at {be}");
     }
 

@@ -74,9 +74,7 @@ impl IveSystem {
         match &self.config.lpddr {
             Some(lp) if lp.fits(need) => Ok(DbPlacement::Lpddr),
             Some(lp) => Err(SystemError::DbTooLarge { need, capacity: lp.capacity_bytes }),
-            None => {
-                Err(SystemError::DbTooLarge { need, capacity: self.config.hbm.capacity_bytes })
-            }
+            None => Err(SystemError::DbTooLarge { need, capacity: self.config.hbm.capacity_bytes }),
         }
     }
 
@@ -160,8 +158,7 @@ impl IveCluster {
         let core_cycles = ops.residue_ntts * cfg.ntt_cycles_per_poly(geom.n)
             / cfg.sysnttu_per_core as f64
             + ops.gemm_macs / cfg.gemm_macs_per_cycle_core;
-        let final_coltor_s =
-            rounds * core_cycles / (cfg.freq_hz * cfg.compute_efficiency);
+        let final_coltor_s = rounds * core_cycles / (cfg.freq_hz * cfg.compute_efficiency);
 
         let total_s = per_system.total_s + gather_s + final_coltor_s;
         let qps = batch as f64 / total_s;
@@ -219,11 +216,7 @@ mod tests {
         let sys = IveSystem::paper();
         let geom = Geometry::paper_for_db_bytes(128 * GIB);
         let r = sys.run(&geom, 128).expect("fits in LPDDR");
-        assert!(
-            (r.qps / 79.9 - 1.0).abs() < 0.3,
-            "model {:.1} QPS vs paper 79.9",
-            r.qps
-        );
+        assert!((r.qps / 79.9 - 1.0).abs() < 0.3, "model {:.1} QPS vs paper 79.9", r.qps);
     }
 
     #[test]

@@ -158,10 +158,8 @@ impl BfvCiphertext {
         let phase = self.phase(sk);
         let q = params.q_big();
         let p = params.p() as u128;
-        let values: Vec<u64> = phase
-            .iter()
-            .map(|&c| (wide::mul_div_round(c, p, q) % p) as u64)
-            .collect();
+        let values: Vec<u64> =
+            phase.iter().map(|&c| (wide::mul_div_round(c, p, q) % p) as u64).collect();
         Plaintext { values }
     }
 
@@ -286,10 +284,7 @@ mod tests {
         let diff = ct.decrypt(&params, &sk);
         let p = params.p();
         for i in 0..params.n() {
-            assert_eq!(
-                diff.values()[i],
-                (m1.values()[i] + p - m2.values()[i]) % p
-            );
+            assert_eq!(diff.values()[i], (m1.values()[i] + p - m2.values()[i]) % p);
         }
     }
 

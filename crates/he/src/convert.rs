@@ -206,8 +206,7 @@ mod tests {
                 .collect();
             let rgsw = key.convert(&params, &digit_cts).unwrap();
             // Use it in an external product.
-            let m: Vec<u64> =
-                (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
+            let m: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
             let pt = Plaintext::new(&params, m).unwrap();
             let ct = BfvCiphertext::encrypt(&params, &sk, &pt, &mut rng);
             let out = rgsw.external_product(&params, &ct).unwrap();

@@ -41,10 +41,8 @@ pub struct SwitchedCiphertext {
 impl SwitchedCiphertext {
     /// Serialized size (two `k' × N` matrices packed at the prime width).
     pub fn byte_len(&self, params: &HeParams) -> usize {
-        let bits: usize = params.ring().basis().moduli()[..self.primes]
-            .iter()
-            .map(|m| m.bits() as usize)
-            .sum();
+        let bits: usize =
+            params.ring().basis().moduli()[..self.primes].iter().map(|m| m.bits() as usize).sum();
         (2 * params.n() * bits).div_ceil(8)
     }
 
@@ -69,10 +67,7 @@ pub fn min_switch_primes(params: &HeParams) -> usize {
 }
 
 fn q_prefix(params: &HeParams, primes: usize) -> u128 {
-    params.ring().basis().moduli()[..primes]
-        .iter()
-        .map(|m| m.value() as u128)
-        .product()
+    params.ring().basis().moduli()[..primes].iter().map(|m| m.value() as u128).product()
 }
 
 /// Rescales `ct` from `Q` to the minimal safe prefix `Q'`:
@@ -98,9 +93,7 @@ pub fn switch_to_primes(
 ) -> Result<SwitchedCiphertext, HeError> {
     let k = params.ring().basis().len();
     if primes == 0 || primes > k {
-        return Err(HeError::InvalidParams(format!(
-            "cannot switch to {primes} of {k} primes"
-        )));
+        return Err(HeError::InvalidParams(format!("cannot switch to {primes} of {k} primes")));
     }
     let q_big = params.q_big();
     let q_prime = q_prefix(params, primes);
@@ -124,11 +117,7 @@ pub fn switch_to_primes(
 
 /// Decrypts a switched ciphertext:
 /// `m = round(P·(b − a·s mod Q')/Q') mod P`.
-pub fn decrypt_switched(
-    params: &HeParams,
-    sk: &SecretKey,
-    ct: &SwitchedCiphertext,
-) -> Plaintext {
+pub fn decrypt_switched(params: &HeParams, sk: &SecretKey, ct: &SwitchedCiphertext) -> Plaintext {
     let primes = ct.primes;
     let n = params.n();
     let basis = params.ring().basis();
@@ -184,8 +173,7 @@ mod tests {
     fn switch_then_decrypt_roundtrip() {
         let (params, sk, mut rng) = setup();
         for _ in 0..5 {
-            let vals: Vec<u64> =
-                (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
+            let vals: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
             let m = Plaintext::new(&params, vals).unwrap();
             let ct = BfvCiphertext::encrypt(&params, &sk, &m, &mut rng);
             let switched = switch_to_first_prime(&params, &ct).unwrap();
@@ -220,8 +208,7 @@ mod tests {
         // Switch the output of an external product (a realistic PIR
         // response) and still decrypt correctly.
         let (params, sk, mut rng) = setup();
-        let vals: Vec<u64> =
-            (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
+        let vals: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
         let m = Plaintext::new(&params, vals).unwrap();
         let ct = BfvCiphertext::encrypt(&params, &sk, &m, &mut rng);
         let one = crate::rgsw::RgswCiphertext::encrypt_bit(&params, &sk, true, &mut rng);
@@ -236,8 +223,7 @@ mod tests {
         let params = HeParams::paper();
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let sk = SecretKey::generate(&params, &mut rng);
-        let vals: Vec<u64> =
-            (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
+        let vals: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
         let m = Plaintext::new(&params, vals).unwrap();
         let ct = BfvCiphertext::encrypt(&params, &sk, &m, &mut rng);
         let switched = switch_to_first_prime(&params, &ct).unwrap();
@@ -262,8 +248,7 @@ mod tests {
         let params = HeParams::paper();
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
         let sk = SecretKey::generate(&params, &mut rng);
-        let vals: Vec<u64> =
-            (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
+        let vals: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
         let m = Plaintext::new(&params, vals).unwrap();
         let ct = BfvCiphertext::encrypt(&params, &sk, &m, &mut rng);
         let switched = switch_to_primes(&params, &ct, 1).unwrap();

@@ -67,8 +67,7 @@ mod tests {
         let params = HeParams::toy();
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let sk = SecretKey::generate(&params, &mut rng);
-        let vals: Vec<u64> =
-            (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
+        let vals: Vec<u64> = (0..params.n()).map(|_| rng.gen_range(0..params.p())).collect();
         let m = Plaintext::new(&params, vals).unwrap();
         let ct = BfvCiphertext::encrypt(&params, &sk, &m, &mut rng);
         // CBD(eta=4) noise is at most eta + encoding round-off of P/2-ish.

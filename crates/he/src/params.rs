@@ -48,6 +48,7 @@ impl HeParams {
         }
         gadget.check_covers(q_big)?;
         let delta = q_big >> p_bits; // floor(Q / 2^p_bits)
+
         // X^{-1} = -X^{N-1} in R_Q.
         let n = ring.n();
         let mut x_inv = RnsPoly::zero(&ring, Form::Coeff);
@@ -89,7 +90,11 @@ impl HeParams {
     /// Plaintext modulus `P = 2^p_bits`.
     #[inline]
     pub fn p(&self) -> u64 {
-        if self.p_bits == 64 { 0 } else { 1u64 << self.p_bits }
+        if self.p_bits == 64 {
+            0
+        } else {
+            1u64 << self.p_bits
+        }
     }
 
     /// `log2(P)`.

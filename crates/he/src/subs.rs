@@ -128,8 +128,7 @@ mod tests {
         let (params, sk, mut rng) = setup();
         let n = params.n();
         for r in [3usize, 5, n + 1, n / 2 + 1] {
-            let vals: Vec<u64> =
-                (0..n).map(|_| rng.gen_range(0..params.p())).collect();
+            let vals: Vec<u64> = (0..n).map(|_| rng.gen_range(0..params.p())).collect();
             let m = Plaintext::new(&params, vals.clone()).unwrap();
             let ct = BfvCiphertext::encrypt(&params, &sk, &m, &mut rng);
             let key = SubsKey::generate(&params, &sk, r, &mut rng);
@@ -155,16 +154,16 @@ mod tests {
         even.add_assign(&subbed).unwrap();
         let even_m = even.decrypt(&params, &sk);
         let p = params.p();
-        for i in 0..n {
-            let expect = if i % 2 == 0 { (2 * vals[i]) % p } else { 0 };
+        for (i, &v) in vals.iter().enumerate() {
+            let expect = if i % 2 == 0 { (2 * v) % p } else { 0 };
             assert_eq!(even_m.values()[i], expect, "even branch, coeff {i}");
         }
 
         let mut odd = ct.clone();
         odd.sub_assign(&subbed).unwrap();
         let odd_m = odd.decrypt(&params, &sk);
-        for i in 0..n {
-            let expect = if i % 2 == 1 { (2 * vals[i]) % p } else { 0 };
+        for (i, &v) in vals.iter().enumerate() {
+            let expect = if i % 2 == 1 { (2 * v) % p } else { 0 };
             assert_eq!(odd_m.values()[i], expect, "odd branch, coeff {i}");
         }
     }

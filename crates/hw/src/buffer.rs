@@ -129,8 +129,7 @@ impl ManagedBuffer {
             }
         }
         self.used += bytes;
-        self.entries
-            .insert(id, Entry { bytes, dirty, pinned: false, last_touch: self.clock });
+        self.entries.insert(id, Entry { bytes, dirty, pinned: false, last_touch: self.clock });
     }
 
     fn evict_one(&mut self) -> bool {

@@ -96,7 +96,7 @@ mod tests {
     #[test]
     fn transfer_time_scales() {
         let hbm = MemSpec::hbm_chip();
-        let t = hbm.transfer_time(2048_000_000_000);
+        let t = hbm.transfer_time(2_048_000_000_000);
         assert!((t - 1.0).abs() < 1e-9);
         assert_eq!(hbm.transfer_time(0), 0.0);
     }

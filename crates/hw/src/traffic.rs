@@ -18,12 +18,8 @@ pub enum TrafficClass {
 }
 
 /// All classes, in display order.
-pub const ALL_CLASSES: [TrafficClass; 4] = [
-    TrafficClass::CtLoad,
-    TrafficClass::CtStore,
-    TrafficClass::KeyLoad,
-    TrafficClass::DbStream,
-];
+pub const ALL_CLASSES: [TrafficClass; 4] =
+    [TrafficClass::CtLoad, TrafficClass::CtStore, TrafficClass::KeyLoad, TrafficClass::DbStream];
 
 /// Byte counters per traffic class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]

@@ -346,8 +346,7 @@ mod tests {
         let bfs = coltor_traffic(&cfg, TreeSchedule::Bfs).traffic;
         let ds = cfg.hs_auto_depth(false);
         let hs =
-            coltor_traffic(&cfg, TreeSchedule::Hs { subtree_depth: ds, inner_bfs: false })
-                .traffic;
+            coltor_traffic(&cfg, TreeSchedule::Hs { subtree_depth: ds, inner_bfs: false }).traffic;
         assert!(
             hs.total() * 14 < bfs.total() * 10,
             "HS {} vs BFS {} (expected >1.4x reduction)",

@@ -21,7 +21,7 @@ impl Gadget {
     /// Panics if `base_bits` is zero or exceeds 27 (digits must stay below
     /// every 28-bit RNS prime), or if `ell == 0`.
     pub fn new(base_bits: u32, ell: usize) -> Self {
-        assert!(base_bits >= 1 && base_bits <= 27, "base 2^{base_bits} unsupported");
+        assert!((1..=27).contains(&base_bits), "base 2^{base_bits} unsupported");
         assert!(ell >= 1);
         Gadget { base_bits, ell }
     }
@@ -43,11 +43,7 @@ impl Gadget {
         if (self.base_bits as usize) * self.ell >= q_bits as usize {
             Ok(())
         } else {
-            Err(MathError::GadgetTooSmall {
-                base_bits: self.base_bits,
-                ell: self.ell,
-                q_bits,
-            })
+            Err(MathError::GadgetTooSmall { base_bits: self.base_bits, ell: self.ell, q_bits })
         }
     }
 
@@ -160,8 +156,8 @@ mod tests {
         let x = 0x3_1759_ACEDu128 & ((1 << 30) - 1);
         let mut digits = vec![0u64; 6];
         g.decompose_u128(x, &mut digits);
-        for j in 0..6 {
-            assert_eq!(g.digit(x, j), digits[j]);
+        for (j, &d) in digits.iter().enumerate() {
+            assert_eq!(g.digit(x, j), d);
         }
     }
 

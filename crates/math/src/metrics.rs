@@ -79,12 +79,8 @@ mod tests {
     #[test]
     fn snapshot_delta_arithmetic() {
         let a = OpSnapshot { residue_ntts: 5, pointwise_macs: 100, icrt_coeffs: 7, auto_coeffs: 3 };
-        let b = OpSnapshot {
-            residue_ntts: 12,
-            pointwise_macs: 150,
-            icrt_coeffs: 9,
-            auto_coeffs: 3,
-        };
+        let b =
+            OpSnapshot { residue_ntts: 12, pointwise_macs: 150, icrt_coeffs: 9, auto_coeffs: 3 };
         let d = b.delta_since(&a);
         assert_eq!(d.residue_ntts, 7);
         assert_eq!(d.pointwise_macs, 50);

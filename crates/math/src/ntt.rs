@@ -157,8 +157,7 @@ mod tests {
         for n in [2usize, 8, 64, 256, 4096] {
             let t = table(n);
             let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
-            let orig: Vec<u64> =
-                (0..n).map(|_| rng.gen_range(0..t.modulus().value())).collect();
+            let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.modulus().value())).collect();
             let mut a = orig.clone();
             t.forward(&mut a);
             t.inverse(&mut a);
@@ -237,9 +236,6 @@ mod tests {
     fn unfriendly_modulus_rejected() {
         // 97 - 1 = 96 is not divisible by 2·64.
         let m = Modulus::new(97);
-        assert!(matches!(
-            NttTable::new(&m, 64),
-            Err(MathError::NotNttFriendly { .. })
-        ));
+        assert!(matches!(NttTable::new(&m, 64), Err(MathError::NotNttFriendly { .. })));
     }
 }

@@ -101,6 +101,7 @@ impl FourStepNtt {
         }
         let psi = modulus.element_of_order(2 * n as u64)?;
         let omega = modulus.mul(psi, psi); // primitive N-th root
+
         // Pre-twist folds X^N + 1 into X^N − 1.
         let mut pre_twist = vec![1u64; n];
         for i in 1..n {
@@ -228,9 +229,8 @@ mod tests {
             let m = Modulus::special_primes()[0];
             let plan = FourStepNtt::new(&m, n).unwrap();
             let (r, c) = plan.shape();
-            let four_step =
-                c as u64 * (r as u64 / 2) * r.trailing_zeros() as u64
-                    + r as u64 * (c as u64 / 2) * c.trailing_zeros() as u64;
+            let four_step = c as u64 * (r as u64 / 2) * r.trailing_zeros() as u64
+                + r as u64 * (c as u64 / 2) * c.trailing_zeros() as u64;
             assert_eq!(four_step, butterfly_count(n), "n={n}");
         }
     }

@@ -14,12 +14,12 @@ pub fn negacyclic_mul_schoolbook(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
     assert_eq!(a.len(), b.len());
     let n = a.len();
     let mut out = vec![0u64; n];
-    for i in 0..n {
-        if a[i] == 0 {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
             continue;
         }
-        for j in 0..n {
-            let prod = mul_mod(a[i], b[j], q);
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = mul_mod(ai, bj, q);
             let k = i + j;
             if k < n {
                 out[k] = add_mod(out[k], prod, q);
@@ -145,8 +145,7 @@ mod tests {
         let b: Vec<u64> = (0..n as u64).map(|i| 7 * i + 1).collect();
         let r = 9;
         let lhs = automorphism(&negacyclic_mul_schoolbook(&a, &b, Q), r, Q);
-        let rhs =
-            negacyclic_mul_schoolbook(&automorphism(&a, r, Q), &automorphism(&b, r, Q), Q);
+        let rhs = negacyclic_mul_schoolbook(&automorphism(&a, r, Q), &automorphism(&b, r, Q), Q);
         assert_eq!(lhs, rhs);
     }
 

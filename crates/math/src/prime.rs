@@ -37,7 +37,7 @@ pub fn is_prime(n: u64) -> bool {
 /// Finds the largest prime `< 2^bits` with `q ≡ 1 (mod 2n)`, scanning
 /// downward. Used to build alternative RNS bases in tests and ablations.
 pub fn find_ntt_prime_below(bits: u32, n: usize) -> Option<u64> {
-    assert!(bits >= 4 && bits <= 62);
+    assert!((4..=62).contains(&bits));
     let step = 2 * n as u64;
     let top = 1u64 << bits;
     let mut cand = top - (top % step) + 1;

@@ -17,21 +17,33 @@
 pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
     debug_assert!(a < q && b < q);
     let s = a + b;
-    if s >= q { s - q } else { s }
+    if s >= q {
+        s - q
+    } else {
+        s
+    }
 }
 
 /// Subtracts `a - b (mod q)`. Requires `a, b < q`.
 #[inline(always)]
 pub fn sub_mod(a: u64, b: u64, q: u64) -> u64 {
     debug_assert!(a < q && b < q);
-    if a >= b { a - b } else { a + q - b }
+    if a >= b {
+        a - b
+    } else {
+        a + q - b
+    }
 }
 
 /// Negates `a (mod q)`. Requires `a < q`.
 #[inline(always)]
 pub fn neg_mod(a: u64, q: u64) -> u64 {
     debug_assert!(a < q);
-    if a == 0 { 0 } else { q - a }
+    if a == 0 {
+        0
+    } else {
+        q - a
+    }
 }
 
 /// Multiplies `a * b (mod q)` through a 128-bit product.
@@ -114,11 +126,12 @@ impl ShoupMul {
     #[inline(always)]
     pub fn mul(&self, a: u64, q: u64) -> u64 {
         let hi = ((self.quotient as u128 * a as u128) >> 64) as u64;
-        let r = self
-            .value
-            .wrapping_mul(a)
-            .wrapping_sub(hi.wrapping_mul(q));
-        if r >= q { r - q } else { r }
+        let r = self.value.wrapping_mul(a).wrapping_sub(hi.wrapping_mul(q));
+        if r >= q {
+            r - q
+        } else {
+            r
+        }
     }
 }
 
@@ -136,7 +149,7 @@ impl Barrett {
     /// # Panics
     /// Panics if `q < 2` or `q >= 2^62`.
     pub fn new(q: u64) -> Self {
-        assert!(q >= 2 && q < (1 << 62), "Barrett modulus out of range");
+        assert!((2..1u64 << 62).contains(&q), "Barrett modulus out of range");
         // floor(2^128 / q) computed via 256/64 long division on two limbs.
         let hi = (u128::MAX / q as u128) as u64;
         // Remainder of 2^128 mod q: since 2^128 = (u128::MAX) + 1,

@@ -13,7 +13,7 @@ use crate::gadget::Gadget;
 use crate::modulus::Modulus;
 use crate::ntt::NttTable;
 use crate::poly;
-use crate::{MathError, log2_exact};
+use crate::{log2_exact, MathError};
 
 /// An RNS basis `Q = q_0 q_1 ... q_{k-1}` with iCRT precomputations.
 #[derive(Debug, Clone)]
@@ -51,9 +51,9 @@ impl RnsBasis {
         }
         let mut q_big: u128 = 1;
         for m in &moduli {
-            q_big = q_big.checked_mul(m.value() as u128).ok_or_else(|| {
-                MathError::InvalidBasis("modulus product overflows u128".into())
-            })?;
+            q_big = q_big
+                .checked_mul(m.value() as u128)
+                .ok_or_else(|| MathError::InvalidBasis("modulus product overflows u128".into()))?;
         }
         if q_big >= (1u128 << 120) {
             return Err(MathError::InvalidBasis("modulus product exceeds 2^120".into()));
@@ -111,8 +111,8 @@ impl RnsBasis {
     pub fn from_residues(&self, residues: &[u64]) -> u128 {
         assert_eq!(residues.len(), self.len());
         let mut acc: u128 = 0;
-        for i in 0..self.len() {
-            let scaled = self.moduli[i].mul(residues[i], self.qi_hat_inv[i]);
+        for (i, &r) in residues.iter().enumerate() {
+            let scaled = self.moduli[i].mul(r, self.qi_hat_inv[i]);
             acc += scaled as u128 * self.qi_hat[i] % self.q_big;
             if acc >= self.q_big {
                 acc -= self.q_big;
@@ -160,11 +160,8 @@ impl RingContext {
     /// NTT-friendly at this degree.
     pub fn new(n: usize, basis: RnsBasis) -> Result<Arc<Self>, MathError> {
         log2_exact(n)?;
-        let ntt = basis
-            .moduli()
-            .iter()
-            .map(|m| NttTable::new(m, n))
-            .collect::<Result<Vec<_>, _>>()?;
+        let ntt =
+            basis.moduli().iter().map(|m| NttTable::new(m, n)).collect::<Result<Vec<_>, _>>()?;
         Ok(Arc::new(RingContext { n, basis, ntt }))
     }
 
@@ -207,8 +204,7 @@ impl RingContext {
     /// giving the paper's 56KB figure for `N = 2^12` with four residues
     /// (§II-B).
     pub fn poly_bytes(&self) -> usize {
-        let bits: usize =
-            self.basis.moduli().iter().map(|m| self.n * m.bits() as usize).sum();
+        let bits: usize = self.basis.moduli().iter().map(|m| self.n * m.bits() as usize).sum();
         bits.div_ceil(8)
     }
 }
@@ -247,11 +243,7 @@ impl Eq for RnsPoly {}
 impl RnsPoly {
     /// The zero polynomial in the given form.
     pub fn zero(ctx: &Arc<RingContext>, form: Form) -> Self {
-        RnsPoly {
-            ctx: Arc::clone(ctx),
-            form,
-            coeffs: vec![0; ctx.basis().len() * ctx.n()],
-        }
+        RnsPoly { ctx: Arc::clone(ctx), form, coeffs: vec![0; ctx.basis().len() * ctx.n()] }
     }
 
     /// Builds a polynomial from wide coefficients (reduced per residue).
@@ -304,11 +296,7 @@ impl RnsPoly {
 
     /// Centered-binomial noise polynomial with parameter `eta`
     /// (variance `eta / 2`), in coefficient form.
-    pub fn sample_cbd<R: Rng + ?Sized>(
-        ctx: &Arc<RingContext>,
-        eta: u32,
-        rng: &mut R,
-    ) -> Self {
+    pub fn sample_cbd<R: Rng + ?Sized>(ctx: &Arc<RingContext>, eta: u32, rng: &mut R) -> Self {
         let n = ctx.n();
         let mut signed = vec![0i64; n];
         for s in signed.iter_mut() {
@@ -533,8 +521,8 @@ impl RnsPoly {
         let mut out = vec![0u128; n];
         let mut residues = vec![0u64; basis.len()];
         for (i, dst) in out.iter_mut().enumerate() {
-            for m in 0..basis.len() {
-                residues[m] = self.coeffs[m * n + i];
+            for (m, r) in residues.iter_mut().enumerate() {
+                *r = self.coeffs[m * n + i];
             }
             *dst = basis.from_residues(&residues);
         }
@@ -555,10 +543,10 @@ impl RnsPoly {
         let mut out: Vec<RnsPoly> =
             (0..gadget.ell()).map(|_| RnsPoly::zero(&self.ctx, Form::Coeff)).collect();
         for (i, &c) in wide.iter().enumerate() {
-            for j in 0..gadget.ell() {
+            for (j, digit_poly) in out.iter_mut().enumerate() {
                 let d = gadget.digit(c, j);
                 for (m, modulus) in basis.moduli().iter().enumerate() {
-                    out[j].coeffs[m * n + i] =
+                    digit_poly.coeffs[m * n + i] =
                         if d < modulus.value() { d } else { d % modulus.value() };
                 }
             }
@@ -596,10 +584,7 @@ mod tests {
             assert_eq!(basis.from_residues(&rs), x);
         }
         assert_eq!(basis.from_residues(&basis.to_residues(0)), 0);
-        assert_eq!(
-            basis.from_residues(&basis.to_residues(basis.q_big() - 1)),
-            basis.q_big() - 1
-        );
+        assert_eq!(basis.from_residues(&basis.to_residues(basis.q_big() - 1)), basis.q_big() - 1);
     }
 
     #[test]
@@ -694,10 +679,13 @@ mod tests {
         fast.mul_scalar_u128(c);
         let wide = a.to_coeffs_u128().unwrap();
         let q = ctx.basis().q_big();
-        let expect: Vec<u128> = wide.iter().map(|&x| {
-            let (hi, lo) = crate::wide::mul_u128(x, c);
-            crate::wide::div_rem_wide(hi, lo, q).1
-        }).collect();
+        let expect: Vec<u128> = wide
+            .iter()
+            .map(|&x| {
+                let (hi, lo) = crate::wide::mul_u128(x, c);
+                crate::wide::div_rem_wide(hi, lo, q).1
+            })
+            .collect();
         assert_eq!(fast.to_coeffs_u128().unwrap(), expect);
     }
 

@@ -114,10 +114,7 @@ impl<R: Rng> PirClient<R> {
     /// Fails when `index` is out of range.
     pub fn query(&mut self, index: usize) -> Result<PirQuery, PirError> {
         if index >= self.params.num_records() {
-            return Err(PirError::IndexOutOfRange {
-                index,
-                records: self.params.num_records(),
-            });
+            return Err(PirError::IndexOutOfRange { index, records: self.params.num_records() });
         }
         let he = self.params.he();
         let (row, col) = self.params.split_index(index);
@@ -146,11 +143,7 @@ impl<R: Rng> PirClient<R> {
     ///
     /// # Errors
     /// Currently infallible; kept fallible for API stability.
-    pub fn decode(
-        &self,
-        _query: &PirQuery,
-        response: &BfvCiphertext,
-    ) -> Result<Vec<u8>, PirError> {
+    pub fn decode(&self, _query: &PirQuery, response: &BfvCiphertext) -> Result<Vec<u8>, PirError> {
         let he = self.params.he();
         let pt = response.decrypt(he, &self.sk);
         Ok(plaintext_to_bytes(he, &pt))
@@ -185,27 +178,19 @@ mod tests {
     #[test]
     fn query_shapes() {
         let params = PirParams::toy();
-        let mut client =
-            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(61)).unwrap();
+        let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(61)).unwrap();
         let q = client.query(13).unwrap();
         assert_eq!(q.row_bits().len(), params.dims() as usize);
         assert_eq!(client.public_keys().subs_keys().len(), params.log_d0() as usize);
         let he = params.he();
-        assert_eq!(
-            q.byte_len(he),
-            he.ct_bytes() + params.dims() as usize * he.rgsw_bytes()
-        );
-        assert_eq!(
-            client.public_keys().byte_len(he),
-            params.log_d0() as usize * he.evk_bytes()
-        );
+        assert_eq!(q.byte_len(he), he.ct_bytes() + params.dims() as usize * he.rgsw_bytes());
+        assert_eq!(client.public_keys().byte_len(he), params.log_d0() as usize * he.evk_bytes());
     }
 
     #[test]
     fn out_of_range_query_rejected() {
         let params = PirParams::toy();
-        let mut client =
-            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(62)).unwrap();
+        let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(62)).unwrap();
         let err = client.query(params.num_records()).unwrap_err();
         assert!(matches!(err, PirError::IndexOutOfRange { .. }));
     }

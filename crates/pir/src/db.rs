@@ -58,8 +58,7 @@ impl Database {
         let he = params.he();
         let polys = (0..params.num_records())
             .map(|_| {
-                let vals: Vec<u64> =
-                    (0..he.n()).map(|_| rng.gen_range(0..he.p())).collect();
+                let vals: Vec<u64> = (0..he.n()).map(|_| rng.gen_range(0..he.p())).collect();
                 Plaintext::new(he, vals).expect("sampled below P").to_ntt_poly(he)
             })
             .collect();
@@ -186,8 +185,7 @@ mod tests {
     #[test]
     fn matrix_view_indexing() {
         let params = PirParams::toy();
-        let records: Vec<Vec<u8>> =
-            (0..params.num_records()).map(|i| vec![i as u8; 4]).collect();
+        let records: Vec<Vec<u8>> = (0..params.num_records()).map(|i| vec![i as u8; 4]).collect();
         let db = Database::from_records(&params, &records).unwrap();
         for i in 0..params.num_records() {
             let (r, c) = params.split_index(i);

@@ -50,10 +50,7 @@ pub fn expand_query(
     let n = he.n();
     let exps = expansion_exponents(n, levels);
     if keys.len() < levels as usize {
-        return Err(PirError::MissingKeys {
-            got: keys.len(),
-            need: levels as usize,
-        });
+        return Err(PirError::MissingKeys { got: keys.len(), need: levels as usize });
     }
     for (j, &r) in exps.iter().enumerate() {
         if keys[j].r() != r {
@@ -65,8 +62,7 @@ pub fn expand_query(
     }
 
     let mut cts = vec![query.clone()];
-    for j in 0..levels as usize {
-        let key = &keys[j];
+    for (j, key) in keys.iter().enumerate().take(levels as usize) {
         let x_inv = x_neg_pow_ntt(he, 1 << j);
         let mut next = Vec::with_capacity(cts.len() * 2);
         for ct in &cts {

@@ -124,8 +124,8 @@ impl KsPirServer {
             let hi = ((c + 1) * n).min(scalars.len());
             let mut vals = vec![0u64; n];
             vals[..hi - lo].copy_from_slice(&scalars[lo..hi]);
-            let pt = Plaintext::new(he, vals)
-                .map_err(|e| PirError::InvalidParams(e.to_string()))?;
+            let pt =
+                Plaintext::new(he, vals).map_err(|e| PirError::InvalidParams(e.to_string()))?;
             chunk_polys.push(pt.to_ntt_poly(he));
         }
         Ok(KsPirServer { params, chunk_polys })
@@ -146,10 +146,7 @@ impl KsPirServer {
         let he = self.params.he();
         let rounds = ive_math::log2_exact(he.n())?;
         if keys.trace.len() < rounds as usize {
-            return Err(PirError::MissingKeys {
-                got: keys.trace.len(),
-                need: rounds as usize,
-            });
+            return Err(PirError::MissingKeys { got: keys.trace.len(), need: rounds as usize });
         }
         let mut per_chunk = Vec::with_capacity(self.chunk_polys.len());
         for poly in &self.chunk_polys {
@@ -212,10 +209,7 @@ impl<R: Rng> KsPirClient<R> {
     /// Fails when out of range.
     pub fn query(&mut self, index: usize) -> Result<KsPirQuery, PirError> {
         if index >= self.params.num_scalars() {
-            return Err(PirError::IndexOutOfRange {
-                index,
-                records: self.params.num_scalars(),
-            });
+            return Err(PirError::IndexOutOfRange { index, records: self.params.num_scalars() });
         }
         let he = self.params.he();
         let (chunk, pos) = self.params.split_index(index);
@@ -264,11 +258,9 @@ mod tests {
     fn retrieves_scalars_across_chunks_and_positions() {
         let params = KsPirParams::toy();
         let total = params.num_scalars();
-        let scalars: Vec<u64> =
-            (0..total).map(|i| (i as u64 * 31 + 5) % params.he().p()).collect();
+        let scalars: Vec<u64> = (0..total).map(|i| (i as u64 * 31 + 5) % params.he().p()).collect();
         let server = KsPirServer::new(params.clone(), &scalars).unwrap();
-        let mut client =
-            KsPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(91)).unwrap();
+        let mut client = KsPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(91)).unwrap();
         let n = params.he().n();
         for index in [0usize, 1, n - 1, n, n + 17, total - 1] {
             let query = client.query(index).unwrap();
@@ -306,8 +298,7 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let params = KsPirParams::toy();
-        let mut client =
-            KsPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(93)).unwrap();
+        let mut client = KsPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(93)).unwrap();
         assert!(client.query(params.num_scalars()).is_err());
     }
 

@@ -116,10 +116,9 @@ impl core::fmt::Display for PirError {
             PirError::He(e) => write!(f, "HE error: {e}"),
             PirError::Math(e) => write!(f, "math error: {e}"),
             PirError::InvalidParams(msg) => write!(f, "invalid PIR parameters: {msg}"),
-            PirError::RecordTooLarge { index, len, capacity } => write!(
-                f,
-                "record {index} is {len} bytes but the capacity is {capacity}"
-            ),
+            PirError::RecordTooLarge { index, len, capacity } => {
+                write!(f, "record {index} is {len} bytes but the capacity is {capacity}")
+            }
             PirError::TooManyRecords { got, capacity } => {
                 write!(f, "{got} records exceed the database capacity {capacity}")
             }

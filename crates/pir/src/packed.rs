@@ -122,10 +122,7 @@ impl<R: Rng> PackedPirClient<R> {
     /// Fails when `index` is out of range.
     pub fn query(&mut self, index: usize) -> Result<PackedQuery, PirError> {
         if index >= self.params.num_records() {
-            return Err(PirError::IndexOutOfRange {
-                index,
-                records: self.params.num_records(),
-            });
+            return Err(PirError::IndexOutOfRange { index, records: self.params.num_records() });
         }
         let he = self.params.he();
         let q = he.q_big();
@@ -240,18 +237,12 @@ mod tests {
         let db = Database::from_records(&params, &records).expect("fits");
         let server = PirServer::new(&params, db).expect("geometry matches");
         let mut client =
-            PackedPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(808))
-                .expect("keygen");
+            PackedPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(808)).expect("keygen");
         for target in [0usize, 7, 33, params.num_records() - 1] {
             let query = client.query(target).expect("in range");
-            let response = answer_packed(&server, client.public_keys(), &query)
-                .expect("pipeline");
+            let response = answer_packed(&server, client.public_keys(), &query).expect("pipeline");
             let plain = client.decode(&response).expect("decrypts");
-            assert_eq!(
-                &plain[..records[target].len()],
-                &records[target][..],
-                "record {target}"
-            );
+            assert_eq!(&plain[..records[target].len()], &records[target][..], "record {target}");
         }
     }
 
@@ -260,8 +251,7 @@ mod tests {
         let params = packed_params();
         let he = params.he();
         let mut client =
-            PackedPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(1))
-                .expect("keygen");
+            PackedPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(1)).expect("keygen");
         let q = client.query(3).expect("in range");
         assert_eq!(q.byte_len(he), 2 * he.ct_bytes());
         // Independent of d: the direct mode ships d RGSW ciphertexts.
@@ -276,12 +266,11 @@ mod tests {
         let params = packed_params();
         let he = params.he();
         let mut client =
-            PackedPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(2))
-                .expect("keygen");
+            PackedPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(2)).expect("keygen");
         let index = params.join_index(5, 2); // row 5 = 101b
         let query = client.query(index).expect("in range");
-        let bits = derive_row_bits(&params, client.public_keys(), &query.digits)
-            .expect("conversion");
+        let bits =
+            derive_row_bits(&params, client.public_keys(), &query.digits).expect("conversion");
         assert_eq!(bits.len(), params.dims() as usize);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let mx = ive_he::Plaintext::monomial(he, 0, 11).expect("valid");

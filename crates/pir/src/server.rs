@@ -114,17 +114,13 @@ impl PirServer {
         for r in 0..rows {
             for i in 0..self.params.d0() {
                 let db_poly = self.db.poly(r, i);
-                for (q, exp) in expanded.iter().enumerate() {
-                    accs[q][r].fma_plain(db_poly, &exp[i])?;
+                for (acc_row, exp) in accs.iter_mut().zip(&expanded) {
+                    acc_row[r].fma_plain(db_poly, &exp[i])?;
                 }
             }
         }
         // Step 3: per-query tournaments.
-        requests
-            .iter()
-            .zip(accs)
-            .map(|((_, query), acc)| self.col_tor_step(acc, query))
-            .collect()
+        requests.iter().zip(accs).map(|((_, query), acc)| self.col_tor_step(acc, query)).collect()
     }
 
     /// Step (1): `ExpandQuery` — derive the `D0` one-hot ciphertexts.
@@ -136,12 +132,7 @@ impl PirServer {
         keys: &ClientKeys,
         query: &PirQuery,
     ) -> Result<Vec<BfvCiphertext>, PirError> {
-        expand_query(
-            self.params.he(),
-            query.packed(),
-            keys.subs_keys(),
-            self.params.log_d0(),
-        )
+        expand_query(self.params.he(), query.packed(), keys.subs_keys(), self.params.log_d0())
     }
 
     /// Step (2): `RowSel` — `ct⁽⁰⁾_r = Σ_{i<D0} DB[r][i] ⊙ ct[i]` for every
@@ -171,12 +162,11 @@ impl PirServer {
         if rows >= ROWSEL_THREADS * ROWSEL_MIN_ROWS_PER_THREAD {
             let mut out: Vec<Option<BfvCiphertext>> = vec![None; rows];
             let chunk = rows.div_ceil(ROWSEL_THREADS);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for (start, slot_chunk) in
-                    (0..rows).step_by(chunk).zip(out.chunks_mut(chunk))
-                {
-                    handles.push(scope.spawn(move |_| -> Result<(), PirError> {
+                for (start, slot_chunk) in (0..rows).step_by(chunk).zip(out.chunks_mut(chunk)) {
+                    let reduce_row = &reduce_row;
+                    handles.push(scope.spawn(move || -> Result<(), PirError> {
                         for (off, slot) in slot_chunk.iter_mut().enumerate() {
                             *slot = Some(reduce_row(start + off)?);
                         }
@@ -187,8 +177,7 @@ impl PirServer {
                     h.join().expect("RowSel worker panicked")?;
                 }
                 Ok::<(), PirError>(())
-            })
-            .expect("RowSel scope panicked")?;
+            })?;
             Ok(out.into_iter().map(|s| s.expect("all rows filled")).collect())
         } else {
             (0..rows).map(reduce_row).collect()
@@ -217,9 +206,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn records(params: &PirParams) -> Vec<Vec<u8>> {
-        (0..params.num_records())
-            .map(|i| format!("record number {i:04}").into_bytes())
-            .collect()
+        (0..params.num_records()).map(|i| format!("record number {i:04}").into_bytes()).collect()
     }
 
     #[test]
@@ -228,8 +215,7 @@ mod tests {
         let recs = records(&params);
         let db = Database::from_records(&params, &recs).unwrap();
         let server = PirServer::new(&params, db).unwrap();
-        let mut client =
-            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(71)).unwrap();
+        let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(71)).unwrap();
         // Exhaustive over all 64 records.
         for target in 0..params.num_records() {
             let query = client.query(target).unwrap();
@@ -245,8 +231,7 @@ mod tests {
         let recs = records(&params);
         let db = Database::from_records(&params, &recs).unwrap();
         let mut server = PirServer::new(&params, db).unwrap();
-        let mut client =
-            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(72)).unwrap();
+        let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(72)).unwrap();
         let query = client.query(42).unwrap();
         let mut answers = Vec::new();
         for order in [
@@ -273,21 +258,13 @@ mod tests {
         let db = Database::from_records(&params, &recs).unwrap();
         let server = PirServer::new(&params, db).unwrap();
         let mut clients: Vec<_> = (0..3)
-            .map(|i| {
-                PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(200 + i)).unwrap()
-            })
+            .map(|i| PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(200 + i)).unwrap())
             .collect();
         let targets = [5usize, 41, 63];
-        let queries: Vec<_> = clients
-            .iter_mut()
-            .zip(targets)
-            .map(|(c, t)| c.query(t).unwrap())
-            .collect();
-        let requests: Vec<_> = clients
-            .iter()
-            .zip(&queries)
-            .map(|(c, q)| (c.public_keys(), q))
-            .collect();
+        let queries: Vec<_> =
+            clients.iter_mut().zip(targets).map(|(c, t)| c.query(t).unwrap()).collect();
+        let requests: Vec<_> =
+            clients.iter().zip(&queries).map(|(c, q)| (c.public_keys(), q)).collect();
         let batched = server.answer_batch(&requests).unwrap();
         for ((client, query), (response, target)) in
             clients.iter().zip(&queries).zip(batched.iter().zip(targets))
@@ -314,19 +291,13 @@ mod tests {
         let recs = records(&params);
         let db = Database::from_records(&params, &recs).unwrap();
         let server = PirServer::new(&params, db).unwrap();
-        let mut client =
-            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(73)).unwrap();
+        let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(73)).unwrap();
         let target = 9;
         let query = client.query(target).unwrap();
         let response = server.answer(client.public_keys(), &query).unwrap();
         let he = params.he();
         let expect = crate::db::plaintext_from_bytes(he, &recs[target]).unwrap();
-        let budget = ive_he::noise::noise_budget_bits(
-            he,
-            client.secret_key(),
-            &response,
-            &expect,
-        );
+        let budget = ive_he::noise::noise_budget_bits(he, client.secret_key(), &response, &expect);
         assert!(budget > 5.0, "remaining noise budget only {budget:.1} bits");
     }
 }

@@ -146,13 +146,13 @@ impl SimplePirServer {
             )));
         }
         let mut ans = vec![0u32; self.params.m1];
-        for r in 0..self.params.m1 {
+        for (r, slot) in ans.iter_mut().enumerate() {
             let row = &self.db[r * self.params.m2..(r + 1) * self.params.m2];
             let mut acc = 0u32;
             for (&d, &qv) in row.iter().zip(query) {
                 acc = acc.wrapping_add(d.wrapping_mul(qv));
             }
-            ans[r] = acc;
+            *slot = acc;
         }
         Ok(ans)
     }
@@ -193,8 +193,7 @@ impl SimplePirClient {
                 acc = acc.wrapping_add(av.wrapping_mul(sv));
             }
             // Centered-binomial noise (η = 4).
-            let noise: i32 =
-                (0..4).map(|_| rng.gen_range(0..2) - rng.gen_range(0..2i32)).sum();
+            let noise: i32 = (0..4).map(|_| rng.gen_range(0..2) - rng.gen_range(0..2i32)).sum();
             qu[c] = acc.wrapping_add(noise as u32);
         }
         qu[col] = qu[col].wrapping_add(self.params.delta());

@@ -15,9 +15,8 @@ fn main() {
     let geom = Geometry::paper_for_db_bytes(16 << 30);
 
     // Precompute the batch-size -> latency curve from the engine.
-    let table = ServiceTable::from_fn(64, |b| {
-        simulate_batch(&cfg, &geom, b, DbPlacement::Hbm).total_s
-    });
+    let table =
+        ServiceTable::from_fn(64, |b| simulate_batch(&cfg, &geom, b, DbPlacement::Hbm).total_s);
     let single = table.latency(1);
     let window = 0.032;
     println!(
@@ -39,17 +38,14 @@ fn main() {
     for load in [2.0f64, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0] {
         let b = simulate_poisson(&table, window, 64, load, 20_000, &mut rng);
         let nb = if load < 0.9 / single {
-            format!("{:>16.1}", 1e3 * simulate_poisson(&table, 0.0, 1, load, 20_000, &mut rng).avg_latency_s)
+            format!(
+                "{:>16.1}",
+                1e3 * simulate_poisson(&table, 0.0, 1, load, 20_000, &mut rng).avg_latency_s
+            )
         } else {
             format!("{:>16}", "diverges")
         };
-        println!(
-            "{:>12.0} | {:>16.1} {:>10.1} | {}",
-            load,
-            1e3 * b.avg_latency_s,
-            b.avg_batch,
-            nb
-        );
+        println!("{:>12.0} | {:>16.1} {:>10.1} | {}", load, 1e3 * b.avg_latency_s, b.avg_batch, nb);
     }
 
     let loads: Vec<f64> = (1..=40).map(|i| i as f64).collect();

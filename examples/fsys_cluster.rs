@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sweep cluster sizes: the smallest S whose slices fit, then the
     // QPS-per-system invariant across S.
-    println!("\n{:>8} {:>10} {:>12} {:>14} {:>10}", "systems", "tier", "QPS", "QPS/system", "latency");
+    println!(
+        "\n{:>8} {:>10} {:>12} {:>14} {:>10}",
+        "systems", "tier", "QPS", "QPS/system", "latency"
+    );
     for s in [4usize, 8, 16, 32] {
         let cluster = IveCluster::paper(s)?;
         let local = Geometry { dims: geom.dims - s.trailing_zeros(), ..geom };

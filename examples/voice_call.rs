@@ -19,16 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the record holding their mailbox.
     let slots_per_record = params.record_bytes() / 32;
     let mailboxes = params.num_records() * slots_per_record;
-    println!(
-        "functional run: {mailboxes} mailboxes packed into {} records",
-        params.num_records()
-    );
+    println!("functional run: {mailboxes} mailboxes packed into {} records", params.num_records());
     let records: Vec<Vec<u8>> = (0..params.num_records())
         .map(|r| {
             let mut rec = Vec::with_capacity(params.record_bytes());
             for s in 0..slots_per_record {
-                let mut slot = format!("msg for mailbox {:05}", r * slots_per_record + s)
-                    .into_bytes();
+                let mut slot =
+                    format!("msg for mailbox {:05}", r * slots_per_record + s).into_bytes();
                 slot.resize(32, 0);
                 rec.extend_from_slice(&slot);
             }
@@ -46,10 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let plain = client.decode(&query, &response)?;
         let got = &plain[slot * 32..(slot + 1) * 32];
         assert_eq!(got, &records[record][slot * 32..(slot + 1) * 32]);
-        println!(
-            "  mailbox {mailbox}: {:?}",
-            String::from_utf8_lossy(got).trim_end_matches('\0')
-        );
+        println!("  mailbox {mailbox}: {:?}", String::from_utf8_lossy(got).trim_end_matches('\0'));
     }
 
     // --- Part 2: the 384GB deployment model (Table III) -----------------

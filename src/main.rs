@@ -33,9 +33,8 @@ mod cli {
             let mut i = 0;
             while i < args.len() {
                 let arg = &args[i];
-                let key = arg
-                    .strip_prefix("--")
-                    .ok_or_else(|| format!("unexpected argument {arg:?}"))?;
+                let key =
+                    arg.strip_prefix("--").ok_or_else(|| format!("unexpected argument {arg:?}"))?;
                 if i + 1 < args.len() && !args[i + 1].starts_with("--") {
                     flags.pairs.push((key.to_string(), args[i + 1].clone()));
                     i += 2;
@@ -137,17 +136,14 @@ fn print_help() {
 fn demo() -> Result<(), String> {
     use ive::pir::{Database, PirClient, PirParams, PirServer};
     let params = PirParams::toy();
-    let records: Vec<Vec<u8>> = (0..params.num_records())
-        .map(|i| format!("demo record #{i:02}").into_bytes())
-        .collect();
+    let records: Vec<Vec<u8>> =
+        (0..params.num_records()).map(|i| format!("demo record #{i:02}").into_bytes()).collect();
     let db = Database::from_records(&params, &records).map_err(|e| e.to_string())?;
     let server = PirServer::new(&params, db).map_err(|e| e.to_string())?;
-    let mut client =
-        PirClient::new(&params, rand::thread_rng()).map_err(|e| e.to_string())?;
+    let mut client = PirClient::new(&params, rand::thread_rng()).map_err(|e| e.to_string())?;
     let target = 29;
     let query = client.query(target).map_err(|e| e.to_string())?;
-    let response =
-        server.answer(client.public_keys(), &query).map_err(|e| e.to_string())?;
+    let response = server.answer(client.public_keys(), &query).map_err(|e| e.to_string())?;
     let plain = client.decode(&query, &response).map_err(|e| e.to_string())?;
     println!(
         "retrieved record {target} privately: {:?}",
@@ -205,10 +201,7 @@ fn cluster(rest: &[String]) -> Result<(), String> {
     println!("{systems}-system IVE cluster, {gib}GiB database, batch {batch}:");
     println!("  cluster throughput  {:.1} QPS ({:.2} per system)", r.qps, r.qps_per_system);
     println!("  batch latency       {:.3}s", r.total_s);
-    println!(
-        "  gather + final      {:.2}ms",
-        1e3 * (r.gather_s + r.final_coltor_s)
-    );
+    println!("  gather + final      {:.2}ms", 1e3 * (r.gather_s + r.final_coltor_s));
     Ok(())
 }
 

@@ -37,11 +37,7 @@ fn mid_size_retrieval_round_trip() {
         let query = client.query(target).expect("in range");
         let response = server.answer(client.public_keys(), &query).expect("pipeline");
         let plain = client.decode(&query, &response).expect("decrypts");
-        assert_eq!(
-            &plain[..records[target].len()],
-            &records[target][..],
-            "record {target}"
-        );
+        assert_eq!(&plain[..records[target].len()], &records[target][..], "record {target}");
     }
 }
 
@@ -56,11 +52,9 @@ fn responses_identical_across_schedules_mid_size() {
         PirClient::new(&params, rand_chacha::ChaCha8Rng::seed_from_u64(7)).expect("keygen");
     let query = client.query(123).expect("in range");
     let mut outputs = Vec::new();
-    for order in [
-        TournamentOrder::Bfs,
-        TournamentOrder::Dfs,
-        TournamentOrder::Hs { subtree_depth: 2 },
-    ] {
+    for order in
+        [TournamentOrder::Bfs, TournamentOrder::Dfs, TournamentOrder::Hs { subtree_depth: 2 }]
+    {
         server.set_tournament_order(order);
         outputs.push(server.answer(client.public_keys(), &query).expect("pipeline"));
     }
@@ -108,8 +102,7 @@ fn wrong_client_keys_do_not_decrypt() {
     let server = PirServer::new(&params, db).expect("geometry matches");
     let mut alice =
         PirClient::new(&params, rand_chacha::ChaCha8Rng::seed_from_u64(1)).expect("keygen");
-    let bob =
-        PirClient::new(&params, rand_chacha::ChaCha8Rng::seed_from_u64(2)).expect("keygen");
+    let bob = PirClient::new(&params, rand_chacha::ChaCha8Rng::seed_from_u64(2)).expect("keygen");
     let query = alice.query(9).expect("in range");
     let response = server.answer(alice.public_keys(), &query).expect("pipeline");
     let alice_plain = alice.decode(&query, &response).expect("decrypts");

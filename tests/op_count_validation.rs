@@ -31,14 +31,12 @@ fn functional_op_counts_match_complexity_model() {
     };
     let model = per_query_ops(&geom);
 
-    let records: Vec<Vec<u8>> = (0..params.num_records())
-        .map(|i| format!("op-count record {i}").into_bytes())
-        .collect();
+    let records: Vec<Vec<u8>> =
+        (0..params.num_records()).map(|i| format!("op-count record {i}").into_bytes()).collect();
     let db = Database::from_records(&params, &records).expect("fits");
     let server = PirServer::new(&params, db).expect("geometry matches");
     let mut client =
-        PirClient::new(&params, rand_chacha::ChaCha8Rng::seed_from_u64(4242))
-            .expect("keygen");
+        PirClient::new(&params, rand_chacha::ChaCha8Rng::seed_from_u64(4242)).expect("keygen");
     let query = client.query(37).expect("in range");
 
     // --- RowSel in isolation: the model's MAC count must be *exact*. ---
@@ -58,7 +56,7 @@ fn functional_op_counts_match_complexity_model() {
     let before = metrics::snapshot();
     let _response = server.col_tor_step(rows, &query).expect("bits ok");
     let coltor = metrics::snapshot().delta_since(&before);
-    let products = (geom.rows() - 1) as u64;
+    let products = geom.rows() - 1;
     let expect_ntts = products * ((2 + 2 * ell) * k) as u64;
     assert_eq!(
         coltor.residue_ntts, expect_ntts,
@@ -78,17 +76,15 @@ fn functional_op_counts_match_complexity_model() {
     // The model charges one decomposed polynomial per Subs where the
     // implementation also round-trips `b` through coefficient form
     // ((3+ℓ)k vs (1+ℓ)k NTTs per Subs), so totals agree within ~1.4x.
-    let model_ntts = model.expand.residue_ntts
-        + model.rowsel.residue_ntts
-        + model.coltor.residue_ntts;
+    let model_ntts =
+        model.expand.residue_ntts + model.rowsel.residue_ntts + model.coltor.residue_ntts;
     let ratio = full.residue_ntts as f64 / model_ntts;
     assert!(
         (0.9..1.45).contains(&ratio),
         "executed {} residue NTTs vs model {model_ntts:.0} (ratio {ratio:.2})",
         full.residue_ntts
     );
-    let model_macs =
-        model.expand.gemm_macs + model.rowsel.gemm_macs + model.coltor.gemm_macs;
+    let model_macs = model.expand.gemm_macs + model.rowsel.gemm_macs + model.coltor.gemm_macs;
     let mac_ratio = full.pointwise_macs as f64 / model_macs;
     assert!(
         (0.9..1.3).contains(&mac_ratio),

@@ -3,9 +3,9 @@
 //! slice — the full-width cryptography, not the toy ring.
 
 use ive::he::noise;
+use ive::he::HeParams;
 use ive::pir::db::plaintext_from_bytes;
 use ive::pir::{Database, PirClient, PirParams, PirServer};
-use ive::he::HeParams;
 use rand::SeedableRng;
 
 /// Table I HE parameters over a reduced record count (D0 = 256, d = 2:
@@ -37,21 +37,12 @@ fn paper_parameters_end_to_end() {
         let query = client.query(target).expect("in range");
         let response = server.answer(client.public_keys(), &query).expect("pipeline");
         let plain = client.decode(&query, &response).expect("decrypts");
-        assert_eq!(
-            &plain[..records[target].len()],
-            &records[target][..],
-            "record {target}"
-        );
+        assert_eq!(&plain[..records[target].len()], &records[target][..], "record {target}");
 
         // The §II-C error analysis at full parameters: the response must
         // retain a healthy noise budget (Δ ≈ 2^77 dwarfs the error).
         let expect = plaintext_from_bytes(params.he(), &records[target]).expect("packs");
-        let budget = noise::noise_budget_bits(
-            params.he(),
-            client.secret_key(),
-            &response,
-            &expect,
-        );
+        let budget = noise::noise_budget_bits(params.he(), client.secret_key(), &response, &expect);
         // ~15 bits of slack measured: the error sits ≈ 2^61 against the
         // Δ/2 ≈ 2^76 decryption bound — the RowSel term (D0·N·P-scaled)
         // dominates exactly as §II-C predicts.
@@ -60,8 +51,7 @@ fn paper_parameters_end_to_end() {
         // Compressed (modulus-switched) responses decode identically and
         // are 2x smaller at Table I parameters (P = 2^32 retains two of
         // the four primes: 112KB -> 56KB).
-        let compressed =
-            server.answer_compressed(client.public_keys(), &query).expect("pipeline");
+        let compressed = server.answer_compressed(client.public_keys(), &query).expect("pipeline");
         assert_eq!(compressed.byte_len(params.he()) * 2, params.he().ct_bytes());
         let plain2 = client.decode_compressed(&query, &compressed).expect("decrypts");
         assert_eq!(&plain2[..records[target].len()], &records[target][..]);

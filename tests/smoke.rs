@@ -1,0 +1,43 @@
+//! Facade smoke test: the exact quickstart flow shown in the `ive`
+//! crate-level docs (`src/lib.rs`), exercised as a plain `#[test]` so a
+//! regression in the doc example fails even when doctests are skipped.
+
+use ive::pir::{Database, PirClient, PirParams, PirServer};
+
+#[test]
+fn quickstart_roundtrip_matches_lib_rs_doctest() {
+    let params = PirParams::toy();
+    let records: Vec<Vec<u8>> =
+        (0..params.num_records()).map(|i| format!("record #{i}").into_bytes()).collect();
+    let db = Database::from_records(&params, &records).expect("records fit the toy geometry");
+    let server = PirServer::new(&params, db).expect("geometry matches params");
+
+    let mut client = PirClient::new(&params, rand::thread_rng()).expect("keygen succeeds");
+    let target = 7;
+    let query = client.query(target).expect("index in range");
+    let response = server.answer(client.public_keys(), &query).expect("pipeline runs");
+    let record = client.decode(&query, &response).expect("decrypts");
+    assert_eq!(&record[..records[target].len()], &records[target][..]);
+}
+
+#[test]
+fn quickstart_retrieves_every_toy_record() {
+    // Same flow, swept over all indices, so a wrong-record bug that
+    // happens to fix index 7 cannot slip through.
+    let params = PirParams::toy();
+    let records: Vec<Vec<u8>> =
+        (0..params.num_records()).map(|i| format!("record #{i}").into_bytes()).collect();
+    let db = Database::from_records(&params, &records).expect("records fit");
+    let server = PirServer::new(&params, db).expect("geometry matches");
+    let mut client = PirClient::new(&params, rand::thread_rng()).expect("keygen");
+    for target in [0, 1, params.num_records() / 2, params.num_records() - 1] {
+        let query = client.query(target).expect("index in range");
+        let response = server.answer(client.public_keys(), &query).expect("pipeline");
+        let record = client.decode(&query, &response).expect("decrypts");
+        assert_eq!(
+            &record[..records[target].len()],
+            &records[target][..],
+            "wrong record for index {target}"
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! Offline subset of the `proptest` crate (see `third_party/README.md`).
+//!
+//! Implements the slice of proptest the workspace's property tests use:
+//! the [`proptest!`] macro with `#![proptest_config(..)]`, `any::<T>()`,
+//! integer-range strategies, `collection::vec`, and the
+//! `prop_assert*` / `prop_assume!` macros. Cases are sampled from a
+//! deterministic per-test RNG (seeded from the test name), so failures
+//! reproduce across runs. There is **no shrinking**: a failing case is
+//! reported with its exact inputs instead of a minimized one.
+
+use rand::rngs::StdRng;
+use rand::{SampleRange, SeedableRng, StandardSample};
+
+pub mod test_runner {
+    //! Mirrors `proptest::test_runner` for the names the tests import.
+
+    /// Run configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases each property must pass.
+        pub cases: u32,
+        /// Maximum rejected samples (`prop_assume!`) tolerated per test.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` accepted cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases, ..Self::default() }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs; the case does not count.
+        Reject(String),
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Source of randomness handed to strategies.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG for one property test.
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A generator of values, mirroring `proptest::strategy::Strategy`
+/// (sampling only — no value trees, no shrinking).
+pub trait Strategy {
+    type Value;
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy for "any value of `T`", returned by [`any`].
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+/// Uniform strategy over all values of `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: StandardSample>() -> Any<T> {
+    Any { _marker: core::marker::PhantomData }
+}
+
+impl<T: StandardSample> Strategy for Any<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::sample(rng)
+    }
+}
+
+impl<T: Copy> Strategy for core::ops::Range<T>
+where
+    core::ops::Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        (self.start..self.end).sample_single(rng)
+    }
+}
+
+impl<T: Copy> Strategy for core::ops::RangeInclusive<T>
+where
+    core::ops::RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+/// `Just(value)` strategy, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Prelude mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// Supported grammar (the subset this workspace uses):
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(arg in strategy, ...) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@run ($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(let $arg = $crate::Strategy::sample_value(&($strategy), &mut rng);)+
+                    let case_desc = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let run_case = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    let outcome = run_case();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "proptest {}: too many prop_assume! rejections ({rejected})",
+                                    stringify!($name),
+                                );
+                            }
+                        }
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed after {accepted} passing case(s)\n  inputs: {case_desc}\n  {msg}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Mirrors `proptest::prop_assume!`: filters the current case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                concat!("assertion failed: ", stringify!($cond), ": {}"),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs != rhs {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                concat!("assertion failed: ", stringify!($lhs), " == ", stringify!($rhs),
+                        "\n  left: {:?}\n  right: {:?}"),
+                lhs, rhs,
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs != rhs {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                concat!("assertion failed: ", stringify!($lhs), " == ", stringify!($rhs),
+                        ": {}\n  left: {:?}\n  right: {:?}"),
+                format!($($fmt)+), lhs, rhs,
+            )));
+        }
+    }};
+}
+
+/// Mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs == rhs {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                concat!(
+                    "assertion failed: ",
+                    stringify!($lhs),
+                    " != ",
+                    stringify!($rhs),
+                    "\n  both: {:?}"
+                ),
+                lhs,
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in any::<u8>()) {
+            prop_assert!((3..17).contains(&x));
+            let _ = y;
+        }
+
+        #[test]
+        fn assume_filters(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(bytes in collection::vec(any::<u8>(), 0..9)) {
+            prop_assert!(bytes.len() < 9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest always_fails failed")]
+    fn failure_reports_inputs() {
+        proptest! {
+            @run (crate::test_runner::Config::with_cases(1))
+            #[allow(unreachable_code)]
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 200);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        use rand::RngCore;
+        let mut a = crate::rng_for_test("foo");
+        let mut b = crate::rng_for_test("foo");
+        let mut c = crate::rng_for_test("bar");
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        assert_eq!(xs, (0..8).map(|_| b.next_u64()).collect::<Vec<_>>());
+        assert_ne!(xs, (0..8).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+}

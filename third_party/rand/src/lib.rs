@@ -1,0 +1,436 @@
+//! Offline, API-compatible subset of the `rand` crate (0.8 series).
+//!
+//! This workspace builds in a hermetic environment with no crates.io
+//! access, so the handful of external dependencies are vendored as
+//! minimal reimplementations of exactly the API surface the IVE
+//! reproduction uses (see `third_party/README.md`).
+//!
+//! Provided here:
+//! * [`RngCore`] / [`Rng`] / [`SeedableRng`] traits,
+//! * [`rngs::StdRng`] (xoshiro256** seeded via SplitMix64),
+//! * [`thread_rng`] / [`rngs::ThreadRng`],
+//! * `gen`, `gen_range`, `gen_bool`, `fill_bytes` over the integer and
+//!   float types the workspace samples.
+//!
+//! The streams are deterministic for a given seed but are **not** the
+//! same streams as the real `rand` crate; nothing in the workspace
+//! depends on the exact values, only on distributional properties.
+
+use core::ops::{Range, RangeInclusive};
+
+/// A source of random 32/64-bit words, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be produced uniformly at random from an RNG, playing
+/// the role of `Standard: Distribution<T>` in the real crate.
+pub trait StandardSample {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardSample for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges a value can be drawn from, mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased `[0, span)` draw by rejection sampling over a whole number
+/// of spans; one `u64` word when the span allows it.
+fn sample_below_u128<R: RngCore + ?Sized>(span: u128, rng: &mut R) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u128::from(u64::MAX) {
+        let span = span as u64;
+        let limit = u64::MAX - u64::MAX % span;
+        loop {
+            let x = rng.next_u64();
+            if x < limit {
+                return u128::from(x % span);
+            }
+        }
+    }
+    let limit = u128::MAX - u128::MAX % span;
+    loop {
+        let x = u128::sample(rng);
+        if x < limit {
+            return x % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + sample_below_u128(span, rng) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                // `hi - lo + 1` values; only the full-type range overflows
+                // the count, so shortcut it and add 1 safely otherwise.
+                let span_minus_1 = hi - lo;
+                if span_minus_1 == <$t>::MAX {
+                    return <$t>::sample(rng);
+                }
+                lo + sample_below_u128(span_minus_1 as u128 + 1, rng) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_sample_range_sint {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                let off = (0..span).sample_single(rng);
+                self.start.wrapping_add(off as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span_minus_1 = (hi as $u).wrapping_sub(lo as $u);
+                if span_minus_1 == <$u>::MAX {
+                    return <$t>::sample(rng);
+                }
+                let off = sample_below_u128(span_minus_1 as u128 + 1, rng);
+                lo.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_sint!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t>::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// The user-facing RNG extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a uniform value of type `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        f64::sample(self) < p
+    }
+
+    /// Fills `dest` with random bytes (alias of [`RngCore::fill_bytes`]).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the RNG from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64`, expanding it with SplitMix64 (the
+    /// same convention the real crate documents).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Builds the RNG from OS/system entropy.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(crate::entropy_u64())
+    }
+}
+
+/// SplitMix64 — used only for seed expansion.
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(state: u64) -> Self {
+        Self { state }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// 64 bits of OS entropy. Secret keys are sampled through RNGs seeded
+/// here (`thread_rng`, `from_entropy`), so this must be genuinely
+/// unpredictable — not time-derived.
+fn entropy_u64() -> u64 {
+    use std::io::Read;
+    let mut buf = [0u8; 8];
+    match std::fs::File::open("/dev/urandom").and_then(|mut f| f.read_exact(&mut buf)) {
+        Ok(()) => u64::from_le_bytes(buf),
+        Err(_) => {
+            // Fallback (non-Unix): `RandomState` keys come from OS entropy
+            // per process; mix two independent hashers with a counter so
+            // successive calls differ.
+            use std::collections::hash_map::RandomState;
+            use std::hash::{BuildHasher, Hasher};
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static CALLS: AtomicU64 = AtomicU64::new(0);
+            let n = CALLS.fetch_add(1, Ordering::Relaxed);
+            let mut h1 = RandomState::new().build_hasher();
+            h1.write_u64(n);
+            let mut h2 = RandomState::new().build_hasher();
+            h2.write_u64(!n);
+            h1.finish() ^ h2.finish().rotate_left(32)
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete RNG types, mirroring `rand::rngs`.
+
+    use super::{RngCore, SeedableRng, SplitMix64};
+    use std::cell::RefCell;
+
+    /// xoshiro256** — a small, fast, high-quality generator. Stands in
+    /// for the real crate's ChaCha12-based `StdRng`; deterministic per
+    /// seed, not reproducing upstream streams.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn step(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // Never allow the all-zero state (fixed point of xoshiro).
+            if s == [0; 4] {
+                let mut sm = SplitMix64::new(0xDEAD_BEEF);
+                for word in &mut s {
+                    *word = sm.next_u64();
+                }
+            }
+            Self { s }
+        }
+    }
+
+    thread_local! {
+        static THREAD_RNG: RefCell<StdRng> = RefCell::new(StdRng::seed_from_u64(super::entropy_u64()));
+    }
+
+    /// Handle to a lazily-initialized thread-local [`StdRng`].
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng {
+        _private: (),
+    }
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            THREAD_RNG.with(|rng| rng.borrow_mut().step())
+        }
+    }
+
+    pub(crate) fn thread_rng() -> ThreadRng {
+        ThreadRng { _private: () }
+    }
+}
+
+/// Returns the thread-local RNG handle, mirroring `rand::thread_rng`.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::thread_rng()
+}
+
+/// Convenience one-shot sample, mirroring `rand::random`.
+pub fn random<T: StandardSample>() -> T {
+    thread_rng().gen()
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::{StdRng, ThreadRng};
+    pub use super::{thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..17);
+            assert!((10..17).contains(&v));
+            let s = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&s));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_infers_types() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _: u8 = rng.gen();
+        let _: u128 = rng.gen();
+        let _: bool = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn full_range_inclusive_no_overflow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rng.gen_range(0u64..=u64::MAX);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+        let _ = rng.gen_range(0u128..=u128::MAX);
+    }
+
+    #[test]
+    fn inclusive_range_to_type_max() {
+        // Regression: `lo..=MAX` with lo > MIN must not overflow in the
+        // `hi + 1` conversion to an exclusive range.
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(rng.gen_range(1u64..=u64::MAX) >= 1);
+            assert!(rng.gen_range(u8::MAX..=u8::MAX) == u8::MAX);
+            assert!(rng.gen_range(5i8..=i8::MAX) >= 5);
+            assert!(rng.gen_range(i64::MIN..=-1) < 0);
+        }
+    }
+}

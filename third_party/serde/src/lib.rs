@@ -1,0 +1,27 @@
+//! Offline subset of the `serde` facade (see `third_party/README.md`).
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` to keep model
+//! structs serialization-ready; no serializer backend is used anywhere.
+//! The traits are therefore empty markers and the derives are no-ops,
+//! which keeps every `#[derive(Serialize, Deserialize)]` in the tree
+//! compiling without pulling in the real dependency graph.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde
+//! subset (see `third_party/README.md`).
+//!
+//! The vendored `serde::Serialize`/`Deserialize` traits are empty
+//! markers and nothing in the workspace uses them as bounds, so the
+//! derives can expand to nothing at all. Emitting no impl (rather than
+//! an empty one) sidesteps generic-parameter handling entirely.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
