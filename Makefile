@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test verify bench figures fmt fmt-check clippy lint clean
+.PHONY: all build test verify bench figures serve-demo fmt fmt-check clippy lint clean
 
 all: build
 
@@ -26,6 +26,11 @@ bench:
 ## Regenerate every paper table/figure in one shot.
 figures:
 	$(CARGO) run --release -p ive_bench --bin all_experiments
+
+## Drive the live serving runtime with Poisson load and refresh
+## BENCH_serve.json (observed vs ServiceTable-predicted).
+serve-demo:
+	$(CARGO) run --release -p ive_bench --bin serve_demo
 
 ## Format the tree / check formatting without writing.
 fmt:

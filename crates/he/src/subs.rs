@@ -62,6 +62,15 @@ impl SubsKey {
         SubsKey { r, rows }
     }
 
+    /// Reassembles `evk_r` from its parts (wire deserialization).
+    ///
+    /// # Panics
+    /// Panics if `r` is even — such a key could never have been generated.
+    pub fn from_parts(r: usize, rows: Vec<(RnsPoly, RnsPoly)>) -> Self {
+        assert!(r % 2 == 1, "automorphism exponent must be odd");
+        SubsKey { r, rows }
+    }
+
     /// The automorphism exponent this key serves.
     #[inline]
     pub fn r(&self) -> usize {

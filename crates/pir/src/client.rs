@@ -18,6 +18,11 @@ pub struct ClientKeys {
 }
 
 impl ClientKeys {
+    /// Reassembles the key set from its parts (wire deserialization).
+    pub fn from_subs_keys(subs: Vec<SubsKey>) -> Self {
+        ClientKeys { subs }
+    }
+
     /// The expansion keys, ordered by tree depth.
     #[inline]
     pub fn subs_keys(&self) -> &[SubsKey] {

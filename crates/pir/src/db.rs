@@ -94,6 +94,28 @@ impl Database {
     pub fn d0(&self) -> usize {
         self.d0
     }
+
+    /// Number of rows (`D / D0`) in the matrix view.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.polys.len() / self.d0
+    }
+
+    /// Extracts the contiguous row range `[row_start, row_start + rows)`
+    /// as a standalone database — the row-sharding hook. Because `ColTor`
+    /// consumes row-index bits LSB first, an aligned power-of-two block of
+    /// adjacent rows is exactly one subtree of the tournament, so shard
+    /// responses recombine with the remaining high bits (the hierarchical
+    /// decomposition of Fig. 7c across machines instead of cache levels).
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the database.
+    pub fn shard_rows(&self, row_start: usize, rows: usize) -> Database {
+        let start = row_start * self.d0;
+        let end = (row_start + rows) * self.d0;
+        assert!(end <= self.polys.len(), "row shard {row_start}+{rows} out of range");
+        Database { polys: self.polys[start..end].to_vec(), d0: self.d0 }
+    }
 }
 
 /// Packs one byte record into a raw (un-scaled) plaintext polynomial.

@@ -9,10 +9,14 @@ use crate::expand::expand_query;
 use crate::params::PirParams;
 use crate::PirError;
 
-/// Number of worker threads `RowSel` shards rows across.
-const ROWSEL_THREADS: usize = 4;
 /// Minimum rows per worker before sharding pays off.
 const ROWSEL_MIN_ROWS_PER_THREAD: usize = 8;
+
+/// Default `RowSel` parallelism: one worker per available core, so a lone
+/// server saturates the machine without oversubscribing it.
+fn default_rowsel_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+}
 
 /// A single-server PIR server holding one preprocessed database.
 #[derive(Debug)]
@@ -20,6 +24,7 @@ pub struct PirServer {
     params: PirParams,
     db: Database,
     order: TournamentOrder,
+    rowsel_threads: usize,
 }
 
 impl PirServer {
@@ -41,6 +46,7 @@ impl PirServer {
             params: params.clone(),
             db,
             order: TournamentOrder::Hs { subtree_depth: 2 },
+            rowsel_threads: default_rowsel_threads(),
         })
     }
 
@@ -48,6 +54,27 @@ impl PirServer {
     /// only scheduling differs — §IV-A).
     pub fn set_tournament_order(&mut self, order: TournamentOrder) {
         self.order = order;
+    }
+
+    /// The `ColTor` traversal order in effect.
+    #[inline]
+    pub fn tournament_order(&self) -> TournamentOrder {
+        self.order
+    }
+
+    /// Caps `RowSel` parallelism at `threads` workers (clamped to ≥ 1).
+    ///
+    /// Defaults to [`std::thread::available_parallelism`]; a serving
+    /// runtime that already runs its own worker pool should set this to 1
+    /// so the pools compose instead of oversubscribing cores.
+    pub fn set_rowsel_threads(&mut self, threads: usize) {
+        self.rowsel_threads = threads.max(1);
+    }
+
+    /// The `RowSel` worker cap in effect.
+    #[inline]
+    pub fn rowsel_threads(&self) -> usize {
+        self.rowsel_threads
     }
 
     /// The scheme parameters.
@@ -99,28 +126,85 @@ impl PirServer {
         &self,
         requests: &[(&ClientKeys, &PirQuery)],
     ) -> Result<Vec<BfvCiphertext>, PirError> {
-        let he = self.params.he();
         // Step 1: per-query expansion (client-specific; not amortizable).
         let mut expanded = Vec::with_capacity(requests.len());
         for (keys, query) in requests {
             expanded.push(self.expand(keys, query)?);
         }
-        // Step 2: one scan of the database serving all queries (Fig. 5
-        // right: the query matrix gains 2·batch columns).
-        let rows = self.params.num_rows();
-        let mut accs: Vec<Vec<BfvCiphertext>> = (0..requests.len())
-            .map(|_| (0..rows).map(|_| BfvCiphertext::zero(he)).collect())
-            .collect();
-        for r in 0..rows {
-            for i in 0..self.params.d0() {
-                let db_poly = self.db.poly(r, i);
-                for (acc_row, exp) in accs.iter_mut().zip(&expanded) {
-                    acc_row[r].fma_plain(db_poly, &exp[i])?;
-                }
-            }
-        }
+        // Step 2: one scan of the database serving all queries.
+        let accs = self.row_sel_batch(&expanded)?;
         // Step 3: per-query tournaments.
         requests.iter().zip(accs).map(|((_, query), acc)| self.col_tor_step(acc, query)).collect()
+    }
+
+    /// Batched `RowSel`: one scan of the database accumulating for every
+    /// query at once (Fig. 5 right: the query matrix gains 2·batch
+    /// columns). Returns one row-ciphertext vector per query, in input
+    /// order. This is the hook a serving layer shards and batches over;
+    /// like [`PirServer::row_sel`], the row dimension is split across
+    /// [`PirServer::rowsel_threads`] workers when it is large enough.
+    ///
+    /// # Errors
+    /// Fails when any query's expansion does not have `D0` ciphertexts.
+    pub fn row_sel_batch(
+        &self,
+        expanded: &[Vec<BfvCiphertext>],
+    ) -> Result<Vec<Vec<BfvCiphertext>>, PirError> {
+        let he = self.params.he();
+        for exp in expanded {
+            if exp.len() != self.params.d0() {
+                return Err(PirError::InvalidParams(format!(
+                    "RowSel needs {} expanded ciphertexts, got {}",
+                    self.params.d0(),
+                    exp.len()
+                )));
+            }
+        }
+        let rows = self.params.num_rows();
+        // Accumulate row-major ([row][query]) so threads own disjoint row
+        // chunks; transposed to [query][row] on return.
+        let scan_rows = |start: usize, by_row: &mut [Vec<BfvCiphertext>]| -> Result<(), PirError> {
+            for (off, per_query) in by_row.iter_mut().enumerate() {
+                let r = start + off;
+                for i in 0..self.params.d0() {
+                    let db_poly = self.db.poly(r, i);
+                    for (acc, exp) in per_query.iter_mut().zip(expanded) {
+                        acc.fma_plain(db_poly, &exp[i])?;
+                    }
+                }
+            }
+            Ok(())
+        };
+        let mut by_row: Vec<Vec<BfvCiphertext>> = (0..rows)
+            .map(|_| (0..expanded.len()).map(|_| BfvCiphertext::zero(he)).collect())
+            .collect();
+        let threads = self.rowsel_threads;
+        if threads > 1 && rows >= threads * ROWSEL_MIN_ROWS_PER_THREAD {
+            let chunk = rows.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (start, row_chunk) in (0..rows).step_by(chunk).zip(by_row.chunks_mut(chunk)) {
+                    let scan_rows = &scan_rows;
+                    handles.push(scope.spawn(move || scan_rows(start, row_chunk)));
+                }
+                for h in handles {
+                    h.join().expect("RowSel worker panicked")?;
+                }
+                Ok::<(), PirError>(())
+            })?;
+        } else {
+            scan_rows(0, &mut by_row)?;
+        }
+        // Transpose by move: peel each row's accumulators into the
+        // per-query vectors.
+        let mut accs: Vec<Vec<BfvCiphertext>> =
+            (0..expanded.len()).map(|_| Vec::with_capacity(rows)).collect();
+        for per_query in by_row {
+            for (acc, ct) in accs.iter_mut().zip(per_query) {
+                acc.push(ct);
+            }
+        }
+        Ok(accs)
     }
 
     /// Step (1): `ExpandQuery` — derive the `D0` one-hot ciphertexts.
@@ -159,9 +243,10 @@ impl PirServer {
             Ok(acc)
         };
 
-        if rows >= ROWSEL_THREADS * ROWSEL_MIN_ROWS_PER_THREAD {
+        let threads = self.rowsel_threads;
+        if threads > 1 && rows >= threads * ROWSEL_MIN_ROWS_PER_THREAD {
             let mut out: Vec<Option<BfvCiphertext>> = vec![None; rows];
-            let chunk = rows.div_ceil(ROWSEL_THREADS);
+            let chunk = rows.div_ceil(threads);
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (start, slot_chunk) in (0..rows).step_by(chunk).zip(out.chunks_mut(chunk)) {
@@ -273,6 +358,70 @@ mod tests {
             assert_eq!(response, &solo, "batched response diverged");
             let plain = client.decode(query, response).unwrap();
             assert_eq!(&plain[..recs[target].len()], &recs[target][..]);
+        }
+    }
+
+    #[test]
+    fn rowsel_thread_count_does_not_change_answers() {
+        let params = PirParams::toy();
+        let recs = records(&params);
+        let db = Database::from_records(&params, &recs).unwrap();
+        let mut server = PirServer::new(&params, db).unwrap();
+        assert!(server.rowsel_threads() >= 1);
+        let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(74)).unwrap();
+        let query = client.query(17).unwrap();
+        let mut answers = Vec::new();
+        let mut batched = Vec::new();
+        let requests = [(client.public_keys(), &query)];
+        for threads in [1usize, 2, 64] {
+            server.set_rowsel_threads(threads);
+            assert_eq!(server.rowsel_threads(), threads);
+            answers.push(server.answer(client.public_keys(), &query).unwrap());
+            batched.push(server.answer_batch(&requests).unwrap().pop().unwrap());
+        }
+        for (a, b) in answers[1..].iter().zip(&batched[1..]) {
+            assert_eq!(a, &answers[0], "RowSel sharding changed the answer");
+            assert_eq!(b, &batched[0], "batched RowSel sharding changed the answer");
+        }
+        assert_eq!(answers[0], batched[0], "batched path diverged from single path");
+    }
+
+    #[test]
+    fn row_shards_recombine_to_the_full_answer() {
+        // Split the 2^d rows into 2^k aligned shards, answer the low
+        // (d - k) tournament levels per shard, and finish with the high k
+        // bits: the result must be bit-identical to the monolithic server.
+        let params = PirParams::toy();
+        let recs = records(&params);
+        let db = Database::from_records(&params, &recs).unwrap();
+        let server = PirServer::new(&params, db.clone()).unwrap();
+        let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(75)).unwrap();
+        let he = params.he();
+        for shard_bits in [1u32, 2] {
+            let shards = 1usize << shard_bits;
+            let sub_dims = params.dims() - shard_bits;
+            let sub_params = PirParams::new(he.clone(), params.d0(), sub_dims).unwrap();
+            let rows_per_shard = params.num_rows() / shards;
+            let shard_servers: Vec<PirServer> = (0..shards)
+                .map(|s| {
+                    let shard_db = db.shard_rows(s * rows_per_shard, rows_per_shard);
+                    PirServer::new(&sub_params, shard_db).unwrap()
+                })
+                .collect();
+            let query = client.query(29).unwrap();
+            let winners: Vec<BfvCiphertext> = shard_servers
+                .iter()
+                .map(|s| s.answer(client.public_keys(), &query).unwrap())
+                .collect();
+            let combined = crate::coltor::col_tor(
+                he,
+                winners,
+                &query.row_bits()[sub_dims as usize..],
+                TournamentOrder::Bfs,
+            )
+            .unwrap();
+            let full = server.answer(client.public_keys(), &query).unwrap();
+            assert_eq!(combined, full, "{shards}-way sharding diverged");
         }
     }
 

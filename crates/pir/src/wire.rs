@@ -1,48 +1,155 @@
-//! Wire serialization for queries, responses and client key material.
+//! Wire serialization for queries, responses, client key material, and
+//! the session frames the serving runtime (`ive_serve`) speaks.
 //!
 //! The paper's communication accounting (§VI-C: "each query transfers
 //! only a few MBs ... through PCIe") is measured here on actual encodings
 //! rather than estimated: residues are packed at 4 bytes/word (the
 //! special primes are 28-bit), with a small self-describing header.
+//!
+//! Every frame starts with the same 6-byte header: a 4-byte magic, a
+//! format version byte, and a tag byte identifying the frame type. The
+//! session frames implement the paper's ARK key-reuse motif (§V): a
+//! client uploads its bulky `ClientKeys` once in a [`Tag::Hello`]
+//! handshake, receives a session id in a [`Tag::Welcome`], and every
+//! subsequent [`Tag::SessionQuery`] carries only the small per-query
+//! material plus that id.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use ive_he::{BfvCiphertext, HeParams, RgswCiphertext, SubsKey};
 use ive_math::rns::{Form, RnsPoly};
 
-use crate::client::PirQuery;
+use crate::client::{ClientKeys, PirQuery};
 use crate::PirError;
 
 /// Format magic (`"IVE1"`).
 const MAGIC: u32 = 0x4956_4531;
 
+/// Wire format version carried in every header. Version 2 added the
+/// version byte itself plus the `Response`, `ClientKeys`, and session
+/// frames; version-1 frames (no version byte) are rejected.
+pub const VERSION: u8 = 2;
+
 /// Tags for the framed object types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
-enum Tag {
+pub enum Tag {
+    /// One RNS polynomial.
     Poly = 1,
+    /// A BFV ciphertext (two polynomials).
     Bfv = 2,
+    /// An RGSW ciphertext (`2ℓ` RLWE rows).
     Rgsw = 3,
+    /// A full PIR query (packed ciphertext + RGSW selection bits).
     Query = 4,
+    /// A server response (one BFV ciphertext).
+    Response = 5,
+    /// A client's full evaluation-key set (`log D0` `evk_r` keys).
+    ClientKeys = 6,
+    /// Session handshake, client → server: the one-time key upload.
+    Hello = 7,
+    /// Session handshake, server → client: the assigned session id.
+    Welcome = 8,
+    /// An online query bound to a session (session id + request id).
+    SessionQuery = 9,
+    /// The response to one [`Tag::SessionQuery`] (echoes the request id).
+    SessionResponse = 10,
+    /// A per-request server-side failure report.
+    Error = 11,
+}
+
+impl Tag {
+    /// The tag for a raw byte, if it names a known frame type.
+    pub fn from_byte(b: u8) -> Option<Tag> {
+        match b {
+            1 => Some(Tag::Poly),
+            2 => Some(Tag::Bfv),
+            3 => Some(Tag::Rgsw),
+            4 => Some(Tag::Query),
+            5 => Some(Tag::Response),
+            6 => Some(Tag::ClientKeys),
+            7 => Some(Tag::Hello),
+            8 => Some(Tag::Welcome),
+            9 => Some(Tag::SessionQuery),
+            10 => Some(Tag::SessionResponse),
+            11 => Some(Tag::Error),
+            _ => None,
+        }
+    }
+
+    /// The frame type's name, for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tag::Poly => "Poly",
+            Tag::Bfv => "Bfv",
+            Tag::Rgsw => "Rgsw",
+            Tag::Query => "Query",
+            Tag::Response => "Response",
+            Tag::ClientKeys => "ClientKeys",
+            Tag::Hello => "Hello",
+            Tag::Welcome => "Welcome",
+            Tag::SessionQuery => "SessionQuery",
+            Tag::SessionResponse => "SessionResponse",
+            Tag::Error => "Error",
+        }
+    }
+}
+
+/// Describes a raw tag byte by name when it is a known frame type.
+fn describe_tag(b: u8) -> String {
+    match Tag::from_byte(b) {
+        Some(tag) => format!("{} (tag {b})", tag.name()),
+        None => format!("unknown tag {b}"),
+    }
 }
 
 fn put_header(buf: &mut BytesMut, tag: Tag) {
     buf.put_u32(MAGIC);
+    buf.put_u8(VERSION);
     buf.put_u8(tag as u8);
 }
 
-fn check_header(buf: &mut impl Buf, tag: Tag) -> Result<(), PirError> {
-    if buf.remaining() < 5 {
+/// Consumes and validates the magic + version, returning the raw tag
+/// byte. The single header parser behind both [`peek_tag`] and the typed
+/// decoders, so they can never disagree on what a valid frame is.
+fn read_header(buf: &mut impl Buf) -> Result<u8, PirError> {
+    if buf.remaining() < 6 {
         return Err(PirError::Wire("truncated header".into()));
     }
     if buf.get_u32() != MAGIC {
         return Err(PirError::Wire("bad magic".into()));
     }
-    let got = buf.get_u8();
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(PirError::Wire(format!(
+            "unsupported wire version {version} (this build speaks {VERSION})"
+        )));
+    }
+    Ok(buf.get_u8())
+}
+
+fn check_header(buf: &mut impl Buf, tag: Tag) -> Result<(), PirError> {
+    let got = read_header(buf)?;
     if got != tag as u8 {
-        return Err(PirError::Wire(format!("expected tag {}, got {got}", tag as u8)));
+        return Err(PirError::Wire(format!(
+            "expected {} frame (tag {}), got {}",
+            tag.name(),
+            tag as u8,
+            describe_tag(got)
+        )));
     }
     Ok(())
+}
+
+/// Reads the tag of a frame without consuming it — the dispatch point for
+/// a server demultiplexing incoming session frames.
+///
+/// # Errors
+/// Fails on truncation, bad magic, wrong version, or an unknown tag.
+pub fn peek_tag(bytes: &Bytes) -> Result<Tag, PirError> {
+    let mut buf = bytes.clone();
+    let raw = read_header(&mut buf)?;
+    Tag::from_byte(raw).ok_or_else(|| PirError::Wire(format!("unknown tag {raw}")))
 }
 
 /// Serializes one polynomial (form byte + residue words).
@@ -158,15 +265,40 @@ pub fn read_rgsw(he: &HeParams, buf: &mut impl Buf) -> Result<RgswCiphertext, Pi
     Ok(RgswCiphertext::from_rows(out))
 }
 
+/// The query body shared by [`Tag::Query`] and [`Tag::SessionQuery`].
+fn write_query_body(buf: &mut BytesMut, query: &PirQuery) {
+    buf.put_u16(query.row_bits().len() as u16);
+    write_bfv(buf, query.packed());
+    for bit in query.row_bits() {
+        write_rgsw(buf, bit);
+    }
+}
+
+fn read_query_body(he: &HeParams, buf: &mut impl Buf) -> Result<PirQuery, PirError> {
+    if buf.remaining() < 2 {
+        return Err(PirError::Wire("truncated bit count".into()));
+    }
+    let bits = buf.get_u16() as usize;
+    let packed = read_bfv(he, buf)?;
+    let mut row_bits = Vec::with_capacity(bits);
+    for _ in 0..bits {
+        row_bits.push(read_rgsw(he, buf)?);
+    }
+    Ok(PirQuery::from_parts(packed, row_bits))
+}
+
+fn check_drained(buf: &impl Buf) -> Result<(), PirError> {
+    if buf.has_remaining() {
+        return Err(PirError::Wire(format!("{} trailing bytes", buf.remaining())));
+    }
+    Ok(())
+}
+
 /// Serializes a full query (packed ciphertext + RGSW bits).
 pub fn encode_query(query: &PirQuery) -> Bytes {
     let mut buf = BytesMut::new();
     put_header(&mut buf, Tag::Query);
-    buf.put_u16(query.row_bits().len() as u16);
-    write_bfv(&mut buf, query.packed());
-    for bit in query.row_bits() {
-        write_rgsw(&mut buf, bit);
-    }
+    write_query_body(&mut buf, query);
     buf.freeze()
 }
 
@@ -177,24 +309,15 @@ pub fn encode_query(query: &PirQuery) -> Bytes {
 pub fn decode_query(he: &HeParams, bytes: &Bytes) -> Result<PirQuery, PirError> {
     let mut buf = bytes.clone();
     check_header(&mut buf, Tag::Query)?;
-    if buf.remaining() < 2 {
-        return Err(PirError::Wire("truncated bit count".into()));
-    }
-    let bits = buf.get_u16() as usize;
-    let packed = read_bfv(he, &mut buf)?;
-    let mut row_bits = Vec::with_capacity(bits);
-    for _ in 0..bits {
-        row_bits.push(read_rgsw(he, &mut buf)?);
-    }
-    if buf.has_remaining() {
-        return Err(PirError::Wire(format!("{} trailing bytes", buf.remaining())));
-    }
-    Ok(PirQuery::from_parts(packed, row_bits))
+    let query = read_query_body(he, &mut buf)?;
+    check_drained(&buf)?;
+    Ok(query)
 }
 
-/// Serializes a server response (one ciphertext).
+/// Serializes a server response (one ciphertext) as a tagged frame.
 pub fn encode_response(ct: &BfvCiphertext) -> Bytes {
     let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::Response);
     write_bfv(&mut buf, ct);
     buf.freeze()
 }
@@ -205,11 +328,221 @@ pub fn encode_response(ct: &BfvCiphertext) -> Bytes {
 /// Fails on framing or shape errors.
 pub fn decode_response(he: &HeParams, bytes: &Bytes) -> Result<BfvCiphertext, PirError> {
     let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::Response)?;
     let ct = read_bfv(he, &mut buf)?;
-    if buf.has_remaining() {
-        return Err(PirError::Wire(format!("{} trailing bytes", buf.remaining())));
-    }
+    check_drained(&buf)?;
     Ok(ct)
+}
+
+/// The `ClientKeys` body shared by [`Tag::ClientKeys`] and [`Tag::Hello`].
+fn write_client_keys_body(buf: &mut BytesMut, keys: &ClientKeys) {
+    buf.put_u16(keys.subs_keys().len() as u16);
+    for key in keys.subs_keys() {
+        buf.put_u32(key.r() as u32);
+        buf.put_u16(key.rows().len() as u16);
+        for (a, b) in key.rows() {
+            write_poly(buf, a);
+            write_poly(buf, b);
+        }
+    }
+}
+
+fn read_client_keys_body(he: &HeParams, buf: &mut impl Buf) -> Result<ClientKeys, PirError> {
+    if buf.remaining() < 2 {
+        return Err(PirError::Wire("truncated key count".into()));
+    }
+    let count = buf.get_u16() as usize;
+    // A key per ExpandQuery level: log N bounds the legal count (§II-A).
+    let max = usize::BITS as usize;
+    if count > max {
+        return Err(PirError::Wire(format!("{count} evaluation keys exceed the {max} cap")));
+    }
+    let mut subs = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 6 {
+            return Err(PirError::Wire("truncated evk header".into()));
+        }
+        let r = buf.get_u32() as usize;
+        if r % 2 == 0 || r >= 2 * he.n() {
+            return Err(PirError::Wire(format!(
+                "automorphism exponent {r} not odd in [1, 2N = {})",
+                2 * he.n()
+            )));
+        }
+        let rows = buf.get_u16() as usize;
+        if rows != he.gadget().ell() {
+            return Err(PirError::Wire(format!(
+                "evk with {rows} rows, expected {}",
+                he.gadget().ell()
+            )));
+        }
+        let mut pairs = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let a = read_poly(he, buf)?;
+            let b = read_poly(he, buf)?;
+            pairs.push((a, b));
+        }
+        subs.push(SubsKey::from_parts(r, pairs));
+    }
+    Ok(ClientKeys::from_subs_keys(subs))
+}
+
+/// Serializes a client's full evaluation-key set.
+pub fn encode_client_keys(keys: &ClientKeys) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::ClientKeys);
+    write_client_keys_body(&mut buf, keys);
+    buf.freeze()
+}
+
+/// Deserializes a client's full evaluation-key set.
+///
+/// # Errors
+/// Fails on framing or shape errors.
+pub fn decode_client_keys(he: &HeParams, bytes: &Bytes) -> Result<ClientKeys, PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::ClientKeys)?;
+    let keys = read_client_keys_body(he, &mut buf)?;
+    check_drained(&buf)?;
+    Ok(keys)
+}
+
+/// Serializes the session handshake: the one-time upload of the client's
+/// evaluation keys (the paper's ARK key-registration step, §V).
+pub fn encode_hello(keys: &ClientKeys) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::Hello);
+    write_client_keys_body(&mut buf, keys);
+    buf.freeze()
+}
+
+/// Deserializes a session handshake into the uploaded key set.
+///
+/// # Errors
+/// Fails on framing or shape errors.
+pub fn decode_hello(he: &HeParams, bytes: &Bytes) -> Result<ClientKeys, PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::Hello)?;
+    let keys = read_client_keys_body(he, &mut buf)?;
+    check_drained(&buf)?;
+    Ok(keys)
+}
+
+/// Serializes the handshake reply: the session id under which the keys
+/// were cached.
+pub fn encode_welcome(session_id: u64) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::Welcome);
+    buf.put_u64(session_id);
+    buf.freeze()
+}
+
+/// Deserializes a handshake reply into the session id.
+///
+/// # Errors
+/// Fails on framing errors.
+pub fn decode_welcome(bytes: &Bytes) -> Result<u64, PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::Welcome)?;
+    if buf.remaining() < 8 {
+        return Err(PirError::Wire("truncated session id".into()));
+    }
+    let session = buf.get_u64();
+    check_drained(&buf)?;
+    Ok(session)
+}
+
+/// Serializes an online query: session id, client-chosen request id, and
+/// the per-query material only (the keys stay cached server-side).
+pub fn encode_session_query(session_id: u64, request_id: u64, query: &PirQuery) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::SessionQuery);
+    buf.put_u64(session_id);
+    buf.put_u64(request_id);
+    write_query_body(&mut buf, query);
+    buf.freeze()
+}
+
+/// Deserializes an online query into `(session_id, request_id, query)`.
+///
+/// # Errors
+/// Fails on framing or shape errors.
+pub fn decode_session_query(
+    he: &HeParams,
+    bytes: &Bytes,
+) -> Result<(u64, u64, PirQuery), PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::SessionQuery)?;
+    if buf.remaining() < 16 {
+        return Err(PirError::Wire("truncated session/request ids".into()));
+    }
+    let session = buf.get_u64();
+    let request = buf.get_u64();
+    let query = read_query_body(he, &mut buf)?;
+    check_drained(&buf)?;
+    Ok((session, request, query))
+}
+
+/// Serializes the response to one session query.
+pub fn encode_session_response(request_id: u64, ct: &BfvCiphertext) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::SessionResponse);
+    buf.put_u64(request_id);
+    write_bfv(&mut buf, ct);
+    buf.freeze()
+}
+
+/// Deserializes a session response into `(request_id, ciphertext)`.
+///
+/// # Errors
+/// Fails on framing or shape errors.
+pub fn decode_session_response(
+    he: &HeParams,
+    bytes: &Bytes,
+) -> Result<(u64, BfvCiphertext), PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::SessionResponse)?;
+    if buf.remaining() < 8 {
+        return Err(PirError::Wire("truncated request id".into()));
+    }
+    let request = buf.get_u64();
+    let ct = read_bfv(he, &mut buf)?;
+    check_drained(&buf)?;
+    Ok((request, ct))
+}
+
+/// Serializes a per-request failure report.
+pub fn encode_error_frame(request_id: u64, message: &str) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::Error);
+    buf.put_u64(request_id);
+    let msg = message.as_bytes();
+    buf.put_u32(msg.len() as u32);
+    buf.put_slice(msg);
+    buf.freeze()
+}
+
+/// Deserializes a failure report into `(request_id, message)`.
+///
+/// # Errors
+/// Fails on framing errors or a non-UTF-8 message.
+pub fn decode_error_frame(bytes: &Bytes) -> Result<(u64, String), PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::Error)?;
+    if buf.remaining() < 12 {
+        return Err(PirError::Wire("truncated error frame".into()));
+    }
+    let request = buf.get_u64();
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(PirError::Wire("truncated error message".into()));
+    }
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    check_drained(&buf)?;
+    let message =
+        String::from_utf8(raw).map_err(|_| PirError::Wire("error message not UTF-8".into()))?;
+    Ok((request, message))
 }
 
 /// Serializes one `evk_r` (exponent + rows).
@@ -301,6 +634,25 @@ mod tests {
     }
 
     #[test]
+    fn wrong_version_and_tag_named_in_errors() {
+        let params = PirParams::toy();
+        let he = params.he();
+        let mut client =
+            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(5)).expect("keygen");
+        let query = client.query(1).expect("in range");
+        let good = encode_query(&query);
+        // Version-1 framing (no version byte) must be rejected by name.
+        let mut v1 = BytesMut::from(&good[..]);
+        v1[4] = 1;
+        let err = decode_query(he, &v1.freeze()).expect_err("old version").to_string();
+        assert!(err.contains("version 1"), "unhelpful error: {err}");
+        // Feeding a Query frame to the response decoder names both tags.
+        let err = decode_response(he, &good).expect_err("wrong tag").to_string();
+        assert!(err.contains("Response") && err.contains("Query"), "unhelpful error: {err}");
+        assert_eq!(peek_tag(&good).expect("well-formed"), Tag::Query);
+    }
+
+    #[test]
     fn wrong_ring_rejected() {
         let params = PirParams::toy();
         let mut client =
@@ -316,6 +668,52 @@ mod tests {
         )
         .expect("valid");
         assert!(decode_query(&other, &encoded).is_err());
+    }
+
+    #[test]
+    fn client_keys_roundtrip_still_expand() {
+        // The cached-key path: keys that crossed the wire must drive the
+        // full pipeline to the same answer as the originals.
+        let params = PirParams::toy();
+        let he = params.he();
+        let records: Vec<Vec<u8>> =
+            (0..params.num_records()).map(|i| format!("key {i}").into_bytes()).collect();
+        let db = Database::from_records(&params, &records).expect("fits");
+        let server = PirServer::new(&params, db).expect("geometry matches");
+        let mut client =
+            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(6)).expect("keygen");
+        let encoded = encode_client_keys(client.public_keys());
+        let decoded = decode_client_keys(he, &encoded).expect("well-formed");
+        let query = client.query(23).expect("in range");
+        let r1 = server.answer(client.public_keys(), &query).expect("pipeline");
+        let r2 = server.answer(&decoded, &query).expect("pipeline");
+        assert_eq!(r1, r2, "wire roundtrip changed the keys");
+        // The Hello frame carries the same body under its own tag.
+        let hello = encode_hello(client.public_keys());
+        assert_eq!(peek_tag(&hello).expect("well-formed"), Tag::Hello);
+        let from_hello = decode_hello(he, &hello).expect("well-formed");
+        assert_eq!(from_hello.subs_keys().len(), decoded.subs_keys().len());
+    }
+
+    #[test]
+    fn session_frames_roundtrip() {
+        let params = PirParams::toy();
+        let he = params.he();
+        let mut client =
+            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(7)).expect("keygen");
+        let query = client.query(9).expect("in range");
+        let sq = encode_session_query(0xDEAD_BEEF, 17, &query);
+        let (session, request, decoded) = decode_session_query(he, &sq).expect("well-formed");
+        assert_eq!((session, request), (0xDEAD_BEEF, 17));
+        assert_eq!(encode_query(&decoded), encode_query(&query));
+
+        let welcome = encode_welcome(99);
+        assert_eq!(decode_welcome(&welcome).expect("well-formed"), 99);
+
+        let err = encode_error_frame(17, "unknown session 99");
+        let (req, msg) = decode_error_frame(&err).expect("well-formed");
+        assert_eq!(req, 17);
+        assert_eq!(msg, "unknown session 99");
     }
 
     #[test]

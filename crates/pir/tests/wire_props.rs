@@ -1,0 +1,213 @@
+//! Property-based coverage for every wire frame: canonical round-trips
+//! plus truncation / bad-magic / wrong-tag / wrong-version fuzzing.
+//!
+//! The round-trip properties pin the *canonical encoding* invariant the
+//! serving runtime relies on: `encode(decode(bytes)) == bytes` for every
+//! frame a decoder accepts, so a server can cache, re-frame, and forward
+//! material without semantic drift.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+use ive_he::{BfvCiphertext, Plaintext, RgswCiphertext, SecretKey};
+use ive_math::rns::{Form, RnsPoly};
+use ive_pir::wire;
+use ive_pir::{PirClient, PirParams};
+
+/// Shared fixtures, built once: toy parameters, a client, and one encoded
+/// instance of each frame type.
+struct Fixture {
+    params: PirParams,
+    sk: SecretKey,
+    query_bytes: Bytes,
+    keys_bytes: Bytes,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let params = PirParams::toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x317E_57A7E);
+        let sk = SecretKey::generate(params.he(), &mut rng);
+        let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(99))
+            .expect("toy keygen succeeds");
+        let query = client.query(3).expect("in range");
+        Fixture {
+            query_bytes: wire::encode_query(&query),
+            keys_bytes: wire::encode_client_keys(client.public_keys()),
+            params,
+            sk,
+        }
+    })
+}
+
+fn random_poly(rng: &mut rand::rngs::StdRng, form: Form) -> RnsPoly {
+    let fix = fixture();
+    RnsPoly::sample_uniform(fix.params.he().ring(), form, rng)
+}
+
+fn random_bfv(rng: &mut rand::rngs::StdRng) -> BfvCiphertext {
+    let fix = fixture();
+    let he = fix.params.he();
+    let vals: Vec<u64> = (0..he.n()).map(|_| rng.gen_range(0..he.p())).collect();
+    let m = Plaintext::new(he, vals).expect("below P");
+    BfvCiphertext::encrypt(he, &fix.sk, &m, rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn poly_roundtrip_is_canonical(seed in any::<u64>(), ntt in any::<bool>()) {
+        let fix = fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let poly = random_poly(&mut rng, if ntt { Form::Ntt } else { Form::Coeff });
+        let mut buf = BytesMut::new();
+        wire::write_poly(&mut buf, &poly);
+        let bytes = buf.freeze();
+        let mut cursor = bytes.clone();
+        let back = wire::read_poly(fix.params.he(), &mut cursor).expect("own encoding decodes");
+        prop_assert_eq!(&back, &poly);
+        let mut again = BytesMut::new();
+        wire::write_poly(&mut again, &back);
+        prop_assert_eq!(&again.freeze()[..], &bytes[..], "encoding not canonical");
+    }
+
+    #[test]
+    fn bfv_and_response_roundtrip(seed in any::<u64>()) {
+        let fix = fixture();
+        let he = fix.params.he();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ct = random_bfv(&mut rng);
+        let bytes = wire::encode_response(&ct);
+        let back = wire::decode_response(he, &bytes).expect("own encoding decodes");
+        prop_assert_eq!(&back, &ct);
+        prop_assert_eq!(&wire::encode_response(&back)[..], &bytes[..]);
+    }
+
+    #[test]
+    fn rgsw_roundtrip(seed in any::<u64>(), bit in any::<bool>()) {
+        let fix = fixture();
+        let he = fix.params.he();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ct = RgswCiphertext::encrypt_bit(he, &fix.sk, bit, &mut rng);
+        let mut buf = BytesMut::new();
+        wire::write_rgsw(&mut buf, &ct);
+        let bytes = buf.freeze();
+        let mut cursor = bytes.clone();
+        let back = wire::read_rgsw(he, &mut cursor).expect("own encoding decodes");
+        let mut again = BytesMut::new();
+        wire::write_rgsw(&mut again, &back);
+        prop_assert_eq!(&again.freeze()[..], &bytes[..], "encoding not canonical");
+    }
+
+    #[test]
+    fn session_frame_ids_roundtrip(session in any::<u64>(), request in any::<u64>()) {
+        let fix = fixture();
+        let he = fix.params.he();
+        let query = wire::decode_query(he, &fix.query_bytes).expect("fixture decodes");
+        let sq = wire::encode_session_query(session, request, &query);
+        let (s, r, q) = wire::decode_session_query(he, &sq).expect("own encoding decodes");
+        prop_assert_eq!((s, r), (session, request));
+        prop_assert_eq!(&wire::encode_session_query(s, r, &q)[..], &sq[..]);
+
+        let welcome = wire::encode_welcome(session);
+        prop_assert_eq!(wire::decode_welcome(&welcome).expect("decodes"), session);
+    }
+
+    #[test]
+    fn error_frame_roundtrip(request in any::<u64>(), raw in collection::vec(any::<u8>(), 0..64)) {
+        let message: String = raw.iter().map(|&b| char::from(b'a' + b % 26)).collect();
+        let frame = wire::encode_error_frame(request, &message);
+        let (r, m) = wire::decode_error_frame(&frame).expect("own encoding decodes");
+        prop_assert_eq!(r, request);
+        prop_assert_eq!(m, message);
+    }
+}
+
+proptest! {
+    // Fuzz cases are cheap (no crypto), so run more of them.
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn truncation_never_panics_and_always_errs(cut_permille in 0u32..1000) {
+        let fix = fixture();
+        let he = fix.params.he();
+        for bytes in [&fix.query_bytes, &fix.keys_bytes] {
+            let cut = (bytes.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+            let short = bytes.slice(..cut.min(bytes.len() - 1));
+            prop_assert!(wire::decode_query(he, &short).is_err());
+            prop_assert!(wire::decode_client_keys(he, &short).is_err());
+            prop_assert!(wire::decode_session_response(he, &short).is_err());
+        }
+    }
+
+    #[test]
+    fn header_corruption_rejected(byte in 0usize..6, flip in 1u8..=255) {
+        // Flipping any header byte (magic, version, or tag) must turn the
+        // frame into a decode error, never a panic or a silent success.
+        let fix = fixture();
+        let he = fix.params.he();
+        let mut bad = BytesMut::new();
+        bad.extend_from_slice(&fix.query_bytes[..]);
+        bad[byte] ^= flip;
+        let bad = bad.freeze();
+        prop_assert!(wire::decode_query(he, &bad).is_err());
+    }
+
+    #[test]
+    fn body_corruption_errs_or_stays_canonical(seed in any::<u64>()) {
+        // A flipped body byte either fails to decode or decodes to a frame
+        // that re-encodes to exactly the tampered bytes (the canonical-form
+        // invariant): no third outcome, no panic.
+        let fix = fixture();
+        let he = fix.params.he();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pos = rng.gen_range(6..fix.query_bytes.len());
+        let flip = rng.gen_range(1..=255) as u8;
+        let mut bad = BytesMut::new();
+        bad.extend_from_slice(&fix.query_bytes[..]);
+        bad[pos] ^= flip;
+        let bad = bad.freeze();
+        if let Ok(query) = wire::decode_query(he, &bad) {
+            prop_assert_eq!(&wire::encode_query(&query)[..], &bad[..]);
+        }
+    }
+}
+
+/// Every decoder fed every *other* frame type must name the mismatch.
+#[test]
+fn wrong_tag_errors_name_both_frames() {
+    let fix = fixture();
+    let he = fix.params.he();
+    let err = wire::decode_client_keys(he, &fix.query_bytes).expect_err("tag mismatch");
+    let msg = err.to_string();
+    assert!(msg.contains("ClientKeys") && msg.contains("Query"), "unhelpful: {msg}");
+    let err = wire::decode_query(he, &fix.keys_bytes).expect_err("tag mismatch");
+    let msg = err.to_string();
+    assert!(msg.contains("Query") && msg.contains("ClientKeys"), "unhelpful: {msg}");
+    let err = wire::decode_welcome(&fix.query_bytes).expect_err("tag mismatch");
+    assert!(err.to_string().contains("Welcome"), "unhelpful: {err}");
+}
+
+/// `peek_tag` agrees with the decoder dispatch for every frame type.
+#[test]
+fn peek_tag_matches_frame_types() {
+    let fix = fixture();
+    let mut client =
+        PirClient::new(&fix.params, rand::rngs::StdRng::seed_from_u64(7)).expect("keygen");
+    let query = client.query(1).expect("in range");
+    let cases = [
+        (wire::encode_query(&query), wire::Tag::Query),
+        (wire::encode_client_keys(client.public_keys()), wire::Tag::ClientKeys),
+        (wire::encode_hello(client.public_keys()), wire::Tag::Hello),
+        (wire::encode_welcome(5), wire::Tag::Welcome),
+        (wire::encode_session_query(5, 6, &query), wire::Tag::SessionQuery),
+        (wire::encode_error_frame(6, "nope"), wire::Tag::Error),
+    ];
+    for (bytes, want) in cases {
+        assert_eq!(wire::peek_tag(&bytes).expect("well-formed"), want);
+    }
+}

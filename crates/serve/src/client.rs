@@ -1,0 +1,174 @@
+//! A blocking client for the serving runtime: one handshake (the key
+//! upload), then any number of `retrieve` calls shipping only the small
+//! per-query payload.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use ive_pir::{wire, PirClient, PirParams};
+
+use crate::transport::{BoxedConn, FrameRx, FrameTx, Received};
+use crate::ServeError;
+
+/// How long a client waits for any single response before giving up.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A connected, registered PIR client. Supports both blocking
+/// single-query use ([`ServeClient::retrieve`]) and pipelining several
+/// in-flight queries ([`ServeClient::submit`] / [`ServeClient::next_record`])
+/// so one connection can keep a batching server busy.
+pub struct ServeClient {
+    rx: Box<dyn FrameRx>,
+    tx: Box<dyn FrameTx>,
+    session_id: u64,
+    next_request: u64,
+    client: PirClient<rand::rngs::StdRng>,
+    /// Queries awaiting their response, keyed by request id (needed to
+    /// decode the response that answers them).
+    pending: std::collections::HashMap<u64, ive_pir::PirQuery>,
+}
+
+impl ServeClient {
+    /// Generates keys, uploads them over `conn`, and waits for the
+    /// session id — the one-time expensive step (§V key registration).
+    ///
+    /// # Errors
+    /// Fails on keygen, transport, or handshake-rejection errors.
+    pub fn connect(
+        params: &PirParams,
+        conn: BoxedConn,
+        rng: rand::rngs::StdRng,
+    ) -> Result<Self, ServeError> {
+        let (mut rx, mut tx) = conn;
+        let client = PirClient::new(params, rng)?;
+        tx.send(&wire::encode_hello(client.public_keys()))?;
+        let frame = recv_frame(rx.as_mut(), RESPONSE_TIMEOUT)?;
+        let session_id = match wire::peek_tag(&frame)? {
+            wire::Tag::Welcome => wire::decode_welcome(&frame)?,
+            wire::Tag::Error => {
+                let (request_id, message) = wire::decode_error_frame(&frame)?;
+                return Err(ServeError::Remote { request_id, message });
+            }
+            tag => {
+                return Err(ServeError::Protocol(format!(
+                    "expected Welcome, server sent {}",
+                    tag.name()
+                )))
+            }
+        };
+        Ok(ServeClient {
+            rx,
+            tx,
+            session_id,
+            next_request: 1,
+            client,
+            pending: std::collections::HashMap::new(),
+        })
+    }
+
+    /// The session id the server assigned.
+    #[inline]
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Number of queries currently in flight.
+    #[inline]
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Ships a query for record `index` without waiting for the answer;
+    /// returns its request id. Collect results with
+    /// [`ServeClient::next_record`].
+    ///
+    /// # Errors
+    /// Fails on out-of-range indices or transport errors.
+    pub fn submit(&mut self, index: usize) -> Result<u64, ServeError> {
+        let query = self.client.query(index)?;
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.tx.send(&wire::encode_session_query(self.session_id, request_id, &query))?;
+        self.pending.insert(request_id, query);
+        Ok(request_id)
+    }
+
+    /// Waits for the next response to any in-flight query and decodes it.
+    ///
+    /// # Errors
+    /// Fails on protocol, transport, or server-reported errors (a remote
+    /// error consumes the in-flight request it names).
+    pub fn next_record(&mut self) -> Result<(u64, Vec<u8>), ServeError> {
+        if self.pending.is_empty() {
+            return Err(ServeError::Protocol("no query in flight".into()));
+        }
+        let he = self.client.params().he().clone();
+        let frame = recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?;
+        match wire::peek_tag(&frame)? {
+            wire::Tag::SessionResponse => {
+                let (request_id, ct) = wire::decode_session_response(&he, &frame)?;
+                let query = self.pending.remove(&request_id).ok_or_else(|| {
+                    ServeError::Protocol(format!("response for unknown request {request_id}"))
+                })?;
+                Ok((request_id, self.client.decode(&query, &ct)?))
+            }
+            wire::Tag::Error => {
+                let (request_id, message) = wire::decode_error_frame(&frame)?;
+                if request_id == 0 {
+                    // Connection-level failure (the server could not even
+                    // decode the offending frame, so it cannot name it):
+                    // every in-flight query is lost. Clearing them keeps
+                    // the connection usable for fresh queries.
+                    self.pending.clear();
+                } else {
+                    self.pending.remove(&request_id);
+                }
+                Err(ServeError::Remote { request_id, message })
+            }
+            tag => Err(ServeError::Protocol(format!(
+                "expected SessionResponse, server sent {}",
+                tag.name()
+            ))),
+        }
+    }
+
+    /// Retrieves record `index` privately: builds the query, ships it
+    /// under the session id, and decodes the matching response.
+    ///
+    /// # Errors
+    /// Fails on protocol, transport, or server-reported errors, and when
+    /// called with pipelined queries still in flight.
+    pub fn retrieve(&mut self, index: usize) -> Result<Vec<u8>, ServeError> {
+        if !self.pending.is_empty() {
+            return Err(ServeError::Protocol(format!(
+                "retrieve with {} pipelined queries in flight",
+                self.pending.len()
+            )));
+        }
+        let want = self.submit(index)?;
+        let (got, record) = self.next_record()?;
+        if got != want {
+            return Err(ServeError::Protocol(format!(
+                "response for request {got} while {want} was in flight"
+            )));
+        }
+        Ok(record)
+    }
+}
+
+/// Blocks until one frame arrives, the peer closes, or `timeout` passes.
+fn recv_frame(rx: &mut dyn FrameRx, timeout: Duration) -> Result<Bytes, ServeError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match rx.recv()? {
+            Received::Frame(frame) => return Ok(frame),
+            Received::Idle => {
+                if Instant::now() >= deadline {
+                    return Err(ServeError::Timeout);
+                }
+            }
+            Received::Closed => return Err(ServeError::Closed),
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Serving configuration: waiting window, batch and queue bounds, worker
+//! pool size, and the database sharding plan.
+
+use std::time::Duration;
+
+use ive_pir::TournamentOrder;
+
+use crate::ServeError;
+
+/// How the preprocessed database is spread across the worker plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPlan {
+    /// One logical copy shared by every worker (an `Arc`, not a byte
+    /// copy): workers take whole batches in parallel.
+    Replicated,
+    /// The row dimension is split into `shards` aligned blocks; each
+    /// shard answers the low tournament levels of every query in a batch
+    /// and the high bits recombine the shard winners (Fig. 7c across
+    /// workers instead of cache levels).
+    RowSharded {
+        /// Number of row shards (a power of two, at most `2^d`).
+        shards: usize,
+    },
+}
+
+/// Configuration for [`crate::PirService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Waiting window: how long the batcher holds the first in-flight
+    /// query open for companions (§V; `0` disables batching delay).
+    pub window: Duration,
+    /// Largest batch one dispatch may carry.
+    pub max_batch: usize,
+    /// Worker threads consuming dispatched batches.
+    pub workers: usize,
+    /// Bound of the in-flight job queue; submissions block (backpressure)
+    /// once this many queries are waiting for a window.
+    pub queue_depth: usize,
+    /// Database sharding plan.
+    pub shard: ShardPlan,
+    /// `RowSel` threads *inside* each `PirServer`: the row scan of every
+    /// batch splits across this many workers. Keep it at 1 when
+    /// `workers × shards` already covers the machine; the pools multiply.
+    pub rowsel_threads: usize,
+    /// `ColTor` traversal order used by every shard.
+    pub order: TournamentOrder,
+    /// Upper bound on cached sessions: each registration pins hundreds
+    /// of KB of key material server-side, so an uncapped cache is a
+    /// remote memory-exhaustion vector. Registrations beyond the cap are
+    /// rejected until sessions are evicted.
+    pub max_sessions: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        ServeConfig {
+            window: Duration::from_millis(4),
+            max_batch: 8,
+            workers: (cores / 2).max(1),
+            queue_depth: 64,
+            shard: ShardPlan::Replicated,
+            rowsel_threads: 1,
+            order: TournamentOrder::Hs { subtree_depth: 2 },
+            max_sessions: 4096,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    /// Fails on zero-sized pools/bounds or a non-power-of-two shard count.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be >= 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::InvalidConfig("queue_depth must be >= 1".into()));
+        }
+        if self.rowsel_threads == 0 {
+            return Err(ServeError::InvalidConfig("rowsel_threads must be >= 1".into()));
+        }
+        if self.max_sessions == 0 {
+            return Err(ServeError::InvalidConfig("max_sessions must be >= 1".into()));
+        }
+        if let ShardPlan::RowSharded { shards } = self.shard {
+            if shards == 0 || !shards.is_power_of_two() {
+                return Err(ServeError::InvalidConfig(format!(
+                    "row shard count {shards} must be a power of two >= 1"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ServeConfig::default().validate().expect("default must validate");
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        for bad in [
+            ServeConfig { max_batch: 0, ..ServeConfig::default() },
+            ServeConfig { workers: 0, ..ServeConfig::default() },
+            ServeConfig { queue_depth: 0, ..ServeConfig::default() },
+            ServeConfig { rowsel_threads: 0, ..ServeConfig::default() },
+            ServeConfig { max_sessions: 0, ..ServeConfig::default() },
+            ServeConfig { shard: ShardPlan::RowSharded { shards: 3 }, ..ServeConfig::default() },
+            ServeConfig { shard: ShardPlan::RowSharded { shards: 0 }, ..ServeConfig::default() },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

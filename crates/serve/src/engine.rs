@@ -1,0 +1,246 @@
+//! The database plane behind the worker pool: one replicated server, or a
+//! row-sharded ensemble recombined through the high tournament bits.
+//!
+//! Row sharding exploits that `ColTor` consumes row-index bits LSB first
+//! (Fig. 7): an aligned block of `2^(d-k)` adjacent rows is exactly one
+//! depth-`(d-k)` subtree of the tournament, so shard `s` can run
+//! `RowSel` + the low levels over its own rows only, and the `2^k` shard
+//! winners finish with the high `k` selection bits. The recombined
+//! ciphertext is bit-identical to the monolithic server's answer (§IV-A:
+//! traversal order does not change the arithmetic).
+
+use ive_he::BfvCiphertext;
+use ive_pir::coltor::col_tor;
+use ive_pir::{ClientKeys, Database, PirError, PirParams, PirQuery, PirServer, TournamentOrder};
+
+use crate::config::ShardPlan;
+use crate::ServeError;
+
+/// The query-answering plane: replicated or row-sharded.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    params: PirParams,
+    order: TournamentOrder,
+    mode: Mode,
+}
+
+#[derive(Debug)]
+enum Mode {
+    Replicated(PirServer),
+    RowSharded {
+        /// One sub-server per aligned row block, in row order.
+        shards: Vec<PirServer>,
+        /// `k = log2(shards)`: how many high bits recombine winners.
+        shard_bits: u32,
+    },
+}
+
+impl ShardedEngine {
+    /// Builds the plane from a preprocessed database.
+    ///
+    /// # Errors
+    /// Fails when the shard count exceeds the row dimension or the
+    /// database does not match the geometry.
+    pub fn new(
+        params: &PirParams,
+        db: Database,
+        plan: ShardPlan,
+        rowsel_threads: usize,
+        order: TournamentOrder,
+    ) -> Result<Self, ServeError> {
+        let mode = match plan {
+            ShardPlan::Replicated => {
+                let mut server = PirServer::new(params, db)?;
+                server.set_tournament_order(order);
+                server.set_rowsel_threads(rowsel_threads);
+                Mode::Replicated(server)
+            }
+            ShardPlan::RowSharded { shards } => {
+                let shard_bits = shards.trailing_zeros();
+                if !shards.is_power_of_two() || shard_bits > params.dims() {
+                    return Err(ServeError::InvalidConfig(format!(
+                        "{} row shards do not divide 2^{} rows",
+                        shards,
+                        params.dims()
+                    )));
+                }
+                let sub_params =
+                    PirParams::new(params.he().clone(), params.d0(), params.dims() - shard_bits)?;
+                let rows_per_shard = params.num_rows() / shards;
+                let servers = (0..shards)
+                    .map(|s| {
+                        let shard_db = db.shard_rows(s * rows_per_shard, rows_per_shard);
+                        let mut server = PirServer::new(&sub_params, shard_db)?;
+                        server.set_tournament_order(order);
+                        server.set_rowsel_threads(rowsel_threads);
+                        Ok(server)
+                    })
+                    .collect::<Result<Vec<_>, PirError>>()?;
+                Mode::RowSharded { shards: servers, shard_bits }
+            }
+        };
+        Ok(ShardedEngine { params: params.clone(), order, mode })
+    }
+
+    /// The scheme parameters.
+    #[inline]
+    pub fn params(&self) -> &PirParams {
+        &self.params
+    }
+
+    /// Number of database shards (1 when replicated).
+    pub fn num_shards(&self) -> usize {
+        match &self.mode {
+            Mode::Replicated(_) => 1,
+            Mode::RowSharded { shards, .. } => shards.len(),
+        }
+    }
+
+    /// Answers one query.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures.
+    pub fn answer(&self, keys: &ClientKeys, query: &PirQuery) -> Result<BfvCiphertext, PirError> {
+        Ok(self.answer_batch(&[(keys, query)])?.pop().expect("one request, one answer"))
+    }
+
+    /// Answers a batch of queries (possibly from different sessions) with
+    /// one database pass per shard.
+    ///
+    /// # Errors
+    /// Fails when *any* query in the batch fails; callers that need
+    /// per-query isolation should retry failures individually via
+    /// [`ShardedEngine::answer`].
+    pub fn answer_batch(
+        &self,
+        requests: &[(&ClientKeys, &PirQuery)],
+    ) -> Result<Vec<BfvCiphertext>, PirError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        match &self.mode {
+            Mode::Replicated(server) => server.answer_batch(requests),
+            Mode::RowSharded { shards, shard_bits } => {
+                self.answer_batch_sharded(shards, *shard_bits, requests)
+            }
+        }
+    }
+
+    fn answer_batch_sharded(
+        &self,
+        shards: &[PirServer],
+        shard_bits: u32,
+        requests: &[(&ClientKeys, &PirQuery)],
+    ) -> Result<Vec<BfvCiphertext>, PirError> {
+        let he = self.params.he();
+        let low_bits = (self.params.dims() - shard_bits) as usize;
+        // Expansion is client-specific and shard-independent: do it once
+        // and share the result with every shard.
+        let mut expanded = Vec::with_capacity(requests.len());
+        for (keys, query) in requests {
+            expanded.push(shards[0].expand(keys, query)?);
+        }
+        // Each shard scans its rows once for the whole batch, then plays
+        // the low tournament levels per query.
+        let mut winners: Vec<Vec<BfvCiphertext>> = Vec::new();
+        std::thread::scope(|scope| -> Result<(), PirError> {
+            let mut handles = Vec::with_capacity(shards.len());
+            for shard in shards {
+                let expanded = &expanded;
+                handles.push(scope.spawn(move || -> Result<Vec<BfvCiphertext>, PirError> {
+                    let accs = shard.row_sel_batch(expanded)?;
+                    accs.into_iter()
+                        .zip(requests)
+                        .map(|(rows, (_, query))| {
+                            col_tor(he, rows, &query.row_bits()[..low_bits], self.order)
+                        })
+                        .collect()
+                }));
+            }
+            for h in handles {
+                winners.push(h.join().expect("shard worker panicked")?);
+            }
+            Ok(())
+        })?;
+        // Recombine: query i's shard winners, ordered by shard (= high
+        // bits of the row index), finish with the remaining bits.
+        (0..requests.len())
+            .map(|i| {
+                let entries: Vec<BfvCiphertext> =
+                    winners.iter().map(|per_shard| per_shard[i].clone()).collect();
+                col_tor(he, entries, &requests[i].1.row_bits()[low_bits..], self.order)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ive_pir::PirClient;
+    use rand::SeedableRng;
+
+    fn setup() -> (PirParams, Database, Vec<Vec<u8>>) {
+        let params = PirParams::toy();
+        let records: Vec<Vec<u8>> =
+            (0..params.num_records()).map(|i| format!("engine {i}").into_bytes()).collect();
+        let db = Database::from_records(&params, &records).unwrap();
+        (params, db, records)
+    }
+
+    #[test]
+    fn sharded_batches_match_replicated_batches() {
+        let (params, db, records) = setup();
+        let order = TournamentOrder::Hs { subtree_depth: 2 };
+        let replicated =
+            ShardedEngine::new(&params, db.clone(), ShardPlan::Replicated, 1, order).unwrap();
+        for shards in [2usize, 4] {
+            let sharded =
+                ShardedEngine::new(&params, db.clone(), ShardPlan::RowSharded { shards }, 1, order)
+                    .unwrap();
+            assert_eq!(sharded.num_shards(), shards);
+            let mut clients: Vec<_> = (0..3)
+                .map(|i| {
+                    PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(300 + i)).unwrap()
+                })
+                .collect();
+            let targets = [2usize, 33, 63];
+            let queries: Vec<_> =
+                clients.iter_mut().zip(targets).map(|(c, t)| c.query(t).unwrap()).collect();
+            let requests: Vec<_> =
+                clients.iter().zip(&queries).map(|(c, q)| (c.public_keys(), q)).collect();
+            let a = replicated.answer_batch(&requests).unwrap();
+            let b = sharded.answer_batch(&requests).unwrap();
+            assert_eq!(a, b, "{shards}-way sharding changed answers");
+            for ((client, query), (ct, target)) in
+                clients.iter().zip(&queries).zip(b.iter().zip(targets))
+            {
+                let plain = client.decode(query, ct).unwrap();
+                assert_eq!(&plain[..records[target].len()], &records[target][..]);
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_shards_rejected() {
+        let (params, db, _) = setup();
+        let shards = 2 * params.num_rows();
+        let err = ShardedEngine::new(
+            &params,
+            db,
+            ShardPlan::RowSharded { shards },
+            1,
+            TournamentOrder::Bfs,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (params, db, _) = setup();
+        let engine =
+            ShardedEngine::new(&params, db, ShardPlan::Replicated, 1, TournamentOrder::Bfs)
+                .unwrap();
+        assert!(engine.answer_batch(&[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! # `ive_serve` — a concurrent PIR serving runtime
+//!
+//! The functional protocol in `ive_pir` answers one query per synchronous
+//! call; the paper's deployment analysis (§V, Fig. 14) assumes a *serving
+//! layer* in front of it: clients register bulky key material once, the
+//! online path ships only small queries, arrivals coalesce in a waiting
+//! window, and batches dispatch to parallel workers over a sharded
+//! database. This crate is that layer, end to end over the real wire
+//! format of [`ive_pir::wire`]:
+//!
+//! * [`session`] — the ARK-style key cache (§V): one [`wire::Tag::Hello`]
+//!   upload per client, a `u64` session id thereafter.
+//! * [`batcher`] — the waiting-window batch scheduler of `ive_accel::queue`,
+//!   running live: a window opens at the first in-flight query, and the
+//!   accumulated batch dispatches to a worker pool with bounded queues for
+//!   backpressure.
+//! * [`engine`] — the database plane: a replicated single server, or a
+//!   row-sharded ensemble whose shard answers recombine through the high
+//!   tournament bits (the Fig. 7c hierarchy across workers).
+//! * [`transport`] / [`tcp`] — one [`Transport`] trait, two carriers: an
+//!   in-process channel pair for tests and benches, and a real
+//!   `std::net::TcpListener` speaking length-delimited frames.
+//! * [`metrics`] — latency histogram, QPS, batch-size distribution, and
+//!   queue depth, snapshotted as [`ServerStats`].
+//! * [`service`] / [`client`] — the assembled server and a blocking client.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ive_pir::{Database, PirParams};
+//! use ive_serve::config::ServeConfig;
+//! use ive_serve::transport::in_proc_pair;
+//! use ive_serve::{PirService, ServeClient};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = PirParams::toy();
+//! let records: Vec<Vec<u8>> = (0..params.num_records())
+//!     .map(|i| format!("record #{i}").into_bytes())
+//!     .collect();
+//! let db = Database::from_records(&params, &records)?;
+//!
+//! let (transport, connector) = in_proc_pair();
+//! let service = PirService::start(ServeConfig::default(), &params, db, Box::new(transport))?;
+//!
+//! let rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut client = ServeClient::connect(&params, connector.connect()?, rng)?;
+//! let record = client.retrieve(7)?;
+//! assert_eq!(&record[..records[7].len()], &records[7][..]);
+//!
+//! drop(client);
+//! service.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod batcher;
+pub mod client;
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod service;
+pub mod session;
+pub mod tcp;
+pub mod transport;
+
+pub use client::ServeClient;
+pub use config::{ServeConfig, ShardPlan};
+pub use engine::ShardedEngine;
+pub use metrics::{Metrics, ServerStats};
+pub use service::{PirService, ServiceHandle};
+pub use session::SessionManager;
+pub use tcp::TcpTransport;
+pub use transport::{in_proc_pair, Transport};
+
+use ive_pir::{wire, PirError};
+
+/// Errors produced by the serving runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Underlying protocol failure.
+    Pir(PirError),
+    /// Underlying socket failure.
+    Io(std::io::Error),
+    /// The peer closed the connection.
+    Closed,
+    /// A blocking operation gave up waiting.
+    Timeout,
+    /// The server reported a per-request failure.
+    Remote {
+        /// The request the failure belongs to (0 for connection-level).
+        request_id: u64,
+        /// The server's error message.
+        message: String,
+    },
+    /// The peer violated the session protocol.
+    Protocol(String),
+    /// The serving configuration is inconsistent.
+    InvalidConfig(String),
+    /// A query referenced a session id that was never registered.
+    UnknownSession(u64),
+}
+
+impl From<PirError> for ServeError {
+    fn from(e: PirError) -> Self {
+        ServeError::Pir(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::Pir(e) => write!(f, "protocol error: {e}"),
+            ServeError::Io(e) => write!(f, "I/O error: {e}"),
+            ServeError::Closed => write!(f, "connection closed by peer"),
+            ServeError::Timeout => write!(f, "timed out"),
+            ServeError::Remote { request_id, message } => {
+                write!(f, "server error for request {request_id}: {message}")
+            }
+            ServeError::Protocol(msg) => write!(f, "session protocol violation: {msg}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serving config: {msg}"),
+            ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Pir(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a [`wire::Tag::Error`] frame from any [`ServeError`].
+pub(crate) fn error_frame(request_id: u64, err: &dyn core::fmt::Display) -> bytes::Bytes {
+    wire::encode_error_frame(request_id, &err.to_string())
+}

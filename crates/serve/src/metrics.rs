@@ -1,0 +1,250 @@
+//! Serving metrics: request latency histogram, QPS, batch-size
+//! distribution, and queue depth — the live counterpart of the analytic
+//! load–latency curves in `ive_accel::queue` (Fig. 14b).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of log₂ latency buckets: bucket `i` counts requests whose
+/// end-to-end latency lies in `[2^i, 2^(i+1))` microseconds; 40 buckets
+/// reach ~12 days, far beyond any sane request.
+const LATENCY_BUCKETS: usize = 40;
+
+/// Lock-free accumulation of serving statistics. One instance is shared
+/// by the connection handlers, the batcher, and the workers.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    batch_query_sum: AtomicU64,
+    batches_multi: AtomicU64,
+    max_batch: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+    latency_sum_us: AtomicU64,
+    latency_max_us: AtomicU64,
+    queue_depth: AtomicUsize,
+    queue_depth_max: AtomicUsize,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh counters; the uptime clock starts now.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_query_sum: AtomicU64::new(0),
+            batches_multi: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            latency: [const { AtomicU64::new(0) }; LATENCY_BUCKETS],
+            latency_sum_us: AtomicU64::new(0),
+            latency_max_us: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            queue_depth_max: AtomicUsize::new(0),
+        }
+    }
+
+    /// A query entered the waiting queue.
+    pub fn job_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A query left the waiting queue (joined a batch).
+    pub fn job_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A batch of `size` queries dispatched to a worker.
+    pub fn batch_dispatched(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_query_sum.fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+        if size > 1 {
+            self.batches_multi.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One query finished successfully after the given end-to-end latency
+    /// (enqueue → response frame handed to the transport).
+    pub fn query_done(&self, latency: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (us.max(1).ilog2() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// One query failed server-side.
+    pub fn query_failed(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The latency value (ms) below which `q` of the recorded mass lies,
+    /// resolved to the upper edge of the matching log₂ bucket and clamped
+    /// to the true observed maximum (a coarse bucket's edge can otherwise
+    /// exceed every real sample).
+    fn latency_quantile_ms(&self, q: f64) -> f64 {
+        let total: u64 = self.latency.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max_ms = self.latency_max_us.load(Ordering::Relaxed) as f64 / 1000.0;
+        let target = (q * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.latency.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return ((1u64 << (i + 1)) as f64 / 1000.0).min(max_ms);
+            }
+        }
+        max_ms
+    }
+
+    /// A consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> ServerStats {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        ServerStats {
+            queries,
+            errors: self.errors.load(Ordering::Relaxed),
+            batches,
+            avg_batch: if batches == 0 {
+                0.0
+            } else {
+                self.batch_query_sum.load(Ordering::Relaxed) as f64 / batches as f64
+            },
+            max_batch: self.max_batch.load(Ordering::Relaxed) as usize,
+            batches_multi: self.batches_multi.load(Ordering::Relaxed),
+            qps: if uptime.as_secs_f64() > 0.0 {
+                queries as f64 / uptime.as_secs_f64()
+            } else {
+                0.0
+            },
+            mean_latency_ms: if queries == 0 {
+                0.0
+            } else {
+                self.latency_sum_us.load(Ordering::Relaxed) as f64 / queries as f64 / 1000.0
+            },
+            p50_latency_ms: self.latency_quantile_ms(0.50),
+            p95_latency_ms: self.latency_quantile_ms(0.95),
+            p99_latency_ms: self.latency_quantile_ms(0.99),
+            max_latency_ms: self.latency_max_us.load(Ordering::Relaxed) as f64 / 1000.0,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.queue_depth_max.load(Ordering::Relaxed),
+            uptime_s: uptime.as_secs_f64(),
+        }
+    }
+}
+
+/// A point-in-time view of the serving counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Queries answered successfully.
+    pub queries: u64,
+    /// Queries that failed server-side.
+    pub errors: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean dispatched batch size.
+    pub avg_batch: f64,
+    /// Largest dispatched batch.
+    pub max_batch: usize,
+    /// Batches that coalesced more than one query.
+    pub batches_multi: u64,
+    /// Served queries per second of uptime.
+    pub qps: f64,
+    /// Mean end-to-end latency (enqueue → response framed), ms.
+    pub mean_latency_ms: f64,
+    /// Median latency (log-bucket upper edge), ms.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile latency (log-bucket upper edge), ms.
+    pub p95_latency_ms: f64,
+    /// 99th-percentile latency (log-bucket upper edge), ms.
+    pub p99_latency_ms: f64,
+    /// Worst observed latency, ms.
+    pub max_latency_ms: f64,
+    /// Queries currently waiting for a window.
+    pub queue_depth: usize,
+    /// High-water mark of the waiting queue.
+    pub max_queue_depth: usize,
+    /// Seconds since the metrics were created.
+    pub uptime_s: f64,
+}
+
+impl core::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} queries ({} errors) in {:.1}s = {:.1} QPS | {} batches (avg {:.2}, max {}, \
+             {} multi) | latency ms: mean {:.1} p50 {:.1} p95 {:.1} p99 {:.1} max {:.1} | \
+             queue depth {} (max {})",
+            self.queries,
+            self.errors,
+            self.uptime_s,
+            self.qps,
+            self.batches,
+            self.avg_batch,
+            self.max_batch,
+            self.batches_multi,
+            self.mean_latency_ms,
+            self.p50_latency_ms,
+            self.p95_latency_ms,
+            self.p99_latency_ms,
+            self.max_latency_ms,
+            self.queue_depth,
+            self.max_queue_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.job_enqueued();
+        m.job_enqueued();
+        m.job_dequeued();
+        m.batch_dispatched(1);
+        m.batch_dispatched(3);
+        m.query_done(Duration::from_millis(2));
+        m.query_done(Duration::from_millis(40));
+        m.query_failed();
+        let s = m.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.max_batch, 3);
+        assert_eq!(s.batches_multi, 1);
+        assert!((s.avg_batch - 2.0).abs() < 1e-9);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.max_queue_depth, 2);
+        assert!(s.mean_latency_ms > 1.0 && s.mean_latency_ms < 41.0);
+        assert!(s.p50_latency_ms >= 2.0);
+        assert!(s.p99_latency_ms >= s.p50_latency_ms);
+        assert!(s.max_latency_ms >= 40.0);
+        assert!(s.to_string().contains("2 queries"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = Metrics::new().snapshot();
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.avg_batch, 0.0);
+        assert_eq!(s.p99_latency_ms, 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! The assembled serving process: transport acceptor, per-connection
+//! handlers, session registration, and the batching pipeline.
+//!
+//! Thread anatomy (all plain `std::thread`, no async runtime):
+//!
+//! ```text
+//! acceptor ──spawns──► handler (1/conn) ──Job──► dispatcher ──batch──► workers
+//!                         │ ▲                                            │
+//!                         ▼ │ outgoing frames ◄──────────────────────────┘
+//!                       writer (1/conn)
+//! ```
+//!
+//! Every queue in the picture is bounded; a saturated worker pool blocks
+//! the dispatcher, a full job queue blocks the handlers, and the TCP
+//! receive buffers absorb the rest — clients feel backpressure instead of
+//! the server melting.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use ive_pir::{wire, Database, PirParams};
+
+use crate::batcher::{self, Job};
+use crate::config::ServeConfig;
+use crate::engine::ShardedEngine;
+use crate::error_frame;
+use crate::metrics::{Metrics, ServerStats};
+use crate::session::SessionManager;
+use crate::transport::{BoxedConn, FrameTx, Received, Transport};
+use crate::ServeError;
+
+/// The serving runtime entry point.
+pub struct PirService;
+
+impl PirService {
+    /// Builds the engine, spawns the pipeline, and starts accepting
+    /// connections from `transport`. Returns immediately; the service
+    /// runs on background threads until [`ServiceHandle::shutdown`].
+    ///
+    /// # Errors
+    /// Fails on invalid configuration or a database/geometry mismatch.
+    pub fn start(
+        config: ServeConfig,
+        params: &PirParams,
+        db: Database,
+        mut transport: Box<dyn Transport>,
+    ) -> Result<ServiceHandle, ServeError> {
+        config.validate()?;
+        let engine = Arc::new(ShardedEngine::new(
+            params,
+            db,
+            config.shard,
+            config.rowsel_threads,
+            config.order,
+        )?);
+        let metrics = Arc::new(Metrics::new());
+        let sessions = Arc::new(SessionManager::new(params, config.max_sessions));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let endpoint = transport.endpoint();
+
+        let batcher = batcher::spawn(&config, Arc::clone(&engine), Arc::clone(&metrics));
+        let mut threads = batcher.threads;
+        let jobs = batcher.jobs;
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let sessions = Arc::clone(&sessions);
+            let metrics = Arc::clone(&metrics);
+            let jobs = jobs.clone();
+            std::thread::Builder::new()
+                .name("ive-serve-accept".into())
+                .spawn(move || {
+                    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                    while !shutdown.load(Ordering::Relaxed) {
+                        // Reap finished handlers so a long-lived server
+                        // with many short connections doesn't accumulate
+                        // join handles without bound — and *join* them,
+                        // so a handler panic surfaces here instead of
+                        // vanishing with the thread.
+                        for h in extract_finished(&mut handlers) {
+                            h.join().expect("connection handler panicked");
+                        }
+                        match transport.accept() {
+                            Ok(Some(conn)) => {
+                                let ctx = HandlerCtx {
+                                    sessions: Arc::clone(&sessions),
+                                    metrics: Arc::clone(&metrics),
+                                    jobs: jobs.clone(),
+                                    shutdown: Arc::clone(&shutdown),
+                                };
+                                handlers.push(
+                                    std::thread::Builder::new()
+                                        .name("ive-serve-conn".into())
+                                        .spawn(move || handle_connection(conn, &ctx))
+                                        .expect("spawn connection handler"),
+                                );
+                            }
+                            Ok(None) => {}
+                            Err(_) => break, // listener broke: stop accepting
+                        }
+                    }
+                    for h in handlers {
+                        h.join().expect("connection handler panicked");
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+        threads.push(acceptor);
+
+        Ok(ServiceHandle { shutdown, jobs: Some(jobs), threads, metrics, sessions, endpoint })
+    }
+}
+
+/// Removes and returns the handles whose threads have finished.
+fn extract_finished(handles: &mut Vec<JoinHandle<()>>) -> Vec<JoinHandle<()>> {
+    let mut done = Vec::new();
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            done.push(handles.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    done
+}
+
+/// Shared state a connection handler needs.
+struct HandlerCtx {
+    sessions: Arc<SessionManager>,
+    metrics: Arc<Metrics>,
+    jobs: SyncSender<Job>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Serves one connection until the peer leaves or shutdown is flagged.
+fn handle_connection(conn: BoxedConn, ctx: &HandlerCtx) {
+    let (mut rx, tx) = conn;
+    // Responses arrive asynchronously from the workers; a dedicated
+    // writer serializes them onto the socket.
+    let (out_tx, out_rx) = mpsc::channel::<Bytes>();
+    let writer = std::thread::Builder::new()
+        .name("ive-serve-write".into())
+        .spawn(move || {
+            let mut tx: Box<dyn FrameTx> = tx;
+            for frame in out_rx {
+                if tx.send(&frame).is_err() {
+                    break; // peer gone; drain and exit with the channel
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    // The flag is checked every iteration (not only when idle) so a
+    // client that streams frames continuously cannot pin the handler —
+    // and with it the whole shutdown sequence — forever.
+    while !ctx.shutdown.load(Ordering::Relaxed) {
+        match rx.recv() {
+            Ok(Received::Frame(frame)) => {
+                if handle_frame(&frame, ctx, &out_tx).is_err() {
+                    break; // outgoing channel gone: writer saw a dead peer
+                }
+            }
+            Ok(Received::Idle) => {}
+            Ok(Received::Closed) | Err(_) => break,
+        }
+    }
+    drop(out_tx);
+    writer.join().expect("connection writer panicked");
+}
+
+/// Dispatches one inbound frame; `Err` means the connection is dead.
+fn handle_frame(
+    frame: &Bytes,
+    ctx: &HandlerCtx,
+    out: &mpsc::Sender<Bytes>,
+) -> Result<(), ServeError> {
+    let sessions = &ctx.sessions;
+    let he = sessions_he(sessions);
+    let reply = |bytes: Bytes| out.send(bytes).map_err(|_| ServeError::Closed);
+    match wire::peek_tag(frame) {
+        Ok(wire::Tag::Hello) => match wire::decode_hello(he, frame) {
+            Ok(keys) => match sessions.register(keys) {
+                Ok(id) => reply(wire::encode_welcome(id)),
+                Err(e) => reply(error_frame(0, &e)),
+            },
+            Err(e) => reply(error_frame(0, &e)),
+        },
+        Ok(wire::Tag::SessionQuery) => match wire::decode_session_query(he, frame) {
+            Ok((session_id, request_id, query)) => match sessions.lookup(session_id) {
+                Some(keys) => {
+                    let job = Job {
+                        keys,
+                        query,
+                        request_id,
+                        enqueued: Instant::now(),
+                        reply: out.clone(),
+                    };
+                    ctx.metrics.job_enqueued();
+                    if ctx.jobs.send(job).is_err() {
+                        // Pipeline is shutting down.
+                        ctx.metrics.job_dequeued();
+                        reply(error_frame(request_id, &ServeError::Closed))?;
+                    }
+                    Ok(())
+                }
+                None => {
+                    ctx.metrics.query_failed();
+                    reply(error_frame(request_id, &ServeError::UnknownSession(session_id)))
+                }
+            },
+            Err(e) => reply(error_frame(0, &e)),
+        },
+        Ok(tag) => {
+            reply(error_frame(0, &ServeError::Protocol(format!("unexpected {} frame", tag.name()))))
+        }
+        Err(e) => reply(error_frame(0, &e)),
+    }
+}
+
+/// The HE parameters behind a session manager (alias for readability).
+fn sessions_he(sessions: &SessionManager) -> &ive_he::HeParams {
+    sessions.params().he()
+}
+
+/// A running service: stats, session access, and shutdown.
+pub struct ServiceHandle {
+    shutdown: Arc<AtomicBool>,
+    jobs: Option<SyncSender<Job>>,
+    threads: Vec<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+    sessions: Arc<SessionManager>,
+    endpoint: String,
+}
+
+impl ServiceHandle {
+    /// The transport endpoint the service listens on.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        self.metrics.snapshot()
+    }
+
+    /// The session manager (e.g. to inspect or evict cached keys).
+    pub fn sessions(&self) -> &SessionManager {
+        &self.sessions
+    }
+
+    /// Stops accepting, drains in-flight work, and joins every thread.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.metrics.snapshot()
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Dropping the last submission handle lets the dispatcher drain
+        // and exit once the handlers (who hold clones) notice the flag.
+        self.jobs = None;
+        for t in self.threads.drain(..) {
+            t.join().expect("service thread panicked");
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.stop();
+        }
+    }
+}

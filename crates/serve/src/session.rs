@@ -1,0 +1,145 @@
+//! The session manager: the server-side key cache of the paper's ARK
+//! deployment motif (§V — "the ARK stores the keys of queries in the
+//! waiting queue"). A client uploads its `log D0` expansion keys once;
+//! every later query carries only a `u64` session id, and the online
+//! payload shrinks from hundreds of KB of key material to the query
+//! ciphertexts alone.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use ive_pir::{ClientKeys, PirParams};
+
+use crate::ServeError;
+
+/// Registered client key material, keyed by session id.
+#[derive(Debug)]
+pub struct SessionManager {
+    params: PirParams,
+    max_sessions: usize,
+    next_id: AtomicU64,
+    keys: RwLock<HashMap<u64, Arc<ClientKeys>>>,
+}
+
+impl SessionManager {
+    /// An empty manager for the given scheme parameters, rejecting
+    /// registrations once `max_sessions` key sets are cached.
+    pub fn new(params: &PirParams, max_sessions: usize) -> Self {
+        SessionManager {
+            params: params.clone(),
+            max_sessions,
+            next_id: AtomicU64::new(1),
+            keys: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Validates and caches one client's key set, returning the session id
+    /// the client must present with every query.
+    ///
+    /// # Errors
+    /// Fails when the key count does not match the `ExpandQuery` depth or
+    /// the cache is full (each key set pins real memory; an uncapped
+    /// cache would let anonymous Hello frames exhaust the server).
+    pub fn register(&self, keys: ClientKeys) -> Result<u64, ServeError> {
+        let need = self.params.log_d0() as usize;
+        if keys.subs_keys().len() != need {
+            return Err(ServeError::Protocol(format!(
+                "registered {} expansion keys where the geometry needs {need}",
+                keys.subs_keys().len()
+            )));
+        }
+        let mut cache = self.keys.write().expect("session lock poisoned");
+        if cache.len() >= self.max_sessions {
+            return Err(ServeError::Protocol(format!(
+                "session cache full ({} sessions); evict before registering",
+                self.max_sessions
+            )));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        cache.insert(id, Arc::new(keys));
+        Ok(id)
+    }
+
+    /// The scheme parameters sessions are validated against.
+    #[inline]
+    pub fn params(&self) -> &PirParams {
+        &self.params
+    }
+
+    /// The cached keys for a session, if registered.
+    pub fn lookup(&self, session_id: u64) -> Option<Arc<ClientKeys>> {
+        self.keys.read().expect("session lock poisoned").get(&session_id).cloned()
+    }
+
+    /// Drops a session's keys (cache management); returns whether it
+    /// existed.
+    pub fn evict(&self, session_id: u64) -> bool {
+        self.keys.write().expect("session lock poisoned").remove(&session_id).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.keys.read().expect("session lock poisoned").len()
+    }
+
+    /// Whether no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of cached key material (the scratchpad pressure the
+    /// paper's §III-B bandwidth analysis is about).
+    pub fn cached_key_bytes(&self) -> usize {
+        let he = self.params.he();
+        self.keys.read().expect("session lock poisoned").values().map(|k| k.byte_len(he)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ive_pir::PirClient;
+    use rand::SeedableRng;
+
+    #[test]
+    fn register_lookup_evict_lifecycle() {
+        let params = PirParams::toy();
+        let mgr = SessionManager::new(&params, 16);
+        assert!(mgr.is_empty());
+        let client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(1)).unwrap();
+        let id = mgr.register(client.public_keys().clone()).unwrap();
+        let id2 = mgr.register(client.public_keys().clone()).unwrap();
+        assert_ne!(id, id2, "session ids must be unique");
+        assert_eq!(mgr.len(), 2);
+        assert!(mgr.cached_key_bytes() > 0);
+        assert!(mgr.lookup(id).is_some());
+        assert!(mgr.lookup(9999).is_none());
+        assert!(mgr.evict(id));
+        assert!(!mgr.evict(id));
+        assert_eq!(mgr.len(), 1);
+    }
+
+    #[test]
+    fn wrong_key_count_rejected() {
+        let params = PirParams::toy();
+        let mgr = SessionManager::new(&params, 16);
+        let client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(2)).unwrap();
+        let mut subs = client.public_keys().subs_keys().to_vec();
+        subs.pop();
+        assert!(mgr.register(ClientKeys::from_subs_keys(subs)).is_err());
+    }
+
+    #[test]
+    fn cache_cap_enforced_until_eviction() {
+        let params = PirParams::toy();
+        let mgr = SessionManager::new(&params, 2);
+        let client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(3)).unwrap();
+        let a = mgr.register(client.public_keys().clone()).unwrap();
+        let _b = mgr.register(client.public_keys().clone()).unwrap();
+        let err = mgr.register(client.public_keys().clone()).unwrap_err();
+        assert!(err.to_string().contains("full"), "unhelpful: {err}");
+        assert!(mgr.evict(a));
+        mgr.register(client.public_keys().clone()).expect("slot freed");
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end serving tests: concurrent clients over real transports,
+//! keys registered once, queries coalesced by the waiting window, records
+//! decoded exactly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::SeedableRng;
+
+use ive_pir::{Database, PirParams, TournamentOrder};
+use ive_serve::config::{ServeConfig, ShardPlan};
+use ive_serve::transport::in_proc_pair;
+use ive_serve::{PirService, ServeClient, TcpTransport};
+
+fn toy_db(params: &PirParams) -> (Database, Vec<Vec<u8>>) {
+    let records: Vec<Vec<u8>> =
+        (0..params.num_records()).map(|i| format!("e2e record {i:04}").into_bytes()).collect();
+    (Database::from_records(params, &records).expect("records fit"), records)
+}
+
+/// The acceptance-criteria test: ≥ 8 concurrent clients over the real TCP
+/// transport, each registering keys once and issuing several queries
+/// through a nonzero waiting window against a row-sharded database. All
+/// records must decode exactly, and saturating load must produce batches
+/// larger than 1.
+#[test]
+fn eight_tcp_clients_saturate_the_batcher_on_a_sharded_db() {
+    const CLIENTS: usize = 8;
+    const QUERIES_PER_CLIENT: usize = 3;
+
+    let params = PirParams::toy();
+    let (db, records) = toy_db(&params);
+    let records = Arc::new(records);
+    let config = ServeConfig {
+        window: Duration::from_millis(120),
+        max_batch: CLIENTS,
+        workers: 2,
+        queue_depth: 2 * CLIENTS,
+        shard: ShardPlan::RowSharded { shards: 2 },
+        rowsel_threads: 1,
+        order: TournamentOrder::Hs { subtree_depth: 2 },
+        max_sessions: 64,
+    };
+    let transport = TcpTransport::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = transport.local_addr();
+    let service =
+        PirService::start(config, &params, db, Box::new(transport)).expect("service starts");
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let params = params.clone();
+            let records = Arc::clone(&records);
+            scope.spawn(move || {
+                let conn = ive_serve::tcp::connect(addr).expect("dial");
+                let rng = rand::rngs::StdRng::seed_from_u64(9000 + c as u64);
+                // One handshake: the key upload happens exactly once.
+                let mut client = ServeClient::connect(&params, conn, rng).expect("handshake");
+                for q in 0..QUERIES_PER_CLIENT {
+                    let target = (7 * c + 13 * q) % records.len();
+                    let got = client.retrieve(target).expect("retrieve");
+                    assert_eq!(
+                        &got[..records[target].len()],
+                        &records[target][..],
+                        "client {c} query {q} decoded the wrong record"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = service.shutdown();
+    assert_eq!(stats.queries, (CLIENTS * QUERIES_PER_CLIENT) as u64);
+    assert_eq!(stats.errors, 0, "no query may fail: {stats}");
+    assert!(
+        stats.max_batch > 1,
+        "8 concurrent clients under a 120ms window must coalesce: {stats}"
+    );
+    assert!(stats.batches_multi >= 1, "expected multi-query batches: {stats}");
+    assert!(stats.mean_latency_ms > 0.0 && stats.qps > 0.0);
+}
+
+/// Same flow over the in-process transport with a replicated database,
+/// exercising session reuse across many sequential queries.
+#[test]
+fn in_proc_clients_reuse_sessions_and_decode_exactly() {
+    let params = PirParams::toy();
+    let (db, records) = toy_db(&params);
+    let records = Arc::new(records);
+    let config = ServeConfig {
+        window: Duration::from_millis(40),
+        max_batch: 4,
+        workers: 2,
+        queue_depth: 16,
+        shard: ShardPlan::Replicated,
+        rowsel_threads: 1,
+        order: TournamentOrder::Hs { subtree_depth: 2 },
+        max_sessions: 64,
+    };
+    let (transport, connector) = in_proc_pair();
+    let service =
+        PirService::start(config, &params, db, Box::new(transport)).expect("service starts");
+
+    std::thread::scope(|scope| {
+        for c in 0..4usize {
+            let params = params.clone();
+            let records = Arc::clone(&records);
+            let connector = connector.clone();
+            scope.spawn(move || {
+                let conn = connector.connect().expect("dial");
+                let rng = rand::rngs::StdRng::seed_from_u64(500 + c as u64);
+                let mut client = ServeClient::connect(&params, conn, rng).expect("handshake");
+                let session = client.session_id();
+                for q in 0..4usize {
+                    let target = (c + 16 * q) % records.len();
+                    let got = client.retrieve(target).expect("retrieve");
+                    assert_eq!(&got[..records[target].len()], &records[target][..]);
+                }
+                assert_eq!(client.session_id(), session, "session must persist");
+            });
+        }
+    });
+
+    // Keys were uploaded once per client and stay cached.
+    assert_eq!(service.sessions().len(), 4);
+    assert!(service.sessions().cached_key_bytes() > 0);
+    let stats = service.shutdown();
+    assert_eq!(stats.queries, 16);
+    assert_eq!(stats.errors, 0);
+}
+
+/// Queries against unknown sessions are answered with error frames and
+/// counted, without disturbing well-behaved traffic.
+#[test]
+fn unknown_session_reports_error_frame() {
+    let params = PirParams::toy();
+    let (db, _records) = toy_db(&params);
+    let (transport, connector) = in_proc_pair();
+    let config = ServeConfig { window: Duration::from_millis(1), ..ServeConfig::default() };
+    let service =
+        PirService::start(config, &params, db, Box::new(transport)).expect("service starts");
+
+    // Speak the wire protocol manually: a query without a handshake.
+    use ive_pir::wire;
+    use ive_serve::transport::Received;
+    let (mut rx, mut tx) = connector.connect().expect("dial");
+    let mut raw_client =
+        ive_pir::PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(1)).expect("keygen");
+    let query = raw_client.query(0).expect("in range");
+    tx.send(&wire::encode_session_query(424242, 7, &query)).expect("send");
+    let frame = loop {
+        match rx.recv().expect("recv") {
+            Received::Frame(f) => break f,
+            Received::Idle => continue,
+            Received::Closed => panic!("server closed unexpectedly"),
+        }
+    };
+    let (request_id, message) = wire::decode_error_frame(&frame).expect("error frame");
+    assert_eq!(request_id, 7);
+    assert!(message.contains("424242"), "unhelpful: {message}");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.queries, 0);
+    assert_eq!(stats.errors, 1);
+}

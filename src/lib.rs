@@ -13,6 +13,8 @@
 //!   cycle-level engine, area/energy model, scale-up/scale-out systems.
 //! * [`baselines`] — CPU/GPU/ARK-like/INSPIRE performance models and the
 //!   shared complexity/roofline models.
+//! * [`serve`] — the concurrent serving runtime: session key cache,
+//!   waiting-window batching, sharded workers, TCP + in-proc transports.
 //!
 //! ## Quickstart
 //!
@@ -42,3 +44,4 @@ pub use ive_he as he;
 pub use ive_hw as hw;
 pub use ive_math as math;
 pub use ive_pir as pir;
+pub use ive_serve as serve;
