@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test verify bench figures serve-demo fmt fmt-check clippy lint clean
+.PHONY: all build test verify bench figures serve-demo hotpath fmt fmt-check clippy lint clean
 
 all: build
 
@@ -31,6 +31,11 @@ figures:
 ## BENCH_serve.json (observed vs ServiceTable-predicted).
 serve-demo:
 	$(CARGO) run --release -p ive_bench --bin serve_demo
+
+## Compare the scalar and optimized VPE kernel backends on the RowSel
+## hot path and refresh BENCH_hotpath.json.
+hotpath:
+	$(CARGO) run --release -p ive_bench --bin hotpath
 
 ## Format the tree / check formatting without writing.
 fmt:

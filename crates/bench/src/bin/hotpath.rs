@@ -1,0 +1,201 @@
+//! `hotpath` — compute-path microbenchmarks for the VPE kernel layer:
+//! scalar reference backend vs. optimized Barrett/Shoup backend on the
+//! three numbers that govern serving throughput:
+//!
+//! 1. **ns per FMA limb element** — the raw kernel, measured directly on
+//!    flat limb rows (what one PE lane does all day).
+//! 2. **`RowSel` scan GB/s** — a full single-query scan over the
+//!    contiguous limb-major database via `row_sel_into` with warm
+//!    arena-backed scratch (the memory-bandwidth-bound loop of IM-PIR /
+//!    IVE §III).
+//! 3. **End-to-end answer latency** — `ExpandQuery → RowSel → ColTor`
+//!    through the same backend.
+//!
+//! Writes `BENCH_hotpath.json`; the headline figure is
+//! `row_sel.speedup` (optimized over scalar, expected ≥ 1.5×).
+//!
+//! Usage: `hotpath [--seconds 4] [--dims 5] [--json-out BENCH_hotpath.json]`
+
+use std::time::Instant;
+
+use ive_bench::fmt;
+use ive_math::kernel::BackendKind;
+use ive_math::modulus::Modulus;
+use ive_pir::{Database, PirClient, PirParams, PirServer, QueryScratch};
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    seconds: f64,
+    dims: u32,
+    json_out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args { seconds: 4.0, dims: 5, json_out: "BENCH_hotpath.json".into() };
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].strip_prefix("--").ok_or_else(|| format!("unexpected {:?}", argv[i]))?;
+        let value = argv.get(i + 1).cloned().ok_or_else(|| format!("--{key} needs a value"))?;
+        match key {
+            "seconds" => {
+                args.seconds = value.parse().map_err(|_| format!("--seconds got {value:?}"))?
+            }
+            "dims" => args.dims = value.parse().map_err(|_| format!("--dims got {value:?}"))?,
+            "json-out" => args.json_out = value,
+            other => return Err(format!("unknown flag --{other}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+/// Runs `op` repeatedly for roughly `budget_s` seconds (after one
+/// warm-up call) and returns the mean seconds per iteration.
+fn time_loop(budget_s: f64, mut op: impl FnMut()) -> f64 {
+    op(); // warm-up
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_secs_f64() < budget_s {
+        op();
+        iters += 1;
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Per-backend measurements of the three hot-path numbers.
+struct BackendResult {
+    fma_ns_per_elem: f64,
+    rowsel_s: f64,
+    rowsel_gbps: f64,
+    answer_s: f64,
+}
+
+fn measure(kind: BackendKind, params: &PirParams, db: &Database, budget_s: f64) -> BackendResult {
+    let backend = kind.backend();
+    let per_section = budget_s / 3.0;
+
+    // 1. Raw FMA on one limb row, big enough to stream from cache/memory.
+    let modulus = Modulus::special_primes()[0];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4096);
+    let len = 1usize << 16;
+    let a: Vec<u64> = (0..len).map(|_| rng.gen_range(0..modulus.value())).collect();
+    let b: Vec<u64> = (0..len).map(|_| rng.gen_range(0..modulus.value())).collect();
+    let mut acc = vec![0u64; len];
+    let fma_s = time_loop(per_section, || backend.fma(&modulus, &mut acc, &a, &b));
+
+    // 2 + 3. The pipeline on a real server with warm per-worker scratch.
+    let mut server = PirServer::new(params, db.clone()).expect("geometry matches");
+    server.set_rowsel_threads(1); // measure the kernel path, not the pool
+    server.set_backend(kind);
+    let mut client = PirClient::new(params, rand::rngs::StdRng::seed_from_u64(7)).expect("keygen");
+    let query = client.query(params.num_records() / 2).expect("in range");
+    let expanded = server.expand(client.public_keys(), &query).expect("keys ok");
+    let mut scratch = QueryScratch::new();
+    let rowsel_s =
+        time_loop(per_section, || server.row_sel_into(&expanded, &mut scratch).expect("scan"));
+    let answer_s = time_loop(per_section, || {
+        let _ = server.answer_with(client.public_keys(), &query, &mut scratch).expect("answer");
+    });
+
+    let db_bytes = (db.as_words().len() * 8) as f64;
+    BackendResult {
+        fma_ns_per_elem: 1e9 * fma_s / len as f64,
+        rowsel_s,
+        rowsel_gbps: db_bytes / rowsel_s / 1e9,
+        answer_s,
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hotpath: {e}");
+            std::process::exit(2);
+        }
+    };
+    let he = ive_he::HeParams::toy();
+    let params = PirParams::new(he, 8, args.dims).expect("geometry valid");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let db = Database::random(&params, &mut rng);
+    println!(
+        "hotpath: {} records x {}B ({:.1} MiB preprocessed), scalar vs optimized, total budget \
+         {:.1}s",
+        params.num_records(),
+        params.record_bytes(),
+        (db.as_words().len() * 8) as f64 / (1 << 20) as f64,
+        args.seconds
+    );
+
+    let half = args.seconds / 2.0;
+    let scalar = measure(BackendKind::Scalar, &params, &db, half);
+    let optimized = measure(BackendKind::Optimized, &params, &db, half);
+    let speedup = scalar.rowsel_s / optimized.rowsel_s;
+
+    fmt::print_table(
+        "hotpath: VPE kernel backends on the RowSel-dominated query path",
+        &["backend", "fma ns/elem", "row_sel ms", "row_sel GB/s", "answer ms"],
+        &[
+            vec![
+                "scalar".into(),
+                fmt::f(scalar.fma_ns_per_elem),
+                fmt::f(1e3 * scalar.rowsel_s),
+                fmt::f(scalar.rowsel_gbps),
+                fmt::f(1e3 * scalar.answer_s),
+            ],
+            vec![
+                "optimized".into(),
+                fmt::f(optimized.fma_ns_per_elem),
+                fmt::f(1e3 * optimized.rowsel_s),
+                fmt::f(optimized.rowsel_gbps),
+                fmt::f(1e3 * optimized.answer_s),
+            ],
+        ],
+    );
+    println!("row_sel speedup (optimized / scalar): {speedup:.2}x");
+    if speedup < 1.5 {
+        eprintln!("warning: expected the optimized backend to be >= 1.5x faster on row_sel");
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let phase = |label: &str, r: &BackendResult| {
+        format!(
+            concat!(
+                "  \"{}\": {{\n",
+                "    \"fma_ns_per_elem\": {:.3},\n",
+                "    \"row_sel_ms\": {:.4},\n",
+                "    \"row_sel_gbps\": {:.4},\n",
+                "    \"answer_ms\": {:.4}\n",
+                "  }}"
+            ),
+            label,
+            r.fma_ns_per_elem,
+            1e3 * r.rowsel_s,
+            r.rowsel_gbps,
+            1e3 * r.answer_s,
+        )
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"hotpath\",\n",
+            "  \"cores\": {},\n",
+            "  \"geometry\": {{ \"records\": {}, \"record_bytes\": {}, ",
+            "\"preprocessed_bytes\": {} }},\n",
+            "{},\n",
+            "{},\n",
+            "  \"row_sel\": {{ \"speedup\": {:.3} }}\n",
+            "}}\n"
+        ),
+        cores,
+        params.num_records(),
+        params.record_bytes(),
+        db.as_words().len() * 8,
+        phase("scalar", &scalar),
+        phase("optimized", &optimized),
+        speedup,
+    );
+    std::fs::write(&args.json_out, &json).expect("write json");
+    println!("wrote {}", args.json_out);
+}

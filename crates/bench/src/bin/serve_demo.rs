@@ -279,6 +279,13 @@ fn main() {
         single_limit,
         table.max_throughput_qps()
     );
+    if cores == 1 {
+        eprintln!(
+            "warning: only 1 core is available, so the single and batched phases share it and \
+             their observed QPS will roughly tie — the batching win needs parallelism. The core \
+             count is recorded in the JSON (\"cores\"); read the comparison accordingly."
+        );
+    }
 
     // Offered load: default to 2x the no-batching limit — a saturating
     // profile, so the phases measure *capacity*: the single phase pins at
@@ -294,6 +301,7 @@ fn main() {
         shard: ShardPlan::Replicated,
         rowsel_threads: 1,
         order: TournamentOrder::Hs { subtree_depth: 2 },
+        backend: ive_math::kernel::BackendKind::Optimized,
         max_sessions: 64,
     };
     let batched_cfg = ServeConfig {
@@ -308,6 +316,7 @@ fn main() {
         },
         rowsel_threads: 1,
         order: TournamentOrder::Hs { subtree_depth: 2 },
+        backend: ive_math::kernel::BackendKind::Optimized,
         max_sessions: 64,
     };
 

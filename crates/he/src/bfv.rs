@@ -201,8 +201,20 @@ impl BfvCiphertext {
     /// # Errors
     /// Fails when operands are not in NTT form.
     pub fn mul_plain_assign(&mut self, p_ntt: &RnsPoly) -> Result<(), HeError> {
-        self.a.mul_assign_pointwise(p_ntt)?;
-        self.b.mul_assign_pointwise(p_ntt)?;
+        self.mul_plain_assign_with(p_ntt, ive_math::kernel::default_backend())
+    }
+
+    /// Plaintext–ciphertext product through an explicit kernel backend.
+    ///
+    /// # Errors
+    /// Fails when operands are not in NTT form.
+    pub fn mul_plain_assign_with(
+        &mut self,
+        p_ntt: &RnsPoly,
+        backend: &dyn ive_math::kernel::VpeBackend,
+    ) -> Result<(), HeError> {
+        self.a.mul_assign_pointwise_with(p_ntt, backend)?;
+        self.b.mul_assign_pointwise_with(p_ntt, backend)?;
         Ok(())
     }
 
@@ -212,8 +224,21 @@ impl BfvCiphertext {
     /// # Errors
     /// Fails when operands are not in NTT form.
     pub fn fma_plain(&mut self, p_ntt: &RnsPoly, ct: &Self) -> Result<(), HeError> {
-        self.a.fma_pointwise(&ct.a, p_ntt)?;
-        self.b.fma_pointwise(&ct.b, p_ntt)?;
+        self.fma_plain_with(p_ntt, ct, ive_math::kernel::default_backend())
+    }
+
+    /// Fused `self += p ⊙ ct` through an explicit kernel backend.
+    ///
+    /// # Errors
+    /// Fails when operands are not in NTT form.
+    pub fn fma_plain_with(
+        &mut self,
+        p_ntt: &RnsPoly,
+        ct: &Self,
+        backend: &dyn ive_math::kernel::VpeBackend,
+    ) -> Result<(), HeError> {
+        self.a.fma_pointwise_with(&ct.a, p_ntt, backend)?;
+        self.b.fma_pointwise_with(&ct.b, p_ntt, backend)?;
         Ok(())
     }
 

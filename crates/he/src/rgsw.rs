@@ -16,12 +16,27 @@
 
 use rand::Rng;
 
+use ive_math::arena::KernelArena;
+use ive_math::kernel::{self, VpeBackend};
 use ive_math::rns::{Form, RnsPoly};
 
 use crate::bfv::BfvCiphertext;
 use crate::keys::SecretKey;
 use crate::params::HeParams;
 use crate::HeError;
+
+/// Rejects a ciphertext whose polynomials live in a different ring than
+/// `params` — the flat gadget GEMM works on raw words, so the mismatch
+/// the polynomial algebra used to catch must be checked up front.
+pub(crate) fn check_param_ring(
+    params: &HeParams,
+    ct: &BfvCiphertext,
+) -> Result<(), crate::HeError> {
+    if **ct.a.ctx() != **params.ring() || **ct.b.ctx() != **params.ring() {
+        return Err(ive_math::MathError::FormMismatch("operands from different rings").into());
+    }
+    Ok(())
+}
 
 /// One RLWE row `(a, b)` of an RGSW matrix, stored in NTT form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,28 +135,56 @@ impl RgswCiphertext {
         params: &HeParams,
         ct: &BfvCiphertext,
     ) -> Result<BfvCiphertext, HeError> {
+        self.external_product_with(params, ct, kernel::default_backend(), &mut KernelArena::new())
+    }
+
+    /// External product through an explicit kernel backend, with all
+    /// `Dcp` scratch (wide coefficients, flat digit matrices) drawn from
+    /// `arena` — the path serving workers use so repeated products reuse
+    /// one warm buffer set.
+    ///
+    /// # Errors
+    /// Fails on ring mismatch between the operands.
+    pub fn external_product_with(
+        &self,
+        params: &HeParams,
+        ct: &BfvCiphertext,
+        backend: &dyn VpeBackend,
+        arena: &mut KernelArena,
+    ) -> Result<BfvCiphertext, HeError> {
         let gadget = params.gadget();
         let ell = gadget.ell();
         debug_assert_eq!(self.rows.len(), 2 * ell);
+        check_param_ring(params, ct)?;
+        let moduli = params.ring().basis().moduli();
 
         // Dcp(a), Dcp(b): iNTT -> iCRT -> digit extraction (Fig. 3), then
-        // 4·2ℓ forward NTTs to return to the multiplication domain.
+        // 4·2ℓ forward NTTs to return to the multiplication domain. The
+        // digits land flat (ℓ × k × n per component) in arena buffers.
         let mut a = ct.a.clone();
         let mut b = ct.b.clone();
-        a.to_coeff();
-        b.to_coeff();
-        let mut digits = a.decompose(gadget)?;
-        digits.extend(b.decompose(gadget)?);
-        for d in digits.iter_mut() {
-            d.to_ntt();
-        }
+        a.to_coeff_with(backend);
+        b.to_coeff_with(backend);
+        let flat_len = ell * moduli.len() * params.n();
+        let mut digits_a = arena.take_u64(flat_len);
+        let mut digits_b = arena.take_u64(flat_len);
+        a.decompose_ntt_into(gadget, backend, arena, &mut digits_a)?;
+        b.decompose_ntt_into(gadget, backend, arena, &mut digits_b)?;
 
         // Gadget GEMM: (1×2ℓ) · (2ℓ×2).
+        let stride = digits_a.len() / ell;
         let mut out = BfvCiphertext::zero(params);
-        for (u, row) in digits.iter().zip(&self.rows) {
-            out.a.fma_pointwise(u, &row.a)?;
-            out.b.fma_pointwise(u, &row.b)?;
+        for (j, row) in self.rows.iter().enumerate() {
+            let u = if j < ell {
+                &digits_a[j * stride..(j + 1) * stride]
+            } else {
+                &digits_b[(j - ell) * stride..(j - ell + 1) * stride]
+            };
+            kernel::fma_poly(backend, moduli, out.a.as_words_mut(), u, row.a.as_words());
+            kernel::fma_poly(backend, moduli, out.b.as_words_mut(), u, row.b.as_words());
         }
+        arena.give_u64(digits_a);
+        arena.give_u64(digits_b);
         Ok(out)
     }
 
@@ -157,9 +200,25 @@ impl RgswCiphertext {
         x: &BfvCiphertext,
         y: &BfvCiphertext,
     ) -> Result<BfvCiphertext, HeError> {
+        self.cmux_with(params, x, y, kernel::default_backend(), &mut KernelArena::new())
+    }
+
+    /// CMux through an explicit kernel backend and arena (one ColTor
+    /// tournament node on the serving path).
+    ///
+    /// # Errors
+    /// Fails on ring mismatch between operands.
+    pub fn cmux_with(
+        &self,
+        params: &HeParams,
+        x: &BfvCiphertext,
+        y: &BfvCiphertext,
+        backend: &dyn VpeBackend,
+        arena: &mut KernelArena,
+    ) -> Result<BfvCiphertext, HeError> {
         let mut diff = x.clone();
         diff.sub_assign(y)?;
-        let mut out = self.external_product(params, &diff)?;
+        let mut out = self.external_product_with(params, &diff, backend, arena)?;
         out.add_assign(y)?;
         Ok(out)
     }
@@ -260,6 +319,22 @@ mod tests {
         // Eight chained products stay within ~3 bits of a single one:
         // linear (additive), not exponential (multiplicative) error growth.
         assert!(last <= after_first + 3.5, "{after_first} -> {last}");
+    }
+
+    #[test]
+    fn foreign_ring_operand_rejected() {
+        // The flat gadget GEMM must refuse a ciphertext from another ring
+        // instead of panicking or computing garbage.
+        let (params, sk, mut rng) = setup();
+        let one = RgswCiphertext::encrypt_bit(&params, &sk, true, &mut rng);
+        let small_ring = ive_math::rns::RingContext::test_ring(128, 3);
+        let gadget = ive_math::gadget::Gadget::for_modulus(small_ring.basis().q_big(), 14);
+        let other = HeParams::new(small_ring, 16, gadget, 4).unwrap();
+        let other_sk = SecretKey::generate(&other, &mut rng);
+        let m = Plaintext::zero(&other);
+        let foreign = BfvCiphertext::encrypt(&other, &other_sk, &m, &mut rng);
+        assert!(one.external_product(&params, &foreign).is_err());
+        assert!(one.cmux(&params, &foreign, &foreign).is_err());
     }
 
     #[test]

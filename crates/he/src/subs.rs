@@ -14,6 +14,8 @@
 
 use rand::Rng;
 
+use ive_math::arena::KernelArena;
+use ive_math::kernel::{self, VpeBackend};
 use ive_math::rns::{Form, RnsPoly};
 
 use crate::bfv::BfvCiphertext;
@@ -88,26 +90,44 @@ impl SubsKey {
     /// # Errors
     /// Fails on ring mismatch.
     pub fn apply(&self, params: &HeParams, ct: &BfvCiphertext) -> Result<BfvCiphertext, HeError> {
+        self.apply_with(params, ct, kernel::default_backend(), &mut KernelArena::new())
+    }
+
+    /// Applies `Subs(ct, r)` through an explicit kernel backend, with the
+    /// `Dcp` scratch drawn from `arena` (the `ExpandQuery` serving path).
+    ///
+    /// # Errors
+    /// Fails on ring mismatch.
+    pub fn apply_with(
+        &self,
+        params: &HeParams,
+        ct: &BfvCiphertext,
+        backend: &dyn VpeBackend,
+        arena: &mut KernelArena,
+    ) -> Result<BfvCiphertext, HeError> {
         let gadget = params.gadget();
+        crate::rgsw::check_param_ring(params, ct)?;
+        let moduli = params.ring().basis().moduli();
         // Automorphism in coefficient domain.
         let mut a = ct.a.clone();
         let mut b = ct.b.clone();
-        a.to_coeff();
-        b.to_coeff();
+        a.to_coeff_with(backend);
+        b.to_coeff_with(backend);
         let a_tau = a.automorphism(self.r)?;
         let mut b_tau = b.automorphism(self.r)?;
 
         // Dcp(a_τ) then key-switch GEMM with evk_r.
-        let mut digits = a_tau.decompose(gadget)?;
-        for d in digits.iter_mut() {
-            d.to_ntt();
-        }
+        let mut digits = arena.take_u64(gadget.ell() * moduli.len() * params.n());
+        a_tau.decompose_ntt_into(gadget, backend, arena, &mut digits)?;
+        let stride = digits.len() / gadget.ell();
         let mut out = BfvCiphertext::zero(params);
-        for (u, (ka, kb)) in digits.iter().zip(&self.rows) {
-            out.a.fma_pointwise(u, ka)?;
-            out.b.fma_pointwise(u, kb)?;
+        for (j, (ka, kb)) in self.rows.iter().enumerate() {
+            let u = &digits[j * stride..(j + 1) * stride];
+            kernel::fma_poly(backend, moduli, out.a.as_words_mut(), u, ka.as_words());
+            kernel::fma_poly(backend, moduli, out.b.as_words_mut(), u, kb.as_words());
         }
-        b_tau.to_ntt();
+        arena.give_u64(digits);
+        b_tau.to_ntt_with(backend);
         out.b.add_assign(&b_tau)?;
         Ok(out)
     }

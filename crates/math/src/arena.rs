@@ -1,0 +1,133 @@
+//! Reusable scratch buffers for the kernel layer.
+//!
+//! Every query through the PIR pipeline needs the same transient buffers:
+//! wide iCRT coefficients, flat digit matrices for `Dcp`, and the row
+//! accumulators of the `RowSel` scan. Allocating them per query puts the
+//! allocator on the hot path — exactly what the accelerator's fixed
+//! on-chip buffers avoid (§IV-B). A [`KernelArena`] is the software
+//! analogue: each serving worker owns one, checks buffers out for a
+//! query, and returns them afterwards; after the first query at a given
+//! geometry ("warm-up") the arena serves every subsequent checkout from
+//! retained capacity and the hot path performs **zero heap allocations**
+//! (verified by an allocation-counting test in `ive_pir`).
+//!
+//! Checkout hands back an owned `Vec`, so nested checkouts need no borrow
+//! gymnastics; dropping a checked-out buffer instead of returning it is
+//! safe (the arena simply re-allocates next time).
+
+/// A pool of reusable `u64`/`u128` scratch buffers.
+#[derive(Debug, Default)]
+pub struct KernelArena {
+    u64_pool: Vec<Vec<u64>>,
+    u128_pool: Vec<Vec<u128>>,
+}
+
+/// Checks out a zeroed buffer of `len` elements from `pool`, reusing
+/// retained capacity when any pooled buffer is large enough.
+fn take<T: Copy + Default>(pool: &mut Vec<Vec<T>>, len: usize) -> Vec<T> {
+    // Prefer a buffer that already fits so no checkout grows; otherwise
+    // recycle the largest available one (a single resize re-warms it).
+    let pick = pool.iter().position(|b| b.capacity() >= len).or_else(|| {
+        (!pool.is_empty()).then(|| {
+            let mut best = 0;
+            for (i, b) in pool.iter().enumerate() {
+                if b.capacity() > pool[best].capacity() {
+                    best = i;
+                }
+            }
+            best
+        })
+    });
+    let mut buf = match pick {
+        Some(i) => pool.swap_remove(i),
+        None => Vec::new(),
+    };
+    buf.clear();
+    buf.resize(len, T::default());
+    buf
+}
+
+impl KernelArena {
+    /// An empty arena; retains nothing until buffers are returned.
+    pub const fn new() -> Self {
+        KernelArena { u64_pool: Vec::new(), u128_pool: Vec::new() }
+    }
+
+    /// Checks out a zeroed `u64` buffer of `len` words.
+    pub fn take_u64(&mut self, len: usize) -> Vec<u64> {
+        take(&mut self.u64_pool, len)
+    }
+
+    /// Returns a `u64` buffer to the pool for reuse.
+    pub fn give_u64(&mut self, buf: Vec<u64>) {
+        if buf.capacity() > 0 {
+            self.u64_pool.push(buf);
+        }
+    }
+
+    /// Checks out a zeroed `u128` buffer of `len` words.
+    pub fn take_u128(&mut self, len: usize) -> Vec<u128> {
+        take(&mut self.u128_pool, len)
+    }
+
+    /// Returns a `u128` buffer to the pool for reuse.
+    pub fn give_u128(&mut self, buf: Vec<u128>) {
+        if buf.capacity() > 0 {
+            self.u128_pool.push(buf);
+        }
+    }
+
+    /// Bytes of capacity currently retained (idle, ready for checkout).
+    pub fn retained_bytes(&self) -> usize {
+        self.u64_pool.iter().map(|b| b.capacity() * 8).sum::<usize>()
+            + self.u128_pool.iter().map(|b| b.capacity() * 16).sum::<usize>()
+    }
+
+    /// Drops all retained buffers.
+    pub fn clear(&mut self) {
+        self.u64_pool.clear();
+        self.u128_pool.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_is_zeroed_and_reuses_capacity() {
+        let mut arena = KernelArena::new();
+        let mut buf = arena.take_u64(128);
+        assert!(buf.iter().all(|&x| x == 0));
+        buf[7] = 99;
+        let ptr = buf.as_ptr();
+        arena.give_u64(buf);
+        let again = arena.take_u64(100);
+        assert_eq!(again.as_ptr(), ptr, "retained capacity must be reused");
+        assert!(again.iter().all(|&x| x == 0), "reused buffer must be re-zeroed");
+        assert_eq!(again.len(), 100);
+    }
+
+    #[test]
+    fn best_fit_prefers_existing_capacity() {
+        let mut arena = KernelArena::new();
+        arena.give_u64(Vec::with_capacity(16));
+        arena.give_u64(Vec::with_capacity(1024));
+        let big = arena.take_u64(512); // must pick the 1024-capacity buffer
+        assert!(big.capacity() >= 1024);
+        arena.give_u64(big);
+        assert!(arena.retained_bytes() >= (16 + 1024) * 8);
+        arena.clear();
+        assert_eq!(arena.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn u128_pool_is_separate() {
+        let mut arena = KernelArena::new();
+        let w = arena.take_u128(64);
+        arena.give_u128(w);
+        assert_eq!(arena.retained_bytes(), 64 * 16);
+        let w2 = arena.take_u128(64);
+        assert_eq!(w2.len(), 64);
+    }
+}

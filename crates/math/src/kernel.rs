@@ -1,0 +1,543 @@
+//! The VPE kernel layer: one backend executes every PIR hot kernel.
+//!
+//! IVE's central architectural claim is that a single set of *versatile*
+//! processing elements runs every kernel the PIR pipeline needs — NTT
+//! butterflies, pointwise multiply-accumulate, base conversion, and
+//! automorphism address generation — over a memory-bandwidth-bound
+//! database scan (§IV). This module is the software mirror of that shape:
+//! a [`VpeBackend`] exposes the four hot kernels as flat-slice operations
+//! on one residue limb at a time, and everything above (RNS polynomials,
+//! BFV/RGSW algebra, `RowSel`/`ColTor`) dispatches through it instead of
+//! open-coding scalar loops.
+//!
+//! Two implementations exist:
+//!
+//! * [`ScalarBackend`] — the readable reference: textbook loops over
+//!   [`reduce::mul_mod`] (a 128-bit remainder per product). Slow on
+//!   purpose; it is the oracle the optimized backend is differentially
+//!   tested against (`tests/kernel_props.rs`).
+//! * [`OptimizedBackend`] — the serving path: precomputed Barrett
+//!   per-limb constants (carried by [`Modulus`]), Shoup lazy twiddles in
+//!   the NTT dispatch, a fused lazy-reduction FMA (`acc·q` folded into one
+//!   Barrett reduction per element instead of reduce-then-add), and
+//!   4×-unrolled flat-slice loops.
+//!
+//! Both backends are **bit-identical** on every input — the software
+//! analogue of §IV-G's observation that hardware may swap modular
+//! multiplier circuits without changing results. Backends are stateless
+//! zero-sized types, so a `&'static dyn VpeBackend` threads through the
+//! stack without reference counting; scratch space comes from a
+//! [`crate::arena::KernelArena`] owned by the calling worker.
+//!
+//! Operation counting for the model-validation tests
+//! (`tests/op_count_validation.rs` at the workspace root) happens *here*:
+//! each FMA/pointwise call charges [`crate::metrics`] with one MAC per
+//! element and each NTT dispatch with one residue transform, so counts
+//! stay exact no matter which layer invoked the kernel.
+
+use crate::gadget::Gadget;
+use crate::modulus::Modulus;
+use crate::ntt::NttTable;
+use crate::reduce;
+
+/// The four hot kernels of the PIR pipeline, per residue limb.
+///
+/// All slices are flat `u64` limb rows of one length `n` with elements in
+/// `[0, q)`; outputs are always fully reduced. Implementations must be
+/// bit-identical to [`ScalarBackend`] (enforced by differential property
+/// tests).
+pub trait VpeBackend: Send + Sync + core::fmt::Debug {
+    /// Backend name for configs, logs, and bench JSON.
+    fn name(&self) -> &'static str;
+
+    /// Fused multiply-accumulate `acc[i] = acc[i] + a[i]·b[i] (mod q)` —
+    /// the `RowSel` inner loop and the gadget-GEMM contraction.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    fn fma(&self, modulus: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]);
+
+    /// Pointwise product `a[i] = a[i]·b[i] (mod q)`.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    fn pointwise_mul(&self, modulus: &Modulus, a: &mut [u64], b: &[u64]);
+
+    /// In-place forward negacyclic NTT of one limb row.
+    ///
+    /// # Panics
+    /// Panics if `a.len() != table.n()`.
+    fn ntt_forward(&self, table: &NttTable, a: &mut [u64]);
+
+    /// In-place inverse negacyclic NTT of one limb row (including the
+    /// `n^{-1}` scaling).
+    ///
+    /// # Panics
+    /// Panics if `a.len() != table.n()`.
+    fn ntt_inverse(&self, table: &NttTable, a: &mut [u64]);
+
+    /// Gadget decomposition `Dcp` (Fig. 3): splits every wide coefficient
+    /// into `ℓ` base-`z` digits, written digit-major into `out`
+    /// (`out[j·n + i]` is digit `j` of `wide[i]`, `n = wide.len()`).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != gadget.ell() * wide.len()`.
+    fn gadget_decompose(&self, gadget: &Gadget, wide: &[u128], out: &mut [u64]);
+}
+
+/// Which [`VpeBackend`] a configuration selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The scalar reference backend (slow, oracle).
+    Scalar,
+    /// The Barrett/Shoup lazy-reduction backend (serving default).
+    #[default]
+    Optimized,
+}
+
+impl BackendKind {
+    /// Resolves the selection to a backend instance.
+    pub fn backend(self) -> &'static dyn VpeBackend {
+        match self {
+            BackendKind::Scalar => &ScalarBackend,
+            BackendKind::Optimized => &OptimizedBackend,
+        }
+    }
+}
+
+impl core::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.backend().name())
+    }
+}
+
+/// The backend every layer uses unless told otherwise.
+#[inline]
+pub fn default_backend() -> &'static dyn VpeBackend {
+    BackendKind::default().backend()
+}
+
+/// Whole-polynomial FMA over all residue limbs: `acc += a ⊙ b` where the
+/// three slices are flat `k × n` limb matrices (`n` inferred from the
+/// length). The helper the `RowSel` scan and gadget GEMMs build on.
+///
+/// # Panics
+/// Panics if lengths differ or are not a multiple of `moduli.len()`.
+pub fn fma_poly(
+    backend: &dyn VpeBackend,
+    moduli: &[Modulus],
+    acc: &mut [u64],
+    a: &[u64],
+    b: &[u64],
+) {
+    assert_eq!(acc.len(), a.len());
+    assert_eq!(acc.len(), b.len());
+    assert_eq!(acc.len() % moduli.len(), 0, "flat poly not a multiple of the limb count");
+    let n = acc.len() / moduli.len();
+    for (m, modulus) in moduli.iter().enumerate() {
+        backend.fma(
+            modulus,
+            &mut acc[m * n..(m + 1) * n],
+            &a[m * n..(m + 1) * n],
+            &b[m * n..(m + 1) * n],
+        );
+    }
+}
+
+/// Whole-polynomial pointwise product over all residue limbs
+/// (`a ⊙= b`, flat `k × n` layout as in [`fma_poly`]).
+///
+/// # Panics
+/// Panics if lengths differ or are not a multiple of `moduli.len()`.
+pub fn pointwise_mul_poly(backend: &dyn VpeBackend, moduli: &[Modulus], a: &mut [u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len() % moduli.len(), 0, "flat poly not a multiple of the limb count");
+    let n = a.len() / moduli.len();
+    for (m, modulus) in moduli.iter().enumerate() {
+        backend.pointwise_mul(modulus, &mut a[m * n..(m + 1) * n], &b[m * n..(m + 1) * n]);
+    }
+}
+
+/// The readable reference backend: one 128-bit remainder per product.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBackend;
+
+impl VpeBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn fma(&self, modulus: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+        assert_eq!(acc.len(), a.len());
+        assert_eq!(acc.len(), b.len());
+        crate::metrics::count_pointwise_macs(acc.len() as u64);
+        let q = modulus.value();
+        for ((x, &ai), &bi) in acc.iter_mut().zip(a).zip(b) {
+            *x = reduce::add_mod(*x, reduce::mul_mod(ai, bi, q), q);
+        }
+    }
+
+    fn pointwise_mul(&self, modulus: &Modulus, a: &mut [u64], b: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        crate::metrics::count_pointwise_macs(a.len() as u64);
+        let q = modulus.value();
+        for (x, &bi) in a.iter_mut().zip(b) {
+            *x = reduce::mul_mod(*x, bi, q);
+        }
+    }
+
+    fn ntt_forward(&self, table: &NttTable, a: &mut [u64]) {
+        assert_eq!(a.len(), table.n());
+        crate::metrics::count_residue_ntts(1);
+        let q = table.modulus().value();
+        let psi = table.psi_rev();
+        let n = table.n();
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                // Reference path: plain 128-bit product on the raw
+                // twiddle, ignoring the precomputed Shoup quotient.
+                let w = psi[m + i].value;
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = reduce::mul_mod(w, a[j + t], q);
+                    a[j] = reduce::add_mod(u, v, q);
+                    a[j + t] = reduce::sub_mod(u, v, q);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    fn ntt_inverse(&self, table: &NttTable, a: &mut [u64]) {
+        assert_eq!(a.len(), table.n());
+        crate::metrics::count_residue_ntts(1);
+        let q = table.modulus().value();
+        let ipsi = table.ipsi_rev();
+        let n = table.n();
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let w = ipsi[h + i].value;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = reduce::add_mod(u, v, q);
+                    a[j + t] = reduce::mul_mod(w, reduce::sub_mod(u, v, q), q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        let n_inv = table.n_inv().value;
+        for x in a.iter_mut() {
+            *x = reduce::mul_mod(n_inv, *x, q);
+        }
+    }
+
+    fn gadget_decompose(&self, gadget: &Gadget, wide: &[u128], out: &mut [u64]) {
+        let n = wide.len();
+        assert_eq!(out.len(), gadget.ell() * n);
+        for (i, &c) in wide.iter().enumerate() {
+            for j in 0..gadget.ell() {
+                out[j * n + i] = gadget.digit(c, j);
+            }
+        }
+    }
+}
+
+/// The serving backend: Barrett per-limb constants, fused lazy-reduction
+/// FMA, Harvey-style lazy NTT butterflies on Shoup twiddles, 4×-unrolled
+/// flat loops.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimizedBackend;
+
+/// Branch-free conditional subtraction: `x - q` when `x >= q`, else `x`.
+/// Written arithmetically so the compiler never lowers the hot loops to
+/// a data-dependent (unpredictable) branch.
+#[inline(always)]
+fn cond_sub(x: u64, q: u64) -> u64 {
+    x.wrapping_sub(q & 0u64.wrapping_sub(u64::from(x >= q)))
+}
+
+/// Lazy Shoup product `value·v mod q` left in `[0, 2q)`: one high
+/// multiply predicts the quotient; the final correction is deferred to
+/// the caller (the Harvey NTT trick). Exact for any `v < 2^64`.
+#[inline(always)]
+fn shoup_lazy(value: u64, quotient: u64, v: u64, q: u64) -> u64 {
+    let hi = ((quotient as u128 * v as u128) >> 64) as u64;
+    value.wrapping_mul(v).wrapping_sub(hi.wrapping_mul(q))
+}
+
+impl OptimizedBackend {
+    /// One fused wide FMA element for moduli above 32 bits: the
+    /// accumulate is folded into the Barrett reduction (`(a·b + acc)
+    /// mod q` in one pass), exact because `(q-1)^2 + q < 2^124` fits the
+    /// reducer.
+    #[inline(always)]
+    fn fma_one_wide(modulus: &Modulus, acc: u64, a: u64, b: u64) -> u64 {
+        modulus.reduce_u128(a as u128 * b as u128 + acc as u128)
+    }
+
+    /// One fused narrow FMA element for word-sized moduli (`q < 2^32`,
+    /// which covers the paper's 28-bit special primes): `a·b + acc`
+    /// fits `u64`, so a single-limb Barrett with the precomputed
+    /// `ratio = floor(2^64/q)` replaces the 128-bit path. The estimate
+    /// undershoots by at most 2, corrected branch-free.
+    #[inline(always)]
+    fn fma_one_narrow(ratio: u64, q: u64, acc: u64, a: u64, b: u64) -> u64 {
+        let p = a * b + acc;
+        let hi = ((p as u128 * ratio as u128) >> 64) as u64;
+        let r = p.wrapping_sub(hi.wrapping_mul(q));
+        cond_sub(cond_sub(r, q), q)
+    }
+
+    /// `floor(2^64 / q)` for the narrow path (`q` is an odd prime, so it
+    /// never divides `2^64` and the `u64::MAX` quotient is exact).
+    #[inline(always)]
+    fn narrow_ratio(q: u64) -> u64 {
+        u64::MAX / q
+    }
+}
+
+impl VpeBackend for OptimizedBackend {
+    fn name(&self) -> &'static str {
+        "optimized"
+    }
+
+    fn fma(&self, modulus: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+        assert_eq!(acc.len(), a.len());
+        assert_eq!(acc.len(), b.len());
+        crate::metrics::count_pointwise_macs(acc.len() as u64);
+        let q = modulus.value();
+        if modulus.bits() <= 32 {
+            let ratio = Self::narrow_ratio(q);
+            let mut acc_it = acc.chunks_exact_mut(4);
+            let mut a_it = a.chunks_exact(4);
+            let mut b_it = b.chunks_exact(4);
+            for ((x, ai), bi) in (&mut acc_it).zip(&mut a_it).zip(&mut b_it) {
+                x[0] = Self::fma_one_narrow(ratio, q, x[0], ai[0], bi[0]);
+                x[1] = Self::fma_one_narrow(ratio, q, x[1], ai[1], bi[1]);
+                x[2] = Self::fma_one_narrow(ratio, q, x[2], ai[2], bi[2]);
+                x[3] = Self::fma_one_narrow(ratio, q, x[3], ai[3], bi[3]);
+            }
+            for ((x, &ai), &bi) in
+                acc_it.into_remainder().iter_mut().zip(a_it.remainder()).zip(b_it.remainder())
+            {
+                *x = Self::fma_one_narrow(ratio, q, *x, ai, bi);
+            }
+        } else {
+            for ((x, &ai), &bi) in acc.iter_mut().zip(a).zip(b) {
+                *x = Self::fma_one_wide(modulus, *x, ai, bi);
+            }
+        }
+    }
+
+    fn pointwise_mul(&self, modulus: &Modulus, a: &mut [u64], b: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        crate::metrics::count_pointwise_macs(a.len() as u64);
+        let q = modulus.value();
+        if modulus.bits() <= 32 {
+            let ratio = Self::narrow_ratio(q);
+            let mut a_it = a.chunks_exact_mut(4);
+            let mut b_it = b.chunks_exact(4);
+            for (x, bi) in (&mut a_it).zip(&mut b_it) {
+                x[0] = Self::fma_one_narrow(ratio, q, 0, x[0], bi[0]);
+                x[1] = Self::fma_one_narrow(ratio, q, 0, x[1], bi[1]);
+                x[2] = Self::fma_one_narrow(ratio, q, 0, x[2], bi[2]);
+                x[3] = Self::fma_one_narrow(ratio, q, 0, x[3], bi[3]);
+            }
+            for (x, &bi) in a_it.into_remainder().iter_mut().zip(b_it.remainder()) {
+                *x = Self::fma_one_narrow(ratio, q, 0, *x, bi);
+            }
+        } else {
+            for (x, &bi) in a.iter_mut().zip(b) {
+                *x = modulus.mul(*x, bi);
+            }
+        }
+    }
+
+    fn ntt_forward(&self, table: &NttTable, a: &mut [u64]) {
+        assert_eq!(a.len(), table.n());
+        crate::metrics::count_residue_ntts(1);
+        // Harvey lazy butterflies: values ride in [0, 4q) between levels
+        // (q < 2^62, so 4q never overflows), the twiddle product stays
+        // lazily reduced in [0, 2q), and one branch-free pass at the end
+        // restores [0, q) — bit-identical to the strict transform.
+        let n = table.n();
+        let q = table.modulus().value();
+        let two_q = 2 * q;
+        let psi = table.psi_rev();
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let w = psi[m + i];
+                let (wv, wq) = (w.value, w.quotient);
+                let j1 = 2 * i * t;
+                let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let u = cond_sub(*x, two_q);
+                    let v = shoup_lazy(wv, wq, *y, q);
+                    *x = u + v;
+                    *y = u + two_q - v;
+                }
+            }
+            m <<= 1;
+        }
+        for x in a.iter_mut() {
+            *x = cond_sub(cond_sub(*x, two_q), q);
+        }
+    }
+
+    fn ntt_inverse(&self, table: &NttTable, a: &mut [u64]) {
+        assert_eq!(a.len(), table.n());
+        crate::metrics::count_residue_ntts(1);
+        // Gentleman–Sande with the same laziness: sums ride in [0, 2q),
+        // differences go straight through a lazy Shoup twiddle, and the
+        // final n^{-1} scaling pass restores [0, q).
+        let n = table.n();
+        let q = table.modulus().value();
+        let two_q = 2 * q;
+        let ipsi = table.ipsi_rev();
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let w = ipsi[h + i];
+                let (wv, wq) = (w.value, w.quotient);
+                let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let u = *x;
+                    let v = *y;
+                    *x = cond_sub(u + v, two_q);
+                    *y = shoup_lazy(wv, wq, u + two_q - v, q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        let n_inv = table.n_inv();
+        let (nv, nq) = (n_inv.value, n_inv.quotient);
+        for x in a.iter_mut() {
+            *x = cond_sub(shoup_lazy(nv, nq, *x, q), q);
+        }
+    }
+
+    fn gadget_decompose(&self, gadget: &Gadget, wide: &[u128], out: &mut [u64]) {
+        let n = wide.len();
+        assert_eq!(out.len(), gadget.ell() * n);
+        let bits = gadget.base_bits();
+        let mask = gadget.base() - 1;
+        // Coefficient-major walk: each wide value is shifted down in a
+        // register instead of re-extracting every digit from scratch.
+        for (i, &c) in wide.iter().enumerate() {
+            let mut v = c;
+            for j in 0..gadget.ell() {
+                out[j * n + i] = (v & mask) as u64;
+                v >>= bits;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn modulus() -> Modulus {
+        Modulus::special_primes()[0]
+    }
+
+    fn rand_row(n: usize, q: u64, rng: &mut impl Rng) -> Vec<u64> {
+        (0..n).map(|_| rng.gen_range(0..q)).collect()
+    }
+
+    #[test]
+    fn backends_agree_on_fma_and_mul() {
+        let m = modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        for n in [1usize, 3, 4, 7, 64, 255] {
+            let a = rand_row(n, m.value(), &mut rng);
+            let b = rand_row(n, m.value(), &mut rng);
+            let acc0 = rand_row(n, m.value(), &mut rng);
+            let (mut s, mut o) = (acc0.clone(), acc0.clone());
+            ScalarBackend.fma(&m, &mut s, &a, &b);
+            OptimizedBackend.fma(&m, &mut o, &a, &b);
+            assert_eq!(s, o, "fma n={n}");
+            let (mut s, mut o) = (acc0.clone(), acc0);
+            ScalarBackend.pointwise_mul(&m, &mut s, &b);
+            OptimizedBackend.pointwise_mul(&m, &mut o, &b);
+            assert_eq!(s, o, "mul n={n}");
+        }
+    }
+
+    #[test]
+    fn scalar_ntt_matches_table() {
+        let m = modulus();
+        let table = NttTable::new(&m, 64).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+        let orig = rand_row(64, m.value(), &mut rng);
+        let mut via_backend = orig.clone();
+        let mut via_table = orig.clone();
+        ScalarBackend.ntt_forward(&table, &mut via_backend);
+        table.forward(&mut via_table);
+        assert_eq!(via_backend, via_table);
+        ScalarBackend.ntt_inverse(&table, &mut via_backend);
+        table.inverse(&mut via_table);
+        assert_eq!(via_backend, via_table);
+        assert_eq!(via_backend, orig);
+    }
+
+    #[test]
+    fn decompose_digit_major_layout() {
+        let g = Gadget::new(14, 4);
+        let wide = [0u128, (1 << 14) + 3, u128::from(u64::MAX)];
+        let mut s = vec![0u64; 4 * wide.len()];
+        let mut o = vec![0u64; 4 * wide.len()];
+        ScalarBackend.gadget_decompose(&g, &wide, &mut s);
+        OptimizedBackend.gadget_decompose(&g, &wide, &mut o);
+        assert_eq!(s, o);
+        assert_eq!(s[1], 3, "digit 0 of wide[1]");
+        assert_eq!(s[wide.len() + 1], 1, "digit 1 of wide[1]");
+    }
+
+    #[test]
+    fn fma_poly_spans_limbs() {
+        let moduli = Modulus::special_primes()[..2].to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        let n = 16;
+        let flat = |rng: &mut rand::rngs::StdRng| -> Vec<u64> {
+            moduli.iter().flat_map(|m| rand_row(n, m.value(), rng)).collect()
+        };
+        let a = flat(&mut rng);
+        let b = flat(&mut rng);
+        let mut acc = vec![0u64; 2 * n];
+        fma_poly(default_backend(), &moduli, &mut acc, &a, &b);
+        for (m, modulus) in moduli.iter().enumerate() {
+            for i in 0..n {
+                assert_eq!(acc[m * n + i], modulus.mul(a[m * n + i], b[m * n + i]));
+            }
+        }
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        assert_eq!(BackendKind::Scalar.backend().name(), "scalar");
+        assert_eq!(BackendKind::Optimized.backend().name(), "optimized");
+        assert_eq!(BackendKind::default(), BackendKind::Optimized);
+        assert_eq!(BackendKind::Optimized.to_string(), "optimized");
+    }
+}

@@ -13,6 +13,13 @@
 //!   [`rns::RnsPoly`] residue-matrix polynomial (the `4 × N` structure of
 //!   §II-B), and ring contexts.
 //! * [`gadget`] — base-`z` digit decomposition (`Dcp`, Fig. 3).
+//! * [`kernel`] — the VPE kernel layer: one [`kernel::VpeBackend`]
+//!   executes every hot kernel (pointwise FMA, NTT dispatch, gadget
+//!   decompose) over flat limb slices; a scalar reference backend and a
+//!   Barrett/Shoup lazy-reduction backend are bit-identical by
+//!   construction and by differential property tests.
+//! * [`arena`] — reusable scratch buffers ([`arena::KernelArena`]) that
+//!   keep the allocator off the per-query hot path.
 //! * [`poly`] — schoolbook negacyclic arithmetic used as a test oracle, and
 //!   coefficient-domain automorphisms (`X -> X^r`).
 //! * [`wide`] — minimal 256-bit helpers for exact BFV decoding.
@@ -35,7 +42,9 @@
 //! # }
 //! ```
 
+pub mod arena;
 pub mod gadget;
+pub mod kernel;
 pub mod metrics;
 pub mod modulus;
 pub mod ntt;

@@ -72,6 +72,26 @@ impl NttTable {
         &self.modulus
     }
 
+    /// The forward twiddles `ψ^{bitrev(i)}` with their Shoup quotients —
+    /// exposed so alternative butterfly implementations (the scalar
+    /// reference backend of [`crate::kernel`]) share one table.
+    #[inline]
+    pub fn psi_rev(&self) -> &[ShoupMul] {
+        &self.psi_rev
+    }
+
+    /// The inverse twiddles `ψ^{-bitrev(i)}`.
+    #[inline]
+    pub fn ipsi_rev(&self) -> &[ShoupMul] {
+        &self.ipsi_rev
+    }
+
+    /// The final inverse scaling factor `n^{-1}`.
+    #[inline]
+    pub fn n_inv(&self) -> &ShoupMul {
+        &self.n_inv
+    }
+
     /// In-place forward negacyclic NTT (coefficient order in, transform
     /// order out).
     ///

@@ -9,7 +9,9 @@ use std::sync::Arc;
 
 use rand::Rng;
 
+use crate::arena::KernelArena;
 use crate::gadget::Gadget;
+use crate::kernel::{self, VpeBackend};
 use crate::modulus::Modulus;
 use crate::ntt::NttTable;
 use crate::poly;
@@ -102,6 +104,22 @@ impl RnsBasis {
     /// CRT (Eq. 2): residues of a wide value.
     pub fn to_residues(&self, x: u128) -> Vec<u64> {
         self.moduli.iter().map(|m| m.reduce_u128(x)).collect()
+    }
+
+    /// iCRT (Eq. 3) of one coefficient gathered from a flat residue-major
+    /// limb matrix: `words[m·n + i]` is the residue of coefficient `i`
+    /// modulo `q_m`. Allocation-free (the gather uses a stack buffer).
+    ///
+    /// # Panics
+    /// Panics if `words.len() != len() * n` or `i >= n`.
+    pub fn from_residues_strided(&self, words: &[u64], n: usize, i: usize) -> u128 {
+        assert_eq!(words.len(), self.len() * n);
+        assert!(i < n);
+        let mut gathered = [0u64; 8]; // the basis holds at most 8 limbs
+        for m in 0..self.len() {
+            gathered[m] = words[m * n + i];
+        }
+        self.from_residues(&gathered[..self.len()])
     }
 
     /// iCRT (Eq. 3): reconstructs `x mod Q` from its residues.
@@ -246,6 +264,28 @@ impl RnsPoly {
         RnsPoly { ctx: Arc::clone(ctx), form, coeffs: vec![0; ctx.basis().len() * ctx.n()] }
     }
 
+    /// Wraps a flat residue-major limb matrix (`words[m·n + i]` is
+    /// coefficient `i` modulo `q_m`) as a polynomial in the given form —
+    /// the bridge back from kernel-layer flat buffers (database slices,
+    /// `RowSel` accumulators) to the polynomial algebra.
+    ///
+    /// # Errors
+    /// Fails when the length is not `k · n`.
+    pub fn from_words(
+        ctx: &Arc<RingContext>,
+        form: Form,
+        words: Vec<u64>,
+    ) -> Result<Self, MathError> {
+        if words.len() != ctx.basis().len() * ctx.n() {
+            return Err(MathError::InvalidBasis(format!(
+                "flat polynomial has {} words, ring wants {}",
+                words.len(),
+                ctx.basis().len() * ctx.n()
+            )));
+        }
+        Ok(RnsPoly { ctx: Arc::clone(ctx), form, coeffs: words })
+    }
+
     /// Builds a polynomial from wide coefficients (reduced per residue).
     ///
     /// # Panics
@@ -349,31 +389,46 @@ impl RnsPoly {
         &self.coeffs
     }
 
+    /// Mutable raw residue-major storage — the kernel layer's window into
+    /// the polynomial. The caller must keep values `< q_m` per limb row.
+    #[inline]
+    pub fn as_words_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+
     /// Converts to NTT form (no-op when already there).
     pub fn to_ntt(&mut self) {
+        self.to_ntt_with(kernel::default_backend());
+    }
+
+    /// Converts to NTT form through an explicit kernel backend.
+    pub fn to_ntt_with(&mut self, backend: &dyn VpeBackend) {
         if self.form == Form::Ntt {
             return;
         }
         let n = self.ctx.n();
         let ctx = Arc::clone(&self.ctx);
         for m in 0..ctx.basis().len() {
-            ctx.ntt(m).forward(&mut self.coeffs[m * n..(m + 1) * n]);
+            backend.ntt_forward(ctx.ntt(m), &mut self.coeffs[m * n..(m + 1) * n]);
         }
-        crate::metrics::count_residue_ntts(ctx.basis().len() as u64);
         self.form = Form::Ntt;
     }
 
     /// Converts to coefficient form (no-op when already there).
     pub fn to_coeff(&mut self) {
+        self.to_coeff_with(kernel::default_backend());
+    }
+
+    /// Converts to coefficient form through an explicit kernel backend.
+    pub fn to_coeff_with(&mut self, backend: &dyn VpeBackend) {
         if self.form == Form::Coeff {
             return;
         }
         let n = self.ctx.n();
         let ctx = Arc::clone(&self.ctx);
         for m in 0..ctx.basis().len() {
-            ctx.ntt(m).inverse(&mut self.coeffs[m * n..(m + 1) * n]);
+            backend.ntt_inverse(ctx.ntt(m), &mut self.coeffs[m * n..(m + 1) * n]);
         }
-        crate::metrics::count_residue_ntts(ctx.basis().len() as u64);
         self.form = Form::Coeff;
     }
 
@@ -439,19 +494,28 @@ impl RnsPoly {
     /// # Errors
     /// Fails on ring mismatch or when either operand is in coefficient form.
     pub fn mul_assign_pointwise(&mut self, other: &Self) -> Result<(), MathError> {
+        self.mul_assign_pointwise_with(other, kernel::default_backend())
+    }
+
+    /// Pointwise product through an explicit kernel backend.
+    ///
+    /// # Errors
+    /// Fails on ring mismatch or when either operand is in coefficient form.
+    pub fn mul_assign_pointwise_with(
+        &mut self,
+        other: &Self,
+        backend: &dyn VpeBackend,
+    ) -> Result<(), MathError> {
         self.check_compatible(other)?;
         if self.form != Form::Ntt {
             return Err(MathError::FormMismatch("pointwise product requires NTT form"));
         }
-        crate::metrics::count_pointwise_macs((self.ctx.basis().len() * self.ctx.n()) as u64);
-        let n = self.ctx.n();
-        for (m, modulus) in self.ctx.basis().moduli().iter().enumerate() {
-            let a = &mut self.coeffs[m * n..(m + 1) * n];
-            let b = &other.coeffs[m * n..(m + 1) * n];
-            for (x, &y) in a.iter_mut().zip(b) {
-                *x = modulus.mul(*x, y);
-            }
-        }
+        kernel::pointwise_mul_poly(
+            backend,
+            self.ctx.basis().moduli(),
+            &mut self.coeffs,
+            &other.coeffs,
+        );
         Ok(())
     }
 
@@ -460,22 +524,31 @@ impl RnsPoly {
     /// # Errors
     /// Fails on ring mismatch or non-NTT operands.
     pub fn fma_pointwise(&mut self, a: &Self, b: &Self) -> Result<(), MathError> {
+        self.fma_pointwise_with(a, b, kernel::default_backend())
+    }
+
+    /// Fused multiply-accumulate through an explicit kernel backend.
+    ///
+    /// # Errors
+    /// Fails on ring mismatch or non-NTT operands.
+    pub fn fma_pointwise_with(
+        &mut self,
+        a: &Self,
+        b: &Self,
+        backend: &dyn VpeBackend,
+    ) -> Result<(), MathError> {
         self.check_compatible(a)?;
         self.check_compatible(b)?;
         if self.form != Form::Ntt {
             return Err(MathError::FormMismatch("pointwise FMA requires NTT form"));
         }
-        crate::metrics::count_pointwise_macs((self.ctx.basis().len() * self.ctx.n()) as u64);
-        let n = self.ctx.n();
-        for (m, modulus) in self.ctx.basis().moduli().iter().enumerate() {
-            let q = modulus.value();
-            let dst = m * n..(m + 1) * n;
-            for i in 0..n {
-                let prod = modulus.mul(a.coeffs[m * n + i], b.coeffs[m * n + i]);
-                let x = &mut self.coeffs[dst.start + i];
-                *x = crate::reduce::add_mod(*x, prod, q);
-            }
-        }
+        kernel::fma_poly(
+            backend,
+            self.ctx.basis().moduli(),
+            &mut self.coeffs,
+            &a.coeffs,
+            &b.coeffs,
+        );
         Ok(())
     }
 
@@ -512,21 +585,82 @@ impl RnsPoly {
     /// # Errors
     /// Fails when the polynomial is in NTT form.
     pub fn to_coeffs_u128(&self) -> Result<Vec<u128>, MathError> {
+        let mut out = vec![0u128; self.ctx.n()];
+        self.icrt_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Reconstructs wide coefficients via iCRT into a caller-provided
+    /// buffer — the allocation-free variant the kernel layer's `Dcp`
+    /// pipeline uses (scratch from a [`KernelArena`]).
+    ///
+    /// # Errors
+    /// Fails when the polynomial is in NTT form.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != n`.
+    pub fn icrt_into(&self, out: &mut [u128]) -> Result<(), MathError> {
         if self.form != Form::Coeff {
             return Err(MathError::FormMismatch("iCRT requires coefficient form"));
         }
-        crate::metrics::count_icrt_coeffs(self.ctx.n() as u64);
         let n = self.ctx.n();
+        assert_eq!(out.len(), n);
+        crate::metrics::count_icrt_coeffs(n as u64);
         let basis = self.ctx.basis();
-        let mut out = vec![0u128; n];
-        let mut residues = vec![0u64; basis.len()];
         for (i, dst) in out.iter_mut().enumerate() {
-            for (m, r) in residues.iter_mut().enumerate() {
-                *r = self.coeffs[m * n + i];
-            }
-            *dst = basis.from_residues(&residues);
+            *dst = basis.from_residues_strided(&self.coeffs, n, i);
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Gadget decomposition straight to the multiplication domain: iCRT
+    /// every coefficient, split into `ℓ` base-`z` digits, lift each digit
+    /// polynomial into every residue limb, and forward-NTT the rows. The
+    /// result lands flat in `out` as `ℓ × k × n` (digit-major, then
+    /// limb-major) — ready for the gadget GEMMs of the external product
+    /// and `Subs` with no per-digit `RnsPoly` allocations; all scratch
+    /// comes from `arena`.
+    ///
+    /// # Errors
+    /// Fails when in NTT form or when the gadget does not cover `Q`.
+    pub fn decompose_ntt_into(
+        &self,
+        gadget: &Gadget,
+        backend: &dyn VpeBackend,
+        arena: &mut KernelArena,
+        out: &mut Vec<u64>,
+    ) -> Result<(), MathError> {
+        if self.form != Form::Coeff {
+            return Err(MathError::FormMismatch("decomposition requires coefficient form"));
+        }
+        gadget.check_covers(self.ctx.basis().q_big())?;
+        let n = self.ctx.n();
+        let k = self.ctx.basis().len();
+        let ell = gadget.ell();
+
+        let mut wide = arena.take_u128(n);
+        self.icrt_into(&mut wide)?;
+        let mut raw = arena.take_u64(ell * n);
+        backend.gadget_decompose(gadget, &wide, &mut raw);
+
+        out.clear();
+        out.resize(ell * k * n, 0);
+        for j in 0..ell {
+            let src = &raw[j * n..(j + 1) * n];
+            for (m, modulus) in self.ctx.basis().moduli().iter().enumerate() {
+                let dst = &mut out[(j * k + m) * n..(j * k + m + 1) * n];
+                let q = modulus.value();
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    // Digits are `< z <= 2^27 < q` for the special primes;
+                    // the fold only fires for unusually small moduli.
+                    *d = if s < q { s } else { s % q };
+                }
+                backend.ntt_forward(self.ctx.ntt(m), dst);
+            }
+        }
+        arena.give_u128(wide);
+        arena.give_u64(raw);
+        Ok(())
     }
 
     /// Gadget decomposition `Dcp` (Fig. 3): iCRT every coefficient, split
@@ -702,6 +836,63 @@ mod tests {
         let mut expect = acc0;
         expect.add_assign(&a).unwrap();
         assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn from_words_roundtrips_raw_storage() {
+        let ctx = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        let a = RnsPoly::sample_uniform(&ctx, Form::Ntt, &mut rng);
+        let rebuilt = RnsPoly::from_words(&ctx, Form::Ntt, a.as_words().to_vec()).unwrap();
+        assert_eq!(rebuilt, a);
+        assert!(RnsPoly::from_words(&ctx, Form::Ntt, vec![0; 5]).is_err());
+    }
+
+    #[test]
+    fn decompose_ntt_into_matches_decompose_then_ntt() {
+        let ctx = ctx();
+        let gadget = Gadget::for_modulus(ctx.basis().q_big(), 14);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let a = RnsPoly::sample_uniform(&ctx, Form::Coeff, &mut rng);
+        // Reference: per-digit polynomials, then NTT.
+        let mut reference = a.decompose(&gadget).unwrap();
+        for d in reference.iter_mut() {
+            d.to_ntt();
+        }
+        // Flat kernel path.
+        let mut arena = KernelArena::new();
+        let mut flat = Vec::new();
+        a.decompose_ntt_into(&gadget, kernel::default_backend(), &mut arena, &mut flat).unwrap();
+        let k = ctx.basis().len();
+        let n = ctx.n();
+        assert_eq!(flat.len(), gadget.ell() * k * n);
+        for (j, d) in reference.iter().enumerate() {
+            assert_eq!(&flat[j * k * n..(j + 1) * k * n], d.as_words(), "digit {j}");
+        }
+        // NTT-form input must be rejected.
+        let mut ntt = a.clone();
+        ntt.to_ntt();
+        assert!(ntt
+            .decompose_ntt_into(&gadget, kernel::default_backend(), &mut arena, &mut flat)
+            .is_err());
+    }
+
+    #[test]
+    fn icrt_strided_matches_contiguous() {
+        let basis = RnsBasis::paper_basis();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        let n = 4;
+        let values: Vec<u128> = (0..n).map(|_| rng.gen::<u128>() % basis.q_big()).collect();
+        // Build the flat residue-major matrix by hand.
+        let mut words = vec![0u64; basis.len() * n];
+        for (i, &v) in values.iter().enumerate() {
+            for (m, r) in basis.to_residues(v).into_iter().enumerate() {
+                words[m * n + i] = r;
+            }
+        }
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(basis.from_residues_strided(&words, n, i), v);
+        }
     }
 
     #[test]

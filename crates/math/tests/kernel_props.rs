@@ -1,0 +1,88 @@
+//! Differential property tests for the VPE kernel layer: on random
+//! inputs, the optimized Barrett/Shoup backend must be **bit-identical**
+//! to the scalar reference backend for all four hot kernels — the
+//! software counterpart of §IV-G's claim that swapping modular multiplier
+//! circuits never changes results.
+
+use ive_math::gadget::Gadget;
+use ive_math::kernel::{OptimizedBackend, ScalarBackend, VpeBackend};
+use ive_math::modulus::Modulus;
+use ive_math::ntt::NttTable;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn special_prime(which: usize) -> Modulus {
+    Modulus::special_primes()[which % 4]
+}
+
+fn rand_row(n: usize, q: u64, rng: &mut impl Rng) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..q)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fma_is_bit_identical(seed in any::<u64>(), which in 0usize..4, n in 1usize..300) {
+        let m = special_prime(which);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = rand_row(n, m.value(), &mut rng);
+        let b = rand_row(n, m.value(), &mut rng);
+        let acc0 = rand_row(n, m.value(), &mut rng);
+        let mut scalar = acc0.clone();
+        let mut optimized = acc0;
+        ScalarBackend.fma(&m, &mut scalar, &a, &b);
+        OptimizedBackend.fma(&m, &mut optimized, &a, &b);
+        prop_assert_eq!(scalar, optimized);
+    }
+
+    #[test]
+    fn pointwise_mul_is_bit_identical(seed in any::<u64>(), which in 0usize..4, n in 1usize..300) {
+        let m = special_prime(which);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let b = rand_row(n, m.value(), &mut rng);
+        let a0 = rand_row(n, m.value(), &mut rng);
+        let mut scalar = a0.clone();
+        let mut optimized = a0;
+        ScalarBackend.pointwise_mul(&m, &mut scalar, &b);
+        OptimizedBackend.pointwise_mul(&m, &mut optimized, &b);
+        prop_assert_eq!(scalar, optimized);
+    }
+
+    #[test]
+    fn ntt_dispatch_is_bit_identical(seed in any::<u64>(), which in 0usize..4, log_n in 1u32..10) {
+        let m = special_prime(which);
+        let n = 1usize << log_n;
+        let table = NttTable::new(&m, n).expect("special primes are NTT-friendly to 2^12");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let orig = rand_row(n, m.value(), &mut rng);
+
+        let mut scalar = orig.clone();
+        let mut optimized = orig.clone();
+        ScalarBackend.ntt_forward(&table, &mut scalar);
+        OptimizedBackend.ntt_forward(&table, &mut optimized);
+        prop_assert_eq!(&scalar, &optimized, "forward diverged");
+
+        ScalarBackend.ntt_inverse(&table, &mut scalar);
+        OptimizedBackend.ntt_inverse(&table, &mut optimized);
+        prop_assert_eq!(&scalar, &optimized, "inverse diverged");
+        prop_assert_eq!(&scalar, &orig, "roundtrip lost the input");
+    }
+
+    #[test]
+    fn gadget_decompose_is_bit_identical(
+        seed in any::<u64>(),
+        base_bits in 1u32..=27,
+        n in 1usize..64,
+    ) {
+        // ell chosen to cover a 109-bit Q like the paper's.
+        let gadget = Gadget::for_modulus((1u128 << 109) - 1, base_bits);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let wide: Vec<u128> = (0..n).map(|_| rng.gen::<u128>() >> 19).collect();
+        let mut scalar = vec![0u64; gadget.ell() * n];
+        let mut optimized = vec![0u64; gadget.ell() * n];
+        ScalarBackend.gadget_decompose(&gadget, &wide, &mut scalar);
+        OptimizedBackend.gadget_decompose(&gadget, &wide, &mut optimized);
+        prop_assert_eq!(scalar, optimized);
+    }
+}

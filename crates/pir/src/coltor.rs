@@ -12,6 +12,8 @@
 //! accelerator model in `ive-accel` charges for (Fig. 8).
 
 use ive_he::{BfvCiphertext, HeParams, RgswCiphertext};
+use ive_math::arena::KernelArena;
+use ive_math::kernel::{self, VpeBackend};
 
 use crate::PirError;
 
@@ -46,6 +48,24 @@ pub fn col_tor(
     sel_bits: &[RgswCiphertext],
     order: TournamentOrder,
 ) -> Result<BfvCiphertext, PirError> {
+    col_tor_with(he, entries, sel_bits, order, kernel::default_backend(), &mut KernelArena::new())
+}
+
+/// [`col_tor`] through an explicit kernel backend, with every CMux's
+/// `Dcp` scratch drawn from `arena` (the serving path: one warm buffer
+/// set serves all `2^d − 1` tournament nodes).
+///
+/// # Errors
+/// Fails when the entry count is not a power of two matching the number of
+/// selection bits.
+pub fn col_tor_with(
+    he: &HeParams,
+    entries: Vec<BfvCiphertext>,
+    sel_bits: &[RgswCiphertext],
+    order: TournamentOrder,
+    backend: &dyn VpeBackend,
+    arena: &mut KernelArena,
+) -> Result<BfvCiphertext, PirError> {
     if entries.is_empty() || !entries.len().is_power_of_two() {
         return Err(PirError::InvalidParams(format!(
             "tournament over {} entries (need a power of two)",
@@ -57,10 +77,10 @@ pub fn col_tor(
         return Err(PirError::MissingKeys { got: sel_bits.len(), need: d });
     }
     match order {
-        TournamentOrder::Bfs => col_tor_bfs(he, entries, sel_bits),
-        TournamentOrder::Dfs => col_tor_dfs(he, &entries, sel_bits),
+        TournamentOrder::Bfs => col_tor_bfs(he, entries, sel_bits, backend, arena),
+        TournamentOrder::Dfs => col_tor_dfs(he, &entries, sel_bits, backend, arena),
         TournamentOrder::Hs { subtree_depth } => {
-            col_tor_hs(he, entries, sel_bits, subtree_depth.max(1))
+            col_tor_hs(he, entries, sel_bits, subtree_depth.max(1), backend, arena)
         }
     }
 }
@@ -71,14 +91,18 @@ fn node(
     sel: &RgswCiphertext,
     x: &BfvCiphertext,
     y: &BfvCiphertext,
+    backend: &dyn VpeBackend,
+    arena: &mut KernelArena,
 ) -> Result<BfvCiphertext, PirError> {
-    Ok(sel.cmux(he, x, y)?)
+    Ok(sel.cmux_with(he, x, y, backend, arena)?)
 }
 
 fn col_tor_bfs(
     he: &HeParams,
     mut entries: Vec<BfvCiphertext>,
     sel_bits: &[RgswCiphertext],
+    backend: &dyn VpeBackend,
+    arena: &mut KernelArena,
 ) -> Result<BfvCiphertext, PirError> {
     let d = entries.len().trailing_zeros() as usize;
     for (t, sel) in sel_bits.iter().enumerate().take(d) {
@@ -87,7 +111,7 @@ fn col_tor_bfs(
         for j in 0..pairs {
             let lo = 2 * s * j;
             let hi = lo + s;
-            let z = node(he, sel, &entries[hi], &entries[lo])?;
+            let z = node(he, sel, &entries[hi], &entries[lo], backend, arena)?;
             entries[lo] = z;
         }
     }
@@ -98,15 +122,17 @@ fn col_tor_dfs(
     he: &HeParams,
     entries: &[BfvCiphertext],
     sel_bits: &[RgswCiphertext],
+    backend: &dyn VpeBackend,
+    arena: &mut KernelArena,
 ) -> Result<BfvCiphertext, PirError> {
     if entries.len() == 1 {
         return Ok(entries[0].clone());
     }
     let mid = entries.len() / 2;
     let bit = entries.len().trailing_zeros() as usize - 1;
-    let lo = col_tor_dfs(he, &entries[..mid], sel_bits)?;
-    let hi = col_tor_dfs(he, &entries[mid..], sel_bits)?;
-    node(he, &sel_bits[bit], &hi, &lo)
+    let lo = col_tor_dfs(he, &entries[..mid], sel_bits, backend, arena)?;
+    let hi = col_tor_dfs(he, &entries[mid..], sel_bits, backend, arena)?;
+    node(he, &sel_bits[bit], &hi, &lo, backend, arena)
 }
 
 fn col_tor_hs(
@@ -114,6 +140,8 @@ fn col_tor_hs(
     entries: Vec<BfvCiphertext>,
     sel_bits: &[RgswCiphertext],
     subtree_depth: u32,
+    backend: &dyn VpeBackend,
+    arena: &mut KernelArena,
 ) -> Result<BfvCiphertext, PirError> {
     if entries.len() == 1 {
         return Ok(entries.into_iter().next().expect("non-empty"));
@@ -125,9 +153,9 @@ fn col_tor_hs(
     // consuming the low `fold` selection bits.
     let mut next = Vec::with_capacity(entries.len() / width);
     for group in entries.chunks(width) {
-        next.push(col_tor_dfs(he, group, &sel_bits[..fold])?);
+        next.push(col_tor_dfs(he, group, &sel_bits[..fold], backend, arena)?);
     }
-    col_tor_hs(he, next, &sel_bits[fold..], subtree_depth)
+    col_tor_hs(he, next, &sel_bits[fold..], subtree_depth, backend, arena)
 }
 
 #[cfg(test)]

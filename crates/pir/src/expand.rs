@@ -8,7 +8,9 @@
 //! the client's `2^{-L}` pre-scaling cancels exactly.
 
 use ive_he::{BfvCiphertext, HeParams, SubsKey};
+use ive_math::arena::KernelArena;
 use ive_math::bit_reverse;
+use ive_math::kernel::{self, VpeBackend};
 use ive_math::rns::{Form, RnsPoly};
 
 use crate::PirError;
@@ -47,6 +49,22 @@ pub fn expand_query(
     keys: &[SubsKey],
     levels: u32,
 ) -> Result<Vec<BfvCiphertext>, PirError> {
+    expand_query_with(he, query, keys, levels, kernel::default_backend(), &mut KernelArena::new())
+}
+
+/// [`expand_query`] through an explicit kernel backend, with the
+/// key-switch `Dcp` scratch drawn from `arena` (the serving path).
+///
+/// # Errors
+/// Fails when too few keys are supplied or a key exponent mismatches.
+pub fn expand_query_with(
+    he: &HeParams,
+    query: &BfvCiphertext,
+    keys: &[SubsKey],
+    levels: u32,
+    backend: &dyn VpeBackend,
+    arena: &mut KernelArena,
+) -> Result<Vec<BfvCiphertext>, PirError> {
     let n = he.n();
     let exps = expansion_exponents(n, levels);
     if keys.len() < levels as usize {
@@ -66,12 +84,12 @@ pub fn expand_query(
         let x_inv = x_neg_pow_ntt(he, 1 << j);
         let mut next = Vec::with_capacity(cts.len() * 2);
         for ct in &cts {
-            let sub = key.apply(he, ct)?;
+            let sub = key.apply_with(he, ct, backend, arena)?;
             let mut even = ct.clone();
             even.add_assign(&sub)?;
             let mut odd = ct.clone();
             odd.sub_assign(&sub)?;
-            odd.mul_plain_assign(&x_inv)?;
+            odd.mul_plain_assign_with(&x_inv, backend)?;
             next.push(even);
             next.push(odd);
         }

@@ -43,6 +43,7 @@ pub mod expand;
 pub mod kspir;
 pub mod packed;
 pub mod params;
+pub mod scratch;
 pub mod server;
 pub mod simplepir;
 pub mod wire;
@@ -50,7 +51,9 @@ pub mod wire;
 pub use client::{ClientKeys, PirClient, PirQuery};
 pub use coltor::TournamentOrder;
 pub use db::Database;
+pub use ive_math::kernel::BackendKind;
 pub use params::PirParams;
+pub use scratch::QueryScratch;
 pub use server::PirServer;
 
 /// Errors produced by the PIR layer.

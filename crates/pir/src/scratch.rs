@@ -1,0 +1,141 @@
+//! Per-worker query scratch: the arena-backed buffers behind the
+//! zero-allocation `RowSel` hot path.
+//!
+//! A [`QueryScratch`] bundles everything one serving worker reuses across
+//! queries: a [`KernelArena`] for the kernel layer's transient buffers
+//! (`Dcp` digit matrices, wide iCRT coefficients) and the flat `RowSel`
+//! accumulator matrix. After the first query at a given geometry the
+//! buffers are warm and [`crate::PirServer::row_sel_into`] performs **no
+//! heap allocations at all** (enforced by the `rowsel_alloc` integration
+//! test with a counting global allocator).
+//!
+//! Accumulator layout — row-major so worker threads can split disjoint
+//! row chunks with `chunks_mut`, query-minor so one streamed database
+//! record serves every query of a batch before the next record is
+//! touched:
+//!
+//! ```text
+//! acc: | row 0: q0.a[k·n] q0.b[k·n] q1.a … | row 1: … | … | row R-1: … |
+//!        └──────── queries × 2·k·n words ───────┘
+//! ```
+
+use ive_he::BfvCiphertext;
+use ive_math::arena::KernelArena;
+use ive_math::rns::{Form, RingContext, RnsPoly};
+
+/// Reusable per-worker buffers for the query pipeline.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Kernel-layer scratch (digit matrices, wide coefficients, ColTor
+    /// temporaries). Public so callers can thread it into HE helpers.
+    pub arena: KernelArena,
+    /// Flat `RowSel` accumulators: `rows × queries × 2 × k × n`.
+    acc: Vec<u64>,
+    rows: usize,
+    queries: usize,
+    /// Words per ciphertext accumulator (`2 · k · n`).
+    ct_words: usize,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+
+    /// Shapes and zeroes the accumulator matrix for a scan of `rows`
+    /// database rows serving `queries` concurrent queries. Only grows the
+    /// backing buffer when the geometry outgrows what is retained.
+    pub(crate) fn reset_accumulators(&mut self, rows: usize, queries: usize, ct_words: usize) {
+        let want = rows * queries * ct_words;
+        self.acc.clear();
+        self.acc.resize(want, 0);
+        self.rows = rows;
+        self.queries = queries;
+        self.ct_words = ct_words;
+    }
+
+    /// The raw accumulator matrix (`rows × queries × 2·k·n` words); the
+    /// scan chunks it by row ranges for its worker threads.
+    pub(crate) fn acc_mut(&mut self) -> &mut [u64] {
+        &mut self.acc
+    }
+
+    /// Number of rows the accumulators currently hold.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of queries the accumulators currently hold.
+    #[inline]
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// The `(a, b)` accumulator words of query `query` at row `row`
+    /// (each `k · n` words, NTT form).
+    ///
+    /// # Panics
+    /// Panics when the indices exceed the last scan's shape.
+    pub fn row_words(&self, query: usize, row: usize) -> (&[u64], &[u64]) {
+        assert!(query < self.queries && row < self.rows, "accumulator index out of shape");
+        let start = (row * self.queries + query) * self.ct_words;
+        let half = self.ct_words / 2;
+        (&self.acc[start..start + half], &self.acc[start + half..start + self.ct_words])
+    }
+
+    /// Materializes query `query`'s row accumulators as ciphertexts for
+    /// the `ColTor` stage (allocating — this is the seam between the flat
+    /// kernel world and the polynomial algebra).
+    pub fn row_ciphertexts(
+        &self,
+        ctx: &std::sync::Arc<RingContext>,
+        query: usize,
+    ) -> Vec<BfvCiphertext> {
+        (0..self.rows)
+            .map(|r| {
+                let (a, b) = self.row_words(query, r);
+                BfvCiphertext {
+                    a: RnsPoly::from_words(ctx, Form::Ntt, a.to_vec())
+                        .expect("accumulator has ring shape"),
+                    b: RnsPoly::from_words(ctx, Form::Ntt, b.to_vec())
+                        .expect("accumulator has ring shape"),
+                }
+            })
+            .collect()
+    }
+
+    /// Bytes currently retained across the arena and accumulators.
+    pub fn retained_bytes(&self) -> usize {
+        self.arena.retained_bytes() + self.acc.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_shape_and_views() {
+        let mut s = QueryScratch::new();
+        s.reset_accumulators(4, 2, 6);
+        assert_eq!(s.rows(), 4);
+        assert_eq!(s.queries(), 2);
+        assert_eq!(s.acc_mut().len(), 4 * 2 * 6);
+        let (a, b) = s.row_words(1, 3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 3);
+        // Growing then shrinking keeps capacity (warm reuse).
+        s.reset_accumulators(2, 1, 6);
+        assert!(s.retained_bytes() >= 4 * 2 * 6 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of shape")]
+    fn out_of_shape_rejected() {
+        let mut s = QueryScratch::new();
+        s.reset_accumulators(2, 1, 4);
+        let _ = s.row_words(0, 2);
+    }
+}

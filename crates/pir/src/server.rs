@@ -1,12 +1,21 @@
 //! The PIR server: `ExpandQuery → RowSel → ColTor` (Fig. 2).
+//!
+//! The hot path dispatches every kernel through a selected
+//! [`VpeBackend`](ive_math::kernel::VpeBackend) and draws scratch from a
+//! caller-owned [`QueryScratch`]: `RowSel` is a streaming scan over the
+//! database's contiguous limb-major buffer that accumulates into flat,
+//! reused buffers — zero heap allocations per query once warm.
 
 use ive_he::BfvCiphertext;
+use ive_math::kernel::BackendKind;
+use ive_math::rns::Form;
 
 use crate::client::{ClientKeys, PirQuery};
-use crate::coltor::{col_tor, TournamentOrder};
+use crate::coltor::{col_tor, col_tor_with, TournamentOrder};
 use crate::db::Database;
-use crate::expand::expand_query;
+use crate::expand::expand_query_with;
 use crate::params::PirParams;
+use crate::scratch::QueryScratch;
 use crate::PirError;
 
 /// Minimum rows per worker before sharding pays off.
@@ -25,6 +34,7 @@ pub struct PirServer {
     db: Database,
     order: TournamentOrder,
     rowsel_threads: usize,
+    backend: BackendKind,
 }
 
 impl PirServer {
@@ -47,7 +57,20 @@ impl PirServer {
             db,
             order: TournamentOrder::Hs { subtree_depth: 2 },
             rowsel_threads: default_rowsel_threads(),
+            backend: BackendKind::default(),
         })
+    }
+
+    /// Selects the kernel backend every pipeline step dispatches through
+    /// (results are bit-identical across backends; only speed differs).
+    pub fn set_backend(&mut self, backend: BackendKind) {
+        self.backend = backend;
+    }
+
+    /// The kernel backend in effect.
+    #[inline]
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// Selects the `ColTor` traversal order (results are bit-identical;
@@ -94,9 +117,25 @@ impl PirServer {
     /// # Errors
     /// Propagates key/shape mismatches from the three pipeline steps.
     pub fn answer(&self, keys: &ClientKeys, query: &PirQuery) -> Result<BfvCiphertext, PirError> {
-        let expanded = self.expand(keys, query)?;
-        let rows = self.row_sel(&expanded)?;
-        self.col_tor_step(rows, query)
+        self.answer_with(keys, query, &mut QueryScratch::new())
+    }
+
+    /// Answers one query end to end with caller-owned scratch — the
+    /// serving path: a worker that reuses one [`QueryScratch`] across
+    /// queries keeps the whole `RowSel` stage allocation-free.
+    ///
+    /// # Errors
+    /// Propagates key/shape mismatches from the three pipeline steps.
+    pub fn answer_with(
+        &self,
+        keys: &ClientKeys,
+        query: &PirQuery,
+        scratch: &mut QueryScratch,
+    ) -> Result<BfvCiphertext, PirError> {
+        let expanded = self.expand_with(keys, query, scratch)?;
+        self.row_sel_into(&expanded, scratch)?;
+        let rows = scratch.row_ciphertexts(self.params.he().ring(), 0);
+        self.col_tor_step_with(rows, query, scratch)
     }
 
     /// Answers one query and modulus-switches the response down to the
@@ -126,15 +165,36 @@ impl PirServer {
         &self,
         requests: &[(&ClientKeys, &PirQuery)],
     ) -> Result<Vec<BfvCiphertext>, PirError> {
+        self.answer_batch_with(requests, &mut QueryScratch::new())
+    }
+
+    /// Batched answering with caller-owned scratch (see
+    /// [`PirServer::answer_with`]).
+    ///
+    /// # Errors
+    /// Propagates failures from any query's pipeline.
+    pub fn answer_batch_with(
+        &self,
+        requests: &[(&ClientKeys, &PirQuery)],
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<BfvCiphertext>, PirError> {
         // Step 1: per-query expansion (client-specific; not amortizable).
         let mut expanded = Vec::with_capacity(requests.len());
         for (keys, query) in requests {
-            expanded.push(self.expand(keys, query)?);
+            expanded.push(self.expand_with(keys, query, scratch)?);
         }
         // Step 2: one scan of the database serving all queries.
-        let accs = self.row_sel_batch(&expanded)?;
+        self.row_sel_batch_into(&expanded, scratch)?;
         // Step 3: per-query tournaments.
-        requests.iter().zip(accs).map(|((_, query), acc)| self.col_tor_step(acc, query)).collect()
+        let ring = self.params.he().ring().clone();
+        requests
+            .iter()
+            .enumerate()
+            .map(|(qi, (_, query))| {
+                let rows = scratch.row_ciphertexts(&ring, qi);
+                self.col_tor_step_with(rows, query, scratch)
+            })
+            .collect()
     }
 
     /// Batched `RowSel`: one scan of the database accumulating for every
@@ -150,8 +210,42 @@ impl PirServer {
         &self,
         expanded: &[Vec<BfvCiphertext>],
     ) -> Result<Vec<Vec<BfvCiphertext>>, PirError> {
+        let mut scratch = QueryScratch::new();
+        self.row_sel_batch_into(expanded, &mut scratch)?;
+        let ring = self.params.he().ring();
+        Ok((0..expanded.len()).map(|qi| scratch.row_ciphertexts(ring, qi)).collect())
+    }
+
+    /// Batched `RowSel` into caller-owned scratch: the streaming scan at
+    /// the heart of the server. Walks the database's contiguous limb
+    /// buffer once, front to back, and FMA-accumulates every query's row
+    /// ciphertexts in flat reused buffers through the selected kernel
+    /// backend — no heap allocation once `scratch` is warm. Results are
+    /// read back with [`QueryScratch::row_words`] /
+    /// [`QueryScratch::row_ciphertexts`].
+    ///
+    /// # Errors
+    /// Fails when any query's expansion does not have `D0` ciphertexts.
+    pub fn row_sel_batch_into(
+        &self,
+        expanded: &[Vec<BfvCiphertext>],
+        scratch: &mut QueryScratch,
+    ) -> Result<(), PirError> {
+        self.row_sel_scan(expanded, scratch)
+    }
+
+    /// The streaming scan shared by the single and batched entry points,
+    /// generic over how each query's expansion slice is held so neither
+    /// path pays an adapter allocation.
+    fn row_sel_scan<E: AsRef<[BfvCiphertext]> + Sync>(
+        &self,
+        expanded: &[E],
+        scratch: &mut QueryScratch,
+    ) -> Result<(), PirError> {
         let he = self.params.he();
+        let ring = he.ring();
         for exp in expanded {
+            let exp = exp.as_ref();
             if exp.len() != self.params.d0() {
                 return Err(PirError::InvalidParams(format!(
                     "RowSel needs {} expanded ciphertexts, got {}",
@@ -159,52 +253,86 @@ impl PirServer {
                     exp.len()
                 )));
             }
+            // The flat kernel scan trusts raw words, so reject what the
+            // polynomial algebra used to: wrong-form or wrong-ring
+            // ciphertexts must be an error, not a garbage answer or a
+            // panic inside a scan worker.
+            for ct in exp {
+                if ct.a.form() != Form::Ntt || ct.b.form() != Form::Ntt {
+                    return Err(PirError::InvalidParams(
+                        "RowSel needs NTT-form expanded ciphertexts".into(),
+                    ));
+                }
+                if **ct.a.ctx() != **ring || **ct.b.ctx() != **ring {
+                    return Err(PirError::InvalidParams(
+                        "expanded ciphertext lives in a different ring than the database".into(),
+                    ));
+                }
+            }
         }
+        let backend = self.backend.backend();
+        let moduli = ring.basis().moduli();
+        let n = he.n();
+        let k = moduli.len();
+        let d0 = self.params.d0();
         let rows = self.params.num_rows();
-        // Accumulate row-major ([row][query]) so threads own disjoint row
-        // chunks; transposed to [query][row] on return.
-        let scan_rows = |start: usize, by_row: &mut [Vec<BfvCiphertext>]| -> Result<(), PirError> {
-            for (off, per_query) in by_row.iter_mut().enumerate() {
+        let ct_words = 2 * k * n;
+        let row_block = expanded.len() * ct_words;
+        if expanded.is_empty() {
+            // Nothing to accumulate; leave an explicitly empty result
+            // shape instead of feeding a zero chunk size to the scan.
+            scratch.reset_accumulators(0, 0, ct_words);
+            return Ok(());
+        }
+        scratch.reset_accumulators(rows, expanded.len(), ct_words);
+
+        // One worker's share: rows [start, start + chunk_rows) of the
+        // accumulator matrix, streaming the database limb-major. Each
+        // record slice is loaded once and serves every query of the batch.
+        let scan = |start: usize, acc: &mut [u64]| {
+            for (off, block) in acc.chunks_mut(row_block).enumerate() {
                 let r = start + off;
-                for i in 0..self.params.d0() {
-                    let db_poly = self.db.poly(r, i);
-                    for (acc, exp) in per_query.iter_mut().zip(expanded) {
-                        acc.fma_plain(db_poly, &exp[i])?;
+                for i in 0..d0 {
+                    let words = self.db.poly_words(r, i);
+                    for (ct, acc_ct) in expanded.iter().zip(block.chunks_mut(ct_words)) {
+                        let (acc_a, acc_b) = acc_ct.split_at_mut(k * n);
+                        let exp = &ct.as_ref()[i];
+                        for (m, modulus) in moduli.iter().enumerate() {
+                            let seg = m * n..(m + 1) * n;
+                            backend.fma(
+                                modulus,
+                                &mut acc_a[seg.clone()],
+                                &words[seg.clone()],
+                                exp.a.residue(m),
+                            );
+                            backend.fma(
+                                modulus,
+                                &mut acc_b[seg.clone()],
+                                &words[seg],
+                                exp.b.residue(m),
+                            );
+                        }
                     }
                 }
             }
-            Ok(())
         };
-        let mut by_row: Vec<Vec<BfvCiphertext>> = (0..rows)
-            .map(|_| (0..expanded.len()).map(|_| BfvCiphertext::zero(he)).collect())
-            .collect();
+
         let threads = self.rowsel_threads;
+        let acc = scratch.acc_mut();
         if threads > 1 && rows >= threads * ROWSEL_MIN_ROWS_PER_THREAD {
-            let chunk = rows.div_ceil(threads);
+            let chunk_rows = rows.div_ceil(threads);
             std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (start, row_chunk) in (0..rows).step_by(chunk).zip(by_row.chunks_mut(chunk)) {
-                    let scan_rows = &scan_rows;
-                    handles.push(scope.spawn(move || scan_rows(start, row_chunk)));
+                for (start, acc_chunk) in
+                    (0..rows).step_by(chunk_rows).zip(acc.chunks_mut(chunk_rows * row_block))
+                {
+                    let scan = &scan;
+                    scope.spawn(move || scan(start, acc_chunk));
                 }
-                for h in handles {
-                    h.join().expect("RowSel worker panicked")?;
-                }
-                Ok::<(), PirError>(())
-            })?;
+            });
         } else {
-            scan_rows(0, &mut by_row)?;
+            scan(0, acc);
         }
-        // Transpose by move: peel each row's accumulators into the
-        // per-query vectors.
-        let mut accs: Vec<Vec<BfvCiphertext>> =
-            (0..expanded.len()).map(|_| Vec::with_capacity(rows)).collect();
-        for per_query in by_row {
-            for (acc, ct) in accs.iter_mut().zip(per_query) {
-                acc.push(ct);
-            }
-        }
-        Ok(accs)
+        Ok(())
     }
 
     /// Step (1): `ExpandQuery` — derive the `D0` one-hot ciphertexts.
@@ -216,7 +344,28 @@ impl PirServer {
         keys: &ClientKeys,
         query: &PirQuery,
     ) -> Result<Vec<BfvCiphertext>, PirError> {
-        expand_query(self.params.he(), query.packed(), keys.subs_keys(), self.params.log_d0())
+        self.expand_with(keys, query, &mut QueryScratch::new())
+    }
+
+    /// `ExpandQuery` with caller-owned scratch for the key-switch `Dcp`
+    /// buffers.
+    ///
+    /// # Errors
+    /// Fails when the client registered too few expansion keys.
+    pub fn expand_with(
+        &self,
+        keys: &ClientKeys,
+        query: &PirQuery,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<BfvCiphertext>, PirError> {
+        expand_query_with(
+            self.params.he(),
+            query.packed(),
+            keys.subs_keys(),
+            self.params.log_d0(),
+            self.backend.backend(),
+            &mut scratch.arena,
+        )
     }
 
     /// Step (2): `RowSel` — `ct⁽⁰⁾_r = Σ_{i<D0} DB[r][i] ⊙ ct[i]` for every
@@ -226,47 +375,22 @@ impl PirServer {
     /// # Errors
     /// Fails when `expanded.len() != D0`.
     pub fn row_sel(&self, expanded: &[BfvCiphertext]) -> Result<Vec<BfvCiphertext>, PirError> {
-        if expanded.len() != self.params.d0() {
-            return Err(PirError::InvalidParams(format!(
-                "RowSel needs {} expanded ciphertexts, got {}",
-                self.params.d0(),
-                expanded.len()
-            )));
-        }
-        let he = self.params.he();
-        let rows = self.params.num_rows();
-        let reduce_row = |r: usize| -> Result<BfvCiphertext, PirError> {
-            let mut acc = BfvCiphertext::zero(he);
-            for (i, ct) in expanded.iter().enumerate() {
-                acc.fma_plain(self.db.poly(r, i), ct)?;
-            }
-            Ok(acc)
-        };
+        let mut scratch = QueryScratch::new();
+        self.row_sel_into(expanded, &mut scratch)?;
+        Ok(scratch.row_ciphertexts(self.params.he().ring(), 0))
+    }
 
-        let threads = self.rowsel_threads;
-        if threads > 1 && rows >= threads * ROWSEL_MIN_ROWS_PER_THREAD {
-            let mut out: Vec<Option<BfvCiphertext>> = vec![None; rows];
-            let chunk = rows.div_ceil(threads);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (start, slot_chunk) in (0..rows).step_by(chunk).zip(out.chunks_mut(chunk)) {
-                    let reduce_row = &reduce_row;
-                    handles.push(scope.spawn(move || -> Result<(), PirError> {
-                        for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                            *slot = Some(reduce_row(start + off)?);
-                        }
-                        Ok(())
-                    }));
-                }
-                for h in handles {
-                    h.join().expect("RowSel worker panicked")?;
-                }
-                Ok::<(), PirError>(())
-            })?;
-            Ok(out.into_iter().map(|s| s.expect("all rows filled")).collect())
-        } else {
-            (0..rows).map(reduce_row).collect()
-        }
+    /// Single-query `RowSel` into caller-owned scratch (a batch of one;
+    /// see [`PirServer::row_sel_batch_into`] for the scan itself).
+    ///
+    /// # Errors
+    /// Fails when `expanded.len() != D0`.
+    pub fn row_sel_into(
+        &self,
+        expanded: &[BfvCiphertext],
+        scratch: &mut QueryScratch,
+    ) -> Result<(), PirError> {
+        self.row_sel_scan(&[expanded], scratch)
     }
 
     /// Step (3): `ColTor` — tournament over the row ciphertexts using the
@@ -280,6 +404,26 @@ impl PirServer {
         query: &PirQuery,
     ) -> Result<BfvCiphertext, PirError> {
         col_tor(self.params.he(), rows, query.row_bits(), self.order)
+    }
+
+    /// `ColTor` through the selected backend with caller-owned scratch.
+    ///
+    /// # Errors
+    /// Fails when the query carries too few selection bits.
+    pub fn col_tor_step_with(
+        &self,
+        rows: Vec<BfvCiphertext>,
+        query: &PirQuery,
+        scratch: &mut QueryScratch,
+    ) -> Result<BfvCiphertext, PirError> {
+        col_tor_with(
+            self.params.he(),
+            rows,
+            query.row_bits(),
+            self.order,
+            self.backend.backend(),
+            &mut scratch.arena,
+        )
     }
 }
 
@@ -404,7 +548,7 @@ mod tests {
             let rows_per_shard = params.num_rows() / shards;
             let shard_servers: Vec<PirServer> = (0..shards)
                 .map(|s| {
-                    let shard_db = db.shard_rows(s * rows_per_shard, rows_per_shard);
+                    let shard_db = db.shard_rows(s * rows_per_shard, rows_per_shard).unwrap();
                     PirServer::new(&sub_params, shard_db).unwrap()
                 })
                 .collect();
@@ -423,6 +567,30 @@ mod tests {
             let full = server.answer(client.public_keys(), &query).unwrap();
             assert_eq!(combined, full, "{shards}-way sharding diverged");
         }
+    }
+
+    #[test]
+    fn empty_batch_answers_empty() {
+        let params = PirParams::toy();
+        let db = Database::from_records(&params, &[]).unwrap();
+        let server = PirServer::new(&params, db).unwrap();
+        assert!(server.answer_batch(&[]).unwrap().is_empty());
+        assert!(server.row_sel_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn coefficient_form_expansion_rejected() {
+        // The flat scan trusts raw words; a coefficient-form ciphertext
+        // must be an error, not a silently wrong answer.
+        let params = PirParams::toy();
+        let recs = records(&params);
+        let db = Database::from_records(&params, &recs).unwrap();
+        let server = PirServer::new(&params, db).unwrap();
+        let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(76)).unwrap();
+        let query = client.query(3).unwrap();
+        let mut expanded = server.expand(client.public_keys(), &query).unwrap();
+        expanded[0].a.to_coeff();
+        assert!(matches!(server.row_sel(&expanded), Err(PirError::InvalidParams(_))));
     }
 
     #[test]

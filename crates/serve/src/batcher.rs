@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 
-use ive_pir::{wire, ClientKeys, PirQuery};
+use ive_pir::{wire, ClientKeys, PirQuery, QueryScratch};
 
 use crate::config::ServeConfig;
 use crate::engine::ShardedEngine;
@@ -118,7 +118,12 @@ fn dispatch_loop(
 /// Consumes batches until the dispatcher hangs up. Exiting *only* on
 /// disconnect (never on a timeout racing a shutdown flag) guarantees
 /// every dispatched batch is answered before the pipeline stops.
+///
+/// Each worker owns one [`QueryScratch`] for its whole lifetime: the
+/// kernel arena and flat `RowSel` accumulators warm up on the first batch
+/// and every later batch runs its scan without touching the allocator.
 fn worker_loop(batches: &Mutex<Receiver<Vec<Job>>>, engine: &ShardedEngine, metrics: &Metrics) {
+    let mut scratch = QueryScratch::new();
     loop {
         // Hold the lock only for the dequeue, never during the answer.
         let batch = {
@@ -129,16 +134,21 @@ fn worker_loop(batches: &Mutex<Receiver<Vec<Job>>>, engine: &ShardedEngine, metr
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         };
-        process_batch(batch, engine, metrics);
+        process_batch(batch, engine, metrics, &mut scratch);
     }
 }
 
 /// Answers one batch, falling back to per-query answering when the batch
 /// as a whole fails so one malformed query cannot poison its companions.
-fn process_batch(batch: Vec<Job>, engine: &ShardedEngine, metrics: &Metrics) {
+fn process_batch(
+    batch: Vec<Job>,
+    engine: &ShardedEngine,
+    metrics: &Metrics,
+    scratch: &mut QueryScratch,
+) {
     let requests: Vec<(&ClientKeys, &PirQuery)> =
         batch.iter().map(|job| (job.keys.as_ref(), &job.query)).collect();
-    match engine.answer_batch(&requests) {
+    match engine.answer_batch_with(&requests, scratch) {
         Ok(answers) => {
             for (job, ct) in batch.iter().zip(&answers) {
                 let frame = wire::encode_session_response(job.request_id, ct);
@@ -148,7 +158,7 @@ fn process_batch(batch: Vec<Job>, engine: &ShardedEngine, metrics: &Metrics) {
         }
         Err(_) => {
             for job in &batch {
-                match engine.answer(job.keys.as_ref(), &job.query) {
+                match engine.answer_with(job.keys.as_ref(), &job.query, scratch) {
                     Ok(ct) => {
                         let frame = wire::encode_session_response(job.request_id, &ct);
                         metrics.query_done(job.enqueued.elapsed());
@@ -183,6 +193,7 @@ mod tests {
                 ShardPlan::Replicated,
                 1,
                 TournamentOrder::Hs { subtree_depth: 2 },
+                ive_pir::BackendKind::default(),
             )
             .unwrap(),
         )

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use ive_pir::TournamentOrder;
+use ive_pir::{BackendKind, TournamentOrder};
 
 use crate::ServeError;
 
@@ -44,6 +44,10 @@ pub struct ServeConfig {
     pub rowsel_threads: usize,
     /// `ColTor` traversal order used by every shard.
     pub order: TournamentOrder,
+    /// Which VPE kernel backend every pipeline step dispatches through.
+    /// Backends are bit-identical in output; `Optimized` (the default)
+    /// is the Barrett/Shoup lazy-reduction path, `Scalar` the reference.
+    pub backend: BackendKind,
     /// Upper bound on cached sessions: each registration pins hundreds
     /// of KB of key material server-side, so an uncapped cache is a
     /// remote memory-exhaustion vector. Registrations beyond the cap are
@@ -62,6 +66,7 @@ impl Default for ServeConfig {
             shard: ShardPlan::Replicated,
             rowsel_threads: 1,
             order: TournamentOrder::Hs { subtree_depth: 2 },
+            backend: BackendKind::default(),
             max_sessions: 4096,
         }
     }

@@ -9,9 +9,14 @@
 //! ciphertext is bit-identical to the monolithic server's answer (§IV-A:
 //! traversal order does not change the arithmetic).
 
+use std::sync::Mutex;
+
 use ive_he::BfvCiphertext;
-use ive_pir::coltor::col_tor;
-use ive_pir::{ClientKeys, Database, PirError, PirParams, PirQuery, PirServer, TournamentOrder};
+use ive_pir::coltor::col_tor_with;
+use ive_pir::{
+    BackendKind, ClientKeys, Database, PirError, PirParams, PirQuery, PirServer, QueryScratch,
+    TournamentOrder,
+};
 
 use crate::config::ShardPlan;
 use crate::ServeError;
@@ -21,6 +26,7 @@ use crate::ServeError;
 pub struct ShardedEngine {
     params: PirParams,
     order: TournamentOrder,
+    backend: BackendKind,
     mode: Mode,
 }
 
@@ -30,9 +36,31 @@ enum Mode {
     RowSharded {
         /// One sub-server per aligned row block, in row order.
         shards: Vec<PirServer>,
+        /// Per-shard kernel scratch pools: the shard scan threads run
+        /// inside `answer_batch_with`, so their warm buffers live with
+        /// the engine rather than the calling worker.
+        scratch: Vec<ScratchPool>,
         /// `k = log2(shards)`: how many high bits recombine winners.
         shard_bits: u32,
     },
+}
+
+/// A lock-briefly pool of warm [`QueryScratch`] instances. Checkout
+/// holds the mutex only for a `Vec` pop/push, never across a scan, so
+/// concurrent worker batches touching the same shard each get their own
+/// scratch (the pool grows to the observed concurrency, then every
+/// checkout is warm) instead of serializing on one buffer set.
+#[derive(Debug, Default)]
+struct ScratchPool(Mutex<Vec<QueryScratch>>);
+
+impl ScratchPool {
+    fn take(&self) -> QueryScratch {
+        self.0.lock().expect("scratch pool poisoned").pop().unwrap_or_default()
+    }
+
+    fn give(&self, scratch: QueryScratch) {
+        self.0.lock().expect("scratch pool poisoned").push(scratch);
+    }
 }
 
 impl ShardedEngine {
@@ -47,12 +75,14 @@ impl ShardedEngine {
         plan: ShardPlan,
         rowsel_threads: usize,
         order: TournamentOrder,
+        backend: BackendKind,
     ) -> Result<Self, ServeError> {
         let mode = match plan {
             ShardPlan::Replicated => {
                 let mut server = PirServer::new(params, db)?;
                 server.set_tournament_order(order);
                 server.set_rowsel_threads(rowsel_threads);
+                server.set_backend(backend);
                 Mode::Replicated(server)
             }
             ShardPlan::RowSharded { shards } => {
@@ -69,17 +99,19 @@ impl ShardedEngine {
                 let rows_per_shard = params.num_rows() / shards;
                 let servers = (0..shards)
                     .map(|s| {
-                        let shard_db = db.shard_rows(s * rows_per_shard, rows_per_shard);
+                        let shard_db = db.shard_rows(s * rows_per_shard, rows_per_shard)?;
                         let mut server = PirServer::new(&sub_params, shard_db)?;
                         server.set_tournament_order(order);
                         server.set_rowsel_threads(rowsel_threads);
+                        server.set_backend(backend);
                         Ok(server)
                     })
                     .collect::<Result<Vec<_>, PirError>>()?;
-                Mode::RowSharded { shards: servers, shard_bits }
+                let scratch = (0..shards).map(|_| ScratchPool::default()).collect();
+                Mode::RowSharded { shards: servers, scratch, shard_bits }
             }
         };
-        Ok(ShardedEngine { params: params.clone(), order, mode })
+        Ok(ShardedEngine { params: params.clone(), order, backend, mode })
     }
 
     /// The scheme parameters.
@@ -104,6 +136,22 @@ impl ShardedEngine {
         Ok(self.answer_batch(&[(keys, query)])?.pop().expect("one request, one answer"))
     }
 
+    /// [`ShardedEngine::answer`] with caller-owned scratch.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures.
+    pub fn answer_with(
+        &self,
+        keys: &ClientKeys,
+        query: &PirQuery,
+        scratch: &mut QueryScratch,
+    ) -> Result<BfvCiphertext, PirError> {
+        Ok(self
+            .answer_batch_with(&[(keys, query)], scratch)?
+            .pop()
+            .expect("one request, one answer"))
+    }
+
     /// Answers a batch of queries (possibly from different sessions) with
     /// one database pass per shard.
     ///
@@ -115,13 +163,29 @@ impl ShardedEngine {
         &self,
         requests: &[(&ClientKeys, &PirQuery)],
     ) -> Result<Vec<BfvCiphertext>, PirError> {
+        self.answer_batch_with(requests, &mut QueryScratch::new())
+    }
+
+    /// Batched answering with caller-owned scratch — the serving workers'
+    /// entry point: each worker owns one [`QueryScratch`] (arena + flat
+    /// `RowSel` accumulators) that stays warm across batches, so the scan
+    /// allocates nothing. Row-sharded engines additionally keep one warm
+    /// scratch per shard for their internal scan threads.
+    ///
+    /// # Errors
+    /// Fails when *any* query in the batch fails.
+    pub fn answer_batch_with(
+        &self,
+        requests: &[(&ClientKeys, &PirQuery)],
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<BfvCiphertext>, PirError> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
         match &self.mode {
-            Mode::Replicated(server) => server.answer_batch(requests),
-            Mode::RowSharded { shards, shard_bits } => {
-                self.answer_batch_sharded(shards, *shard_bits, requests)
+            Mode::Replicated(server) => server.answer_batch_with(requests, scratch),
+            Mode::RowSharded { shards, scratch: shard_scratch, shard_bits } => {
+                self.answer_batch_sharded(shards, shard_scratch, *shard_bits, requests, scratch)
             }
         }
     }
@@ -129,32 +193,50 @@ impl ShardedEngine {
     fn answer_batch_sharded(
         &self,
         shards: &[PirServer],
+        shard_scratch: &[ScratchPool],
         shard_bits: u32,
         requests: &[(&ClientKeys, &PirQuery)],
+        scratch: &mut QueryScratch,
     ) -> Result<Vec<BfvCiphertext>, PirError> {
         let he = self.params.he();
+        let backend = self.backend.backend();
         let low_bits = (self.params.dims() - shard_bits) as usize;
         // Expansion is client-specific and shard-independent: do it once
         // and share the result with every shard.
         let mut expanded = Vec::with_capacity(requests.len());
         for (keys, query) in requests {
-            expanded.push(shards[0].expand(keys, query)?);
+            expanded.push(shards[0].expand_with(keys, query, scratch)?);
         }
         // Each shard scans its rows once for the whole batch, then plays
-        // the low tournament levels per query.
+        // the low tournament levels per query — on its own warm scratch.
         let mut winners: Vec<Vec<BfvCiphertext>> = Vec::new();
         std::thread::scope(|scope| -> Result<(), PirError> {
             let mut handles = Vec::with_capacity(shards.len());
-            for shard in shards {
+            for (shard, pool) in shards.iter().zip(shard_scratch) {
                 let expanded = &expanded;
                 handles.push(scope.spawn(move || -> Result<Vec<BfvCiphertext>, PirError> {
-                    let accs = shard.row_sel_batch(expanded)?;
-                    accs.into_iter()
-                        .zip(requests)
-                        .map(|(rows, (_, query))| {
-                            col_tor(he, rows, &query.row_bits()[..low_bits], self.order)
-                        })
-                        .collect()
+                    let mut s = pool.take();
+                    let result = (|| {
+                        shard.row_sel_batch_into(expanded, &mut s)?;
+                        let ring = shard.params().he().ring().clone();
+                        requests
+                            .iter()
+                            .enumerate()
+                            .map(|(qi, (_, query))| {
+                                let rows = s.row_ciphertexts(&ring, qi);
+                                col_tor_with(
+                                    he,
+                                    rows,
+                                    &query.row_bits()[..low_bits],
+                                    self.order,
+                                    shard.backend().backend(),
+                                    &mut s.arena,
+                                )
+                            })
+                            .collect()
+                    })();
+                    pool.give(s);
+                    result
                 }));
             }
             for h in handles {
@@ -168,7 +250,14 @@ impl ShardedEngine {
             .map(|i| {
                 let entries: Vec<BfvCiphertext> =
                     winners.iter().map(|per_shard| per_shard[i].clone()).collect();
-                col_tor(he, entries, &requests[i].1.row_bits()[low_bits..], self.order)
+                col_tor_with(
+                    he,
+                    entries,
+                    &requests[i].1.row_bits()[low_bits..],
+                    self.order,
+                    backend,
+                    &mut scratch.arena,
+                )
             })
             .collect()
     }
@@ -192,12 +281,25 @@ mod tests {
     fn sharded_batches_match_replicated_batches() {
         let (params, db, records) = setup();
         let order = TournamentOrder::Hs { subtree_depth: 2 };
-        let replicated =
-            ShardedEngine::new(&params, db.clone(), ShardPlan::Replicated, 1, order).unwrap();
+        let replicated = ShardedEngine::new(
+            &params,
+            db.clone(),
+            ShardPlan::Replicated,
+            1,
+            order,
+            BackendKind::default(),
+        )
+        .unwrap();
         for shards in [2usize, 4] {
-            let sharded =
-                ShardedEngine::new(&params, db.clone(), ShardPlan::RowSharded { shards }, 1, order)
-                    .unwrap();
+            let sharded = ShardedEngine::new(
+                &params,
+                db.clone(),
+                ShardPlan::RowSharded { shards },
+                1,
+                order,
+                BackendKind::default(),
+            )
+            .unwrap();
             assert_eq!(sharded.num_shards(), shards);
             let mut clients: Vec<_> = (0..3)
                 .map(|i| {
@@ -231,6 +333,7 @@ mod tests {
             ShardPlan::RowSharded { shards },
             1,
             TournamentOrder::Bfs,
+            BackendKind::default(),
         );
         assert!(err.is_err());
     }
@@ -238,9 +341,15 @@ mod tests {
     #[test]
     fn empty_batch_is_empty() {
         let (params, db, _) = setup();
-        let engine =
-            ShardedEngine::new(&params, db, ShardPlan::Replicated, 1, TournamentOrder::Bfs)
-                .unwrap();
+        let engine = ShardedEngine::new(
+            &params,
+            db,
+            ShardPlan::Replicated,
+            1,
+            TournamentOrder::Bfs,
+            BackendKind::default(),
+        )
+        .unwrap();
         assert!(engine.answer_batch(&[]).unwrap().is_empty());
     }
 }

@@ -57,6 +57,7 @@ impl PirService {
             config.shard,
             config.rowsel_threads,
             config.order,
+            config.backend,
         )?);
         let metrics = Arc::new(Metrics::new());
         let sessions = Arc::new(SessionManager::new(params, config.max_sessions));

@@ -39,6 +39,7 @@ fn eight_tcp_clients_saturate_the_batcher_on_a_sharded_db() {
         shard: ShardPlan::RowSharded { shards: 2 },
         rowsel_threads: 1,
         order: TournamentOrder::Hs { subtree_depth: 2 },
+        backend: ive_pir::BackendKind::Optimized,
         max_sessions: 64,
     };
     let transport = TcpTransport::bind("127.0.0.1:0").expect("bind ephemeral");
@@ -94,6 +95,7 @@ fn in_proc_clients_reuse_sessions_and_decode_exactly() {
         shard: ShardPlan::Replicated,
         rowsel_threads: 1,
         order: TournamentOrder::Hs { subtree_depth: 2 },
+        backend: ive_pir::BackendKind::Optimized,
         max_sessions: 64,
     };
     let (transport, connector) = in_proc_pair();

@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         shard: ShardPlan::RowSharded { shards: 2 },
         rowsel_threads: 1,
         order: TournamentOrder::Hs { subtree_depth: 2 },
+        backend: ive::pir::BackendKind::Optimized,
         max_sessions: 64,
     };
     let transport = TcpTransport::bind("127.0.0.1:0")?;
