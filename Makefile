@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test verify bench figures serve-demo hotpath fmt fmt-check clippy lint clean
+.PHONY: all build test verify bench figures serve-demo hotpath update-churn doc fmt fmt-check clippy lint clean
 
 all: build
 
@@ -36,6 +36,15 @@ serve-demo:
 ## hot path and refresh BENCH_hotpath.json.
 hotpath:
 	$(CARGO) run --release -p ive_bench --bin hotpath
+
+## Measure answer latency under live row-update churn (epoch-versioned
+## mutable database) and refresh BENCH_update.json.
+update-churn:
+	$(CARGO) run --release -p ive_bench --bin update_churn
+
+## Build the API docs with CI's settings (warnings are errors).
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps
 
 ## Format the tree / check formatting without writing.
 fmt:

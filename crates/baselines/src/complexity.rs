@@ -14,7 +14,7 @@
 //!   multiplications (4 per-residue scalings + 4 three-word wide products,
 //!   Eq. 3 with `k = 4`).
 //! * `ExpandQuery` includes the BFV→RGSW conversion of the packed query
-//!   ([34]): `d·2ℓ` extra expansion leaves plus one key-switch per
+//!   (\[34\]): `d·2ℓ` extra expansion leaves plus one key-switch per
 //!   generated RGSW row.
 //!
 //! With these conventions the model reproduces the paper's Fig. 4a shares
@@ -45,7 +45,7 @@ pub struct Geometry {
     /// 1.25TB — fill their padded tree partially).
     pub fill: f64,
     /// Whether `ExpandQuery` includes the packed-query BFV→RGSW
-    /// conversion ([34]).
+    /// conversion (\[34\]).
     pub rgsw_conversion: bool,
 }
 

@@ -303,6 +303,7 @@ fn main() {
         order: TournamentOrder::Hs { subtree_depth: 2 },
         backend: ive_math::kernel::BackendKind::Optimized,
         max_sessions: 64,
+        accept_updates: true,
     };
     let batched_cfg = ServeConfig {
         window,
@@ -318,6 +319,7 @@ fn main() {
         order: TournamentOrder::Hs { subtree_depth: 2 },
         backend: ive_math::kernel::BackendKind::Optimized,
         max_sessions: 64,
+        accept_updates: true,
     };
 
     let single = run_phase(

@@ -1,0 +1,358 @@
+//! `update_churn` — measures how live database updates interact with
+//! query traffic: the same closed-loop query load runs twice, once
+//! against a frozen database (baseline) and once while an updater
+//! streams row-delta batches (churn), and the observed answer latencies
+//! are compared. Records the numbers to `BENCH_update.json`.
+//!
+//! What the run demonstrates:
+//!
+//! * **No stop-the-world** — queries keep completing while epochs
+//!   commit (the churn phase must answer queries the whole time).
+//! * **Bounded degradation** — the latency delta between phases is the
+//!   cost of epoch swaps (snapshot clone + apply on the ingest path),
+//!   not a lock held across scans.
+//! * **Read-your-writes** — after the last ack, a fresh session
+//!   retrieves the final written contents, privately.
+//!
+//! Usage: `update_churn [--seconds 4] [--clients 2] [--update-batch 4]
+//! [--updates-per-sec 20] [--shards 2] [--workers 2]
+//! [--json-out BENCH_update.json]`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ive_bench::fmt;
+use ive_pir::{Database, PirParams, RecordUpdate, TournamentOrder};
+use ive_serve::config::{ServeConfig, ShardPlan};
+use ive_serve::transport::in_proc_pair;
+use ive_serve::{PirService, ServeClient, ServerStats, UpdateClient};
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    seconds: f64,
+    clients: usize,
+    update_batch: usize,
+    updates_per_sec: f64,
+    shards: usize,
+    workers: usize,
+    json_out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        seconds: 4.0,
+        clients: 2,
+        update_batch: 4,
+        updates_per_sec: 20.0,
+        shards: 2,
+        workers: 2,
+        json_out: "BENCH_update.json".into(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].strip_prefix("--").ok_or_else(|| format!("unexpected {:?}", argv[i]))?;
+        let value = argv.get(i + 1).cloned().ok_or_else(|| format!("--{key} needs a value"))?;
+        fn parsed<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value.parse().map_err(|_| format!("--{key} got a malformed value {value:?}"))
+        }
+        match key {
+            "seconds" => args.seconds = parsed(key, &value)?,
+            "clients" => args.clients = parsed(key, &value)?,
+            "update-batch" => args.update_batch = parsed(key, &value)?,
+            "updates-per-sec" => args.updates_per_sec = parsed(key, &value)?,
+            "shards" => args.shards = parsed(key, &value)?,
+            "workers" => args.workers = parsed(key, &value)?,
+            "json-out" => args.json_out = value,
+            other => return Err(format!("unknown flag --{other}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+/// Measured outcome of one phase.
+struct PhaseResult {
+    stats: ServerStats,
+    queries: u64,
+    update_batches_sent: u64,
+    updates_acked: u64,
+    final_epoch: u64,
+    seconds: f64,
+}
+
+/// Runs the closed-loop query load for ~`seconds`; when `churn` is set,
+/// an updater connection streams paced delta batches the whole time.
+/// Returns the phase stats and, under churn, the last contents written
+/// per index (for the read-your-writes check).
+fn run_phase(
+    label: &str,
+    args: &Args,
+    params: &PirParams,
+    db: &Database,
+    churn: bool,
+) -> (PhaseResult, Vec<(usize, Vec<u8>)>) {
+    let config = ServeConfig {
+        window: Duration::from_millis(2),
+        max_batch: 8,
+        workers: args.workers,
+        queue_depth: 32,
+        shard: if args.shards > 1 {
+            ShardPlan::RowSharded { shards: args.shards }
+        } else {
+            ShardPlan::Replicated
+        },
+        rowsel_threads: 1,
+        order: TournamentOrder::Hs { subtree_depth: 2 },
+        backend: ive_pir::BackendKind::Optimized,
+        max_sessions: 64,
+        accept_updates: true,
+    };
+    let (transport, connector) = in_proc_pair();
+    let service =
+        PirService::start(config, params, db.clone(), Box::new(transport)).expect("service starts");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+    let batches_sent = Arc::new(AtomicU64::new(0));
+    let updates_acked = Arc::new(AtomicU64::new(0));
+    let final_epoch = Arc::new(AtomicU64::new(0));
+    let mut written: Vec<(usize, Vec<u8>)> = Vec::new();
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        // Closed-loop query clients: each retrieves as fast as the
+        // server answers, so completions-per-second tracks capacity and
+        // any stop-the-world would show up as a latency spike.
+        for c in 0..args.clients {
+            let params = params.clone();
+            let connector = connector.clone();
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            scope.spawn(move || {
+                let conn = connector.connect().expect("dial");
+                let rng = rand::rngs::StdRng::seed_from_u64(88_000 + c as u64);
+                let mut client =
+                    ServeClient::connect(&params, conn, rng.clone()).expect("handshake");
+                let mut rng = rng;
+                while !stop.load(Ordering::Relaxed) {
+                    let target = rng.gen_range(0..params.num_records());
+                    client.retrieve(target).expect("retrieve");
+                    queries.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // The updater: paced batches of puts (and the odd delete), each
+        // ack confirming one committed epoch.
+        let written_ref = &mut written;
+        if churn {
+            let params = params.clone();
+            let connector = connector.clone();
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            let batches_sent = Arc::clone(&batches_sent);
+            let updates_acked = Arc::clone(&updates_acked);
+            let final_epoch = Arc::clone(&final_epoch);
+            let batch = args.update_batch;
+            let per_sec = args.updates_per_sec.max(0.1);
+            scope.spawn(move || {
+                let mut updater = UpdateClient::connect(connector.connect().expect("dial"));
+                let mut rng = rand::rngs::StdRng::seed_from_u64(99_001);
+                // Let the query plane answer first so the phases overlap.
+                while queries.load(Ordering::Relaxed) == 0 && !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                let t0 = Instant::now();
+                let mut seq = 0u64;
+                let mut last: Vec<(usize, Vec<u8>)> = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let due = Duration::from_secs_f64(seq as f64 * batch as f64 / per_sec);
+                    if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                        std::thread::sleep(wait.min(Duration::from_millis(20)));
+                        if t0.elapsed() < due {
+                            continue;
+                        }
+                    }
+                    let deltas: Vec<RecordUpdate> = (0..batch)
+                        .map(|_| {
+                            let index = rng.gen_range(0..params.num_records());
+                            if rng.gen_bool(0.9) {
+                                let bytes = format!("churn seq {seq} @ {index}").into_bytes();
+                                last.retain(|(i, _)| *i != index);
+                                last.push((index, bytes.clone()));
+                                RecordUpdate::put(index, bytes)
+                            } else {
+                                last.retain(|(i, _)| *i != index);
+                                last.push((index, Vec::new()));
+                                RecordUpdate::delete(index)
+                            }
+                        })
+                        .collect();
+                    let (epoch, applied) = updater.apply(&deltas).expect("update ack");
+                    batches_sent.fetch_add(1, Ordering::Relaxed);
+                    updates_acked.fetch_add(u64::from(applied), Ordering::Relaxed);
+                    final_epoch.store(epoch, Ordering::Relaxed);
+                    seq += 1;
+                }
+                *written_ref = last;
+            });
+        }
+
+        std::thread::sleep(Duration::from_secs_f64(args.seconds));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let seconds = started.elapsed().as_secs_f64();
+
+    // Read-your-writes at the final epoch, before shutdown.
+    if churn && !written.is_empty() {
+        let conn = connector.connect().expect("dial");
+        let mut reader = ServeClient::connect(params, conn, rand::rngs::StdRng::seed_from_u64(5))
+            .expect("handshake");
+        for (index, bytes) in written.iter().take(8) {
+            let got = reader.retrieve(*index).expect("retrieve updated");
+            if bytes.is_empty() {
+                assert!(got.iter().all(|&b| b == 0), "deleted record {index} not zeroed");
+            } else {
+                assert_eq!(&got[..bytes.len()], &bytes[..], "update to {index} lost");
+            }
+        }
+        println!("[{label}] read-your-writes verified on {} updated records", written.len().min(8));
+    }
+
+    let stats = service.shutdown();
+    println!("[{label}] {stats}");
+    (
+        PhaseResult {
+            stats,
+            queries: queries.load(Ordering::Relaxed),
+            update_batches_sent: batches_sent.load(Ordering::Relaxed),
+            updates_acked: updates_acked.load(Ordering::Relaxed),
+            final_epoch: final_epoch.load(Ordering::Relaxed),
+            seconds,
+        },
+        written,
+    )
+}
+
+fn json_phase(label: &str, p: &PhaseResult) -> String {
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"queries\": {},\n",
+            "    \"qps\": {:.2},\n",
+            "    \"mean_latency_ms\": {:.3},\n",
+            "    \"p95_latency_ms\": {:.3},\n",
+            "    \"max_latency_ms\": {:.3},\n",
+            "    \"errors\": {},\n",
+            "    \"update_batches\": {},\n",
+            "    \"updates_applied\": {},\n",
+            "    \"final_epoch\": {},\n",
+            "    \"update_rate_per_s\": {:.2}\n",
+            "  }}"
+        ),
+        label,
+        p.queries,
+        p.queries as f64 / p.seconds,
+        p.stats.mean_latency_ms,
+        p.stats.p95_latency_ms,
+        p.stats.max_latency_ms,
+        p.stats.errors,
+        p.update_batches_sent,
+        p.updates_acked,
+        p.final_epoch,
+        p.updates_acked as f64 / p.seconds,
+    )
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("update_churn: {e}");
+            std::process::exit(2);
+        }
+    };
+    let params = PirParams::toy();
+    let records: Vec<Vec<u8>> =
+        (0..params.num_records()).map(|i| format!("churn record {i:04}").into_bytes()).collect();
+    let db = Database::from_records(&params, &records).expect("records fit");
+    let half = args.seconds / 2.0;
+    let phase_args = Args { seconds: half, ..args };
+    println!(
+        "update_churn: {} records x {}B, {} clients, {} shard(s), target {} updates/s in \
+         batches of {} ({half:.1}s per phase)",
+        params.num_records(),
+        params.record_bytes(),
+        phase_args.clients,
+        phase_args.shards,
+        phase_args.updates_per_sec,
+        phase_args.update_batch,
+    );
+
+    let (baseline, _) = run_phase("baseline", &phase_args, &params, &db, false);
+    let (churn, _written) = run_phase("churn", &phase_args, &params, &db, true);
+
+    assert!(churn.queries > 0, "queries must keep answering while updates stream in");
+    assert_eq!(baseline.stats.errors + churn.stats.errors, 0, "no query may fail");
+    let degradation =
+        churn.stats.mean_latency_ms / baseline.stats.mean_latency_ms.max(f64::EPSILON);
+
+    fmt::print_table(
+        &format!(
+            "update_churn: answer latency under live updates ({} updates/s offered)",
+            phase_args.updates_per_sec
+        ),
+        &["phase", "queries", "QPS", "mean lat (ms)", "p95 lat (ms)", "epochs", "updates"],
+        &[
+            vec![
+                "baseline".into(),
+                baseline.queries.to_string(),
+                fmt::f(baseline.queries as f64 / baseline.seconds),
+                fmt::f(baseline.stats.mean_latency_ms),
+                fmt::f(baseline.stats.p95_latency_ms),
+                "0".into(),
+                "0".into(),
+            ],
+            vec![
+                "churn".into(),
+                churn.queries.to_string(),
+                fmt::f(churn.queries as f64 / churn.seconds),
+                fmt::f(churn.stats.mean_latency_ms),
+                fmt::f(churn.stats.p95_latency_ms),
+                churn.final_epoch.to_string(),
+                churn.updates_acked.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "mean-latency degradation under churn: {degradation:.2}x (epoch swaps clone shard \
+         buffers on the ingest path; scans never block)"
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"update_churn\",\n",
+            "  \"cores\": {},\n",
+            "  \"geometry\": {{ \"records\": {}, \"record_bytes\": {}, \"shards\": {} }},\n",
+            "  \"offered_updates_per_s\": {:.2},\n",
+            "{},\n",
+            "{},\n",
+            "  \"latency_degradation\": {:.3}\n",
+            "}}\n"
+        ),
+        cores,
+        params.num_records(),
+        params.record_bytes(),
+        phase_args.shards,
+        phase_args.updates_per_sec,
+        json_phase("baseline", &baseline),
+        json_phase("churn", &churn),
+        degradation,
+    );
+    std::fs::write(&phase_args.json_out, &json).expect("write json");
+    println!("wrote {}", phase_args.json_out);
+}

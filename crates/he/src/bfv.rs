@@ -70,9 +70,21 @@ impl Plaintext {
     /// Lifts the raw (un-scaled) plaintext into `R_Q` in NTT form — the DB
     /// preprocessing of §II-B (CRT then NTT, done once offline).
     pub fn to_ntt_poly(&self, params: &HeParams) -> RnsPoly {
+        self.to_ntt_poly_with(params, ive_math::kernel::default_backend())
+    }
+
+    /// [`Plaintext::to_ntt_poly`] through an explicit kernel backend —
+    /// the online update path runs the same §II-B lift on its staging
+    /// thread and wants the backend it was configured with (backends are
+    /// bit-identical; only speed differs).
+    pub fn to_ntt_poly_with(
+        &self,
+        params: &HeParams,
+        backend: &dyn ive_math::kernel::VpeBackend,
+    ) -> RnsPoly {
         let wide: Vec<u128> = self.values.iter().map(|&v| v as u128).collect();
         let mut p = RnsPoly::from_coeffs_u128(params.ring(), &wide);
-        p.to_ntt();
+        p.to_ntt_with(backend);
         p
     }
 }

@@ -1,4 +1,4 @@
-//! BFV→RGSW conversion (the [34] trick referenced in §II-C).
+//! BFV→RGSW conversion (the \[34\] trick referenced in §II-C).
 //!
 //! `ExpandQuery` can only produce BFV ciphertexts, but `ColTor` consumes
 //! RGSW selection bits. An RGSW of `m` is `2ℓ` RLWE rows: the *b*-rows

@@ -15,7 +15,7 @@
 //!   Fig. 3).
 //! * [`subs`] — the substitution operation `Subs(ct, r)` built from a
 //!   coefficient automorphism and gadget key-switching (§II-D).
-//! * [`convert`] — server-side BFV→RGSW conversion (the [34] trick the
+//! * [`convert`] — server-side BFV→RGSW conversion (the \[34\] trick the
 //!   packed query relies on, §II-C).
 //! * [`modswitch`] — modulus switching for 4× response compression.
 //! * [`noise`] — exact noise measurement against a known secret key, used

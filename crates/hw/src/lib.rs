@@ -17,7 +17,7 @@
 //!   computations (`ExpandQuery` mirror-image and `ColTor`) under
 //!   BFS / DFS / hierarchical-search schedules, producing the DRAM
 //!   traffic the scheduling study of §IV-A reasons about.
-//! * [`unit`] — pipelined functional-unit occupancy arithmetic.
+//! * [`mod@unit`] — pipelined functional-unit occupancy arithmetic.
 
 pub mod buffer;
 pub mod mem;

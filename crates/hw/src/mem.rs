@@ -17,7 +17,7 @@ pub struct MemSpec {
 }
 
 impl MemSpec {
-    /// One 24GB HBM stack at 512GB/s (§VI-A, [82]).
+    /// One 24GB HBM stack at 512GB/s (§VI-A, \[82\]).
     pub fn hbm_stack() -> Self {
         MemSpec { name: "HBM stack", bytes_per_s: 512e9, capacity_bytes: 24 * GIB }
     }
@@ -27,7 +27,7 @@ impl MemSpec {
         MemSpec { name: "HBM x4", bytes_per_s: 4.0 * 512e9, capacity_bytes: 96 * GIB }
     }
 
-    /// One 3D-stacked LPDDR module: 128GB at 128GB/s (§V, [83]).
+    /// One 3D-stacked LPDDR module: 128GB at 128GB/s (§V, \[83\]).
     pub fn lpddr_module() -> Self {
         MemSpec { name: "LPDDR module", bytes_per_s: 128e9, capacity_bytes: 128 * GIB }
     }

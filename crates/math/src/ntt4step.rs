@@ -135,8 +135,8 @@ impl FourStepNtt {
 
     /// Forward negacyclic NTT via the four-step dataflow. The output is
     /// the *multiset* of evaluations at odd powers of `ψ` in a
-    /// plan-internal order; use [`FourStepNtt::forward_natural`] to
-    /// compare against [`NttTable`].
+    /// plan-internal order; use [`FourStepNtt::forward_canonical`] to
+    /// compare against [`crate::ntt::NttTable`].
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
         let (rows, cols) = (self.rows, self.cols);

@@ -396,6 +396,13 @@ impl RnsPoly {
         &mut self.coeffs
     }
 
+    /// Consumes the polynomial into its raw residue-major storage —
+    /// handing flat limb words to a kernel-layer buffer without a copy.
+    #[inline]
+    pub fn into_words(self) -> Vec<u64> {
+        self.coeffs
+    }
+
     /// Converts to NTT form (no-op when already there).
     pub fn to_ntt(&mut self) {
         self.to_ntt_with(kernel::default_backend());

@@ -26,11 +26,17 @@ use ive_he::{HeParams, Plaintext};
 use ive_math::rns::{Form, RingContext, RnsPoly};
 
 use crate::params::PirParams;
+use crate::update::PreparedUpdate;
 use crate::PirError;
 
 /// A preprocessed PIR database: one NTT-form `R_Q` polynomial per record,
 /// stored row-major over the `(D/D0) × D0` matrix view of Fig. 5 inside
 /// one contiguous limb-major buffer.
+///
+/// The buffer is *mutable under version control*: committed
+/// [`PreparedUpdate`] batches splice new record words in place and bump
+/// the [`Database::epoch`], so a long-running server ingests content
+/// changes without a rebuild (see [`crate::update`]).
 #[derive(Debug, Clone)]
 pub struct Database {
     ctx: Arc<RingContext>,
@@ -39,6 +45,8 @@ pub struct Database {
     d0: usize,
     /// Words per record (`k · n`).
     rec_words: usize,
+    /// Number of committed update batches absorbed since load.
+    epoch: u64,
 }
 
 impl Database {
@@ -70,7 +78,7 @@ impl Database {
         }
         // Missing trailing records are all-zero, and NTT(0) = 0.
         flat.resize(params.num_records() * rec_words, 0);
-        Ok(Database { ctx, flat, d0: params.d0(), rec_words })
+        Ok(Database { ctx, flat, d0: params.d0(), rec_words, epoch: 0 })
     }
 
     /// A uniformly random database (benchmarks and property tests).
@@ -84,7 +92,7 @@ impl Database {
             let poly = Plaintext::new(he, vals).expect("sampled below P").to_ntt_poly(he);
             flat.extend_from_slice(poly.as_words());
         }
-        Database { ctx, flat, d0: params.d0(), rec_words }
+        Database { ctx, flat, d0: params.d0(), rec_words, epoch: 0 }
     }
 
     /// Number of record polynomials.
@@ -185,7 +193,55 @@ impl Database {
             flat: self.flat[start..end].to_vec(),
             d0: self.d0,
             rec_words: self.rec_words,
+            epoch: self.epoch,
         })
+    }
+
+    /// Number of committed update batches this database has absorbed
+    /// (0 for a fresh load; shard extracts inherit the parent's epoch).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Applies one committed batch of prepared deltas to the flat buffer
+    /// and bumps the epoch, returning the new epoch. Deltas apply in
+    /// order, so a later delta to the same record wins. Every delta is
+    /// validated *before* anything is written: a bad batch leaves the
+    /// database untouched (no partial epoch). An empty batch is a no-op
+    /// and does not bump the epoch.
+    ///
+    /// The written words are exactly what [`Database::from_records`]
+    /// would have produced for the same contents, so the mutated
+    /// database — and every answer computed from it — is bit-identical
+    /// to a cold rebuild.
+    ///
+    /// # Errors
+    /// Returns [`PirError::IndexOutOfRange`] for a delta beyond the
+    /// record count and [`PirError::InvalidParams`] when the prepared
+    /// words do not match this ring's `k·n` shape.
+    pub fn apply_updates(&mut self, updates: &[PreparedUpdate]) -> Result<u64, PirError> {
+        if updates.is_empty() {
+            return Ok(self.epoch);
+        }
+        for u in updates {
+            if u.index() >= self.len() {
+                return Err(PirError::IndexOutOfRange { index: u.index(), records: self.len() });
+            }
+            if u.words().len() != self.rec_words {
+                return Err(PirError::InvalidParams(format!(
+                    "prepared update carries {} words, record slots hold {}",
+                    u.words().len(),
+                    self.rec_words
+                )));
+            }
+        }
+        for u in updates {
+            let start = u.index() * self.rec_words;
+            self.flat[start..start + self.rec_words].copy_from_slice(u.words());
+        }
+        self.epoch += 1;
+        Ok(self.epoch)
     }
 }
 
@@ -325,6 +381,75 @@ mod tests {
                 assert_eq!(shard.poly_words(r, c), db.poly_words(r + 2, c));
             }
         }
+    }
+
+    #[test]
+    fn apply_updates_matches_cold_rebuild() {
+        let params = PirParams::toy();
+        let mut records: Vec<Vec<u8>> =
+            (0..params.num_records()).map(|i| format!("v0 rec {i}").into_bytes()).collect();
+        let mut db = Database::from_records(&params, &records).unwrap();
+        let log = crate::update::UpdateLog::new(&params);
+        log.stage(crate::update::RecordUpdate::put(7, b"fresh".to_vec())).unwrap();
+        log.stage(crate::update::RecordUpdate::delete(13)).unwrap();
+        log.stage(crate::update::RecordUpdate::put(63, b"tail".to_vec())).unwrap();
+        assert_eq!(db.apply_updates(&log.drain()).unwrap(), 1);
+        assert_eq!(db.epoch(), 1);
+        records[7] = b"fresh".to_vec();
+        records[13] = Vec::new();
+        records[63] = b"tail".to_vec();
+        let rebuilt = Database::from_records(&params, &records).unwrap();
+        assert_eq!(db.as_words(), rebuilt.as_words(), "update diverged from rebuild");
+    }
+
+    #[test]
+    fn empty_update_batch_is_a_noop() {
+        let params = PirParams::toy();
+        let mut db = Database::from_records(&params, &[b"x".to_vec()]).unwrap();
+        let before = db.as_words().to_vec();
+        assert_eq!(db.apply_updates(&[]).unwrap(), 0);
+        assert_eq!(db.epoch(), 0, "empty batch must not open an epoch");
+        assert_eq!(db.as_words(), &before[..]);
+    }
+
+    #[test]
+    fn out_of_range_update_is_an_error_not_a_panic() {
+        let params = PirParams::toy();
+        let mut db = Database::from_records(&params, &[]).unwrap();
+        let before = db.as_words().to_vec();
+        let good = crate::update::PreparedUpdate::prepare(
+            &params,
+            &crate::update::RecordUpdate::put(0, b"ok".to_vec()),
+            crate::BackendKind::default(),
+        )
+        .unwrap();
+        // Shard extracts shrink the valid range: an index fine for the
+        // full database must fail against a smaller shard, atomically
+        // (the good delta in the same batch must not land either).
+        let mut shard = db.shard_rows(0, 1).unwrap();
+        let high = crate::update::PreparedUpdate::prepare(
+            &params,
+            &crate::update::RecordUpdate::delete(params.num_records() - 1),
+            crate::BackendKind::default(),
+        )
+        .unwrap();
+        match shard.apply_updates(&[good.clone(), high]) {
+            Err(PirError::IndexOutOfRange { .. }) => {}
+            other => panic!("expected IndexOutOfRange, got {other:?}"),
+        }
+        assert_eq!(shard.epoch(), 0);
+        db.apply_updates(&[good]).unwrap();
+        assert_ne!(db.as_words(), &before[..]);
+    }
+
+    #[test]
+    fn shard_inherits_epoch() {
+        let params = PirParams::toy();
+        let mut db = Database::from_records(&params, &[]).unwrap();
+        let log = crate::update::UpdateLog::new(&params);
+        log.stage(crate::update::RecordUpdate::put(0, b"a".to_vec())).unwrap();
+        db.apply_updates(&log.drain()).unwrap();
+        assert_eq!(db.shard_rows(0, db.num_rows()).unwrap().epoch(), 1);
     }
 
     #[test]

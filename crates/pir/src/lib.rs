@@ -14,6 +14,11 @@
 //! * [`kspir`] — a KsPIR-style scheme (trace-based coefficient extraction
 //!   via automorphism key-switching + RGSW outer dimension).
 //!
+//! Databases are *live*: the [`update`] module stages row put/delete
+//! deltas (validated and NTT-preprocessed off the query path) and
+//! [`Database::apply_updates`] commits them as numbered epochs whose
+//! contents are bit-identical to a cold rebuild.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +41,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod client;
 pub mod coltor;
 pub mod db;
@@ -46,6 +53,7 @@ pub mod params;
 pub mod scratch;
 pub mod server;
 pub mod simplepir;
+pub mod update;
 pub mod wire;
 
 pub use client::{ClientKeys, PirClient, PirQuery};
@@ -55,6 +63,7 @@ pub use ive_math::kernel::BackendKind;
 pub use params::PirParams;
 pub use scratch::QueryScratch;
 pub use server::PirServer;
+pub use update::{PreparedUpdate, RecordUpdate, UpdateLog};
 
 /// Errors produced by the PIR layer.
 #[derive(Debug)]

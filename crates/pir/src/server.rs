@@ -112,6 +112,29 @@ impl PirServer {
         &self.db
     }
 
+    /// The database's update epoch (see [`Database::epoch`]); answers
+    /// from this server reflect exactly the contents at that epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.db.epoch()
+    }
+
+    /// A new server over `db` inheriting this server's tuning (traversal
+    /// order, `RowSel` threads, backend) — the epoch-swap constructor:
+    /// the serving layer clones the current database, applies a drained
+    /// update batch, and swaps the result in behind an `Arc` while
+    /// in-flight scans finish on the old snapshot.
+    ///
+    /// # Errors
+    /// Fails when `db` does not match this server's geometry.
+    pub fn with_database(&self, db: Database) -> Result<Self, PirError> {
+        let mut server = PirServer::new(&self.params, db)?;
+        server.order = self.order;
+        server.rowsel_threads = self.rowsel_threads;
+        server.backend = self.backend;
+        Ok(server)
+    }
+
     /// Answers one query end to end.
     ///
     /// # Errors
@@ -141,7 +164,7 @@ impl PirServer {
     /// Answers one query and modulus-switches the response down to the
     /// minimal safe residue prefix — a 2× smaller download at Table I
     /// parameters (OnionPIR's response compression; decode with
-    /// [`PirClient::decode_compressed`]).
+    /// [`PirClient::decode_compressed`](crate::PirClient::decode_compressed)).
     ///
     /// # Errors
     /// Propagates pipeline failures.

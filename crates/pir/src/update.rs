@@ -1,0 +1,345 @@
+//! Online database updates: row deltas staged off the hot path and
+//! applied to the flat limb-major buffer at epoch boundaries.
+//!
+//! The paper's deployment model (§V) assumes a long-running server, but a
+//! frozen [`Database`](crate::Database) would force a full rebuild-and-restart for any
+//! content change. This module makes the database *mutable under
+//! traffic* without giving up the preprocessing invariant of §II-B:
+//!
+//! 1. A [`RecordUpdate`] (put or delete) arrives as raw bytes.
+//! 2. [`UpdateLog::stage`] validates it and runs the **same CRT + NTT
+//!    preprocessing as the offline load** (through the selected
+//!    [`VpeBackend`](ive_math::kernel::VpeBackend)) on the staging
+//!    thread — never on a query worker. The result is a
+//!    [`PreparedUpdate`]: the record's `k·n` NTT-form limb words, ready
+//!    to drop into the flat buffer.
+//! 3. At an epoch boundary the owner drains the log and calls
+//!    [`Database::apply_updates`](crate::Database::apply_updates), which splices the prepared words into
+//!    the limb-major buffer and bumps the database [`Database::epoch`](crate::Database::epoch).
+//!
+//! Because a prepared put writes exactly the words
+//! [`Database::from_records`](crate::Database::from_records) would have produced for the same bytes
+//! (and a delete writes the all-zero record, `NTT(0) = 0`), a database
+//! that has absorbed any sequence of committed updates is **word-for-word
+//! identical** to one rebuilt from scratch at the same contents — so
+//! answers are bit-identical too (pinned by `tests/update_props.rs`).
+//!
+//! Serving layers (see `ive_serve::ShardedEngine`) pair this with
+//! epoch-versioned server handles: in-flight `RowSel` scans keep their
+//! snapshot, new queries see the new epoch, and nobody observes a torn
+//! write.
+//!
+//! # Example
+//!
+//! ```
+//! use ive_pir::{Database, PirParams, RecordUpdate, UpdateLog};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = PirParams::toy();
+//! let mut db = Database::from_records(&params, &[b"old".to_vec()])?;
+//! assert_eq!(db.epoch(), 0);
+//!
+//! let log = UpdateLog::new(&params);
+//! log.stage(RecordUpdate::put(0, b"new contents".to_vec()))?;
+//! log.stage(RecordUpdate::delete(3))?;
+//! let epoch = db.apply_updates(&log.drain())?;
+//! assert_eq!(epoch, 1);
+//!
+//! // Identical to a cold rebuild at the same contents.
+//! let rebuilt = Database::from_records(&params, &[b"new contents".to_vec()])?;
+//! assert_eq!(db.as_words(), rebuilt.as_words());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Mutex;
+
+use ive_math::kernel::BackendKind;
+
+use crate::db::plaintext_from_bytes;
+use crate::params::PirParams;
+use crate::PirError;
+
+/// One row-level content delta, as it arrives from the outside world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordUpdate {
+    /// Replace record `index` with `bytes` (zero-padded to the record
+    /// capacity, exactly like [`Database::from_records`](crate::Database::from_records)).
+    Put {
+        /// Flat record index in `[0, D)`.
+        index: usize,
+        /// New payload; at most [`PirParams::record_bytes`] bytes.
+        bytes: Vec<u8>,
+    },
+    /// Reset record `index` to the all-zero record (the same state a
+    /// never-supplied trailing record has).
+    Delete {
+        /// Flat record index in `[0, D)`.
+        index: usize,
+    },
+}
+
+impl RecordUpdate {
+    /// A put delta.
+    pub fn put(index: usize, bytes: Vec<u8>) -> Self {
+        RecordUpdate::Put { index, bytes }
+    }
+
+    /// A delete delta.
+    pub fn delete(index: usize) -> Self {
+        RecordUpdate::Delete { index }
+    }
+
+    /// The flat record index the delta targets.
+    #[inline]
+    pub fn index(&self) -> usize {
+        match self {
+            RecordUpdate::Put { index, .. } | RecordUpdate::Delete { index } => *index,
+        }
+    }
+}
+
+/// A delta after offline-style preprocessing: the record's `k·n`
+/// NTT-form limb words, ready to splice into the flat buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedUpdate {
+    index: usize,
+    words: Vec<u64>,
+}
+
+impl PreparedUpdate {
+    /// Validates and preprocesses one delta: range/size checks, then the
+    /// CRT + NTT lift of §II-B through `backend` — the same
+    /// transformation the offline load applies, so an applied put is
+    /// indistinguishable from a rebuilt record.
+    ///
+    /// # Errors
+    /// Returns [`PirError::IndexOutOfRange`] for an index beyond the
+    /// geometry and [`PirError::RecordTooLarge`] for an oversized payload.
+    pub fn prepare(
+        params: &PirParams,
+        update: &RecordUpdate,
+        backend: BackendKind,
+    ) -> Result<Self, PirError> {
+        let index = update.index();
+        if index >= params.num_records() {
+            return Err(PirError::IndexOutOfRange { index, records: params.num_records() });
+        }
+        let he = params.he();
+        let words = match update {
+            RecordUpdate::Delete { .. } => {
+                // NTT(0) = 0: the all-zero record needs no transform.
+                vec![0u64; he.ring().basis().len() * he.n()]
+            }
+            RecordUpdate::Put { bytes, .. } => {
+                if bytes.len() > params.record_bytes() {
+                    return Err(PirError::RecordTooLarge {
+                        index,
+                        len: bytes.len(),
+                        capacity: params.record_bytes(),
+                    });
+                }
+                plaintext_from_bytes(he, bytes)?
+                    .to_ntt_poly_with(he, backend.backend())
+                    .into_words()
+            }
+        };
+        Ok(PreparedUpdate { index, words })
+    }
+
+    /// The flat record index the delta targets.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The preprocessed limb words (`k·n`, residue-major, NTT form).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebases the delta onto a row shard whose rows start at
+    /// `row_start`: the index becomes shard-local so the delta can be
+    /// applied to a [`Database::shard_rows`](crate::Database::shard_rows) extract. The serving layer
+    /// uses this to route each delta to the shard that owns its row.
+    ///
+    /// # Errors
+    /// Returns [`PirError::InvalidParams`] when the delta's row lies
+    /// before the shard (it belongs to another shard; routing it here
+    /// would corrupt the wrong record).
+    pub fn rebase_to_shard(mut self, row_start: usize, d0: usize) -> Result<Self, PirError> {
+        self.index = self.index.checked_sub(row_start * d0).ok_or_else(|| {
+            PirError::InvalidParams(format!(
+                "delta for record {} precedes the shard starting at row {row_start} \
+                 (record {})",
+                self.index,
+                row_start * d0
+            ))
+        })?;
+        Ok(self)
+    }
+}
+
+/// A thread-safe staging log for row deltas: ingest threads [`stage`]
+/// (validate + NTT) concurrently, an epoch committer [`drain`]s.
+///
+/// The log itself never touches a [`Database`](crate::Database); it only guarantees that
+/// everything it hands out is pre-validated and pre-transformed, so the
+/// apply step is a pure memcpy and the epoch swap stays cheap.
+///
+/// [`stage`]: UpdateLog::stage
+/// [`drain`]: UpdateLog::drain
+#[derive(Debug)]
+pub struct UpdateLog {
+    params: PirParams,
+    backend: BackendKind,
+    staged: Mutex<Vec<PreparedUpdate>>,
+}
+
+impl UpdateLog {
+    /// An empty log preparing deltas with the default kernel backend.
+    pub fn new(params: &PirParams) -> Self {
+        UpdateLog::with_backend(params, BackendKind::default())
+    }
+
+    /// An empty log preparing deltas through the given backend (backends
+    /// are bit-identical; this is a speed knob like everywhere else).
+    pub fn with_backend(params: &PirParams, backend: BackendKind) -> Self {
+        UpdateLog { params: params.clone(), backend, staged: Mutex::new(Vec::new()) }
+    }
+
+    /// The geometry deltas are validated against.
+    #[inline]
+    pub fn params(&self) -> &PirParams {
+        &self.params
+    }
+
+    /// Validates, preprocesses, and stages one delta. The NTT runs on
+    /// *this* thread — the design point that keeps transforms off the
+    /// query workers.
+    ///
+    /// # Errors
+    /// Rejects out-of-range indices and oversized payloads; nothing is
+    /// staged on error.
+    pub fn stage(&self, update: RecordUpdate) -> Result<(), PirError> {
+        let prepared = PreparedUpdate::prepare(&self.params, &update, self.backend)?;
+        self.staged.lock().expect("update log poisoned").push(prepared);
+        Ok(())
+    }
+
+    /// Stages a whole batch, all-or-nothing: every delta is validated and
+    /// transformed before any is staged.
+    ///
+    /// # Errors
+    /// Rejects the entire batch when any delta is invalid.
+    pub fn stage_all(&self, updates: &[RecordUpdate]) -> Result<(), PirError> {
+        let prepared = updates
+            .iter()
+            .map(|u| PreparedUpdate::prepare(&self.params, u, self.backend))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.staged.lock().expect("update log poisoned").extend(prepared);
+        Ok(())
+    }
+
+    /// Number of staged deltas awaiting an epoch boundary.
+    pub fn len(&self) -> usize {
+        self.staged.lock().expect("update log poisoned").len()
+    }
+
+    /// Whether no delta is staged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes every staged delta, in staging order (later deltas to the
+    /// same record win, matching apply order).
+    pub fn drain(&self) -> Vec<PreparedUpdate> {
+        std::mem::take(&mut *self.staged.lock().expect("update log poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{pack_record, Database};
+
+    #[test]
+    fn prepared_put_matches_offline_preprocessing() {
+        let params = PirParams::toy();
+        let bytes = b"delta payload".to_vec();
+        for backend in [BackendKind::Scalar, BackendKind::Optimized] {
+            let p = PreparedUpdate::prepare(&params, &RecordUpdate::put(5, bytes.clone()), backend)
+                .unwrap();
+            assert_eq!(p.index(), 5);
+            let offline = pack_record(params.he(), &bytes).unwrap();
+            assert_eq!(p.words(), offline.as_words(), "{backend:?} diverged from offline path");
+        }
+    }
+
+    #[test]
+    fn prepared_delete_is_all_zero() {
+        let params = PirParams::toy();
+        let p = PreparedUpdate::prepare(&params, &RecordUpdate::delete(0), BackendKind::default())
+            .unwrap();
+        assert!(p.words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn out_of_range_and_oversized_rejected() {
+        let params = PirParams::toy();
+        let log = UpdateLog::new(&params);
+        let oob = RecordUpdate::delete(params.num_records());
+        assert!(matches!(log.stage(oob), Err(PirError::IndexOutOfRange { .. })));
+        let fat = RecordUpdate::put(0, vec![0u8; params.record_bytes() + 1]);
+        assert!(matches!(log.stage(fat), Err(PirError::RecordTooLarge { .. })));
+        assert!(log.is_empty(), "failed stages must not leak into the log");
+    }
+
+    #[test]
+    fn stage_all_is_atomic() {
+        let params = PirParams::toy();
+        let log = UpdateLog::new(&params);
+        let batch = vec![
+            RecordUpdate::put(1, b"ok".to_vec()),
+            RecordUpdate::delete(params.num_records()), // invalid
+        ];
+        assert!(log.stage_all(&batch).is_err());
+        assert!(log.is_empty(), "partial batch staged");
+    }
+
+    #[test]
+    fn drain_empties_in_staging_order() {
+        let params = PirParams::toy();
+        let log = UpdateLog::new(&params);
+        log.stage(RecordUpdate::put(2, b"a".to_vec())).unwrap();
+        log.stage(RecordUpdate::put(2, b"b".to_vec())).unwrap();
+        assert_eq!(log.len(), 2);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+        // Later stage to the same index comes later, so it wins on apply.
+        let mut db = Database::from_records(&params, &[]).unwrap();
+        db.apply_updates(&drained).unwrap();
+        let rebuilt = Database::from_records(&params, &[vec![], vec![], b"b".to_vec()]).unwrap();
+        assert_eq!(db.as_words(), rebuilt.as_words());
+    }
+
+    #[test]
+    fn rebase_to_shard_shifts_rows() {
+        let params = PirParams::toy();
+        let p = PreparedUpdate::prepare(
+            &params,
+            &RecordUpdate::put(2 * params.d0() + 3, b"x".to_vec()),
+            BackendKind::default(),
+        )
+        .unwrap();
+        let local = p.rebase_to_shard(2, params.d0()).unwrap();
+        assert_eq!(local.index(), 3);
+        // A delta belonging to an earlier shard is an error, not a wrap.
+        let early =
+            PreparedUpdate::prepare(&params, &RecordUpdate::delete(0), BackendKind::default())
+                .unwrap();
+        assert!(matches!(early.rebase_to_shard(1, params.d0()), Err(PirError::InvalidParams(_))));
+    }
+}

@@ -20,6 +20,7 @@ use ive_he::{BfvCiphertext, HeParams, RgswCiphertext, SubsKey};
 use ive_math::rns::{Form, RnsPoly};
 
 use crate::client::{ClientKeys, PirQuery};
+use crate::update::RecordUpdate;
 use crate::PirError;
 
 /// Format magic (`"IVE1"`).
@@ -56,6 +57,12 @@ pub enum Tag {
     SessionResponse = 10,
     /// A per-request server-side failure report.
     Error = 11,
+    /// A batch of row put/delete deltas for the live database
+    /// (client → server; see [`crate::update`]).
+    UpdateRow = 12,
+    /// The acknowledgement of one [`Tag::UpdateRow`] batch: the epoch it
+    /// committed as and how many deltas it carried.
+    UpdateAck = 13,
 }
 
 impl Tag {
@@ -73,6 +80,8 @@ impl Tag {
             9 => Some(Tag::SessionQuery),
             10 => Some(Tag::SessionResponse),
             11 => Some(Tag::Error),
+            12 => Some(Tag::UpdateRow),
+            13 => Some(Tag::UpdateAck),
             _ => None,
         }
     }
@@ -91,6 +100,8 @@ impl Tag {
             Tag::SessionQuery => "SessionQuery",
             Tag::SessionResponse => "SessionResponse",
             Tag::Error => "Error",
+            Tag::UpdateRow => "UpdateRow",
+            Tag::UpdateAck => "UpdateAck",
         }
     }
 }
@@ -545,6 +556,129 @@ pub fn decode_error_frame(bytes: &Bytes) -> Result<(u64, String), PirError> {
     Ok((request, message))
 }
 
+/// Delta kind bytes inside an [`Tag::UpdateRow`] frame.
+const UPDATE_KIND_DELETE: u8 = 0;
+const UPDATE_KIND_PUT: u8 = 1;
+
+/// Serializes a batch of row deltas under a client-chosen request id.
+/// Deltas travel as raw record bytes — the server runs the §II-B
+/// preprocessing on its side, off the query hot path.
+///
+/// # Errors
+/// Fails when the batch exceeds the `u16` per-frame delta count; chunk
+/// larger ingests across frames (each frame is one epoch anyway).
+pub fn encode_update_rows(request_id: u64, updates: &[RecordUpdate]) -> Result<Bytes, PirError> {
+    if updates.len() > usize::from(u16::MAX) {
+        return Err(PirError::InvalidParams(format!(
+            "update batch of {} deltas exceeds the {} per-frame cap",
+            updates.len(),
+            u16::MAX
+        )));
+    }
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::UpdateRow);
+    buf.put_u64(request_id);
+    buf.put_u16(updates.len() as u16);
+    for u in updates {
+        buf.put_u64(u.index() as u64);
+        match u {
+            RecordUpdate::Delete { .. } => buf.put_u8(UPDATE_KIND_DELETE),
+            RecordUpdate::Put { bytes, .. } => {
+                buf.put_u8(UPDATE_KIND_PUT);
+                buf.put_u32(bytes.len() as u32);
+                buf.put_slice(bytes);
+            }
+        }
+    }
+    Ok(buf.freeze())
+}
+
+/// Deserializes a row-delta batch into `(request_id, updates)`,
+/// validating every index against the geometry and every payload against
+/// the record capacity — a malformed frame is rejected here, before it
+/// can reach the staging log.
+///
+/// # Errors
+/// Fails on framing errors, out-of-range indices, oversized payloads, or
+/// an unknown delta kind.
+pub fn decode_update_rows(
+    params: &crate::PirParams,
+    bytes: &Bytes,
+) -> Result<(u64, Vec<RecordUpdate>), PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::UpdateRow)?;
+    if buf.remaining() < 10 {
+        return Err(PirError::Wire("truncated update header".into()));
+    }
+    let request_id = buf.get_u64();
+    let count = buf.get_u16() as usize;
+    let mut updates = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 9 {
+            return Err(PirError::Wire("truncated update entry".into()));
+        }
+        let index = buf.get_u64() as usize;
+        if index >= params.num_records() {
+            return Err(PirError::Wire(format!(
+                "update index {index} out of range (database holds {})",
+                params.num_records()
+            )));
+        }
+        match buf.get_u8() {
+            UPDATE_KIND_DELETE => updates.push(RecordUpdate::Delete { index }),
+            UPDATE_KIND_PUT => {
+                if buf.remaining() < 4 {
+                    return Err(PirError::Wire("truncated update payload length".into()));
+                }
+                let len = buf.get_u32() as usize;
+                if len > params.record_bytes() {
+                    return Err(PirError::Wire(format!(
+                        "update payload of {len} bytes exceeds the {}-byte record capacity",
+                        params.record_bytes()
+                    )));
+                }
+                if buf.remaining() < len {
+                    return Err(PirError::Wire("truncated update payload".into()));
+                }
+                let mut payload = vec![0u8; len];
+                buf.copy_to_slice(&mut payload);
+                updates.push(RecordUpdate::Put { index, bytes: payload });
+            }
+            other => return Err(PirError::Wire(format!("unknown update kind {other}"))),
+        }
+    }
+    check_drained(&buf)?;
+    Ok((request_id, updates))
+}
+
+/// Serializes the acknowledgement of one committed update batch.
+pub fn encode_update_ack(request_id: u64, epoch: u64, applied: u32) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::UpdateAck);
+    buf.put_u64(request_id);
+    buf.put_u64(epoch);
+    buf.put_u32(applied);
+    buf.freeze()
+}
+
+/// Deserializes an update acknowledgement into
+/// `(request_id, epoch, applied)`.
+///
+/// # Errors
+/// Fails on framing errors.
+pub fn decode_update_ack(bytes: &Bytes) -> Result<(u64, u64, u32), PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::UpdateAck)?;
+    if buf.remaining() < 20 {
+        return Err(PirError::Wire("truncated update ack".into()));
+    }
+    let request_id = buf.get_u64();
+    let epoch = buf.get_u64();
+    let applied = buf.get_u32();
+    check_drained(&buf)?;
+    Ok((request_id, epoch, applied))
+}
+
 /// Serializes one `evk_r` (exponent + rows).
 pub fn encode_subs_key(key: &SubsKey) -> Bytes {
     let mut buf = BytesMut::new();
@@ -714,6 +848,36 @@ mod tests {
         let (req, msg) = decode_error_frame(&err).expect("well-formed");
         assert_eq!(req, 17);
         assert_eq!(msg, "unknown session 99");
+    }
+
+    #[test]
+    fn update_frames_roundtrip_and_validate() {
+        let params = PirParams::toy();
+        let updates = vec![
+            RecordUpdate::put(3, b"new record".to_vec()),
+            RecordUpdate::delete(9),
+            RecordUpdate::put(63, vec![]),
+        ];
+        let frame = encode_update_rows(77, &updates).expect("within cap");
+        assert_eq!(peek_tag(&frame).expect("well-formed"), Tag::UpdateRow);
+        let (req, back) = decode_update_rows(&params, &frame).expect("own encoding decodes");
+        assert_eq!(req, 77);
+        assert_eq!(back, updates);
+        // Out-of-range index rejected at decode, before any staging.
+        let oob = encode_update_rows(1, &[RecordUpdate::delete(params.num_records())])
+            .expect("within cap");
+        let err = decode_update_rows(&params, &oob).expect_err("oob index").to_string();
+        assert!(err.contains("out of range"), "unhelpful: {err}");
+        // Oversized payload rejected by the declared capacity.
+        let fat =
+            encode_update_rows(1, &[RecordUpdate::put(0, vec![0; params.record_bytes() + 1])])
+                .expect("within cap");
+        let err = decode_update_rows(&params, &fat).expect_err("fat payload").to_string();
+        assert!(err.contains("capacity"), "unhelpful: {err}");
+
+        let ack = encode_update_ack(77, 4, 3);
+        assert_eq!(peek_tag(&ack).expect("well-formed"), Tag::UpdateAck);
+        assert_eq!(decode_update_ack(&ack).expect("well-formed"), (77, 4, 3));
     }
 
     #[test]

@@ -48,6 +48,24 @@ fn random_poly(rng: &mut rand::rngs::StdRng, form: Form) -> RnsPoly {
     RnsPoly::sample_uniform(fix.params.he().ring(), form, rng)
 }
 
+/// A seed-derived batch of valid row deltas (puts with random payloads
+/// up to the record capacity, deletes, in-range indices).
+fn random_updates(params: &PirParams, seed: u64) -> Vec<ive_pir::RecordUpdate> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let count = rng.gen_range(0..8usize);
+    (0..count)
+        .map(|_| {
+            let index = rng.gen_range(0..params.num_records());
+            if rng.gen_bool(0.7) {
+                let len = rng.gen_range(0..=params.record_bytes().min(48));
+                ive_pir::RecordUpdate::put(index, (0..len).map(|_| rng.gen()).collect())
+            } else {
+                ive_pir::RecordUpdate::delete(index)
+            }
+        })
+        .collect()
+}
+
 fn random_bfv(rng: &mut rand::rngs::StdRng) -> BfvCiphertext {
     let fix = fixture();
     let he = fix.params.he();
@@ -125,6 +143,25 @@ proptest! {
         prop_assert_eq!(r, request);
         prop_assert_eq!(m, message);
     }
+
+    #[test]
+    fn update_row_roundtrip_is_canonical(request in any::<u64>(), seed in any::<u64>()) {
+        let fix = fixture();
+        let params = &fix.params;
+        let updates = random_updates(params, seed);
+        let frame = wire::encode_update_rows(request, &updates).expect("within cap");
+        let (r, back) = wire::decode_update_rows(params, &frame).expect("own encoding decodes");
+        prop_assert_eq!(r, request);
+        prop_assert_eq!(&back, &updates);
+        let again = wire::encode_update_rows(r, &back).expect("within cap");
+        prop_assert_eq!(&again[..], &frame[..], "encoding not canonical");
+    }
+
+    #[test]
+    fn update_ack_roundtrip(request in any::<u64>(), epoch in any::<u64>(), applied in any::<u32>()) {
+        let ack = wire::encode_update_ack(request, epoch, applied);
+        prop_assert_eq!(wire::decode_update_ack(&ack).expect("decodes"), (request, epoch, applied));
+    }
 }
 
 proptest! {
@@ -141,6 +178,40 @@ proptest! {
             prop_assert!(wire::decode_query(he, &short).is_err());
             prop_assert!(wire::decode_client_keys(he, &short).is_err());
             prop_assert!(wire::decode_session_response(he, &short).is_err());
+        }
+    }
+
+    #[test]
+    fn update_frame_truncation_and_corruption_never_panic(
+        cut_permille in 0u32..1000,
+        pos in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let fix = fixture();
+        let params = &fix.params;
+        let updates = vec![
+            ive_pir::RecordUpdate::put(1, b"truncate me".to_vec()),
+            ive_pir::RecordUpdate::delete(2),
+            ive_pir::RecordUpdate::put(params.num_records() - 1, vec![0xAB; 16]),
+        ];
+        let frame = wire::encode_update_rows(42, &updates).expect("within cap");
+        // Every strict prefix must fail cleanly.
+        let cut = (frame.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+        let short = frame.slice(..cut.min(frame.len() - 1));
+        prop_assert!(wire::decode_update_rows(params, &short).is_err());
+        let ack = wire::encode_update_ack(42, 7, 3);
+        let ack_cut = (ack.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+        prop_assert!(wire::decode_update_ack(&ack.slice(..ack_cut.min(ack.len() - 1))).is_err());
+        // A flipped body byte either errs or decodes to a frame that
+        // re-encodes canonically — no panic, no third outcome.
+        let mut bad = BytesMut::new();
+        bad.extend_from_slice(&frame[..]);
+        let idx = 6 + pos % (frame.len() - 6);
+        bad[idx] ^= flip;
+        let bad = bad.freeze();
+        if let Ok((r, back)) = wire::decode_update_rows(params, &bad) {
+            let again = wire::encode_update_rows(r, &back).expect("within cap");
+            prop_assert_eq!(&again[..], &bad[..]);
         }
     }
 
@@ -206,6 +277,11 @@ fn peek_tag_matches_frame_types() {
         (wire::encode_welcome(5), wire::Tag::Welcome),
         (wire::encode_session_query(5, 6, &query), wire::Tag::SessionQuery),
         (wire::encode_error_frame(6, "nope"), wire::Tag::Error),
+        (
+            wire::encode_update_rows(7, &[ive_pir::RecordUpdate::delete(0)]).expect("within cap"),
+            wire::Tag::UpdateRow,
+        ),
+        (wire::encode_update_ack(7, 1, 1), wire::Tag::UpdateAck),
     ];
     for (bytes, want) in cases {
         assert_eq!(wire::peek_tag(&bytes).expect("well-formed"), want);

@@ -1,12 +1,14 @@
-//! A blocking client for the serving runtime: one handshake (the key
-//! upload), then any number of `retrieve` calls shipping only the small
-//! per-query payload.
+//! Blocking clients for the serving runtime: [`ServeClient`] for private
+//! retrieval (one handshake uploading the keys, then any number of
+//! `retrieve` calls shipping only the small per-query payload) and
+//! [`UpdateClient`] for content ingestion (row put/delete batches, each
+//! acknowledged with the epoch it committed as — no keys, no session).
 
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
-use ive_pir::{wire, PirClient, PirParams};
+use ive_pir::{wire, PirClient, PirParams, RecordUpdate};
 
 use crate::transport::{BoxedConn, FrameRx, FrameTx, Received};
 use crate::ServeError;
@@ -154,6 +156,105 @@ impl ServeClient {
             )));
         }
         Ok(record)
+    }
+}
+
+/// A content-ingestion client: streams [`RecordUpdate`] batches to a
+/// serving runtime and waits for each batch's [`wire::Tag::UpdateAck`].
+/// Updates need no key material and no session — an updater is typically
+/// a separate operational process, not a PIR client.
+///
+/// Each acknowledged batch is one committed epoch: queries admitted
+/// after the ack observe the new contents, queries in flight finish on
+/// the previous epoch, and nobody sees a torn batch.
+///
+/// # Example
+///
+/// ```
+/// use ive_pir::{Database, PirParams};
+/// use ive_serve::{config::ServeConfig, transport::in_proc_pair};
+/// use ive_serve::{PirService, ServeClient, UpdateClient};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = PirParams::toy();
+/// let db = Database::from_records(&params, &[b"v1".to_vec()])?;
+/// let (transport, connector) = in_proc_pair();
+/// // Updates are off by default (they are unauthenticated); opt in.
+/// let config = ServeConfig { accept_updates: true, ..ServeConfig::default() };
+/// let service = PirService::start(config, &params, db, Box::new(transport))?;
+///
+/// let mut updater = UpdateClient::connect(connector.connect()?);
+/// let epoch = updater.put(0, b"v2 - live".to_vec())?;
+/// assert_eq!(epoch, 1);
+///
+/// let rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut reader = ServeClient::connect(&params, connector.connect()?, rng)?;
+/// assert_eq!(&reader.retrieve(0)?[..9], b"v2 - live");
+/// drop(reader);
+/// service.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct UpdateClient {
+    rx: Box<dyn FrameRx>,
+    tx: Box<dyn FrameTx>,
+    next_request: u64,
+}
+
+impl UpdateClient {
+    /// Wraps a connection; no handshake is exchanged.
+    pub fn connect(conn: BoxedConn) -> Self {
+        let (rx, tx) = conn;
+        UpdateClient { rx, tx, next_request: 1 }
+    }
+
+    /// Ships one batch of deltas and blocks for its acknowledgement,
+    /// returning `(epoch, applied)` — the epoch the batch committed as
+    /// and the number of deltas the server confirmed.
+    ///
+    /// # Errors
+    /// Fails on transport errors or a server-reported rejection (e.g. a
+    /// read-only service or an out-of-range index).
+    pub fn apply(&mut self, updates: &[RecordUpdate]) -> Result<(u64, u32), ServeError> {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.tx.send(&wire::encode_update_rows(request_id, updates).map_err(ServeError::Pir)?)?;
+        let frame = recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?;
+        match wire::peek_tag(&frame)? {
+            wire::Tag::UpdateAck => {
+                let (got, epoch, applied) = wire::decode_update_ack(&frame)?;
+                if got != request_id {
+                    return Err(ServeError::Protocol(format!(
+                        "ack for request {got} while {request_id} was in flight"
+                    )));
+                }
+                Ok((epoch, applied))
+            }
+            wire::Tag::Error => {
+                let (request_id, message) = wire::decode_error_frame(&frame)?;
+                Err(ServeError::Remote { request_id, message })
+            }
+            tag => {
+                Err(ServeError::Protocol(format!("expected UpdateAck, server sent {}", tag.name())))
+            }
+        }
+    }
+
+    /// Replaces record `index` with `bytes`; returns the committed epoch.
+    ///
+    /// # Errors
+    /// See [`UpdateClient::apply`].
+    pub fn put(&mut self, index: usize, bytes: Vec<u8>) -> Result<u64, ServeError> {
+        Ok(self.apply(&[RecordUpdate::put(index, bytes)])?.0)
+    }
+
+    /// Resets record `index` to all-zero; returns the committed epoch.
+    ///
+    /// # Errors
+    /// See [`UpdateClient::apply`].
+    pub fn delete(&mut self, index: usize) -> Result<u64, ServeError> {
+        Ok(self.apply(&[RecordUpdate::delete(index)])?.0)
     }
 }
 

@@ -53,6 +53,17 @@ pub struct ServeConfig {
     /// remote memory-exhaustion vector. Registrations beyond the cap are
     /// rejected until sessions are evicted.
     pub max_sessions: usize,
+    /// Whether [`wire::Tag::UpdateRow`] frames are admitted. Updates
+    /// carry no authentication, so **any** peer that can reach the
+    /// transport could mutate the database; the default is therefore
+    /// `false` (read-only — update frames are answered with an error
+    /// frame). Opt in only on transports whose reachability *is* the
+    /// admission control (an internal ingest port, an in-proc pair, a
+    /// mutually-authenticated tunnel); each accepted batch then commits
+    /// as one epoch.
+    ///
+    /// [`wire::Tag::UpdateRow`]: ive_pir::wire::Tag::UpdateRow
+    pub accept_updates: bool,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +79,7 @@ impl Default for ServeConfig {
             order: TournamentOrder::Hs { subtree_depth: 2 },
             backend: BackendKind::default(),
             max_sessions: 4096,
+            accept_updates: false,
         }
     }
 }

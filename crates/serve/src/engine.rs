@@ -1,5 +1,6 @@
 //! The database plane behind the worker pool: one replicated server, or a
-//! row-sharded ensemble recombined through the high tournament bits.
+//! row-sharded ensemble recombined through the high tournament bits —
+//! now **epoch-versioned and mutable under traffic**.
 //!
 //! Row sharding exploits that `ColTor` consumes row-index bits LSB first
 //! (Fig. 7): an aligned block of `2^(d-k)` adjacent rows is exactly one
@@ -8,41 +9,58 @@
 //! winners finish with the high `k` selection bits. The recombined
 //! ciphertext is bit-identical to the monolithic server's answer (§IV-A:
 //! traversal order does not change the arithmetic).
+//!
+//! # Live updates
+//!
+//! The engine keeps its shard servers behind one `RwLock<Vec<Arc<…>>>`
+//! and serves every batch from a **snapshot**: a brief read-lock clones
+//! the `Arc`s, then the whole scan runs lock-free on that consistent
+//! set. Committing updates is the mirror image — deltas accumulate in an
+//! [`UpdateLog`] (validated and NTT-transformed on the ingest thread,
+//! never a query worker), and [`ShardedEngine::commit_updates`] clones
+//! only the touched shards' databases, applies the deltas, and swaps the
+//! new `Arc` vector in under a brief write-lock. Queries in flight keep
+//! scanning their old snapshot; queries admitted after the swap see the
+//! new epoch; no reader ever blocks on an apply and no answer ever mixes
+//! epochs across shards.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use ive_he::BfvCiphertext;
 use ive_pir::coltor::col_tor_with;
 use ive_pir::{
-    BackendKind, ClientKeys, Database, PirError, PirParams, PirQuery, PirServer, QueryScratch,
-    TournamentOrder,
+    BackendKind, ClientKeys, Database, PirError, PirParams, PirQuery, PirServer, PreparedUpdate,
+    QueryScratch, RecordUpdate, TournamentOrder, UpdateLog,
 };
 
 use crate::config::ShardPlan;
 use crate::ServeError;
 
-/// The query-answering plane: replicated or row-sharded.
+/// The query-answering plane: replicated or row-sharded, epoch-versioned.
 #[derive(Debug)]
 pub struct ShardedEngine {
     params: PirParams,
     order: TournamentOrder,
     backend: BackendKind,
-    mode: Mode,
-}
-
-#[derive(Debug)]
-enum Mode {
-    Replicated(PirServer),
-    RowSharded {
-        /// One sub-server per aligned row block, in row order.
-        shards: Vec<PirServer>,
-        /// Per-shard kernel scratch pools: the shard scan threads run
-        /// inside `answer_batch_with`, so their warm buffers live with
-        /// the engine rather than the calling worker.
-        scratch: Vec<ScratchPool>,
-        /// `k = log2(shards)`: how many high bits recombine winners.
-        shard_bits: u32,
-    },
+    /// The current epoch's servers: length 1 when replicated, `2^k` when
+    /// row-sharded. Readers snapshot (brief read-lock, then lock-free);
+    /// commits swap the whole vector (brief write-lock).
+    servers: RwLock<Vec<Arc<PirServer>>>,
+    /// `k = log2(shards)` when row-sharded; `None` when replicated.
+    shard_bits: Option<u32>,
+    /// Per-shard kernel scratch pools for the internal scan threads of
+    /// the row-sharded path (empty when replicated).
+    scratch: Vec<ScratchPool>,
+    /// Staged deltas awaiting the next epoch boundary.
+    log: UpdateLog,
+    /// Serializes commits so concurrent updaters cannot interleave their
+    /// clone-apply-swap sequences (readers are never blocked by this).
+    commit: Mutex<()>,
+    /// Committed epoch counter (mirrors every shard database's epoch).
+    epoch: AtomicU64,
+    /// Total row deltas committed over the engine's lifetime.
+    updates_applied: AtomicU64,
 }
 
 /// A lock-briefly pool of warm [`QueryScratch`] instances. Checkout
@@ -77,13 +95,15 @@ impl ShardedEngine {
         order: TournamentOrder,
         backend: BackendKind,
     ) -> Result<Self, ServeError> {
-        let mode = match plan {
+        let configure = |mut server: PirServer| {
+            server.set_tournament_order(order);
+            server.set_rowsel_threads(rowsel_threads);
+            server.set_backend(backend);
+            Arc::new(server)
+        };
+        let (servers, shard_bits, scratch) = match plan {
             ShardPlan::Replicated => {
-                let mut server = PirServer::new(params, db)?;
-                server.set_tournament_order(order);
-                server.set_rowsel_threads(rowsel_threads);
-                server.set_backend(backend);
-                Mode::Replicated(server)
+                (vec![configure(PirServer::new(params, db)?)], None, Vec::new())
             }
             ShardPlan::RowSharded { shards } => {
                 let shard_bits = shards.trailing_zeros();
@@ -100,18 +120,25 @@ impl ShardedEngine {
                 let servers = (0..shards)
                     .map(|s| {
                         let shard_db = db.shard_rows(s * rows_per_shard, rows_per_shard)?;
-                        let mut server = PirServer::new(&sub_params, shard_db)?;
-                        server.set_tournament_order(order);
-                        server.set_rowsel_threads(rowsel_threads);
-                        server.set_backend(backend);
-                        Ok(server)
+                        Ok(configure(PirServer::new(&sub_params, shard_db)?))
                     })
                     .collect::<Result<Vec<_>, PirError>>()?;
                 let scratch = (0..shards).map(|_| ScratchPool::default()).collect();
-                Mode::RowSharded { shards: servers, scratch, shard_bits }
+                (servers, Some(shard_bits), scratch)
             }
         };
-        Ok(ShardedEngine { params: params.clone(), order, backend, mode })
+        Ok(ShardedEngine {
+            params: params.clone(),
+            order,
+            backend,
+            servers: RwLock::new(servers),
+            shard_bits,
+            scratch,
+            log: UpdateLog::with_backend(params, backend),
+            commit: Mutex::new(()),
+            epoch: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+        })
     }
 
     /// The scheme parameters.
@@ -122,10 +149,130 @@ impl ShardedEngine {
 
     /// Number of database shards (1 when replicated).
     pub fn num_shards(&self) -> usize {
-        match &self.mode {
-            Mode::Replicated(_) => 1,
-            Mode::RowSharded { shards, .. } => shards.len(),
+        self.servers.read().expect("server set poisoned").len()
+    }
+
+    /// The committed update epoch: how many delta batches the engine has
+    /// absorbed. Every answer reflects exactly one epoch's contents.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Total row deltas committed over the engine's lifetime.
+    #[inline]
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied.load(Ordering::Relaxed)
+    }
+
+    /// Number of staged deltas waiting for [`ShardedEngine::commit_updates`].
+    pub fn staged_updates(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The current epoch's server set: a consistent snapshot the caller
+    /// can scan lock-free while commits proceed concurrently.
+    fn snapshot(&self) -> Vec<Arc<PirServer>> {
+        self.servers.read().expect("server set poisoned").clone()
+    }
+
+    /// Validates, preprocesses (CRT + NTT through the engine backend),
+    /// and stages one delta for the next epoch. Runs on the calling
+    /// thread — the ingest path, never a query worker.
+    ///
+    /// # Errors
+    /// Rejects out-of-range indices and oversized payloads.
+    pub fn stage_update(&self, update: RecordUpdate) -> Result<(), PirError> {
+        self.log.stage(update)
+    }
+
+    /// Stages a whole batch, all-or-nothing.
+    ///
+    /// # Errors
+    /// Rejects the entire batch when any delta is invalid.
+    pub fn stage_updates(&self, updates: &[RecordUpdate]) -> Result<(), PirError> {
+        self.log.stage_all(updates)
+    }
+
+    /// Commits every staged delta as one epoch: routes each delta to the
+    /// shard that owns its row, clones only the touched shards'
+    /// databases, applies, and swaps the new server set in. Queries in
+    /// flight finish on their old snapshot; an empty log is a no-op that
+    /// returns the current epoch.
+    ///
+    /// # Errors
+    /// Propagates apply failures (unreachable for deltas that passed
+    /// staging validation); the epoch is unchanged on error.
+    pub fn commit_updates(&self) -> Result<u64, PirError> {
+        let _guard = self.commit.lock().expect("commit lock poisoned");
+        self.commit_locked()
+    }
+
+    /// The commit body; the caller holds the commit mutex.
+    fn commit_locked(&self) -> Result<u64, PirError> {
+        let staged = self.log.drain();
+        if staged.is_empty() {
+            return Ok(self.epoch());
         }
+        let current = self.snapshot();
+        let next = match self.shard_bits {
+            None => {
+                let mut db = current[0].database().clone();
+                db.apply_updates(&staged)?;
+                vec![Arc::new(current[0].with_database(db)?)]
+            }
+            Some(shard_bits) => {
+                let shards = 1usize << shard_bits;
+                let rows_per_shard = self.params.num_rows() >> shard_bits;
+                // Route each delta to the shard owning its row, rebased
+                // to shard-local indices; untouched shards keep their
+                // current (cheap `Arc`) server.
+                let mut routed: Vec<Vec<PreparedUpdate>> = vec![Vec::new(); shards];
+                for u in staged.iter() {
+                    let row = u.index() / self.params.d0();
+                    let shard = row / rows_per_shard;
+                    routed[shard]
+                        .push(u.clone().rebase_to_shard(shard * rows_per_shard, self.params.d0())?);
+                }
+                current
+                    .iter()
+                    .zip(routed)
+                    .map(|(server, deltas)| {
+                        if deltas.is_empty() {
+                            // Untouched shards keep the old Arc (no
+                            // clone); their per-database epoch may lag —
+                            // the engine epoch is the authoritative one.
+                            Ok(Arc::clone(server))
+                        } else {
+                            let mut db = server.database().clone();
+                            db.apply_updates(&deltas)?;
+                            Ok(Arc::new(server.with_database(db)?))
+                        }
+                    })
+                    .collect::<Result<Vec<_>, PirError>>()?
+            }
+        };
+        *self.servers.write().expect("server set poisoned") = next;
+        self.updates_applied.fetch_add(staged.len() as u64, Ordering::Relaxed);
+        Ok(self.epoch.fetch_add(1, Ordering::AcqRel) + 1)
+    }
+
+    /// Stages and commits one batch in a single call — the serving
+    /// runtime's handler path: each accepted [`wire::Tag::UpdateRow`]
+    /// frame is an epoch boundary. The commit mutex is held across the
+    /// stage *and* the commit, so concurrent `apply_updates` calls
+    /// commit as distinct epochs instead of merging (deltas staged
+    /// separately via [`ShardedEngine::stage_update`] ride along with
+    /// whichever commit drains them first, by design).
+    ///
+    /// [`wire::Tag::UpdateRow`]: ive_pir::wire::Tag::UpdateRow
+    ///
+    /// # Errors
+    /// Rejects invalid deltas before anything is staged or applied.
+    pub fn apply_updates(&self, updates: &[RecordUpdate]) -> Result<u64, PirError> {
+        let _guard = self.commit.lock().expect("commit lock poisoned");
+        self.log.stage_all(updates)?;
+        self.commit_locked()
     }
 
     /// Answers one query.
@@ -170,7 +317,8 @@ impl ShardedEngine {
     /// entry point: each worker owns one [`QueryScratch`] (arena + flat
     /// `RowSel` accumulators) that stays warm across batches, so the scan
     /// allocates nothing. Row-sharded engines additionally keep one warm
-    /// scratch per shard for their internal scan threads.
+    /// scratch per shard for their internal scan threads. The whole batch
+    /// runs against one epoch snapshot, concurrent commits included.
     ///
     /// # Errors
     /// Fails when *any* query in the batch fails.
@@ -182,18 +330,16 @@ impl ShardedEngine {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
-        match &self.mode {
-            Mode::Replicated(server) => server.answer_batch_with(requests, scratch),
-            Mode::RowSharded { shards, scratch: shard_scratch, shard_bits } => {
-                self.answer_batch_sharded(shards, shard_scratch, *shard_bits, requests, scratch)
-            }
+        let servers = self.snapshot();
+        match self.shard_bits {
+            None => servers[0].answer_batch_with(requests, scratch),
+            Some(shard_bits) => self.answer_batch_sharded(&servers, shard_bits, requests, scratch),
         }
     }
 
     fn answer_batch_sharded(
         &self,
-        shards: &[PirServer],
-        shard_scratch: &[ScratchPool],
+        shards: &[Arc<PirServer>],
         shard_bits: u32,
         requests: &[(&ClientKeys, &PirQuery)],
         scratch: &mut QueryScratch,
@@ -212,7 +358,7 @@ impl ShardedEngine {
         let mut winners: Vec<Vec<BfvCiphertext>> = Vec::new();
         std::thread::scope(|scope| -> Result<(), PirError> {
             let mut handles = Vec::with_capacity(shards.len());
-            for (shard, pool) in shards.iter().zip(shard_scratch) {
+            for (shard, pool) in shards.iter().zip(&self.scratch) {
                 let expanded = &expanded;
                 handles.push(scope.spawn(move || -> Result<Vec<BfvCiphertext>, PirError> {
                     let mut s = pool.take();
@@ -277,29 +423,24 @@ mod tests {
         (params, db, records)
     }
 
+    fn engine(params: &PirParams, db: Database, plan: ShardPlan) -> ShardedEngine {
+        ShardedEngine::new(
+            params,
+            db,
+            plan,
+            1,
+            TournamentOrder::Hs { subtree_depth: 2 },
+            BackendKind::default(),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn sharded_batches_match_replicated_batches() {
         let (params, db, records) = setup();
-        let order = TournamentOrder::Hs { subtree_depth: 2 };
-        let replicated = ShardedEngine::new(
-            &params,
-            db.clone(),
-            ShardPlan::Replicated,
-            1,
-            order,
-            BackendKind::default(),
-        )
-        .unwrap();
+        let replicated = engine(&params, db.clone(), ShardPlan::Replicated);
         for shards in [2usize, 4] {
-            let sharded = ShardedEngine::new(
-                &params,
-                db.clone(),
-                ShardPlan::RowSharded { shards },
-                1,
-                order,
-                BackendKind::default(),
-            )
-            .unwrap();
+            let sharded = engine(&params, db.clone(), ShardPlan::RowSharded { shards });
             assert_eq!(sharded.num_shards(), shards);
             let mut clients: Vec<_> = (0..3)
                 .map(|i| {
@@ -323,6 +464,86 @@ mod tests {
         }
     }
 
+    /// The acceptance differential: after any update sequence, both the
+    /// replicated and every sharded engine must answer **bit-identically**
+    /// to an engine freshly built from the same contents — including
+    /// deltas that straddle shard boundaries.
+    #[test]
+    fn updates_are_bit_identical_to_cold_rebuild_across_shard_plans() {
+        let (params, db, mut records) = setup();
+        // Deltas spanning both halves (and both quarters) of the row
+        // space, so every shard of every plan absorbs at least one.
+        let rows = params.num_rows();
+        let updates = vec![
+            RecordUpdate::put(0, b"first row changed".to_vec()),
+            RecordUpdate::delete(params.d0() * (rows / 4) + 1),
+            RecordUpdate::put(params.d0() * (rows / 2) + 2, b"across the boundary".to_vec()),
+            RecordUpdate::put(params.num_records() - 1, b"last record".to_vec()),
+            RecordUpdate::put(0, b"first row changed again".to_vec()),
+        ];
+        for u in &updates {
+            match u {
+                RecordUpdate::Put { index, bytes } => records[*index] = bytes.clone(),
+                RecordUpdate::Delete { index } => records[*index] = Vec::new(),
+            }
+        }
+        let rebuilt_db = Database::from_records(&params, &records).unwrap();
+
+        let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(400)).unwrap();
+        for plan in [
+            ShardPlan::Replicated,
+            ShardPlan::RowSharded { shards: 2 },
+            ShardPlan::RowSharded { shards: 4 },
+        ] {
+            let live = engine(&params, db.clone(), plan);
+            assert_eq!(live.epoch(), 0);
+            let epoch = live.apply_updates(&updates).unwrap();
+            assert_eq!(epoch, 1);
+            assert_eq!(live.updates_applied(), updates.len() as u64);
+            let fresh = engine(&params, rebuilt_db.clone(), plan);
+            for target in [0usize, params.d0() * (rows / 2) + 2, params.num_records() - 1] {
+                let query = client.query(target).unwrap();
+                let a = live.answer(client.public_keys(), &query).unwrap();
+                let b = fresh.answer(client.public_keys(), &query).unwrap();
+                assert_eq!(a, b, "{plan:?} diverged from cold rebuild at {target}");
+                let plain = client.decode(&query, &a).unwrap();
+                assert_eq!(&plain[..records[target].len()], &records[target][..]);
+            }
+        }
+    }
+
+    #[test]
+    fn staged_updates_invisible_until_commit() {
+        let (params, db, records) = setup();
+        let live = engine(&params, db, ShardPlan::RowSharded { shards: 2 });
+        let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(401)).unwrap();
+        let target = 11;
+        live.stage_update(RecordUpdate::put(target, b"pending".to_vec())).unwrap();
+        assert_eq!(live.staged_updates(), 1);
+        let query = client.query(target).unwrap();
+        let before = live.answer(client.public_keys(), &query).unwrap();
+        let plain = client.decode(&query, &before).unwrap();
+        assert_eq!(&plain[..records[target].len()], &records[target][..], "staged leak");
+        assert_eq!(live.commit_updates().unwrap(), 1);
+        assert_eq!(live.staged_updates(), 0);
+        let after = live.answer(client.public_keys(), &query).unwrap();
+        let plain = client.decode(&query, &after).unwrap();
+        assert_eq!(&plain[..7], b"pending");
+    }
+
+    #[test]
+    fn empty_commit_is_a_noop_and_bad_updates_leave_epoch_alone() {
+        let (params, db, _) = setup();
+        let live = engine(&params, db, ShardPlan::Replicated);
+        assert_eq!(live.commit_updates().unwrap(), 0, "empty commit opened an epoch");
+        assert!(matches!(
+            live.apply_updates(&[RecordUpdate::delete(params.num_records())]),
+            Err(PirError::IndexOutOfRange { .. })
+        ));
+        assert_eq!(live.epoch(), 0);
+        assert_eq!(live.updates_applied(), 0);
+    }
+
     #[test]
     fn too_many_shards_rejected() {
         let (params, db, _) = setup();
@@ -341,15 +562,7 @@ mod tests {
     #[test]
     fn empty_batch_is_empty() {
         let (params, db, _) = setup();
-        let engine = ShardedEngine::new(
-            &params,
-            db,
-            ShardPlan::Replicated,
-            1,
-            TournamentOrder::Bfs,
-            BackendKind::default(),
-        )
-        .unwrap();
+        let engine = engine(&params, db, ShardPlan::Replicated);
         assert!(engine.answer_batch(&[]).unwrap().is_empty());
     }
 }

@@ -53,6 +53,23 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Live updates
+//!
+//! The database keeps serving while its contents change: with
+//! [`ServeConfig::accept_updates`] opted in (updates carry no
+//! authentication, so the default is read-only), a connection ships a
+//! [`wire::Tag::UpdateRow`] batch (see [`UpdateClient`]), the handler
+//! validates + NTT-preprocesses the deltas off the query
+//! path, and the engine commits them as one epoch by swapping
+//! epoch-versioned server snapshots — in-flight scans finish on the old
+//! epoch, new queries see the new one, and answers stay bit-identical
+//! to a cold rebuild at the same contents. Epoch and update counters
+//! surface in [`ServerStats`].
+//!
+//! [`wire::Tag::UpdateRow`]: ive_pir::wire::Tag::UpdateRow
+
+#![warn(missing_docs)]
 
 pub mod batcher;
 pub mod client;
@@ -64,7 +81,7 @@ pub mod session;
 pub mod tcp;
 pub mod transport;
 
-pub use client::ServeClient;
+pub use client::{ServeClient, UpdateClient};
 pub use config::{ServeConfig, ShardPlan};
 pub use engine::ShardedEngine;
 pub use metrics::{Metrics, ServerStats};

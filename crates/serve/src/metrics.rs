@@ -26,6 +26,9 @@ pub struct Metrics {
     latency_max_us: AtomicU64,
     queue_depth: AtomicUsize,
     queue_depth_max: AtomicUsize,
+    update_batches: AtomicU64,
+    updates_applied: AtomicU64,
+    epoch: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -50,7 +53,17 @@ impl Metrics {
             latency_max_us: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             queue_depth_max: AtomicUsize::new(0),
+            update_batches: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// One update batch of `applied` deltas committed as `epoch`.
+    pub fn update_committed(&self, applied: usize, epoch: u64) {
+        self.update_batches.fetch_add(1, Ordering::Relaxed);
+        self.updates_applied.fetch_add(applied as u64, Ordering::Relaxed);
+        self.epoch.fetch_max(epoch, Ordering::Relaxed);
     }
 
     /// A query entered the waiting queue.
@@ -143,6 +156,9 @@ impl Metrics {
             max_latency_ms: self.latency_max_us.load(Ordering::Relaxed) as f64 / 1000.0,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.queue_depth_max.load(Ordering::Relaxed),
+            update_batches: self.update_batches.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
             uptime_s: uptime.as_secs_f64(),
         }
     }
@@ -179,6 +195,12 @@ pub struct ServerStats {
     pub queue_depth: usize,
     /// High-water mark of the waiting queue.
     pub max_queue_depth: usize,
+    /// Update batches committed (each is one epoch boundary).
+    pub update_batches: u64,
+    /// Total row deltas committed.
+    pub updates_applied: u64,
+    /// The database epoch answers currently reflect.
+    pub epoch: u64,
     /// Seconds since the metrics were created.
     pub uptime_s: f64,
 }
@@ -189,7 +211,7 @@ impl core::fmt::Display for ServerStats {
             f,
             "{} queries ({} errors) in {:.1}s = {:.1} QPS | {} batches (avg {:.2}, max {}, \
              {} multi) | latency ms: mean {:.1} p50 {:.1} p95 {:.1} p99 {:.1} max {:.1} | \
-             queue depth {} (max {})",
+             queue depth {} (max {}) | epoch {} ({} updates in {} batches)",
             self.queries,
             self.errors,
             self.uptime_s,
@@ -204,7 +226,10 @@ impl core::fmt::Display for ServerStats {
             self.p99_latency_ms,
             self.max_latency_ms,
             self.queue_depth,
-            self.max_queue_depth
+            self.max_queue_depth,
+            self.epoch,
+            self.updates_applied,
+            self.update_batches
         )
     }
 }
@@ -224,8 +249,13 @@ mod tests {
         m.query_done(Duration::from_millis(2));
         m.query_done(Duration::from_millis(40));
         m.query_failed();
+        m.update_committed(5, 1);
+        m.update_committed(2, 2);
         let s = m.snapshot();
         assert_eq!(s.queries, 2);
+        assert_eq!(s.update_batches, 2);
+        assert_eq!(s.updates_applied, 7);
+        assert_eq!(s.epoch, 2);
         assert_eq!(s.errors, 1);
         assert_eq!(s.batches, 2);
         assert_eq!(s.max_batch, 3);

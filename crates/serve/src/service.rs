@@ -72,6 +72,8 @@ impl PirService {
             let shutdown = Arc::clone(&shutdown);
             let sessions = Arc::clone(&sessions);
             let metrics = Arc::clone(&metrics);
+            let engine = Arc::clone(&engine);
+            let accept_updates = config.accept_updates;
             let jobs = jobs.clone();
             std::thread::Builder::new()
                 .name("ive-serve-accept".into())
@@ -91,6 +93,8 @@ impl PirService {
                                 let ctx = HandlerCtx {
                                     sessions: Arc::clone(&sessions),
                                     metrics: Arc::clone(&metrics),
+                                    engine: Arc::clone(&engine),
+                                    accept_updates,
                                     jobs: jobs.clone(),
                                     shutdown: Arc::clone(&shutdown),
                                 };
@@ -113,7 +117,15 @@ impl PirService {
         };
         threads.push(acceptor);
 
-        Ok(ServiceHandle { shutdown, jobs: Some(jobs), threads, metrics, sessions, endpoint })
+        Ok(ServiceHandle {
+            shutdown,
+            jobs: Some(jobs),
+            threads,
+            metrics,
+            sessions,
+            engine,
+            endpoint,
+        })
     }
 }
 
@@ -135,6 +147,8 @@ fn extract_finished(handles: &mut Vec<JoinHandle<()>>) -> Vec<JoinHandle<()>> {
 struct HandlerCtx {
     sessions: Arc<SessionManager>,
     metrics: Arc<Metrics>,
+    engine: Arc<ShardedEngine>,
+    accept_updates: bool,
     jobs: SyncSender<Job>,
     shutdown: Arc<AtomicBool>,
 }
@@ -217,6 +231,29 @@ fn handle_frame(
             },
             Err(e) => reply(error_frame(0, &e)),
         },
+        Ok(wire::Tag::UpdateRow) => {
+            match wire::decode_update_rows(ctx.sessions.params(), frame) {
+                Ok((request_id, updates)) => {
+                    if !ctx.accept_updates {
+                        return reply(error_frame(
+                            request_id,
+                            &ServeError::Protocol("this service is read-only".into()),
+                        ));
+                    }
+                    // Validation + the §II-B NTT lift run here, on the
+                    // connection handler thread — the query workers never
+                    // see an update until it is a memcpy-and-swap.
+                    match ctx.engine.apply_updates(&updates) {
+                        Ok(epoch) => {
+                            ctx.metrics.update_committed(updates.len(), epoch);
+                            reply(wire::encode_update_ack(request_id, epoch, updates.len() as u32))
+                        }
+                        Err(e) => reply(error_frame(request_id, &e)),
+                    }
+                }
+                Err(e) => reply(error_frame(0, &e)),
+            }
+        }
         Ok(tag) => {
             reply(error_frame(0, &ServeError::Protocol(format!("unexpected {} frame", tag.name()))))
         }
@@ -236,6 +273,7 @@ pub struct ServiceHandle {
     threads: Vec<JoinHandle<()>>,
     metrics: Arc<Metrics>,
     sessions: Arc<SessionManager>,
+    engine: Arc<ShardedEngine>,
     endpoint: String,
 }
 
@@ -253,6 +291,12 @@ impl ServiceHandle {
     /// The session manager (e.g. to inspect or evict cached keys).
     pub fn sessions(&self) -> &SessionManager {
         &self.sessions
+    }
+
+    /// The query engine — e.g. to apply updates in-process (without a
+    /// wire round-trip) or to read the committed [`ShardedEngine::epoch`].
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
     }
 
     /// Stops accepting, drains in-flight work, and joins every thread.

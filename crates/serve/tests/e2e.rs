@@ -10,7 +10,7 @@ use rand::SeedableRng;
 use ive_pir::{Database, PirParams, TournamentOrder};
 use ive_serve::config::{ServeConfig, ShardPlan};
 use ive_serve::transport::in_proc_pair;
-use ive_serve::{PirService, ServeClient, TcpTransport};
+use ive_serve::{PirService, ServeClient, TcpTransport, UpdateClient};
 
 fn toy_db(params: &PirParams) -> (Database, Vec<Vec<u8>>) {
     let records: Vec<Vec<u8>> =
@@ -41,6 +41,7 @@ fn eight_tcp_clients_saturate_the_batcher_on_a_sharded_db() {
         order: TournamentOrder::Hs { subtree_depth: 2 },
         backend: ive_pir::BackendKind::Optimized,
         max_sessions: 64,
+        accept_updates: true,
     };
     let transport = TcpTransport::bind("127.0.0.1:0").expect("bind ephemeral");
     let addr = transport.local_addr();
@@ -97,6 +98,7 @@ fn in_proc_clients_reuse_sessions_and_decode_exactly() {
         order: TournamentOrder::Hs { subtree_depth: 2 },
         backend: ive_pir::BackendKind::Optimized,
         max_sessions: 64,
+        accept_updates: true,
     };
     let (transport, connector) = in_proc_pair();
     let service =
@@ -128,6 +130,141 @@ fn in_proc_clients_reuse_sessions_and_decode_exactly() {
     let stats = service.shutdown();
     assert_eq!(stats.queries, 16);
     assert_eq!(stats.errors, 0);
+}
+
+/// Live updates over the wire, against a row-sharded database, while
+/// query traffic keeps flowing: every acked update must be visible to
+/// subsequent retrievals (including deltas on both sides of the shard
+/// boundary), the epoch must advance in the stats, and no query may
+/// fail or decode stale-vs-new torn contents.
+#[test]
+fn updates_commit_under_concurrent_queries_across_shards() {
+    let params = PirParams::toy();
+    let (db, records) = toy_db(&params);
+    let records = Arc::new(records);
+    let config = ServeConfig {
+        window: Duration::from_millis(5),
+        max_batch: 4,
+        workers: 2,
+        queue_depth: 16,
+        shard: ShardPlan::RowSharded { shards: 2 },
+        rowsel_threads: 1,
+        order: TournamentOrder::Hs { subtree_depth: 2 },
+        backend: ive_pir::BackendKind::Optimized,
+        max_sessions: 64,
+        accept_updates: true,
+    };
+    let (transport, connector) = in_proc_pair();
+    let service =
+        PirService::start(config, &params, db, Box::new(transport)).expect("service starts");
+
+    // One delta per shard half, plus a delete: all must land atomically
+    // per batch and be readable immediately after the ack.
+    let half = params.num_records() / 2;
+    let updated: Vec<(usize, Vec<u8>)> = vec![
+        (1, b"low shard updated".to_vec()),
+        (half + 2, b"high shard updated".to_vec()),
+        (5, Vec::new()), // delete
+    ];
+
+    std::thread::scope(|scope| {
+        // Background query traffic for the whole duration.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let served = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let traffic = {
+            let params = params.clone();
+            let connector = connector.clone();
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            scope.spawn(move || {
+                let conn = connector.connect().expect("dial");
+                let rng = rand::rngs::StdRng::seed_from_u64(600);
+                let mut client = ServeClient::connect(&params, conn, rng).expect("handshake");
+                // Query an index no update touches: contents must stay
+                // stable across every epoch swap.
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let got = client.retrieve(40).expect("retrieve under churn");
+                    assert_eq!(&got[..14], b"e2e record 004", "stable record torn by updates");
+                    served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            })
+        };
+
+        let mut updater = UpdateClient::connect(connector.connect().expect("dial"));
+        // Interleave for real: don't start committing epochs until the
+        // query plane has demonstrably answered at least once.
+        while served.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut last_epoch = 0;
+        for (index, bytes) in &updated {
+            let epoch = if bytes.is_empty() {
+                updater.delete(*index).expect("delete")
+            } else {
+                updater.put(*index, bytes.clone()).expect("put")
+            };
+            assert!(epoch > last_epoch, "epochs must advance: {epoch} after {last_epoch}");
+            last_epoch = epoch;
+        }
+        // A batched multi-delta frame commits as a single epoch.
+        let (epoch, applied) = updater
+            .apply(&[
+                ive_pir::RecordUpdate::put(0, b"batched low".to_vec()),
+                ive_pir::RecordUpdate::put(params.num_records() - 1, b"batched high".to_vec()),
+            ])
+            .expect("batch");
+        assert_eq!(applied, 2);
+        assert_eq!(epoch, last_epoch + 1);
+
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        traffic.join().expect("traffic thread");
+        assert!(
+            served.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "queries must keep answering while updates stream in"
+        );
+    });
+
+    // Read-your-writes at the final epoch, from a fresh session.
+    let conn = connector.connect().expect("dial");
+    let mut reader =
+        ServeClient::connect(&params, conn, rand::rngs::StdRng::seed_from_u64(601)).expect("hs");
+    for (index, bytes) in &updated {
+        let got = reader.retrieve(*index).expect("retrieve updated");
+        if bytes.is_empty() {
+            assert!(got.iter().all(|&b| b == 0), "deleted record {index} not zeroed");
+        } else {
+            assert_eq!(&got[..bytes.len()], &bytes[..], "update to {index} not visible");
+        }
+    }
+    let got = reader.retrieve(0).expect("retrieve batched");
+    assert_eq!(&got[..11], b"batched low");
+    let _ = records;
+
+    let stats = service.shutdown();
+    assert_eq!(stats.errors, 0, "no query may fail under churn: {stats}");
+    assert_eq!(stats.update_batches, 4);
+    assert_eq!(stats.updates_applied, 5);
+    assert_eq!(stats.epoch, 4);
+}
+
+/// A read-only service — the **default**, since updates are
+/// unauthenticated — refuses update frames with an error frame naming
+/// the reason, and its epoch never moves.
+#[test]
+fn read_only_service_rejects_updates_by_default() {
+    let params = PirParams::toy();
+    let (db, _records) = toy_db(&params);
+    let (transport, connector) = in_proc_pair();
+    let config = ServeConfig { window: Duration::from_millis(1), ..ServeConfig::default() };
+    assert!(!config.accept_updates, "updates must be opt-in");
+    let service =
+        PirService::start(config, &params, db, Box::new(transport)).expect("service starts");
+    let mut updater = UpdateClient::connect(connector.connect().expect("dial"));
+    let err = updater.put(0, b"nope".to_vec()).expect_err("read-only");
+    assert!(err.to_string().contains("read-only"), "unhelpful: {err}");
+    let stats = service.shutdown();
+    assert_eq!(stats.epoch, 0);
+    assert_eq!(stats.update_batches, 0);
 }
 
 /// Queries against unknown sessions are answered with error frames and

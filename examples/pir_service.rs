@@ -1,5 +1,6 @@
 //! Serving-stack quickstart: run a batching PIR service over TCP on
-//! localhost, register two clients, and retrieve records concurrently.
+//! localhost, register two clients, retrieve records concurrently, then
+//! push a live row update and retrieve the new contents — no restart.
 //!
 //! Run with: `cargo run --release --example pir_service`
 
@@ -7,7 +8,7 @@ use std::time::Duration;
 
 use ive::pir::{Database, PirParams, TournamentOrder};
 use ive::serve::config::{ServeConfig, ShardPlan};
-use ive::serve::{PirService, ServeClient, TcpTransport};
+use ive::serve::{PirService, ServeClient, TcpTransport, UpdateClient};
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         order: TournamentOrder::Hs { subtree_depth: 2 },
         backend: ive::pir::BackendKind::Optimized,
         max_sessions: 64,
+        accept_updates: true,
     };
     let transport = TcpTransport::bind("127.0.0.1:0")?;
     let addr = transport.local_addr();
@@ -57,6 +59,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             });
         }
     });
+
+    // Live update: an updater (no keys, no session) replaces a record;
+    // the committed epoch comes back in the ack and the very next query
+    // sees the new contents — the database never stopped serving.
+    let mut updater = UpdateClient::connect(ive::serve::tcp::connect(addr)?);
+    let target = 42;
+    let fresh = b"record #042: revised while serving".to_vec();
+    let epoch = updater.put(target, fresh.clone())?;
+    println!("updater: record {target} replaced at epoch {epoch}");
+
+    let conn = ive::serve::tcp::connect(addr)?;
+    let mut reader = ServeClient::connect(&params, conn, rand::rngs::StdRng::seed_from_u64(9))?;
+    let got = reader.retrieve(target)?;
+    assert_eq!(&got[..fresh.len()], &fresh[..]);
+    println!("reader: updated record {target} retrieved privately");
 
     let stats = service.shutdown();
     println!("{stats}");
