@@ -32,8 +32,8 @@ figures:
 serve-demo:
 	$(CARGO) run --release -p ive_bench --bin serve_demo
 
-## Compare the scalar and optimized VPE kernel backends on the RowSel
-## hot path and refresh BENCH_hotpath.json.
+## Run the VPE kernel backend matrix (scalar/optimized/simd where AVX2
+## is detected) on the RowSel hot path and refresh BENCH_hotpath.json.
 hotpath:
 	$(CARGO) run --release -p ive_bench --bin hotpath
 

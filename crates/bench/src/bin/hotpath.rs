@@ -1,26 +1,34 @@
-//! `hotpath` — compute-path microbenchmarks for the VPE kernel layer:
-//! scalar reference backend vs. optimized Barrett/Shoup backend on the
-//! three numbers that govern serving throughput:
+//! `hotpath` — compute-path microbenchmarks for the VPE kernel layer,
+//! run as a **backend matrix**: the scalar reference, the portable
+//! Barrett/Shoup backend, and (where the host's AVX2 is detected) the
+//! SIMD backend, all in one invocation, on the numbers that govern
+//! serving throughput:
 //!
 //! 1. **ns per FMA limb element** — the raw kernel, measured directly on
 //!    flat limb rows (what one PE lane does all day).
-//! 2. **`RowSel` scan GB/s** — a full single-query scan over the
+//! 2. **NTT µs per transform** — one forward + inverse Harvey dispatch
+//!    on a degree-4096 row over a special prime (the `ColTor`/expand
+//!    workhorse).
+//! 3. **`RowSel` scan GB/s** — a full single-query scan over the
 //!    contiguous limb-major database via `row_sel_into` with warm
 //!    arena-backed scratch (the memory-bandwidth-bound loop of IM-PIR /
 //!    IVE §III).
-//! 3. **End-to-end answer latency** — `ExpandQuery → RowSel → ColTor`
+//! 4. **End-to-end answer latency** — `ExpandQuery → RowSel → ColTor`
 //!    through the same backend.
 //!
-//! Writes `BENCH_hotpath.json`; the headline figure is
-//! `row_sel.speedup` (optimized over scalar, expected ≥ 1.5×).
+//! Writes `BENCH_hotpath.json` with one block per measured backend, the
+//! pairwise speedup ratios (`optimized_over_scalar`,
+//! `simd_over_optimized`), and a `detected_features` field so artifacts
+//! from 1-core or non-AVX2 CI hosts stay interpretable.
 //!
-//! Usage: `hotpath [--seconds 4] [--dims 5] [--json-out BENCH_hotpath.json]`
+//! Usage: `hotpath [--seconds 6] [--dims 5] [--json-out BENCH_hotpath.json]`
 
 use std::time::Instant;
 
 use ive_bench::fmt;
-use ive_math::kernel::BackendKind;
+use ive_math::kernel::{simd_available, BackendKind};
 use ive_math::modulus::Modulus;
+use ive_math::ntt::NttTable;
 use ive_pir::{Database, PirClient, PirParams, PirServer, QueryScratch};
 use rand::{Rng, SeedableRng};
 
@@ -32,7 +40,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut args = Args { seconds: 4.0, dims: 5, json_out: "BENCH_hotpath.json".into() };
+    let mut args = Args { seconds: 6.0, dims: 5, json_out: "BENCH_hotpath.json".into() };
     let mut i = 0;
     while i < argv.len() {
         let key = argv[i].strip_prefix("--").ok_or_else(|| format!("unexpected {:?}", argv[i]))?;
@@ -63,9 +71,27 @@ fn time_loop(budget_s: f64, mut op: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() / iters as f64
 }
 
-/// Per-backend measurements of the three hot-path numbers.
+/// ISA features relevant to backend selection that the runtime probe
+/// found on this host (empty on non-x86 targets or feature-less CPUs).
+fn detected_features() -> Vec<&'static str> {
+    let mut features = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            features.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            features.push("avx512f");
+        }
+    }
+    features
+}
+
+/// Per-backend measurements of the four hot-path numbers.
 struct BackendResult {
+    kind: BackendKind,
     fma_ns_per_elem: f64,
+    ntt_us: f64,
     rowsel_s: f64,
     rowsel_gbps: f64,
     answer_s: f64,
@@ -73,7 +99,7 @@ struct BackendResult {
 
 fn measure(kind: BackendKind, params: &PirParams, db: &Database, budget_s: f64) -> BackendResult {
     let backend = kind.backend();
-    let per_section = budget_s / 3.0;
+    let per_section = budget_s / 4.0;
 
     // 1. Raw FMA on one limb row, big enough to stream from cache/memory.
     let modulus = Modulus::special_primes()[0];
@@ -84,7 +110,16 @@ fn measure(kind: BackendKind, params: &PirParams, db: &Database, budget_s: f64) 
     let mut acc = vec![0u64; len];
     let fma_s = time_loop(per_section, || backend.fma(&modulus, &mut acc, &a, &b));
 
-    // 2 + 3. The pipeline on a real server with warm per-worker scratch.
+    // 2. Forward + inverse NTT dispatch at the paper's ring degree.
+    let ntt_n = 4096usize;
+    let table = NttTable::new(&modulus, ntt_n).expect("special primes reach 2^12");
+    let mut row: Vec<u64> = (0..ntt_n).map(|_| rng.gen_range(0..modulus.value())).collect();
+    let ntt_pair_s = time_loop(per_section, || {
+        backend.ntt_forward(&table, &mut row);
+        backend.ntt_inverse(&table, &mut row);
+    });
+
+    // 3 + 4. The pipeline on a real server with warm per-worker scratch.
     let mut server = PirServer::new(params, db.clone()).expect("geometry matches");
     server.set_rowsel_threads(1); // measure the kernel path, not the pool
     server.set_backend(kind);
@@ -100,11 +135,50 @@ fn measure(kind: BackendKind, params: &PirParams, db: &Database, budget_s: f64) 
 
     let db_bytes = (db.as_words().len() * 8) as f64;
     BackendResult {
+        kind,
         fma_ns_per_elem: 1e9 * fma_s / len as f64,
+        ntt_us: 1e6 * ntt_pair_s / 2.0,
         rowsel_s,
         rowsel_gbps: db_bytes / rowsel_s / 1e9,
         answer_s,
     }
+}
+
+fn json_backend(r: &BackendResult) -> String {
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"fma_ns_per_elem\": {:.3},\n",
+            "      \"ntt_us\": {:.3},\n",
+            "      \"row_sel_ms\": {:.4},\n",
+            "      \"row_sel_gbps\": {:.4},\n",
+            "      \"answer_ms\": {:.4}\n",
+            "    }}"
+        ),
+        r.kind.as_str(),
+        r.fma_ns_per_elem,
+        r.ntt_us,
+        1e3 * r.rowsel_s,
+        r.rowsel_gbps,
+        1e3 * r.answer_s,
+    )
+}
+
+/// `{"fma": …, "ntt": …, "row_sel": …, "answer": …}` of `num/den` per
+/// metric (all "higher = faster" ratios: time of `den` over time of
+/// `num` is inverted so the JSON reads as speedup of `num` over `den`).
+fn json_speedup(label: &str, fast: &BackendResult, slow: &BackendResult) -> String {
+    format!(
+        concat!(
+            "    \"{}\": {{ \"fma\": {:.3}, \"ntt\": {:.3}, ",
+            "\"row_sel\": {:.3}, \"answer\": {:.3} }}"
+        ),
+        label,
+        slow.fma_ns_per_elem / fast.fma_ns_per_elem,
+        slow.ntt_us / fast.ntt_us,
+        slow.rowsel_s / fast.rowsel_s,
+        slow.answer_s / fast.answer_s,
+    )
 }
 
 fn main() {
@@ -119,82 +193,97 @@ fn main() {
     let params = PirParams::new(he, 8, args.dims).expect("geometry valid");
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let db = Database::random(&params, &mut rng);
+
+    let features = detected_features();
+    let mut kinds = vec![BackendKind::Scalar, BackendKind::Optimized];
+    if simd_available() {
+        kinds.push(BackendKind::Simd);
+    } else {
+        eprintln!("hotpath: AVX2 not detected — simd rows omitted (see detected_features)");
+    }
     println!(
-        "hotpath: {} records x {}B ({:.1} MiB preprocessed), scalar vs optimized, total budget \
-         {:.1}s",
+        "hotpath: {} records x {}B ({:.1} MiB preprocessed), backends [{}], features [{}], \
+         total budget {:.1}s",
         params.num_records(),
         params.record_bytes(),
         (db.as_words().len() * 8) as f64 / (1 << 20) as f64,
+        kinds.iter().map(|k| k.as_str()).collect::<Vec<_>>().join(", "),
+        features.join(", "),
         args.seconds
     );
 
-    let half = args.seconds / 2.0;
-    let scalar = measure(BackendKind::Scalar, &params, &db, half);
-    let optimized = measure(BackendKind::Optimized, &params, &db, half);
-    let speedup = scalar.rowsel_s / optimized.rowsel_s;
+    let per_backend = args.seconds / kinds.len() as f64;
+    let results: Vec<BackendResult> =
+        kinds.iter().map(|&k| measure(k, &params, &db, per_backend)).collect();
 
     fmt::print_table(
-        "hotpath: VPE kernel backends on the RowSel-dominated query path",
-        &["backend", "fma ns/elem", "row_sel ms", "row_sel GB/s", "answer ms"],
-        &[
-            vec![
-                "scalar".into(),
-                fmt::f(scalar.fma_ns_per_elem),
-                fmt::f(1e3 * scalar.rowsel_s),
-                fmt::f(scalar.rowsel_gbps),
-                fmt::f(1e3 * scalar.answer_s),
-            ],
-            vec![
-                "optimized".into(),
-                fmt::f(optimized.fma_ns_per_elem),
-                fmt::f(1e3 * optimized.rowsel_s),
-                fmt::f(optimized.rowsel_gbps),
-                fmt::f(1e3 * optimized.answer_s),
-            ],
-        ],
+        "hotpath: VPE kernel backend matrix on the RowSel-dominated query path",
+        &["backend", "fma ns/elem", "ntt us", "row_sel ms", "row_sel GB/s", "answer ms"],
+        &results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.kind.as_str().into(),
+                    fmt::f(r.fma_ns_per_elem),
+                    fmt::f(r.ntt_us),
+                    fmt::f(1e3 * r.rowsel_s),
+                    fmt::f(r.rowsel_gbps),
+                    fmt::f(1e3 * r.answer_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
-    println!("row_sel speedup (optimized / scalar): {speedup:.2}x");
-    if speedup < 1.5 {
+
+    let scalar = &results[0];
+    let optimized = &results[1];
+    let simd = results.get(2);
+    println!("row_sel speedup (optimized / scalar): {:.2}x", scalar.rowsel_s / optimized.rowsel_s);
+    if scalar.rowsel_s / optimized.rowsel_s < 1.5 {
         eprintln!("warning: expected the optimized backend to be >= 1.5x faster on row_sel");
+    }
+    if let Some(simd) = simd {
+        println!(
+            "simd over optimized: fma {:.2}x, ntt {:.2}x, row_sel {:.2}x, answer {:.2}x",
+            optimized.fma_ns_per_elem / simd.fma_ns_per_elem,
+            optimized.ntt_us / simd.ntt_us,
+            optimized.rowsel_s / simd.rowsel_s,
+            optimized.answer_s / simd.answer_s,
+        );
+        if optimized.fma_ns_per_elem / simd.fma_ns_per_elem < 1.5
+            || optimized.ntt_us / simd.ntt_us < 1.5
+        {
+            eprintln!("warning: expected the simd backend to be >= 1.5x faster on fma and ntt");
+        }
     }
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let phase = |label: &str, r: &BackendResult| {
-        format!(
-            concat!(
-                "  \"{}\": {{\n",
-                "    \"fma_ns_per_elem\": {:.3},\n",
-                "    \"row_sel_ms\": {:.4},\n",
-                "    \"row_sel_gbps\": {:.4},\n",
-                "    \"answer_ms\": {:.4}\n",
-                "  }}"
-            ),
-            label,
-            r.fma_ns_per_elem,
-            1e3 * r.rowsel_s,
-            r.rowsel_gbps,
-            1e3 * r.answer_s,
-        )
-    };
+    let backend_blocks = results.iter().map(json_backend).collect::<Vec<_>>().join(",\n");
+    let mut speedup_blocks = vec![json_speedup("optimized_over_scalar", optimized, scalar)];
+    if let Some(simd) = simd {
+        speedup_blocks.push(json_speedup("simd_over_optimized", simd, optimized));
+        speedup_blocks.push(json_speedup("simd_over_scalar", simd, scalar));
+    }
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"hotpath\",\n",
             "  \"cores\": {},\n",
+            "  \"arch\": \"{}\",\n",
+            "  \"detected_features\": [{}],\n",
             "  \"geometry\": {{ \"records\": {}, \"record_bytes\": {}, ",
             "\"preprocessed_bytes\": {} }},\n",
-            "{},\n",
-            "{},\n",
-            "  \"row_sel\": {{ \"speedup\": {:.3} }}\n",
+            "  \"backends\": {{\n{}\n  }},\n",
+            "  \"speedup\": {{\n{}\n  }}\n",
             "}}\n"
         ),
         cores,
+        std::env::consts::ARCH,
+        features.iter().map(|f| format!("\"{f}\"")).collect::<Vec<_>>().join(", "),
         params.num_records(),
         params.record_bytes(),
         db.as_words().len() * 8,
-        phase("scalar", &scalar),
-        phase("optimized", &optimized),
-        speedup,
+        backend_blocks,
+        speedup_blocks.join(",\n"),
     );
     std::fs::write(&args.json_out, &json).expect("write json");
     println!("wrote {}", args.json_out);

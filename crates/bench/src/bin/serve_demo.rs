@@ -17,7 +17,8 @@
 //!
 //! Usage: `serve_demo [--seconds 4] [--clients 8] [--qps 0 (auto)]
 //! [--window-ms 10] [--max-batch 16] [--workers 2] [--shards 2]
-//! [--depth 4] [--json-out BENCH_serve.json] [--tcp]`
+//! [--depth 4] [--backend auto|simd|optimized|scalar]
+//! [--json-out BENCH_serve.json] [--tcp]`
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -25,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use ive_accel::queue::{simulate_poisson, ServiceTable};
 use ive_bench::fmt;
+use ive_math::kernel::BackendKind;
 use ive_pir::{Database, PirClient, PirParams, PirServer, TournamentOrder};
 use ive_serve::config::{ServeConfig, ShardPlan};
 use ive_serve::transport::{in_proc_pair, BoxedConn, InProcConnector};
@@ -40,6 +42,7 @@ struct Args {
     workers: usize,
     shards: usize,
     depth: usize,
+    backend: BackendKind,
     json_out: String,
     tcp: bool,
 }
@@ -55,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 2,
         shards: 2,
         depth: 4,
+        backend: BackendKind::Auto,
         json_out: "BENCH_serve.json".into(),
         tcp: false,
     };
@@ -79,6 +83,8 @@ fn parse_args() -> Result<Args, String> {
             "workers" => args.workers = parsed(key, &value)?,
             "shards" => args.shards = parsed(key, &value)?,
             "depth" => args.depth = parsed(key, &value)?,
+            // BackendKind's FromStr names every valid variant on error.
+            "backend" => args.backend = value.parse().map_err(|e| format!("{e}"))?,
             "json-out" => args.json_out = value,
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -301,7 +307,7 @@ fn main() {
         shard: ShardPlan::Replicated,
         rowsel_threads: 1,
         order: TournamentOrder::Hs { subtree_depth: 2 },
-        backend: ive_math::kernel::BackendKind::Optimized,
+        backend: args.backend,
         max_sessions: 64,
         accept_updates: true,
     };
@@ -317,7 +323,7 @@ fn main() {
         },
         rowsel_threads: 1,
         order: TournamentOrder::Hs { subtree_depth: 2 },
-        backend: ive_math::kernel::BackendKind::Optimized,
+        backend: args.backend,
         max_sessions: 64,
         accept_updates: true,
     };
@@ -410,6 +416,8 @@ fn main() {
             "{{\n",
             "  \"bench\": \"serve_demo\",\n",
             "  \"cores\": {},\n",
+            "  \"backend\": \"{}\",\n",
+            "  \"backend_resolved\": \"{}\",\n",
             "  \"transport\": \"{}\",\n",
             "  \"geometry\": {{ \"records\": {}, \"record_bytes\": {} }},\n",
             "  \"calibration\": {{ \"t1_ms\": {:.3}, \"t_batch_ms\": {:.3}, ",
@@ -421,6 +429,8 @@ fn main() {
             "}}\n"
         ),
         cores,
+        args.backend,
+        args.backend.backend().name(),
         if args.tcp { "tcp" } else { "in-proc" },
         params.num_records(),
         params.record_bytes(),

@@ -16,14 +16,14 @@
 //!
 //! Usage: `update_churn [--seconds 4] [--clients 2] [--update-batch 4]
 //! [--updates-per-sec 20] [--shards 2] [--workers 2]
-//! [--json-out BENCH_update.json]`
+//! [--backend auto|simd|optimized|scalar] [--json-out BENCH_update.json]`
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ive_bench::fmt;
-use ive_pir::{Database, PirParams, RecordUpdate, TournamentOrder};
+use ive_pir::{BackendKind, Database, PirParams, RecordUpdate, TournamentOrder};
 use ive_serve::config::{ServeConfig, ShardPlan};
 use ive_serve::transport::in_proc_pair;
 use ive_serve::{PirService, ServeClient, ServerStats, UpdateClient};
@@ -36,6 +36,7 @@ struct Args {
     updates_per_sec: f64,
     shards: usize,
     workers: usize,
+    backend: BackendKind,
     json_out: String,
 }
 
@@ -48,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         updates_per_sec: 20.0,
         shards: 2,
         workers: 2,
+        backend: BackendKind::Auto,
         json_out: "BENCH_update.json".into(),
     };
     let mut i = 0;
@@ -64,6 +66,8 @@ fn parse_args() -> Result<Args, String> {
             "updates-per-sec" => args.updates_per_sec = parsed(key, &value)?,
             "shards" => args.shards = parsed(key, &value)?,
             "workers" => args.workers = parsed(key, &value)?,
+            // BackendKind's FromStr names every valid variant on error.
+            "backend" => args.backend = value.parse().map_err(|e| format!("{e}"))?,
             "json-out" => args.json_out = value,
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -105,7 +109,7 @@ fn run_phase(
         },
         rowsel_threads: 1,
         order: TournamentOrder::Hs { subtree_depth: 2 },
-        backend: ive_pir::BackendKind::Optimized,
+        backend: args.backend,
         max_sessions: 64,
         accept_updates: true,
     };
@@ -337,6 +341,8 @@ fn main() {
             "{{\n",
             "  \"bench\": \"update_churn\",\n",
             "  \"cores\": {},\n",
+            "  \"backend\": \"{}\",\n",
+            "  \"backend_resolved\": \"{}\",\n",
             "  \"geometry\": {{ \"records\": {}, \"record_bytes\": {}, \"shards\": {} }},\n",
             "  \"offered_updates_per_s\": {:.2},\n",
             "{},\n",
@@ -345,6 +351,8 @@ fn main() {
             "}}\n"
         ),
         cores,
+        phase_args.backend,
+        phase_args.backend.backend().name(),
         params.num_records(),
         params.record_bytes(),
         phase_args.shards,

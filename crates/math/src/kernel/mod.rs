@@ -1,0 +1,349 @@
+//! The VPE kernel layer: one backend executes every PIR hot kernel.
+//!
+//! IVE's central architectural claim is that a single set of *versatile*
+//! processing elements runs every kernel the PIR pipeline needs — NTT
+//! butterflies, pointwise multiply-accumulate, base conversion, and
+//! automorphism address generation — over a memory-bandwidth-bound
+//! database scan (§IV). This module is the software mirror of that shape:
+//! a [`VpeBackend`] exposes the five hot kernels as flat-slice operations
+//! on one residue limb at a time, and everything above (RNS polynomials,
+//! BFV/RGSW algebra, `RowSel`/`ColTor`) dispatches through it instead of
+//! open-coding scalar loops.
+//!
+//! Three implementations exist, one per submodule:
+//!
+//! * [`ScalarBackend`] ([`scalar`]) — the readable reference: textbook
+//!   loops over [`crate::reduce::mul_mod`] (a 128-bit remainder per
+//!   product). Slow on purpose; it is the oracle every other backend is
+//!   differentially tested against (`tests/kernel_props.rs`).
+//! * [`OptimizedBackend`] ([`optimized`]) — the portable serving path:
+//!   precomputed Barrett per-limb constants (carried by [`Modulus`]),
+//!   Shoup lazy twiddles in the NTT dispatch, a fused lazy-reduction FMA
+//!   (`acc·q` folded into one Barrett reduction per element instead of
+//!   reduce-then-add), and 4×-unrolled flat-slice loops.
+//! * `SimdBackend` ([`simd`], `x86_64` only) — the wide-datapath path:
+//!   AVX2 four-lane versions of the same arithmetic (64-bit high/low
+//!   products assembled from `_mm256_mul_epu32` splits, conditional
+//!   subtractions as branch-free vector compare/mask/sub). It is reached
+//!   through **runtime detection**: [`BackendKind::Simd`] and
+//!   [`BackendKind::Auto`] probe `is_x86_feature_detected!("avx2")` once
+//!   (cached in a `OnceLock`) and fall back to [`OptimizedBackend`] when
+//!   the host cannot run it, so no call site ever branches on the ISA.
+//!
+//! All backends are **bit-identical** on every input — the software
+//! analogue of §IV-G's observation that hardware may swap modular
+//! multiplier circuits without changing results. Backends are stateless
+//! zero-sized types, so a `&'static dyn VpeBackend` threads through the
+//! stack without reference counting; scratch space comes from a
+//! [`crate::arena::KernelArena`] owned by the calling worker.
+//!
+//! Operation counting for the model-validation tests
+//! (`tests/op_count_validation.rs` at the workspace root) happens *here*:
+//! each FMA/pointwise call charges [`crate::metrics`] with one MAC per
+//! element and each NTT dispatch with one residue transform, so counts
+//! stay exact no matter which layer — or which backend — invoked the
+//! kernel.
+
+use crate::gadget::Gadget;
+use crate::modulus::Modulus;
+use crate::ntt::NttTable;
+
+pub mod optimized;
+pub mod scalar;
+pub mod simd;
+
+pub use optimized::OptimizedBackend;
+pub use scalar::ScalarBackend;
+#[cfg(target_arch = "x86_64")]
+pub use simd::SimdBackend;
+
+/// The five hot kernels of the PIR pipeline, per residue limb.
+///
+/// All slices are flat `u64` limb rows of one length `n` with elements in
+/// `[0, q)`; outputs are always fully reduced. Implementations must be
+/// bit-identical to [`ScalarBackend`] (enforced by differential property
+/// tests).
+pub trait VpeBackend: Send + Sync + core::fmt::Debug {
+    /// Backend name for configs, logs, and bench JSON.
+    fn name(&self) -> &'static str;
+
+    /// Fused multiply-accumulate `acc[i] = acc[i] + a[i]·b[i] (mod q)` —
+    /// the `RowSel` inner loop and the gadget-GEMM contraction.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    fn fma(&self, modulus: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]);
+
+    /// Pointwise product `a[i] = a[i]·b[i] (mod q)`.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    fn pointwise_mul(&self, modulus: &Modulus, a: &mut [u64], b: &[u64]);
+
+    /// In-place forward negacyclic NTT of one limb row.
+    ///
+    /// # Panics
+    /// Panics if `a.len() != table.n()`.
+    fn ntt_forward(&self, table: &NttTable, a: &mut [u64]);
+
+    /// In-place inverse negacyclic NTT of one limb row (including the
+    /// `n^{-1}` scaling).
+    ///
+    /// # Panics
+    /// Panics if `a.len() != table.n()`.
+    fn ntt_inverse(&self, table: &NttTable, a: &mut [u64]);
+
+    /// Gadget decomposition `Dcp` (Fig. 3): splits every wide coefficient
+    /// into `ℓ` base-`z` digits, written digit-major into `out`
+    /// (`out[j·n + i]` is digit `j` of `wide[i]`, `n = wide.len()`).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != gadget.ell() * wide.len()`.
+    fn gadget_decompose(&self, gadget: &Gadget, wide: &[u128], out: &mut [u64]);
+}
+
+/// Whether the SIMD backend can actually run on this machine (AVX2
+/// present and the crate was built for `x86_64`). Probed once per
+/// process; every later call is a cached load.
+#[inline]
+pub fn simd_available() -> bool {
+    simd::available()
+}
+
+/// Which [`VpeBackend`] a configuration selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The scalar reference backend (slow, oracle).
+    Scalar,
+    /// The portable Barrett/Shoup lazy-reduction backend.
+    Optimized,
+    /// The AVX2 wide-datapath backend. Falls back to [`Optimized`]
+    /// (resolved once, at selection time) on hosts without AVX2, so
+    /// requesting it is always safe; check [`simd_available`] to learn
+    /// what actually runs.
+    ///
+    /// [`Optimized`]: BackendKind::Optimized
+    Simd,
+    /// Picks the fastest backend the host supports (the serving
+    /// default): [`Simd`] where AVX2 is detected, [`Optimized`]
+    /// everywhere else.
+    ///
+    /// [`Simd`]: BackendKind::Simd
+    /// [`Optimized`]: BackendKind::Optimized
+    #[default]
+    Auto,
+}
+
+/// All selectable kinds, in `Display` order — the single source for
+/// `FromStr` error messages and round-trip tests.
+pub const BACKEND_KINDS: [BackendKind; 4] =
+    [BackendKind::Scalar, BackendKind::Optimized, BackendKind::Simd, BackendKind::Auto];
+
+impl BackendKind {
+    /// Resolves the selection to a backend instance. `Simd` and `Auto`
+    /// resolve through the cached runtime feature probe, so the returned
+    /// reference never needs a per-call ISA branch.
+    pub fn backend(self) -> &'static dyn VpeBackend {
+        match self {
+            BackendKind::Scalar => &ScalarBackend,
+            BackendKind::Optimized => &OptimizedBackend,
+            BackendKind::Simd | BackendKind::Auto => simd::best_available(),
+        }
+    }
+
+    /// The canonical config-file / CLI name of this kind (what
+    /// `Display` prints and `FromStr` parses). Distinct from
+    /// [`VpeBackend::name`], which reports what actually *runs* — on a
+    /// host without AVX2, `BackendKind::Simd.as_str()` is `"simd"` while
+    /// `BackendKind::Simd.backend().name()` is `"optimized"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Optimized => "optimized",
+            BackendKind::Simd => "simd",
+            BackendKind::Auto => "auto",
+        }
+    }
+}
+
+impl core::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unknown [`BackendKind`] name: names
+/// every valid variant so configs fail loudly instead of silently
+/// defaulting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendKindError {
+    /// The rejected input.
+    pub unknown: String,
+}
+
+impl core::fmt::Display for ParseBackendKindError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unknown backend {:?}; valid backends are", self.unknown)?;
+        for (i, kind) in BACKEND_KINDS.iter().enumerate() {
+            write!(f, "{} \"{kind}\"", if i == 0 { "" } else { "," })?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseBackendKindError {}
+
+impl core::str::FromStr for BackendKind {
+    type Err = ParseBackendKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BACKEND_KINDS
+            .into_iter()
+            .find(|kind| kind.as_str() == s)
+            .ok_or_else(|| ParseBackendKindError { unknown: s.to_string() })
+    }
+}
+
+/// The backend every layer uses unless told otherwise (the [`Auto`]
+/// resolution: SIMD where the host supports it).
+///
+/// [`Auto`]: BackendKind::Auto
+#[inline]
+pub fn default_backend() -> &'static dyn VpeBackend {
+    BackendKind::default().backend()
+}
+
+/// Whole-polynomial FMA over all residue limbs: `acc += a ⊙ b` where the
+/// three slices are flat `k × n` limb matrices (`n` inferred from the
+/// length). The helper the `RowSel` scan and gadget GEMMs build on.
+///
+/// # Panics
+/// Panics if lengths differ or are not a multiple of `moduli.len()`.
+pub fn fma_poly(
+    backend: &dyn VpeBackend,
+    moduli: &[Modulus],
+    acc: &mut [u64],
+    a: &[u64],
+    b: &[u64],
+) {
+    assert_eq!(acc.len(), a.len());
+    assert_eq!(acc.len(), b.len());
+    assert_eq!(acc.len() % moduli.len(), 0, "flat poly not a multiple of the limb count");
+    let n = acc.len() / moduli.len();
+    for (m, modulus) in moduli.iter().enumerate() {
+        backend.fma(
+            modulus,
+            &mut acc[m * n..(m + 1) * n],
+            &a[m * n..(m + 1) * n],
+            &b[m * n..(m + 1) * n],
+        );
+    }
+}
+
+/// Whole-polynomial pointwise product over all residue limbs
+/// (`a ⊙= b`, flat `k × n` layout as in [`fma_poly`]).
+///
+/// # Panics
+/// Panics if lengths differ or are not a multiple of `moduli.len()`.
+pub fn pointwise_mul_poly(backend: &dyn VpeBackend, moduli: &[Modulus], a: &mut [u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len() % moduli.len(), 0, "flat poly not a multiple of the limb count");
+    let n = a.len() / moduli.len();
+    for (m, modulus) in moduli.iter().enumerate() {
+        backend.pointwise_mul(modulus, &mut a[m * n..(m + 1) * n], &b[m * n..(m + 1) * n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::str::FromStr;
+    use rand::{Rng, SeedableRng};
+
+    fn modulus() -> Modulus {
+        Modulus::special_primes()[0]
+    }
+
+    fn rand_row(n: usize, q: u64, rng: &mut impl Rng) -> Vec<u64> {
+        (0..n).map(|_| rng.gen_range(0..q)).collect()
+    }
+
+    #[test]
+    fn backends_agree_on_fma_and_mul() {
+        let m = modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        for n in [1usize, 3, 4, 7, 64, 255] {
+            let a = rand_row(n, m.value(), &mut rng);
+            let b = rand_row(n, m.value(), &mut rng);
+            let acc0 = rand_row(n, m.value(), &mut rng);
+            let (mut s, mut o) = (acc0.clone(), acc0.clone());
+            ScalarBackend.fma(&m, &mut s, &a, &b);
+            OptimizedBackend.fma(&m, &mut o, &a, &b);
+            assert_eq!(s, o, "fma n={n}");
+            let (mut s, mut o) = (acc0.clone(), acc0);
+            ScalarBackend.pointwise_mul(&m, &mut s, &b);
+            OptimizedBackend.pointwise_mul(&m, &mut o, &b);
+            assert_eq!(s, o, "mul n={n}");
+        }
+    }
+
+    #[test]
+    fn fma_poly_spans_limbs() {
+        let moduli = Modulus::special_primes()[..2].to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        let n = 16;
+        let flat = |rng: &mut rand::rngs::StdRng| -> Vec<u64> {
+            moduli.iter().flat_map(|m| rand_row(n, m.value(), rng)).collect()
+        };
+        let a = flat(&mut rng);
+        let b = flat(&mut rng);
+        let mut acc = vec![0u64; 2 * n];
+        fma_poly(default_backend(), &moduli, &mut acc, &a, &b);
+        for (m, modulus) in moduli.iter().enumerate() {
+            for i in 0..n {
+                assert_eq!(acc[m * n + i], modulus.mul(a[m * n + i], b[m * n + i]));
+            }
+        }
+    }
+
+    #[test]
+    fn kind_display_fromstr_roundtrip_all_variants() {
+        for kind in BACKEND_KINDS {
+            let name = kind.to_string();
+            assert_eq!(BackendKind::from_str(&name), Ok(kind), "round-trip {name}");
+        }
+        assert_eq!(BackendKind::from_str("scalar"), Ok(BackendKind::Scalar));
+        assert_eq!(BackendKind::from_str("optimized"), Ok(BackendKind::Optimized));
+        assert_eq!(BackendKind::from_str("simd"), Ok(BackendKind::Simd));
+        assert_eq!(BackendKind::from_str("auto"), Ok(BackendKind::Auto));
+    }
+
+    #[test]
+    fn unknown_kind_error_names_every_variant() {
+        let err = BackendKind::from_str("sse9").expect_err("must reject");
+        let msg = err.to_string();
+        assert!(msg.contains("\"sse9\""), "echoes the input: {msg}");
+        for kind in BACKEND_KINDS {
+            assert!(msg.contains(&format!("\"{kind}\"")), "names {kind}: {msg}");
+        }
+    }
+
+    #[test]
+    fn auto_resolves_to_best_available() {
+        assert_eq!(BackendKind::default(), BackendKind::Auto);
+        let auto = BackendKind::Auto.backend().name();
+        let simd = BackendKind::Simd.backend().name();
+        if simd_available() {
+            assert_eq!(auto, "simd");
+            assert_eq!(simd, "simd");
+        } else {
+            assert_eq!(auto, "optimized");
+            assert_eq!(simd, "optimized", "Simd must fall back when undetected");
+        }
+        assert_eq!(BackendKind::Scalar.backend().name(), "scalar");
+        assert_eq!(BackendKind::Optimized.backend().name(), "optimized");
+        // Display reflects the *selection*, not the resolution.
+        assert_eq!(BackendKind::Auto.to_string(), "auto");
+        assert_eq!(BackendKind::Simd.to_string(), "simd");
+    }
+}

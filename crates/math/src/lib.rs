@@ -15,9 +15,10 @@
 //! * [`gadget`] — base-`z` digit decomposition (`Dcp`, Fig. 3).
 //! * [`kernel`] — the VPE kernel layer: one [`kernel::VpeBackend`]
 //!   executes every hot kernel (pointwise FMA, NTT dispatch, gadget
-//!   decompose) over flat limb slices; a scalar reference backend and a
-//!   Barrett/Shoup lazy-reduction backend are bit-identical by
-//!   construction and by differential property tests.
+//!   decompose) over flat limb slices; a scalar reference backend, a
+//!   Barrett/Shoup lazy-reduction backend, and a runtime-detected AVX2
+//!   backend are bit-identical by construction and by differential
+//!   property tests.
 //! * [`arena`] — reusable scratch buffers ([`arena::KernelArena`]) that
 //!   keep the allocator off the per-query hot path.
 //! * [`poly`] — schoolbook negacyclic arithmetic used as a test oracle, and

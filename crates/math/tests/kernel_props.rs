@@ -1,18 +1,61 @@
 //! Differential property tests for the VPE kernel layer: on random
-//! inputs, the optimized Barrett/Shoup backend must be **bit-identical**
-//! to the scalar reference backend for all four hot kernels — the
-//! software counterpart of §IV-G's claim that swapping modular multiplier
+//! inputs, every accelerated backend must be **bit-identical** to the
+//! scalar reference backend for all five hot kernels — the software
+//! counterpart of §IV-G's claim that swapping modular multiplier
 //! circuits never changes results.
+//!
+//! The tests run a backend-pair **matrix**: `scalar ≡ optimized` always,
+//! and `scalar ≡ simd` whenever the host's AVX2 is detected (on other
+//! hosts the SIMD pair is skipped cleanly rather than silently testing
+//! the fallback twice). The modulus pool stresses every dispatch tier:
+//! the paper's four 28-bit special primes, an NTT-friendly prime
+//! hugging the 29-bit cutoff of the AVX2 vector paths from below, one
+//! just under 2^32 (the narrow scalar path's boundary), and a 40-bit
+//! prime that must take the wide fallback. Lengths are drawn from
+//! `1..300`, so non-multiples of the four-lane vector width and
+//! sub-lane rows are always in play.
 
 use ive_math::gadget::Gadget;
-use ive_math::kernel::{OptimizedBackend, ScalarBackend, VpeBackend};
+use ive_math::kernel::{simd_available, BackendKind, ScalarBackend, VpeBackend};
 use ive_math::modulus::Modulus;
 use ive_math::ntt::NttTable;
+use ive_math::prime::find_ntt_prime_below;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
-fn special_prime(which: usize) -> Modulus {
-    Modulus::special_primes()[which % 4]
+/// Every backend that must match the scalar oracle on this host:
+/// `optimized` always, `simd` only when the runtime probe finds AVX2
+/// (the `BackendKind::Simd` fallback would otherwise just re-test the
+/// optimized backend under another label).
+fn backends_under_test() -> Vec<&'static dyn VpeBackend> {
+    let mut v: Vec<&'static dyn VpeBackend> = vec![BackendKind::Optimized.backend()];
+    if simd_available() {
+        let simd = BackendKind::Simd.backend();
+        assert_eq!(simd.name(), "simd", "probe says AVX2 but Simd resolved to the fallback");
+        v.push(simd);
+    } else {
+        eprintln!("kernel_props: AVX2 not detected, scalar≡simd pairs skipped");
+    }
+    v
+}
+
+/// The modulus pool: four 28-bit special primes, the largest
+/// NTT-friendly primes below 2^29 (the widest the vector paths accept),
+/// below 2^32 (narrow scalar fallback boundary), and below 2^40 (wide
+/// fallback). All support negacyclic NTTs to degree 512.
+fn modulus_pool() -> Vec<Modulus> {
+    let mut pool = Modulus::special_primes().to_vec();
+    for bits in [29u32, 32, 40] {
+        let q = find_ntt_prime_below(bits, 512)
+            .unwrap_or_else(|| panic!("an NTT-friendly prime below 2^{bits} exists"));
+        pool.push(Modulus::new(q));
+    }
+    pool
+}
+
+fn pick_modulus(which: usize) -> Modulus {
+    let pool = modulus_pool();
+    pool[which % pool.len()]
 }
 
 fn rand_row(n: usize, q: u64, rng: &mut impl Rng) -> Vec<u64> {
@@ -23,50 +66,57 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn fma_is_bit_identical(seed in any::<u64>(), which in 0usize..4, n in 1usize..300) {
-        let m = special_prime(which);
+    fn fma_is_bit_identical(seed in any::<u64>(), which in 0usize..7, n in 1usize..300) {
+        let m = pick_modulus(which);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let a = rand_row(n, m.value(), &mut rng);
         let b = rand_row(n, m.value(), &mut rng);
         let acc0 = rand_row(n, m.value(), &mut rng);
         let mut scalar = acc0.clone();
-        let mut optimized = acc0;
         ScalarBackend.fma(&m, &mut scalar, &a, &b);
-        OptimizedBackend.fma(&m, &mut optimized, &a, &b);
-        prop_assert_eq!(scalar, optimized);
+        for backend in backends_under_test() {
+            let mut out = acc0.clone();
+            backend.fma(&m, &mut out, &a, &b);
+            prop_assert_eq!(&scalar, &out, "fma diverged: {} q={}", backend.name(), m.value());
+        }
     }
 
     #[test]
-    fn pointwise_mul_is_bit_identical(seed in any::<u64>(), which in 0usize..4, n in 1usize..300) {
-        let m = special_prime(which);
+    fn pointwise_mul_is_bit_identical(seed in any::<u64>(), which in 0usize..7, n in 1usize..300) {
+        let m = pick_modulus(which);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let b = rand_row(n, m.value(), &mut rng);
         let a0 = rand_row(n, m.value(), &mut rng);
         let mut scalar = a0.clone();
-        let mut optimized = a0;
         ScalarBackend.pointwise_mul(&m, &mut scalar, &b);
-        OptimizedBackend.pointwise_mul(&m, &mut optimized, &b);
-        prop_assert_eq!(scalar, optimized);
+        for backend in backends_under_test() {
+            let mut out = a0.clone();
+            backend.pointwise_mul(&m, &mut out, &b);
+            prop_assert_eq!(&scalar, &out, "mul diverged: {} q={}", backend.name(), m.value());
+        }
     }
 
     #[test]
-    fn ntt_dispatch_is_bit_identical(seed in any::<u64>(), which in 0usize..4, log_n in 1u32..10) {
-        let m = special_prime(which);
+    fn ntt_dispatch_is_bit_identical(seed in any::<u64>(), which in 0usize..7, log_n in 1u32..10) {
+        let m = pick_modulus(which);
         let n = 1usize << log_n;
-        let table = NttTable::new(&m, n).expect("special primes are NTT-friendly to 2^12");
+        let table = NttTable::new(&m, n).expect("pool primes are NTT-friendly to 2^9");
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let orig = rand_row(n, m.value(), &mut rng);
 
-        let mut scalar = orig.clone();
-        let mut optimized = orig.clone();
-        ScalarBackend.ntt_forward(&table, &mut scalar);
-        OptimizedBackend.ntt_forward(&table, &mut optimized);
-        prop_assert_eq!(&scalar, &optimized, "forward diverged");
+        let mut scalar_f = orig.clone();
+        ScalarBackend.ntt_forward(&table, &mut scalar_f);
+        let mut scalar_i = scalar_f.clone();
+        ScalarBackend.ntt_inverse(&table, &mut scalar_i);
+        prop_assert_eq!(&scalar_i, &orig, "scalar roundtrip lost the input");
 
-        ScalarBackend.ntt_inverse(&table, &mut scalar);
-        OptimizedBackend.ntt_inverse(&table, &mut optimized);
-        prop_assert_eq!(&scalar, &optimized, "inverse diverged");
-        prop_assert_eq!(&scalar, &orig, "roundtrip lost the input");
+        for backend in backends_under_test() {
+            let mut out = orig.clone();
+            backend.ntt_forward(&table, &mut out);
+            prop_assert_eq!(&scalar_f, &out, "forward diverged: {} q={}", backend.name(), m.value());
+            backend.ntt_inverse(&table, &mut out);
+            prop_assert_eq!(&scalar_i, &out, "inverse diverged: {} q={}", backend.name(), m.value());
+        }
     }
 
     #[test]
@@ -80,9 +130,14 @@ proptest! {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let wide: Vec<u128> = (0..n).map(|_| rng.gen::<u128>() >> 19).collect();
         let mut scalar = vec![0u64; gadget.ell() * n];
-        let mut optimized = vec![0u64; gadget.ell() * n];
         ScalarBackend.gadget_decompose(&gadget, &wide, &mut scalar);
-        OptimizedBackend.gadget_decompose(&gadget, &wide, &mut optimized);
-        prop_assert_eq!(scalar, optimized);
+        for backend in backends_under_test() {
+            let mut out = vec![0u64; gadget.ell() * n];
+            backend.gadget_decompose(&gadget, &wide, &mut out);
+            prop_assert_eq!(
+                &scalar, &out,
+                "decompose diverged: {} base=2^{}", backend.name(), base_bits
+            );
+        }
     }
 }

@@ -268,7 +268,7 @@ mod tests {
     fn prepared_put_matches_offline_preprocessing() {
         let params = PirParams::toy();
         let bytes = b"delta payload".to_vec();
-        for backend in [BackendKind::Scalar, BackendKind::Optimized] {
+        for backend in [BackendKind::Scalar, BackendKind::Optimized, BackendKind::Simd] {
             let p = PreparedUpdate::prepare(&params, &RecordUpdate::put(5, bytes.clone()), backend)
                 .unwrap();
             assert_eq!(p.index(), 5);

@@ -61,7 +61,10 @@ fn warm_row_sel_performs_zero_heap_allocations() {
     let expanded = server.expand(client.public_keys(), &query).expect("keys ok");
     let batch: Vec<Vec<_>> = vec![expanded.clone(), expanded.clone()];
 
-    for backend in [BackendKind::Optimized, BackendKind::Scalar] {
+    // `Simd` resolves to the AVX2 kernels where the host has them and to
+    // the optimized fallback elsewhere; either way the warm scan must
+    // stay allocation-free.
+    for backend in [BackendKind::Optimized, BackendKind::Scalar, BackendKind::Simd] {
         server.set_backend(backend);
         let mut scratch = QueryScratch::new();
 

@@ -45,8 +45,12 @@ pub struct ServeConfig {
     /// `ColTor` traversal order used by every shard.
     pub order: TournamentOrder,
     /// Which VPE kernel backend every pipeline step dispatches through.
-    /// Backends are bit-identical in output; `Optimized` (the default)
-    /// is the Barrett/Shoup lazy-reduction path, `Scalar` the reference.
+    /// Backends are bit-identical in output: `Auto` (the default) picks
+    /// the fastest the host supports — the AVX2 `Simd` backend where
+    /// runtime detection finds it, the Barrett/Shoup `Optimized` path
+    /// everywhere else; `Simd` requests AVX2 explicitly (with the same
+    /// safe fallback), and `Scalar` is the reference oracle. Parse
+    /// config strings with [`ServeConfig::with_backend_name`].
     pub backend: BackendKind,
     /// Upper bound on cached sessions: each registration pins hundreds
     /// of KB of key material server-side, so an uncapped cache is a
@@ -85,6 +89,20 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
+    /// Selects the kernel backend by its config/CLI name (`"scalar"`,
+    /// `"optimized"`, `"simd"`, `"auto"`), as parsed by
+    /// [`BackendKind`]'s `FromStr`.
+    ///
+    /// # Errors
+    /// Unknown names are rejected with a [`ServeError::InvalidConfig`]
+    /// that names every valid variant — a typo'd backend must fail
+    /// loudly, never silently fall back to the default.
+    pub fn with_backend_name(mut self, name: &str) -> Result<Self, ServeError> {
+        self.backend =
+            name.parse::<BackendKind>().map_err(|e| ServeError::InvalidConfig(e.to_string()))?;
+        Ok(self)
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -123,6 +141,24 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         ServeConfig::default().validate().expect("default must validate");
+    }
+
+    #[test]
+    fn backend_names_parse_and_unknown_names_fail_loudly() {
+        for (name, kind) in [
+            ("scalar", BackendKind::Scalar),
+            ("optimized", BackendKind::Optimized),
+            ("simd", BackendKind::Simd),
+            ("auto", BackendKind::Auto),
+        ] {
+            let cfg = ServeConfig::default().with_backend_name(name).expect("valid name");
+            assert_eq!(cfg.backend, kind, "{name}");
+        }
+        let err = ServeConfig::default().with_backend_name("fastest").expect_err("must reject");
+        let msg = err.to_string();
+        for name in ["\"fastest\"", "\"scalar\"", "\"optimized\"", "\"simd\"", "\"auto\""] {
+            assert!(msg.contains(name), "error must name {name}: {msg}");
+        }
     }
 
     #[test]
