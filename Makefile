@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test verify bench figures serve-demo hotpath update-churn doc fmt fmt-check clippy lint clean
+.PHONY: all build test verify bench figures serve-demo hotpath update-churn kv-demo doc fmt fmt-check clippy lint clean
 
 all: build
 
@@ -41,6 +41,11 @@ hotpath:
 ## mutable database) and refresh BENCH_update.json.
 update-churn:
 	$(CARGO) run --release -p ive_bench --bin update_churn
+
+## Serve the private key-value store over TCP (keyword PIR + live
+## put/delete mutations) and refresh BENCH_kv.json.
+kv-demo:
+	$(CARGO) run --release -p ive_bench --bin kv_demo
 
 ## Build the API docs with CI's settings (warnings are errors).
 doc:

@@ -1,5 +1,8 @@
-//! Regenerates Fig. 8: DRAM traffic by scheduling method.
+//! Regenerates Fig. 8: DRAM traffic by scheduling method — plus the
+//! *measured* wire traffic of the serving protocol (Table VIII's
+//! response-compression claim, weighed on real encoded frames).
 use ive_bench::{fig8, fmt};
+use rand::SeedableRng;
 
 fn to_rows(rows: &[ive_bench::fig8::TrafficRow]) -> Vec<Vec<String>> {
     rows.iter()
@@ -17,6 +20,58 @@ fn to_rows(rows: &[ive_bench::fig8::TrafficRow]) -> Vec<Vec<String>> {
         .collect()
 }
 
+/// Weighs the actual encoded frames of one toy index-PIR exchange and one
+/// keyword exchange: uplink (keys once + query per request) and downlink
+/// (full response vs modulus-switched compressed response).
+fn measured_wire_rows() -> Vec<Vec<String>> {
+    use ive_pir::kspir::{KsPirClient, KsPirParams};
+    use ive_pir::{wire, Database, PirClient, PirParams, PirServer};
+
+    let b = |n: usize| format!("{:.1}KB", n as f64 / 1024.0);
+
+    // Index PIR over the toy geometry.
+    let params = PirParams::toy();
+    let records: Vec<Vec<u8>> =
+        (0..params.num_records()).map(|i| format!("traffic {i}").into_bytes()).collect();
+    let db = Database::from_records(&params, &records).expect("records fit");
+    let server = PirServer::new(&params, db).expect("geometry");
+    let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(8)).expect("keygen");
+    let hello = wire::encode_hello(client.public_keys());
+    let query = client.query(3).expect("in range");
+    let query_frame = wire::encode_session_query(1, 1, &query);
+    let answer = server.answer(client.public_keys(), &query).expect("pipeline");
+    let response = wire::encode_session_response(1, &answer);
+    let switched =
+        ive_he::modswitch::switch_to_first_prime(params.he(), &answer).expect("switches");
+    let compressed = wire::encode_compressed_response(1, &switched);
+
+    // Keyword PIR: same downlink frames, keyword-shaped uplink.
+    let ks_params = KsPirParams::toy();
+    let mut ks_client =
+        KsPirClient::new(&ks_params, rand::rngs::StdRng::seed_from_u64(9)).expect("keygen");
+    let ks_hello = wire::encode_ks_hello(ks_client.public_keys());
+    let ks_query = wire::encode_ks_query(1, 1, &ks_client.query(5).expect("in range"));
+
+    vec![
+        vec![
+            "index".into(),
+            b(hello.len()),
+            b(query_frame.len()),
+            b(response.len()),
+            b(compressed.len()),
+            format!("{:.2}x", response.len() as f64 / compressed.len() as f64),
+        ],
+        vec![
+            "keyword".into(),
+            b(ks_hello.len()),
+            b(ks_query.len()),
+            b(response.len()),
+            b(compressed.len()),
+            format!("{:.2}x", response.len() as f64 / compressed.len() as f64),
+        ],
+    ]
+}
+
 fn main() {
     fmt::print_table(
         "Fig. 8a: ExpandQuery DRAM traffic, 32 queries, 8GB DB (GB)",
@@ -27,5 +82,10 @@ fn main() {
         "Fig. 8b: ColTor DRAM traffic, 32 queries, 8GB DB (GB)",
         &["schedule", "SRAM", "ct load", "ct store", "RGSW load", "total", "vs BFS"],
         &to_rows(&fig8::coltor_rows()),
+    );
+    fmt::print_table(
+        "Measured wire traffic, toy geometry (Table VIII compression on real frames)",
+        &["protocol", "keys once", "query", "response", "compressed", "shrink"],
+        &measured_wire_rows(),
     );
 }

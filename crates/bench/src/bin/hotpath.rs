@@ -133,7 +133,7 @@ fn measure(kind: BackendKind, params: &PirParams, db: &Database, budget_s: f64) 
         let _ = server.answer_with(client.public_keys(), &query, &mut scratch).expect("answer");
     });
 
-    let db_bytes = (db.as_words().len() * 8) as f64;
+    let db_bytes = (db.len() * db.record_words() * 8) as f64;
     BackendResult {
         kind,
         fma_ns_per_elem: 1e9 * fma_s / len as f64,
@@ -206,7 +206,7 @@ fn main() {
          total budget {:.1}s",
         params.num_records(),
         params.record_bytes(),
-        (db.as_words().len() * 8) as f64 / (1 << 20) as f64,
+        (db.len() * db.record_words() * 8) as f64 / (1 << 20) as f64,
         kinds.iter().map(|k| k.as_str()).collect::<Vec<_>>().join(", "),
         features.join(", "),
         args.seconds
@@ -281,7 +281,7 @@ fn main() {
         features.iter().map(|f| format!("\"{f}\"")).collect::<Vec<_>>().join(", "),
         params.num_records(),
         params.record_bytes(),
-        db.as_words().len() * 8,
+        db.len() * db.record_words() * 8,
         backend_blocks,
         speedup_blocks.join(",\n"),
     );

@@ -30,7 +30,7 @@ use ive_math::kernel::BackendKind;
 use ive_pir::{Database, PirClient, PirParams, PirServer, TournamentOrder};
 use ive_serve::config::{ServeConfig, ShardPlan};
 use ive_serve::transport::{in_proc_pair, BoxedConn, InProcConnector};
-use ive_serve::{PirService, ServeClient, ServerStats, TcpTransport};
+use ive_serve::{Connection, PirService, ServerStats, TcpTransport};
 use rand::{Rng, SeedableRng};
 
 struct Args {
@@ -159,7 +159,8 @@ fn run_phase(
             let params = params.clone();
             scope.spawn(move || {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(77_000 + c as u64);
-                let mut client = ServeClient::connect(&params, dialer.connect(), rng.clone())
+                let mut client = Connection::new(dialer.connect())
+                    .into_serve_client(&params, rng.clone())
                     .expect("handshake");
                 // Open-loop Poisson schedule: arrival times are fixed up
                 // front, and up to `depth` queries pipeline per
@@ -236,6 +237,7 @@ fn json_phase(
             "    \"completed\": {},\n",
             "    \"mean_latency_ms\": {:.3},\n",
             "    \"p95_latency_ms\": {:.3},\n",
+            "    \"p999_latency_ms\": {:.3},\n",
             "    \"avg_batch\": {:.3},\n",
             "    \"max_batch\": {},\n",
             "    \"predicted_latency_ms\": {:.3},\n",
@@ -248,6 +250,7 @@ fn json_phase(
         p.completed,
         p.stats.mean_latency_ms,
         p.stats.p95_latency_ms,
+        p.stats.p999_latency_ms,
         p.stats.avg_batch,
         p.stats.max_batch,
         predicted_latency_ms,
@@ -310,6 +313,8 @@ fn main() {
         backend: args.backend,
         max_sessions: 64,
         accept_updates: true,
+        compress_responses: false,
+        journal: None,
     };
     let batched_cfg = ServeConfig {
         window,
@@ -326,6 +331,8 @@ fn main() {
         backend: args.backend,
         max_sessions: 64,
         accept_updates: true,
+        compress_responses: false,
+        journal: None,
     };
 
     let single = run_phase(

@@ -26,7 +26,7 @@ use ive_bench::fmt;
 use ive_pir::{BackendKind, Database, PirParams, RecordUpdate, TournamentOrder};
 use ive_serve::config::{ServeConfig, ShardPlan};
 use ive_serve::transport::in_proc_pair;
-use ive_serve::{PirService, ServeClient, ServerStats, UpdateClient};
+use ive_serve::{Connection, PirService, ServerStats};
 use rand::{Rng, SeedableRng};
 
 struct Args {
@@ -84,6 +84,9 @@ struct PhaseResult {
     updates_acked: u64,
     final_epoch: u64,
     seconds: f64,
+    /// Copy-on-write accounting summed over the engine's shards: how
+    /// many row pages (and words) the phase's commits physically copied.
+    cow: ive_pir::db::CowStats,
 }
 
 /// Runs the closed-loop query load for ~`seconds`; when `churn` is set,
@@ -112,6 +115,8 @@ fn run_phase(
         backend: args.backend,
         max_sessions: 64,
         accept_updates: true,
+        compress_responses: false,
+        journal: None,
     };
     let (transport, connector) = in_proc_pair();
     let service =
@@ -137,8 +142,9 @@ fn run_phase(
             scope.spawn(move || {
                 let conn = connector.connect().expect("dial");
                 let rng = rand::rngs::StdRng::seed_from_u64(88_000 + c as u64);
-                let mut client =
-                    ServeClient::connect(&params, conn, rng.clone()).expect("handshake");
+                let mut client = Connection::new(conn)
+                    .into_serve_client(&params, rng.clone())
+                    .expect("handshake");
                 let mut rng = rng;
                 while !stop.load(Ordering::Relaxed) {
                     let target = rng.gen_range(0..params.num_records());
@@ -162,7 +168,8 @@ fn run_phase(
             let batch = args.update_batch;
             let per_sec = args.updates_per_sec.max(0.1);
             scope.spawn(move || {
-                let mut updater = UpdateClient::connect(connector.connect().expect("dial"));
+                let mut updater =
+                    Connection::new(connector.connect().expect("dial")).into_update_client();
                 let mut rng = rand::rngs::StdRng::seed_from_u64(99_001);
                 // Let the query plane answer first so the phases overlap.
                 while queries.load(Ordering::Relaxed) == 0 && !stop.load(Ordering::Relaxed) {
@@ -212,7 +219,8 @@ fn run_phase(
     // Read-your-writes at the final epoch, before shutdown.
     if churn && !written.is_empty() {
         let conn = connector.connect().expect("dial");
-        let mut reader = ServeClient::connect(params, conn, rand::rngs::StdRng::seed_from_u64(5))
+        let mut reader = Connection::new(conn)
+            .into_serve_client(params, rand::rngs::StdRng::seed_from_u64(5))
             .expect("handshake");
         for (index, bytes) in written.iter().take(8) {
             let got = reader.retrieve(*index).expect("retrieve updated");
@@ -225,6 +233,7 @@ fn run_phase(
         println!("[{label}] read-your-writes verified on {} updated records", written.len().min(8));
     }
 
+    let cow = service.engine().cow_stats();
     let stats = service.shutdown();
     println!("[{label}] {stats}");
     (
@@ -235,6 +244,7 @@ fn run_phase(
             updates_acked: updates_acked.load(Ordering::Relaxed),
             final_epoch: final_epoch.load(Ordering::Relaxed),
             seconds,
+            cow,
         },
         written,
     )
@@ -253,7 +263,9 @@ fn json_phase(label: &str, p: &PhaseResult) -> String {
             "    \"update_batches\": {},\n",
             "    \"updates_applied\": {},\n",
             "    \"final_epoch\": {},\n",
-            "    \"update_rate_per_s\": {:.2}\n",
+            "    \"update_rate_per_s\": {:.2},\n",
+            "    \"cow_pages_copied\": {},\n",
+            "    \"cow_words_copied\": {}\n",
             "  }}"
         ),
         label,
@@ -267,6 +279,8 @@ fn json_phase(label: &str, p: &PhaseResult) -> String {
         p.updates_acked,
         p.final_epoch,
         p.updates_acked as f64 / p.seconds,
+        p.cow.pages_copied,
+        p.cow.words_copied,
     )
 }
 
@@ -334,6 +348,21 @@ fn main() {
         "mean-latency degradation under churn: {degradation:.2}x (epoch swaps clone shard \
          buffers on the ingest path; scans never block)"
     );
+    // The O(deltas) commit claim, measured: a copy-on-write commit
+    // duplicates only the row pages its deltas touch, vs. the full
+    // database a clone-per-epoch scheme would copy every commit.
+    let db_words = db.to_words().len() as u64;
+    let epochs = churn.final_epoch.max(1);
+    let words_per_epoch = churn.cow.words_copied as f64 / epochs as f64;
+    println!(
+        "CoW commits: {} pages / {} words copied across {} epochs ({:.0} words/epoch, vs \
+         {db_words} words/epoch for whole-database clones)",
+        churn.cow.pages_copied, churn.cow.words_copied, epochs, words_per_epoch,
+    );
+    assert!(
+        churn.final_epoch == 0 || churn.cow.words_copied / epochs < db_words,
+        "commits must copy less than a full clone per epoch"
+    );
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
@@ -345,6 +374,8 @@ fn main() {
             "  \"backend_resolved\": \"{}\",\n",
             "  \"geometry\": {{ \"records\": {}, \"record_bytes\": {}, \"shards\": {} }},\n",
             "  \"offered_updates_per_s\": {:.2},\n",
+            "  \"db_words\": {},\n",
+            "  \"cow_words_per_epoch\": {:.1},\n",
             "{},\n",
             "{},\n",
             "  \"latency_degradation\": {:.3}\n",
@@ -357,6 +388,8 @@ fn main() {
         params.record_bytes(),
         phase_args.shards,
         phase_args.updates_per_sec,
+        db_words,
+        words_per_epoch,
         json_phase("baseline", &baseline),
         json_phase("churn", &churn),
         degradation,

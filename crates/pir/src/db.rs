@@ -6,16 +6,20 @@
 //! that `RowSel` becomes pure pointwise multiply-accumulate — the paper
 //! measures this preprocessing to speed PIR by more than 3.9× on CPU.
 //!
-//! The preprocessed records live in **one contiguous limb-major flat
-//! buffer** per database (`rows × D0 × k × n` words): record `(r, i)`
-//! occupies `k·n` consecutive words, its limb rows adjacent, so the
-//! `RowSel` scan walks the whole database as a single forward stream —
-//! the memory-bandwidth-bound access pattern IVE's PEs are built around
-//! (§IV-B) — instead of chasing one heap allocation per polynomial.
+//! The preprocessed records live in **copy-on-write row pages**: one
+//! contiguous limb-major block of `D0 × k × n` words per matrix row,
+//! shared behind an `Arc`. Within a page, record `(r, i)` occupies `k·n`
+//! consecutive words with its limb rows adjacent, so the `RowSel` scan
+//! still walks each row as a single forward stream — the
+//! memory-bandwidth-bound access pattern IVE's PEs are built around
+//! (§IV-B). Across epochs the pages are what makes mutation cheap:
+//! cloning a database (the engine's epoch snapshot) clones `Arc`s, not
+//! words, and [`Database::apply_updates`] copies **only the pages it
+//! touches** (`Arc::make_mut`), so commit cost is O(deltas), not O(DB).
 //!
 //! ```text
-//! flat: | rec(0,0): limb0[n] limb1[n] … | rec(0,1): … | … | rec(r,D0-1): … |
-//!         └── k·n words, NTT form ──┘
+//! pages[r]: | rec(r,0): limb0[n] limb1[n] … | rec(r,1): … | … | rec(r,D0-1) |
+//!             └────── k·n words, NTT form ──────┘
 //! ```
 
 use std::sync::Arc;
@@ -29,32 +33,54 @@ use crate::params::PirParams;
 use crate::update::PreparedUpdate;
 use crate::PirError;
 
-/// A preprocessed PIR database: one NTT-form `R_Q` polynomial per record,
-/// stored row-major over the `(D/D0) × D0` matrix view of Fig. 5 inside
-/// one contiguous limb-major buffer.
+/// Cumulative copy-on-write accounting for one database lineage.
 ///
-/// The buffer is *mutable under version control*: committed
-/// [`PreparedUpdate`] batches splice new record words in place and bump
+/// Counters are carried along by [`Clone`], so an engine that snapshots a
+/// database per epoch can diff them across commits to prove how much was
+/// *actually* copied (the acceptance metric for O(deltas) commits).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Row pages that were physically duplicated because they were shared
+    /// with another snapshot (or the shared all-zero tail page) at write
+    /// time.
+    pub pages_copied: u64,
+    /// Total words those duplications copied.
+    pub words_copied: u64,
+}
+
+/// A preprocessed PIR database: one NTT-form `R_Q` polynomial per record,
+/// stored row-major over the `(D/D0) × D0` matrix view of Fig. 5 as
+/// copy-on-write row pages (`Arc<Vec<u64>>`, one per row).
+///
+/// The pages are *mutable under version control*: committed
+/// [`PreparedUpdate`] batches splice new record words into the touched
+/// pages only (untouched pages stay shared with older snapshots) and bump
 /// the [`Database::epoch`], so a long-running server ingests content
-/// changes without a rebuild (see [`crate::update`]).
+/// changes without a rebuild and without re-copying the cold bulk of the
+/// database (see [`crate::update`]).
 #[derive(Debug, Clone)]
 pub struct Database {
     ctx: Arc<RingContext>,
-    /// `rows × d0 × k × n` words of NTT-form limb data.
-    flat: Vec<u64>,
+    /// One limb-major page of `d0 · k · n` words per matrix row.
+    pages: Vec<Arc<Vec<u64>>>,
     d0: usize,
     /// Words per record (`k · n`).
     rec_words: usize,
     /// Number of committed update batches absorbed since load.
     epoch: u64,
+    /// Pages physically copied by [`Database::apply_updates`] (cumulative).
+    cow_pages: u64,
+    /// Words physically copied by [`Database::apply_updates`] (cumulative).
+    cow_words: u64,
 }
 
 impl Database {
     /// Packs and preprocesses byte records.
     ///
     /// Records shorter than [`PirParams::record_bytes`] are zero-padded;
-    /// missing trailing records are all-zero. Supplying more records than
-    /// `D`, or a record that exceeds the capacity, is an error.
+    /// missing trailing records are all-zero (trailing all-zero rows
+    /// share one physical page). Supplying more records than `D`, or a
+    /// record that exceeds the capacity, is an error.
     ///
     /// # Errors
     /// Returns [`PirError::RecordTooLarge`] / [`PirError::TooManyRecords`].
@@ -69,16 +95,32 @@ impl Database {
         let he = params.he();
         let ctx = Arc::clone(he.ring());
         let rec_words = ctx.basis().len() * ctx.n();
-        let mut flat = Vec::with_capacity(params.num_records() * rec_words);
+        let d0 = params.d0();
+        let page_words = d0 * rec_words;
+        let num_rows = params.num_records() / d0;
+        let mut pages = Vec::with_capacity(num_rows);
+        let mut cur = Vec::with_capacity(page_words);
         for (i, rec) in records.iter().enumerate() {
             if rec.len() > capacity {
                 return Err(PirError::RecordTooLarge { index: i, len: rec.len(), capacity });
             }
-            flat.extend_from_slice(pack_record(he, rec)?.as_words());
+            cur.extend_from_slice(pack_record(he, rec)?.as_words());
+            if cur.len() == page_words {
+                pages.push(Arc::new(std::mem::replace(&mut cur, Vec::with_capacity(page_words))));
+            }
         }
-        // Missing trailing records are all-zero, and NTT(0) = 0.
-        flat.resize(params.num_records() * rec_words, 0);
-        Ok(Database { ctx, flat, d0: params.d0(), rec_words, epoch: 0 })
+        if !cur.is_empty() {
+            // Pad the partial trailing row; NTT(0) = 0.
+            cur.resize(page_words, 0);
+            pages.push(Arc::new(cur));
+        }
+        if pages.len() < num_rows {
+            // Missing trailing rows are all-zero: one shared physical
+            // page stands in for all of them until a write lands.
+            let zero = Arc::new(vec![0u64; page_words]);
+            pages.resize_with(num_rows, || Arc::clone(&zero));
+        }
+        Ok(Database { ctx, pages, d0, rec_words, epoch: 0, cow_pages: 0, cow_words: 0 })
     }
 
     /// A uniformly random database (benchmarks and property tests).
@@ -86,51 +128,82 @@ impl Database {
         let he = params.he();
         let ctx = Arc::clone(he.ring());
         let rec_words = ctx.basis().len() * ctx.n();
-        let mut flat = Vec::with_capacity(params.num_records() * rec_words);
+        let d0 = params.d0();
+        let page_words = d0 * rec_words;
+        let num_rows = params.num_records() / d0;
+        let mut pages = Vec::with_capacity(num_rows);
+        let mut cur = Vec::with_capacity(page_words);
         for _ in 0..params.num_records() {
             let vals: Vec<u64> = (0..he.n()).map(|_| rng.gen_range(0..he.p())).collect();
             let poly = Plaintext::new(he, vals).expect("sampled below P").to_ntt_poly(he);
-            flat.extend_from_slice(poly.as_words());
+            cur.extend_from_slice(poly.as_words());
+            if cur.len() == page_words {
+                pages.push(Arc::new(std::mem::replace(&mut cur, Vec::with_capacity(page_words))));
+            }
         }
-        Database { ctx, flat, d0: params.d0(), rec_words, epoch: 0 }
+        Database { ctx, pages, d0, rec_words, epoch: 0, cow_pages: 0, cow_words: 0 }
     }
 
     /// Number of record polynomials.
     #[inline]
     pub fn len(&self) -> usize {
-        self.flat.len() / self.rec_words
+        self.pages.len() * self.d0
     }
 
     /// Whether the database holds no records.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.flat.is_empty()
+        self.pages.is_empty()
     }
 
     /// The flat limb words (`k · n`, residue-major, NTT form) of record
     /// `(row, col)` — what the `RowSel` kernel scan consumes.
     #[inline]
     pub fn poly_words(&self, row: usize, col: usize) -> &[u64] {
-        let start = (row * self.d0 + col) * self.rec_words;
-        &self.flat[start..start + self.rec_words]
+        let start = col * self.rec_words;
+        &self.pages[row][start..start + self.rec_words]
     }
 
     /// The flat limb words of flat record `index`.
     #[inline]
     pub fn poly_words_flat(&self, index: usize) -> &[u64] {
-        &self.flat[index * self.rec_words..(index + 1) * self.rec_words]
+        self.poly_words(index / self.d0, index % self.d0)
     }
 
-    /// The whole contiguous buffer (`rows × D0 × k × n` words).
-    #[inline]
-    pub fn as_words(&self) -> &[u64] {
-        &self.flat
+    /// The whole database concatenated into one buffer
+    /// (`rows × D0 × k × n` words) — a copy; rebuild-equivalence tests
+    /// only, hot paths scan per-row via [`Database::poly_words`].
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.pages.len() * self.page_words());
+        for page in &self.pages {
+            out.extend_from_slice(page);
+        }
+        out
     }
 
     /// Words per record polynomial (`k · n`).
     #[inline]
     pub fn record_words(&self) -> usize {
         self.rec_words
+    }
+
+    /// Words per copy-on-write row page (`D0 · k · n`).
+    #[inline]
+    pub fn page_words(&self) -> usize {
+        self.d0 * self.rec_words
+    }
+
+    /// Cumulative copy-on-write accounting (see [`CowStats`]).
+    #[inline]
+    pub fn cow_stats(&self) -> CowStats {
+        CowStats { pages_copied: self.cow_pages, words_copied: self.cow_words }
+    }
+
+    /// Number of row pages whose storage is currently shared with another
+    /// snapshot (or the all-zero tail page) — i.e. pages a write would
+    /// have to duplicate.
+    pub fn shared_pages(&self) -> usize {
+        self.pages.iter().filter(|p| Arc::strong_count(p) > 1).count()
     }
 
     /// The ring the records are preprocessed into.
@@ -162,7 +235,7 @@ impl Database {
     /// Number of rows (`D / D0`) in the matrix view.
     #[inline]
     pub fn num_rows(&self) -> usize {
-        self.len() / self.d0
+        self.pages.len()
     }
 
     /// Extracts the contiguous row range `[row_start, row_start + rows)`
@@ -172,28 +245,29 @@ impl Database {
     /// responses recombine with the remaining high bits (the hierarchical
     /// decomposition of Fig. 7c across machines instead of cache levels).
     ///
+    /// The shard *shares* its row pages with the parent (`Arc` clones, no
+    /// copying); later writes to either side copy-on-write their own
+    /// pages, so parent and shard stay independent.
+    ///
     /// # Errors
     /// Returns [`PirError::InvalidParams`] when the range exceeds the
     /// database (caller-supplied shard geometry must never panic a
     /// server).
     pub fn shard_rows(&self, row_start: usize, rows: usize) -> Result<Database, PirError> {
-        let start = row_start
-            .checked_mul(self.d0)
-            .and_then(|r| r.checked_mul(self.rec_words))
-            .ok_or_else(|| shard_range_error(row_start, rows, self.num_rows()))?;
         let end = row_start
             .checked_add(rows)
-            .and_then(|r| r.checked_mul(self.d0 * self.rec_words))
             .ok_or_else(|| shard_range_error(row_start, rows, self.num_rows()))?;
-        if end > self.flat.len() {
+        if end > self.pages.len() {
             return Err(shard_range_error(row_start, rows, self.num_rows()));
         }
         Ok(Database {
             ctx: Arc::clone(&self.ctx),
-            flat: self.flat[start..end].to_vec(),
+            pages: self.pages[row_start..end].iter().map(Arc::clone).collect(),
             d0: self.d0,
             rec_words: self.rec_words,
             epoch: self.epoch,
+            cow_pages: 0,
+            cow_words: 0,
         })
     }
 
@@ -204,12 +278,17 @@ impl Database {
         self.epoch
     }
 
-    /// Applies one committed batch of prepared deltas to the flat buffer
-    /// and bumps the epoch, returning the new epoch. Deltas apply in
-    /// order, so a later delta to the same record wins. Every delta is
-    /// validated *before* anything is written: a bad batch leaves the
-    /// database untouched (no partial epoch). An empty batch is a no-op
-    /// and does not bump the epoch.
+    /// Applies one committed batch of prepared deltas and bumps the
+    /// epoch, returning the new epoch. Deltas apply in order, so a later
+    /// delta to the same record wins. Every delta is validated *before*
+    /// anything is written: a bad batch leaves the database untouched (no
+    /// partial epoch). An empty batch is a no-op and does not bump the
+    /// epoch.
+    ///
+    /// Only the row pages the batch touches are written; a touched page
+    /// whose storage is shared with an older snapshot is duplicated first
+    /// (`Arc::make_mut`) and counted in [`Database::cow_stats`]. Commit
+    /// cost is therefore O(deltas), independent of the database size.
     ///
     /// The written words are exactly what [`Database::from_records`]
     /// would have produced for the same contents, so the mutated
@@ -237,8 +316,13 @@ impl Database {
             }
         }
         for u in updates {
-            let start = u.index() * self.rec_words;
-            self.flat[start..start + self.rec_words].copy_from_slice(u.words());
+            let page = &mut self.pages[u.index() / self.d0];
+            if Arc::strong_count(page) > 1 {
+                self.cow_pages += 1;
+                self.cow_words += page.len() as u64;
+            }
+            let start = (u.index() % self.d0) * self.rec_words;
+            Arc::make_mut(page)[start..start + self.rec_words].copy_from_slice(u.words());
         }
         self.epoch += 1;
         Ok(self.epoch)
@@ -351,7 +435,7 @@ mod tests {
     }
 
     #[test]
-    fn flat_buffer_is_limb_major_and_contiguous() {
+    fn pages_are_limb_major_and_row_contiguous() {
         let params = PirParams::toy();
         let records: Vec<Vec<u8>> =
             (0..params.num_records()).map(|i| format!("rec {i}").into_bytes()).collect();
@@ -359,17 +443,26 @@ mod tests {
         let he = params.he();
         let rec_words = he.ring().basis().len() * he.n();
         assert_eq!(db.record_words(), rec_words);
-        assert_eq!(db.as_words().len(), params.num_records() * rec_words);
+        assert_eq!(db.page_words(), params.d0() * rec_words);
+        assert_eq!(db.to_words().len(), params.num_records() * rec_words);
         // Each record's slice is exactly its preprocessed polynomial's
-        // residue-major storage, packed back to back.
+        // residue-major storage; records of one row are packed back to
+        // back inside the row page.
         for (i, rec) in records.iter().enumerate() {
             let expect = pack_record(he, rec).unwrap();
             assert_eq!(db.poly_words_flat(i), expect.as_words(), "record {i}");
         }
+        for r in 0..db.num_rows() {
+            for c in 0..db.d0() - 1 {
+                let a = db.poly_words(r, c).as_ptr();
+                let b = db.poly_words(r, c + 1).as_ptr();
+                assert_eq!(unsafe { a.add(rec_words) }, b, "row {r} not contiguous at col {c}");
+            }
+        }
     }
 
     #[test]
-    fn shard_rows_slices_the_flat_buffer() {
+    fn shard_rows_shares_pages_with_parent() {
         let params = PirParams::toy();
         let records: Vec<Vec<u8>> = (0..params.num_records()).map(|i| vec![i as u8; 2]).collect();
         let db = Database::from_records(&params, &records).unwrap();
@@ -380,7 +473,28 @@ mod tests {
             for c in 0..db.d0() {
                 assert_eq!(shard.poly_words(r, c), db.poly_words(r + 2, c));
             }
+            // Zero-copy: the shard's page *is* the parent's page.
+            assert_eq!(shard.poly_words(r, 0).as_ptr(), db.poly_words(r + 2, 0).as_ptr());
         }
+    }
+
+    #[test]
+    fn writes_to_a_shard_do_not_leak_into_the_parent() {
+        let params = PirParams::toy();
+        let records: Vec<Vec<u8>> = (0..params.num_records()).map(|i| vec![i as u8; 2]).collect();
+        let db = Database::from_records(&params, &records).unwrap();
+        let mut shard = db.shard_rows(0, 2).unwrap();
+        let before = db.to_words();
+        let delta = crate::update::PreparedUpdate::prepare(
+            &params,
+            &crate::update::RecordUpdate::put(0, b"shard-local".to_vec()),
+            crate::BackendKind::default(),
+        )
+        .unwrap();
+        shard.apply_updates(&[delta]).unwrap();
+        assert_eq!(db.to_words(), before, "parent must be isolated from shard writes");
+        assert_eq!(shard.cow_stats().pages_copied, 1, "shared page must be duplicated");
+        assert_ne!(shard.poly_words(0, 0), db.poly_words(0, 0));
     }
 
     #[test]
@@ -399,24 +513,62 @@ mod tests {
         records[13] = Vec::new();
         records[63] = b"tail".to_vec();
         let rebuilt = Database::from_records(&params, &records).unwrap();
-        assert_eq!(db.as_words(), rebuilt.as_words(), "update diverged from rebuild");
+        assert_eq!(db.to_words(), rebuilt.to_words(), "update diverged from rebuild");
+    }
+
+    #[test]
+    fn commit_copies_only_touched_pages() {
+        let params = PirParams::toy();
+        let records: Vec<Vec<u8>> =
+            (0..params.num_records()).map(|i| format!("cow {i}").into_bytes()).collect();
+        let snapshot = Database::from_records(&params, &records).unwrap();
+        let mut next = snapshot.clone();
+        assert_eq!(next.shared_pages(), next.num_rows(), "clone must share every page");
+        let delta = crate::update::PreparedUpdate::prepare(
+            &params,
+            &crate::update::RecordUpdate::put(3, b"touched".to_vec()),
+            crate::BackendKind::default(),
+        )
+        .unwrap();
+        next.apply_updates(&[delta]).unwrap();
+        let stats = next.cow_stats();
+        assert_eq!(stats.pages_copied, 1, "one delta must duplicate exactly one page");
+        assert_eq!(stats.words_copied, next.page_words() as u64);
+        // Every untouched row still aliases the snapshot's storage.
+        let touched_row = 3 / params.d0();
+        for r in 0..next.num_rows() {
+            let same = next.poly_words(r, 0).as_ptr() == snapshot.poly_words(r, 0).as_ptr();
+            assert_eq!(same, r != touched_row, "row {r} sharing is wrong");
+        }
+    }
+
+    #[test]
+    fn trailing_zero_rows_share_one_page() {
+        let params = PirParams::toy();
+        let db = Database::from_records(&params, &[b"head".to_vec()]).unwrap();
+        // Rows past the first are all-zero and alias one physical page.
+        let tail = db.poly_words(1, 0).as_ptr();
+        for r in 2..db.num_rows() {
+            assert_eq!(db.poly_words(r, 0).as_ptr(), tail, "zero row {r} not shared");
+        }
+        assert_ne!(db.poly_words(0, 0).as_ptr(), tail);
     }
 
     #[test]
     fn empty_update_batch_is_a_noop() {
         let params = PirParams::toy();
         let mut db = Database::from_records(&params, &[b"x".to_vec()]).unwrap();
-        let before = db.as_words().to_vec();
+        let before = db.to_words();
         assert_eq!(db.apply_updates(&[]).unwrap(), 0);
         assert_eq!(db.epoch(), 0, "empty batch must not open an epoch");
-        assert_eq!(db.as_words(), &before[..]);
+        assert_eq!(db.to_words(), before);
     }
 
     #[test]
     fn out_of_range_update_is_an_error_not_a_panic() {
         let params = PirParams::toy();
         let mut db = Database::from_records(&params, &[]).unwrap();
-        let before = db.as_words().to_vec();
+        let before = db.to_words();
         let good = crate::update::PreparedUpdate::prepare(
             &params,
             &crate::update::RecordUpdate::put(0, b"ok".to_vec()),
@@ -439,7 +591,7 @@ mod tests {
         }
         assert_eq!(shard.epoch(), 0);
         db.apply_updates(&[good]).unwrap();
-        assert_ne!(db.as_words(), &before[..]);
+        assert_ne!(db.to_words(), before);
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! Keyword PIR: a private key-value layer over the [`kspir`](crate::kspir)
+//! scheme (the IM-PIR-style scenario — keyword queries over mutable
+//! data).
+//!
+//! [`KsPirServer`](crate::KsPirServer) retrieves *scalars by index*; real
+//! clients hold *keys*. This module closes the gap with cuckoo hashing:
+//!
+//! * The scalar space is carved into fixed **slot groups** of
+//!   [`KvSchema::group_slots`] consecutive scalars: one nonzero
+//!   fingerprint tag followed by the value's `⌈64 / log P⌉` limbs
+//!   (little-endian, `log P` bits each).
+//! * Two public hash functions (seeded, key-independent of the data) map
+//!   every key to **two candidate buckets**. A build-time cuckoo
+//!   insertion with eviction guarantees a present key occupies exactly
+//!   one of them; if an insertion chain runs too long the builder retries
+//!   with a fresh seed.
+//! * `get(key)` therefore always fetches the same shape of data — the
+//!   `2 × group_slots` scalars of both candidate buckets — regardless of
+//!   whether or where the key is stored, so the access pattern leaks
+//!   nothing about the key (each scalar fetch is a full KsPIR query).
+//!
+//! Collision handling is two-layered: *build* collisions (both buckets
+//! full) are resolved by cuckoo eviction and, in the limit, a seed
+//! retry; *lookup* collisions (a foreign key's fingerprint matching in a
+//! candidate bucket) are bounded by the `1/(P-1)` tag false-positive
+//! rate and documented at [`KvSchema::decode_group`].
+
+use crate::kspir::KsPirParams;
+use crate::PirError;
+
+/// Cuckoo insertion: evictions allowed per insert before the build
+/// declares the table too full and retries with a new seed.
+const MAX_KICKS: usize = 128;
+
+/// Seeds tried by [`KvStore::build`] before giving up.
+const MAX_SEED_TRIES: u64 = 16;
+
+/// SplitMix64 finalizer: the avalanche behind both hash functions.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a key under a seed: FNV-1a over the bytes, SplitMix64 finish.
+fn mix_key(seed: u64, key: &[u8]) -> u64 {
+    let mut h = seed ^ 0xCBF2_9CE4_8422_2325;
+    for &b in key {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix64(h)
+}
+
+/// The public layout of a keyword store: geometry, hash seed, and the
+/// scalar encoding of entries. Client and server must agree on a schema
+/// (the serving handshake ships the server's seed) for
+/// [`KvSchema::candidates`] to point the client at the right buckets.
+#[derive(Debug, Clone)]
+pub struct KvSchema {
+    params: KsPirParams,
+    seed: u64,
+    buckets: usize,
+}
+
+impl KvSchema {
+    /// Builds the schema for the given geometry and hash seed.
+    ///
+    /// # Errors
+    /// Fails when the plaintext modulus cannot carry fingerprint tags
+    /// (`log P < 2`) or the scalar space is too small for two buckets.
+    pub fn new(params: KsPirParams, seed: u64) -> Result<Self, PirError> {
+        let p_bits = params.he().p_bits();
+        if !(2..=63).contains(&p_bits) {
+            return Err(PirError::InvalidParams(format!(
+                "keyword store needs 2 <= log P <= 63, got {p_bits}"
+            )));
+        }
+        let group = 1 + 64usize.div_ceil(p_bits as usize);
+        let buckets = params.num_scalars() / group;
+        if buckets < 2 {
+            return Err(PirError::InvalidParams(format!(
+                "{} scalars hold only {buckets} groups of {group}; cuckoo needs at least 2",
+                params.num_scalars()
+            )));
+        }
+        Ok(KvSchema { params, seed, buckets })
+    }
+
+    /// The underlying KsPIR geometry.
+    #[inline]
+    pub fn params(&self) -> &KsPirParams {
+        &self.params
+    }
+
+    /// The public hash seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of buckets (slot groups) the scalar space holds.
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Scalar slots per bucket: one fingerprint tag plus the value limbs.
+    #[inline]
+    pub fn group_slots(&self) -> usize {
+        1 + self.value_limbs()
+    }
+
+    /// Limbs a `u64` value splits into (`⌈64 / log P⌉`).
+    #[inline]
+    pub fn value_limbs(&self) -> usize {
+        64usize.div_ceil(self.params.he().p_bits() as usize)
+    }
+
+    /// The first scalar slot of `bucket`.
+    #[inline]
+    pub fn slot_of(&self, bucket: usize) -> usize {
+        bucket * self.group_slots()
+    }
+
+    /// The two candidate buckets for a key, always distinct.
+    pub fn candidates(&self, key: &[u8]) -> [usize; 2] {
+        let b = self.buckets as u64;
+        let h1 = mix_key(self.seed ^ 0x4B56_3148, key) % b;
+        let mut h2 = mix_key(self.seed ^ 0x4B56_3248, key) % b;
+        if h2 == h1 {
+            h2 = (h1 + 1) % b;
+        }
+        [h1 as usize, h2 as usize]
+    }
+
+    /// The nonzero fingerprint tag of a key, in `[1, P)`.
+    pub fn fingerprint(&self, key: &[u8]) -> u64 {
+        1 + mix_key(self.seed ^ 0x4B56_4650, key) % (self.params.he().p() - 1)
+    }
+
+    /// Splits a value into its little-endian `log P`-bit limbs.
+    pub fn encode_value(&self, value: u64) -> Vec<u64> {
+        let p_bits = self.params.he().p_bits();
+        let mask = (1u64 << p_bits) - 1;
+        (0..self.value_limbs()).map(|i| (value >> (i as u32 * p_bits)) & mask).collect()
+    }
+
+    /// Reassembles a value from its limbs (inverse of
+    /// [`KvSchema::encode_value`]).
+    pub fn decode_value(&self, limbs: &[u64]) -> u64 {
+        let p_bits = self.params.he().p_bits();
+        // (limbs-1)·p_bits < 64 because limbs = ⌈64/p_bits⌉.
+        limbs.iter().enumerate().fold(0u64, |acc, (i, &l)| acc | (l << (i as u32 * p_bits)))
+    }
+
+    /// Interprets one fetched bucket group for `key`: `Some(value)` when
+    /// the fingerprint tag matches, `None` for an empty or foreign
+    /// bucket. A foreign key colliding on the full tag is a false
+    /// positive with probability `1/(P-1)` per bucket — the standard
+    /// cuckoo-filter trade-off; grow `log P` to shrink it.
+    pub fn decode_group(&self, key: &[u8], group: &[u64]) -> Option<u64> {
+        if group.len() != self.group_slots() || group[0] != self.fingerprint(key) {
+            return None;
+        }
+        Some(self.decode_value(&group[1..]))
+    }
+}
+
+/// One stored entry: the key (needed to re-hash on eviction) + value.
+#[derive(Debug, Clone)]
+struct KvEntry {
+    key: Vec<u8>,
+    value: u64,
+}
+
+/// A cuckoo-hashed key-value table materialized as KsPIR scalars.
+///
+/// The store is the *server-side* source of truth: [`KvStore::scalars`]
+/// feeds [`KsPirServer::new`](crate::KsPirServer::new), and every
+/// mutation reports the exact scalar writes it performed so the serving
+/// layer can re-pack only the touched chunks
+/// ([`KsPirServer::with_updates`](crate::KsPirServer::with_updates)).
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    schema: KvSchema,
+    slots: Vec<Option<KvEntry>>,
+    len: usize,
+}
+
+impl KvStore {
+    /// An empty store under the given schema.
+    pub fn new(schema: KvSchema) -> Self {
+        let buckets = schema.buckets();
+        KvStore { schema, slots: vec![None; buckets], len: 0 }
+    }
+
+    /// Builds a store holding `entries`, retrying with fresh hash seeds
+    /// until the cuckoo insertion succeeds.
+    ///
+    /// # Errors
+    /// Fails when no seed places every entry (the table is genuinely too
+    /// full — cuckoo load factors near 0.5 are safe for two hashes) or
+    /// the geometry cannot host a keyword store at all.
+    pub fn build(params: &KsPirParams, entries: &[(Vec<u8>, u64)]) -> Result<Self, PirError> {
+        let mut last = None;
+        for attempt in 0..MAX_SEED_TRIES {
+            let schema = KvSchema::new(params.clone(), splitmix64(attempt))?;
+            let mut store = KvStore::new(schema);
+            match entries.iter().try_for_each(|(k, v)| store.insert(k, *v).map(|_| ())) {
+                Ok(()) => return Ok(store),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            PirError::InvalidParams("keyword store build with no entries cannot fail".into())
+        }))
+    }
+
+    /// The public layout (hash seed, geometry, encoding).
+    #[inline]
+    pub fn schema(&self) -> &KvSchema {
+        &self.schema
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum entries the table can hold (one per bucket).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Local (non-private) lookup — the reference the PIR path is tested
+    /// against.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        self.schema
+            .candidates(key)
+            .into_iter()
+            .filter_map(|b| self.slots[b].as_ref())
+            .find(|e| e.key == key)
+            .map(|e| e.value)
+    }
+
+    /// Inserts or overwrites `key → value`, returning every
+    /// `(scalar slot, scalar value)` write the mutation performed
+    /// (eviction chains touch multiple buckets). A value `>= 2^64` cannot
+    /// exist; any `u64` value is valid.
+    ///
+    /// # Errors
+    /// Fails with [`PirError::TooManyRecords`] when the eviction chain
+    /// exceeds its cap — the table is too full for this seed; rebuild
+    /// with [`KvStore::build`] to rehash.
+    pub fn insert(&mut self, key: &[u8], value: u64) -> Result<Vec<(usize, u64)>, PirError> {
+        let cands = self.schema.candidates(key);
+        // Overwrite in place when the key is already stored.
+        for b in cands {
+            if self.slots[b].as_ref().is_some_and(|e| e.key == key) {
+                self.slots[b].as_mut().expect("checked occupied").value = value;
+                return Ok(self.group_writes(&[b]));
+            }
+        }
+        // Classic cuckoo: place in a free candidate or kick the occupant
+        // to its other bucket, remembering the chain so a failed insert
+        // can be rolled back exactly (no half-applied table).
+        let mut chain: Vec<usize> = Vec::new();
+        let mut entry = KvEntry { key: key.to_vec(), value };
+        let mut target = cands[0];
+        for _ in 0..MAX_KICKS {
+            let cands = self.schema.candidates(&entry.key);
+            if let Some(free) = cands.into_iter().find(|&b| self.slots[b].is_none()) {
+                self.slots[free] = Some(entry);
+                self.len += 1;
+                let mut touched = Vec::with_capacity(chain.len() + 1);
+                for b in chain {
+                    push_unique(&mut touched, b);
+                }
+                push_unique(&mut touched, free);
+                return Ok(self.group_writes(&touched));
+            }
+            let evicted = self.slots[target].replace(entry).expect("bucket was full");
+            chain.push(target);
+            // The evicted entry moves to its *other* candidate bucket.
+            let alt = self.schema.candidates(&evicted.key);
+            target = if alt[0] == target { alt[1] } else { alt[0] };
+            entry = evicted;
+        }
+        // Rewind the displacement chain: each forward step was a
+        // `replace`, so replaying the replaces in reverse restores every
+        // entry to where it started.
+        for &b in chain.iter().rev() {
+            entry = self.slots[b].replace(entry).expect("chain bucket occupied");
+        }
+        Err(PirError::TooManyRecords { got: self.len + 1, capacity: self.capacity() })
+    }
+
+    /// Removes `key`, returning the scalar writes that zero its bucket,
+    /// or `None` when the key is absent.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Vec<(usize, u64)>> {
+        for b in self.schema.candidates(key) {
+            if self.slots[b].as_ref().is_some_and(|e| e.key == key) {
+                self.slots[b] = None;
+                self.len -= 1;
+                return Some(self.group_writes(&[b]));
+            }
+        }
+        None
+    }
+
+    /// The scalar image of one bucket: fingerprint tag + value limbs, or
+    /// all zeros when empty.
+    pub fn group_scalars(&self, bucket: usize) -> Vec<u64> {
+        match &self.slots[bucket] {
+            Some(e) => {
+                let mut g = Vec::with_capacity(self.schema.group_slots());
+                g.push(self.schema.fingerprint(&e.key));
+                g.extend(self.schema.encode_value(e.value));
+                g
+            }
+            None => vec![0u64; self.schema.group_slots()],
+        }
+    }
+
+    /// The full scalar image — what [`KsPirServer::new`](crate::KsPirServer::new)
+    /// ingests. Slots past the last bucket (the remainder of the chunk
+    /// geometry) stay zero.
+    pub fn scalars(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.schema.params().num_scalars());
+        for b in 0..self.schema.buckets() {
+            out.extend(self.group_scalars(b));
+        }
+        out.resize(self.schema.params().num_scalars(), 0);
+        out
+    }
+
+    /// The `(slot, value)` writes covering the given buckets.
+    fn group_writes(&self, buckets: &[usize]) -> Vec<(usize, u64)> {
+        let mut writes = Vec::with_capacity(buckets.len() * self.schema.group_slots());
+        for &b in buckets {
+            let base = self.schema.slot_of(b);
+            for (i, v) in self.group_scalars(b).into_iter().enumerate() {
+                writes.push((base + i, v));
+            }
+        }
+        writes
+    }
+}
+
+/// Appends `b` unless already present (tiny sets; no HashSet needed).
+fn push_unique(v: &mut Vec<usize>, b: usize) {
+    if !v.contains(&b) {
+        v.push(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KsPirServer;
+
+    fn sample_entries(count: usize) -> Vec<(Vec<u8>, u64)> {
+        (0..count).map(|i| (format!("user:{i}").into_bytes(), i as u64 * 0x0101_0101 + 7)).collect()
+    }
+
+    #[test]
+    fn build_get_roundtrip_under_half_load() {
+        let params = KsPirParams::toy();
+        let entries = sample_entries(90); // ~0.44 load over 204 buckets
+        let store = KvStore::build(&params, &entries).unwrap();
+        assert_eq!(store.len(), entries.len());
+        for (k, v) in &entries {
+            assert_eq!(store.get(k), Some(*v), "key {:?}", String::from_utf8_lossy(k));
+        }
+        assert_eq!(store.get(b"user:absent"), None);
+    }
+
+    #[test]
+    fn value_limbs_roundtrip_extremes() {
+        let schema = KvSchema::new(KsPirParams::toy(), 1).unwrap();
+        for v in [0u64, 1, 0xFFFF, u64::MAX, 0x0123_4567_89AB_CDEF] {
+            assert_eq!(schema.decode_value(&schema.encode_value(v)), v);
+        }
+    }
+
+    #[test]
+    fn scalar_image_matches_group_decode() {
+        let params = KsPirParams::toy();
+        let entries = sample_entries(40);
+        let store = KvStore::build(&params, &entries).unwrap();
+        let schema = store.schema();
+        let scalars = store.scalars();
+        assert_eq!(scalars.len(), params.num_scalars());
+        for (k, v) in &entries {
+            let hit = schema.candidates(k).into_iter().find_map(|b| {
+                let base = schema.slot_of(b);
+                schema.decode_group(k, &scalars[base..base + schema.group_slots()])
+            });
+            assert_eq!(hit, Some(*v));
+        }
+        // Every scalar must be a legal Z_P value for the packer.
+        let p = params.he().p();
+        assert!(scalars.iter().all(|&s| s < p));
+        KsPirServer::new(params, &scalars).expect("image must pack");
+    }
+
+    #[test]
+    fn mutations_report_exactly_the_touched_slots() {
+        let params = KsPirParams::toy();
+        let mut store = KvStore::build(&params, &sample_entries(30)).unwrap();
+        let before = store.scalars();
+        let writes = store.insert(b"user:new", 424242).unwrap();
+        let after = store.scalars();
+        assert_eq!(store.get(b"user:new"), Some(424242));
+        // Applying the reported writes to the old image gives the new one.
+        let mut patched = before.clone();
+        for &(slot, v) in &writes {
+            patched[slot] = v;
+        }
+        assert_eq!(patched, after, "reported writes do not explain the image diff");
+        // Overwrite touches one bucket; remove zeroes it.
+        let w2 = store.insert(b"user:new", 7).unwrap();
+        assert_eq!(w2.len(), store.schema().group_slots());
+        let w3 = store.remove(b"user:new").expect("present");
+        assert_eq!(w3.len(), store.schema().group_slots());
+        assert!(w3.iter().all(|&(_, v)| v == 0));
+        assert_eq!(store.remove(b"user:new"), None);
+    }
+
+    #[test]
+    fn candidates_are_distinct_and_fingerprints_nonzero() {
+        let schema = KvSchema::new(KsPirParams::toy(), 99).unwrap();
+        for i in 0..200 {
+            let key = format!("k{i}").into_bytes();
+            let [a, b] = schema.candidates(&key);
+            assert_ne!(a, b);
+            assert!(a < schema.buckets() && b < schema.buckets());
+            let fp = schema.fingerprint(&key);
+            assert!(fp >= 1 && fp < schema.params().he().p());
+        }
+    }
+
+    #[test]
+    fn failed_insert_rolls_back_the_table() {
+        let params = KsPirParams::toy();
+        let schema = KvSchema::new(params, 5).unwrap();
+        let mut store = KvStore::new(schema);
+        let mut ok: Vec<(Vec<u8>, u64)> = Vec::new();
+        let mut i = 0u64;
+        loop {
+            let key = format!("fill:{i}").into_bytes();
+            let before = store.scalars();
+            match store.insert(&key, i) {
+                Ok(_) => ok.push((key, i)),
+                Err(_) => {
+                    assert_eq!(store.scalars(), before, "failed insert mutated the table");
+                    break;
+                }
+            }
+            i += 1;
+            assert!(i < 10_000, "table never saturated");
+        }
+        assert_eq!(store.len(), ok.len());
+        for (k, v) in &ok {
+            assert_eq!(store.get(k), Some(*v), "rollback lost {:?}", String::from_utf8_lossy(k));
+        }
+    }
+
+    #[test]
+    fn overfull_table_rejected_not_looped() {
+        let params = KsPirParams::toy();
+        let schema = KvSchema::new(params.clone(), 3).unwrap();
+        let entries = sample_entries(schema.buckets() + 1);
+        assert!(matches!(KvStore::build(&params, &entries), Err(PirError::TooManyRecords { .. })));
+    }
+}

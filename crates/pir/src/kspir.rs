@@ -15,6 +15,7 @@
 
 use rand::Rng;
 
+use ive_he::modswitch::{decrypt_switched, SwitchedCiphertext};
 use ive_he::{BfvCiphertext, HeParams, Plaintext, RgswCiphertext, SecretKey, SubsKey};
 use ive_math::rns::RnsPoly;
 use ive_math::wide;
@@ -83,6 +84,12 @@ pub struct KsPirKeys {
 }
 
 impl KsPirKeys {
+    /// Reassembles a key set from its trace keys (the wire decoder's
+    /// constructor; pair with [`KsPirKeys::trace_keys`]).
+    pub fn from_parts(trace: Vec<SubsKey>) -> Self {
+        KsPirKeys { trace }
+    }
+
     /// The trace evaluation keys, ordered by round.
     #[inline]
     pub fn trace_keys(&self) -> &[SubsKey] {
@@ -97,10 +104,32 @@ pub struct KsPirQuery {
     chunk_bits: Vec<RgswCiphertext>,
 }
 
-/// The server: preprocessed chunk polynomials.
+impl KsPirQuery {
+    /// Reassembles a query from its parts (the wire decoder's
+    /// constructor).
+    pub fn from_parts(ct: BfvCiphertext, chunk_bits: Vec<RgswCiphertext>) -> Self {
+        KsPirQuery { ct, chunk_bits }
+    }
+
+    /// The pre-scaled monomial ciphertext.
+    #[inline]
+    pub fn ct(&self) -> &BfvCiphertext {
+        &self.ct
+    }
+
+    /// The RGSW chunk-selection bits, LSB first.
+    #[inline]
+    pub fn chunk_bits(&self) -> &[RgswCiphertext] {
+        &self.chunk_bits
+    }
+}
+
+/// The server: preprocessed chunk polynomials, plus the raw scalars they
+/// were packed from so a mutation can re-pack only the touched chunks.
 #[derive(Debug)]
 pub struct KsPirServer {
     params: KsPirParams,
+    scalars: Vec<u64>,
     chunk_polys: Vec<RnsPoly>,
 }
 
@@ -118,23 +147,64 @@ impl KsPirServer {
         }
         let he = params.he();
         let n = he.n();
+        let mut padded = scalars.to_vec();
+        padded.resize(params.num_scalars(), 0);
         let mut chunk_polys = Vec::with_capacity(params.chunks());
         for c in 0..params.chunks() {
-            let lo = (c * n).min(scalars.len());
-            let hi = ((c + 1) * n).min(scalars.len());
-            let mut vals = vec![0u64; n];
-            vals[..hi - lo].copy_from_slice(&scalars[lo..hi]);
-            let pt =
-                Plaintext::new(he, vals).map_err(|e| PirError::InvalidParams(e.to_string()))?;
-            chunk_polys.push(pt.to_ntt_poly(he));
+            chunk_polys.push(pack_chunk(he, &padded[c * n..(c + 1) * n])?);
         }
-        Ok(KsPirServer { params, chunk_polys })
+        Ok(KsPirServer { params, scalars: padded, chunk_polys })
     }
 
     /// The geometry.
     #[inline]
     pub fn params(&self) -> &KsPirParams {
         &self.params
+    }
+
+    /// The raw scalars the chunk polynomials were packed from (padded to
+    /// [`KsPirParams::num_scalars`]).
+    #[inline]
+    pub fn scalars(&self) -> &[u64] {
+        &self.scalars
+    }
+
+    /// A new server with the given `(slot, value)` writes applied,
+    /// re-packing **only the touched chunks** — the epoch-swap mutation
+    /// path (O(touched chunks) NTTs, not O(database)). Writes apply in
+    /// order, so a later write to the same slot wins.
+    ///
+    /// # Errors
+    /// Fails on an out-of-range slot or a value `>= P`; nothing is
+    /// applied on error.
+    pub fn with_updates(&self, writes: &[(usize, u64)]) -> Result<KsPirServer, PirError> {
+        let he = self.params.he();
+        let n = he.n();
+        for &(slot, value) in writes {
+            if slot >= self.scalars.len() {
+                return Err(PirError::IndexOutOfRange { index: slot, records: self.scalars.len() });
+            }
+            if value >= he.p() {
+                return Err(PirError::InvalidParams(format!(
+                    "scalar {value} is not below the plaintext modulus {}",
+                    he.p()
+                )));
+            }
+        }
+        let mut scalars = self.scalars.clone();
+        let mut touched: Vec<usize> = Vec::new();
+        for &(slot, value) in writes {
+            scalars[slot] = value;
+            let chunk = slot / n;
+            if !touched.contains(&chunk) {
+                touched.push(chunk);
+            }
+        }
+        let mut chunk_polys = self.chunk_polys.clone();
+        for &c in &touched {
+            chunk_polys[c] = pack_chunk(he, &scalars[c * n..(c + 1) * n])?;
+        }
+        Ok(KsPirServer { params: self.params.clone(), scalars, chunk_polys })
     }
 
     /// Answers a query: per chunk, plaintext product + trace; then the
@@ -156,6 +226,13 @@ impl KsPirServer {
         }
         col_tor(he, per_chunk, &query.chunk_bits, TournamentOrder::Dfs)
     }
+}
+
+/// Packs one chunk of `N` scalars into an NTT-form plaintext polynomial.
+fn pack_chunk(he: &HeParams, vals: &[u64]) -> Result<RnsPoly, PirError> {
+    let pt =
+        Plaintext::new(he, vals.to_vec()).map_err(|e| PirError::InvalidParams(e.to_string()))?;
+    Ok(pt.to_ntt_poly(he))
 }
 
 /// Homomorphic trace: `log N` rounds of `ct ← ct + Subs(ct, N/2^j + 1)`,
@@ -247,6 +324,18 @@ impl<R: Rng> KsPirClient<R> {
         let pt = response.decrypt(he, &self.sk);
         Ok(pt.values()[0])
     }
+
+    /// Decodes a modulus-switched response (Table VIII's response
+    /// compression): the same scalar, recovered from only the retained
+    /// residues.
+    ///
+    /// # Errors
+    /// Infallible today; fallible for API stability.
+    pub fn decode_switched(&self, response: &SwitchedCiphertext) -> Result<u64, PirError> {
+        let he = self.params.he();
+        let pt = decrypt_switched(he, &self.sk, response);
+        Ok(pt.values()[0])
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +382,33 @@ mod tests {
         let out = traced.decrypt(he, &sk);
         assert_eq!(out.values()[0], vals[0]);
         assert!(out.values()[1..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn with_updates_matches_cold_repack_and_touches_only_written_chunks() {
+        let params = KsPirParams::toy();
+        let he = params.he();
+        let n = he.n();
+        let mut scalars: Vec<u64> = (0..params.num_scalars()).map(|i| i as u64 % he.p()).collect();
+        let server = KsPirServer::new(params.clone(), &scalars).unwrap();
+        // Both writes land in chunk 1; later write to the same slot wins.
+        let writes = [(n + 2, 77u64), (n + 2, 78), (n + 9, 5)];
+        let updated = server.with_updates(&writes).unwrap();
+        for &(slot, value) in &writes {
+            scalars[slot] = value;
+        }
+        let rebuilt = KsPirServer::new(params.clone(), &scalars).unwrap();
+        assert_eq!(updated.scalars(), rebuilt.scalars());
+        let mut client = KsPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(94)).unwrap();
+        for index in [0usize, n + 2, n + 9, params.num_scalars() - 1] {
+            let query = client.query(index).unwrap();
+            let a = updated.answer(client.public_keys(), &query).unwrap();
+            let b = rebuilt.answer(client.public_keys(), &query).unwrap();
+            assert_eq!(a, b, "incremental repack diverged at index {index}");
+        }
+        // Validation is atomic: a bad write leaves the server untouched.
+        assert!(server.with_updates(&[(0, he.p())]).is_err());
+        assert!(server.with_updates(&[(params.num_scalars(), 0)]).is_err());
     }
 
     #[test]

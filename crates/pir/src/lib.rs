@@ -13,11 +13,17 @@
 //! * [`simplepir`] — SimplePIR (Regev-matrix PIR with offline hint).
 //! * [`kspir`] — a KsPIR-style scheme (trace-based coefficient extraction
 //!   via automorphism key-switching + RGSW outer dimension).
+//! * [`keyword`] — a private key-value layer over [`kspir`]: cuckoo-hashed
+//!   keys map to fixed slot groups, so `get(key)` becomes a constant
+//!   pattern of scalar retrievals (no access-pattern leak).
 //!
 //! Databases are *live*: the [`update`] module stages row put/delete
-//! deltas (validated and NTT-preprocessed off the query path) and
+//! deltas (validated and NTT-preprocessed off the query path),
 //! [`Database::apply_updates`] commits them as numbered epochs whose
-//! contents are bit-identical to a cold rebuild.
+//! contents are bit-identical to a cold rebuild — copying only the row
+//! pages a batch touches (copy-on-write, see [`db::CowStats`]) — and the
+//! [`update::Journal`] makes staged-but-uncommitted batches survive a
+//! crash.
 //!
 //! # Example
 //!
@@ -47,6 +53,7 @@ pub mod client;
 pub mod coltor;
 pub mod db;
 pub mod expand;
+pub mod keyword;
 pub mod kspir;
 pub mod packed;
 pub mod params;
@@ -58,12 +65,14 @@ pub mod wire;
 
 pub use client::{ClientKeys, PirClient, PirQuery};
 pub use coltor::TournamentOrder;
-pub use db::Database;
+pub use db::{CowStats, Database};
 pub use ive_math::kernel::BackendKind;
+pub use keyword::{KvSchema, KvStore};
+pub use kspir::{KsPirClient, KsPirKeys, KsPirParams, KsPirQuery, KsPirServer};
 pub use params::PirParams;
 pub use scratch::QueryScratch;
 pub use server::PirServer;
-pub use update::{PreparedUpdate, RecordUpdate, UpdateLog};
+pub use update::{Journal, PreparedUpdate, RecordUpdate, UpdateLog};
 
 /// Errors produced by the PIR layer.
 #[derive(Debug)]
@@ -108,6 +117,8 @@ pub enum PirError {
     /// A serialized frame is malformed (truncated, bad magic, shape or
     /// range violation).
     Wire(String),
+    /// An I/O failure in the durable journal.
+    Io(std::io::Error),
 }
 
 impl From<ive_he::HeError> for PirError {
@@ -119,6 +130,12 @@ impl From<ive_he::HeError> for PirError {
 impl From<ive_math::MathError> for PirError {
     fn from(e: ive_math::MathError) -> Self {
         PirError::Math(e)
+    }
+}
+
+impl From<std::io::Error> for PirError {
+    fn from(e: std::io::Error) -> Self {
+        PirError::Io(e)
     }
 }
 
@@ -141,6 +158,7 @@ impl core::fmt::Display for PirError {
                 write!(f, "{got} keys supplied where {need} are required")
             }
             PirError::Wire(msg) => write!(f, "malformed wire data: {msg}"),
+            PirError::Io(e) => write!(f, "journal I/O error: {e}"),
         }
     }
 }
@@ -150,6 +168,7 @@ impl std::error::Error for PirError {
         match self {
             PirError::He(e) => Some(e),
             PirError::Math(e) => Some(e),
+            PirError::Io(e) => Some(e),
             _ => None,
         }
     }

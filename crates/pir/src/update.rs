@@ -1,5 +1,6 @@
-//! Online database updates: row deltas staged off the hot path and
-//! applied to the flat limb-major buffer at epoch boundaries.
+//! Online database updates: row deltas staged off the hot path, made
+//! durable in an on-disk [`Journal`], and applied to the copy-on-write
+//! row pages at epoch boundaries.
 //!
 //! The paper's deployment model (§V) assumes a long-running server, but a
 //! frozen [`Database`](crate::Database) would force a full rebuild-and-restart for any
@@ -15,7 +16,16 @@
 //!    to drop into the flat buffer.
 //! 3. At an epoch boundary the owner drains the log and calls
 //!    [`Database::apply_updates`](crate::Database::apply_updates), which splices the prepared words into
-//!    the limb-major buffer and bumps the database [`Database::epoch`](crate::Database::epoch).
+//!    the touched row pages only (copy-on-write) and bumps the database
+//!    [`Database::epoch`](crate::Database::epoch).
+//!
+//! For durability, the raw deltas can additionally be appended to a
+//! [`Journal`] *before* staging: a length-delimited on-disk log of
+//! canonical [`Tag::UpdateRow`](crate::wire::Tag::UpdateRow) frames,
+//! truncated once the batch commits. After a crash,
+//! [`Journal::open`] replays whatever was appended but never
+//! checkpointed, and the §II-B rebuild invariant guarantees the replayed
+//! database is word-identical to one that never crashed.
 //!
 //! Because a prepared put writes exactly the words
 //! [`Database::from_records`](crate::Database::from_records) would have produced for the same bytes
@@ -47,17 +57,23 @@
 //!
 //! // Identical to a cold rebuild at the same contents.
 //! let rebuilt = Database::from_records(&params, &[b"new contents".to_vec()])?;
-//! assert_eq!(db.as_words(), rebuilt.as_words());
+//! assert_eq!(db.to_words(), rebuilt.to_words());
 //! # Ok(())
 //! # }
 //! ```
 
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+
+use bytes::Bytes;
 
 use ive_math::kernel::BackendKind;
 
 use crate::db::plaintext_from_bytes;
 use crate::params::PirParams;
+use crate::wire;
 use crate::PirError;
 
 /// One row-level content delta, as it arrives from the outside world.
@@ -234,12 +250,26 @@ impl UpdateLog {
     /// # Errors
     /// Rejects the entire batch when any delta is invalid.
     pub fn stage_all(&self, updates: &[RecordUpdate]) -> Result<(), PirError> {
-        let prepared = updates
-            .iter()
-            .map(|u| PreparedUpdate::prepare(&self.params, u, self.backend))
-            .collect::<Result<Vec<_>, _>>()?;
-        self.staged.lock().expect("update log poisoned").extend(prepared);
+        let prepared = self.prepare_all(updates)?;
+        self.stage_prepared(prepared);
         Ok(())
+    }
+
+    /// Validates and NTT-transforms a batch *without* staging it — the
+    /// split entry point for callers that must interleave another
+    /// durability step (journal append) between validation and
+    /// visibility: prepare, persist, then [`UpdateLog::stage_prepared`].
+    ///
+    /// # Errors
+    /// Rejects the entire batch when any delta is invalid.
+    pub fn prepare_all(&self, updates: &[RecordUpdate]) -> Result<Vec<PreparedUpdate>, PirError> {
+        updates.iter().map(|u| PreparedUpdate::prepare(&self.params, u, self.backend)).collect()
+    }
+
+    /// Stages already-prepared deltas (infallible: validation happened in
+    /// [`UpdateLog::prepare_all`]).
+    pub fn stage_prepared(&self, prepared: Vec<PreparedUpdate>) {
+        self.staged.lock().expect("update log poisoned").extend(prepared);
     }
 
     /// Number of staged deltas awaiting an epoch boundary.
@@ -256,6 +286,120 @@ impl UpdateLog {
     /// same record win, matching apply order).
     pub fn drain(&self) -> Vec<PreparedUpdate> {
         std::mem::take(&mut *self.staged.lock().expect("update log poisoned"))
+    }
+}
+
+/// A durable write-ahead journal for row deltas: a length-delimited
+/// on-disk log of canonical [`Tag::UpdateRow`](crate::wire::Tag::UpdateRow)
+/// frames.
+///
+/// Protocol: [`append`](Journal::append) a batch (fsynced) *before*
+/// staging it, [`checkpoint`](Journal::checkpoint) (truncate) once the
+/// batch has committed into the in-memory database. A crash between the
+/// two leaves the batch on disk; the next [`Journal::open`] replays it.
+/// Because replayed deltas run through the same `decode → prepare →
+/// apply` pipeline as live ones, the §II-B rebuild invariant extends
+/// across crashes: the recovered database is word-identical to one that
+/// never went down (pinned by `tests/update_props.rs`).
+///
+/// On-disk layout, repeated per appended batch:
+///
+/// ```text
+/// | u32 (BE) frame length | canonical UpdateRow frame bytes |
+/// ```
+///
+/// A torn tail — a partial record from a crash mid-append — is detected
+/// by length, truncated away, and never replayed (the batch was never
+/// acknowledged). A *complete* record that fails to decode is corruption
+/// and surfaces as an error instead of being skipped.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    pending: u64,
+    seq: u64,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` and replays every intact
+    /// batch, in append order. Returns the journal positioned for
+    /// appending plus the replayed batches the caller must re-commit.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or on a complete-but-undecodable record
+    /// (corruption, as opposed to a torn tail, which is truncated).
+    pub fn open(
+        path: impl Into<PathBuf>,
+        params: &PirParams,
+    ) -> Result<(Journal, Vec<Vec<RecordUpdate>>), PirError> {
+        let path = path.into();
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let mut batches = Vec::new();
+        let mut good = 0usize;
+        while raw.len() - good >= 4 {
+            let len = u32::from_be_bytes(raw[good..good + 4].try_into().expect("4 bytes")) as usize;
+            if raw.len() - good - 4 < len {
+                break; // torn tail: the append never finished
+            }
+            let frame = Bytes::copy_from_slice(&raw[good + 4..good + 4 + len]);
+            let (_seq, updates) = wire::decode_update_rows(params, &frame)?;
+            batches.push(updates);
+            good += 4 + len;
+        }
+        if good < raw.len() {
+            file.set_len(good as u64)?;
+        }
+        file.seek(SeekFrom::Start(good as u64))?;
+        let pending = batches.len() as u64;
+        Ok((Journal { path, file, pending, seq: pending }, batches))
+    }
+
+    /// Appends one batch as a canonical `UpdateRow` frame and fsyncs it.
+    /// An empty batch is a no-op (it would not open an epoch either).
+    ///
+    /// # Errors
+    /// Fails on I/O errors or a batch over the per-frame delta cap.
+    pub fn append(&mut self, updates: &[RecordUpdate]) -> Result<(), PirError> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        let frame = wire::encode_update_rows(self.seq, updates)?;
+        let mut rec = Vec::with_capacity(4 + frame.len());
+        rec.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        rec.extend_from_slice(&frame);
+        self.file.write_all(&rec)?;
+        self.file.sync_data()?;
+        self.seq += 1;
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Truncates the journal after its batches have committed: the
+    /// in-memory database now owns the state, so the log restarts empty.
+    ///
+    /// # Errors
+    /// Fails on I/O errors.
+    pub fn checkpoint(&mut self) -> Result<(), PirError> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_data()?;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Batches appended but not yet checkpointed.
+    #[inline]
+    pub fn pending_batches(&self) -> u64 {
+        self.pending
+    }
+
+    /// The on-disk location of the log.
+    #[inline]
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 }
 
@@ -322,7 +466,93 @@ mod tests {
         let mut db = Database::from_records(&params, &[]).unwrap();
         db.apply_updates(&drained).unwrap();
         let rebuilt = Database::from_records(&params, &[vec![], vec![], b"b".to_vec()]).unwrap();
-        assert_eq!(db.as_words(), rebuilt.as_words());
+        assert_eq!(db.to_words(), rebuilt.to_words());
+    }
+
+    /// A collision-free scratch file path (no tempfile dependency).
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ive-journal-{tag}-{}-{n}.log", std::process::id()))
+    }
+
+    #[test]
+    fn journal_replays_batches_lost_before_commit() {
+        let params = PirParams::toy();
+        let path = temp_journal("crash");
+        let batch1 = vec![RecordUpdate::put(2, b"first".to_vec()), RecordUpdate::delete(9)];
+        let batch2 = vec![RecordUpdate::put(2, b"second wins".to_vec())];
+        {
+            let (mut journal, replayed) = Journal::open(&path, &params).unwrap();
+            assert!(replayed.is_empty());
+            journal.append(&batch1).unwrap();
+            journal.append(&batch2).unwrap();
+            assert_eq!(journal.pending_batches(), 2);
+            // Simulated kill: dropped without checkpoint, commit never ran.
+        }
+        let (mut journal, replayed) = Journal::open(&path, &params).unwrap();
+        assert_eq!(replayed, vec![batch1, batch2]);
+        // Replay through the normal pipeline rebuilds the exact state.
+        let mut db = Database::from_records(&params, &[]).unwrap();
+        let log = UpdateLog::new(&params);
+        for batch in &replayed {
+            log.stage_all(batch).unwrap();
+            db.apply_updates(&log.drain()).unwrap();
+        }
+        let rebuilt =
+            Database::from_records(&params, &[vec![], vec![], b"second wins".to_vec()]).unwrap();
+        assert_eq!(db.to_words(), rebuilt.to_words(), "replay diverged from rebuild");
+        // After the recovered state commits, the checkpoint empties the log.
+        journal.checkpoint().unwrap();
+        let (_, replayed) = Journal::open(&path, &params).unwrap();
+        assert!(replayed.is_empty(), "checkpoint must clear the journal");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_replayed() {
+        let params = PirParams::toy();
+        let path = temp_journal("torn");
+        {
+            let (mut journal, _) = Journal::open(&path, &params).unwrap();
+            journal.append(&[RecordUpdate::put(0, b"intact".to_vec())]).unwrap();
+        }
+        // A crash mid-append: the length promises more bytes than follow.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&999u32.to_be_bytes()).unwrap();
+            f.write_all(b"partial").unwrap();
+        }
+        let truncated_len = {
+            let (mut journal, replayed) = Journal::open(&path, &params).unwrap();
+            assert_eq!(replayed.len(), 1, "intact prefix must replay");
+            assert_eq!(replayed[0], vec![RecordUpdate::put(0, b"intact".to_vec())]);
+            // Appending after truncation lands cleanly after the prefix.
+            journal.append(&[RecordUpdate::delete(1)]).unwrap();
+            std::fs::metadata(&path).unwrap().len()
+        };
+        let (_, replayed) = Journal::open(&path, &params).unwrap();
+        assert_eq!(replayed.len(), 2, "post-truncation append must be intact");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), truncated_len);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn complete_but_corrupt_record_is_an_error() {
+        let params = PirParams::toy();
+        let path = temp_journal("corrupt");
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&path).unwrap();
+            // Correct length prefix, garbage frame: corruption, not a torn
+            // tail — replay must refuse rather than silently drop data.
+            f.write_all(&8u32.to_be_bytes()).unwrap();
+            f.write_all(b"garbage!").unwrap();
+        }
+        assert!(Journal::open(&path, &params).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -16,10 +16,13 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use ive_he::modswitch::SwitchedCiphertext;
 use ive_he::{BfvCiphertext, HeParams, RgswCiphertext, SubsKey};
 use ive_math::rns::{Form, RnsPoly};
 
 use crate::client::{ClientKeys, PirQuery};
+use crate::keyword::KvSchema;
+use crate::kspir::{KsPirKeys, KsPirParams, KsPirQuery};
 use crate::update::RecordUpdate;
 use crate::PirError;
 
@@ -63,6 +66,22 @@ pub enum Tag {
     /// The acknowledgement of one [`Tag::UpdateRow`] batch: the epoch it
     /// committed as and how many deltas it carried.
     UpdateAck = 13,
+    /// Keyword-session handshake, client → server: the one-time upload
+    /// of the client's `log N` trace keys (see [`crate::kspir`]).
+    KsHello = 14,
+    /// Keyword-session handshake reply: the session id plus the server's
+    /// keyword schema (hash seed + table geometry, see
+    /// [`crate::keyword::KvSchema`]).
+    KsWelcome = 15,
+    /// A keyword-PIR scalar query bound to a keyword session.
+    KsQuery = 16,
+    /// The response to one [`Tag::KsQuery`] (echoes the request id).
+    KsResponse = 17,
+    /// A modulus-switched session response (§VII response compression;
+    /// see [`ive_he::modswitch`]).
+    CompressedResponse = 18,
+    /// A key→value put/delete for the live keyword store.
+    KvUpdate = 19,
 }
 
 impl Tag {
@@ -82,6 +101,12 @@ impl Tag {
             11 => Some(Tag::Error),
             12 => Some(Tag::UpdateRow),
             13 => Some(Tag::UpdateAck),
+            14 => Some(Tag::KsHello),
+            15 => Some(Tag::KsWelcome),
+            16 => Some(Tag::KsQuery),
+            17 => Some(Tag::KsResponse),
+            18 => Some(Tag::CompressedResponse),
+            19 => Some(Tag::KvUpdate),
             _ => None,
         }
     }
@@ -102,6 +127,12 @@ impl Tag {
             Tag::Error => "Error",
             Tag::UpdateRow => "UpdateRow",
             Tag::UpdateAck => "UpdateAck",
+            Tag::KsHello => "KsHello",
+            Tag::KsWelcome => "KsWelcome",
+            Tag::KsQuery => "KsQuery",
+            Tag::KsResponse => "KsResponse",
+            Tag::CompressedResponse => "CompressedResponse",
+            Tag::KvUpdate => "KvUpdate",
         }
     }
 }
@@ -345,16 +376,50 @@ pub fn decode_response(he: &HeParams, bytes: &Bytes) -> Result<BfvCiphertext, Pi
     Ok(ct)
 }
 
+/// Serializes one `evk_r` entry (exponent + gadget rows) — the unit both
+/// key-upload frames ([`Tag::Hello`], [`Tag::KsHello`]) are built from.
+fn write_subs_key_entry(buf: &mut BytesMut, key: &SubsKey) {
+    buf.put_u32(key.r() as u32);
+    buf.put_u16(key.rows().len() as u16);
+    for (a, b) in key.rows() {
+        write_poly(buf, a);
+        write_poly(buf, b);
+    }
+}
+
+/// Deserializes and validates one `evk_r` entry.
+fn read_subs_key_entry(he: &HeParams, buf: &mut impl Buf) -> Result<SubsKey, PirError> {
+    if buf.remaining() < 6 {
+        return Err(PirError::Wire("truncated evk header".into()));
+    }
+    let r = buf.get_u32() as usize;
+    if r % 2 == 0 || r >= 2 * he.n() {
+        return Err(PirError::Wire(format!(
+            "automorphism exponent {r} not odd in [1, 2N = {})",
+            2 * he.n()
+        )));
+    }
+    let rows = buf.get_u16() as usize;
+    if rows != he.gadget().ell() {
+        return Err(PirError::Wire(format!(
+            "evk with {rows} rows, expected {}",
+            he.gadget().ell()
+        )));
+    }
+    let mut pairs = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let a = read_poly(he, buf)?;
+        let b = read_poly(he, buf)?;
+        pairs.push((a, b));
+    }
+    Ok(SubsKey::from_parts(r, pairs))
+}
+
 /// The `ClientKeys` body shared by [`Tag::ClientKeys`] and [`Tag::Hello`].
 fn write_client_keys_body(buf: &mut BytesMut, keys: &ClientKeys) {
     buf.put_u16(keys.subs_keys().len() as u16);
     for key in keys.subs_keys() {
-        buf.put_u32(key.r() as u32);
-        buf.put_u16(key.rows().len() as u16);
-        for (a, b) in key.rows() {
-            write_poly(buf, a);
-            write_poly(buf, b);
-        }
+        write_subs_key_entry(buf, key);
     }
 }
 
@@ -370,30 +435,7 @@ fn read_client_keys_body(he: &HeParams, buf: &mut impl Buf) -> Result<ClientKeys
     }
     let mut subs = Vec::with_capacity(count);
     for _ in 0..count {
-        if buf.remaining() < 6 {
-            return Err(PirError::Wire("truncated evk header".into()));
-        }
-        let r = buf.get_u32() as usize;
-        if r % 2 == 0 || r >= 2 * he.n() {
-            return Err(PirError::Wire(format!(
-                "automorphism exponent {r} not odd in [1, 2N = {})",
-                2 * he.n()
-            )));
-        }
-        let rows = buf.get_u16() as usize;
-        if rows != he.gadget().ell() {
-            return Err(PirError::Wire(format!(
-                "evk with {rows} rows, expected {}",
-                he.gadget().ell()
-            )));
-        }
-        let mut pairs = Vec::with_capacity(rows);
-        for _ in 0..rows {
-            let a = read_poly(he, buf)?;
-            let b = read_poly(he, buf)?;
-            pairs.push((a, b));
-        }
-        subs.push(SubsKey::from_parts(r, pairs));
+        subs.push(read_subs_key_entry(he, buf)?);
     }
     Ok(ClientKeys::from_subs_keys(subs))
 }
@@ -691,6 +733,317 @@ pub fn encode_subs_key(key: &SubsKey) -> Bytes {
     buf.freeze()
 }
 
+/// Serializes the keyword-session handshake: the one-time upload of the
+/// client's trace key-switching keys (one per halving round, log N total).
+pub fn encode_ks_hello(keys: &KsPirKeys) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::KsHello);
+    buf.put_u16(keys.trace_keys().len() as u16);
+    for key in keys.trace_keys() {
+        write_subs_key_entry(&mut buf, key);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a keyword-session handshake into the uploaded key set.
+///
+/// The homomorphic trace needs exactly `log N` automorphism keys, so any
+/// other count is rejected before the keys reach the session cache.
+///
+/// # Errors
+/// Fails on framing or shape errors, or a key count other than `log N`.
+pub fn decode_ks_hello(he: &HeParams, bytes: &Bytes) -> Result<KsPirKeys, PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::KsHello)?;
+    if buf.remaining() < 2 {
+        return Err(PirError::Wire("truncated key count".into()));
+    }
+    let count = buf.get_u16() as usize;
+    let need = ive_math::log2_exact(he.n())? as usize;
+    if count != need {
+        return Err(PirError::Wire(format!(
+            "keyword hello carries {count} trace keys, the trace needs exactly {need}"
+        )));
+    }
+    let mut trace = Vec::with_capacity(count);
+    for _ in 0..count {
+        trace.push(read_subs_key_entry(he, &mut buf)?);
+    }
+    check_drained(&buf)?;
+    Ok(KsPirKeys::from_parts(trace))
+}
+
+/// Serializes the keyword handshake reply: the session id plus the
+/// server's table layout (hash seed, bucket count, slots per group) —
+/// everything a client needs to map `key -> slot indices` locally.
+pub fn encode_ks_welcome(session_id: u64, schema: &KvSchema) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::KsWelcome);
+    buf.put_u64(session_id);
+    buf.put_u64(schema.seed());
+    buf.put_u64(schema.buckets() as u64);
+    buf.put_u16(schema.group_slots() as u16);
+    buf.freeze()
+}
+
+/// Deserializes a keyword handshake reply into `(session_id, schema)`.
+///
+/// The schema is rebuilt locally from the advertised seed; the advertised
+/// bucket count and group width must match what the client's own
+/// parameters derive, otherwise the two sides disagree on geometry and
+/// every retrieval would silently decode garbage.
+///
+/// # Errors
+/// Fails on framing errors or a layout that contradicts `params`.
+pub fn decode_ks_welcome(params: &KsPirParams, bytes: &Bytes) -> Result<(u64, KvSchema), PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::KsWelcome)?;
+    if buf.remaining() < 26 {
+        return Err(PirError::Wire("truncated keyword welcome".into()));
+    }
+    let session = buf.get_u64();
+    let seed = buf.get_u64();
+    let buckets = buf.get_u64() as usize;
+    let group = buf.get_u16() as usize;
+    check_drained(&buf)?;
+    let schema = KvSchema::new(params.clone(), seed)?;
+    if buckets != schema.buckets() || group != schema.group_slots() {
+        return Err(PirError::Wire(format!(
+            "advertised layout {buckets}x{group} does not match the {}x{} \
+             derived from the client parameters",
+            schema.buckets(),
+            schema.group_slots()
+        )));
+    }
+    Ok((session, schema))
+}
+
+/// Serializes one keyword retrieval query: session id, client-chosen
+/// request id, and the per-slot query material (packed coefficient
+/// selector + RGSW chunk bits).
+pub fn encode_ks_query(session_id: u64, request_id: u64, query: &KsPirQuery) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::KsQuery);
+    buf.put_u64(session_id);
+    buf.put_u64(request_id);
+    buf.put_u16(query.chunk_bits().len() as u16);
+    write_bfv(&mut buf, query.ct());
+    for bit in query.chunk_bits() {
+        write_rgsw(&mut buf, bit);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a keyword query into `(session_id, request_id, query)`,
+/// rejecting any chunk-bit count other than the tournament depth.
+///
+/// # Errors
+/// Fails on framing or shape errors.
+pub fn decode_ks_query(
+    params: &KsPirParams,
+    bytes: &Bytes,
+) -> Result<(u64, u64, KsPirQuery), PirError> {
+    let he = params.he();
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::KsQuery)?;
+    if buf.remaining() < 18 {
+        return Err(PirError::Wire("truncated keyword query header".into()));
+    }
+    let session = buf.get_u64();
+    let request = buf.get_u64();
+    let bits = buf.get_u16() as usize;
+    if bits != params.log_chunks() as usize {
+        return Err(PirError::Wire(format!(
+            "keyword query carries {bits} chunk bits, the tournament needs {}",
+            params.log_chunks()
+        )));
+    }
+    let ct = read_bfv(he, &mut buf)?;
+    let mut chunk_bits = Vec::with_capacity(bits);
+    for _ in 0..bits {
+        chunk_bits.push(read_rgsw(he, &mut buf)?);
+    }
+    check_drained(&buf)?;
+    Ok((session, request, KsPirQuery::from_parts(ct, chunk_bits)))
+}
+
+/// Serializes the response to one keyword query.
+pub fn encode_ks_response(request_id: u64, ct: &BfvCiphertext) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::KsResponse);
+    buf.put_u64(request_id);
+    write_bfv(&mut buf, ct);
+    buf.freeze()
+}
+
+/// Deserializes a keyword response into `(request_id, ciphertext)`.
+///
+/// # Errors
+/// Fails on framing or shape errors.
+pub fn decode_ks_response(he: &HeParams, bytes: &Bytes) -> Result<(u64, BfvCiphertext), PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::KsResponse)?;
+    if buf.remaining() < 8 {
+        return Err(PirError::Wire("truncated request id".into()));
+    }
+    let request = buf.get_u64();
+    let ct = read_bfv(he, &mut buf)?;
+    check_drained(&buf)?;
+    Ok((request, ct))
+}
+
+/// Serializes a modulus-switched response: only the `primes` retained
+/// residues travel, cutting downlink traffic by `k / primes` versus a
+/// full [`Tag::SessionResponse`] (Table VIII's response compression).
+pub fn encode_compressed_response(request_id: u64, ct: &SwitchedCiphertext) -> Bytes {
+    let n = ct.a.len() / ct.primes;
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::CompressedResponse);
+    buf.put_u64(request_id);
+    buf.put_u16(ct.primes as u16);
+    buf.put_u32(n as u32);
+    for &w in ct.a.iter().chain(ct.b.iter()) {
+        debug_assert!(w < u32::MAX as u64, "residue exceeds 4-byte packing");
+        buf.put_u32(w as u32);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a modulus-switched response into
+/// `(request_id, ciphertext)`, validating the retained prime count
+/// against the basis and every residue against its modulus.
+///
+/// # Errors
+/// Fails on framing errors, a prime count outside `[1, k]`, a ring-size
+/// mismatch, or an out-of-range residue.
+pub fn decode_compressed_response(
+    he: &HeParams,
+    bytes: &Bytes,
+) -> Result<(u64, SwitchedCiphertext), PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::CompressedResponse)?;
+    if buf.remaining() < 14 {
+        return Err(PirError::Wire("truncated compressed response header".into()));
+    }
+    let request = buf.get_u64();
+    let primes = buf.get_u16() as usize;
+    let n = buf.get_u32() as usize;
+    let k = he.ring().basis().len();
+    if primes == 0 || primes > k {
+        return Err(PirError::Wire(format!(
+            "compressed response retains {primes} primes, the basis holds {k}"
+        )));
+    }
+    if n != he.n() {
+        return Err(PirError::Wire(format!("ring size {n} does not match N = {}", he.n())));
+    }
+    let words = primes * n;
+    if buf.remaining() < 4 * 2 * words {
+        return Err(PirError::Wire("truncated compressed residues".into()));
+    }
+    let moduli = he.ring().basis().moduli();
+    let read_half = |buf: &mut Bytes| -> Result<Vec<u64>, PirError> {
+        let mut out = Vec::with_capacity(words);
+        for i in 0..words {
+            let v = buf.get_u32() as u64;
+            let q = moduli[i / n].value();
+            if v >= q {
+                return Err(PirError::Wire(format!("residue {v} >= modulus {q}")));
+            }
+            out.push(v);
+        }
+        Ok(out)
+    };
+    let a = read_half(&mut buf)?;
+    let b = read_half(&mut buf)?;
+    check_drained(&buf)?;
+    Ok((request, SwitchedCiphertext { primes, a, b }))
+}
+
+/// Largest key a [`Tag::KvUpdate`] frame accepts, in bytes.
+pub const MAX_KV_KEY_BYTES: usize = 4096;
+
+/// Delta kind bytes inside a [`Tag::KvUpdate`] frame.
+const KV_KIND_DELETE: u8 = 0;
+const KV_KIND_PUT: u8 = 1;
+
+/// Serializes one keyword-store mutation (`value: Some` puts, `None`
+/// deletes) under a client-chosen request id.
+///
+/// # Errors
+/// Fails on an empty key or one longer than [`MAX_KV_KEY_BYTES`].
+pub fn encode_kv_update(
+    request_id: u64,
+    key: &[u8],
+    value: Option<u64>,
+) -> Result<Bytes, PirError> {
+    if key.is_empty() {
+        return Err(PirError::InvalidParams("empty keyword-store key".into()));
+    }
+    if key.len() > MAX_KV_KEY_BYTES {
+        return Err(PirError::InvalidParams(format!(
+            "key of {} bytes exceeds the {MAX_KV_KEY_BYTES}-byte cap",
+            key.len()
+        )));
+    }
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::KvUpdate);
+    buf.put_u64(request_id);
+    match value {
+        None => buf.put_u8(KV_KIND_DELETE),
+        Some(v) => {
+            buf.put_u8(KV_KIND_PUT);
+            buf.put_u64(v);
+        }
+    }
+    buf.put_u16(key.len() as u16);
+    buf.put_slice(key);
+    Ok(buf.freeze())
+}
+
+/// Deserializes a keyword-store mutation into
+/// `(request_id, key, value)` — `value` is `None` for a delete.
+///
+/// # Errors
+/// Fails on framing errors, an unknown kind, or an empty/oversized key.
+pub fn decode_kv_update(bytes: &Bytes) -> Result<(u64, Vec<u8>, Option<u64>), PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::KvUpdate)?;
+    if buf.remaining() < 9 {
+        return Err(PirError::Wire("truncated kv update header".into()));
+    }
+    let request = buf.get_u64();
+    let value = match buf.get_u8() {
+        KV_KIND_DELETE => None,
+        KV_KIND_PUT => {
+            if buf.remaining() < 8 {
+                return Err(PirError::Wire("truncated kv update value".into()));
+            }
+            Some(buf.get_u64())
+        }
+        other => return Err(PirError::Wire(format!("unknown kv update kind {other}"))),
+    };
+    if buf.remaining() < 2 {
+        return Err(PirError::Wire("truncated kv key length".into()));
+    }
+    let len = buf.get_u16() as usize;
+    if len == 0 {
+        return Err(PirError::Wire("empty keyword-store key".into()));
+    }
+    if len > MAX_KV_KEY_BYTES {
+        return Err(PirError::Wire(format!(
+            "key of {len} bytes exceeds the {MAX_KV_KEY_BYTES}-byte cap"
+        )));
+    }
+    if buf.remaining() < len {
+        return Err(PirError::Wire("truncated kv key".into()));
+    }
+    let mut key = vec![0u8; len];
+    buf.copy_to_slice(&mut key);
+    check_drained(&buf)?;
+    Ok((request, key, value))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -889,5 +1242,109 @@ mod tests {
         let key = ive_he::SubsKey::generate(he, &sk, 3, &mut rng);
         let bytes = encode_subs_key(&key);
         assert!(bytes.len() > 4 * he.gadget().ell() * he.n());
+    }
+
+    #[test]
+    fn ks_frames_roundtrip_preserve_answers() {
+        use crate::kspir::{KsPirClient, KsPirServer};
+        let params = KsPirParams::toy();
+        let he = params.he();
+        let scalars: Vec<u64> =
+            (0..params.num_scalars() as u64).map(|i| (i * 31 + 5) % he.p()).collect();
+        let server = KsPirServer::new(params.clone(), &scalars).expect("packs");
+        let mut client =
+            KsPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(11)).expect("keygen");
+
+        // Hello: trace keys that crossed the wire drive the same answer.
+        let hello = encode_ks_hello(client.public_keys());
+        assert_eq!(peek_tag(&hello).expect("well-formed"), Tag::KsHello);
+        let keys = decode_ks_hello(he, &hello).expect("well-formed");
+        let query = client.query(137).expect("in range");
+        let r1 = server.answer(client.public_keys(), &query).expect("trace");
+        let r2 = server.answer(&keys, &query).expect("trace");
+        assert_eq!(r1, r2, "wire roundtrip changed the keys");
+        // A key count other than log N is rejected before caching.
+        let short = KsPirKeys::from_parts(keys.trace_keys()[..3].to_vec());
+        let err = decode_ks_hello(he, &encode_ks_hello(&short)).expect_err("short").to_string();
+        assert!(err.contains("trace keys"), "unhelpful: {err}");
+
+        // Welcome: the schema survives by seed, geometry is revalidated.
+        let schema = KvSchema::new(params.clone(), 0xFEED).expect("valid");
+        let welcome = encode_ks_welcome(42, &schema);
+        assert_eq!(peek_tag(&welcome).expect("well-formed"), Tag::KsWelcome);
+        let (session, back) = decode_ks_welcome(&params, &welcome).expect("well-formed");
+        assert_eq!(session, 42);
+        assert_eq!((back.seed(), back.buckets()), (0xFEED, schema.buckets()));
+        let mut lying = BytesMut::from(&welcome[..]);
+        let off = welcome.len() - 2; // group-slot field
+        lying[off..].copy_from_slice(&[0xFF, 0xFF]);
+        assert!(decode_ks_welcome(&params, &lying.freeze()).is_err());
+
+        // Query and response frames round-trip to the same plaintext.
+        let kq = encode_ks_query(42, 7, &query);
+        assert_eq!(peek_tag(&kq).expect("well-formed"), Tag::KsQuery);
+        let (s, r, decoded) = decode_ks_query(&params, &kq).expect("well-formed");
+        assert_eq!((s, r), (42, 7));
+        let r3 = server.answer(&keys, &decoded).expect("trace");
+        assert_eq!(r1, r3, "wire roundtrip changed the query");
+        let resp = encode_ks_response(7, &r1);
+        assert_eq!(peek_tag(&resp).expect("well-formed"), Tag::KsResponse);
+        let (req, ct) = decode_ks_response(he, &resp).expect("well-formed");
+        assert_eq!(req, 7);
+        assert_eq!(client.decode(&ct).expect("decrypts"), scalars[137]);
+    }
+
+    #[test]
+    fn compressed_response_roundtrip_and_validation() {
+        let params = PirParams::toy();
+        let he = params.he();
+        let records: Vec<Vec<u8>> =
+            (0..params.num_records()).map(|i| format!("switch {i}").into_bytes()).collect();
+        let db = Database::from_records(&params, &records).expect("fits");
+        let server = PirServer::new(&params, db).expect("geometry matches");
+        let mut client =
+            PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(13)).expect("keygen");
+        let query = client.query(29).expect("in range");
+        let full = server.answer(client.public_keys(), &query).expect("pipeline");
+        let switched = ive_he::modswitch::switch_to_first_prime(he, &full).expect("switchable");
+
+        let frame = encode_compressed_response(3, &switched);
+        assert_eq!(peek_tag(&frame).expect("well-formed"), Tag::CompressedResponse);
+        // The dropped primes must show up as real traffic savings.
+        assert!(frame.len() < encode_response(&full).len());
+        let (req, back) = decode_compressed_response(he, &frame).expect("well-formed");
+        assert_eq!(req, 3);
+        assert_eq!((back.primes, &back.a, &back.b), (switched.primes, &switched.a, &switched.b));
+        let plain = client.decode_compressed(&query, &back).expect("decrypts");
+        assert_eq!(&plain[..9], &records[29][..9]);
+
+        // Truncation, zero primes, and out-of-range residues are rejected.
+        assert!(decode_compressed_response(he, &frame.slice(..frame.len() / 2)).is_err());
+        let mut zeroed = BytesMut::from(&frame[..]);
+        zeroed[14..16].copy_from_slice(&[0, 0]);
+        assert!(decode_compressed_response(he, &zeroed.freeze()).is_err());
+        let mut hot = BytesMut::from(&frame[..]);
+        hot[20..24].copy_from_slice(&[0xFF; 4]);
+        assert!(decode_compressed_response(he, &hot.freeze()).is_err());
+    }
+
+    #[test]
+    fn kv_update_frames_roundtrip_and_validate() {
+        let put = encode_kv_update(5, b"alice", Some(99)).expect("legal");
+        assert_eq!(peek_tag(&put).expect("well-formed"), Tag::KvUpdate);
+        assert_eq!(decode_kv_update(&put).expect("well-formed"), (5, b"alice".to_vec(), Some(99)));
+        let del = encode_kv_update(6, b"bob", None).expect("legal");
+        assert_eq!(decode_kv_update(&del).expect("well-formed"), (6, b"bob".to_vec(), None));
+
+        // Illegal keys never leave the encoder.
+        assert!(encode_kv_update(0, b"", Some(1)).is_err());
+        assert!(encode_kv_update(0, &vec![0u8; MAX_KV_KEY_BYTES + 1], Some(1)).is_err());
+        // Truncation and a forged zero-length key are rejected at decode.
+        assert!(decode_kv_update(&put.slice(..put.len() - 1)).is_err());
+        let mut empty = BytesMut::from(&del[..]);
+        let off = del.len() - 2 - b"bob".len();
+        empty[off..off + 2].copy_from_slice(&[0, 0]);
+        let err = decode_kv_update(&empty.freeze().slice(..off + 2)).expect_err("empty key");
+        assert!(err.to_string().contains("empty"), "unhelpful: {err}");
     }
 }

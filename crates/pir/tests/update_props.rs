@@ -7,7 +7,9 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
-use ive_pir::{BackendKind, Database, PirClient, PirParams, PirServer, RecordUpdate, UpdateLog};
+use ive_pir::{
+    BackendKind, Database, Journal, PirClient, PirParams, PirServer, RecordUpdate, UpdateLog,
+};
 
 /// Seed-derived random delta batches (multiple epochs' worth), with the
 /// materialized record list they should produce.
@@ -64,8 +66,10 @@ proptest! {
             prop_assert_eq!(epoch, i as u64 + 1);
         }
         let rebuilt = Database::from_records(&params, &final_records).expect("fits");
-        // Word-identical flat buffers: the strongest form of the claim.
-        prop_assert_eq!(db.as_words(), rebuilt.as_words(), "buffers diverged");
+        // Word-identical buffers: the strongest form of the claim. The
+        // updated database got here through copy-on-write pages; only
+        // the touched rows may have been copied.
+        prop_assert_eq!(db.to_words(), rebuilt.to_words(), "buffers diverged");
 
         // And answer-identical through the full pipeline, for a target
         // the history touched (when any) and one it may not have.
@@ -85,5 +89,80 @@ proptest! {
             let want = &final_records[target];
             prop_assert_eq!(&plain[..want.len()], &want[..], "wrong contents at {}", target);
         }
+    }
+
+    /// Copy-on-write commits: applying a random history against a live
+    /// snapshot copies at most one page per delta (O(deltas), never
+    /// O(database)), and the snapshot's contents stay frozen at the old
+    /// epoch.
+    #[test]
+    fn cow_commits_copy_only_touched_pages(seed in any::<u64>()) {
+        let params = PirParams::toy();
+        let (history, final_records) = random_history(&params, seed);
+        let base: Vec<Vec<u8>> = (0..params.num_records())
+            .map(|i| format!("base record {i}").into_bytes())
+            .collect();
+        let mut db = Database::from_records(&params, &base).expect("base fits");
+        let snapshot = db.clone(); // an epoch snapshot holding every page
+        let log = UpdateLog::new(&params);
+        for batch in &history {
+            log.stage_all(batch).expect("valid by construction");
+            db.apply_updates(&log.drain()).expect("in range");
+        }
+        let deltas: usize = history.iter().map(Vec::len).sum();
+        let cow = db.cow_stats();
+        prop_assert!(cow.pages_copied >= 1, "a shared page must be duplicated before a write");
+        prop_assert!(
+            cow.pages_copied as usize <= deltas,
+            "commit copied {} pages for {} deltas — not O(deltas)",
+            cow.pages_copied, deltas
+        );
+        prop_assert_eq!(cow.words_copied, cow.pages_copied * db.page_words() as u64);
+        // The snapshot still reads as the base contents (isolation), and
+        // the mutated lineage as the final contents.
+        let base_db = Database::from_records(&params, &base).expect("fits");
+        prop_assert_eq!(snapshot.to_words(), base_db.to_words(), "snapshot mutated");
+        let rebuilt = Database::from_records(&params, &final_records).expect("fits");
+        prop_assert_eq!(db.to_words(), rebuilt.to_words(), "CoW lineage diverged");
+    }
+
+    /// Crash-recovery: a journal holding fsync'd-but-uncommitted batches
+    /// replays through the normal pipeline into a database word-identical
+    /// to one that never crashed.
+    #[test]
+    fn journal_replay_rebuilds_word_identical_state(seed in any::<u64>()) {
+        let params = PirParams::toy();
+        let (history, final_records) = random_history(&params, seed);
+        let path = std::env::temp_dir().join(format!(
+            "ive-props-journal-{}-{seed:016x}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, replayed) = Journal::open(&path, &params).expect("open fresh");
+            prop_assert!(replayed.is_empty());
+            for batch in &history {
+                journal.append(batch).expect("append");
+            }
+            prop_assert_eq!(journal.pending_batches(), history.len() as u64);
+            // Simulated kill: dropped before any batch committed.
+        }
+        let (mut journal, replayed) = Journal::open(&path, &params).expect("recover");
+        prop_assert_eq!(&replayed, &history, "journal must replay exactly what was appended");
+        let base: Vec<Vec<u8>> = (0..params.num_records())
+            .map(|i| format!("base record {i}").into_bytes())
+            .collect();
+        let mut db = Database::from_records(&params, &base).expect("base fits");
+        let log = UpdateLog::new(&params);
+        for batch in &replayed {
+            log.stage_all(batch).expect("journaled batches always re-stage");
+            db.apply_updates(&log.drain()).expect("in range");
+        }
+        journal.checkpoint().expect("checkpoint after recovery");
+        let rebuilt = Database::from_records(&params, &final_records).expect("fits");
+        prop_assert_eq!(db.to_words(), rebuilt.to_words(), "replay diverged from rebuild");
+        let (_, replayed) = Journal::open(&path, &params).expect("reopen");
+        prop_assert!(replayed.is_empty(), "checkpoint must clear the journal");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -13,8 +13,9 @@ use std::sync::OnceLock;
 
 use ive_he::{BfvCiphertext, Plaintext, RgswCiphertext, SecretKey};
 use ive_math::rns::{Form, RnsPoly};
+use ive_pir::kspir::{KsPirClient, KsPirParams};
 use ive_pir::wire;
-use ive_pir::{PirClient, PirParams};
+use ive_pir::{KvSchema, PirClient, PirParams};
 
 /// Shared fixtures, built once: toy parameters, a client, and one encoded
 /// instance of each frame type.
@@ -39,6 +40,42 @@ fn fixture() -> &'static Fixture {
             keys_bytes: wire::encode_client_keys(client.public_keys()),
             params,
             sk,
+        }
+    })
+}
+
+/// Keyword-side fixtures: toy `KsPirParams`, a registered client, and one
+/// encoded instance of each keyword frame.
+struct KsFixture {
+    params: KsPirParams,
+    hello_bytes: Bytes,
+    query_bytes: Bytes,
+    response_bytes: Bytes,
+    compressed_bytes: Bytes,
+    kv_update_bytes: Bytes,
+}
+
+fn ks_fixture() -> &'static KsFixture {
+    static FIX: OnceLock<KsFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let params = KsPirParams::toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED_CAFE);
+        let mut client = KsPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(11))
+            .expect("toy keygen succeeds");
+        let query = client.query(5).expect("in range");
+        let he = params.he();
+        let sk = SecretKey::generate(he, &mut rng);
+        let vals: Vec<u64> = (0..he.n()).map(|_| rng.gen_range(0..he.p())).collect();
+        let ct =
+            BfvCiphertext::encrypt(he, &sk, &Plaintext::new(he, vals).expect("below P"), &mut rng);
+        let switched = ive_he::modswitch::switch_to_first_prime(he, &ct).expect("switches");
+        KsFixture {
+            hello_bytes: wire::encode_ks_hello(client.public_keys()),
+            query_bytes: wire::encode_ks_query(3, 4, &query),
+            response_bytes: wire::encode_ks_response(4, &ct),
+            compressed_bytes: wire::encode_compressed_response(4, &switched),
+            kv_update_bytes: wire::encode_kv_update(9, b"fixture-key", Some(77)).expect("valid"),
+            params,
         }
     })
 }
@@ -162,6 +199,85 @@ proptest! {
         let ack = wire::encode_update_ack(request, epoch, applied);
         prop_assert_eq!(wire::decode_update_ack(&ack).expect("decodes"), (request, epoch, applied));
     }
+
+    #[test]
+    fn ks_hello_roundtrip_is_canonical(_tick in any::<bool>()) {
+        let fix = ks_fixture();
+        let keys = wire::decode_ks_hello(fix.params.he(), &fix.hello_bytes)
+            .expect("own encoding decodes");
+        prop_assert_eq!(&wire::encode_ks_hello(&keys)[..], &fix.hello_bytes[..],
+            "encoding not canonical");
+    }
+
+    #[test]
+    fn ks_welcome_roundtrip(session in any::<u64>(), seed in any::<u64>()) {
+        let fix = ks_fixture();
+        let schema = KvSchema::new(fix.params.clone(), seed).expect("any seed lays out");
+        let frame = wire::encode_ks_welcome(session, &schema);
+        let (s, back) = wire::decode_ks_welcome(&fix.params, &frame).expect("decodes");
+        prop_assert_eq!(s, session);
+        prop_assert_eq!(back.seed(), seed);
+        prop_assert_eq!(back.buckets(), schema.buckets());
+        prop_assert_eq!(&wire::encode_ks_welcome(s, &back)[..], &frame[..]);
+    }
+
+    #[test]
+    fn ks_query_frame_ids_roundtrip(session in any::<u64>(), request in any::<u64>()) {
+        let fix = ks_fixture();
+        let (_, _, query) =
+            wire::decode_ks_query(&fix.params, &fix.query_bytes).expect("fixture decodes");
+        let frame = wire::encode_ks_query(session, request, &query);
+        let (s, r, q) = wire::decode_ks_query(&fix.params, &frame).expect("own encoding decodes");
+        prop_assert_eq!((s, r), (session, request));
+        prop_assert_eq!(&wire::encode_ks_query(s, r, &q)[..], &frame[..], "not canonical");
+    }
+
+    #[test]
+    fn ks_and_compressed_response_roundtrip(request in any::<u64>(), seed in any::<u64>()) {
+        let fix = ks_fixture();
+        let he = fix.params.he();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(he, &mut rng);
+        let vals: Vec<u64> = (0..he.n()).map(|_| rng.gen_range(0..he.p())).collect();
+        let ct = BfvCiphertext::encrypt(he, &sk, &Plaintext::new(he, vals).expect("below P"), &mut rng);
+        let frame = wire::encode_ks_response(request, &ct);
+        let (r, back) = wire::decode_ks_response(he, &frame).expect("own encoding decodes");
+        prop_assert_eq!(r, request);
+        prop_assert_eq!(&back, &ct);
+        prop_assert_eq!(&wire::encode_ks_response(r, &back)[..], &frame[..]);
+
+        let switched = ive_he::modswitch::switch_to_first_prime(he, &ct).expect("switches");
+        let frame = wire::encode_compressed_response(request, &switched);
+        prop_assert!(frame.len() < wire::encode_ks_response(request, &ct).len(),
+            "compression must shrink the frame");
+        let (r, back) = wire::decode_compressed_response(he, &frame).expect("decodes");
+        prop_assert_eq!(r, request);
+        prop_assert_eq!(back.primes, switched.primes);
+        prop_assert_eq!(&back.a, &switched.a);
+        prop_assert_eq!(&back.b, &switched.b);
+        prop_assert_eq!(&wire::encode_compressed_response(r, &back)[..], &frame[..]);
+    }
+
+    #[test]
+    fn kv_update_roundtrip_and_key_caps(
+        request in any::<u64>(),
+        raw in collection::vec(any::<u8>(), 1..64),
+        is_put in any::<bool>(),
+        put_value in any::<u64>(),
+    ) {
+        let value = is_put.then_some(put_value);
+        let frame = wire::encode_kv_update(request, &raw, value).expect("valid key");
+        let (r, key, v) = wire::decode_kv_update(&frame).expect("own encoding decodes");
+        prop_assert_eq!(r, request);
+        prop_assert_eq!(&key[..], &raw[..]);
+        prop_assert_eq!(v, value);
+        prop_assert_eq!(&wire::encode_kv_update(r, &key, v).expect("valid")[..], &frame[..]);
+        // Key bounds are enforced at encode time too, not just decode.
+        prop_assert!(wire::encode_kv_update(request, b"", value).is_err());
+        prop_assert!(
+            wire::encode_kv_update(request, &vec![0u8; wire::MAX_KV_KEY_BYTES + 1], value).is_err()
+        );
+    }
 }
 
 proptest! {
@@ -212,6 +328,57 @@ proptest! {
         if let Ok((r, back)) = wire::decode_update_rows(params, &bad) {
             let again = wire::encode_update_rows(r, &back).expect("within cap");
             prop_assert_eq!(&again[..], &bad[..]);
+        }
+    }
+
+    #[test]
+    fn keyword_frame_truncation_never_panics_and_always_errs(cut_permille in 0u32..1000) {
+        let fix = ks_fixture();
+        let he = fix.params.he();
+        let frames = [
+            &fix.hello_bytes,
+            &fix.query_bytes,
+            &fix.response_bytes,
+            &fix.compressed_bytes,
+            &fix.kv_update_bytes,
+            &wire::encode_ks_welcome(1, &KvSchema::new(fix.params.clone(), 7).expect("lays out")),
+        ];
+        for bytes in frames {
+            let cut = (bytes.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+            let short = bytes.slice(..cut.min(bytes.len() - 1));
+            prop_assert!(wire::decode_ks_hello(he, &short).is_err());
+            prop_assert!(wire::decode_ks_welcome(&fix.params, &short).is_err());
+            prop_assert!(wire::decode_ks_query(&fix.params, &short).is_err());
+            prop_assert!(wire::decode_ks_response(he, &short).is_err());
+            prop_assert!(wire::decode_compressed_response(he, &short).is_err());
+            prop_assert!(wire::decode_kv_update(&short).is_err());
+        }
+    }
+
+    #[test]
+    fn keyword_body_corruption_errs_or_stays_canonical(seed in any::<u64>()) {
+        // Same canonical-form invariant as the index frames: a flipped
+        // body byte either fails to decode or re-encodes to exactly the
+        // tampered bytes — no panic, no third outcome.
+        let fix = ks_fixture();
+        let he = fix.params.he();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for bytes in [&fix.query_bytes, &fix.compressed_bytes, &fix.kv_update_bytes] {
+            let pos = rng.gen_range(6..bytes.len());
+            let flip = rng.gen_range(1..=255) as u8;
+            let mut bad = BytesMut::new();
+            bad.extend_from_slice(&bytes[..]);
+            bad[pos] ^= flip;
+            let bad = bad.freeze();
+            if let Ok((s, r, q)) = wire::decode_ks_query(&fix.params, &bad) {
+                prop_assert_eq!(&wire::encode_ks_query(s, r, &q)[..], &bad[..]);
+            }
+            if let Ok((r, ct)) = wire::decode_compressed_response(he, &bad) {
+                prop_assert_eq!(&wire::encode_compressed_response(r, &ct)[..], &bad[..]);
+            }
+            if let Ok((r, key, v)) = wire::decode_kv_update(&bad) {
+                prop_assert_eq!(&wire::encode_kv_update(r, &key, v).expect("valid")[..], &bad[..]);
+            }
         }
     }
 
@@ -282,6 +449,18 @@ fn peek_tag_matches_frame_types() {
             wire::Tag::UpdateRow,
         ),
         (wire::encode_update_ack(7, 1, 1), wire::Tag::UpdateAck),
+        (ks_fixture().hello_bytes.clone(), wire::Tag::KsHello),
+        (
+            wire::encode_ks_welcome(
+                1,
+                &KvSchema::new(ks_fixture().params.clone(), 7).expect("lays out"),
+            ),
+            wire::Tag::KsWelcome,
+        ),
+        (ks_fixture().query_bytes.clone(), wire::Tag::KsQuery),
+        (ks_fixture().response_bytes.clone(), wire::Tag::KsResponse),
+        (ks_fixture().compressed_bytes.clone(), wire::Tag::CompressedResponse),
+        (ks_fixture().kv_update_bytes.clone(), wire::Tag::KvUpdate),
     ];
     for (bytes, want) in cases {
         assert_eq!(wire::peek_tag(&bytes).expect("well-formed"), want);

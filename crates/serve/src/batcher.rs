@@ -67,6 +67,7 @@ pub fn spawn(config: &ServeConfig, engine: Arc<ShardedEngine>, metrics: Arc<Metr
             })
             .expect("spawn dispatcher"),
     );
+    let compress = config.compress_responses;
     for i in 0..config.workers {
         let rx = Arc::clone(&batch_rx);
         let engine = Arc::clone(&engine);
@@ -74,7 +75,7 @@ pub fn spawn(config: &ServeConfig, engine: Arc<ShardedEngine>, metrics: Arc<Metr
         threads.push(
             std::thread::Builder::new()
                 .name(format!("ive-serve-worker-{i}"))
-                .spawn(move || worker_loop(&rx, &engine, &metrics))
+                .spawn(move || worker_loop(&rx, &engine, &metrics, compress))
                 .expect("spawn worker"),
         );
     }
@@ -122,7 +123,12 @@ fn dispatch_loop(
 /// Each worker owns one [`QueryScratch`] for its whole lifetime: the
 /// kernel arena and flat `RowSel` accumulators warm up on the first batch
 /// and every later batch runs its scan without touching the allocator.
-fn worker_loop(batches: &Mutex<Receiver<Vec<Job>>>, engine: &ShardedEngine, metrics: &Metrics) {
+fn worker_loop(
+    batches: &Mutex<Receiver<Vec<Job>>>,
+    engine: &ShardedEngine,
+    metrics: &Metrics,
+    compress: bool,
+) {
     let mut scratch = QueryScratch::new();
     loop {
         // Hold the lock only for the dequeue, never during the answer.
@@ -134,7 +140,23 @@ fn worker_loop(batches: &Mutex<Receiver<Vec<Job>>>, engine: &ShardedEngine, metr
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         };
-        process_batch(batch, engine, metrics, &mut scratch);
+        process_batch(batch, engine, metrics, &mut scratch, compress);
+    }
+}
+
+/// Frames one answer, modulus-switching it first when compression is on
+/// (Table VIII: only the minimum retained residues travel downlink).
+fn frame_response(
+    engine: &ShardedEngine,
+    request_id: u64,
+    ct: &ive_he::BfvCiphertext,
+    compress: bool,
+) -> Result<Bytes, ive_pir::PirError> {
+    if compress {
+        let switched = ive_he::modswitch::switch_to_first_prime(engine.params().he(), ct)?;
+        Ok(wire::encode_compressed_response(request_id, &switched))
+    } else {
+        Ok(wire::encode_session_response(request_id, ct))
     }
 }
 
@@ -145,30 +167,27 @@ fn process_batch(
     engine: &ShardedEngine,
     metrics: &Metrics,
     scratch: &mut QueryScratch,
+    compress: bool,
 ) {
     let requests: Vec<(&ClientKeys, &PirQuery)> =
         batch.iter().map(|job| (job.keys.as_ref(), &job.query)).collect();
-    match engine.answer_batch_with(&requests, scratch) {
-        Ok(answers) => {
-            for (job, ct) in batch.iter().zip(&answers) {
-                let frame = wire::encode_session_response(job.request_id, ct);
+    let answers = engine.answer_batch_with(&requests, scratch);
+    let per_query: Vec<Result<ive_he::BfvCiphertext, ive_pir::PirError>> = match answers {
+        Ok(answers) => answers.into_iter().map(Ok).collect(),
+        Err(_) => batch
+            .iter()
+            .map(|job| engine.answer_with(job.keys.as_ref(), &job.query, scratch))
+            .collect(),
+    };
+    for (job, answer) in batch.iter().zip(per_query) {
+        match answer.and_then(|ct| frame_response(engine, job.request_id, &ct, compress)) {
+            Ok(frame) => {
                 metrics.query_done(job.enqueued.elapsed());
                 let _ = job.reply.send(frame); // receiver gone: client left
             }
-        }
-        Err(_) => {
-            for job in &batch {
-                match engine.answer_with(job.keys.as_ref(), &job.query, scratch) {
-                    Ok(ct) => {
-                        let frame = wire::encode_session_response(job.request_id, &ct);
-                        metrics.query_done(job.enqueued.elapsed());
-                        let _ = job.reply.send(frame);
-                    }
-                    Err(e) => {
-                        metrics.query_failed();
-                        let _ = job.reply.send(crate::error_frame(job.request_id, &e));
-                    }
-                }
+            Err(e) => {
+                metrics.query_failed();
+                let _ = job.reply.send(crate::error_frame(job.request_id, &e));
             }
         }
     }

@@ -1,20 +1,87 @@
-//! Blocking clients for the serving runtime: [`ServeClient`] for private
-//! retrieval (one handshake uploading the keys, then any number of
-//! `retrieve` calls shipping only the small per-query payload) and
-//! [`UpdateClient`] for content ingestion (row put/delete batches, each
-//! acknowledged with the epoch it committed as — no keys, no session).
+//! Blocking clients for the serving runtime, all built from one
+//! [`Connection`] entry point: [`ServeClient`] for private retrieval by
+//! index (one handshake uploading the keys, then any number of
+//! `retrieve` calls shipping only the small per-query payload),
+//! [`KvClient`] for private retrieval **by key** over a keyword service,
+//! and [`UpdateClient`] for content ingestion (row put/delete batches,
+//! each acknowledged with the epoch it committed as — no keys, no
+//! session).
 
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
-use ive_pir::{wire, PirClient, PirParams, RecordUpdate};
+use ive_pir::kspir::{KsPirClient, KsPirParams};
+use ive_pir::{wire, KvSchema, PirClient, PirParams, RecordUpdate};
 
 use crate::transport::{BoxedConn, FrameRx, FrameTx, Received};
 use crate::ServeError;
 
 /// How long a client waits for any single response before giving up.
 const RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A raw framed connection, not yet committed to a protocol role. This
+/// is the single client entry point: wrap the [`BoxedConn`] a transport
+/// connector produced, then pick the role — every `into_*` method runs
+/// that role's handshake (or none, for updates) and returns the typed
+/// client.
+///
+/// ```no_run
+/// # use ive_pir::PirParams;
+/// # use ive_serve::{transport::in_proc_pair, Connection};
+/// # use rand::SeedableRng;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let params = PirParams::toy();
+/// # let (_t, connector) = in_proc_pair();
+/// let rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut reader = Connection::new(connector.connect()?).into_serve_client(&params, rng)?;
+/// let mut writer = Connection::new(connector.connect()?).into_update_client();
+/// # Ok(())
+/// # }
+/// ```
+pub struct Connection {
+    conn: BoxedConn,
+}
+
+impl Connection {
+    /// Wraps a connected transport pair.
+    pub fn new(conn: BoxedConn) -> Self {
+        Connection { conn }
+    }
+
+    /// Runs the index-retrieval handshake ([`wire::Tag::Hello`] key
+    /// upload → session id) and returns the registered [`ServeClient`].
+    ///
+    /// # Errors
+    /// Fails on keygen, transport, or handshake-rejection errors.
+    pub fn into_serve_client(
+        self,
+        params: &PirParams,
+        rng: rand::rngs::StdRng,
+    ) -> Result<ServeClient, ServeError> {
+        ServeClient::handshake(params, self.conn, rng)
+    }
+
+    /// Returns an [`UpdateClient`] (updates exchange no handshake).
+    pub fn into_update_client(self) -> UpdateClient {
+        UpdateClient::wrap(self.conn)
+    }
+
+    /// Runs the keyword handshake ([`wire::Tag::KsHello`] trace-key
+    /// upload → session id + table layout) against a keyword service and
+    /// returns the registered [`KvClient`].
+    ///
+    /// # Errors
+    /// Fails on keygen, transport, or handshake-rejection errors, or a
+    /// server layout that contradicts `params`.
+    pub fn into_kv_client(
+        self,
+        params: &KsPirParams,
+        rng: rand::rngs::StdRng,
+    ) -> Result<KvClient, ServeError> {
+        KvClient::handshake(params, self.conn, rng)
+    }
+}
 
 /// A connected, registered PIR client. Supports both blocking
 /// single-query use ([`ServeClient::retrieve`]) and pipelining several
@@ -37,7 +104,20 @@ impl ServeClient {
     ///
     /// # Errors
     /// Fails on keygen, transport, or handshake-rejection errors.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Connection::new(conn).into_serve_client(params, rng)`"
+    )]
     pub fn connect(
+        params: &PirParams,
+        conn: BoxedConn,
+        rng: rand::rngs::StdRng,
+    ) -> Result<Self, ServeError> {
+        Self::handshake(params, conn, rng)
+    }
+
+    /// The handshake body behind [`Connection::into_serve_client`].
+    fn handshake(
         params: &PirParams,
         conn: BoxedConn,
         rng: rand::rngs::StdRng,
@@ -115,6 +195,15 @@ impl ServeClient {
                 })?;
                 Ok((request_id, self.client.decode(&query, &ct)?))
             }
+            // A compress_responses server ships modulus-switched answers;
+            // the client decodes either form transparently.
+            wire::Tag::CompressedResponse => {
+                let (request_id, ct) = wire::decode_compressed_response(&he, &frame)?;
+                let query = self.pending.remove(&request_id).ok_or_else(|| {
+                    ServeError::Protocol(format!("response for unknown request {request_id}"))
+                })?;
+                Ok((request_id, self.client.decode_compressed(&query, &ct)?))
+            }
             wire::Tag::Error => {
                 let (request_id, message) = wire::decode_error_frame(&frame)?;
                 if request_id == 0 {
@@ -173,7 +262,7 @@ impl ServeClient {
 /// ```
 /// use ive_pir::{Database, PirParams};
 /// use ive_serve::{config::ServeConfig, transport::in_proc_pair};
-/// use ive_serve::{PirService, ServeClient, UpdateClient};
+/// use ive_serve::{Connection, PirService};
 /// use rand::SeedableRng;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -184,12 +273,12 @@ impl ServeClient {
 /// let config = ServeConfig { accept_updates: true, ..ServeConfig::default() };
 /// let service = PirService::start(config, &params, db, Box::new(transport))?;
 ///
-/// let mut updater = UpdateClient::connect(connector.connect()?);
+/// let mut updater = Connection::new(connector.connect()?).into_update_client();
 /// let epoch = updater.put(0, b"v2 - live".to_vec())?;
 /// assert_eq!(epoch, 1);
 ///
 /// let rng = rand::rngs::StdRng::seed_from_u64(1);
-/// let mut reader = ServeClient::connect(&params, connector.connect()?, rng)?;
+/// let mut reader = Connection::new(connector.connect()?).into_serve_client(&params, rng)?;
 /// assert_eq!(&reader.retrieve(0)?[..9], b"v2 - live");
 /// drop(reader);
 /// service.shutdown();
@@ -204,7 +293,13 @@ pub struct UpdateClient {
 
 impl UpdateClient {
     /// Wraps a connection; no handshake is exchanged.
+    #[deprecated(since = "0.1.0", note = "use `Connection::new(conn).into_update_client()`")]
     pub fn connect(conn: BoxedConn) -> Self {
+        Self::wrap(conn)
+    }
+
+    /// The constructor body behind [`Connection::into_update_client`].
+    fn wrap(conn: BoxedConn) -> Self {
         let (rx, tx) = conn;
         UpdateClient { rx, tx, next_request: 1 }
     }
@@ -255,6 +350,174 @@ impl UpdateClient {
     /// See [`UpdateClient::apply`].
     pub fn delete(&mut self, index: usize) -> Result<u64, ServeError> {
         Ok(self.apply(&[RecordUpdate::delete(index)])?.0)
+    }
+}
+
+/// A connected, registered **keyword** client: private retrieval by key
+/// over a keyword service ([`crate::PirService::start_keyword`]).
+///
+/// One `get(key)` privately fetches both cuckoo candidate buckets —
+/// `2 × group_slots` scalar slots, pipelined on one connection — and
+/// decodes them locally: the server learns a fixed, key-independent
+/// access pattern (always the same number of slot queries, each
+/// individually private), never which key was looked up or whether it
+/// was present.
+pub struct KvClient {
+    rx: Box<dyn FrameRx>,
+    tx: Box<dyn FrameTx>,
+    session_id: u64,
+    next_request: u64,
+    client: KsPirClient<rand::rngs::StdRng>,
+    schema: KvSchema,
+}
+
+impl KvClient {
+    /// The handshake body behind [`Connection::into_kv_client`]:
+    /// generates trace keys, uploads them, and learns the table layout.
+    fn handshake(
+        params: &KsPirParams,
+        conn: BoxedConn,
+        rng: rand::rngs::StdRng,
+    ) -> Result<Self, ServeError> {
+        let (mut rx, mut tx) = conn;
+        let client = KsPirClient::new(params, rng)?;
+        tx.send(&wire::encode_ks_hello(client.public_keys()))?;
+        let frame = recv_frame(rx.as_mut(), RESPONSE_TIMEOUT)?;
+        let (session_id, schema) = match wire::peek_tag(&frame)? {
+            wire::Tag::KsWelcome => wire::decode_ks_welcome(params, &frame)?,
+            wire::Tag::Error => {
+                let (request_id, message) = wire::decode_error_frame(&frame)?;
+                return Err(ServeError::Remote { request_id, message });
+            }
+            tag => {
+                return Err(ServeError::Protocol(format!(
+                    "expected KsWelcome, server sent {}",
+                    tag.name()
+                )))
+            }
+        };
+        Ok(KvClient { rx, tx, session_id, next_request: 1, client, schema })
+    }
+
+    /// The session id the server assigned.
+    #[inline]
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// The table layout negotiated at the handshake.
+    #[inline]
+    pub fn schema(&self) -> &KvSchema {
+        &self.schema
+    }
+
+    /// Privately retrieves the value stored under `key`, or `None` when
+    /// absent. Both candidate buckets are always fetched, in a fixed
+    /// order, so presence and bucket choice leak nothing.
+    ///
+    /// # Errors
+    /// Fails on protocol, transport, or server-reported errors.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<u64>, ServeError> {
+        let mut found = None;
+        for bucket in self.schema.candidates(key) {
+            let group = self.fetch_group(bucket)?;
+            if found.is_none() {
+                found = self.schema.decode_group(key, &group);
+            }
+        }
+        Ok(found)
+    }
+
+    /// Inserts or overwrites `key` server-side; returns the committed
+    /// epoch. Mutations identify the key in the clear — they are the
+    /// content-owner's ingest path (gated by
+    /// [`crate::ServeConfig::accept_updates`]), not a private operation.
+    ///
+    /// # Errors
+    /// Fails on transport errors or a server-reported rejection (e.g. a
+    /// read-only service or a full table).
+    pub fn put(&mut self, key: &[u8], value: u64) -> Result<u64, ServeError> {
+        self.mutate(key, Some(value))
+    }
+
+    /// Deletes `key` server-side; returns the epoch the delete committed
+    /// as (unchanged when the key was already absent).
+    ///
+    /// # Errors
+    /// See [`KvClient::put`].
+    pub fn delete(&mut self, key: &[u8]) -> Result<u64, ServeError> {
+        self.mutate(key, None)
+    }
+
+    fn mutate(&mut self, key: &[u8], value: Option<u64>) -> Result<u64, ServeError> {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.tx.send(&wire::encode_kv_update(request_id, key, value).map_err(ServeError::Pir)?)?;
+        let frame = recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?;
+        match wire::peek_tag(&frame)? {
+            wire::Tag::UpdateAck => {
+                let (got, epoch, _applied) = wire::decode_update_ack(&frame)?;
+                if got != request_id {
+                    return Err(ServeError::Protocol(format!(
+                        "ack for request {got} while {request_id} was in flight"
+                    )));
+                }
+                Ok(epoch)
+            }
+            wire::Tag::Error => {
+                let (request_id, message) = wire::decode_error_frame(&frame)?;
+                Err(ServeError::Remote { request_id, message })
+            }
+            tag => {
+                Err(ServeError::Protocol(format!("expected UpdateAck, server sent {}", tag.name())))
+            }
+        }
+    }
+
+    /// Fetches one bucket's slot group: all `group_slots` queries ship
+    /// before the first response is awaited (pipelined), and responses
+    /// are matched back by request id.
+    fn fetch_group(&mut self, bucket: usize) -> Result<Vec<u64>, ServeError> {
+        let base = self.schema.slot_of(bucket);
+        let width = self.schema.group_slots();
+        let he = self.schema.params().he().clone();
+        let mut want = std::collections::HashMap::with_capacity(width);
+        for i in 0..width {
+            let query = self.client.query(base + i)?;
+            let request_id = self.next_request;
+            self.next_request += 1;
+            self.tx.send(&wire::encode_ks_query(self.session_id, request_id, &query))?;
+            want.insert(request_id, i);
+        }
+        let mut group = vec![0u64; width];
+        for _ in 0..width {
+            let frame = recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?;
+            let (request_id, scalar) = match wire::peek_tag(&frame)? {
+                wire::Tag::KsResponse => {
+                    let (request_id, ct) = wire::decode_ks_response(&he, &frame)?;
+                    (request_id, self.client.decode(&ct)?)
+                }
+                wire::Tag::CompressedResponse => {
+                    let (request_id, ct) = wire::decode_compressed_response(&he, &frame)?;
+                    (request_id, self.client.decode_switched(&ct)?)
+                }
+                wire::Tag::Error => {
+                    let (request_id, message) = wire::decode_error_frame(&frame)?;
+                    return Err(ServeError::Remote { request_id, message });
+                }
+                tag => {
+                    return Err(ServeError::Protocol(format!(
+                        "expected KsResponse, server sent {}",
+                        tag.name()
+                    )))
+                }
+            };
+            let slot = want.remove(&request_id).ok_or_else(|| {
+                ServeError::Protocol(format!("response for unknown request {request_id}"))
+            })?;
+            group[slot] = scalar;
+        }
+        Ok(group)
     }
 }
 

@@ -1,6 +1,8 @@
 //! Serving configuration: waiting window, batch and queue bounds, worker
-//! pool size, and the database sharding plan.
+//! pool size, the database sharding plan, response compression, and the
+//! durable update journal.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use ive_pir::{BackendKind, TournamentOrder};
@@ -68,6 +70,25 @@ pub struct ServeConfig {
     ///
     /// [`wire::Tag::UpdateRow`]: ive_pir::wire::Tag::UpdateRow
     pub accept_updates: bool,
+    /// Ship responses modulus-switched to the minimum retained prime
+    /// count (Table VIII's response compression): the worker runs
+    /// `switch_to_first_prime` and the response travels as a
+    /// [`wire::Tag::CompressedResponse`] frame carrying only the
+    /// surviving residues. Decode cost is unchanged client-side; the
+    /// downlink shrinks by `k / primes`. Off by default because
+    /// compressed responses spend part of the noise budget — enable it
+    /// where measured noise margins allow (they do for both the toy and
+    /// paper parameter sets).
+    ///
+    /// [`wire::Tag::CompressedResponse`]: ive_pir::wire::Tag::CompressedResponse
+    pub compress_responses: bool,
+    /// Durable staging journal: when set, every accepted update batch is
+    /// appended (fsync'd) to this file *before* it commits, and the file
+    /// is truncated at each commit checkpoint. On startup the service
+    /// replays any batches a crash left behind, so
+    /// staged-but-uncommitted updates survive process death. `None`
+    /// (default) keeps updates memory-only.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +105,8 @@ impl Default for ServeConfig {
             backend: BackendKind::default(),
             max_sessions: 4096,
             accept_updates: false,
+            compress_responses: false,
+            journal: None,
         }
     }
 }
@@ -130,6 +153,11 @@ impl ServeConfig {
                 )));
             }
         }
+        if let Some(path) = &self.journal {
+            if path.as_os_str().is_empty() {
+                return Err(ServeError::InvalidConfig("journal path must be non-empty".into()));
+            }
+        }
         Ok(())
     }
 }
@@ -171,6 +199,7 @@ mod tests {
             ServeConfig { max_sessions: 0, ..ServeConfig::default() },
             ServeConfig { shard: ShardPlan::RowSharded { shards: 3 }, ..ServeConfig::default() },
             ServeConfig { shard: ShardPlan::RowSharded { shards: 0 }, ..ServeConfig::default() },
+            ServeConfig { journal: Some(PathBuf::new()), ..ServeConfig::default() },
         ] {
             assert!(bad.validate().is_err(), "{bad:?} must be rejected");
         }

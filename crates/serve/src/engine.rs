@@ -29,9 +29,11 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use ive_he::BfvCiphertext;
 use ive_pir::coltor::col_tor_with;
+use ive_pir::db::CowStats;
+use ive_pir::kspir::{KsPirKeys, KsPirParams, KsPirQuery, KsPirServer};
 use ive_pir::{
-    BackendKind, ClientKeys, Database, PirError, PirParams, PirQuery, PirServer, PreparedUpdate,
-    QueryScratch, RecordUpdate, TournamentOrder, UpdateLog,
+    BackendKind, ClientKeys, Database, Journal, KvSchema, KvStore, PirError, PirParams, PirQuery,
+    PirServer, PreparedUpdate, QueryScratch, RecordUpdate, TournamentOrder, UpdateLog,
 };
 
 use crate::config::ShardPlan;
@@ -54,6 +56,11 @@ pub struct ShardedEngine {
     scratch: Vec<ScratchPool>,
     /// Staged deltas awaiting the next epoch boundary.
     log: UpdateLog,
+    /// Optional durable journal mirroring the staged deltas: batches are
+    /// appended (fsync'd) when staged and the file truncates at each
+    /// commit checkpoint, so a crash between stage and commit loses
+    /// nothing (the service replays the journal on startup).
+    journal: Mutex<Option<Journal>>,
     /// Serializes commits so concurrent updaters cannot interleave their
     /// clone-apply-swap sequences (readers are never blocked by this).
     commit: Mutex<()>,
@@ -135,6 +142,7 @@ impl ShardedEngine {
             shard_bits,
             scratch,
             log: UpdateLog::with_backend(params, backend),
+            journal: Mutex::new(None),
             commit: Mutex::new(()),
             epoch: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
@@ -170,6 +178,47 @@ impl ShardedEngine {
         self.log.len()
     }
 
+    /// Attaches a durable journal (already opened and replayed by the
+    /// caller): from now on every staged batch is appended before it is
+    /// visible to a commit, and each commit checkpoint truncates the
+    /// file.
+    pub fn set_journal(&self, journal: Journal) {
+        *self.journal.lock().expect("journal lock poisoned") = Some(journal);
+    }
+
+    /// Cumulative copy-on-write accounting, summed over every shard of
+    /// the current epoch: how many row pages (and words) commits have
+    /// actually duplicated. The complement — total pages minus copied —
+    /// is what the CoW representation saved versus whole-shard clones.
+    pub fn cow_stats(&self) -> CowStats {
+        let mut total = CowStats::default();
+        for server in self.snapshot() {
+            let s = server.database().cow_stats();
+            total.pages_copied += s.pages_copied;
+            total.words_copied += s.words_copied;
+        }
+        total
+    }
+
+    /// Appends one batch to the journal, if one is attached. Called
+    /// *after* staging validation so the journal only ever holds batches
+    /// that will replay cleanly.
+    fn journal_append(&self, updates: &[RecordUpdate]) -> Result<(), PirError> {
+        if let Some(journal) = self.journal.lock().expect("journal lock poisoned").as_mut() {
+            journal.append(updates)?;
+        }
+        Ok(())
+    }
+
+    /// Truncates the journal after a successful commit: everything
+    /// staged is now durable in the database snapshot itself.
+    fn journal_checkpoint(&self) -> Result<(), PirError> {
+        if let Some(journal) = self.journal.lock().expect("journal lock poisoned").as_mut() {
+            journal.checkpoint()?;
+        }
+        Ok(())
+    }
+
     /// The current epoch's server set: a consistent snapshot the caller
     /// can scan lock-free while commits proceed concurrently.
     fn snapshot(&self) -> Vec<Arc<PirServer>> {
@@ -181,17 +230,31 @@ impl ShardedEngine {
     /// thread — the ingest path, never a query worker.
     ///
     /// # Errors
-    /// Rejects out-of-range indices and oversized payloads.
+    /// Rejects out-of-range indices and oversized payloads; with a
+    /// journal attached, an append failure leaves the delta unstaged.
     pub fn stage_update(&self, update: RecordUpdate) -> Result<(), PirError> {
-        self.log.stage(update)
+        self.stage_updates(std::slice::from_ref(&update))
     }
 
-    /// Stages a whole batch, all-or-nothing.
+    /// Stages a whole batch, all-or-nothing: validate + NTT-prepare
+    /// first, then journal (durable before visible), then stage. The
+    /// commit mutex is held so a concurrent commit's checkpoint can
+    /// never truncate a batch it did not drain.
     ///
     /// # Errors
-    /// Rejects the entire batch when any delta is invalid.
+    /// Rejects the entire batch when any delta is invalid; a journal
+    /// append failure leaves nothing staged.
     pub fn stage_updates(&self, updates: &[RecordUpdate]) -> Result<(), PirError> {
-        self.log.stage_all(updates)
+        let _guard = self.commit.lock().expect("commit lock poisoned");
+        self.stage_locked(updates)
+    }
+
+    /// The staging body; the caller holds the commit mutex.
+    fn stage_locked(&self, updates: &[RecordUpdate]) -> Result<(), PirError> {
+        let prepared = self.log.prepare_all(updates)?;
+        self.journal_append(updates)?;
+        self.log.stage_prepared(prepared);
+        Ok(())
     }
 
     /// Commits every staged delta as one epoch: routes each delta to the
@@ -205,7 +268,9 @@ impl ShardedEngine {
     /// staging validation); the epoch is unchanged on error.
     pub fn commit_updates(&self) -> Result<u64, PirError> {
         let _guard = self.commit.lock().expect("commit lock poisoned");
-        self.commit_locked()
+        let epoch = self.commit_locked()?;
+        self.journal_checkpoint()?;
+        Ok(epoch)
     }
 
     /// The commit body; the caller holds the commit mutex.
@@ -271,8 +336,10 @@ impl ShardedEngine {
     /// Rejects invalid deltas before anything is staged or applied.
     pub fn apply_updates(&self, updates: &[RecordUpdate]) -> Result<u64, PirError> {
         let _guard = self.commit.lock().expect("commit lock poisoned");
-        self.log.stage_all(updates)?;
-        self.commit_locked()
+        self.stage_locked(updates)?;
+        let epoch = self.commit_locked()?;
+        self.journal_checkpoint()?;
+        Ok(epoch)
     }
 
     /// Answers one query.
@@ -406,6 +473,116 @@ impl ShardedEngine {
                 )
             })
             .collect()
+    }
+}
+
+/// The keyword (key-value) query plane: a cuckoo-hashed [`KvStore`]
+/// whose scalar image is packed into a [`KsPirServer`], epoch-versioned
+/// the same way as [`ShardedEngine`] — every answer comes from one
+/// immutable `Arc` snapshot, and each mutation re-packs only the chunks
+/// its slot writes touch before swapping a new snapshot in.
+#[derive(Debug)]
+pub struct KeywordEngine {
+    /// The authoritative table; mutations hold this lock (serialized),
+    /// lookups of the scalar image never need it.
+    store: Mutex<KvStore>,
+    /// The packed server snapshot answers are served from.
+    server: RwLock<Arc<KsPirServer>>,
+    /// Committed mutation epoch (one per accepted put/delete batch).
+    epoch: AtomicU64,
+    /// Total slot writes committed over the engine's lifetime.
+    updates_applied: AtomicU64,
+}
+
+impl KeywordEngine {
+    /// Packs the store's scalar image into a fresh server snapshot.
+    ///
+    /// # Errors
+    /// Fails when the packing rejects the geometry.
+    pub fn new(params: &KsPirParams, store: KvStore) -> Result<Self, ServeError> {
+        let server = KsPirServer::new(params.clone(), &store.scalars())?;
+        Ok(KeywordEngine {
+            store: Mutex::new(store),
+            server: RwLock::new(Arc::new(server)),
+            epoch: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+        })
+    }
+
+    /// The table layout clients need to map keys to slots.
+    pub fn schema(&self) -> KvSchema {
+        self.store.lock().expect("kv store poisoned").schema().clone()
+    }
+
+    /// The committed mutation epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Total slot writes committed over the engine's lifetime.
+    #[inline]
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied.load(Ordering::Relaxed)
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.store.lock().expect("kv store poisoned").len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current epoch's packed server — a consistent snapshot the
+    /// caller can answer from lock-free while mutations proceed.
+    pub fn snapshot(&self) -> Arc<KsPirServer> {
+        self.server.read().expect("kv server poisoned").clone()
+    }
+
+    /// Answers one slot-retrieval query against the current snapshot.
+    ///
+    /// # Errors
+    /// Propagates trace-pipeline failures.
+    pub fn answer(&self, keys: &KsPirKeys, query: &KsPirQuery) -> Result<BfvCiphertext, PirError> {
+        self.snapshot().answer(keys, query)
+    }
+
+    /// Inserts or overwrites `key`, committing a new epoch. Only the
+    /// scalar chunks covering the touched slots are re-packed.
+    ///
+    /// # Errors
+    /// Fails when the cuckoo table cannot place the key (the table is
+    /// rolled back — no epoch is opened) or the value exceeds `p`.
+    pub fn put(&self, key: &[u8], value: u64) -> Result<u64, ServeError> {
+        let mut store = self.store.lock().expect("kv store poisoned");
+        let writes = store.insert(key, value)?;
+        Ok(self.commit_writes(&writes))
+    }
+
+    /// Removes `key`; returns the new epoch, or `None` when the key was
+    /// absent (no epoch is opened for a no-op).
+    pub fn delete(&self, key: &[u8]) -> Option<u64> {
+        let mut store = self.store.lock().expect("kv store poisoned");
+        let writes = store.remove(key)?;
+        Some(self.commit_writes(&writes))
+    }
+
+    /// Swaps in a snapshot with `writes` applied; the caller holds the
+    /// store lock, so commits are serialized and every epoch's snapshot
+    /// matches the table state that produced it.
+    fn commit_writes(&self, writes: &[(usize, u64)]) -> u64 {
+        if !writes.is_empty() {
+            let next = self
+                .snapshot()
+                .with_updates(writes)
+                .expect("slot writes from the store are in range by construction");
+            *self.server.write().expect("kv server poisoned") = Arc::new(next);
+        }
+        self.updates_applied.fetch_add(writes.len() as u64, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 }
 
@@ -564,5 +741,54 @@ mod tests {
         let (params, db, _) = setup();
         let engine = engine(&params, db, ShardPlan::Replicated);
         assert!(engine.answer_batch(&[]).unwrap().is_empty());
+    }
+
+    /// Retrieves `key` through the full private path: one trace query per
+    /// slot of each candidate bucket, decoded into a group and matched
+    /// against the key's fingerprint.
+    fn kv_get(
+        engine: &KeywordEngine,
+        client: &mut ive_pir::KsPirClient<rand::rngs::StdRng>,
+        key: &[u8],
+    ) -> Option<u64> {
+        let schema = engine.schema();
+        for bucket in schema.candidates(key) {
+            let base = schema.slot_of(bucket);
+            let group: Vec<u64> = (0..schema.group_slots())
+                .map(|i| {
+                    let query = client.query(base + i).unwrap();
+                    let ct = engine.answer(client.public_keys(), &query).unwrap();
+                    client.decode(&ct).unwrap()
+                })
+                .collect();
+            if let Some(value) = schema.decode_group(key, &group) {
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn keyword_engine_serves_and_mutates_by_key() {
+        let params = KsPirParams::toy();
+        let entries = vec![(b"alice".to_vec(), 7u64), (b"bob".to_vec(), 13)];
+        let store = KvStore::build(&params, &entries).unwrap();
+        let engine = KeywordEngine::new(&params, store).unwrap();
+        assert_eq!(engine.len(), 2);
+        let mut client =
+            ive_pir::KsPirClient::new(&params, rand::rngs::StdRng::seed_from_u64(500)).unwrap();
+
+        assert_eq!(kv_get(&engine, &mut client, b"alice"), Some(7));
+        assert_eq!(kv_get(&engine, &mut client, b"nobody"), None);
+
+        // Mutations open epochs and are immediately visible (read-your-
+        // writes): the snapshot swaps before put/delete return.
+        assert_eq!(engine.put(b"alice", 99).unwrap(), 1);
+        assert_eq!(kv_get(&engine, &mut client, b"alice"), Some(99));
+        assert!(engine.delete(b"nobody").is_none(), "no-op delete must not open an epoch");
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.delete(b"bob"), Some(2));
+        assert_eq!(kv_get(&engine, &mut client, b"bob"), None);
+        assert!(engine.updates_applied() > 0);
     }
 }

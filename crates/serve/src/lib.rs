@@ -22,7 +22,9 @@
 //!   `std::net::TcpListener` speaking length-delimited frames.
 //! * [`metrics`] — latency histogram, QPS, batch-size distribution, and
 //!   queue depth, snapshotted as [`ServerStats`].
-//! * [`service`] / [`client`] — the assembled server and a blocking client.
+//! * [`service`] / [`client`] — the assembled server and a blocking
+//!   client; every client role ([`ServeClient`], [`UpdateClient`],
+//!   [`KvClient`]) is built from one [`Connection`] handle.
 //!
 //! ## Quickstart
 //!
@@ -44,7 +46,8 @@
 //! let service = PirService::start(ServeConfig::default(), &params, db, Box::new(transport))?;
 //!
 //! let rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let mut client = ServeClient::connect(&params, connector.connect()?, rng)?;
+//! let mut client =
+//!     ive_serve::Connection::new(connector.connect()?).into_serve_client(&params, rng)?;
 //! let record = client.retrieve(7)?;
 //! assert_eq!(&record[..records[7].len()], &records[7][..]);
 //!
@@ -67,7 +70,32 @@
 //! to a cold rebuild at the same contents. Epoch and update counters
 //! surface in [`ServerStats`].
 //!
+//! Three orthogonal hardening knobs layer onto that:
+//!
+//! * **Copy-on-write epochs** — a commit clones only the database pages
+//!   its deltas touch ([`ive_pir::db::CowStats`] counts them), so commit
+//!   cost is O(changed rows), not O(database).
+//! * **A durable journal** — with [`ServeConfig::journal`] set, every
+//!   accepted update batch is fsync'd to an on-disk log *before* it is
+//!   staged, and replayed by [`PirService::start`] after a crash; the
+//!   log truncates once its batches are committed into the store.
+//! * **Response compression** — with [`ServeConfig::compress_responses`]
+//!   set, answers modulus-switch down to one retained RNS prime before
+//!   framing (Table VIII), shrinking the downlink severalfold.
+//!
+//! ## Private key-value store
+//!
+//! [`PirService::start_keyword`] serves *keyword* PIR over the same
+//! transports: the database is a cuckoo-hashed [`ive_pir::KvStore`], the
+//! handshake ships trace keys ([`wire::Tag::KsHello`]) and returns the
+//! table schema, and [`KvClient::get`] privately retrieves a value *by
+//! key* — the server never learns which key, or whether it was present.
+//! Writers push [`wire::Tag::KvUpdate`] mutations that commit as CoW
+//! epochs with read-your-writes visibility.
+//!
 //! [`wire::Tag::UpdateRow`]: ive_pir::wire::Tag::UpdateRow
+//! [`wire::Tag::KsHello`]: ive_pir::wire::Tag::KsHello
+//! [`wire::Tag::KvUpdate`]: ive_pir::wire::Tag::KvUpdate
 
 #![warn(missing_docs)]
 
@@ -81,11 +109,11 @@ pub mod session;
 pub mod tcp;
 pub mod transport;
 
-pub use client::{ServeClient, UpdateClient};
+pub use client::{Connection, KvClient, ServeClient, UpdateClient};
 pub use config::{ServeConfig, ShardPlan};
-pub use engine::ShardedEngine;
+pub use engine::{KeywordEngine, ShardedEngine};
 pub use metrics::{Metrics, ServerStats};
-pub use service::{PirService, ServiceHandle};
+pub use service::{KeywordHandle, PirService, ServiceHandle};
 pub use session::SessionManager;
 pub use tcp::TcpTransport;
 pub use transport::{in_proc_pair, Transport};

@@ -153,6 +153,7 @@ impl Metrics {
             p50_latency_ms: self.latency_quantile_ms(0.50),
             p95_latency_ms: self.latency_quantile_ms(0.95),
             p99_latency_ms: self.latency_quantile_ms(0.99),
+            p999_latency_ms: self.latency_quantile_ms(0.999),
             max_latency_ms: self.latency_max_us.load(Ordering::Relaxed) as f64 / 1000.0,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.queue_depth_max.load(Ordering::Relaxed),
@@ -189,6 +190,9 @@ pub struct ServerStats {
     pub p95_latency_ms: f64,
     /// 99th-percentile latency (log-bucket upper edge), ms.
     pub p99_latency_ms: f64,
+    /// 99.9th-percentile latency (log-bucket upper edge), ms — the tail
+    /// the waiting-window analysis (Fig. 14b) trades mean latency for.
+    pub p999_latency_ms: f64,
     /// Worst observed latency, ms.
     pub max_latency_ms: f64,
     /// Queries currently waiting for a window.
@@ -210,8 +214,8 @@ impl core::fmt::Display for ServerStats {
         write!(
             f,
             "{} queries ({} errors) in {:.1}s = {:.1} QPS | {} batches (avg {:.2}, max {}, \
-             {} multi) | latency ms: mean {:.1} p50 {:.1} p95 {:.1} p99 {:.1} max {:.1} | \
-             queue depth {} (max {}) | epoch {} ({} updates in {} batches)",
+             {} multi) | latency ms: mean {:.1} p50 {:.1} p95 {:.1} p99 {:.1} p999 {:.1} \
+             max {:.1} | queue depth {} (max {}) | epoch {} ({} updates in {} batches)",
             self.queries,
             self.errors,
             self.uptime_s,
@@ -224,6 +228,7 @@ impl core::fmt::Display for ServerStats {
             self.p50_latency_ms,
             self.p95_latency_ms,
             self.p99_latency_ms,
+            self.p999_latency_ms,
             self.max_latency_ms,
             self.queue_depth,
             self.max_queue_depth,
@@ -266,6 +271,8 @@ mod tests {
         assert!(s.mean_latency_ms > 1.0 && s.mean_latency_ms < 41.0);
         assert!(s.p50_latency_ms >= 2.0);
         assert!(s.p99_latency_ms >= s.p50_latency_ms);
+        assert!(s.p999_latency_ms >= s.p99_latency_ms);
+        assert!(s.max_latency_ms >= s.p999_latency_ms);
         assert!(s.max_latency_ms >= 40.0);
         assert!(s.to_string().contains("2 queries"));
     }
@@ -276,5 +283,6 @@ mod tests {
         assert_eq!(s.queries, 0);
         assert_eq!(s.avg_batch, 0.0);
         assert_eq!(s.p99_latency_ms, 0.0);
+        assert_eq!(s.p999_latency_ms, 0.0);
     }
 }

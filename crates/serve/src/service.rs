@@ -15,19 +15,21 @@
 //! receive buffers absorb the rest — clients feel backpressure instead of
 //! the server melting.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use bytes::Bytes;
 
-use ive_pir::{wire, Database, PirParams};
+use ive_pir::kspir::{KsPirKeys, KsPirParams};
+use ive_pir::{wire, Database, Journal, KvStore, PirParams};
 
 use crate::batcher::{self, Job};
 use crate::config::ServeConfig;
-use crate::engine::ShardedEngine;
+use crate::engine::{KeywordEngine, ShardedEngine};
 use crate::error_frame;
 use crate::metrics::{Metrics, ServerStats};
 use crate::session::SessionManager;
@@ -59,6 +61,18 @@ impl PirService {
             config.order,
             config.backend,
         )?);
+        // Crash recovery: batches a previous process journaled but never
+        // committed are replayed (in append order) before the first
+        // connection is accepted, then the journal attaches so every new
+        // staged batch is durable before it is visible.
+        if let Some(path) = &config.journal {
+            let (mut journal, batches) = Journal::open(path, params)?;
+            for batch in &batches {
+                engine.apply_updates(batch)?;
+            }
+            journal.checkpoint()?;
+            engine.set_journal(journal);
+        }
         let metrics = Arc::new(Metrics::new());
         let sessions = Arc::new(SessionManager::new(params, config.max_sessions));
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -126,6 +140,84 @@ impl PirService {
             engine,
             endpoint,
         })
+    }
+
+    /// Starts a **keyword** (key-value) service: clients upload `log N`
+    /// trace keys once ([`wire::Tag::KsHello`]), learn the table layout
+    /// from the [`wire::Tag::KsWelcome`] reply, and then retrieve scalar
+    /// slots privately with [`wire::Tag::KsQuery`] frames — the
+    /// [`crate::KvClient`] turns those into `get(key)`. With
+    /// [`ServeConfig::accept_updates`] opted in, [`wire::Tag::KvUpdate`]
+    /// frames put/delete keys; each mutation re-packs only the touched
+    /// chunks and commits as one epoch with read-your-writes.
+    ///
+    /// Trace queries are answered inline on the connection handler (no
+    /// waiting window: a keyword `get` is a fixed fan-out of small slot
+    /// retrievals, and cross-connection batching would only add latency).
+    /// [`ServeConfig::compress_responses`] applies: answers travel
+    /// modulus-switched as [`wire::Tag::CompressedResponse`] frames.
+    ///
+    /// [`wire::Tag::KsHello`]: ive_pir::wire::Tag::KsHello
+    /// [`wire::Tag::KsWelcome`]: ive_pir::wire::Tag::KsWelcome
+    /// [`wire::Tag::KsQuery`]: ive_pir::wire::Tag::KsQuery
+    /// [`wire::Tag::KvUpdate`]: ive_pir::wire::Tag::KvUpdate
+    /// [`wire::Tag::CompressedResponse`]: ive_pir::wire::Tag::CompressedResponse
+    ///
+    /// # Errors
+    /// Fails on invalid configuration or a store/geometry mismatch.
+    pub fn start_keyword(
+        config: ServeConfig,
+        params: &KsPirParams,
+        store: KvStore,
+        mut transport: Box<dyn Transport>,
+    ) -> Result<KeywordHandle, ServeError> {
+        config.validate()?;
+        let engine = Arc::new(KeywordEngine::new(params, store)?);
+        let metrics = Arc::new(Metrics::new());
+        let sessions = Arc::new(KsSessions::new(params, config.max_sessions));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let endpoint = transport.endpoint();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let ctx_proto = KsHandlerCtx {
+                sessions,
+                metrics: Arc::clone(&metrics),
+                engine: Arc::clone(&engine),
+                accept_updates: config.accept_updates,
+                compress: config.compress_responses,
+                shutdown: Arc::clone(&shutdown),
+            };
+            std::thread::Builder::new()
+                .name("ive-kv-accept".into())
+                .spawn(move || {
+                    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                    while !shutdown.load(Ordering::Relaxed) {
+                        for h in extract_finished(&mut handlers) {
+                            h.join().expect("keyword handler panicked");
+                        }
+                        match transport.accept() {
+                            Ok(Some(conn)) => {
+                                let ctx = ctx_proto.clone();
+                                handlers.push(
+                                    std::thread::Builder::new()
+                                        .name("ive-kv-conn".into())
+                                        .spawn(move || handle_ks_connection(conn, &ctx))
+                                        .expect("spawn keyword handler"),
+                                );
+                            }
+                            Ok(None) => {}
+                            Err(_) => break,
+                        }
+                    }
+                    for h in handlers {
+                        h.join().expect("keyword handler panicked");
+                    }
+                })
+                .expect("spawn keyword acceptor")
+        };
+
+        Ok(KeywordHandle { shutdown, threads: vec![acceptor], metrics, engine, endpoint })
     }
 }
 
@@ -264,6 +356,198 @@ fn handle_frame(
 /// The HE parameters behind a session manager (alias for readability).
 fn sessions_he(sessions: &SessionManager) -> &ive_he::HeParams {
     sessions.params().he()
+}
+
+/// The keyword-session key cache: like [`SessionManager`] but for
+/// [`KsPirKeys`] (the `log N` trace keys). Count validation happens at
+/// decode ([`wire::decode_ks_hello`] rejects any other count), so the
+/// cache only enforces the capacity cap.
+struct KsSessions {
+    params: KsPirParams,
+    max_sessions: usize,
+    next_id: AtomicU64,
+    keys: RwLock<HashMap<u64, Arc<KsPirKeys>>>,
+}
+
+impl KsSessions {
+    fn new(params: &KsPirParams, max_sessions: usize) -> Self {
+        KsSessions {
+            params: params.clone(),
+            max_sessions,
+            next_id: AtomicU64::new(1),
+            keys: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn register(&self, keys: KsPirKeys) -> Result<u64, ServeError> {
+        let mut cache = self.keys.write().expect("ks session lock poisoned");
+        if cache.len() >= self.max_sessions {
+            return Err(ServeError::Protocol(format!(
+                "session cache full ({} sessions); evict before registering",
+                self.max_sessions
+            )));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        cache.insert(id, Arc::new(keys));
+        Ok(id)
+    }
+
+    fn lookup(&self, session_id: u64) -> Option<Arc<KsPirKeys>> {
+        self.keys.read().expect("ks session lock poisoned").get(&session_id).cloned()
+    }
+}
+
+/// Shared state a keyword connection handler needs.
+#[derive(Clone)]
+struct KsHandlerCtx {
+    sessions: Arc<KsSessions>,
+    metrics: Arc<Metrics>,
+    engine: Arc<KeywordEngine>,
+    accept_updates: bool,
+    compress: bool,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Serves one keyword connection until the peer leaves or shutdown.
+/// Queries are answered inline (no batcher): the reply order matches the
+/// request order, and the per-connection writer thread is unnecessary.
+fn handle_ks_connection(conn: BoxedConn, ctx: &KsHandlerCtx) {
+    let (mut rx, mut tx) = conn;
+    while !ctx.shutdown.load(Ordering::Relaxed) {
+        match rx.recv() {
+            Ok(Received::Frame(frame)) => {
+                let reply = handle_ks_frame(&frame, ctx);
+                if tx.send(&reply).is_err() {
+                    break; // peer gone
+                }
+            }
+            Ok(Received::Idle) => {}
+            Ok(Received::Closed) | Err(_) => break,
+        }
+    }
+}
+
+/// Dispatches one inbound keyword frame and produces its reply frame.
+fn handle_ks_frame(frame: &Bytes, ctx: &KsHandlerCtx) -> Bytes {
+    let params = &ctx.sessions.params;
+    let he = params.he();
+    match wire::peek_tag(frame) {
+        Ok(wire::Tag::KsHello) => match wire::decode_ks_hello(he, frame) {
+            Ok(keys) => match ctx.sessions.register(keys) {
+                Ok(id) => wire::encode_ks_welcome(id, &ctx.engine.schema()),
+                Err(e) => error_frame(0, &e),
+            },
+            Err(e) => error_frame(0, &e),
+        },
+        Ok(wire::Tag::KsQuery) => match wire::decode_ks_query(params, frame) {
+            Ok((session_id, request_id, query)) => match ctx.sessions.lookup(session_id) {
+                Some(keys) => {
+                    let start = Instant::now();
+                    let framed = ctx.engine.answer(&keys, &query).and_then(|ct| {
+                        if ctx.compress {
+                            let switched = ive_he::modswitch::switch_to_first_prime(he, &ct)?;
+                            Ok(wire::encode_compressed_response(request_id, &switched))
+                        } else {
+                            Ok(wire::encode_ks_response(request_id, &ct))
+                        }
+                    });
+                    match framed {
+                        Ok(reply) => {
+                            ctx.metrics.query_done(start.elapsed());
+                            reply
+                        }
+                        Err(e) => {
+                            ctx.metrics.query_failed();
+                            error_frame(request_id, &e)
+                        }
+                    }
+                }
+                None => {
+                    ctx.metrics.query_failed();
+                    error_frame(request_id, &ServeError::UnknownSession(session_id))
+                }
+            },
+            Err(e) => error_frame(0, &e),
+        },
+        Ok(wire::Tag::KvUpdate) => match wire::decode_kv_update(frame) {
+            Ok((request_id, key, value)) => {
+                if !ctx.accept_updates {
+                    return error_frame(
+                        request_id,
+                        &ServeError::Protocol("this service is read-only".into()),
+                    );
+                }
+                let committed = match value {
+                    Some(v) => ctx.engine.put(&key, v).map(|epoch| (epoch, 1)),
+                    // Deleting an absent key is a no-op, acked with the
+                    // current epoch and zero applied mutations.
+                    None => Ok(ctx
+                        .engine
+                        .delete(&key)
+                        .map_or_else(|| (ctx.engine.epoch(), 0), |epoch| (epoch, 1))),
+                };
+                match committed {
+                    Ok((epoch, applied)) => {
+                        ctx.metrics.update_committed(applied as usize, epoch);
+                        wire::encode_update_ack(request_id, epoch, applied)
+                    }
+                    Err(e) => error_frame(request_id, &e),
+                }
+            }
+            Err(e) => error_frame(0, &e),
+        },
+        Ok(tag) => {
+            error_frame(0, &ServeError::Protocol(format!("unexpected {} frame", tag.name())))
+        }
+        Err(e) => error_frame(0, &e),
+    }
+}
+
+/// A running keyword service: stats, engine access, and shutdown.
+pub struct KeywordHandle {
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+    engine: Arc<KeywordEngine>,
+    endpoint: String,
+}
+
+impl KeywordHandle {
+    /// The transport endpoint the service listens on.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        self.metrics.snapshot()
+    }
+
+    /// The keyword engine — e.g. to mutate in-process or read the epoch.
+    pub fn engine(&self) -> &KeywordEngine {
+        &self.engine
+    }
+
+    /// Stops accepting, drains connections, and joins every thread.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.metrics.snapshot()
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            t.join().expect("keyword service thread panicked");
+        }
+    }
+}
+
+impl Drop for KeywordHandle {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.stop();
+        }
+    }
 }
 
 /// A running service: stats, session access, and shutdown.

@@ -10,7 +10,7 @@ use rand::SeedableRng;
 use ive_pir::{Database, PirParams, TournamentOrder};
 use ive_serve::config::{ServeConfig, ShardPlan};
 use ive_serve::transport::in_proc_pair;
-use ive_serve::{PirService, ServeClient, TcpTransport, UpdateClient};
+use ive_serve::{Connection, PirService, TcpTransport};
 
 fn toy_db(params: &PirParams) -> (Database, Vec<Vec<u8>>) {
     let records: Vec<Vec<u8>> =
@@ -42,6 +42,8 @@ fn eight_tcp_clients_saturate_the_batcher_on_a_sharded_db() {
         backend: ive_pir::BackendKind::Optimized,
         max_sessions: 64,
         accept_updates: true,
+        compress_responses: false,
+        journal: None,
     };
     let transport = TcpTransport::bind("127.0.0.1:0").expect("bind ephemeral");
     let addr = transport.local_addr();
@@ -56,7 +58,8 @@ fn eight_tcp_clients_saturate_the_batcher_on_a_sharded_db() {
                 let conn = ive_serve::tcp::connect(addr).expect("dial");
                 let rng = rand::rngs::StdRng::seed_from_u64(9000 + c as u64);
                 // One handshake: the key upload happens exactly once.
-                let mut client = ServeClient::connect(&params, conn, rng).expect("handshake");
+                let mut client =
+                    Connection::new(conn).into_serve_client(&params, rng).expect("handshake");
                 for q in 0..QUERIES_PER_CLIENT {
                     let target = (7 * c + 13 * q) % records.len();
                     let got = client.retrieve(target).expect("retrieve");
@@ -99,6 +102,8 @@ fn in_proc_clients_reuse_sessions_and_decode_exactly() {
         backend: ive_pir::BackendKind::Optimized,
         max_sessions: 64,
         accept_updates: true,
+        compress_responses: false,
+        journal: None,
     };
     let (transport, connector) = in_proc_pair();
     let service =
@@ -112,7 +117,8 @@ fn in_proc_clients_reuse_sessions_and_decode_exactly() {
             scope.spawn(move || {
                 let conn = connector.connect().expect("dial");
                 let rng = rand::rngs::StdRng::seed_from_u64(500 + c as u64);
-                let mut client = ServeClient::connect(&params, conn, rng).expect("handshake");
+                let mut client =
+                    Connection::new(conn).into_serve_client(&params, rng).expect("handshake");
                 let session = client.session_id();
                 for q in 0..4usize {
                     let target = (c + 16 * q) % records.len();
@@ -153,6 +159,8 @@ fn updates_commit_under_concurrent_queries_across_shards() {
         backend: ive_pir::BackendKind::Optimized,
         max_sessions: 64,
         accept_updates: true,
+        compress_responses: false,
+        journal: None,
     };
     let (transport, connector) = in_proc_pair();
     let service =
@@ -179,7 +187,8 @@ fn updates_commit_under_concurrent_queries_across_shards() {
             scope.spawn(move || {
                 let conn = connector.connect().expect("dial");
                 let rng = rand::rngs::StdRng::seed_from_u64(600);
-                let mut client = ServeClient::connect(&params, conn, rng).expect("handshake");
+                let mut client =
+                    Connection::new(conn).into_serve_client(&params, rng).expect("handshake");
                 // Query an index no update touches: contents must stay
                 // stable across every epoch swap.
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
@@ -190,7 +199,7 @@ fn updates_commit_under_concurrent_queries_across_shards() {
             })
         };
 
-        let mut updater = UpdateClient::connect(connector.connect().expect("dial"));
+        let mut updater = Connection::new(connector.connect().expect("dial")).into_update_client();
         // Interleave for real: don't start committing epochs until the
         // query plane has demonstrably answered at least once.
         while served.load(std::sync::atomic::Ordering::Relaxed) == 0 {
@@ -226,8 +235,9 @@ fn updates_commit_under_concurrent_queries_across_shards() {
 
     // Read-your-writes at the final epoch, from a fresh session.
     let conn = connector.connect().expect("dial");
-    let mut reader =
-        ServeClient::connect(&params, conn, rand::rngs::StdRng::seed_from_u64(601)).expect("hs");
+    let mut reader = Connection::new(conn)
+        .into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(601))
+        .expect("hs");
     for (index, bytes) in &updated {
         let got = reader.retrieve(*index).expect("retrieve updated");
         if bytes.is_empty() {
@@ -259,12 +269,199 @@ fn read_only_service_rejects_updates_by_default() {
     assert!(!config.accept_updates, "updates must be opt-in");
     let service =
         PirService::start(config, &params, db, Box::new(transport)).expect("service starts");
-    let mut updater = UpdateClient::connect(connector.connect().expect("dial"));
+    let mut updater = Connection::new(connector.connect().expect("dial")).into_update_client();
     let err = updater.put(0, b"nope".to_vec()).expect_err("read-only");
     assert!(err.to_string().contains("read-only"), "unhelpful: {err}");
     let stats = service.shutdown();
     assert_eq!(stats.epoch, 0);
     assert_eq!(stats.update_batches, 0);
+}
+
+/// Compressed responses over the wire: with
+/// [`ServeConfig::compress_responses`] on, every answer arrives as a
+/// [`ive_pir::wire::Tag::CompressedResponse`] frame carrying only the
+/// retained RNS residues, and the client decodes it transparently to the
+/// exact record.
+#[test]
+fn compressed_responses_decode_exactly() {
+    let params = PirParams::toy();
+    let (db, records) = toy_db(&params);
+    let config = ServeConfig {
+        window: Duration::from_millis(1),
+        compress_responses: true,
+        ..ServeConfig::default()
+    };
+    let (transport, connector) = in_proc_pair();
+    let service =
+        PirService::start(config, &params, db, Box::new(transport)).expect("service starts");
+    let mut client = Connection::new(connector.connect().expect("dial"))
+        .into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(77))
+        .expect("handshake");
+    for target in [0usize, 17, 63] {
+        let got = client.retrieve(target).expect("retrieve compressed");
+        assert_eq!(&got[..records[target].len()], &records[target][..], "record {target} torn");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.queries, 3);
+    assert_eq!(stats.errors, 0);
+}
+
+/// The keyword KV acceptance test: a [`ive_serve::KvClient`] over the
+/// real TCP transport retrieves values *by key* while a writer commits
+/// live mutations — every acked write is immediately readable
+/// (read-your-writes), absent keys return `None`, and background readers
+/// of untouched keys never observe torn values across epoch swaps.
+#[test]
+fn kv_client_gets_by_key_over_tcp_under_live_updates() {
+    let params = ive_pir::kspir::KsPirParams::toy();
+    let entries: Vec<(Vec<u8>, u64)> =
+        (0..24u64).map(|i| (format!("user:{i:03}").into_bytes(), 1000 + i)).collect();
+    let store = ive_pir::KvStore::build(&params, &entries).expect("table builds");
+    let config = ServeConfig { accept_updates: true, ..ServeConfig::default() };
+    let transport = TcpTransport::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = transport.local_addr();
+    let service = PirService::start_keyword(config, &params, store, Box::new(transport))
+        .expect("keyword service starts");
+
+    std::thread::scope(|scope| {
+        // A background reader hammers a key no mutation touches: its
+        // value must stay stable across every epoch the writer opens.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reads = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let reader = {
+            let params = params.clone();
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            scope.spawn(move || {
+                let conn = ive_serve::tcp::connect(addr).expect("dial");
+                let mut kv = Connection::new(conn)
+                    .into_kv_client(&params, rand::rngs::StdRng::seed_from_u64(41))
+                    .expect("handshake");
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let got = kv.get(b"user:007").expect("get under churn");
+                    assert_eq!(got, Some(1007), "stable key torn by live updates");
+                    reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            })
+        };
+
+        let conn = ive_serve::tcp::connect(addr).expect("dial");
+        let mut kv = Connection::new(conn)
+            .into_kv_client(&params, rand::rngs::StdRng::seed_from_u64(42))
+            .expect("handshake");
+        assert_eq!(kv.get(b"user:003").expect("get"), Some(1003));
+        assert_eq!(kv.get(b"user:999").expect("get absent"), None);
+
+        // Don't start mutating until the reader has demonstrably served.
+        while reads.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // Read-your-writes: each acked mutation is visible immediately.
+        let e1 = kv.put(b"user:003", 42).expect("overwrite");
+        assert!(e1 >= 1, "a put must open an epoch");
+        assert_eq!(kv.get(b"user:003").expect("get after put"), Some(42));
+        let e2 = kv.put(b"fresh-key", 777).expect("insert");
+        assert!(e2 > e1, "epochs must advance: {e2} after {e1}");
+        assert_eq!(kv.get(b"fresh-key").expect("get fresh"), Some(777));
+        let e3 = kv.delete(b"user:005").expect("delete");
+        assert!(e3 > e2);
+        assert_eq!(kv.get(b"user:005").expect("get deleted"), None);
+        // Deleting an absent key acks without opening an epoch.
+        let e4 = kv.delete(b"never-there").expect("no-op delete");
+        assert_eq!(e4, e3, "a no-op delete must not open an epoch");
+
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        reader.join().expect("reader thread");
+        assert!(reads.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    });
+
+    let stats = service.shutdown();
+    assert_eq!(stats.errors, 0, "no keyword query may fail: {stats}");
+    assert_eq!(stats.epoch, 3, "three mutations touched the table");
+    assert!(stats.queries > 0 && stats.p999_latency_ms >= stats.p50_latency_ms);
+}
+
+/// A keyword service with compression on serves `get`s whose responses
+/// travel as modulus-switched frames.
+#[test]
+fn keyword_service_compresses_responses() {
+    let params = ive_pir::kspir::KsPirParams::toy();
+    let store =
+        ive_pir::KvStore::build(&params, &[(b"alpha".to_vec(), 11), (b"beta".to_vec(), 22)])
+            .expect("table builds");
+    let config = ServeConfig { compress_responses: true, ..ServeConfig::default() };
+    let (transport, connector) = in_proc_pair();
+    let service = PirService::start_keyword(config, &params, store, Box::new(transport))
+        .expect("keyword service starts");
+    let mut kv = Connection::new(connector.connect().expect("dial"))
+        .into_kv_client(&params, rand::rngs::StdRng::seed_from_u64(43))
+        .expect("handshake");
+    assert_eq!(kv.get(b"alpha").expect("get"), Some(11));
+    assert_eq!(kv.get(b"beta").expect("get"), Some(22));
+    assert_eq!(kv.get(b"gamma").expect("get absent"), None);
+    let stats = service.shutdown();
+    assert_eq!(stats.errors, 0, "compressed keyword path failed: {stats}");
+}
+
+/// Crash recovery end to end: batches fsync'd to the journal but never
+/// committed (the process died first) are replayed by the next
+/// [`PirService::start`], become visible to clients, and the recovered
+/// journal checkpoints back to empty.
+#[test]
+fn journal_replays_unflushed_updates_on_service_restart() {
+    let params = PirParams::toy();
+    let (db, _records) = toy_db(&params);
+    let path = std::env::temp_dir().join(format!("ive-e2e-journal-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Simulated crash: two batches reach the durable log, but the
+    // process dies before either commits into the in-memory database.
+    {
+        let (mut journal, replayed) = ive_pir::Journal::open(&path, &params).expect("open");
+        assert!(replayed.is_empty());
+        journal
+            .append(&[
+                ive_pir::RecordUpdate::put(3, b"journaled delta".to_vec()),
+                ive_pir::RecordUpdate::delete(9),
+            ])
+            .expect("append");
+        journal.append(&[ive_pir::RecordUpdate::put(3, b"second wins".to_vec())]).expect("append");
+        // Dropped without checkpoint — exactly what a kill leaves behind.
+    }
+
+    let config = ServeConfig {
+        window: Duration::from_millis(1),
+        accept_updates: true,
+        journal: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let (transport, connector) = in_proc_pair();
+    let service =
+        PirService::start(config, &params, db, Box::new(transport)).expect("service recovers");
+
+    let mut client = Connection::new(connector.connect().expect("dial"))
+        .into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(91))
+        .expect("handshake");
+    let got = client.retrieve(3).expect("retrieve recovered");
+    assert_eq!(&got[..11], b"second wins", "journal replay not visible to queries");
+    let got = client.retrieve(9).expect("retrieve deleted");
+    assert!(got.iter().all(|&b| b == 0), "journaled delete not replayed");
+
+    // A live update keeps journaling/checkpointing against the same log.
+    let mut updater = Connection::new(connector.connect().expect("dial")).into_update_client();
+    let epoch = updater.put(7, b"post-recovery".to_vec()).expect("put");
+    assert_eq!(epoch, 3, "two replayed epochs then one live epoch");
+    let got = client.retrieve(7).expect("retrieve live");
+    assert_eq!(&got[..13], b"post-recovery");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.epoch, 3);
+    // Every batch committed, so the checkpointed log replays nothing.
+    let (_, replayed) = ive_pir::Journal::open(&path, &params).expect("reopen");
+    assert!(replayed.is_empty(), "committed batches must leave the journal");
+    let _ = std::fs::remove_file(&path);
 }
 
 /// Queries against unknown sessions are answered with error frames and

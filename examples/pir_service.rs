@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use ive::pir::{Database, PirParams, TournamentOrder};
 use ive::serve::config::{ServeConfig, ShardPlan};
-use ive::serve::{PirService, ServeClient, TcpTransport, UpdateClient};
+use ive::serve::{Connection, PirService, TcpTransport};
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,6 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         backend: ive::pir::BackendKind::Optimized,
         max_sessions: 64,
         accept_updates: true,
+        compress_responses: false,
+        journal: None,
     };
     let transport = TcpTransport::bind("127.0.0.1:0")?;
     let addr = transport.local_addr();
@@ -48,7 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scope.spawn(move || {
                 let conn = ive::serve::tcp::connect(addr).expect("dial");
                 let rng = rand::rngs::StdRng::seed_from_u64(c);
-                let mut client = ServeClient::connect(&params, conn, rng).expect("handshake");
+                let mut client =
+                    Connection::new(conn).into_serve_client(&params, rng).expect("handshake");
                 println!("client {c}: session {}", client.session_id());
                 for q in 0..3u64 {
                     let target = (17 * c + 5 * q) as usize % records.len();
@@ -63,14 +66,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Live update: an updater (no keys, no session) replaces a record;
     // the committed epoch comes back in the ack and the very next query
     // sees the new contents — the database never stopped serving.
-    let mut updater = UpdateClient::connect(ive::serve::tcp::connect(addr)?);
+    let mut updater = Connection::new(ive::serve::tcp::connect(addr)?).into_update_client();
     let target = 42;
     let fresh = b"record #042: revised while serving".to_vec();
     let epoch = updater.put(target, fresh.clone())?;
     println!("updater: record {target} replaced at epoch {epoch}");
 
     let conn = ive::serve::tcp::connect(addr)?;
-    let mut reader = ServeClient::connect(&params, conn, rand::rngs::StdRng::seed_from_u64(9))?;
+    let mut reader =
+        Connection::new(conn).into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(9))?;
     let got = reader.retrieve(target)?;
     assert_eq!(&got[..fresh.len()], &fresh[..]);
     println!("reader: updated record {target} retrieved privately");
