@@ -26,7 +26,7 @@ use ive_bench::fmt;
 use ive_pir::kspir::KsPirParams;
 use ive_pir::KvStore;
 use ive_serve::config::ServeConfig;
-use ive_serve::{Connection, PirService, TcpTransport};
+use ive_serve::{Connection, PirService, Stage, TcpTransport};
 use rand::{Rng, SeedableRng};
 
 struct Args {
@@ -203,8 +203,20 @@ fn main() {
     });
     let seconds = started.elapsed().as_secs_f64();
 
+    // Scrape the still-running server over the wire — the same GetStats
+    // frame a monitoring exporter would send — before shutting it down.
+    let scraped = {
+        let conn = ive_serve::tcp::connect(addr).expect("dial");
+        let mut kv = Connection::new(conn)
+            .into_kv_client(&params, rand::rngs::StdRng::seed_from_u64(10_000))
+            .expect("handshake");
+        kv.stats().expect("live scrape")
+    };
+    println!("[scrape] {scraped}");
+
     let stats = service.shutdown();
     println!("{stats}");
+    assert!(scraped.queries <= stats.queries, "scrape saw the same monotone counters");
     let gets = gets.load(Ordering::Relaxed);
     let writes = writes_acked.load(Ordering::Relaxed);
     let epoch = final_epoch.load(Ordering::Relaxed);
@@ -227,6 +239,32 @@ fn main() {
         ]],
     );
 
+    // The keyword path answers on the connection handler, so its stage
+    // histogram covers decode, (optional) compression, and encode plus
+    // the engine's epoch commits; per-slot-query means from the shared
+    // trace recorder.
+    let stage_rows: Vec<Vec<String>> = Stage::ALL
+        .iter()
+        .map(|&s| {
+            let st = stats.stage(s);
+            vec![
+                s.name().into(),
+                st.count.to_string(),
+                fmt::f(st.mean_ms()),
+                fmt::f(st.max_us as f64 / 1000.0),
+            ]
+        })
+        .collect();
+    fmt::print_table(
+        "per-stage timings (keyword path, from the shared trace recorder)",
+        &["stage", "samples", "mean (ms)", "max (ms)"],
+        &stage_rows,
+    );
+
+    let stage_json: Vec<String> = Stage::ALL
+        .iter()
+        .map(|&s| format!("\"{}\": {:.4}", s.name(), stats.stage(s).mean_ms()))
+        .collect();
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
         concat!(
@@ -244,6 +282,9 @@ fn main() {
             "  \"writes_acked\": {},\n",
             "  \"writes_per_s\": {:.2},\n",
             "  \"final_epoch\": {},\n",
+            "  \"stage_ms\": {{ {} }},\n",
+            "  \"epoch_commit_mean_ms\": {:.4},\n",
+            "  \"scraped_queries\": {},\n",
             "  \"errors\": {}\n",
             "}}\n"
         ),
@@ -261,6 +302,9 @@ fn main() {
         writes,
         writes as f64 / seconds,
         epoch,
+        stage_json.join(", "),
+        stats.stage(Stage::EpochCommit).mean_ms(),
+        scraped.queries,
         stats.errors,
     );
     std::fs::write(&args.json_out, &json).expect("write json");

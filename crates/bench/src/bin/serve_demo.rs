@@ -15,10 +15,18 @@
 //! offered Poisson load stays open-loop until the pipeline fills and the
 //! server's bounded queues push back.
 //!
+//! Every query leaves a per-stage trace span (the server runs with a
+//! zero slow threshold), so the exit report breaks the measured mean
+//! latency into decode / queue-wait / expand / row-sel / col-tor /
+//! encode and compares the effective scan bandwidth against the CPU
+//! roofline ceiling. `--stats-interval N` additionally polls the live
+//! server over [`ive_serve::ServeClient::stats`] every N seconds while
+//! the load runs — the same scrape a Prometheus exporter would issue.
+//!
 //! Usage: `serve_demo [--seconds 4] [--clients 8] [--qps 0 (auto)]
 //! [--window-ms 10] [--max-batch 16] [--workers 2] [--shards 2]
 //! [--depth 4] [--backend auto|simd|optimized|scalar]
-//! [--json-out BENCH_serve.json] [--tcp]`
+//! [--stats-interval 0] [--json-out BENCH_serve.json] [--tcp]`
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -30,7 +38,7 @@ use ive_math::kernel::BackendKind;
 use ive_pir::{Database, PirClient, PirParams, PirServer, TournamentOrder};
 use ive_serve::config::{ServeConfig, ShardPlan};
 use ive_serve::transport::{in_proc_pair, BoxedConn, InProcConnector};
-use ive_serve::{Connection, PirService, ServerStats, TcpTransport};
+use ive_serve::{Connection, PirService, ServerStats, Stage, TcpTransport};
 use rand::{Rng, SeedableRng};
 
 struct Args {
@@ -43,6 +51,7 @@ struct Args {
     shards: usize,
     depth: usize,
     backend: BackendKind,
+    stats_interval: f64,
     json_out: String,
     tcp: bool,
 }
@@ -59,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         shards: 2,
         depth: 4,
         backend: BackendKind::Auto,
+        stats_interval: 0.0,
         json_out: "BENCH_serve.json".into(),
         tcp: false,
     };
@@ -85,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
             "depth" => args.depth = parsed(key, &value)?,
             // BackendKind's FromStr names every valid variant on error.
             "backend" => args.backend = value.parse().map_err(|e| format!("{e}"))?,
+            "stats-interval" => args.stats_interval = parsed(key, &value)?,
             "json-out" => args.json_out = value,
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -114,11 +125,25 @@ struct PhaseResult {
     completed: u64,
     client_seconds: f64,
     stats: ServerStats,
+    /// Mean per-query stage durations (ms), in [`Stage::ALL`] order,
+    /// reconstructed from the trace spans every query left behind (the
+    /// server runs with a zero slow threshold). Unlike the aggregate
+    /// stage histograms — where shards sample independently and a batch
+    /// amortizes one scan over many queries — each span is one query's
+    /// actual wall-clock decomposition, so these means sum to
+    /// approximately the measured mean end-to-end latency.
+    span_stage_ms: [f64; Stage::COUNT],
+    /// Mean end-to-end latency (ms) over the same spans.
+    span_total_ms: f64,
 }
 
 impl PhaseResult {
     fn observed_qps(&self) -> f64 {
         self.completed as f64 / self.client_seconds
+    }
+
+    fn span_sum_ms(&self) -> f64 {
+        self.span_stage_ms.iter().sum()
     }
 }
 
@@ -135,6 +160,7 @@ fn run_phase(
     depth: usize,
     offered_qps: f64,
     seconds: f64,
+    stats_interval: f64,
 ) -> PhaseResult {
     let (service, dialer) = if tcp {
         let transport = TcpTransport::bind("127.0.0.1:0").expect("bind");
@@ -152,50 +178,103 @@ fn run_phase(
     let completed = Arc::new(AtomicU64::new(0));
     let per_client_qps = offered_qps / clients as f64;
     let started = Instant::now();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     std::thread::scope(|scope| {
-        for c in 0..clients {
+        // Optional live scraper: a dedicated connection polls GetStats
+        // while the load runs, exactly as an external exporter would.
+        if stats_interval > 0.0 {
             let dialer = &dialer;
-            let completed = Arc::clone(&completed);
             let params = params.clone();
+            let stop = Arc::clone(&stop);
             scope.spawn(move || {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(77_000 + c as u64);
+                let rng = rand::rngs::StdRng::seed_from_u64(88_000);
                 let mut client = Connection::new(dialer.connect())
-                    .into_serve_client(&params, rng.clone())
-                    .expect("handshake");
-                // Open-loop Poisson schedule: arrival times are fixed up
-                // front, and up to `depth` queries pipeline per
-                // connection; a slow server makes us burst to catch up
-                // rather than silently thinning the offered load.
-                let mut next_arrival = 0.0f64;
-                let horizon = Duration::from_secs_f64(seconds);
-                loop {
-                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                    next_arrival += -u.ln() / per_client_qps;
-                    let due = Duration::from_secs_f64(next_arrival);
-                    if due > horizon {
-                        break;
+                    .into_serve_client(&params, rng)
+                    .expect("scraper handshake");
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_secs_f64(stats_interval));
+                    match client.stats() {
+                        Ok(live) => println!("[{label}][live] {live}"),
+                        Err(e) => {
+                            eprintln!("[{label}][live] scrape failed: {e}");
+                            break;
+                        }
                     }
-                    if let Some(wait) = due.checked_sub(started.elapsed()) {
-                        std::thread::sleep(wait);
-                    }
-                    while client.in_flight() >= depth {
-                        client.next_record().expect("response");
-                        completed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    let target = rng.gen_range(0..params.num_records());
-                    client.submit(target).expect("submit");
-                }
-                while client.in_flight() > 0 {
-                    client.next_record().expect("response");
-                    completed.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let dialer = &dialer;
+                let completed = Arc::clone(&completed);
+                let params = params.clone();
+                scope.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(77_000 + c as u64);
+                    let mut client = Connection::new(dialer.connect())
+                        .into_serve_client(&params, rng.clone())
+                        .expect("handshake");
+                    // Open-loop Poisson schedule: arrival times are fixed up
+                    // front, and up to `depth` queries pipeline per
+                    // connection; a slow server makes us burst to catch up
+                    // rather than silently thinning the offered load.
+                    let mut next_arrival = 0.0f64;
+                    let horizon = Duration::from_secs_f64(seconds);
+                    loop {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        next_arrival += -u.ln() / per_client_qps;
+                        let due = Duration::from_secs_f64(next_arrival);
+                        if due > horizon {
+                            break;
+                        }
+                        if let Some(wait) = due.checked_sub(started.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        while client.in_flight() >= depth {
+                            client.next_record().expect("response");
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let target = rng.gen_range(0..params.num_records());
+                        client.submit(target).expect("submit");
+                    }
+                    while client.in_flight() > 0 {
+                        client.next_record().expect("response");
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        stop.store(true, Ordering::Relaxed);
     });
     let client_seconds = started.elapsed().as_secs_f64();
+
+    // Per-query stage decomposition from the trace spans (zero slow
+    // threshold: every served query left one record, ring permitting).
+    let spans = service.engine().trace().slow_records();
+    let mut span_stage_ms = [0.0f64; Stage::COUNT];
+    let mut span_total_ms = 0.0f64;
+    if !spans.is_empty() {
+        let n = spans.len() as f64;
+        for r in &spans {
+            for (acc, &us) in span_stage_ms.iter_mut().zip(r.stage_us.iter()) {
+                *acc += us as f64 / 1000.0 / n;
+            }
+            span_total_ms += r.total_us as f64 / 1000.0 / n;
+        }
+    }
+
     let stats = service.shutdown();
     println!("[{label}] {stats}");
-    PhaseResult { offered_qps, completed: completed.load(Ordering::Relaxed), client_seconds, stats }
+    PhaseResult {
+        offered_qps,
+        completed: completed.load(Ordering::Relaxed),
+        client_seconds,
+        stats,
+        span_stage_ms,
+        span_total_ms,
+    }
 }
 
 /// Calibrates a [`ServiceTable`] from direct engine timings: the analytic
@@ -223,6 +302,16 @@ fn calibrate(params: &PirParams, db: &Database, max_batch: usize) -> (ServiceTab
     (ServiceTable::from_fn(max_batch, |b| t1 + slope * (b - 1) as f64), t1, tb)
 }
 
+/// The span-based per-stage breakdown as a JSON object, stage name →
+/// mean ms per query.
+fn json_stages(p: &PhaseResult) -> String {
+    let fields: Vec<String> = Stage::ALL
+        .iter()
+        .map(|&s| format!("\"{}\": {:.4}", s.name(), p.span_stage_ms[s as usize]))
+        .collect();
+    format!("{{ {} }}", fields.join(", "))
+}
+
 fn json_phase(
     label: &str,
     p: &PhaseResult,
@@ -240,6 +329,12 @@ fn json_phase(
             "    \"p999_latency_ms\": {:.3},\n",
             "    \"avg_batch\": {:.3},\n",
             "    \"max_batch\": {},\n",
+            "    \"stage_ms\": {},\n",
+            "    \"stage_sum_ms\": {:.3},\n",
+            "    \"span_mean_latency_ms\": {:.3},\n",
+            "    \"scan_gbps\": {:.3},\n",
+            "    \"mults_per_s\": {:.3e},\n",
+            "    \"slow_spans\": {},\n",
             "    \"predicted_latency_ms\": {:.3},\n",
             "    \"predicted_qps\": {:.2}\n",
             "  }}"
@@ -253,6 +348,12 @@ fn json_phase(
         p.stats.p999_latency_ms,
         p.stats.avg_batch,
         p.stats.max_batch,
+        json_stages(p),
+        p.span_sum_ms(),
+        p.span_total_ms,
+        p.stats.scan_gbps,
+        p.stats.mults_per_s,
+        p.stats.slow_queries,
         predicted_latency_ms,
         predicted_qps,
     )
@@ -315,6 +416,10 @@ fn main() {
         accept_updates: true,
         compress_responses: false,
         journal: None,
+        // Zero threshold: every query leaves a span in the trace ring,
+        // which the exit report averages into the stage breakdown.
+        slow_threshold: Duration::ZERO,
+        trace_ring: 16_384,
     };
     let batched_cfg = ServeConfig {
         window,
@@ -333,6 +438,8 @@ fn main() {
         accept_updates: true,
         compress_responses: false,
         journal: None,
+        slow_threshold: Duration::ZERO,
+        trace_ring: 16_384,
     };
 
     let single = run_phase(
@@ -345,6 +452,7 @@ fn main() {
         args.depth,
         offered,
         args.seconds,
+        args.stats_interval,
     );
     let batched = run_phase(
         "batched",
@@ -356,6 +464,7 @@ fn main() {
         args.depth,
         offered,
         args.seconds,
+        args.stats_interval,
     );
 
     // Analytic predictions at the same operating points. The model knows
@@ -418,6 +527,44 @@ fn main() {
         ],
     );
 
+    // Where does a query's time actually go? Per-stage means from the
+    // trace spans; both phases should sum to ≈ their measured mean
+    // latency (the residue is inter-stage hand-off the spans don't tag).
+    let stage_rows: Vec<Vec<String>> = Stage::ALL
+        .iter()
+        .map(|&s| {
+            vec![
+                s.name().into(),
+                fmt::f(single.span_stage_ms[s as usize]),
+                fmt::f(batched.span_stage_ms[s as usize]),
+            ]
+        })
+        .chain([
+            vec!["stage sum".into(), fmt::f(single.span_sum_ms()), fmt::f(batched.span_sum_ms())],
+            vec![
+                "measured e2e".into(),
+                fmt::f(single.stats.mean_latency_ms),
+                fmt::f(batched.stats.mean_latency_ms),
+            ],
+        ])
+        .collect();
+    fmt::print_table(
+        "per-stage mean latency breakdown (ms/query, from trace spans)",
+        &["stage", "single", "batched"],
+        &stage_rows,
+    );
+    let cpu_roofline = ive_baselines::cpu::CpuModel::default();
+    println!(
+        "scan bandwidth: single {:.2} GB/s, batched {:.2} GB/s (32-core CPU roofline ceiling \
+         {:.0} GB/s); kernel MACs/s: single {:.2e}, batched {:.2e} (ceiling {:.1e})",
+        single.stats.scan_gbps,
+        batched.stats.scan_gbps,
+        cpu_roofline.bytes_per_s / 1e9,
+        single.stats.mults_per_s,
+        batched.stats.mults_per_s,
+        cpu_roofline.mult_per_s,
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -430,6 +577,7 @@ fn main() {
             "  \"calibration\": {{ \"t1_ms\": {:.3}, \"t_batch_ms\": {:.3}, ",
             "\"max_batch\": {}, \"no_batching_limit_qps\": {:.2}, ",
             "\"batched_ceiling_qps\": {:.2} }},\n",
+            "  \"roofline\": {{ \"cpu_scan_gbps\": {:.1}, \"cpu_mults_per_s\": {:.3e} }},\n",
             "{},\n",
             "{},\n",
             "  \"batched_over_single_qps\": {:.3}\n",
@@ -446,6 +594,8 @@ fn main() {
         args.max_batch,
         single_limit,
         table.max_throughput_qps(),
+        cpu_roofline.bytes_per_s / 1e9,
+        cpu_roofline.mult_per_s,
         json_phase("single", &single, 1e3 * pred_single.avg_latency_s, pred_single.served_qps),
         json_phase("batched", &batched, 1e3 * pred_batched.avg_latency_s, pred_batched.served_qps),
         batched.observed_qps() / single.observed_qps().max(f64::EPSILON),

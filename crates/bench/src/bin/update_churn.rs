@@ -26,7 +26,7 @@ use ive_bench::fmt;
 use ive_pir::{BackendKind, Database, PirParams, RecordUpdate, TournamentOrder};
 use ive_serve::config::{ServeConfig, ShardPlan};
 use ive_serve::transport::in_proc_pair;
-use ive_serve::{Connection, PirService, ServerStats};
+use ive_serve::{Connection, PirService, ServerStats, Stage};
 use rand::{Rng, SeedableRng};
 
 struct Args {
@@ -87,6 +87,9 @@ struct PhaseResult {
     /// Copy-on-write accounting summed over the engine's shards: how
     /// many row pages (and words) the phase's commits physically copied.
     cow: ive_pir::db::CowStats,
+    /// Mean per-query stage durations (ms) in [`Stage::ALL`] order, from
+    /// the trace spans every served query left behind (zero threshold).
+    span_stage_ms: [f64; Stage::COUNT],
 }
 
 /// Runs the closed-loop query load for ~`seconds`; when `churn` is set,
@@ -117,6 +120,10 @@ fn run_phase(
         accept_updates: true,
         compress_responses: false,
         journal: None,
+        // Zero threshold: every query leaves a trace span, so the exit
+        // report can break mean latency into pipeline stages per phase.
+        slow_threshold: Duration::ZERO,
+        trace_ring: 16_384,
     };
     let (transport, connector) = in_proc_pair();
     let service =
@@ -234,6 +241,16 @@ fn run_phase(
     }
 
     let cow = service.engine().cow_stats();
+    let spans = service.engine().trace().slow_records();
+    let mut span_stage_ms = [0.0f64; Stage::COUNT];
+    if !spans.is_empty() {
+        let n = spans.len() as f64;
+        for r in &spans {
+            for (acc, &us) in span_stage_ms.iter_mut().zip(r.stage_us.iter()) {
+                *acc += us as f64 / 1000.0 / n;
+            }
+        }
+    }
     let stats = service.shutdown();
     println!("[{label}] {stats}");
     (
@@ -245,12 +262,17 @@ fn run_phase(
             final_epoch: final_epoch.load(Ordering::Relaxed),
             seconds,
             cow,
+            span_stage_ms,
         },
         written,
     )
 }
 
 fn json_phase(label: &str, p: &PhaseResult) -> String {
+    let stage_fields: Vec<String> = Stage::ALL
+        .iter()
+        .map(|&s| format!("\"{}\": {:.4}", s.name(), p.span_stage_ms[s as usize]))
+        .collect();
     format!(
         concat!(
             "  \"{}\": {{\n",
@@ -260,6 +282,9 @@ fn json_phase(label: &str, p: &PhaseResult) -> String {
             "    \"p95_latency_ms\": {:.3},\n",
             "    \"max_latency_ms\": {:.3},\n",
             "    \"errors\": {},\n",
+            "    \"stage_ms\": {{ {} }},\n",
+            "    \"scan_gbps\": {:.3},\n",
+            "    \"epoch_commit_mean_ms\": {:.4},\n",
             "    \"update_batches\": {},\n",
             "    \"updates_applied\": {},\n",
             "    \"final_epoch\": {},\n",
@@ -275,6 +300,9 @@ fn json_phase(label: &str, p: &PhaseResult) -> String {
         p.stats.p95_latency_ms,
         p.stats.max_latency_ms,
         p.stats.errors,
+        stage_fields.join(", "),
+        p.stats.scan_gbps,
+        p.stats.stage(Stage::EpochCommit).mean_ms(),
         p.update_batches_sent,
         p.updates_acked,
         p.final_epoch,
@@ -347,6 +375,37 @@ fn main() {
     println!(
         "mean-latency degradation under churn: {degradation:.2}x (epoch swaps clone shard \
          buffers on the ingest path; scans never block)"
+    );
+    // Where the churn penalty lands, stage by stage: per-query means from
+    // the trace spans, plus the engine-side commit cost that never shows
+    // inside a query span.
+    let stage_rows: Vec<Vec<String>> = Stage::ALL
+        .iter()
+        .map(|&s| {
+            vec![
+                s.name().into(),
+                fmt::f(baseline.span_stage_ms[s as usize]),
+                fmt::f(churn.span_stage_ms[s as usize]),
+            ]
+        })
+        .chain([vec![
+            "measured e2e".into(),
+            fmt::f(baseline.stats.mean_latency_ms),
+            fmt::f(churn.stats.mean_latency_ms),
+        ]])
+        .collect();
+    fmt::print_table(
+        "per-stage mean latency (ms/query, from trace spans)",
+        &["stage", "baseline", "churn"],
+        &stage_rows,
+    );
+    println!(
+        "engine-side commit work (outside query spans): epoch_commit mean {:.3}ms over {} \
+         commits; scan bandwidth baseline {:.2} GB/s vs churn {:.2} GB/s",
+        churn.stats.stage(Stage::EpochCommit).mean_ms(),
+        churn.stats.stage(Stage::EpochCommit).count,
+        baseline.stats.scan_gbps,
+        churn.stats.scan_gbps,
     );
     // The O(deltas) commit claim, measured: a copy-on-write commit
     // duplicates only the row pages its deltas touch, vs. the full

@@ -82,6 +82,10 @@ pub enum Tag {
     CompressedResponse = 18,
     /// A key→value put/delete for the live keyword store.
     KvUpdate = 19,
+    /// A live-stats scrape request (client → server, any connection).
+    GetStats = 20,
+    /// The reply to one [`Tag::GetStats`]: the full [`StatsReport`].
+    StatsResponse = 21,
 }
 
 impl Tag {
@@ -107,6 +111,8 @@ impl Tag {
             17 => Some(Tag::KsResponse),
             18 => Some(Tag::CompressedResponse),
             19 => Some(Tag::KvUpdate),
+            20 => Some(Tag::GetStats),
+            21 => Some(Tag::StatsResponse),
             _ => None,
         }
     }
@@ -133,6 +139,8 @@ impl Tag {
             Tag::KsResponse => "KsResponse",
             Tag::CompressedResponse => "CompressedResponse",
             Tag::KvUpdate => "KvUpdate",
+            Tag::GetStats => "GetStats",
+            Tag::StatsResponse => "StatsResponse",
         }
     }
 }
@@ -1044,6 +1052,278 @@ pub fn decode_kv_update(bytes: &Bytes) -> Result<(u64, Vec<u8>, Option<u64>), Pi
     Ok((request, key, value))
 }
 
+/// Largest log₂ histogram a [`Tag::StatsResponse`] frame accepts — wide
+/// enough for any duration histogram (2^64 µs ≫ the age of the
+/// universe), tight enough to bound a hostile frame.
+pub const MAX_STATS_BUCKETS: usize = 64;
+
+/// Largest per-stage histogram count in a [`Tag::StatsResponse`] frame:
+/// room for the current stage taxonomy to grow without a wire bump.
+pub const MAX_STATS_STAGES: usize = 16;
+
+/// One pipeline stage's histogram inside a [`StatsReport`]. Stages are
+/// positional: entry `i` is stage `i` of the serving layer's fixed
+/// taxonomy (`ive_serve::trace::Stage`), so the wire stays free of
+/// string labels.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageReport {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, µs.
+    pub sum_us: u64,
+    /// Largest sample, µs.
+    pub max_us: u64,
+    /// Log₂ bucket counts: bucket `i` holds samples in
+    /// `[2^i, 2^(i+1))` µs.
+    pub buckets: Vec<u64>,
+}
+
+/// The raw server statistics a [`Tag::StatsResponse`] frame carries:
+/// every field is an integer counter or histogram, so the encoding is
+/// canonical and the receiver derives rates/quantiles itself (exactly
+/// the arithmetic `ive_serve::ServerStats` applies in-process).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Queries answered successfully.
+    pub queries: u64,
+    /// Queries that failed server-side.
+    pub errors: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Sum of dispatched batch sizes (mean batch = this / batches).
+    pub batch_query_sum: u64,
+    /// Batches that coalesced more than one query.
+    pub batches_multi: u64,
+    /// Largest dispatched batch.
+    pub max_batch: u64,
+    /// Queries currently waiting for a window.
+    pub queue_depth: u64,
+    /// High-water mark of the waiting queue.
+    pub queue_depth_max: u64,
+    /// Update batches committed (each is one epoch boundary).
+    pub update_batches: u64,
+    /// Total row deltas committed.
+    pub updates_applied: u64,
+    /// The database epoch answers currently reflect.
+    pub epoch: u64,
+    /// Microseconds since the server's metrics were created.
+    pub uptime_us: u64,
+    /// Sum of end-to-end query latencies, µs.
+    pub latency_sum_us: u64,
+    /// Worst observed end-to-end latency, µs.
+    pub latency_max_us: u64,
+    /// End-to-end latency log₂ histogram (bucket `i` = `[2^i, 2^(i+1))`
+    /// µs).
+    pub latency_buckets: Vec<u64>,
+    /// Per-stage histograms, positional by stage discriminant.
+    pub stages: Vec<StageReport>,
+    /// Residue-polynomial (i)NTT executions (kernel op counter).
+    pub residue_ntts: u64,
+    /// Modular multiply-accumulates (kernel op counter — the paper's
+    /// mult/s axis).
+    pub pointwise_macs: u64,
+    /// Coefficients reconstructed through iCRT (kernel op counter).
+    pub icrt_coeffs: u64,
+    /// Coefficients moved through automorphisms (kernel op counter).
+    pub auto_coeffs: u64,
+    /// Database bytes streamed by `RowSel` scans.
+    pub scan_bytes: u64,
+    /// Wall nanoseconds those scans took (bytes/ns = effective GB/s).
+    pub scan_ns: u64,
+    /// Queries that crossed the slow-trace threshold.
+    pub slow_queries: u64,
+}
+
+/// Serializes a stats scrape request under a client-chosen request id.
+pub fn encode_get_stats(request_id: u64) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::GetStats);
+    buf.put_u64(request_id);
+    buf.freeze()
+}
+
+/// Deserializes a stats scrape request into its request id.
+///
+/// # Errors
+/// Fails on framing errors.
+pub fn decode_get_stats(bytes: &Bytes) -> Result<u64, PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::GetStats)?;
+    if buf.remaining() < 8 {
+        return Err(PirError::Wire("truncated request id".into()));
+    }
+    let request = buf.get_u64();
+    check_drained(&buf)?;
+    Ok(request)
+}
+
+/// Writes one `u64` histogram with a `u16` length prefix.
+fn write_buckets(buf: &mut BytesMut, buckets: &[u64]) {
+    buf.put_u16(buckets.len() as u16);
+    for &b in buckets {
+        buf.put_u64(b);
+    }
+}
+
+/// Reads one length-prefixed `u64` histogram of at most `max` buckets.
+fn read_buckets(buf: &mut impl Buf, max: usize, what: &str) -> Result<Vec<u64>, PirError> {
+    if buf.remaining() < 2 {
+        return Err(PirError::Wire(format!("truncated {what} length")));
+    }
+    let len = buf.get_u16() as usize;
+    if len > max {
+        return Err(PirError::Wire(format!("{what} of {len} buckets exceeds the {max} cap")));
+    }
+    if buf.remaining() < 8 * len {
+        return Err(PirError::Wire(format!("truncated {what}")));
+    }
+    Ok((0..len).map(|_| buf.get_u64()).collect())
+}
+
+/// Serializes a stats reply: the request id it answers, then the report.
+///
+/// # Errors
+/// Fails when a histogram exceeds [`MAX_STATS_BUCKETS`] buckets or the
+/// report carries more than [`MAX_STATS_STAGES`] stages.
+pub fn encode_stats_response(request_id: u64, report: &StatsReport) -> Result<Bytes, PirError> {
+    if report.latency_buckets.len() > MAX_STATS_BUCKETS {
+        return Err(PirError::InvalidParams(format!(
+            "latency histogram of {} buckets exceeds the {MAX_STATS_BUCKETS} cap",
+            report.latency_buckets.len()
+        )));
+    }
+    if report.stages.len() > MAX_STATS_STAGES {
+        return Err(PirError::InvalidParams(format!(
+            "{} stages exceed the {MAX_STATS_STAGES} cap",
+            report.stages.len()
+        )));
+    }
+    for stage in &report.stages {
+        if stage.buckets.len() > MAX_STATS_BUCKETS {
+            return Err(PirError::InvalidParams(format!(
+                "stage histogram of {} buckets exceeds the {MAX_STATS_BUCKETS} cap",
+                stage.buckets.len()
+            )));
+        }
+    }
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, Tag::StatsResponse);
+    buf.put_u64(request_id);
+    for v in [
+        report.queries,
+        report.errors,
+        report.batches,
+        report.batch_query_sum,
+        report.batches_multi,
+        report.max_batch,
+        report.queue_depth,
+        report.queue_depth_max,
+        report.update_batches,
+        report.updates_applied,
+        report.epoch,
+        report.uptime_us,
+        report.latency_sum_us,
+        report.latency_max_us,
+    ] {
+        buf.put_u64(v);
+    }
+    write_buckets(&mut buf, &report.latency_buckets);
+    buf.put_u16(report.stages.len() as u16);
+    for stage in &report.stages {
+        buf.put_u64(stage.count);
+        buf.put_u64(stage.sum_us);
+        buf.put_u64(stage.max_us);
+        write_buckets(&mut buf, &stage.buckets);
+    }
+    for v in [
+        report.residue_ntts,
+        report.pointwise_macs,
+        report.icrt_coeffs,
+        report.auto_coeffs,
+        report.scan_bytes,
+        report.scan_ns,
+        report.slow_queries,
+    ] {
+        buf.put_u64(v);
+    }
+    Ok(buf.freeze())
+}
+
+/// Deserializes a stats reply into `(request_id, report)`.
+///
+/// # Errors
+/// Fails on framing errors or oversized histograms/stage counts.
+pub fn decode_stats_response(bytes: &Bytes) -> Result<(u64, StatsReport), PirError> {
+    let mut buf = bytes.clone();
+    check_header(&mut buf, Tag::StatsResponse)?;
+    // Request id + the 14 fixed leading counters.
+    if buf.remaining() < 8 * 15 {
+        return Err(PirError::Wire("truncated stats counters".into()));
+    }
+    let request = buf.get_u64();
+    let mut fixed = [0u64; 14];
+    for v in &mut fixed {
+        *v = buf.get_u64();
+    }
+    let latency_buckets = read_buckets(&mut buf, MAX_STATS_BUCKETS, "latency histogram")?;
+    if buf.remaining() < 2 {
+        return Err(PirError::Wire("truncated stage count".into()));
+    }
+    let stage_count = buf.get_u16() as usize;
+    if stage_count > MAX_STATS_STAGES {
+        return Err(PirError::Wire(format!(
+            "{stage_count} stages exceed the {MAX_STATS_STAGES} cap"
+        )));
+    }
+    let mut stages = Vec::with_capacity(stage_count);
+    for _ in 0..stage_count {
+        if buf.remaining() < 8 * 3 {
+            return Err(PirError::Wire("truncated stage counters".into()));
+        }
+        let count = buf.get_u64();
+        let sum_us = buf.get_u64();
+        let max_us = buf.get_u64();
+        let buckets = read_buckets(&mut buf, MAX_STATS_BUCKETS, "stage histogram")?;
+        stages.push(StageReport { count, sum_us, max_us, buckets });
+    }
+    if buf.remaining() < 8 * 7 {
+        return Err(PirError::Wire("truncated kernel counters".into()));
+    }
+    let mut trailing = [0u64; 7];
+    for v in &mut trailing {
+        *v = buf.get_u64();
+    }
+    check_drained(&buf)?;
+    Ok((
+        request,
+        StatsReport {
+            queries: fixed[0],
+            errors: fixed[1],
+            batches: fixed[2],
+            batch_query_sum: fixed[3],
+            batches_multi: fixed[4],
+            max_batch: fixed[5],
+            queue_depth: fixed[6],
+            queue_depth_max: fixed[7],
+            update_batches: fixed[8],
+            updates_applied: fixed[9],
+            epoch: fixed[10],
+            uptime_us: fixed[11],
+            latency_sum_us: fixed[12],
+            latency_max_us: fixed[13],
+            latency_buckets,
+            stages,
+            residue_ntts: trailing[0],
+            pointwise_macs: trailing[1],
+            icrt_coeffs: trailing[2],
+            auto_coeffs: trailing[3],
+            scan_bytes: trailing[4],
+            scan_ns: trailing[5],
+            slow_queries: trailing[6],
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1346,5 +1626,69 @@ mod tests {
         empty[off..off + 2].copy_from_slice(&[0, 0]);
         let err = decode_kv_update(&empty.freeze().slice(..off + 2)).expect_err("empty key");
         assert!(err.to_string().contains("empty"), "unhelpful: {err}");
+    }
+
+    #[test]
+    fn stats_frames_roundtrip_and_validate() {
+        let req = encode_get_stats(77);
+        assert_eq!(peek_tag(&req).expect("well-formed"), Tag::GetStats);
+        assert_eq!(decode_get_stats(&req).expect("well-formed"), 77);
+        assert!(decode_get_stats(&req.slice(..req.len() - 1)).is_err());
+
+        let report = StatsReport {
+            queries: 1000,
+            errors: 3,
+            batches: 400,
+            batch_query_sum: 1000,
+            batches_multi: 120,
+            max_batch: 8,
+            queue_depth: 2,
+            queue_depth_max: 17,
+            update_batches: 5,
+            updates_applied: 9,
+            epoch: 5,
+            uptime_us: 60_000_000,
+            latency_sum_us: 4_200_000,
+            latency_max_us: 81_000,
+            latency_buckets: vec![0, 0, 0, 5, 900, 90, 5],
+            stages: vec![
+                StageReport { count: 1000, sum_us: 900_000, max_us: 4000, buckets: vec![0, 1000] },
+                StageReport::default(),
+            ],
+            residue_ntts: 123_456,
+            pointwise_macs: 9_876_543,
+            icrt_coeffs: 42,
+            auto_coeffs: 7,
+            scan_bytes: 1 << 30,
+            scan_ns: 1_000_000_000,
+            slow_queries: 11,
+        };
+        let frame = encode_stats_response(8, &report).expect("legal");
+        assert_eq!(peek_tag(&frame).expect("well-formed"), Tag::StatsResponse);
+        let (rid, back) = decode_stats_response(&frame).expect("well-formed");
+        assert_eq!(rid, 8);
+        assert_eq!(back, report, "stats report must survive the wire bit-exactly");
+
+        // Oversized histograms never leave the encoder and are rejected
+        // at decode when forged.
+        let fat = StatsReport {
+            latency_buckets: vec![0; MAX_STATS_BUCKETS + 1],
+            ..StatsReport::default()
+        };
+        assert!(encode_stats_response(0, &fat).is_err());
+        let crowded = StatsReport {
+            stages: vec![StageReport::default(); MAX_STATS_STAGES + 1],
+            ..StatsReport::default()
+        };
+        assert!(encode_stats_response(0, &crowded).is_err());
+        for cut in [5, 20, frame.len() / 2, frame.len() - 1] {
+            assert!(decode_stats_response(&frame.slice(..cut)).is_err(), "cut at {cut}");
+        }
+        // A forged stage count past the cap is rejected before any
+        // allocation-by-attacker-length.
+        let mut forged = BytesMut::from(&frame[..]);
+        let stage_count_off = 6 + 8 * 15 + 2 + 8 * report.latency_buckets.len();
+        forged[stage_count_off..stage_count_off + 2].copy_from_slice(&[0xFF, 0xFF]);
+        assert!(decode_stats_response(&forged.freeze()).is_err());
     }
 }

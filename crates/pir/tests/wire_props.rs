@@ -103,6 +103,55 @@ fn random_updates(params: &PirParams, seed: u64) -> Vec<ive_pir::RecordUpdate> {
         .collect()
 }
 
+/// A seed-derived arbitrary-but-valid [`wire::StatsReport`]: any counter
+/// values, histogram lengths up to the wire caps.
+fn random_stats_report(seed: u64) -> wire::StatsReport {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let latency_buckets = {
+        let len = rng.gen_range(0..=wire::MAX_STATS_BUCKETS);
+        (0..len).map(|_| rng.gen()).collect()
+    };
+    let stages = {
+        let count = rng.gen_range(0..=wire::MAX_STATS_STAGES);
+        (0..count)
+            .map(|_| {
+                let bucket_len = rng.gen_range(0..=wire::MAX_STATS_BUCKETS);
+                wire::StageReport {
+                    count: rng.gen(),
+                    sum_us: rng.gen(),
+                    max_us: rng.gen(),
+                    buckets: (0..bucket_len).map(|_| rng.gen()).collect(),
+                }
+            })
+            .collect()
+    };
+    wire::StatsReport {
+        queries: rng.gen(),
+        errors: rng.gen(),
+        batches: rng.gen(),
+        batch_query_sum: rng.gen(),
+        batches_multi: rng.gen(),
+        max_batch: rng.gen(),
+        queue_depth: rng.gen(),
+        queue_depth_max: rng.gen(),
+        update_batches: rng.gen(),
+        updates_applied: rng.gen(),
+        epoch: rng.gen(),
+        uptime_us: rng.gen(),
+        latency_sum_us: rng.gen(),
+        latency_max_us: rng.gen(),
+        latency_buckets,
+        stages,
+        residue_ntts: rng.gen(),
+        pointwise_macs: rng.gen(),
+        icrt_coeffs: rng.gen(),
+        auto_coeffs: rng.gen(),
+        scan_bytes: rng.gen(),
+        scan_ns: rng.gen(),
+        slow_queries: rng.gen(),
+    }
+}
+
 fn random_bfv(rng: &mut rand::rngs::StdRng) -> BfvCiphertext {
     let fix = fixture();
     let he = fix.params.he();
@@ -259,6 +308,24 @@ proptest! {
     }
 
     #[test]
+    fn stats_frames_roundtrip_is_canonical(
+        request in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let report = random_stats_report(seed);
+        let get = wire::encode_get_stats(request);
+        prop_assert_eq!(wire::decode_get_stats(&get).expect("own encoding decodes"), request);
+        prop_assert_eq!(&wire::encode_get_stats(request)[..], &get[..]);
+
+        let frame = wire::encode_stats_response(request, &report).expect("within caps");
+        let (r, back) = wire::decode_stats_response(&frame).expect("own encoding decodes");
+        prop_assert_eq!(r, request);
+        prop_assert_eq!(&back, &report);
+        let again = wire::encode_stats_response(r, &back).expect("within caps");
+        prop_assert_eq!(&again[..], &frame[..], "encoding not canonical");
+    }
+
+    #[test]
     fn kv_update_roundtrip_and_key_caps(
         request in any::<u64>(),
         raw in collection::vec(any::<u8>(), 1..64),
@@ -329,6 +396,23 @@ proptest! {
             let again = wire::encode_update_rows(r, &back).expect("within cap");
             prop_assert_eq!(&again[..], &bad[..]);
         }
+    }
+
+    #[test]
+    fn stats_frame_truncation_never_panics_and_always_errs(
+        cut_permille in 0u32..1000,
+        seed in any::<u64>(),
+    ) {
+        let report = random_stats_report(seed);
+        let get = wire::encode_get_stats(9);
+        let cut = (get.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+        prop_assert!(wire::decode_get_stats(&get.slice(..cut.min(get.len() - 1))).is_err());
+
+        let frame = wire::encode_stats_response(9, &report).expect("within caps");
+        let cut = (frame.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+        prop_assert!(
+            wire::decode_stats_response(&frame.slice(..cut.min(frame.len() - 1))).is_err()
+        );
     }
 
     #[test]
@@ -430,6 +514,21 @@ fn wrong_tag_errors_name_both_frames() {
     assert!(err.to_string().contains("Welcome"), "unhelpful: {err}");
 }
 
+/// The stats-frame caps are enforced at encode time, mirroring decode.
+#[test]
+fn stats_report_caps_enforced_on_encode() {
+    let report = wire::StatsReport {
+        latency_buckets: vec![0; wire::MAX_STATS_BUCKETS + 1],
+        ..Default::default()
+    };
+    assert!(wire::encode_stats_response(1, &report).is_err(), "bucket cap not enforced");
+    let report = wire::StatsReport {
+        stages: vec![wire::StageReport::default(); wire::MAX_STATS_STAGES + 1],
+        ..Default::default()
+    };
+    assert!(wire::encode_stats_response(1, &report).is_err(), "stage cap not enforced");
+}
+
 /// `peek_tag` agrees with the decoder dispatch for every frame type.
 #[test]
 fn peek_tag_matches_frame_types() {
@@ -461,6 +560,11 @@ fn peek_tag_matches_frame_types() {
         (ks_fixture().response_bytes.clone(), wire::Tag::KsResponse),
         (ks_fixture().compressed_bytes.clone(), wire::Tag::CompressedResponse),
         (ks_fixture().kv_update_bytes.clone(), wire::Tag::KvUpdate),
+        (wire::encode_get_stats(8), wire::Tag::GetStats),
+        (
+            wire::encode_stats_response(8, &wire::StatsReport::default()).expect("within caps"),
+            wire::Tag::StatsResponse,
+        ),
     ];
     for (bytes, want) in cases {
         assert_eq!(wire::peek_tag(&bytes).expect("well-formed"), want);

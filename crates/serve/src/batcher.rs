@@ -11,7 +11,7 @@
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
@@ -20,6 +20,7 @@ use ive_pir::{wire, ClientKeys, PirQuery, QueryScratch};
 use crate::config::ServeConfig;
 use crate::engine::ShardedEngine;
 use crate::metrics::Metrics;
+use crate::trace::{Span, Stage, TraceRecorder};
 
 /// One query waiting for a window, with everything needed to route its
 /// response back to the right connection.
@@ -30,8 +31,19 @@ pub struct Job {
     pub query: PirQuery,
     /// The client-chosen request id, echoed in the response frame.
     pub request_id: u64,
+    /// The owning session, carried into slow-query trace records.
+    pub session_id: u64,
     /// When the job entered the queue (end-to-end latency origin).
     pub enqueued: Instant,
+    /// When the job left the submission queue for a batch (stamped by
+    /// the dispatcher; feeds the queue-depth gauge). The `QueueWait`
+    /// stage is measured later, when a worker actually starts computing
+    /// the batch, so it also covers the waiting window and any backlog
+    /// in the bounded worker queue.
+    pub dequeued: Instant,
+    /// How long the handler spent decoding the query frame (the `Decode`
+    /// stage of this job's span).
+    pub decode: Duration,
     /// The owning connection's outgoing frame queue.
     pub reply: std::sync::mpsc::Sender<Bytes>,
 }
@@ -91,10 +103,14 @@ fn dispatch_loop(
     max_batch: usize,
     metrics: &Metrics,
 ) {
-    while let Ok(first) = jobs.recv() {
+    let dequeue = |mut job: Job| {
         metrics.job_dequeued();
+        job.dequeued = Instant::now();
+        job
+    };
+    while let Ok(first) = jobs.recv() {
         let deadline = Instant::now() + window;
-        let mut batch = vec![first];
+        let mut batch = vec![dequeue(first)];
         while batch.len() < max_batch {
             let now = Instant::now();
             if now >= deadline {
@@ -102,8 +118,7 @@ fn dispatch_loop(
             }
             match jobs.recv_timeout(deadline - now) {
                 Ok(job) => {
-                    metrics.job_dequeued();
-                    batch.push(job);
+                    batch.push(dequeue(job));
                 }
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -146,22 +161,41 @@ fn worker_loop(
 
 /// Frames one answer, modulus-switching it first when compression is on
 /// (Table VIII: only the minimum retained residues travel downlink).
+/// The switch is the `Compress` stage, the wire serialization the
+/// `Encode` stage; both land in the job's span and the shared histograms.
 fn frame_response(
     engine: &ShardedEngine,
     request_id: u64,
     ct: &ive_he::BfvCiphertext,
     compress: bool,
+    trace: &TraceRecorder,
+    span: &mut Span,
 ) -> Result<Bytes, ive_pir::PirError> {
+    let mut stamp = |stage: Stage, d: Duration| {
+        span.add(stage, d);
+        trace.record(stage, d);
+    };
     if compress {
+        let t = Instant::now();
         let switched = ive_he::modswitch::switch_to_first_prime(engine.params().he(), ct)?;
-        Ok(wire::encode_compressed_response(request_id, &switched))
+        stamp(Stage::Compress, t.elapsed());
+        let t = Instant::now();
+        let frame = wire::encode_compressed_response(request_id, &switched);
+        stamp(Stage::Encode, t.elapsed());
+        Ok(frame)
     } else {
-        Ok(wire::encode_session_response(request_id, ct))
+        let t = Instant::now();
+        let frame = wire::encode_session_response(request_id, ct);
+        stamp(Stage::Encode, t.elapsed());
+        Ok(frame)
     }
 }
 
 /// Answers one batch, falling back to per-query answering when the batch
 /// as a whole fails so one malformed query cannot poison its companions.
+/// The engine fills one span with the batch's shared stage durations;
+/// each job's trace record is that span plus the job's own Decode, queue
+/// wait, and framing time — slow jobs land in the slow-query ring.
 fn process_batch(
     batch: Vec<Job>,
     engine: &ShardedEngine,
@@ -169,9 +203,15 @@ fn process_batch(
     scratch: &mut QueryScratch,
     compress: bool,
 ) {
+    // `QueueWait` is stamped here — not at dispatcher dequeue — so it
+    // covers the whole pre-compute wait: submission queue, waiting
+    // window, and any backlog in the bounded worker queue. That keeps a
+    // query's stage sum accountable to its measured end-to-end latency.
+    let compute_started = Instant::now();
     let requests: Vec<(&ClientKeys, &PirQuery)> =
         batch.iter().map(|job| (job.keys.as_ref(), &job.query)).collect();
-    let answers = engine.answer_batch_with(&requests, scratch);
+    let mut span = Span::new();
+    let answers = engine.answer_batch_traced(&requests, scratch, &mut span);
     let per_query: Vec<Result<ive_he::BfvCiphertext, ive_pir::PirError>> = match answers {
         Ok(answers) => answers.into_iter().map(Ok).collect(),
         Err(_) => batch
@@ -179,10 +219,22 @@ fn process_batch(
             .map(|job| engine.answer_with(job.keys.as_ref(), &job.query, scratch))
             .collect(),
     };
+    let trace = metrics.trace();
+    let epoch = engine.epoch();
+    let batch_size = batch.len() as u32;
     for (job, answer) in batch.iter().zip(per_query) {
-        match answer.and_then(|ct| frame_response(engine, job.request_id, &ct, compress)) {
+        let mut jspan = span.clone();
+        jspan.add(Stage::Decode, job.decode);
+        let wait = compute_started.duration_since(job.enqueued);
+        jspan.add(Stage::QueueWait, wait);
+        trace.record(Stage::QueueWait, wait);
+        match answer
+            .and_then(|ct| frame_response(engine, job.request_id, &ct, compress, trace, &mut jspan))
+        {
             Ok(frame) => {
-                metrics.query_done(job.enqueued.elapsed());
+                let total = job.enqueued.elapsed();
+                metrics.query_done(total);
+                trace.record_slow(&jspan, total, job.session_id, batch_size, epoch);
                 let _ = job.reply.send(frame); // receiver gone: client left
             }
             Err(e) => {
@@ -239,7 +291,10 @@ mod tests {
                 keys: Arc::clone(&keys),
                 query: client.query(request_id as usize).unwrap(),
                 request_id,
+                session_id: 7,
                 enqueued: Instant::now(),
+                dequeued: Instant::now(),
+                decode: Duration::ZERO,
                 reply: reply_tx.clone(),
             };
             metrics.job_enqueued();

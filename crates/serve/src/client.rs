@@ -14,6 +14,7 @@ use bytes::Bytes;
 use ive_pir::kspir::{KsPirClient, KsPirParams};
 use ive_pir::{wire, KvSchema, PirClient, PirParams, RecordUpdate};
 
+use crate::metrics::ServerStats;
 use crate::transport::{BoxedConn, FrameRx, FrameTx, Received};
 use crate::ServeError;
 
@@ -96,6 +97,10 @@ pub struct ServeClient {
     /// Queries awaiting their response, keyed by request id (needed to
     /// decode the response that answers them).
     pending: std::collections::HashMap<u64, ive_pir::PirQuery>,
+    /// Frames received while waiting for a specific response (e.g. query
+    /// responses arriving during a [`ServeClient::stats`] scrape), to be
+    /// consumed by the next [`ServeClient::next_record`] call.
+    stash: std::collections::VecDeque<Bytes>,
 }
 
 impl ServeClient {
@@ -146,6 +151,7 @@ impl ServeClient {
             next_request: 1,
             client,
             pending: std::collections::HashMap::new(),
+            stash: std::collections::VecDeque::new(),
         })
     }
 
@@ -186,7 +192,10 @@ impl ServeClient {
             return Err(ServeError::Protocol("no query in flight".into()));
         }
         let he = self.client.params().he().clone();
-        let frame = recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?;
+        let frame = match self.stash.pop_front() {
+            Some(frame) => frame,
+            None => recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?,
+        };
         match wire::peek_tag(&frame)? {
             wire::Tag::SessionResponse => {
                 let (request_id, ct) = wire::decode_session_response(&he, &frame)?;
@@ -245,6 +254,47 @@ impl ServeClient {
             )));
         }
         Ok(record)
+    }
+
+    /// Scrapes the server's live counters over this connection: sends
+    /// [`wire::Tag::GetStats`] and rebuilds [`ServerStats`] from the raw
+    /// integer report — the same derivation the server runs in-process,
+    /// so a remote observer sees identical quantiles, per-stage
+    /// histograms, kernel op rates, and scan bandwidth. Query responses
+    /// arriving in the meantime are stashed for
+    /// [`ServeClient::next_record`], so polling a loaded connection loses
+    /// nothing.
+    ///
+    /// # Errors
+    /// Fails on protocol, transport, or server-reported errors.
+    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.tx.send(&wire::encode_get_stats(request_id))?;
+        loop {
+            let frame = recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?;
+            match wire::peek_tag(&frame)? {
+                wire::Tag::StatsResponse => {
+                    let (got, report) = wire::decode_stats_response(&frame)?;
+                    if got != request_id {
+                        return Err(ServeError::Protocol(format!(
+                            "stats for request {got} while {request_id} was in flight"
+                        )));
+                    }
+                    return Ok(ServerStats::from_report(&report));
+                }
+                wire::Tag::Error => {
+                    let (got, message) = wire::decode_error_frame(&frame)?;
+                    if got == request_id || got == 0 {
+                        return Err(ServeError::Remote { request_id: got, message });
+                    }
+                    // An in-flight query's failure: queue it for
+                    // next_record like any other response.
+                    self.stash.push_back(frame);
+                }
+                _ => self.stash.push_back(frame),
+            }
+        }
     }
 }
 
@@ -471,6 +521,38 @@ impl KvClient {
             tag => {
                 Err(ServeError::Protocol(format!("expected UpdateAck, server sent {}", tag.name())))
             }
+        }
+    }
+
+    /// Scrapes the keyword server's live counters (the keyword pipeline
+    /// reports Decode/Compress/Encode stages plus `EpochCommit`; see
+    /// [`ServeClient::stats`] for the index-PIR counterpart).
+    ///
+    /// # Errors
+    /// Fails on protocol, transport, or server-reported errors.
+    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.tx.send(&wire::encode_get_stats(request_id))?;
+        let frame = recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?;
+        match wire::peek_tag(&frame)? {
+            wire::Tag::StatsResponse => {
+                let (got, report) = wire::decode_stats_response(&frame)?;
+                if got != request_id {
+                    return Err(ServeError::Protocol(format!(
+                        "stats for request {got} while {request_id} was in flight"
+                    )));
+                }
+                Ok(ServerStats::from_report(&report))
+            }
+            wire::Tag::Error => {
+                let (request_id, message) = wire::decode_error_frame(&frame)?;
+                Err(ServeError::Remote { request_id, message })
+            }
+            tag => Err(ServeError::Protocol(format!(
+                "expected StatsResponse, server sent {}",
+                tag.name()
+            ))),
         }
     }
 

@@ -89,6 +89,13 @@ pub struct ServeConfig {
     /// staged-but-uncommitted updates survive process death. `None`
     /// (default) keeps updates memory-only.
     pub journal: Option<PathBuf>,
+    /// Queries whose end-to-end latency meets this threshold leave a
+    /// [`TraceRecord`](crate::trace::TraceRecord) (per-stage durations,
+    /// session, batch size, epoch) in the slow-query ring.
+    pub slow_threshold: Duration,
+    /// Capacity of the slow-query trace ring; `0` disables retention
+    /// (the slow counter still counts).
+    pub trace_ring: usize,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +114,8 @@ impl Default for ServeConfig {
             accept_updates: false,
             compress_responses: false,
             journal: None,
+            slow_threshold: Duration::from_millis(250),
+            trace_ring: 64,
         }
     }
 }

@@ -26,6 +26,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use ive_he::BfvCiphertext;
 use ive_pir::coltor::col_tor_with;
@@ -37,6 +38,7 @@ use ive_pir::{
 };
 
 use crate::config::ShardPlan;
+use crate::trace::{Span, Stage, TraceRecorder};
 use crate::ServeError;
 
 /// The query-answering plane: replicated or row-sharded, epoch-versioned.
@@ -68,6 +70,12 @@ pub struct ShardedEngine {
     epoch: AtomicU64,
     /// Total row deltas committed over the engine's lifetime.
     updates_applied: AtomicU64,
+    /// Per-stage duration recorder. A fresh engine gets its own; the
+    /// service swaps in the shared metrics recorder via
+    /// [`ShardedEngine::set_trace`] so engine samples (Expand/RowSel/
+    /// ColTor/JournalFsync/EpochCommit, plus scan-bandwidth accounting)
+    /// land in the same histograms the handlers and batcher feed.
+    trace: Arc<TraceRecorder>,
 }
 
 /// A lock-briefly pool of warm [`QueryScratch`] instances. Checkout
@@ -146,7 +154,18 @@ impl ShardedEngine {
             commit: Mutex::new(()),
             epoch: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
+            trace: Arc::new(TraceRecorder::new()),
         })
+    }
+
+    /// Replaces the stage recorder (call before the engine is shared).
+    pub fn set_trace(&mut self, trace: Arc<TraceRecorder>) {
+        self.trace = trace;
+    }
+
+    /// The stage recorder engine samples land in.
+    pub fn trace(&self) -> &Arc<TraceRecorder> {
+        &self.trace
     }
 
     /// The scheme parameters.
@@ -205,7 +224,9 @@ impl ShardedEngine {
     /// that will replay cleanly.
     fn journal_append(&self, updates: &[RecordUpdate]) -> Result<(), PirError> {
         if let Some(journal) = self.journal.lock().expect("journal lock poisoned").as_mut() {
+            let t = Instant::now();
             journal.append(updates)?;
+            self.trace.record(Stage::JournalFsync, t.elapsed());
         }
         Ok(())
     }
@@ -279,6 +300,7 @@ impl ShardedEngine {
         if staged.is_empty() {
             return Ok(self.epoch());
         }
+        let commit_started = Instant::now();
         let current = self.snapshot();
         let next = match self.shard_bits {
             None => {
@@ -319,7 +341,9 @@ impl ShardedEngine {
         };
         *self.servers.write().expect("server set poisoned") = next;
         self.updates_applied.fetch_add(staged.len() as u64, Ordering::Relaxed);
-        Ok(self.epoch.fetch_add(1, Ordering::AcqRel) + 1)
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        self.trace.record(Stage::EpochCommit, commit_started.elapsed());
+        Ok(epoch)
     }
 
     /// Stages and commits one batch in a single call — the serving
@@ -394,14 +418,88 @@ impl ShardedEngine {
         requests: &[(&ClientKeys, &PirQuery)],
         scratch: &mut QueryScratch,
     ) -> Result<Vec<BfvCiphertext>, PirError> {
+        self.answer_batch_traced(requests, scratch, &mut Span::new())
+    }
+
+    /// [`ShardedEngine::answer_batch_with`] that additionally accumulates
+    /// the batch's per-stage durations (Expand/RowSel/ColTor) into `span`
+    /// — the batcher's entry point, so slow-query traces carry the
+    /// engine-side breakdown. Every sample is also recorded in the shared
+    /// [`TraceRecorder`] histograms (per shard on the row-sharded path),
+    /// and each `RowSel` pass feeds the scan-bandwidth accounting.
+    ///
+    /// # Errors
+    /// Fails when *any* query in the batch fails.
+    pub fn answer_batch_traced(
+        &self,
+        requests: &[(&ClientKeys, &PirQuery)],
+        scratch: &mut QueryScratch,
+        span: &mut Span,
+    ) -> Result<Vec<BfvCiphertext>, PirError> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
         let servers = self.snapshot();
         match self.shard_bits {
-            None => servers[0].answer_batch_with(requests, scratch),
-            Some(shard_bits) => self.answer_batch_sharded(&servers, shard_bits, requests, scratch),
+            None => self.answer_batch_replicated(&servers[0], requests, scratch, span),
+            Some(shard_bits) => {
+                self.answer_batch_sharded(&servers, shard_bits, requests, scratch, span)
+            }
         }
+    }
+
+    /// Database bytes one batched `RowSel` pass streams: every row's `d0`
+    /// record polynomials (`k·n` limb words each) are loaded exactly once
+    /// per batch and shared across the batch's queries. On the sharded
+    /// path the shards partition the rows, so this total also covers one
+    /// whole parallel pass.
+    fn scan_bytes_per_pass(&self) -> u64 {
+        let he = self.params.he();
+        let k = he.ring().basis().moduli().len() as u64;
+        (self.params.num_rows() as u64) * (self.params.d0() as u64) * k * (he.n() as u64) * 8
+    }
+
+    /// The replicated answer path with per-stage timing — the same three
+    /// steps as [`PirServer::answer_batch_with`], run here so each stage
+    /// boundary can be observed.
+    fn answer_batch_replicated(
+        &self,
+        server: &PirServer,
+        requests: &[(&ClientKeys, &PirQuery)],
+        scratch: &mut QueryScratch,
+        span: &mut Span,
+    ) -> Result<Vec<BfvCiphertext>, PirError> {
+        // Step 1: per-query expansion (client-specific; not amortizable).
+        let t = Instant::now();
+        let mut expanded = Vec::with_capacity(requests.len());
+        for (keys, query) in requests {
+            expanded.push(server.expand_with(keys, query, scratch)?);
+        }
+        let expand = t.elapsed();
+        span.add(Stage::Expand, expand);
+        self.trace.record(Stage::Expand, expand);
+        // Step 2: one scan of the database serving all queries.
+        let t = Instant::now();
+        server.row_sel_batch_into(&expanded, scratch)?;
+        let row_sel = t.elapsed();
+        span.add(Stage::RowSel, row_sel);
+        self.trace.record(Stage::RowSel, row_sel);
+        self.trace.record_scan(self.scan_bytes_per_pass(), row_sel);
+        // Step 3: per-query tournaments.
+        let t = Instant::now();
+        let ring = server.params().he().ring().clone();
+        let answers = requests
+            .iter()
+            .enumerate()
+            .map(|(qi, (_, query))| {
+                let rows = scratch.row_ciphertexts(&ring, qi);
+                server.col_tor_step_with(rows, query, scratch)
+            })
+            .collect::<Result<Vec<_>, PirError>>()?;
+        let col_tor = t.elapsed();
+        span.add(Stage::ColTor, col_tor);
+        self.trace.record(Stage::ColTor, col_tor);
+        Ok(answers)
     }
 
     fn answer_batch_sharded(
@@ -410,29 +508,44 @@ impl ShardedEngine {
         shard_bits: u32,
         requests: &[(&ClientKeys, &PirQuery)],
         scratch: &mut QueryScratch,
+        span: &mut Span,
     ) -> Result<Vec<BfvCiphertext>, PirError> {
         let he = self.params.he();
         let backend = self.backend.backend();
         let low_bits = (self.params.dims() - shard_bits) as usize;
         // Expansion is client-specific and shard-independent: do it once
         // and share the result with every shard.
+        let t = Instant::now();
         let mut expanded = Vec::with_capacity(requests.len());
         for (keys, query) in requests {
             expanded.push(shards[0].expand_with(keys, query, scratch)?);
         }
+        let expand = t.elapsed();
+        span.add(Stage::Expand, expand);
+        self.trace.record(Stage::Expand, expand);
         // Each shard scans its rows once for the whole batch, then plays
         // the low tournament levels per query — on its own warm scratch.
+        // Shards time their own RowSel/ColTor (the per-shard histogram
+        // samples); the span gets the slowest shard's durations, which is
+        // what the batch actually waited for.
         let mut winners: Vec<Vec<BfvCiphertext>> = Vec::new();
+        let mut scan_max = Duration::ZERO;
+        let mut low_max = Duration::ZERO;
+        type ShardResult = Result<(Vec<BfvCiphertext>, Duration, Duration), PirError>;
         std::thread::scope(|scope| -> Result<(), PirError> {
             let mut handles = Vec::with_capacity(shards.len());
             for (shard, pool) in shards.iter().zip(&self.scratch) {
                 let expanded = &expanded;
-                handles.push(scope.spawn(move || -> Result<Vec<BfvCiphertext>, PirError> {
+                handles.push(scope.spawn(move || -> ShardResult {
                     let mut s = pool.take();
                     let result = (|| {
+                        let t = Instant::now();
                         shard.row_sel_batch_into(expanded, &mut s)?;
+                        let row_sel = t.elapsed();
+                        self.trace.record(Stage::RowSel, row_sel);
                         let ring = shard.params().he().ring().clone();
-                        requests
+                        let t = Instant::now();
+                        let winners = requests
                             .iter()
                             .enumerate()
                             .map(|(qi, (_, query))| {
@@ -446,20 +559,32 @@ impl ShardedEngine {
                                     &mut s.arena,
                                 )
                             })
-                            .collect()
+                            .collect::<Result<Vec<_>, PirError>>()?;
+                        let col_tor = t.elapsed();
+                        self.trace.record(Stage::ColTor, col_tor);
+                        Ok((winners, row_sel, col_tor))
                     })();
                     pool.give(s);
                     result
                 }));
             }
             for h in handles {
-                winners.push(h.join().expect("shard worker panicked")?);
+                let (w, row_sel, col_tor) = h.join().expect("shard worker panicked")?;
+                winners.push(w);
+                scan_max = scan_max.max(row_sel);
+                low_max = low_max.max(col_tor);
             }
             Ok(())
         })?;
+        span.add(Stage::RowSel, scan_max);
+        // The shards together streamed the whole database in parallel;
+        // the effective scan bandwidth is total bytes over the slowest
+        // shard's wall time.
+        self.trace.record_scan(self.scan_bytes_per_pass(), scan_max);
         // Recombine: query i's shard winners, ordered by shard (= high
         // bits of the row index), finish with the remaining bits.
-        (0..requests.len())
+        let t = Instant::now();
+        let answers = (0..requests.len())
             .map(|i| {
                 let entries: Vec<BfvCiphertext> =
                     winners.iter().map(|per_shard| per_shard[i].clone()).collect();
@@ -472,7 +597,11 @@ impl ShardedEngine {
                     &mut scratch.arena,
                 )
             })
-            .collect()
+            .collect::<Result<Vec<_>, PirError>>()?;
+        let recombine = t.elapsed();
+        self.trace.record(Stage::ColTor, recombine);
+        span.add(Stage::ColTor, low_max + recombine);
+        Ok(answers)
     }
 }
 
@@ -492,6 +621,10 @@ pub struct KeywordEngine {
     epoch: AtomicU64,
     /// Total slot writes committed over the engine's lifetime.
     updates_applied: AtomicU64,
+    /// Per-stage recorder: `RowSel` + scan bytes for every slot query
+    /// answered here, `EpochCommit` for mutations. Decode/encode of the
+    /// surrounding frames are timed at the handler layer.
+    trace: Arc<TraceRecorder>,
 }
 
 impl KeywordEngine {
@@ -506,7 +639,13 @@ impl KeywordEngine {
             server: RwLock::new(Arc::new(server)),
             epoch: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
+            trace: Arc::new(TraceRecorder::new()),
         })
+    }
+
+    /// Replaces the stage recorder (call before the engine is shared).
+    pub fn set_trace(&mut self, trace: Arc<TraceRecorder>) {
+        self.trace = trace;
     }
 
     /// The table layout clients need to map keys to slots.
@@ -544,10 +683,31 @@ impl KeywordEngine {
 
     /// Answers one slot-retrieval query against the current snapshot.
     ///
+    /// The whole kspir evaluation (per-chunk plaintext products + trace,
+    /// then the RGSW tournament) streams every packed chunk polynomial,
+    /// so it lands in the recorder as one `RowSel` sample plus the scan
+    /// bytes it covered — the keyword analogue of the index path's
+    /// limb-major database pass.
+    ///
     /// # Errors
     /// Propagates trace-pipeline failures.
     pub fn answer(&self, keys: &KsPirKeys, query: &KsPirQuery) -> Result<BfvCiphertext, PirError> {
-        self.snapshot().answer(keys, query)
+        let snapshot = self.snapshot();
+        let t = Instant::now();
+        let out = snapshot.answer(keys, query);
+        let scanned = t.elapsed();
+        self.trace.record(Stage::RowSel, scanned);
+        self.trace.record_scan(Self::scan_bytes_per_query(&snapshot), scanned);
+        out
+    }
+
+    /// Bytes of packed chunk polynomials streamed per slot query (RNS
+    /// residue form — the same accounting as the index path's
+    /// `scan_bytes_per_pass`).
+    fn scan_bytes_per_query(server: &KsPirServer) -> u64 {
+        let he = server.params().he();
+        let k = he.ring().basis().moduli().len() as u64;
+        (server.params().chunks() as u64) * k * (he.n() as u64) * 8
     }
 
     /// Inserts or overwrites `key`, committing a new epoch. Only the
@@ -575,11 +735,13 @@ impl KeywordEngine {
     /// matches the table state that produced it.
     fn commit_writes(&self, writes: &[(usize, u64)]) -> u64 {
         if !writes.is_empty() {
+            let t = Instant::now();
             let next = self
                 .snapshot()
                 .with_updates(writes)
                 .expect("slot writes from the store are in range by construction");
             *self.server.write().expect("kv server poisoned") = Arc::new(next);
+            self.trace.record(Stage::EpochCommit, t.elapsed());
         }
         self.updates_applied.fetch_add(writes.len() as u64, Ordering::Relaxed);
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1

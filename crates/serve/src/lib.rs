@@ -20,8 +20,11 @@
 //! * [`transport`] / [`tcp`] — one [`Transport`] trait, two carriers: an
 //!   in-process channel pair for tests and benches, and a real
 //!   `std::net::TcpListener` speaking length-delimited frames.
-//! * [`metrics`] — latency histogram, QPS, batch-size distribution, and
-//!   queue depth, snapshotted as [`ServerStats`].
+//! * [`metrics`] / [`trace`] — latency histogram, QPS, batch-size
+//!   distribution, queue depth, per-stage log₂ histograms, kernel op
+//!   rates, and a slow-query trace ring, snapshotted as [`ServerStats`]
+//!   (scrapeable over any connection via [`wire::Tag::GetStats`], or as
+//!   Prometheus text through [`ServerStats::to_prometheus`]).
 //! * [`service`] / [`client`] — the assembled server and a blocking
 //!   client; every client role ([`ServeClient`], [`UpdateClient`],
 //!   [`KvClient`]) is built from one [`Connection`] handle.
@@ -93,9 +96,22 @@
 //! Writers push [`wire::Tag::KvUpdate`] mutations that commit as CoW
 //! epochs with read-your-writes visibility.
 //!
+//! ## Observability
+//!
+//! Every layer feeds one shared [`trace::TraceRecorder`]: connection
+//! handlers time `Decode`, the dispatcher times `QueueWait`, the engine
+//! times `Expand`/`RowSel`/`ColTor` (per shard) plus journal fsyncs and
+//! epoch commits, and the workers time `Compress`/`Encode`. Queries over
+//! [`ServeConfig::slow_threshold`] leave a full per-stage
+//! [`trace::TraceRecord`] in a bounded ring. Any connection may send
+//! [`wire::Tag::GetStats`] (see [`ServeClient::stats`]) and receives the
+//! raw counters; [`ServerStats`] derives the rates, quantiles, and
+//! roofline comparisons, identically in-process and over the wire.
+//!
 //! [`wire::Tag::UpdateRow`]: ive_pir::wire::Tag::UpdateRow
 //! [`wire::Tag::KsHello`]: ive_pir::wire::Tag::KsHello
 //! [`wire::Tag::KvUpdate`]: ive_pir::wire::Tag::KvUpdate
+//! [`wire::Tag::GetStats`]: ive_pir::wire::Tag::GetStats
 
 #![warn(missing_docs)]
 
@@ -107,6 +123,7 @@ pub mod metrics;
 pub mod service;
 pub mod session;
 pub mod tcp;
+pub mod trace;
 pub mod transport;
 
 pub use client::{Connection, KvClient, ServeClient, UpdateClient};
@@ -116,6 +133,7 @@ pub use metrics::{Metrics, ServerStats};
 pub use service::{KeywordHandle, PirService, ServiceHandle};
 pub use session::SessionManager;
 pub use tcp::TcpTransport;
+pub use trace::{Span, Stage, StageStats, StageTimer, TraceRecord, TraceRecorder};
 pub use transport::{in_proc_pair, Transport};
 
 use ive_pir::{wire, PirError};

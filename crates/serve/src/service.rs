@@ -33,6 +33,7 @@ use crate::engine::{KeywordEngine, ShardedEngine};
 use crate::error_frame;
 use crate::metrics::{Metrics, ServerStats};
 use crate::session::SessionManager;
+use crate::trace::{Stage, TraceRecorder};
 use crate::transport::{BoxedConn, FrameTx, Received, Transport};
 use crate::ServeError;
 
@@ -53,14 +54,24 @@ impl PirService {
         mut transport: Box<dyn Transport>,
     ) -> Result<ServiceHandle, ServeError> {
         config.validate()?;
-        let engine = Arc::new(ShardedEngine::new(
+        // One recorder shared by every layer: handlers (Decode), the
+        // dispatcher (QueueWait), the workers (Compress/Encode + the
+        // slow-query ring), and the engine (Expand/RowSel/ColTor,
+        // journal/commit, scan bandwidth).
+        let metrics = Arc::new(Metrics::with_trace(Arc::new(TraceRecorder::with_limits(
+            config.slow_threshold,
+            config.trace_ring,
+        ))));
+        let mut engine = ShardedEngine::new(
             params,
             db,
             config.shard,
             config.rowsel_threads,
             config.order,
             config.backend,
-        )?);
+        )?;
+        engine.set_trace(Arc::clone(metrics.trace()));
+        let engine = Arc::new(engine);
         // Crash recovery: batches a previous process journaled but never
         // committed are replayed (in append order) before the first
         // connection is accepted, then the journal attaches so every new
@@ -73,7 +84,6 @@ impl PirService {
             journal.checkpoint()?;
             engine.set_journal(journal);
         }
-        let metrics = Arc::new(Metrics::new());
         let sessions = Arc::new(SessionManager::new(params, config.max_sessions));
         let shutdown = Arc::new(AtomicBool::new(false));
         let endpoint = transport.endpoint();
@@ -172,8 +182,13 @@ impl PirService {
         mut transport: Box<dyn Transport>,
     ) -> Result<KeywordHandle, ServeError> {
         config.validate()?;
-        let engine = Arc::new(KeywordEngine::new(params, store)?);
-        let metrics = Arc::new(Metrics::new());
+        let metrics = Arc::new(Metrics::with_trace(Arc::new(TraceRecorder::with_limits(
+            config.slow_threshold,
+            config.trace_ring,
+        ))));
+        let mut engine = KeywordEngine::new(params, store)?;
+        engine.set_trace(Arc::clone(metrics.trace()));
+        let engine = Arc::new(engine);
         let sessions = Arc::new(KsSessions::new(params, config.max_sessions));
         let shutdown = Arc::new(AtomicBool::new(false));
         let endpoint = transport.endpoint();
@@ -298,31 +313,42 @@ fn handle_frame(
             },
             Err(e) => reply(error_frame(0, &e)),
         },
-        Ok(wire::Tag::SessionQuery) => match wire::decode_session_query(he, frame) {
-            Ok((session_id, request_id, query)) => match sessions.lookup(session_id) {
-                Some(keys) => {
-                    let job = Job {
-                        keys,
-                        query,
-                        request_id,
-                        enqueued: Instant::now(),
-                        reply: out.clone(),
-                    };
-                    ctx.metrics.job_enqueued();
-                    if ctx.jobs.send(job).is_err() {
-                        // Pipeline is shutting down.
-                        ctx.metrics.job_dequeued();
-                        reply(error_frame(request_id, &ServeError::Closed))?;
+        Ok(wire::Tag::SessionQuery) => {
+            let decode_started = Instant::now();
+            match wire::decode_session_query(he, frame) {
+                Ok((session_id, request_id, query)) => {
+                    let decode = decode_started.elapsed();
+                    ctx.metrics.trace().record(Stage::Decode, decode);
+                    match sessions.lookup(session_id) {
+                        Some(keys) => {
+                            let now = Instant::now();
+                            let job = Job {
+                                keys,
+                                query,
+                                request_id,
+                                session_id,
+                                enqueued: now,
+                                dequeued: now,
+                                decode,
+                                reply: out.clone(),
+                            };
+                            ctx.metrics.job_enqueued();
+                            if ctx.jobs.send(job).is_err() {
+                                // Pipeline is shutting down.
+                                ctx.metrics.job_dequeued();
+                                reply(error_frame(request_id, &ServeError::Closed))?;
+                            }
+                            Ok(())
+                        }
+                        None => {
+                            ctx.metrics.query_failed();
+                            reply(error_frame(request_id, &ServeError::UnknownSession(session_id)))
+                        }
                     }
-                    Ok(())
                 }
-                None => {
-                    ctx.metrics.query_failed();
-                    reply(error_frame(request_id, &ServeError::UnknownSession(session_id)))
-                }
-            },
-            Err(e) => reply(error_frame(0, &e)),
-        },
+                Err(e) => reply(error_frame(0, &e)),
+            }
+        }
         Ok(wire::Tag::UpdateRow) => {
             match wire::decode_update_rows(ctx.sessions.params(), frame) {
                 Ok((request_id, updates)) => {
@@ -346,6 +372,17 @@ fn handle_frame(
                 Err(e) => reply(error_frame(0, &e)),
             }
         }
+        // Observability is unconditional: any connection may scrape the
+        // live counters (they reveal aggregate load, never query contents).
+        Ok(wire::Tag::GetStats) => match wire::decode_get_stats(frame) {
+            Ok(request_id) => {
+                match wire::encode_stats_response(request_id, &ctx.metrics.report()) {
+                    Ok(bytes) => reply(bytes),
+                    Err(e) => reply(error_frame(request_id, &e)),
+                }
+            }
+            Err(e) => reply(error_frame(0, &e)),
+        },
         Ok(tag) => {
             reply(error_frame(0, &ServeError::Protocol(format!("unexpected {} frame", tag.name()))))
         }
@@ -439,36 +476,53 @@ fn handle_ks_frame(frame: &Bytes, ctx: &KsHandlerCtx) -> Bytes {
             },
             Err(e) => error_frame(0, &e),
         },
-        Ok(wire::Tag::KsQuery) => match wire::decode_ks_query(params, frame) {
-            Ok((session_id, request_id, query)) => match ctx.sessions.lookup(session_id) {
-                Some(keys) => {
-                    let start = Instant::now();
-                    let framed = ctx.engine.answer(&keys, &query).and_then(|ct| {
-                        if ctx.compress {
-                            let switched = ive_he::modswitch::switch_to_first_prime(he, &ct)?;
-                            Ok(wire::encode_compressed_response(request_id, &switched))
-                        } else {
-                            Ok(wire::encode_ks_response(request_id, &ct))
+        Ok(wire::Tag::KsQuery) => {
+            let decode_started = Instant::now();
+            match wire::decode_ks_query(params, frame) {
+                Ok((session_id, request_id, query)) => {
+                    let trace = ctx.metrics.trace();
+                    trace.record(Stage::Decode, decode_started.elapsed());
+                    match ctx.sessions.lookup(session_id) {
+                        Some(keys) => {
+                            let start = Instant::now();
+                            let framed = ctx.engine.answer(&keys, &query).and_then(|ct| {
+                                if ctx.compress {
+                                    let t = Instant::now();
+                                    let switched =
+                                        ive_he::modswitch::switch_to_first_prime(he, &ct)?;
+                                    trace.record(Stage::Compress, t.elapsed());
+                                    let t = Instant::now();
+                                    let bytes =
+                                        wire::encode_compressed_response(request_id, &switched);
+                                    trace.record(Stage::Encode, t.elapsed());
+                                    Ok(bytes)
+                                } else {
+                                    let t = Instant::now();
+                                    let bytes = wire::encode_ks_response(request_id, &ct);
+                                    trace.record(Stage::Encode, t.elapsed());
+                                    Ok(bytes)
+                                }
+                            });
+                            match framed {
+                                Ok(reply) => {
+                                    ctx.metrics.query_done(start.elapsed());
+                                    reply
+                                }
+                                Err(e) => {
+                                    ctx.metrics.query_failed();
+                                    error_frame(request_id, &e)
+                                }
+                            }
                         }
-                    });
-                    match framed {
-                        Ok(reply) => {
-                            ctx.metrics.query_done(start.elapsed());
-                            reply
-                        }
-                        Err(e) => {
+                        None => {
                             ctx.metrics.query_failed();
-                            error_frame(request_id, &e)
+                            error_frame(request_id, &ServeError::UnknownSession(session_id))
                         }
                     }
                 }
-                None => {
-                    ctx.metrics.query_failed();
-                    error_frame(request_id, &ServeError::UnknownSession(session_id))
-                }
-            },
-            Err(e) => error_frame(0, &e),
-        },
+                Err(e) => error_frame(0, &e),
+            }
+        }
         Ok(wire::Tag::KvUpdate) => match wire::decode_kv_update(frame) {
             Ok((request_id, key, value)) => {
                 if !ctx.accept_updates {
@@ -491,6 +545,15 @@ fn handle_ks_frame(frame: &Bytes, ctx: &KsHandlerCtx) -> Bytes {
                         ctx.metrics.update_committed(applied as usize, epoch);
                         wire::encode_update_ack(request_id, epoch, applied)
                     }
+                    Err(e) => error_frame(request_id, &e),
+                }
+            }
+            Err(e) => error_frame(0, &e),
+        },
+        Ok(wire::Tag::GetStats) => match wire::decode_get_stats(frame) {
+            Ok(request_id) => {
+                match wire::encode_stats_response(request_id, &ctx.metrics.report()) {
+                    Ok(bytes) => bytes,
                     Err(e) => error_frame(request_id, &e),
                 }
             }

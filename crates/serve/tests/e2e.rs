@@ -44,6 +44,7 @@ fn eight_tcp_clients_saturate_the_batcher_on_a_sharded_db() {
         accept_updates: true,
         compress_responses: false,
         journal: None,
+        ..ServeConfig::default()
     };
     let transport = TcpTransport::bind("127.0.0.1:0").expect("bind ephemeral");
     let addr = transport.local_addr();
@@ -104,6 +105,7 @@ fn in_proc_clients_reuse_sessions_and_decode_exactly() {
         accept_updates: true,
         compress_responses: false,
         journal: None,
+        ..ServeConfig::default()
     };
     let (transport, connector) = in_proc_pair();
     let service =
@@ -161,6 +163,7 @@ fn updates_commit_under_concurrent_queries_across_shards() {
         accept_updates: true,
         compress_responses: false,
         journal: None,
+        ..ServeConfig::default()
     };
     let (transport, connector) = in_proc_pair();
     let service =
@@ -462,6 +465,80 @@ fn journal_replays_unflushed_updates_on_service_restart() {
     let (_, replayed) = ive_pir::Journal::open(&path, &params).expect("reopen");
     assert!(replayed.is_empty(), "committed batches must leave the journal");
     let _ = std::fs::remove_file(&path);
+}
+
+/// The observability acceptance test: a live TCP server answers a
+/// [`ive_pir::wire::Tag::GetStats`] scrape on a query connection, and the
+/// derived [`ive_serve::ServerStats`] carries per-stage log₂ histograms
+/// for the whole pipeline (decode → queue → scan → tournament → encode),
+/// kernel op counts, and a measured scan bandwidth — plus a Prometheus
+/// exposition a scraper can parse.
+#[test]
+fn live_server_answers_stats_scrapes_with_stage_histograms() {
+    use ive_serve::Stage;
+
+    let params = PirParams::toy();
+    let (db, records) = toy_db(&params);
+    let config = ServeConfig {
+        window: Duration::from_millis(5),
+        shard: ShardPlan::RowSharded { shards: 2 },
+        compress_responses: true,
+        // Threshold zero: every query leaves a slow-trace record, so the
+        // scrape must report them.
+        slow_threshold: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let transport = TcpTransport::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = transport.local_addr();
+    let service =
+        PirService::start(config, &params, db, Box::new(transport)).expect("service starts");
+
+    let conn = ive_serve::tcp::connect(addr).expect("dial");
+    let mut client = Connection::new(conn)
+        .into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(321))
+        .expect("handshake");
+    for target in [3usize, 29, 55] {
+        let got = client.retrieve(target).expect("retrieve");
+        assert_eq!(&got[..records[target].len()], &records[target][..]);
+    }
+
+    // Scrape over the same connection the queries used.
+    let stats = client.stats().expect("scrape");
+    assert_eq!(stats.queries, 3, "scrape must see the served queries");
+    assert_eq!(stats.errors, 0);
+    assert!(stats.mean_latency_ms > 0.0);
+    for stage in [Stage::Decode, Stage::QueueWait, Stage::RowSel, Stage::ColTor, Stage::Encode] {
+        let st = stats.stage(stage);
+        assert!(st.count >= 3, "stage {stage:?} missing samples: {st:?}");
+        assert!(st.buckets.iter().sum::<u64>() == st.count, "stage {stage:?} histogram torn");
+    }
+    // Two shards each record their own RowSel/ColTor samples.
+    assert!(stats.stage(Stage::RowSel).count >= 6, "expected per-shard scan samples");
+    // Compression is on, so the modswitch stage must have fired.
+    assert!(stats.stage(Stage::Compress).count >= 3);
+    // Kernel counters and the scan accounting flow through the scrape.
+    assert!(stats.residue_ntts > 0 && stats.pointwise_macs > 0, "kernel ops not counted");
+    assert!(stats.scan_bytes > 0 && stats.scan_gbps > 0.0, "scan bandwidth not measured");
+    assert_eq!(stats.slow_queries, 3, "zero threshold records every query as slow");
+    assert!(stats.stage_sum_ms() > 0.0);
+
+    // The exposition renders and every line parses.
+    let text = stats.to_prometheus();
+    assert!(text.contains("ive_queries_total 3\n"));
+    assert!(text.contains("ive_stage_duration_us_bucket{stage=\"row_sel\""));
+    for line in text.lines() {
+        assert!(line.starts_with("# ") || line.splitn(2, ' ').count() == 2, "bad line: {line}");
+    }
+
+    // A second scrape sees monotonically consistent counters.
+    let again = client.stats().expect("second scrape");
+    assert!(again.uptime_s >= stats.uptime_s);
+    assert_eq!(again.queries, 3);
+
+    drop(client);
+    let final_stats = service.shutdown();
+    assert_eq!(final_stats.queries, 3);
+    assert_eq!(final_stats.errors, 0, "scrapes must not disturb the query plane");
 }
 
 /// Queries against unknown sessions are answered with error frames and

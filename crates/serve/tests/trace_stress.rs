@@ -1,0 +1,132 @@
+//! Concurrency stress for the observability plane: many threads hammer
+//! one shared [`Metrics`] + [`TraceRecorder`] pair, and the final
+//! snapshot must account for every event exactly — lock-free counters
+//! may interleave, but nothing is lost, double-counted, or left torn —
+//! while the slow-trace ring never exceeds its configured bound.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ive_serve::{Metrics, Span, Stage, TraceRecorder};
+
+const THREADS: u64 = 8;
+const ITERS: u64 = 1000;
+const RING_CAPACITY: usize = 16;
+
+/// The deterministic per-iteration latency: spread over several log₂
+/// buckets so the histogram, sum, and max all get concurrent traffic.
+fn latency_us(thread: u64, iter: u64) -> u64 {
+    1 + (thread * ITERS + iter) % 4096
+}
+
+#[test]
+fn concurrent_recording_is_exact_and_ring_stays_bounded() {
+    // Threshold zero: every query qualifies as slow, so the ring sees
+    // THREADS·ITERS insert attempts against a 16-slot bound.
+    let trace = Arc::new(TraceRecorder::with_limits(Duration::ZERO, RING_CAPACITY));
+    let metrics = Arc::new(Metrics::with_trace(Arc::clone(&trace)));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let metrics = Arc::clone(&metrics);
+            let trace = Arc::clone(&trace);
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    let us = latency_us(t, i);
+                    metrics.job_enqueued();
+                    metrics.job_dequeued();
+                    metrics.batch_dispatched(2);
+                    metrics.query_done(Duration::from_micros(us));
+                    if i % 100 == 0 {
+                        metrics.query_failed();
+                        metrics.update_committed(3, t * ITERS + i + 1);
+                    }
+                    // Every stage gets a sample per iteration, plus scan
+                    // accounting, plus a slow-ring offer.
+                    let mut span = Span::new();
+                    for stage in Stage::ALL {
+                        trace.record(stage, Duration::from_micros(us));
+                        span.add(stage, Duration::from_micros(us));
+                    }
+                    trace.record_scan(64, Duration::from_nanos(us));
+                    trace.record_slow(&span, Duration::from_micros(us), t, 2, 0);
+                    // The ring must hold its bound *during* the run, not
+                    // just at the end.
+                    if i % 250 == 0 {
+                        assert!(trace.slow_records().len() <= RING_CAPACITY);
+                    }
+                }
+            });
+        }
+    });
+
+    let total = THREADS * ITERS;
+    let sum_us: u64 = (0..THREADS).flat_map(|t| (0..ITERS).map(move |i| latency_us(t, i))).sum();
+    let max_us =
+        (0..THREADS).flat_map(|t| (0..ITERS).map(move |i| latency_us(t, i))).max().unwrap();
+
+    let s = metrics.snapshot();
+    assert_eq!(s.queries, total, "lost or duplicated query completions");
+    assert_eq!(s.errors, total / 100);
+    assert_eq!(s.batches, total);
+    assert_eq!(s.max_batch, 2);
+    assert_eq!(s.batches_multi, total);
+    assert_eq!(s.queue_depth, 0, "enqueue/dequeue must balance");
+    assert!(s.max_queue_depth >= 1 && s.max_queue_depth <= THREADS as usize);
+    assert_eq!(s.update_batches, total / 100);
+    assert_eq!(s.updates_applied, 3 * total / 100);
+    assert_eq!(s.epoch, (THREADS - 1) * ITERS + 901, "epoch is the max committed");
+    assert_eq!(s.latency_buckets.iter().sum::<u64>(), total, "histogram mass must be exact");
+    assert!((s.mean_latency_ms - sum_us as f64 / total as f64 / 1000.0).abs() < 1e-9);
+    assert!((s.max_latency_ms - max_us as f64 / 1000.0).abs() < 1e-9);
+
+    // Every stage histogram saw exactly one sample per iteration with the
+    // same deterministic sum.
+    for stage in Stage::ALL {
+        let st = s.stage(stage);
+        assert_eq!(st.count, total, "stage {stage:?} lost samples");
+        assert_eq!(st.sum_us, sum_us, "stage {stage:?} sum torn");
+        assert_eq!(st.max_us, max_us);
+        assert_eq!(st.buckets.iter().sum::<u64>(), total);
+    }
+
+    // Scan accounting is additive and exact.
+    assert_eq!(s.scan_bytes, 64 * total);
+    assert_eq!(trace.scan_ns(), sum_us, "each pass recorded latency_us nanoseconds");
+
+    // All offers counted; the ring itself stays bounded and well-formed.
+    assert_eq!(s.slow_queries, total);
+    let ring = trace.slow_records();
+    assert_eq!(ring.len(), RING_CAPACITY, "ring should be full after {total} offers");
+    for r in &ring {
+        assert!(r.session_id < THREADS);
+        assert_eq!(r.batch_size, 2);
+        // Each record's per-stage vector is one iteration's span: all
+        // nine stages carry that iteration's identical duration.
+        let first = r.stage_us[0];
+        assert!(r.stage_us.iter().all(|&v| v == first), "torn span in ring: {r:?}");
+        assert_eq!(r.total_us, first);
+    }
+}
+
+#[test]
+fn zero_capacity_ring_counts_but_stores_nothing() {
+    let trace = TraceRecorder::with_limits(Duration::ZERO, 0);
+    let span = Span::new();
+    for _ in 0..10 {
+        trace.record_slow(&span, Duration::from_millis(1), 1, 1, 0);
+    }
+    assert_eq!(trace.slow_seen(), 10);
+    assert!(trace.slow_records().is_empty());
+}
+
+#[test]
+fn below_threshold_queries_never_enter_the_ring() {
+    let trace = TraceRecorder::with_limits(Duration::from_millis(10), 8);
+    let span = Span::new();
+    trace.record_slow(&span, Duration::from_millis(9), 1, 1, 0);
+    assert_eq!(trace.slow_seen(), 0);
+    trace.record_slow(&span, Duration::from_millis(10), 1, 1, 0);
+    assert_eq!(trace.slow_seen(), 1);
+    assert_eq!(trace.slow_records().len(), 1);
+}
