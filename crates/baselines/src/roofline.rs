@@ -1,4 +1,12 @@
-//! Roofline device model (Fig. 6).
+//! Roofline device model (Fig. 6) and a measured host-bandwidth probe.
+//!
+//! The paper's Fig. 6 argues the database scan should sit on the DRAM
+//! bandwidth slope; [`measure_read_bandwidth`] turns that ceiling from a
+//! datasheet number into a **measured** one for the machine the benches
+//! actually run on, so `BENCH_hotpath.json` can report the RowSel scan
+//! as a fraction of what this host's memory system sustains.
+
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +79,41 @@ impl Device {
     }
 }
 
+/// Measures this host's sustained sequential read bandwidth in bytes/s:
+/// one thread streaming a `u64` buffer of `buf_bytes` front to back,
+/// best of `passes` timed sweeps (the first sweep doubles as the page
+/// warm-up and is never counted). The reduction is a plain wrapping sum
+/// the auto-vectorizer handles on every target, and the result rides
+/// through [`std::hint::black_box`] so the sweep cannot be elided.
+///
+/// This is the *scan-shaped* ceiling — single-threaded, sequential,
+/// cache-line granular — which is exactly the stream the `RowSel` scan
+/// issues, so `scan GB/s ÷ this` is a meaningful fraction-of-roofline.
+/// Pick `buf_bytes` several times the last-level cache to measure DRAM
+/// rather than cache residency.
+pub fn measure_read_bandwidth(buf_bytes: usize, passes: usize) -> f64 {
+    let words = (buf_bytes / 8).max(1024);
+    // A non-trivial fill so a smart allocator cannot hand back shared
+    // zero pages that all alias the same physical frame.
+    let buf: Vec<u64> = (0..words as u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+    let mut best = 0.0f64;
+    let mut sink = 0u64;
+    for pass in 0..passes.max(1) + 1 {
+        let t = Instant::now();
+        let mut acc = 0u64;
+        for &w in &buf {
+            acc = acc.wrapping_add(w);
+        }
+        sink = sink.wrapping_add(std::hint::black_box(acc));
+        let dt = t.elapsed().as_secs_f64();
+        if pass > 0 && dt > 0.0 {
+            best = best.max((words * 8) as f64 / dt);
+        }
+    }
+    std::hint::black_box(sink);
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +150,17 @@ mod tests {
         assert!((t - 1.0).abs() < 1e-9);
         assert!(d.memory_bound(1.0, 1e12));
         assert!(!d.memory_bound(1e15, 1.0));
+    }
+
+    #[test]
+    fn measured_bandwidth_is_positive_and_finite() {
+        // A small buffer (cache-resident, so fast and test-friendly);
+        // the probe must still return a sane figure.
+        let bw = measure_read_bandwidth(1 << 20, 2);
+        assert!(bw.is_finite() && bw > 0.0, "bandwidth probe returned {bw}");
+        // Anything below 100 MB/s or above 10 TB/s means the timer or
+        // the sweep is broken, not the memory system.
+        assert!(bw > 1e8 && bw < 1e13, "implausible bandwidth {bw}");
     }
 
     #[test]

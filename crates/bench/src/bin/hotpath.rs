@@ -1,34 +1,42 @@
 //! `hotpath` — compute-path microbenchmarks for the VPE kernel layer,
 //! run as a **backend matrix**: the scalar reference, the portable
-//! Barrett/Shoup backend, and (where the host's AVX2 is detected) the
-//! SIMD backend, all in one invocation, on the numbers that govern
-//! serving throughput:
+//! Barrett/Shoup backend, and (where the host's ISA probes allow) the
+//! AVX2 SIMD and AVX-512/IFMA backends, all in one invocation, on the
+//! numbers that govern serving throughput:
 //!
 //! 1. **ns per FMA limb element** — the raw kernel, measured directly on
-//!    flat limb rows (what one PE lane does all day).
+//!    flat limb rows (what one PE lane does all day), over a 28-bit
+//!    serving prime *and* over a 40-bit prime (`fma_wide`): the latter
+//!    is scalar on every backend except the IFMA tier, so the ratio
+//!    isolates what the 52-bit multiplier buys.
 //! 2. **NTT µs per transform** — one forward + inverse Harvey dispatch
 //!    on a degree-4096 row over a special prime (the `ColTor`/expand
 //!    workhorse).
 //! 3. **`RowSel` scan GB/s** — a full single-query scan over the
 //!    contiguous limb-major database via `row_sel_into` with warm
 //!    arena-backed scratch (the memory-bandwidth-bound loop of IM-PIR /
-//!    IVE §III).
+//!    IVE §III), reported alongside this host's **measured** sequential
+//!    read bandwidth (`ive_baselines::roofline::measure_read_bandwidth`)
+//!    as a fraction of the roofline ceiling.
 //! 4. **End-to-end answer latency** — `ExpandQuery → RowSel → ColTor`
 //!    through the same backend.
 //!
 //! Writes `BENCH_hotpath.json` with one block per measured backend, the
 //! pairwise speedup ratios (`optimized_over_scalar`,
-//! `simd_over_optimized`), and a `detected_features` field so artifacts
-//! from 1-core or non-AVX2 CI hosts stay interpretable.
+//! `simd_over_optimized`, `avx512_over_simd`, …), a `roofline` block,
+//! and a `detected_features` field so artifacts from 1-core or
+//! feature-less CI hosts stay interpretable.
 //!
-//! Usage: `hotpath [--seconds 6] [--dims 5] [--json-out BENCH_hotpath.json]`
+//! Usage: `hotpath [--seconds 8] [--dims 5] [--json-out BENCH_hotpath.json]`
 
 use std::time::Instant;
 
+use ive_baselines::roofline::measure_read_bandwidth;
 use ive_bench::fmt;
-use ive_math::kernel::{simd_available, BackendKind};
+use ive_math::kernel::{avx512_available, avx512_ifma_available, simd_available, BackendKind};
 use ive_math::modulus::Modulus;
 use ive_math::ntt::NttTable;
+use ive_math::prime::find_ntt_prime_below;
 use ive_pir::{Database, PirClient, PirParams, PirServer, QueryScratch};
 use rand::{Rng, SeedableRng};
 
@@ -40,7 +48,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut args = Args { seconds: 6.0, dims: 5, json_out: "BENCH_hotpath.json".into() };
+    let mut args = Args { seconds: 8.0, dims: 5, json_out: "BENCH_hotpath.json".into() };
     let mut i = 0;
     while i < argv.len() {
         let key = argv[i].strip_prefix("--").ok_or_else(|| format!("unexpected {:?}", argv[i]))?;
@@ -83,14 +91,23 @@ fn detected_features() -> Vec<&'static str> {
         if std::arch::is_x86_feature_detected!("avx512f") {
             features.push("avx512f");
         }
+        if std::arch::is_x86_feature_detected!("avx512ifma") {
+            features.push("avx512ifma");
+        }
     }
     features
 }
 
-/// Per-backend measurements of the four hot-path numbers.
+/// Per-backend measurements of the hot-path numbers.
 struct BackendResult {
     kind: BackendKind,
+    /// What actually runs after the runtime-probe fallback chain.
+    resolved: &'static str,
     fma_ns_per_elem: f64,
+    /// FMA over a 40-bit prime — beyond every 32-bit-multiplier vector
+    /// path, inside the IFMA tier: scalar everywhere except `avx512` on
+    /// an `avx512ifma` host.
+    fma_wide_ns_per_elem: f64,
     ntt_us: f64,
     rowsel_s: f64,
     rowsel_gbps: f64,
@@ -99,7 +116,7 @@ struct BackendResult {
 
 fn measure(kind: BackendKind, params: &PirParams, db: &Database, budget_s: f64) -> BackendResult {
     let backend = kind.backend();
-    let per_section = budget_s / 4.0;
+    let per_section = budget_s / 5.0;
 
     // 1. Raw FMA on one limb row, big enough to stream from cache/memory.
     let modulus = Modulus::special_primes()[0];
@@ -109,6 +126,13 @@ fn measure(kind: BackendKind, params: &PirParams, db: &Database, budget_s: f64) 
     let b: Vec<u64> = (0..len).map(|_| rng.gen_range(0..modulus.value())).collect();
     let mut acc = vec![0u64; len];
     let fma_s = time_loop(per_section, || backend.fma(&modulus, &mut acc, &a, &b));
+
+    // 1b. The same FMA over a 40-bit prime (the IFMA showcase).
+    let wide = Modulus::new(find_ntt_prime_below(40, 4096).expect("40-bit NTT prime exists"));
+    let aw: Vec<u64> = (0..len).map(|_| rng.gen_range(0..wide.value())).collect();
+    let bw: Vec<u64> = (0..len).map(|_| rng.gen_range(0..wide.value())).collect();
+    let mut accw = vec![0u64; len];
+    let fma_wide_s = time_loop(per_section, || backend.fma(&wide, &mut accw, &aw, &bw));
 
     // 2. Forward + inverse NTT dispatch at the paper's ring degree.
     let ntt_n = 4096usize;
@@ -136,7 +160,9 @@ fn measure(kind: BackendKind, params: &PirParams, db: &Database, budget_s: f64) 
     let db_bytes = (db.len() * db.record_words() * 8) as f64;
     BackendResult {
         kind,
+        resolved: backend.name(),
         fma_ns_per_elem: 1e9 * fma_s / len as f64,
+        fma_wide_ns_per_elem: 1e9 * fma_wide_s / len as f64,
         ntt_us: 1e6 * ntt_pair_s / 2.0,
         rowsel_s,
         rowsel_gbps: db_bytes / rowsel_s / 1e9,
@@ -144,22 +170,28 @@ fn measure(kind: BackendKind, params: &PirParams, db: &Database, budget_s: f64) 
     }
 }
 
-fn json_backend(r: &BackendResult) -> String {
+fn json_backend(r: &BackendResult, roofline_gbps: f64) -> String {
     format!(
         concat!(
             "    \"{}\": {{\n",
+            "      \"backend_resolved\": \"{}\",\n",
             "      \"fma_ns_per_elem\": {:.3},\n",
+            "      \"fma_wide_ns_per_elem\": {:.3},\n",
             "      \"ntt_us\": {:.3},\n",
             "      \"row_sel_ms\": {:.4},\n",
             "      \"row_sel_gbps\": {:.4},\n",
+            "      \"row_sel_roofline_fraction\": {:.4},\n",
             "      \"answer_ms\": {:.4}\n",
             "    }}"
         ),
         r.kind.as_str(),
+        r.resolved,
         r.fma_ns_per_elem,
+        r.fma_wide_ns_per_elem,
         r.ntt_us,
         1e3 * r.rowsel_s,
         r.rowsel_gbps,
+        r.rowsel_gbps / roofline_gbps,
         1e3 * r.answer_s,
     )
 }
@@ -170,11 +202,12 @@ fn json_backend(r: &BackendResult) -> String {
 fn json_speedup(label: &str, fast: &BackendResult, slow: &BackendResult) -> String {
     format!(
         concat!(
-            "    \"{}\": {{ \"fma\": {:.3}, \"ntt\": {:.3}, ",
+            "    \"{}\": {{ \"fma\": {:.3}, \"fma_wide\": {:.3}, \"ntt\": {:.3}, ",
             "\"row_sel\": {:.3}, \"answer\": {:.3} }}"
         ),
         label,
         slow.fma_ns_per_elem / fast.fma_ns_per_elem,
+        slow.fma_wide_ns_per_elem / fast.fma_wide_ns_per_elem,
         slow.ntt_us / fast.ntt_us,
         slow.rowsel_s / fast.rowsel_s,
         slow.answer_s / fast.answer_s,
@@ -201,6 +234,14 @@ fn main() {
     } else {
         eprintln!("hotpath: AVX2 not detected — simd rows omitted (see detected_features)");
     }
+    if avx512_available() {
+        kinds.push(BackendKind::Avx512);
+        if !avx512_ifma_available() {
+            eprintln!("hotpath: avx512ifma not detected — fma_wide runs the scalar fallback");
+        }
+    } else {
+        eprintln!("hotpath: AVX-512F not detected — avx512 rows omitted (see detected_features)");
+    }
     println!(
         "hotpath: {} records x {}B ({:.1} MiB preprocessed), backends [{}], features [{}], \
          total budget {:.1}s",
@@ -212,22 +253,40 @@ fn main() {
         args.seconds
     );
 
+    // The roofline ceiling for the scan: this host's measured sequential
+    // read bandwidth over a DRAM-sized stream (256 MiB dwarfs any LLC
+    // this class of machine carries).
+    let roofline_buf = 256usize << 20;
+    let roofline_gbps = measure_read_bandwidth(roofline_buf, 3) / 1e9;
+    println!("roofline: measured sequential read bandwidth {roofline_gbps:.2} GB/s");
+
     let per_backend = args.seconds / kinds.len() as f64;
     let results: Vec<BackendResult> =
         kinds.iter().map(|&k| measure(k, &params, &db, per_backend)).collect();
 
     fmt::print_table(
         "hotpath: VPE kernel backend matrix on the RowSel-dominated query path",
-        &["backend", "fma ns/elem", "ntt us", "row_sel ms", "row_sel GB/s", "answer ms"],
+        &[
+            "backend",
+            "fma ns/elem",
+            "fma40 ns/elem",
+            "ntt us",
+            "row_sel ms",
+            "row_sel GB/s",
+            "roofline",
+            "answer ms",
+        ],
         &results
             .iter()
             .map(|r| {
                 vec![
                     r.kind.as_str().into(),
                     fmt::f(r.fma_ns_per_elem),
+                    fmt::f(r.fma_wide_ns_per_elem),
                     fmt::f(r.ntt_us),
                     fmt::f(1e3 * r.rowsel_s),
                     fmt::f(r.rowsel_gbps),
+                    format!("{:.0}%", 100.0 * r.rowsel_gbps / roofline_gbps),
                     fmt::f(1e3 * r.answer_s),
                 ]
             })
@@ -236,7 +295,8 @@ fn main() {
 
     let scalar = &results[0];
     let optimized = &results[1];
-    let simd = results.get(2);
+    let simd = results.iter().find(|r| r.kind == BackendKind::Simd);
+    let avx512 = results.iter().find(|r| r.kind == BackendKind::Avx512);
     println!("row_sel speedup (optimized / scalar): {:.2}x", scalar.rowsel_s / optimized.rowsel_s);
     if scalar.rowsel_s / optimized.rowsel_s < 1.5 {
         eprintln!("warning: expected the optimized backend to be >= 1.5x faster on row_sel");
@@ -255,13 +315,49 @@ fn main() {
             eprintln!("warning: expected the simd backend to be >= 1.5x faster on fma and ntt");
         }
     }
+    if let (Some(simd), Some(avx512)) = (simd, avx512) {
+        let ratios = [
+            ("fma", simd.fma_ns_per_elem / avx512.fma_ns_per_elem),
+            ("ntt", simd.ntt_us / avx512.ntt_us),
+            ("row_sel", simd.rowsel_s / avx512.rowsel_s),
+        ];
+        println!(
+            "avx512 over simd: fma {:.2}x, ntt {:.2}x, row_sel {:.2}x, fma_wide {:.2}x, \
+             answer {:.2}x",
+            ratios[0].1,
+            ratios[1].1,
+            ratios[2].1,
+            simd.fma_wide_ns_per_elem / avx512.fma_wide_ns_per_elem,
+            simd.answer_s / avx512.answer_s,
+        );
+        let wins = ratios.iter().filter(|(_, r)| *r >= 1.3).count();
+        if wins < 2 {
+            eprintln!(
+                "warning: expected avx512 >= 1.3x over simd on at least two of fma/ntt/row_sel, \
+                 got {wins}"
+            );
+        }
+        println!(
+            "avx512 row_sel at {:.1}% of the measured {:.2} GB/s read roofline",
+            100.0 * avx512.rowsel_gbps / roofline_gbps,
+            roofline_gbps,
+        );
+    }
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let backend_blocks = results.iter().map(json_backend).collect::<Vec<_>>().join(",\n");
+    let backend_blocks =
+        results.iter().map(|r| json_backend(r, roofline_gbps)).collect::<Vec<_>>().join(",\n");
     let mut speedup_blocks = vec![json_speedup("optimized_over_scalar", optimized, scalar)];
     if let Some(simd) = simd {
         speedup_blocks.push(json_speedup("simd_over_optimized", simd, optimized));
         speedup_blocks.push(json_speedup("simd_over_scalar", simd, scalar));
+    }
+    if let Some(avx512) = avx512 {
+        if let Some(simd) = simd {
+            speedup_blocks.push(json_speedup("avx512_over_simd", avx512, simd));
+        }
+        speedup_blocks.push(json_speedup("avx512_over_optimized", avx512, optimized));
+        speedup_blocks.push(json_speedup("avx512_over_scalar", avx512, scalar));
     }
     let json = format!(
         concat!(
@@ -272,6 +368,7 @@ fn main() {
             "  \"detected_features\": [{}],\n",
             "  \"geometry\": {{ \"records\": {}, \"record_bytes\": {}, ",
             "\"preprocessed_bytes\": {} }},\n",
+            "  \"roofline\": {{ \"read_gbps\": {:.4}, \"probe_mib\": {} }},\n",
             "  \"backends\": {{\n{}\n  }},\n",
             "  \"speedup\": {{\n{}\n  }}\n",
             "}}\n"
@@ -282,6 +379,8 @@ fn main() {
         params.num_records(),
         params.record_bytes(),
         db.len() * db.record_words() * 8,
+        roofline_gbps,
+        roofline_buf >> 20,
         backend_blocks,
         speedup_blocks.join(",\n"),
     );

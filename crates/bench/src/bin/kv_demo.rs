@@ -16,7 +16,9 @@
 //!   modulus-switched frames and must still decode identically.
 //!
 //! Usage: `kv_demo [--seconds 4] [--readers 2] [--writes-per-sec 5]
-//! [--entries 24] [--compress] [--json-out BENCH_kv.json]`
+//! [--entries 24] [--compress]
+//! [--backend auto|avx512|simd|optimized|scalar]
+//! [--json-out BENCH_kv.json]`
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use ive_bench::fmt;
 use ive_pir::kspir::KsPirParams;
-use ive_pir::KvStore;
+use ive_pir::{BackendKind, KvStore};
 use ive_serve::config::ServeConfig;
 use ive_serve::{Connection, PirService, Stage, TcpTransport};
 use rand::{Rng, SeedableRng};
@@ -35,6 +37,7 @@ struct Args {
     writes_per_sec: f64,
     entries: usize,
     compress: bool,
+    backend: BackendKind,
     json_out: String,
 }
 
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         writes_per_sec: 5.0,
         entries: 24,
         compress: false,
+        backend: BackendKind::Auto,
         json_out: "BENCH_kv.json".into(),
     };
     let mut i = 0;
@@ -65,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
             "readers" => args.readers = parsed(key, &value)?,
             "writes-per-sec" => args.writes_per_sec = parsed(key, &value)?,
             "entries" => args.entries = parsed(key, &value)?,
+            "backend" => args.backend = value.parse().map_err(|e| format!("{e}"))?,
             "json-out" => args.json_out = value,
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -105,6 +110,7 @@ fn main() {
     let config = ServeConfig {
         accept_updates: true,
         compress_responses: args.compress,
+        backend: args.backend,
         ..ServeConfig::default()
     };
     let transport = TcpTransport::bind("127.0.0.1:0").expect("bind ephemeral");
@@ -271,6 +277,8 @@ fn main() {
             "{{\n",
             "  \"bench\": \"kv_demo\",\n",
             "  \"cores\": {},\n",
+            "  \"backend\": \"{}\",\n",
+            "  \"backend_resolved\": \"{}\",\n",
             "  \"compress_responses\": {},\n",
             "  \"schema\": {{ \"entries\": {}, \"buckets\": {}, \"group_slots\": {} }},\n",
             "  \"gets\": {},\n",
@@ -289,6 +297,8 @@ fn main() {
             "}}\n"
         ),
         cores,
+        args.backend,
+        args.backend.backend().name(),
         args.compress,
         args.entries,
         schema.buckets(),

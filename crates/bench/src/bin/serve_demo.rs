@@ -25,7 +25,7 @@
 //!
 //! Usage: `serve_demo [--seconds 4] [--clients 8] [--qps 0 (auto)]
 //! [--window-ms 10] [--max-batch 16] [--workers 2] [--shards 2]
-//! [--depth 4] [--backend auto|simd|optimized|scalar]
+//! [--depth 4] [--backend auto|avx512|simd|optimized|scalar]
 //! [--stats-interval 0] [--json-out BENCH_serve.json] [--tcp]`
 
 use std::sync::atomic::{AtomicU64, Ordering};

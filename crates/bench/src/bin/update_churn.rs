@@ -16,7 +16,7 @@
 //!
 //! Usage: `update_churn [--seconds 4] [--clients 2] [--update-batch 4]
 //! [--updates-per-sec 20] [--shards 2] [--workers 2]
-//! [--backend auto|simd|optimized|scalar] [--json-out BENCH_update.json]`
+//! [--backend auto|avx512|simd|optimized|scalar] [--json-out BENCH_update.json]`
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

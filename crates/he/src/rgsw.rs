@@ -62,7 +62,7 @@ impl RgswCiphertext {
     /// # Panics
     /// Panics when the row count is odd.
     pub fn from_rows(rows: Vec<RgswRow>) -> Self {
-        assert!(rows.len() % 2 == 0, "RGSW needs 2*ell rows");
+        assert!(rows.len().is_multiple_of(2), "RGSW needs 2*ell rows");
         RgswCiphertext { rows }
     }
 

@@ -10,7 +10,7 @@
 //! BFV/RGSW algebra, `RowSel`/`ColTor`) dispatches through it instead of
 //! open-coding scalar loops.
 //!
-//! Three implementations exist, one per submodule:
+//! Four implementations exist, one per submodule:
 //!
 //! * [`ScalarBackend`] ([`scalar`]) — the readable reference: textbook
 //!   loops over [`crate::reduce::mul_mod`] (a 128-bit remainder per
@@ -25,10 +25,20 @@
 //!   AVX2 four-lane versions of the same arithmetic (64-bit high/low
 //!   products assembled from `_mm256_mul_epu32` splits, conditional
 //!   subtractions as branch-free vector compare/mask/sub). It is reached
-//!   through **runtime detection**: [`BackendKind::Simd`] and
-//!   [`BackendKind::Auto`] probe `is_x86_feature_detected!("avx2")` once
-//!   (cached in a `OnceLock`) and fall back to [`OptimizedBackend`] when
-//!   the host cannot run it, so no call site ever branches on the ISA.
+//!   through **runtime detection**: [`BackendKind::Simd`] probes
+//!   `is_x86_feature_detected!("avx2")` once (cached in a `OnceLock`)
+//!   and falls back to [`OptimizedBackend`] when the host cannot run it,
+//!   so no call site ever branches on the ISA.
+//! * `Avx512Backend` ([`avx512`], `x86_64` only) — the widest datapath:
+//!   eight-lane AVX-512 versions of the Barrett/Shoup arithmetic, every
+//!   NTT level vectorized (the short `t < 8` levels through in-register
+//!   `vpermt2q` shuffles), a fused [`VpeBackend::scan_fma`] database-scan
+//!   kernel with software prefetch, and — where the host reports
+//!   `avx512ifma` — 52-bit `vpmadd52` kernels that lift the 29-bit
+//!   vector modulus cap to 50 bits. Same runtime-detection contract:
+//!   [`BackendKind::Avx512`] falls back through AVX2 to the portable
+//!   path, and [`BackendKind::Auto`] prefers it wherever `avx512f` is
+//!   detected.
 //!
 //! All backends are **bit-identical** on every input — the software
 //! analogue of §IV-G's observation that hardware may swap modular
@@ -48,10 +58,13 @@ use crate::gadget::Gadget;
 use crate::modulus::Modulus;
 use crate::ntt::NttTable;
 
+pub mod avx512;
 pub mod optimized;
 pub mod scalar;
 pub mod simd;
 
+#[cfg(target_arch = "x86_64")]
+pub use avx512::Avx512Backend;
 pub use optimized::OptimizedBackend;
 pub use scalar::ScalarBackend;
 #[cfg(target_arch = "x86_64")]
@@ -100,6 +113,59 @@ pub trait VpeBackend: Send + Sync + core::fmt::Debug {
     /// # Panics
     /// Panics if `out.len() != gadget.ell() * wide.len()`.
     fn gadget_decompose(&self, gadget: &Gadget, wide: &[u128], out: &mut [u64]);
+
+    /// The fused `RowSel` scan step: one pass over a database limb row
+    /// `w` feeds **both** ciphertext accumulators of a query —
+    /// `acc_a[i] += w[i]·ea[i]` and `acc_b[i] += w[i]·eb[i]` (mod `q`).
+    ///
+    /// The database stream is the memory-bandwidth-bound half of the
+    /// scan (§IV): fusing the two FMAs halves the number of passes over
+    /// the limb-major shard buffer, and vector backends additionally
+    /// run a software prefetch ahead of the stream. The default is the
+    /// unfused pair of [`VpeBackend::fma`] calls, so every backend stays
+    /// bit-identical by construction; overrides must charge the same
+    /// two-MACs-per-element op count.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    fn scan_fma(
+        &self,
+        modulus: &Modulus,
+        acc_a: &mut [u64],
+        acc_b: &mut [u64],
+        w: &[u64],
+        ea: &[u64],
+        eb: &[u64],
+    ) {
+        self.fma(modulus, acc_a, w, ea);
+        self.fma(modulus, acc_b, w, eb);
+    }
+}
+
+/// Software-prefetches the first cache lines of `row` into all cache
+/// levels (`prefetcht0`) so a streaming scan can overlap the next row's
+/// DRAM fetch with the current row's arithmetic. A hint only: no-op on
+/// non-`x86_64` targets, never faults, and safe on rows of any length.
+#[inline(always)]
+pub fn prefetch_row(row: &[u64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // 8 u64 per 64-byte line; reach ~4 lines (256 elements' worth of
+        // head start is overkill — the scan catches up line by line).
+        let lines = row.len().div_ceil(8).min(4);
+        for line in 0..lines {
+            // SAFETY: prefetch is architecturally a hint; even a dangling
+            // address cannot fault, and `line * 8 < row.len()` keeps the
+            // pointer in-bounds anyway.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                    row.as_ptr().add(line * 8).cast(),
+                );
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = row;
 }
 
 /// Whether the SIMD backend can actually run on this machine (AVX2
@@ -108,6 +174,23 @@ pub trait VpeBackend: Send + Sync + core::fmt::Debug {
 #[inline]
 pub fn simd_available() -> bool {
     simd::available()
+}
+
+/// Whether the AVX-512 backend can actually run on this machine
+/// (`avx512f` present and the crate was built for `x86_64`). Probed once
+/// per process; every later call is a cached load.
+#[inline]
+pub fn avx512_available() -> bool {
+    avx512::available()
+}
+
+/// Whether the AVX-512 backend's 52-bit IFMA tier can run here
+/// (`avx512f` **and** `avx512ifma` detected): with it, vector kernels
+/// cover moduli up to 50 bits; without it, moduli above 29 bits fall
+/// back to the portable path.
+#[inline]
+pub fn avx512_ifma_available() -> bool {
+    avx512::ifma_available()
 }
 
 /// Which [`VpeBackend`] a configuration selects.
@@ -124,10 +207,22 @@ pub enum BackendKind {
     ///
     /// [`Optimized`]: BackendKind::Optimized
     Simd,
-    /// Picks the fastest backend the host supports (the serving
-    /// default): [`Simd`] where AVX2 is detected, [`Optimized`]
-    /// everywhere else.
+    /// The AVX-512 (and, where detected, IFMA) wide-datapath backend:
+    /// eight lanes, fully vectorized NTT levels, the fused prefetching
+    /// scan kernel, and a 52-bit vector multiplier tier on `avx512ifma`
+    /// hosts. Falls back through [`Simd`] to [`Optimized`] (resolved
+    /// once, at selection time) on hosts without `avx512f`, so
+    /// requesting it is always safe; check [`avx512_available`] /
+    /// [`avx512_ifma_available`] to learn what actually runs.
     ///
+    /// [`Simd`]: BackendKind::Simd
+    /// [`Optimized`]: BackendKind::Optimized
+    Avx512,
+    /// Picks the fastest backend the host supports (the serving
+    /// default): [`Avx512`] where `avx512f` is detected, [`Simd`] where
+    /// only AVX2 is, [`Optimized`] everywhere else.
+    ///
+    /// [`Avx512`]: BackendKind::Avx512
     /// [`Simd`]: BackendKind::Simd
     /// [`Optimized`]: BackendKind::Optimized
     #[default]
@@ -136,8 +231,13 @@ pub enum BackendKind {
 
 /// All selectable kinds, in `Display` order — the single source for
 /// `FromStr` error messages and round-trip tests.
-pub const BACKEND_KINDS: [BackendKind; 4] =
-    [BackendKind::Scalar, BackendKind::Optimized, BackendKind::Simd, BackendKind::Auto];
+pub const BACKEND_KINDS: [BackendKind; 5] = [
+    BackendKind::Scalar,
+    BackendKind::Optimized,
+    BackendKind::Simd,
+    BackendKind::Avx512,
+    BackendKind::Auto,
+];
 
 impl BackendKind {
     /// Resolves the selection to a backend instance. `Simd` and `Auto`
@@ -147,7 +247,8 @@ impl BackendKind {
         match self {
             BackendKind::Scalar => &ScalarBackend,
             BackendKind::Optimized => &OptimizedBackend,
-            BackendKind::Simd | BackendKind::Auto => simd::best_available(),
+            BackendKind::Simd => simd::best_available(),
+            BackendKind::Avx512 | BackendKind::Auto => avx512::best_available(),
         }
     }
 
@@ -161,6 +262,7 @@ impl BackendKind {
             BackendKind::Scalar => "scalar",
             BackendKind::Optimized => "optimized",
             BackendKind::Simd => "simd",
+            BackendKind::Avx512 => "avx512",
             BackendKind::Auto => "auto",
         }
     }
@@ -205,7 +307,7 @@ impl core::str::FromStr for BackendKind {
 }
 
 /// The backend every layer uses unless told otherwise (the [`Auto`]
-/// resolution: SIMD where the host supports it).
+/// resolution: the widest vector datapath the host supports).
 ///
 /// [`Auto`]: BackendKind::Auto
 #[inline]
@@ -315,6 +417,7 @@ mod tests {
         assert_eq!(BackendKind::from_str("scalar"), Ok(BackendKind::Scalar));
         assert_eq!(BackendKind::from_str("optimized"), Ok(BackendKind::Optimized));
         assert_eq!(BackendKind::from_str("simd"), Ok(BackendKind::Simd));
+        assert_eq!(BackendKind::from_str("avx512"), Ok(BackendKind::Avx512));
         assert_eq!(BackendKind::from_str("auto"), Ok(BackendKind::Auto));
     }
 
@@ -333,17 +436,55 @@ mod tests {
         assert_eq!(BackendKind::default(), BackendKind::Auto);
         let auto = BackendKind::Auto.backend().name();
         let simd = BackendKind::Simd.backend().name();
-        if simd_available() {
+        let avx512 = BackendKind::Avx512.backend().name();
+        // Auto prefers avx512 → simd → optimized, per the cached probes.
+        if avx512_available() {
+            assert_eq!(auto, "avx512");
+            assert_eq!(avx512, "avx512");
+        } else if simd_available() {
             assert_eq!(auto, "simd");
-            assert_eq!(simd, "simd");
+            assert_eq!(avx512, "simd", "Avx512 must fall back to AVX2 when undetected");
         } else {
             assert_eq!(auto, "optimized");
+            assert_eq!(avx512, "optimized", "Avx512 must fall back when undetected");
+        }
+        if simd_available() {
+            assert_eq!(simd, "simd");
+        } else {
             assert_eq!(simd, "optimized", "Simd must fall back when undetected");
         }
+        assert!(!avx512_ifma_available() || avx512_available(), "IFMA implies AVX-512F");
         assert_eq!(BackendKind::Scalar.backend().name(), "scalar");
         assert_eq!(BackendKind::Optimized.backend().name(), "optimized");
         // Display reflects the *selection*, not the resolution.
         assert_eq!(BackendKind::Auto.to_string(), "auto");
         assert_eq!(BackendKind::Simd.to_string(), "simd");
+        assert_eq!(BackendKind::Avx512.to_string(), "avx512");
+    }
+
+    #[test]
+    fn scan_fma_default_matches_unfused_pair() {
+        let m = modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(59);
+        for n in [0usize, 1, 7, 8, 64, 255] {
+            let w = rand_row(n, m.value(), &mut rng);
+            let ea = rand_row(n, m.value(), &mut rng);
+            let eb = rand_row(n, m.value(), &mut rng);
+            let a0 = rand_row(n, m.value(), &mut rng);
+            let b0 = rand_row(n, m.value(), &mut rng);
+            for kind in BACKEND_KINDS {
+                let backend = kind.backend();
+                let (mut fa, mut fb) = (a0.clone(), b0.clone());
+                backend.scan_fma(&m, &mut fa, &mut fb, &w, &ea, &eb);
+                let (mut ua, mut ub) = (a0.clone(), b0.clone());
+                backend.fma(&m, &mut ua, &w, &ea);
+                backend.fma(&m, &mut ub, &w, &eb);
+                assert_eq!(fa, ua, "{kind} acc_a n={n}");
+                assert_eq!(fb, ub, "{kind} acc_b n={n}");
+            }
+            // Prefetching is a hint with no semantics to test beyond
+            // "does not fault on short rows".
+            prefetch_row(&w);
+        }
     }
 }

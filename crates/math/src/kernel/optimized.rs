@@ -125,6 +125,38 @@ impl VpeBackend for OptimizedBackend {
         }
     }
 
+    fn scan_fma(
+        &self,
+        modulus: &Modulus,
+        acc_a: &mut [u64],
+        acc_b: &mut [u64],
+        w: &[u64],
+        ea: &[u64],
+        eb: &[u64],
+    ) {
+        assert_eq!(acc_a.len(), w.len());
+        assert_eq!(acc_b.len(), w.len());
+        assert_eq!(ea.len(), w.len());
+        assert_eq!(eb.len(), w.len());
+        crate::metrics::count_pointwise_macs(2 * w.len() as u64);
+        let q = modulus.value();
+        // One pass over the database row: each w[i] is loaded once and
+        // feeds both accumulators from a register.
+        let it = acc_a.iter_mut().zip(acc_b.iter_mut()).zip(w.iter().zip(ea).zip(eb));
+        if modulus.bits() <= 32 {
+            let ratio = Self::narrow_ratio(q);
+            for ((xa, xb), ((&wi, &eai), &ebi)) in it {
+                *xa = Self::fma_one_narrow(ratio, q, *xa, wi, eai);
+                *xb = Self::fma_one_narrow(ratio, q, *xb, wi, ebi);
+            }
+        } else {
+            for ((xa, xb), ((&wi, &eai), &ebi)) in it {
+                *xa = Self::fma_one_wide(modulus, *xa, wi, eai);
+                *xb = Self::fma_one_wide(modulus, *xb, wi, ebi);
+            }
+        }
+    }
+
     fn ntt_forward(&self, table: &NttTable, a: &mut [u64]) {
         assert_eq!(a.len(), table.n());
         crate::metrics::count_residue_ntts(1);

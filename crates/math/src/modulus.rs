@@ -130,7 +130,7 @@ impl Modulus {
     /// Finds an element of exact multiplicative order `order`
     /// (which must divide `q - 1`).
     pub fn element_of_order(&self, order: u64) -> Result<u64, MathError> {
-        if order == 0 || (self.q - 1) % order != 0 {
+        if order == 0 || !(self.q - 1).is_multiple_of(order) {
             return Err(MathError::NotNttFriendly { q: self.q, n: order as usize / 2 });
         }
         let cofactor = (self.q - 1) / order;
@@ -143,7 +143,9 @@ impl Modulus {
                 if order == 1 || self.pow(cand, order / 2) == self.q - 1 {
                     return Ok(cand);
                 }
-            } else if (1..order).all(|d| order % d != 0 || d == 1 || self.pow(cand, d) != 1) {
+            } else if (1..order)
+                .all(|d| !order.is_multiple_of(d) || d == 1 || self.pow(cand, d) != 1)
+            {
                 return Ok(cand);
             }
         }

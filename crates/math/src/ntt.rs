@@ -34,7 +34,7 @@ impl NttTable {
     pub fn new(modulus: &Modulus, n: usize) -> Result<Self, MathError> {
         let log_n = log2_exact(n)?;
         let q = modulus.value();
-        if (q - 1) % (2 * n as u64) != 0 {
+        if !(q - 1).is_multiple_of(2 * n as u64) {
             return Err(MathError::NotNttFriendly { q, n });
         }
         let psi = modulus.element_of_order(2 * n as u64)?;

@@ -96,7 +96,7 @@ impl FourStepNtt {
         let log_r = log_n.div_ceil(2);
         let rows = 1usize << log_r;
         let cols = n / rows;
-        if (modulus.value() - 1) % (2 * n as u64) != 0 {
+        if !(modulus.value() - 1).is_multiple_of(2 * n as u64) {
             return Err(MathError::NotNttFriendly { q: modulus.value(), n });
         }
         let psi = modulus.element_of_order(2 * n as u64)?;

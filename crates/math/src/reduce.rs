@@ -71,7 +71,7 @@ pub fn pow_mod(base: u64, mut exp: u64, q: u64) -> u64 {
 /// # Panics
 /// Panics if `a == 0 (mod q)`.
 pub fn inv_mod_prime(a: u64, q: u64) -> u64 {
-    assert!(a % q != 0, "zero has no inverse");
+    assert!(!a.is_multiple_of(q), "zero has no inverse");
     pow_mod(a, q - 2, q)
 }
 

@@ -5,18 +5,24 @@
 //! circuits never changes results.
 //!
 //! The tests run a backend-pair **matrix**: `scalar ≡ optimized` always,
-//! and `scalar ≡ simd` whenever the host's AVX2 is detected (on other
-//! hosts the SIMD pair is skipped cleanly rather than silently testing
-//! the fallback twice). The modulus pool stresses every dispatch tier:
-//! the paper's four 28-bit special primes, an NTT-friendly prime
-//! hugging the 29-bit cutoff of the AVX2 vector paths from below, one
-//! just under 2^32 (the narrow scalar path's boundary), and a 40-bit
-//! prime that must take the wide fallback. Lengths are drawn from
-//! `1..300`, so non-multiples of the four-lane vector width and
-//! sub-lane rows are always in play.
+//! `scalar ≡ simd` whenever the host's AVX2 is detected, and
+//! `scalar ≡ avx512` whenever `avx512f` is (on other hosts the vector
+//! pairs are skipped cleanly rather than silently testing the fallback
+//! twice). The modulus pool straddles every dispatch boundary: the
+//! paper's four 28-bit special primes, an NTT-friendly prime hugging
+//! the 29-bit cutoff of the AVX2/AVX-512F vector paths from below, one
+//! just above it (the first prime only IFMA's 52-bit multiplier can
+//! vectorize), one just under 2^32 (the narrow scalar path's boundary),
+//! a 40-bit mid-IFMA-tier prime, one hugging the 50-bit IFMA cap from
+//! below, one just above it (back to the wide scalar fallback on every
+//! backend), and a 51-bit prime. Lengths are drawn from `1..300`, so
+//! non-multiples of the four- and eight-lane vector widths and sub-lane
+//! rows are always in play.
 
 use ive_math::gadget::Gadget;
-use ive_math::kernel::{simd_available, BackendKind, ScalarBackend, VpeBackend};
+use ive_math::kernel::{
+    avx512_available, avx512_ifma_available, simd_available, BackendKind, ScalarBackend, VpeBackend,
+};
 use ive_math::modulus::Modulus;
 use ive_math::ntt::NttTable;
 use ive_math::prime::find_ntt_prime_below;
@@ -24,9 +30,9 @@ use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
 /// Every backend that must match the scalar oracle on this host:
-/// `optimized` always, `simd` only when the runtime probe finds AVX2
-/// (the `BackendKind::Simd` fallback would otherwise just re-test the
-/// optimized backend under another label).
+/// `optimized` always, `simd` only when the runtime probe finds AVX2,
+/// `avx512` only when it finds AVX-512F (the `BackendKind` fallbacks
+/// would otherwise just re-test a lower backend under another label).
 fn backends_under_test() -> Vec<&'static dyn VpeBackend> {
     let mut v: Vec<&'static dyn VpeBackend> = vec![BackendKind::Optimized.backend()];
     if simd_available() {
@@ -36,16 +42,32 @@ fn backends_under_test() -> Vec<&'static dyn VpeBackend> {
     } else {
         eprintln!("kernel_props: AVX2 not detected, scalar≡simd pairs skipped");
     }
+    if avx512_available() {
+        let avx512 = BackendKind::Avx512.backend();
+        assert_eq!(
+            avx512.name(),
+            "avx512",
+            "probe says AVX-512F but Avx512 resolved to the fallback"
+        );
+        v.push(avx512);
+        if !avx512_ifma_available() {
+            eprintln!("kernel_props: AVX-512 IFMA not detected, 30..50-bit q test the fallback");
+        }
+    } else {
+        eprintln!("kernel_props: AVX-512F not detected, scalar≡avx512 pairs skipped");
+    }
     v
 }
 
-/// The modulus pool: four 28-bit special primes, the largest
-/// NTT-friendly primes below 2^29 (the widest the vector paths accept),
-/// below 2^32 (narrow scalar fallback boundary), and below 2^40 (wide
-/// fallback). All support negacyclic NTTs to degree 512.
+/// The modulus pool: four 28-bit special primes plus the largest
+/// NTT-friendly primes below 2^29 (the widest the 32-bit-multiplier
+/// vector paths accept), 2^30 (first IFMA-only prime), 2^32 (narrow
+/// scalar fallback boundary), 2^40 (mid IFMA tier), 2^50 (widest the
+/// IFMA tier accepts), and 2^51 (first prime that is wide-fallback on
+/// every backend). All support negacyclic NTTs to degree 512.
 fn modulus_pool() -> Vec<Modulus> {
     let mut pool = Modulus::special_primes().to_vec();
-    for bits in [29u32, 32, 40] {
+    for bits in [29u32, 30, 32, 40, 50, 51] {
         let q = find_ntt_prime_below(bits, 512)
             .unwrap_or_else(|| panic!("an NTT-friendly prime below 2^{bits} exists"));
         pool.push(Modulus::new(q));
@@ -66,7 +88,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn fma_is_bit_identical(seed in any::<u64>(), which in 0usize..7, n in 1usize..300) {
+    fn fma_is_bit_identical(seed in any::<u64>(), which in 0usize..10, n in 1usize..300) {
         let m = pick_modulus(which);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let a = rand_row(n, m.value(), &mut rng);
@@ -82,7 +104,7 @@ proptest! {
     }
 
     #[test]
-    fn pointwise_mul_is_bit_identical(seed in any::<u64>(), which in 0usize..7, n in 1usize..300) {
+    fn pointwise_mul_is_bit_identical(seed in any::<u64>(), which in 0usize..10, n in 1usize..300) {
         let m = pick_modulus(which);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let b = rand_row(n, m.value(), &mut rng);
@@ -97,7 +119,30 @@ proptest! {
     }
 
     #[test]
-    fn ntt_dispatch_is_bit_identical(seed in any::<u64>(), which in 0usize..7, log_n in 1u32..10) {
+    fn scan_fma_is_bit_identical(seed in any::<u64>(), which in 0usize..10, n in 1usize..300) {
+        // The fused database-scan kernel must equal the unfused pair of
+        // FMAs run through the scalar oracle — on every backend, fused
+        // override or default.
+        let m = pick_modulus(which);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w = rand_row(n, m.value(), &mut rng);
+        let ea = rand_row(n, m.value(), &mut rng);
+        let eb = rand_row(n, m.value(), &mut rng);
+        let a0 = rand_row(n, m.value(), &mut rng);
+        let b0 = rand_row(n, m.value(), &mut rng);
+        let (mut scalar_a, mut scalar_b) = (a0.clone(), b0.clone());
+        ScalarBackend.fma(&m, &mut scalar_a, &w, &ea);
+        ScalarBackend.fma(&m, &mut scalar_b, &w, &eb);
+        for backend in backends_under_test() {
+            let (mut out_a, mut out_b) = (a0.clone(), b0.clone());
+            backend.scan_fma(&m, &mut out_a, &mut out_b, &w, &ea, &eb);
+            prop_assert_eq!(&scalar_a, &out_a, "scan acc_a diverged: {} q={}", backend.name(), m.value());
+            prop_assert_eq!(&scalar_b, &out_b, "scan acc_b diverged: {} q={}", backend.name(), m.value());
+        }
+    }
+
+    #[test]
+    fn ntt_dispatch_is_bit_identical(seed in any::<u64>(), which in 0usize..10, log_n in 1u32..10) {
         let m = pick_modulus(which);
         let n = 1usize << log_n;
         let table = NttTable::new(&m, n).expect("pool primes are NTT-friendly to 2^9");

@@ -345,7 +345,7 @@ pub(crate) fn pack_record(he: &HeParams, record: &[u8]) -> Result<RnsPoly, PirEr
 /// coefficient, little-endian.
 pub fn plaintext_from_bytes(he: &HeParams, bytes: &[u8]) -> Result<Plaintext, PirError> {
     let chunk = he.p_bits() as usize / 8;
-    if chunk == 0 || he.p_bits() % 8 != 0 {
+    if chunk == 0 || !he.p_bits().is_multiple_of(8) {
         return Err(PirError::InvalidParams(format!(
             "plaintext modulus 2^{} is not byte-aligned",
             he.p_bits()

@@ -7,7 +7,7 @@
 //! reused buffers — zero heap allocations per query once warm.
 
 use ive_he::BfvCiphertext;
-use ive_math::kernel::BackendKind;
+use ive_math::kernel::{self, BackendKind};
 use ive_math::rns::Form;
 
 use crate::client::{ClientKeys, PirQuery};
@@ -311,27 +311,32 @@ impl PirServer {
 
         // One worker's share: rows [start, start + chunk_rows) of the
         // accumulator matrix, streaming the database limb-major. Each
-        // record slice is loaded once and serves every query of the batch.
+        // record slice is loaded once and serves every query of the batch
+        // through the backend's fused scan kernel (both ciphertext
+        // accumulators per database pass), with the head of the *next*
+        // record's limb row prefetched while the current one computes —
+        // the streaming half of the paper's bandwidth-bound scan.
+        let rows_end = rows;
         let scan = |start: usize, acc: &mut [u64]| {
             for (off, block) in acc.chunks_mut(row_block).enumerate() {
                 let r = start + off;
                 for i in 0..d0 {
                     let words = self.db.poly_words(r, i);
+                    let (nr, ni) = if i + 1 < d0 { (r, i + 1) } else { (r + 1, 0) };
+                    if nr < rows_end {
+                        kernel::prefetch_row(self.db.poly_words(nr, ni));
+                    }
                     for (ct, acc_ct) in expanded.iter().zip(block.chunks_mut(ct_words)) {
                         let (acc_a, acc_b) = acc_ct.split_at_mut(k * n);
                         let exp = &ct.as_ref()[i];
                         for (m, modulus) in moduli.iter().enumerate() {
                             let seg = m * n..(m + 1) * n;
-                            backend.fma(
+                            backend.scan_fma(
                                 modulus,
                                 &mut acc_a[seg.clone()],
-                                &words[seg.clone()],
-                                exp.a.residue(m),
-                            );
-                            backend.fma(
-                                modulus,
                                 &mut acc_b[seg.clone()],
                                 &words[seg],
+                                exp.a.residue(m),
                                 exp.b.residue(m),
                             );
                         }

@@ -412,7 +412,9 @@ mod tests {
     fn prepared_put_matches_offline_preprocessing() {
         let params = PirParams::toy();
         let bytes = b"delta payload".to_vec();
-        for backend in [BackendKind::Scalar, BackendKind::Optimized, BackendKind::Simd] {
+        for backend in
+            [BackendKind::Scalar, BackendKind::Optimized, BackendKind::Simd, BackendKind::Avx512]
+        {
             let p = PreparedUpdate::prepare(&params, &RecordUpdate::put(5, bytes.clone()), backend)
                 .unwrap();
             assert_eq!(p.index(), 5);

@@ -401,7 +401,7 @@ fn read_subs_key_entry(he: &HeParams, buf: &mut impl Buf) -> Result<SubsKey, Pir
         return Err(PirError::Wire("truncated evk header".into()));
     }
     let r = buf.get_u32() as usize;
-    if r % 2 == 0 || r >= 2 * he.n() {
+    if r.is_multiple_of(2) || r >= 2 * he.n() {
         return Err(PirError::Wire(format!(
             "automorphism exponent {r} not odd in [1, 2N = {})",
             2 * he.n()

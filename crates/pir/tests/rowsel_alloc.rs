@@ -64,7 +64,9 @@ fn warm_row_sel_performs_zero_heap_allocations() {
     // `Simd` resolves to the AVX2 kernels where the host has them and to
     // the optimized fallback elsewhere; either way the warm scan must
     // stay allocation-free.
-    for backend in [BackendKind::Optimized, BackendKind::Scalar, BackendKind::Simd] {
+    for backend in
+        [BackendKind::Optimized, BackendKind::Scalar, BackendKind::Simd, BackendKind::Avx512]
+    {
         server.set_backend(backend);
         let mut scratch = QueryScratch::new();
 

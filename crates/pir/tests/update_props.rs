@@ -58,7 +58,7 @@ proptest! {
         let mut db = Database::from_records(&params, &base).expect("base fits");
         let log = UpdateLog::with_backend(
             &params,
-            if seed % 2 == 0 { BackendKind::Optimized } else { BackendKind::Scalar },
+            if seed.is_multiple_of(2) { BackendKind::Optimized } else { BackendKind::Scalar },
         );
         for (i, batch) in history.iter().enumerate() {
             log.stage_all(batch).expect("valid by construction");

@@ -48,11 +48,13 @@ pub struct ServeConfig {
     pub order: TournamentOrder,
     /// Which VPE kernel backend every pipeline step dispatches through.
     /// Backends are bit-identical in output: `Auto` (the default) picks
-    /// the fastest the host supports — the AVX2 `Simd` backend where
-    /// runtime detection finds it, the Barrett/Shoup `Optimized` path
-    /// everywhere else; `Simd` requests AVX2 explicitly (with the same
-    /// safe fallback), and `Scalar` is the reference oracle. Parse
-    /// config strings with [`ServeConfig::with_backend_name`].
+    /// the fastest the host supports — the AVX-512/IFMA `Avx512`
+    /// backend where runtime detection finds `avx512f`, the AVX2 `Simd`
+    /// backend below that, the Barrett/Shoup `Optimized` path everywhere
+    /// else; `Avx512` and `Simd` request their ISA tier explicitly (with
+    /// the same safe fallback chain), and `Scalar` is the reference
+    /// oracle. Parse config strings with
+    /// [`ServeConfig::with_backend_name`].
     pub backend: BackendKind,
     /// Upper bound on cached sessions: each registration pins hundreds
     /// of KB of key material server-side, so an uncapped cache is a
@@ -122,7 +124,7 @@ impl Default for ServeConfig {
 
 impl ServeConfig {
     /// Selects the kernel backend by its config/CLI name (`"scalar"`,
-    /// `"optimized"`, `"simd"`, `"auto"`), as parsed by
+    /// `"optimized"`, `"simd"`, `"avx512"`, `"auto"`), as parsed by
     /// [`BackendKind`]'s `FromStr`.
     ///
     /// # Errors
@@ -186,6 +188,7 @@ mod tests {
             ("scalar", BackendKind::Scalar),
             ("optimized", BackendKind::Optimized),
             ("simd", BackendKind::Simd),
+            ("avx512", BackendKind::Avx512),
             ("auto", BackendKind::Auto),
         ] {
             let cfg = ServeConfig::default().with_backend_name(name).expect("valid name");
@@ -193,7 +196,9 @@ mod tests {
         }
         let err = ServeConfig::default().with_backend_name("fastest").expect_err("must reject");
         let msg = err.to_string();
-        for name in ["\"fastest\"", "\"scalar\"", "\"optimized\"", "\"simd\"", "\"auto\""] {
+        for name in
+            ["\"fastest\"", "\"scalar\"", "\"optimized\"", "\"simd\"", "\"avx512\"", "\"auto\""]
+        {
             assert!(msg.contains(name), "error must name {name}: {msg}");
         }
     }

@@ -763,23 +763,36 @@ mod tests {
     }
 
     fn engine(params: &PirParams, db: Database, plan: ShardPlan) -> ShardedEngine {
-        ShardedEngine::new(
-            params,
-            db,
-            plan,
-            1,
-            TournamentOrder::Hs { subtree_depth: 2 },
-            BackendKind::default(),
-        )
-        .unwrap()
+        engine_with(params, db, plan, BackendKind::default())
+    }
+
+    fn engine_with(
+        params: &PirParams,
+        db: Database,
+        plan: ShardPlan,
+        backend: BackendKind,
+    ) -> ShardedEngine {
+        ShardedEngine::new(params, db, plan, 1, TournamentOrder::Hs { subtree_depth: 2 }, backend)
+            .unwrap()
     }
 
     #[test]
     fn sharded_batches_match_replicated_batches() {
+        // Cross-plan AND cross-backend: the replicated engine runs the
+        // portable kernels while the sharded engines run the widest
+        // vector backend the host has (Avx512 resolves through the
+        // runtime-probe fallback chain elsewhere) — answers must still
+        // be bit-identical.
         let (params, db, records) = setup();
-        let replicated = engine(&params, db.clone(), ShardPlan::Replicated);
+        let replicated =
+            engine_with(&params, db.clone(), ShardPlan::Replicated, BackendKind::Optimized);
         for shards in [2usize, 4] {
-            let sharded = engine(&params, db.clone(), ShardPlan::RowSharded { shards });
+            let sharded = engine_with(
+                &params,
+                db.clone(),
+                ShardPlan::RowSharded { shards },
+                BackendKind::Avx512,
+            );
             assert_eq!(sharded.num_shards(), shards);
             let mut clients: Vec<_> = (0..3)
                 .map(|i| {
@@ -834,12 +847,14 @@ mod tests {
             ShardPlan::RowSharded { shards: 2 },
             ShardPlan::RowSharded { shards: 4 },
         ] {
-            let live = engine(&params, db.clone(), plan);
+            // Updates prepared and served on the widest vector backend
+            // must match a cold rebuild answered on the portable one.
+            let live = engine_with(&params, db.clone(), plan, BackendKind::Avx512);
             assert_eq!(live.epoch(), 0);
             let epoch = live.apply_updates(&updates).unwrap();
             assert_eq!(epoch, 1);
             assert_eq!(live.updates_applied(), updates.len() as u64);
-            let fresh = engine(&params, rebuilt_db.clone(), plan);
+            let fresh = engine_with(&params, rebuilt_db.clone(), plan, BackendKind::Optimized);
             for target in [0usize, params.d0() * (rows / 2) + 2, params.num_records() - 1] {
                 let query = client.query(target).unwrap();
                 let a = live.answer(client.public_keys(), &query).unwrap();
