@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test verify bench figures serve-demo hotpath update-churn kv-demo doc fmt fmt-check clippy lint clean
+.PHONY: all build test verify bench figures serve-demo hotpath scaling update-churn kv-demo doc fmt fmt-check clippy lint clean
 
 all: build
 
@@ -36,6 +36,12 @@ serve-demo:
 ## is detected) on the RowSel hot path and refresh BENCH_hotpath.json.
 hotpath:
 	$(CARGO) run --release -p ive_bench --bin hotpath
+
+## Sweep 1..num_cpus RowSel threads over scan/answer/serve-QPS, check
+## bit-identity against the scalar single-thread reference, and refresh
+## BENCH_scaling.json with the thread-scaling curve.
+scaling:
+	$(CARGO) run --release -p ive_bench --bin scaling
 
 ## Measure answer latency under live row-update churn (epoch-versioned
 ## mutable database) and refresh BENCH_update.json.

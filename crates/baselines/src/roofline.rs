@@ -114,6 +114,65 @@ pub fn measure_read_bandwidth(buf_bytes: usize, passes: usize) -> f64 {
     best
 }
 
+/// Measures this host's sustained *aggregate* read bandwidth in bytes/s
+/// with `threads` workers streaming disjoint slices of one shared buffer
+/// — the socket-level ceiling the multi-threaded `RowSel` scan should
+/// track, as opposed to [`measure_read_bandwidth`]'s single-core slope.
+///
+/// Each pass is barrier-aligned: every worker waits at a
+/// [`std::sync::Barrier`], sweeps its slice, and the pass is charged the
+/// *slowest* worker's wall time, so the figure is the bandwidth the
+/// memory system sustains when all threads contend — not the sum of
+/// solo runs. Best of `passes` counted sweeps (one uncounted warm-up),
+/// `threads` clamped to ≥ 1; with `threads == 1` this degenerates to the
+/// single-core probe.
+pub fn measure_read_bandwidth_parallel(buf_bytes: usize, passes: usize, threads: usize) -> f64 {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return measure_read_bandwidth(buf_bytes, passes);
+    }
+    let words = (buf_bytes / 8).max(1024 * threads);
+    let buf: Vec<u64> = (0..words as u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+    let chunk = words.div_ceil(threads);
+    // Rounding can leave the last chunk empty; size the barrier by the
+    // chunks that actually exist or the pass never leaves the barrier.
+    let workers = words.div_ceil(chunk);
+    let rounds = passes.max(1) + 1;
+    let barrier = std::sync::Barrier::new(workers);
+    // Per (round, worker) sweep time, flattened; each worker writes its
+    // own column so no synchronization beyond the barriers is needed.
+    let mut times = vec![0.0f64; rounds * workers];
+    std::thread::scope(|scope| {
+        for (t, (slice, times)) in buf.chunks(chunk).zip(times.chunks_mut(rounds)).enumerate() {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut sink = 0u64;
+                for round_times in times.iter_mut() {
+                    barrier.wait();
+                    let t0 = Instant::now();
+                    let mut acc = 0u64;
+                    for &w in slice {
+                        acc = acc.wrapping_add(w);
+                    }
+                    sink = sink.wrapping_add(std::hint::black_box(acc));
+                    *round_times = t0.elapsed().as_secs_f64();
+                }
+                std::hint::black_box(sink);
+                let _ = t;
+            });
+        }
+    });
+    let mut best = 0.0f64;
+    for round in 1..rounds {
+        // The pass ends when the slowest worker finishes its slice.
+        let slowest = (0..workers).map(|t| times[t * rounds + round]).fold(0.0f64, f64::max);
+        if slowest > 0.0 {
+            best = best.max((words * 8) as f64 / slowest);
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +220,15 @@ mod tests {
         // Anything below 100 MB/s or above 10 TB/s means the timer or
         // the sweep is broken, not the memory system.
         assert!(bw > 1e8 && bw < 1e13, "implausible bandwidth {bw}");
+    }
+
+    #[test]
+    fn parallel_bandwidth_probe_is_sane_at_any_thread_count() {
+        for threads in [0usize, 1, 2, 7] {
+            let bw = measure_read_bandwidth_parallel(1 << 20, 2, threads);
+            assert!(bw.is_finite() && bw > 0.0, "{threads} threads returned {bw}");
+            assert!(bw > 1e8 && bw < 2e13, "{threads} threads: implausible bandwidth {bw}");
+        }
     }
 
     #[test]

@@ -27,13 +27,21 @@
 //! and a `detected_features` field so artifacts from 1-core or
 //! feature-less CI hosts stay interpretable.
 //!
-//! Usage: `hotpath [--seconds 8] [--dims 5] [--json-out BENCH_hotpath.json]`
+//! Usage: `hotpath [--seconds 8] [--dims 5] [--records 2^20]
+//! [--json-out BENCH_hotpath.json]`
+//!
+//! `--records` sizes the database by total record count (accepts `2^20`
+//! or plain integers) and overrides `--dims`: paper-scale geometries
+//! (2^20-class) exceed any LLC, so the scan numbers become genuine
+//! DRAM-roofline measurements rather than cache replays.
 
 use std::time::Instant;
 
 use ive_baselines::roofline::measure_read_bandwidth;
 use ive_bench::fmt;
-use ive_math::kernel::{avx512_available, avx512_ifma_available, simd_available, BackendKind};
+use ive_math::kernel::{
+    avx512_available, avx512_ifma_available, effective_llc_bytes, simd_available, BackendKind,
+};
 use ive_math::modulus::Modulus;
 use ive_math::ntt::NttTable;
 use ive_math::prime::find_ntt_prime_below;
@@ -44,6 +52,26 @@ struct Args {
     seconds: f64,
     dims: u32,
     json_out: String,
+}
+
+/// Parses a record count as either `2^20` or a plain integer; the count
+/// must be a power of two covering at least one `RowSel` row (`D0 = 8`).
+fn parse_records(value: &str) -> Result<u64, String> {
+    let records = match value.split_once('^') {
+        Some(("2", exp)) => {
+            let exp: u32 = exp.parse().map_err(|_| format!("--records got {value:?}"))?;
+            if exp >= 48 {
+                return Err(format!("--records 2^{exp} is beyond any addressable database"));
+            }
+            1u64 << exp
+        }
+        Some(_) => return Err(format!("--records got {value:?} (use 2^k or an integer)")),
+        None => value.parse().map_err(|_| format!("--records got {value:?}"))?,
+    };
+    if !records.is_power_of_two() || records < 16 {
+        return Err(format!("--records {records} must be a power of two >= 16"));
+    }
+    Ok(records)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +86,9 @@ fn parse_args() -> Result<Args, String> {
                 args.seconds = value.parse().map_err(|_| format!("--seconds got {value:?}"))?
             }
             "dims" => args.dims = value.parse().map_err(|_| format!("--dims got {value:?}"))?,
+            // Total records D = D0 · 2^d with D0 = 8, so `--records`
+            // is sugar for `--dims log2(records / 8)`.
+            "records" => args.dims = parse_records(&value)?.trailing_zeros() - 3,
             "json-out" => args.json_out = value,
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -252,6 +283,16 @@ fn main() {
         features.join(", "),
         args.seconds
     );
+    let db_bytes = db.len() * db.record_words() * 8;
+    let llc = effective_llc_bytes();
+    if db_bytes <= llc {
+        eprintln!(
+            "hotpath: WARNING — database ({:.1} MiB) fits in the {:.1} MiB LLC: row_sel GB/s \
+             measures cache replay, not DRAM. Use --records 2^20 for roofline-honest numbers.",
+            db_bytes as f64 / (1 << 20) as f64,
+            llc as f64 / (1 << 20) as f64
+        );
+    }
 
     // The roofline ceiling for the scan: this host's measured sequential
     // read bandwidth over a DRAM-sized stream (256 MiB dwarfs any LLC

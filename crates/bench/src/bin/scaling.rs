@@ -1,0 +1,393 @@
+//! `scaling` — thread-scaling curves for the multi-core `RowSel` scan
+//! and the serving runtime, emitted to `BENCH_scaling.json`.
+//!
+//! For each thread count in a doubling ladder `1, 2, 4, … N` (capped at
+//! `--threads`, default the machine's parallelism) it measures:
+//!
+//! 1. **scan GB/s** — the warm, allocation-free `row_sel_into` scan with
+//!    `set_rowsel_threads(t)`, against the *parallel* socket roofline
+//!    (`ive_baselines::roofline::measure_read_bandwidth_parallel`) at
+//!    the same thread count — the aggregate scan should track the
+//!    socket's read ceiling, not a single core's.
+//! 2. **answer ms** — end-to-end `ExpandQuery → RowSel → ColTor` latency
+//!    at that scan width.
+//! 3. **serve QPS** — a closed-loop in-process service configured with
+//!    `rowsel_threads = t`, driven to saturation.
+//!
+//! It also proves the parallel scan is **bit-identical** to the
+//! single-thread scalar reference across every available kernel backend
+//! and thread counts {1, 2, 4, 7} (odd counts exercise the ragged
+//! partition), and asserts no-regression: on a single-core host the
+//! multi-thread path must stay within noise of single-thread (the
+//! graceful fallback), on a multi-core host it warns when the best
+//! multi-thread scan is below 1.5x single-thread.
+//!
+//! Usage: `scaling [--seconds 6] [--threads N] [--dims 5]
+//! [--records 2^14] [--backend auto] [--json-out BENCH_scaling.json]`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ive_baselines::roofline::measure_read_bandwidth_parallel;
+use ive_bench::fmt;
+use ive_math::kernel::{avx512_available, effective_llc_bytes, simd_available, BackendKind};
+use ive_pir::{Database, PirClient, PirParams, PirServer, QueryScratch, TournamentOrder};
+use ive_serve::config::{ServeConfig, ShardPlan};
+use ive_serve::transport::in_proc_pair;
+use ive_serve::{Connection, PirService};
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    seconds: f64,
+    threads: usize,
+    dims: u32,
+    backend: BackendKind,
+    json_out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        seconds: 6.0,
+        threads: cores,
+        dims: 5,
+        backend: BackendKind::Auto,
+        json_out: "BENCH_scaling.json".into(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].strip_prefix("--").ok_or_else(|| format!("unexpected {:?}", argv[i]))?;
+        let value = argv.get(i + 1).cloned().ok_or_else(|| format!("--{key} needs a value"))?;
+        fn parsed<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value.parse().map_err(|_| format!("--{key} got a malformed value {value:?}"))
+        }
+        match key {
+            "seconds" => args.seconds = parsed(key, &value)?,
+            "threads" => args.threads = parsed::<usize>(key, &value)?.max(1),
+            "dims" => args.dims = parsed(key, &value)?,
+            // Total records D = D0 · 2^d with D0 = 8 (see `hotpath`).
+            "records" => {
+                let records: u64 = match value.split_once('^') {
+                    Some(("2", exp)) => 1u64 << parsed::<u32>(key, exp)?.min(47),
+                    _ => parsed(key, &value)?,
+                };
+                if !records.is_power_of_two() || records < 16 {
+                    return Err(format!("--records {records} must be a power of two >= 16"));
+                }
+                args.dims = records.trailing_zeros() - 3;
+            }
+            "backend" => args.backend = value.parse().map_err(|e| format!("{e}"))?,
+            "json-out" => args.json_out = value,
+            other => return Err(format!("unknown flag --{other}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+/// The doubling thread ladder `1, 2, 4, …` up to and including `max`.
+fn thread_ladder(max: usize) -> Vec<usize> {
+    let mut points = Vec::new();
+    let mut t = 1usize;
+    while t < max {
+        points.push(t);
+        t *= 2;
+    }
+    points.push(max);
+    points.dedup();
+    points
+}
+
+/// Runs `op` repeatedly for roughly `budget_s` seconds (after one
+/// warm-up call) and returns the mean seconds per iteration.
+fn time_loop(budget_s: f64, mut op: impl FnMut()) -> f64 {
+    op(); // warm-up
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_secs_f64() < budget_s {
+        op();
+        iters += 1;
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// One row of the scaling curve.
+struct Point {
+    threads: usize,
+    scan_s: f64,
+    scan_gbps: f64,
+    answer_s: f64,
+    serve_qps: f64,
+    parallel_read_gbps: f64,
+}
+
+/// Closed-loop saturation QPS of an in-process service at `rowsel_threads`.
+fn measure_serve_qps(
+    params: &PirParams,
+    db: &Database,
+    backend: BackendKind,
+    rowsel_threads: usize,
+    seconds: f64,
+) -> f64 {
+    let config = ServeConfig {
+        window: Duration::from_millis(1),
+        max_batch: 8,
+        workers: 1,
+        queue_depth: 64,
+        shard: ShardPlan::Replicated,
+        rowsel_threads,
+        order: TournamentOrder::Hs { subtree_depth: 2 },
+        backend,
+        max_sessions: 16,
+        accept_updates: false,
+        compress_responses: false,
+        journal: None,
+        slow_threshold: Duration::from_secs(3600),
+        trace_ring: 0,
+    };
+    let (transport, connector) = in_proc_pair();
+    let service =
+        PirService::start(config, params, db.clone(), Box::new(transport)).expect("service starts");
+    let completed = Arc::new(AtomicU64::new(0));
+    let clients = 2usize;
+    let depth = 2usize;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let connector = &connector;
+            let completed = Arc::clone(&completed);
+            let params = params.clone();
+            scope.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(9_000 + c as u64);
+                let mut client = Connection::new(connector.connect().expect("in-proc dial"))
+                    .into_serve_client(&params, rng.clone())
+                    .expect("handshake");
+                let deadline = Duration::from_secs_f64(seconds);
+                while started.elapsed() < deadline {
+                    while client.in_flight() >= depth {
+                        client.next_record().expect("response");
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let target = rng.gen_range(0..params.num_records());
+                    client.submit(target).expect("submit");
+                }
+                while client.in_flight() > 0 {
+                    client.next_record().expect("response");
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    service.shutdown();
+    completed.load(Ordering::Relaxed) as f64 / elapsed
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("scaling: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let params = PirParams::new(ive_he::HeParams::toy(), 8, args.dims).expect("geometry valid");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+    let db = Database::random(&params, &mut rng);
+    let db_bytes = db.len() * db.record_words() * 8;
+    let llc = effective_llc_bytes();
+    let points = thread_ladder(args.threads);
+    println!(
+        "scaling: {} records ({:.1} MiB preprocessed, LLC {:.1} MiB), {} core(s), thread ladder \
+         {:?}, backend {}, budget {:.1}s",
+        params.num_records(),
+        db_bytes as f64 / (1 << 20) as f64,
+        llc as f64 / (1 << 20) as f64,
+        cores,
+        points,
+        args.backend,
+        args.seconds
+    );
+    if db_bytes <= llc {
+        eprintln!(
+            "scaling: WARNING — database fits in LLC; scan GB/s is cache replay, and the \
+             thread curve measures core-scaling of cache bandwidth, not the DRAM roofline. \
+             Use --records 2^20 for socket-honest numbers."
+        );
+    }
+
+    let mut server = PirServer::new(&params, db.clone()).expect("geometry matches");
+    server.set_backend(args.backend);
+    let mut client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(7)).expect("keygen");
+    let query = client.query(params.num_records() / 2).expect("in range");
+    let expanded = server.expand(client.public_keys(), &query).expect("keys ok");
+
+    // Budget split: ~55% scan+answer timing, ~35% serve QPS, the rest
+    // the parallel roofline probes and the bit-identity matrix.
+    let per_point_timing = 0.55 * args.seconds / (2.0 * points.len() as f64);
+    let per_point_serve = 0.35 * args.seconds / points.len() as f64;
+    let roofline_buf = (4 * db_bytes).clamp(16 << 20, 256 << 20);
+
+    let mut curve: Vec<Point> = Vec::new();
+    for &t in &points {
+        server.set_rowsel_threads(t);
+        let mut scratch = QueryScratch::new();
+        let scan_s = time_loop(per_point_timing, || {
+            server.row_sel_into(&expanded, &mut scratch).expect("scan")
+        });
+        let answer_s = time_loop(per_point_timing, || {
+            let _ = server.answer_with(client.public_keys(), &query, &mut scratch).expect("answer");
+        });
+        let serve_qps = measure_serve_qps(&params, &db, args.backend, t, per_point_serve);
+        let parallel_read_gbps = measure_read_bandwidth_parallel(roofline_buf, 2, t) / 1e9;
+        curve.push(Point {
+            threads: t,
+            scan_s,
+            scan_gbps: db_bytes as f64 / scan_s / 1e9,
+            answer_s,
+            serve_qps,
+            parallel_read_gbps,
+        });
+    }
+
+    // Bit-identity: the parallel scan must agree with the single-thread
+    // scalar reference, bit for bit, on every backend the host carries.
+    // Thread count 7 never divides the toy geometry evenly, so the
+    // ragged tail partition is always exercised.
+    let mut kinds = vec![BackendKind::Scalar, BackendKind::Optimized];
+    if simd_available() {
+        kinds.push(BackendKind::Simd);
+    }
+    if avx512_available() {
+        kinds.push(BackendKind::Avx512);
+    }
+    kinds.push(BackendKind::Auto);
+    server.set_backend(BackendKind::Scalar);
+    server.set_rowsel_threads(1);
+    let reference = server.answer(client.public_keys(), &query).expect("reference answer");
+    let mut bit_identical = true;
+    for &kind in &kinds {
+        server.set_backend(kind);
+        for t in [1usize, 2, 4, 7] {
+            server.set_rowsel_threads(t);
+            let got = server.answer(client.public_keys(), &query).expect("answer");
+            if got != reference {
+                bit_identical = false;
+                eprintln!(
+                    "scaling: BIT-IDENTITY FAILURE — backend {kind} at {t} threads diverges \
+                     from the scalar single-thread reference"
+                );
+            }
+        }
+    }
+
+    fmt::print_table(
+        "scaling: RowSel thread curve vs the parallel socket roofline",
+        &["threads", "scan ms", "scan GB/s", "read roofline GB/s", "answer ms", "serve QPS"],
+        &curve
+            .iter()
+            .map(|p| {
+                vec![
+                    p.threads.to_string(),
+                    fmt::f(1e3 * p.scan_s),
+                    fmt::f(p.scan_gbps),
+                    fmt::f(p.parallel_read_gbps),
+                    fmt::f(1e3 * p.answer_s),
+                    fmt::f(p.serve_qps),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let single = &curve[0];
+    let best_multi = curve.iter().skip(1).max_by(|a, b| a.scan_gbps.total_cmp(&b.scan_gbps));
+    let speedup = best_multi.map_or(1.0, |p| p.scan_gbps / single.scan_gbps);
+    if let Some(best) = best_multi {
+        println!(
+            "scan speedup: best multi-thread ({} threads) over single-thread = {speedup:.2}x",
+            best.threads
+        );
+    }
+    let mut failed = !bit_identical;
+    if cores == 1 {
+        // Single-core host: threads cannot help; the graceful fallback
+        // just must not *hurt* (generous bound — the box is also running
+        // the harness itself).
+        if points.len() > 1 && speedup < 0.5 {
+            eprintln!(
+                "scaling: REGRESSION — multi-thread scan fell to {speedup:.2}x of \
+                 single-thread on a 1-core host; the fallback must stay within noise"
+            );
+            failed = true;
+        } else {
+            println!(
+                "1-core host: no scaling expected; multi-thread fallback holds at \
+                 {speedup:.2}x single-thread"
+            );
+        }
+    } else if speedup < 1.5 {
+        eprintln!(
+            "scaling: warning — expected the multi-thread scan to reach >= 1.5x \
+             single-thread on a {cores}-core host, got {speedup:.2}x"
+        );
+    }
+
+    let curve_json = curve
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "    {{ \"threads\": {}, \"scan_ms\": {:.4}, \"scan_gbps\": {:.4}, ",
+                    "\"parallel_read_gbps\": {:.4}, \"roofline_fraction\": {:.4}, ",
+                    "\"answer_ms\": {:.4}, \"serve_qps\": {:.2} }}"
+                ),
+                p.threads,
+                1e3 * p.scan_s,
+                p.scan_gbps,
+                p.parallel_read_gbps,
+                p.scan_gbps / p.parallel_read_gbps.max(f64::EPSILON),
+                1e3 * p.answer_s,
+                p.serve_qps,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scaling\",\n",
+            "  \"cores\": {},\n",
+            "  \"backend\": \"{}\",\n",
+            "  \"backend_resolved\": \"{}\",\n",
+            "  \"geometry\": {{ \"records\": {}, \"record_bytes\": {}, ",
+            "\"preprocessed_bytes\": {} }},\n",
+            "  \"llc_bytes\": {},\n",
+            "  \"db_fits_in_llc\": {},\n",
+            "  \"thread_curve\": [\n{}\n  ],\n",
+            "  \"scan_speedup_best_over_1\": {:.4},\n",
+            "  \"bit_identical_backends\": [{}],\n",
+            "  \"bit_identical\": {}\n",
+            "}}\n"
+        ),
+        cores,
+        args.backend,
+        args.backend.backend().name(),
+        params.num_records(),
+        params.record_bytes(),
+        db_bytes,
+        llc,
+        db_bytes <= llc,
+        curve_json,
+        speedup,
+        kinds.iter().map(|k| format!("\"{k}\"")).collect::<Vec<_>>().join(", "),
+        bit_identical,
+    );
+    std::fs::write(&args.json_out, &json).expect("write json");
+    println!("wrote {}", args.json_out);
+    if failed {
+        std::process::exit(1);
+    }
+}

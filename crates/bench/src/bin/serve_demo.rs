@@ -25,7 +25,8 @@
 //!
 //! Usage: `serve_demo [--seconds 4] [--clients 8] [--qps 0 (auto)]
 //! [--window-ms 10] [--max-batch 16] [--workers 2] [--shards 2]
-//! [--depth 4] [--backend auto|avx512|simd|optimized|scalar]
+//! [--rowsel-threads 1] [--depth 4]
+//! [--backend auto|avx512|simd|optimized|scalar]
 //! [--stats-interval 0] [--json-out BENCH_serve.json] [--tcp]`
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,6 +50,7 @@ struct Args {
     max_batch: usize,
     workers: usize,
     shards: usize,
+    rowsel_threads: usize,
     depth: usize,
     backend: BackendKind,
     stats_interval: f64,
@@ -66,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         max_batch: 16,
         workers: 2,
         shards: 2,
+        rowsel_threads: 1,
         depth: 4,
         backend: BackendKind::Auto,
         stats_interval: 0.0,
@@ -92,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
             "max-batch" => args.max_batch = parsed(key, &value)?,
             "workers" => args.workers = parsed(key, &value)?,
             "shards" => args.shards = parsed(key, &value)?,
+            "rowsel-threads" => args.rowsel_threads = parsed(key, &value)?,
             "depth" => args.depth = parsed(key, &value)?,
             // BackendKind's FromStr names every valid variant on error.
             "backend" => args.backend = value.parse().map_err(|e| format!("{e}"))?,
@@ -315,15 +319,29 @@ fn json_stages(p: &PhaseResult) -> String {
 fn json_phase(
     label: &str,
     p: &PhaseResult,
+    cfg: &ServeConfig,
     predicted_latency_ms: f64,
     predicted_qps: f64,
 ) -> String {
+    let shards = match cfg.shard {
+        ShardPlan::Replicated => 1,
+        ShardPlan::RowSharded { shards } => shards,
+    };
     format!(
         concat!(
             "  \"{}\": {{\n",
             "    \"offered_qps\": {:.2},\n",
             "    \"observed_qps\": {:.2},\n",
             "    \"completed\": {},\n",
+            // The thread plan this phase actually ran — without it a
+            // "batched loses to single" readout on a small host is
+            // indistinguishable from a real regression.
+            "    \"workers\": {},\n",
+            "    \"rowsel_threads\": {},\n",
+            "    \"shards\": {},\n",
+            "    \"queue_depth\": {},\n",
+            "    \"busy_rejections\": {},\n",
+            "    \"session_evictions\": {},\n",
             "    \"mean_latency_ms\": {:.3},\n",
             "    \"p95_latency_ms\": {:.3},\n",
             "    \"p999_latency_ms\": {:.3},\n",
@@ -343,6 +361,12 @@ fn json_phase(
         p.offered_qps,
         p.observed_qps(),
         p.completed,
+        cfg.workers,
+        cfg.rowsel_threads,
+        shards,
+        cfg.queue_depth,
+        p.stats.busy_rejections,
+        p.stats.session_evictions,
         p.stats.mean_latency_ms,
         p.stats.p95_latency_ms,
         p.stats.p999_latency_ms,
@@ -371,6 +395,18 @@ fn main() {
     let records: Vec<Vec<u8>> =
         (0..params.num_records()).map(|i| format!("demo record {i:04}").into_bytes()).collect();
     let db = Database::from_records(&params, &records).expect("records fit");
+    let db_bytes = db.len() * db.record_words() * 8;
+    let llc = ive_math::kernel::effective_llc_bytes();
+    if db_bytes <= llc {
+        eprintln!(
+            "serve_demo: WARNING — preprocessed database ({:.1} MiB) fits in the {:.1} MiB LLC, \
+             so the scan replays cache instead of streaming DRAM and scan_gbps will exceed any \
+             memory roofline; the batching comparison stands, the bandwidth numbers do not \
+             generalize to paper-scale databases.",
+            db_bytes as f64 / (1 << 20) as f64,
+            llc as f64 / (1 << 20) as f64
+        );
+    }
 
     println!(
         "calibrating service table (toy geometry: {} records x {}B) ...",
@@ -431,7 +467,7 @@ fn main() {
         } else {
             ShardPlan::Replicated
         },
-        rowsel_threads: 1,
+        rowsel_threads: args.rowsel_threads,
         order: TournamentOrder::Hs { subtree_depth: 2 },
         backend: args.backend,
         max_sessions: 64,
@@ -446,7 +482,7 @@ fn main() {
         "single",
         &params,
         &db,
-        single_cfg,
+        single_cfg.clone(),
         args.tcp,
         args.clients,
         args.depth,
@@ -458,7 +494,7 @@ fn main() {
         "batched",
         &params,
         &db,
-        batched_cfg,
+        batched_cfg.clone(),
         args.tcp,
         args.clients,
         args.depth,
@@ -596,8 +632,20 @@ fn main() {
         table.max_throughput_qps(),
         cpu_roofline.bytes_per_s / 1e9,
         cpu_roofline.mult_per_s,
-        json_phase("single", &single, 1e3 * pred_single.avg_latency_s, pred_single.served_qps),
-        json_phase("batched", &batched, 1e3 * pred_batched.avg_latency_s, pred_batched.served_qps),
+        json_phase(
+            "single",
+            &single,
+            &single_cfg,
+            1e3 * pred_single.avg_latency_s,
+            pred_single.served_qps
+        ),
+        json_phase(
+            "batched",
+            &batched,
+            &batched_cfg,
+            1e3 * pred_batched.avg_latency_s,
+            pred_batched.served_qps
+        ),
         batched.observed_qps() / single.observed_qps().max(f64::EPSILON),
     );
     println!(

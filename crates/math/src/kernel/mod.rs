@@ -168,6 +168,134 @@ pub fn prefetch_row(row: &[u64]) {
     let _ = row;
 }
 
+/// The non-temporal variant of [`prefetch_row`] (`prefetchnta`): lines
+/// are pulled close to the core but marked for early eviction instead of
+/// displacing the rest of the LLC. This is the honest "non-temporal
+/// load" on write-back memory — `movntdqa` is architecturally an
+/// ordinary load outside UC/WC regions, so the NT behaviour has to come
+/// from the prefetch hint. Use it when the database stream exceeds
+/// [`effective_llc_bytes`]: every line is touched exactly once per scan,
+/// so caching it only evicts data that *would* have been reused
+/// (accumulators, expansion residues, twiddles).
+#[inline(always)]
+pub fn prefetch_row_nt(row: &[u64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let lines = row.len().div_ceil(8).min(4);
+        for line in 0..lines {
+            // SAFETY: as in `prefetch_row` — architecturally a hint that
+            // cannot fault, and the pointer stays in-bounds.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_NTA }>(
+                    row.as_ptr().add(line * 8).cast(),
+                );
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = row;
+}
+
+/// Best-effort estimate of the last-level cache size in bytes, probed
+/// once per process (Linux sysfs `cpu0/cache`, highest level present)
+/// with a conservative 32 MiB fallback when the hierarchy cannot be
+/// read. The scan path compares the shard's limb buffer against this to
+/// pick between [`prefetch_row`] (hot buffer, keep it cached) and
+/// [`prefetch_row_nt`] (streaming buffer, do not pollute the LLC).
+pub fn effective_llc_bytes() -> usize {
+    static LLC: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *LLC.get_or_init(|| {
+        const FALLBACK: usize = 32 << 20;
+        let mut best: Option<(u32, usize)> = None;
+        for index in 0..8 {
+            let dir = format!("/sys/devices/system/cpu/cpu0/cache/index{index}");
+            let Ok(level) = std::fs::read_to_string(format!("{dir}/level")) else { break };
+            let Ok(level) = level.trim().parse::<u32>() else { continue };
+            let Ok(size) = std::fs::read_to_string(format!("{dir}/size")) else { continue };
+            let size = size.trim();
+            let (digits, unit) =
+                size.split_at(size.find(|c: char| !c.is_ascii_digit()).unwrap_or(size.len()));
+            let Ok(value) = digits.parse::<usize>() else { continue };
+            let bytes = match unit.trim() {
+                "" => value,
+                "K" | "KB" | "k" => value << 10,
+                "M" | "MB" | "m" => value << 20,
+                "G" | "GB" | "g" => value << 30,
+                _ => continue,
+            };
+            if best.is_none_or(|(l, _)| level >= l) {
+                best = Some((level, bytes));
+            }
+        }
+        match best {
+            Some((_, bytes)) if bytes > 0 => bytes,
+            _ => FALLBACK,
+        }
+    })
+}
+
+/// Tile width of the cache-blocked scan, in `u64` words: 4 KiB tiles
+/// keep one database tile, plus every live query's matching accumulator
+/// and expansion segments, resident in L1 while the query loop runs.
+pub const SCAN_BLOCK_WORDS: usize = 512;
+
+/// Cache-blocked multi-query, multi-modulus fused scan: one pass over
+/// the database polynomial `w` (flat `k × n`) feeds both accumulators of
+/// *every* query in the batch. `acc_block` is the contiguous per-record
+/// accumulator block, `queries × 2·k·n` words (`[q0.a | q0.b | q1.a …]`),
+/// and `expansion(q)` returns query `q`'s flat `k × n` `(ea, eb)` residue
+/// matrices. The limb row is tiled into [`SCAN_BLOCK_WORDS`]-word blocks
+/// with the query loop innermost, so each tile is loaded from memory
+/// once and consumed by all `k` residues and all queries while it is
+/// still L1-resident — instead of each query's modulus pass re-streaming
+/// its segment from L2/LLC as the unblocked loop nest does. Takes no
+/// scratch and allocates nothing, so the serving scan stays
+/// allocation-free through it.
+///
+/// Bit-identical to per-query [`VpeBackend::scan_fma`] calls by
+/// construction: the arithmetic is element-wise, so tiling only reorders
+/// independent updates (enforced by differential proptests).
+///
+/// # Panics
+/// Panics if `w.len()` is not a multiple of `moduli.len()`, if
+/// `acc_block.len()` is not a multiple of `2·w.len()`, or if any
+/// expansion slice length differs from `w.len()`.
+pub fn scan_fma_poly_blocked<'a>(
+    backend: &dyn VpeBackend,
+    moduli: &[Modulus],
+    w: &[u64],
+    acc_block: &mut [u64],
+    expansion: impl Fn(usize) -> (&'a [u64], &'a [u64]),
+) {
+    assert_eq!(w.len() % moduli.len(), 0, "flat poly not a multiple of the limb count");
+    let kn = w.len();
+    let n = kn / moduli.len();
+    assert_eq!(acc_block.len() % (2 * kn), 0, "accumulator block not a multiple of 2·k·n");
+    for (m, modulus) in moduli.iter().enumerate() {
+        let base = m * n;
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + SCAN_BLOCK_WORDS).min(n);
+            let seg = base + lo..base + hi;
+            for (q, acc_ct) in acc_block.chunks_mut(2 * kn).enumerate() {
+                let (acc_a, acc_b) = acc_ct.split_at_mut(kn);
+                let (ea, eb) = expansion(q);
+                assert_eq!(ea.len(), kn);
+                assert_eq!(eb.len(), kn);
+                backend.scan_fma(
+                    modulus,
+                    &mut acc_a[seg.clone()],
+                    &mut acc_b[seg.clone()],
+                    &w[seg.clone()],
+                    &ea[seg.clone()],
+                    &eb[seg.clone()],
+                );
+            }
+            lo = hi;
+        }
+    }
+}
+
 /// Whether the SIMD backend can actually run on this machine (AVX2
 /// present and the crate was built for `x86_64`). Probed once per
 /// process; every later call is a cached load.
@@ -485,6 +613,61 @@ mod tests {
             // Prefetching is a hint with no semantics to test beyond
             // "does not fault on short rows".
             prefetch_row(&w);
+            prefetch_row_nt(&w);
+        }
+    }
+
+    #[test]
+    fn llc_estimate_is_plausible() {
+        let llc = effective_llc_bytes();
+        assert!(llc >= 64 << 10, "LLC estimate below any real cache: {llc}");
+        assert!(llc <= 4 << 30, "LLC estimate above any real socket: {llc}");
+        assert_eq!(llc, effective_llc_bytes(), "probe must be cached and stable");
+    }
+
+    #[test]
+    fn blocked_scan_matches_per_query_scan_fma() {
+        let moduli = Modulus::special_primes()[..3].to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        // Cover n below, at, and straddling the tile width.
+        for n in [1usize, 8, SCAN_BLOCK_WORDS, SCAN_BLOCK_WORDS + 129] {
+            let flat = |rng: &mut rand::rngs::StdRng| -> Vec<u64> {
+                moduli.iter().flat_map(|m| rand_row(n, m.value(), rng)).collect()
+            };
+            let w = flat(&mut rng);
+            let accs: Vec<Vec<u64>> =
+                (0..3).flat_map(|_| [flat(&mut rng), flat(&mut rng)]).collect();
+            let exps: Vec<(Vec<u64>, Vec<u64>)> =
+                (0..3).map(|_| (flat(&mut rng), flat(&mut rng))).collect();
+            for kind in BACKEND_KINDS {
+                let backend = kind.backend();
+                let mut block: Vec<u64> = accs.iter().flatten().copied().collect();
+                scan_fma_poly_blocked(backend, &moduli, &w, &mut block, |q| {
+                    (&exps[q].0[..], &exps[q].1[..])
+                });
+                let kn = moduli.len() * n;
+                for (q, (ea, eb)) in exps.iter().enumerate() {
+                    let mut ra = accs[2 * q].clone();
+                    let mut rb = accs[2 * q + 1].clone();
+                    for (m, modulus) in moduli.iter().enumerate() {
+                        let seg = m * n..(m + 1) * n;
+                        backend.scan_fma(
+                            modulus,
+                            &mut ra[seg.clone()],
+                            &mut rb[seg.clone()],
+                            &w[seg.clone()],
+                            &ea[seg.clone()],
+                            &eb[seg],
+                        );
+                    }
+                    assert_eq!(block[2 * q * kn..(2 * q + 1) * kn], ra, "{kind} q{q} acc_a n={n}");
+                    assert_eq!(
+                        block[(2 * q + 1) * kn..(2 * q + 2) * kn],
+                        rb,
+                        "{kind} q{q} acc_b n={n}"
+                    );
+                }
+            }
         }
     }
 }

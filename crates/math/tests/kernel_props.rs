@@ -21,7 +21,8 @@
 
 use ive_math::gadget::Gadget;
 use ive_math::kernel::{
-    avx512_available, avx512_ifma_available, simd_available, BackendKind, ScalarBackend, VpeBackend,
+    avx512_available, avx512_ifma_available, prefetch_row_nt, scan_fma_poly_blocked,
+    simd_available, BackendKind, ScalarBackend, VpeBackend, SCAN_BLOCK_WORDS,
 };
 use ive_math::modulus::Modulus;
 use ive_math::ntt::NttTable;
@@ -138,6 +139,66 @@ proptest! {
             backend.scan_fma(&m, &mut out_a, &mut out_b, &w, &ea, &eb);
             prop_assert_eq!(&scalar_a, &out_a, "scan acc_a diverged: {} q={}", backend.name(), m.value());
             prop_assert_eq!(&scalar_b, &out_b, "scan acc_b diverged: {} q={}", backend.name(), m.value());
+        }
+    }
+
+    #[test]
+    fn blocked_scan_is_bit_identical(
+        seed in any::<u64>(),
+        which in 0usize..10,
+        k in 1usize..4,
+        n_raw in 1usize..700,
+        queries in 1usize..4,
+    ) {
+        // The cache-blocked multi-modulus scan must equal the scalar
+        // per-modulus `scan_fma` reference on every backend — tiling
+        // reorders the traversal, never the arithmetic. `n` is biased
+        // to straddle the `SCAN_BLOCK_WORDS` tile boundary so partial
+        // tiles, exact tiles, and multi-tile rows are all drawn.
+        let n = if n_raw > 350 { SCAN_BLOCK_WORDS + (n_raw - 350) } else { n_raw };
+        let pool = modulus_pool();
+        let moduli: Vec<Modulus> = (0..k).map(|i| pool[(which + i) % pool.len()]).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let seg_rand = |rng: &mut rand::rngs::StdRng| -> Vec<u64> {
+            moduli.iter().flat_map(|m| rand_row(n, m.value(), rng)).collect()
+        };
+        let w = seg_rand(&mut rng);
+        let exps: Vec<(Vec<u64>, Vec<u64>)> =
+            (0..queries).map(|_| (seg_rand(&mut rng), seg_rand(&mut rng))).collect();
+        let acc0: Vec<u64> =
+            (0..queries).flat_map(|_| [seg_rand(&mut rng), seg_rand(&mut rng)]).flatten().collect();
+
+        let kn = k * n;
+        let mut reference = acc0.clone();
+        for (q, block) in reference.chunks_mut(2 * kn).enumerate() {
+            let (acc_a, acc_b) = block.split_at_mut(kn);
+            for (m, modulus) in moduli.iter().enumerate() {
+                let seg = m * n..(m + 1) * n;
+                ScalarBackend.scan_fma(
+                    modulus,
+                    &mut acc_a[seg.clone()],
+                    &mut acc_b[seg.clone()],
+                    &w[seg.clone()],
+                    &exps[q].0[seg.clone()],
+                    &exps[q].1[seg],
+                );
+            }
+        }
+
+        let mut all: Vec<&'static dyn VpeBackend> = vec![&ScalarBackend];
+        all.extend(backends_under_test());
+        for backend in all {
+            // The non-temporal-load path is a prefetch-hint choice on
+            // the same arithmetic; issuing it first must be inert.
+            prefetch_row_nt(&w);
+            let mut out = acc0.clone();
+            scan_fma_poly_blocked(backend, &moduli, &w, &mut out, |q| {
+                (exps[q].0.as_slice(), exps[q].1.as_slice())
+            });
+            prop_assert_eq!(
+                &reference, &out,
+                "blocked scan diverged: {} k={} n={} queries={}", backend.name(), k, n, queries
+            );
         }
     }
 

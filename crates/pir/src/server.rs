@@ -309,56 +309,98 @@ impl PirServer {
         }
         scratch.reset_accumulators(rows, expanded.len(), ct_words);
 
+        // A database stream that exceeds the LLC is touched exactly once
+        // per scan, so caching it only evicts data that *would* be reused
+        // (accumulators, expansion residues): prefetch it non-temporally.
+        // Toy geometries that re-scan a hot buffer keep the T0 hint.
+        let db_bytes = rows * d0 * k * n * 8;
+        let prefetch: fn(&[u64]) = if db_bytes > kernel::effective_llc_bytes() {
+            kernel::prefetch_row_nt
+        } else {
+            kernel::prefetch_row
+        };
+
         // One worker's share: rows [start, start + chunk_rows) of the
-        // accumulator matrix, streaming the database limb-major. Each
-        // record slice is loaded once and serves every query of the batch
-        // through the backend's fused scan kernel (both ciphertext
-        // accumulators per database pass), with the head of the *next*
-        // record's limb row prefetched while the current one computes —
-        // the streaming half of the paper's bandwidth-bound scan.
+        // accumulator matrix over record slots [d0_range), streaming the
+        // database limb-major. Each record slice is loaded once and
+        // serves every query of the batch through the cache-blocked
+        // fused scan kernel (all k residues and both ciphertext
+        // accumulators of every query consumed per loaded tile), with
+        // the head of the *next* record's limb row prefetched while the
+        // current one computes — the streaming half of the paper's
+        // bandwidth-bound scan.
         let rows_end = rows;
-        let scan = |start: usize, acc: &mut [u64]| {
+        let scan = |start: usize, acc: &mut [u64], d0_range: std::ops::Range<usize>| {
             for (off, block) in acc.chunks_mut(row_block).enumerate() {
                 let r = start + off;
-                for i in 0..d0 {
+                for i in d0_range.clone() {
                     let words = self.db.poly_words(r, i);
-                    let (nr, ni) = if i + 1 < d0 { (r, i + 1) } else { (r + 1, 0) };
+                    let (nr, ni) =
+                        if i + 1 < d0_range.end { (r, i + 1) } else { (r + 1, d0_range.start) };
                     if nr < rows_end {
-                        kernel::prefetch_row(self.db.poly_words(nr, ni));
+                        prefetch(self.db.poly_words(nr, ni));
                     }
-                    for (ct, acc_ct) in expanded.iter().zip(block.chunks_mut(ct_words)) {
-                        let (acc_a, acc_b) = acc_ct.split_at_mut(k * n);
-                        let exp = &ct.as_ref()[i];
-                        for (m, modulus) in moduli.iter().enumerate() {
-                            let seg = m * n..(m + 1) * n;
-                            backend.scan_fma(
-                                modulus,
-                                &mut acc_a[seg.clone()],
-                                &mut acc_b[seg.clone()],
-                                &words[seg],
-                                exp.a.residue(m),
-                                exp.b.residue(m),
-                            );
-                        }
-                    }
+                    kernel::scan_fma_poly_blocked(backend, moduli, words, block, |q| {
+                        let exp = &expanded[q].as_ref()[i];
+                        (exp.a.as_words(), exp.b.as_words())
+                    });
                 }
             }
         };
 
         let threads = self.rowsel_threads;
-        let acc = scratch.acc_mut();
         if threads > 1 && rows >= threads * ROWSEL_MIN_ROWS_PER_THREAD {
+            // Enough rows for every worker to own a disjoint row range of
+            // the shared accumulator matrix: no reduction needed, and the
+            // partition is trivially bit-identical to the sequential scan.
+            let acc = scratch.acc_mut();
             let chunk_rows = rows.div_ceil(threads);
             std::thread::scope(|scope| {
                 for (start, acc_chunk) in
                     (0..rows).step_by(chunk_rows).zip(acc.chunks_mut(chunk_rows * row_block))
                 {
                     let scan = &scan;
-                    scope.spawn(move || scan(start, acc_chunk));
+                    scope.spawn(move || scan(start, acc_chunk, 0..d0));
                 }
             });
+        } else if threads > 1 && d0 >= 2 && rows > 0 {
+            // Too few rows for disjoint row chunks: partition the record
+            // (D0) dimension of the flat shard instead. Every worker
+            // scans all rows over its own D0 range — the first range into
+            // the shared accumulator on this thread, the rest into
+            // per-thread partials from the scratch pool — and the
+            // partials are folded in afterwards with per-limb modular
+            // adds. Addition mod q is exactly associative and commutative
+            // on canonical `[0, q)` words, so the reduced result is
+            // bit-identical to the sequential left-to-right accumulation
+            // (enforced by the thread-matrix differential tests).
+            let workers = threads.min(d0);
+            let chunk_d0 = d0.div_ceil(workers);
+            let spawned = d0.div_ceil(chunk_d0) - 1;
+            let (acc, partials) = scratch.acc_and_partials(spawned);
+            std::thread::scope(|scope| {
+                let mut ranges = (0..d0).step_by(chunk_d0).map(|lo| lo..(lo + chunk_d0).min(d0));
+                let first = ranges.next().expect("d0 >= 2");
+                for (d0_range, part) in ranges.zip(partials.iter_mut()) {
+                    let scan = &scan;
+                    scope.spawn(move || scan(0, part, d0_range));
+                }
+                scan(0, &mut *acc, first);
+            });
+            // Fold the partials into the shared accumulator. The flat
+            // matrix cycles limb rows with period k within each k·n
+            // half, so n-chunk c reduces under modulus c mod k.
+            for part in partials.iter() {
+                for (c, (dst, src)) in acc.chunks_mut(n).zip(part.chunks(n)).enumerate() {
+                    let q = moduli[c % k].value();
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        let sum = *d + s;
+                        *d = if sum >= q { sum - q } else { sum };
+                    }
+                }
+            }
         } else {
-            scan(0, acc);
+            scan(0, scratch.acc_mut(), 0..d0);
         }
         Ok(())
     }
@@ -545,7 +587,9 @@ mod tests {
         let mut answers = Vec::new();
         let mut batched = Vec::new();
         let requests = [(client.public_keys(), &query)];
-        for threads in [1usize, 2, 64] {
+        // 2 splits evenly, 4 and 7 leave ragged partitions, 64 exceeds
+        // both rows and d0 (the worker count clamps).
+        for threads in [1usize, 2, 4, 7, 64] {
             server.set_rowsel_threads(threads);
             assert_eq!(server.rowsel_threads(), threads);
             answers.push(server.answer(client.public_keys(), &query).unwrap());

@@ -1132,6 +1132,10 @@ pub struct StatsReport {
     pub scan_ns: u64,
     /// Queries that crossed the slow-trace threshold.
     pub slow_queries: u64,
+    /// Queries shed at admission with a typed `Busy` rejection.
+    pub busy_rejections: u64,
+    /// Session-cache LRU evictions performed to admit new sessions.
+    pub session_evictions: u64,
 }
 
 /// Serializes a stats scrape request under a client-chosen request id.
@@ -1243,6 +1247,8 @@ pub fn encode_stats_response(request_id: u64, report: &StatsReport) -> Result<By
         report.scan_bytes,
         report.scan_ns,
         report.slow_queries,
+        report.busy_rejections,
+        report.session_evictions,
     ] {
         buf.put_u64(v);
     }
@@ -1286,10 +1292,10 @@ pub fn decode_stats_response(bytes: &Bytes) -> Result<(u64, StatsReport), PirErr
         let buckets = read_buckets(&mut buf, MAX_STATS_BUCKETS, "stage histogram")?;
         stages.push(StageReport { count, sum_us, max_us, buckets });
     }
-    if buf.remaining() < 8 * 7 {
+    if buf.remaining() < 8 * 9 {
         return Err(PirError::Wire("truncated kernel counters".into()));
     }
-    let mut trailing = [0u64; 7];
+    let mut trailing = [0u64; 9];
     for v in &mut trailing {
         *v = buf.get_u64();
     }
@@ -1320,6 +1326,8 @@ pub fn decode_stats_response(bytes: &Bytes) -> Result<(u64, StatsReport), PirErr
             scan_bytes: trailing[4],
             scan_ns: trailing[5],
             slow_queries: trailing[6],
+            busy_rejections: trailing[7],
+            session_evictions: trailing[8],
         },
     ))
 }
@@ -1662,6 +1670,8 @@ mod tests {
             scan_bytes: 1 << 30,
             scan_ns: 1_000_000_000,
             slow_queries: 11,
+            busy_rejections: 23,
+            session_evictions: 31,
         };
         let frame = encode_stats_response(8, &report).expect("legal");
         assert_eq!(peek_tag(&frame).expect("well-formed"), Tag::StatsResponse);

@@ -96,8 +96,78 @@ fn warm_row_sel_performs_zero_heap_allocations() {
         );
     }
 
+    // The *parallel* scan: spawning scoped workers allocates a fixed
+    // per-spawn overhead, but the scan body itself must stay
+    // allocation-free once the per-thread partial accumulators are warm.
+    // Two properties pin that down: repeated warm scans allocate the
+    // same flat amount (no drift), and that amount is bounded by a small
+    // per-thread constant (a per-record or per-element allocation over
+    // the 64-record toy database would blow far past it).
+    server.set_backend(BackendKind::Optimized);
+    for threads in [2usize, 4, 7] {
+        server.set_rowsel_threads(threads);
+        let mut scratch = QueryScratch::new();
+        server.row_sel_into(&expanded, &mut scratch).expect("parallel warm-up 1");
+        server.row_sel_into(&expanded, &mut scratch).expect("parallel warm-up 2");
+        let per_run: Vec<u64> = (0..3)
+            .map(|_| {
+                let before = allocations();
+                server.row_sel_into(&expanded, &mut scratch).expect("warm parallel scan");
+                allocations() - before
+            })
+            .collect();
+        assert!(
+            per_run.windows(2).all(|w| w[0] == w[1]),
+            "warm parallel scan allocation count drifts at {threads} threads: {per_run:?}"
+        );
+        assert!(
+            per_run[0] <= 8 * threads as u64,
+            "warm parallel scan at {threads} threads allocated {} times — more than spawn \
+             overhead allows, so the scan body is allocating",
+            per_run[0]
+        );
+
+        server.row_sel_batch_into(&batch, &mut scratch).expect("parallel batch warm-up");
+        let before = allocations();
+        server.row_sel_batch_into(&batch, &mut scratch).expect("warm parallel batch scan");
+        let batch_run = allocations() - before;
+        assert_eq!(
+            batch_run, per_run[0],
+            "doubling the queries changed the warm parallel scan's allocation count at \
+             {threads} threads — a per-query allocation leaked into the hot path"
+        );
+    }
+
+    // Bit-identity across the full matrix: every backend × thread count
+    // must produce the same answer ciphertext as the single-thread
+    // scalar reference (7 never divides the toy geometry, so the ragged
+    // partition is exercised).
+    server.set_backend(BackendKind::Scalar);
+    server.set_rowsel_threads(1);
+    let reference = server.answer(client.public_keys(), &query).expect("reference answer");
+    for backend in [
+        BackendKind::Scalar,
+        BackendKind::Optimized,
+        BackendKind::Simd,
+        BackendKind::Avx512,
+        BackendKind::Auto,
+    ] {
+        server.set_backend(backend);
+        for threads in [1usize, 2, 4, 7] {
+            server.set_rowsel_threads(threads);
+            let got = server.answer(client.public_keys(), &query).expect("answer");
+            assert_eq!(
+                got, reference,
+                "answer diverged from the scalar single-thread reference on the {backend} \
+                 backend at {threads} RowSel threads"
+            );
+        }
+    }
+
     // Sanity: the accumulators hold a real answer — decode through the
     // normal pipeline and compare against the direct path.
+    server.set_backend(BackendKind::Auto);
+    server.set_rowsel_threads(1);
     let mut scratch = QueryScratch::new();
     let answer = server.answer_with(client.public_keys(), &query, &mut scratch).expect("pipeline");
     let plain = client.decode(&query, &answer).expect("decode");

@@ -149,6 +149,8 @@ fn random_stats_report(seed: u64) -> wire::StatsReport {
         scan_bytes: rng.gen(),
         scan_ns: rng.gen(),
         slow_queries: rng.gen(),
+        busy_rejections: rng.gen(),
+        session_evictions: rng.gen(),
     }
 }
 

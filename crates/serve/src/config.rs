@@ -5,6 +5,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use ive_accel::queue::ServiceTable;
 use ive_pir::{BackendKind, TournamentOrder};
 
 use crate::ServeError;
@@ -137,6 +138,20 @@ impl ServeConfig {
         Ok(self)
     }
 
+    /// Derives the admission queue bound from a measured [`ServiceTable`]:
+    /// the queue admits at most `max_wait` worth of work at the engine's
+    /// saturation throughput, so the *worst-case queueing delay* of an
+    /// admitted query is bounded by `max_wait` — anything beyond that is
+    /// shed as [`ServeError::Busy`] instead of converting overload into
+    /// unbounded latency (Little's law: depth = λ_max × W_max). The
+    /// derived depth is clamped to `[workers, 65_536]` so a slow table
+    /// can never starve the worker pool of in-flight work.
+    pub fn with_admission_ceiling(mut self, service: &ServiceTable, max_wait: Duration) -> Self {
+        let depth = (service.max_throughput_qps() * max_wait.as_secs_f64()).ceil() as usize;
+        self.queue_depth = depth.clamp(self.workers.max(1), 65_536);
+        self
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -201,6 +216,22 @@ mod tests {
         {
             assert!(msg.contains(name), "error must name {name}: {msg}");
         }
+    }
+
+    #[test]
+    fn admission_ceiling_tracks_service_throughput() {
+        // A table that serves 1000 qps at saturation with a 100 ms wait
+        // ceiling admits 100 queued queries — Little's law, exactly.
+        let service = ServiceTable::from_fn(4, |b| b as f64 / 1000.0);
+        let cfg = ServeConfig { workers: 2, ..ServeConfig::default() }
+            .with_admission_ceiling(&service, Duration::from_millis(100));
+        assert_eq!(cfg.queue_depth, 100);
+        // A glacial engine still leaves the worker pool fed.
+        let slow = ServiceTable::from_fn(1, |_| 1000.0);
+        let cfg = ServeConfig { workers: 3, ..ServeConfig::default() }
+            .with_admission_ceiling(&slow, Duration::from_millis(100));
+        assert_eq!(cfg.queue_depth, 3, "clamped to the worker count");
+        cfg.validate().expect("derived config must validate");
     }
 
     #[test]

@@ -163,6 +163,13 @@ pub enum ServeError {
     InvalidConfig(String),
     /// A query referenced a session id that was never registered.
     UnknownSession(u64),
+    /// The admission queue is full: the service is running at its
+    /// ceiling and sheds this request instead of queueing unbounded
+    /// latency. A typed, retryable rejection — see [`ServeError::is_busy`].
+    Busy {
+        /// The admission queue bound that was hit.
+        queue_depth: usize,
+    },
 }
 
 impl From<PirError> for ServeError {
@@ -190,6 +197,27 @@ impl core::fmt::Display for ServeError {
             ServeError::Protocol(msg) => write!(f, "session protocol violation: {msg}"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serving config: {msg}"),
             ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServeError::Busy { queue_depth } => {
+                write!(f, "{BUSY_MARKER} (admission queue of {queue_depth} is full; retry later)")
+            }
+        }
+    }
+}
+
+/// The stable prefix of the [`ServeError::Busy`] wire message. Error
+/// frames carry only a string, so clients recognize overload rejections
+/// by this marker — keep it in sync with [`ServeError::is_busy`].
+const BUSY_MARKER: &str = "server busy";
+
+impl ServeError {
+    /// Whether this error is an overload rejection — either a local
+    /// [`ServeError::Busy`] or the remote wire form of one — so callers
+    /// can back off and retry instead of treating it as a hard failure.
+    pub fn is_busy(&self) -> bool {
+        match self {
+            ServeError::Busy { .. } => true,
+            ServeError::Remote { message, .. } => message.contains(BUSY_MARKER),
+            _ => false,
         }
     }
 }

@@ -42,6 +42,11 @@ pub struct Metrics {
     latency_max_us: AtomicU64,
     queue_depth: AtomicUsize,
     queue_depth_max: AtomicUsize,
+    busy_rejections: AtomicU64,
+    /// LRU evictions in the session cache. Behind an `Arc` because the
+    /// [`crate::SessionManager`] increments it directly (the cache does
+    /// not otherwise know the metrics plane).
+    session_evictions: Arc<AtomicU64>,
     update_batches: AtomicU64,
     updates_applied: AtomicU64,
     epoch: AtomicU64,
@@ -82,6 +87,8 @@ impl Metrics {
             latency_max_us: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             queue_depth_max: AtomicUsize::new(0),
+            busy_rejections: AtomicU64::new(0),
+            session_evictions: Arc::default(),
             update_batches: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
@@ -111,6 +118,21 @@ impl Metrics {
     /// A query left the waiting queue (joined a batch).
     pub fn job_dequeued(&self) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A query was shed at admission because the bounded queue was full
+    /// (the typed `Busy` rejection — counted separately from server-side
+    /// failures so overload is visible as overload).
+    pub fn query_rejected_busy(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The session-eviction counter, shared with the session cache: the
+    /// service hands this to
+    /// [`SessionManager::with_eviction_counter`](crate::SessionManager::with_eviction_counter)
+    /// so LRU evictions surface in every stats snapshot.
+    pub fn session_eviction_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.session_evictions)
     }
 
     /// A batch of `size` queries dispatched to a worker.
@@ -179,6 +201,8 @@ impl Metrics {
             scan_bytes: self.trace.scan_bytes(),
             scan_ns: self.trace.scan_ns(),
             slow_queries: self.trace.slow_seen(),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            session_evictions: self.session_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -285,6 +309,11 @@ pub struct ServerStats {
     pub scan_gbps: f64,
     /// Queries that crossed the slow-trace threshold.
     pub slow_queries: u64,
+    /// Queries shed at admission with a typed `Busy` rejection (the
+    /// bounded queue was full) — overload, counted as overload.
+    pub busy_rejections: u64,
+    /// Session-cache LRU evictions performed to admit new Hellos.
+    pub session_evictions: u64,
 }
 
 impl ServerStats {
@@ -351,6 +380,8 @@ impl ServerStats {
                 0.0
             },
             slow_queries: report.slow_queries,
+            busy_rejections: report.busy_rejections,
+            session_evictions: report.session_evictions,
         }
     }
 
@@ -382,7 +413,7 @@ impl ServerStats {
     /// (each `le` edge is a power-of-two µs).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &str, u64); 12] = [
+        let counters: [(&str, &str, u64); 14] = [
             ("ive_queries_total", "Queries answered successfully.", self.queries),
             ("ive_errors_total", "Queries failed server-side.", self.errors),
             ("ive_batches_total", "Batches dispatched.", self.batches),
@@ -403,6 +434,12 @@ impl ServerStats {
                 self.auto_coeffs,
             ),
             ("ive_scan_bytes_total", "Database bytes streamed by RowSel.", self.scan_bytes),
+            (
+                "ive_busy_rejections_total",
+                "Queries shed at admission (queue full).",
+                self.busy_rejections,
+            ),
+            ("ive_session_evictions_total", "Session-cache LRU evictions.", self.session_evictions),
         ];
         for (name, help, value) in counters {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
@@ -497,7 +534,7 @@ impl core::fmt::Display for ServerStats {
             "{} queries ({} errors) in {:.1}s = {:.1} QPS | {} batches (avg {:.2}, max {}, \
              {} multi) | latency ms: mean {:.1} p50 {:.1} p95 {:.1} p99 {:.1} p999 {:.1} \
              max {:.1} | queue depth {} (max {}) | epoch {} ({} updates in {} batches) | \
-             scan {:.2} GB/s | {:.2e} MACs/s | {} slow",
+             scan {:.2} GB/s | {:.2e} MACs/s | {} slow | {} busy | {} evicted",
             self.queries,
             self.errors,
             self.uptime_s,
@@ -519,7 +556,9 @@ impl core::fmt::Display for ServerStats {
             self.update_batches,
             self.scan_gbps,
             self.mults_per_s,
-            self.slow_queries
+            self.slow_queries,
+            self.busy_rejections,
+            self.session_evictions
         )
     }
 }
@@ -539,9 +578,14 @@ mod tests {
         m.query_done(Duration::from_millis(2));
         m.query_done(Duration::from_millis(40));
         m.query_failed();
+        m.query_rejected_busy();
+        m.query_rejected_busy();
+        m.session_eviction_counter().fetch_add(3, Ordering::Relaxed);
         m.update_committed(5, 1);
         m.update_committed(2, 2);
         let s = m.snapshot();
+        assert_eq!(s.busy_rejections, 2);
+        assert_eq!(s.session_evictions, 3);
         assert_eq!(s.queries, 2);
         assert_eq!(s.update_batches, 2);
         assert_eq!(s.updates_applied, 7);
@@ -679,6 +723,8 @@ mod tests {
             scan_bytes: 4_000_000_000,
             scan_ns: 2_000_000_000,
             slow_queries: 1,
+            busy_rejections: 6,
+            session_evictions: 9,
         };
         let text = ServerStats::from_report(&report).to_prometheus();
         for needle in [
@@ -687,6 +733,8 @@ mod tests {
             "ive_slow_queries_total 1\n",
             "ive_kernel_pointwise_macs_total 2000000\n",
             "ive_scan_bytes_total 4000000000\n",
+            "# TYPE ive_busy_rejections_total counter\nive_busy_rejections_total 6\n",
+            "# TYPE ive_session_evictions_total counter\nive_session_evictions_total 9\n",
             "# TYPE ive_queue_depth gauge\nive_queue_depth 1\n",
             "ive_uptime_seconds 2\n",
             "ive_qps 2\n",

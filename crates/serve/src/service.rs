@@ -84,7 +84,13 @@ impl PirService {
             journal.checkpoint()?;
             engine.set_journal(journal);
         }
-        let sessions = Arc::new(SessionManager::new(params, config.max_sessions));
+        // The session cache and the metrics plane share one eviction
+        // counter, so LRU churn is visible in every stats scrape.
+        let sessions = Arc::new(SessionManager::with_eviction_counter(
+            params,
+            config.max_sessions,
+            metrics.session_eviction_counter(),
+        ));
         let shutdown = Arc::new(AtomicBool::new(false));
         let endpoint = transport.endpoint();
 
@@ -98,6 +104,7 @@ impl PirService {
             let metrics = Arc::clone(&metrics);
             let engine = Arc::clone(&engine);
             let accept_updates = config.accept_updates;
+            let queue_depth = config.queue_depth;
             let jobs = jobs.clone();
             std::thread::Builder::new()
                 .name("ive-serve-accept".into())
@@ -119,6 +126,7 @@ impl PirService {
                                     metrics: Arc::clone(&metrics),
                                     engine: Arc::clone(&engine),
                                     accept_updates,
+                                    queue_depth,
                                     jobs: jobs.clone(),
                                     shutdown: Arc::clone(&shutdown),
                                 };
@@ -256,6 +264,8 @@ struct HandlerCtx {
     metrics: Arc<Metrics>,
     engine: Arc<ShardedEngine>,
     accept_updates: bool,
+    /// Admission queue bound, reported in [`ServeError::Busy`] rejections.
+    queue_depth: usize,
     jobs: SyncSender<Job>,
     shutdown: Arc<AtomicBool>,
 }
@@ -332,11 +342,28 @@ fn handle_frame(
                                 decode,
                                 reply: out.clone(),
                             };
+                            // Admission control: never block the handler
+                            // on a saturated pipeline. A full queue means
+                            // the service is at its ceiling, and queueing
+                            // further would only convert overload into
+                            // unbounded latency — shed with a typed,
+                            // retryable rejection instead.
                             ctx.metrics.job_enqueued();
-                            if ctx.jobs.send(job).is_err() {
-                                // Pipeline is shutting down.
-                                ctx.metrics.job_dequeued();
-                                reply(error_frame(request_id, &ServeError::Closed))?;
+                            match ctx.jobs.try_send(job) {
+                                Ok(()) => {}
+                                Err(mpsc::TrySendError::Full(_)) => {
+                                    ctx.metrics.job_dequeued();
+                                    ctx.metrics.query_rejected_busy();
+                                    reply(error_frame(
+                                        request_id,
+                                        &ServeError::Busy { queue_depth: ctx.queue_depth },
+                                    ))?;
+                                }
+                                Err(mpsc::TrySendError::Disconnected(_)) => {
+                                    // Pipeline is shutting down.
+                                    ctx.metrics.job_dequeued();
+                                    reply(error_frame(request_id, &ServeError::Closed))?;
+                                }
                             }
                             Ok(())
                         }

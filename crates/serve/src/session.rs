@@ -4,6 +4,14 @@
 //! every later query carries only a `u64` session id, and the online
 //! payload shrinks from hundreds of KB of key material to the query
 //! ciphertexts alone.
+//!
+//! The cache is bounded and **LRU**: each key set pins real memory, so at
+//! `max_sessions` the least-recently-used session is evicted to admit the
+//! new one instead of rejecting the Hello — under millions of clients the
+//! cache self-manages and an evicted client simply re-Hellos (its next
+//! query fails with `unknown session`, the client re-registers, and
+//! service resumes). Evictions are counted and surfaced through
+//! [`crate::ServerStats`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,35 +21,70 @@ use ive_pir::{ClientKeys, PirParams};
 
 use crate::ServeError;
 
-/// Registered client key material, keyed by session id.
+/// One cached key set plus its recency stamp. The stamp is atomic so
+/// [`SessionManager::lookup`] can touch it under the shared read lock —
+/// queries never serialize on the cache write lock just to stay "recent".
+#[derive(Debug)]
+struct Session {
+    keys: Arc<ClientKeys>,
+    last_used: AtomicU64,
+}
+
+/// Registered client key material, keyed by session id, LRU-bounded.
 #[derive(Debug)]
 pub struct SessionManager {
     params: PirParams,
     max_sessions: usize,
     next_id: AtomicU64,
-    keys: RwLock<HashMap<u64, Arc<ClientKeys>>>,
+    /// Monotonic recency clock; ticked on every register and lookup.
+    clock: AtomicU64,
+    /// Sessions evicted to make room (shared with the metrics plane).
+    evictions: Arc<AtomicU64>,
+    keys: RwLock<HashMap<u64, Session>>,
 }
 
 impl SessionManager {
-    /// An empty manager for the given scheme parameters, rejecting
-    /// registrations once `max_sessions` key sets are cached.
+    /// An empty manager for the given scheme parameters, LRU-evicting
+    /// once `max_sessions` key sets are cached.
     pub fn new(params: &PirParams, max_sessions: usize) -> Self {
+        SessionManager::with_eviction_counter(params, max_sessions, Arc::default())
+    }
+
+    /// Like [`SessionManager::new`], but counting evictions into a
+    /// caller-shared counter (the serving runtime passes the metrics
+    /// plane's counter so evictions surface in [`crate::ServerStats`]).
+    pub fn with_eviction_counter(
+        params: &PirParams,
+        max_sessions: usize,
+        evictions: Arc<AtomicU64>,
+    ) -> Self {
         SessionManager {
             params: params.clone(),
             max_sessions,
             next_id: AtomicU64::new(1),
+            clock: AtomicU64::new(0),
+            evictions,
             keys: RwLock::new(HashMap::new()),
         }
     }
 
     /// Validates and caches one client's key set, returning the session id
-    /// the client must present with every query.
+    /// the client must present with every query. At capacity the
+    /// least-recently-used session is evicted to make room.
     ///
     /// # Errors
-    /// Fails when the key count does not match the `ExpandQuery` depth or
-    /// the cache is full (each key set pins real memory; an uncapped
-    /// cache would let anonymous Hello frames exhaust the server).
+    /// Fails when the key count does not match the `ExpandQuery` depth.
     pub fn register(&self, keys: ClientKeys) -> Result<u64, ServeError> {
+        self.register_shared(Arc::new(keys))
+    }
+
+    /// [`SessionManager::register`] for key material already behind an
+    /// `Arc` — registration then costs a validation and a map insert, no
+    /// key copy (how churn tests drive ~100k registrations cheaply).
+    ///
+    /// # Errors
+    /// Fails when the key count does not match the `ExpandQuery` depth.
+    pub fn register_shared(&self, keys: Arc<ClientKeys>) -> Result<u64, ServeError> {
         let need = self.params.log_d0() as usize;
         if keys.subs_keys().len() != need {
             return Err(ServeError::Protocol(format!(
@@ -49,15 +92,24 @@ impl SessionManager {
                 keys.subs_keys().len()
             )));
         }
+        if self.max_sessions == 0 {
+            return Err(ServeError::Protocol("session cache disabled (max_sessions = 0)".into()));
+        }
         let mut cache = self.keys.write().expect("session lock poisoned");
-        if cache.len() >= self.max_sessions {
-            return Err(ServeError::Protocol(format!(
-                "session cache full ({} sessions); evict before registering",
-                self.max_sessions
-            )));
+        while cache.len() >= self.max_sessions {
+            // O(cache) scan under the write lock: caps are thousands,
+            // not millions, and registration is the cold path.
+            let lru = cache
+                .iter()
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                .map(|(&id, _)| id)
+                .expect("cache non-empty at capacity");
+            cache.remove(&lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        cache.insert(id, Arc::new(keys));
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        cache.insert(id, Session { keys, last_used: AtomicU64::new(stamp) });
         Ok(id)
     }
 
@@ -67,15 +119,25 @@ impl SessionManager {
         &self.params
     }
 
-    /// The cached keys for a session, if registered.
+    /// The cached keys for a session, if registered; touches the
+    /// session's LRU stamp.
     pub fn lookup(&self, session_id: u64) -> Option<Arc<ClientKeys>> {
-        self.keys.read().expect("session lock poisoned").get(&session_id).cloned()
+        let cache = self.keys.read().expect("session lock poisoned");
+        cache.get(&session_id).map(|s| {
+            s.last_used.store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+            Arc::clone(&s.keys)
+        })
     }
 
-    /// Drops a session's keys (cache management); returns whether it
-    /// existed.
+    /// Drops a session's keys (explicit cache management, not counted as
+    /// an LRU eviction); returns whether it existed.
     pub fn evict(&self, session_id: u64) -> bool {
         self.keys.write().expect("session lock poisoned").remove(&session_id).is_some()
+    }
+
+    /// Number of LRU evictions performed to admit new sessions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of live sessions.
@@ -92,7 +154,7 @@ impl SessionManager {
     /// paper's §III-B bandwidth analysis is about).
     pub fn cached_key_bytes(&self) -> usize {
         let he = self.params.he();
-        self.keys.read().expect("session lock poisoned").values().map(|k| k.byte_len(he)).sum()
+        self.keys.read().expect("session lock poisoned").values().map(|s| s.keys.byte_len(he)).sum()
     }
 }
 
@@ -118,6 +180,7 @@ mod tests {
         assert!(mgr.evict(id));
         assert!(!mgr.evict(id));
         assert_eq!(mgr.len(), 1);
+        assert_eq!(mgr.evictions(), 0, "explicit evicts are not LRU evictions");
     }
 
     #[test]
@@ -131,15 +194,47 @@ mod tests {
     }
 
     #[test]
-    fn cache_cap_enforced_until_eviction() {
+    fn cache_cap_evicts_least_recently_used() {
         let params = PirParams::toy();
         let mgr = SessionManager::new(&params, 2);
         let client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(3)).unwrap();
         let a = mgr.register(client.public_keys().clone()).unwrap();
-        let _b = mgr.register(client.public_keys().clone()).unwrap();
-        let err = mgr.register(client.public_keys().clone()).unwrap_err();
-        assert!(err.to_string().contains("full"), "unhelpful: {err}");
-        assert!(mgr.evict(a));
-        mgr.register(client.public_keys().clone()).expect("slot freed");
+        let b = mgr.register(client.public_keys().clone()).unwrap();
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(mgr.lookup(a).is_some());
+        let c = mgr.register(client.public_keys().clone()).unwrap();
+        assert_eq!(mgr.len(), 2, "cap holds");
+        assert_eq!(mgr.evictions(), 1);
+        assert!(mgr.lookup(a).is_some(), "recently used survives");
+        assert!(mgr.lookup(b).is_none(), "LRU session evicted");
+        assert!(mgr.lookup(c).is_some(), "new session admitted");
+    }
+
+    #[test]
+    fn hundred_thousand_registrations_against_a_small_cap() {
+        // The ~1M-client regime, shrunk to test time: 100k Hellos churn
+        // through a 64-slot cache. Key material is shared behind one Arc
+        // so each registration costs a map insert, which is exactly what
+        // this test is about — the cache must self-manage (bounded size,
+        // exact eviction accounting, survivors are the most recent).
+        let params = PirParams::toy();
+        let cap = 64usize;
+        let mgr = SessionManager::new(&params, cap);
+        let client = PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(4)).unwrap();
+        let keys = Arc::new(client.public_keys().clone());
+        let total = 100_000usize;
+        let mut last_ids = std::collections::VecDeque::with_capacity(cap);
+        for _ in 0..total {
+            let id = mgr.register_shared(Arc::clone(&keys)).unwrap();
+            if last_ids.len() == cap {
+                last_ids.pop_front();
+            }
+            last_ids.push_back(id);
+        }
+        assert_eq!(mgr.len(), cap, "cache never exceeds its cap");
+        assert_eq!(mgr.evictions(), (total - cap) as u64, "every overflow evicted exactly one");
+        for id in last_ids {
+            assert!(mgr.lookup(id).is_some(), "most recent {cap} sessions survive");
+        }
     }
 }

@@ -541,6 +541,172 @@ fn live_server_answers_stats_scrapes_with_stage_histograms() {
     assert_eq!(final_stats.errors, 0, "scrapes must not disturb the query plane");
 }
 
+/// The admission-control acceptance test: a burst far beyond the
+/// pipeline's bounded capacity (1 worker, queue depth 1) is shed with
+/// **typed** `Busy` error frames — recognizable client-side via
+/// [`ive_serve::ServeError::is_busy`] — while every accepted query still
+/// decodes the exact record. Rejections are counted in
+/// [`ive_serve::ServerStats::busy_rejections`], never as query errors,
+/// and the latency quantiles only ever see admitted work, so overload
+/// cannot smear the histogram with unbounded queueing delay.
+#[test]
+fn overload_sheds_typed_busy_rejections_and_answers_stay_exact() {
+    use ive_pir::wire;
+    use ive_serve::transport::Received;
+    use ive_serve::ServeError;
+
+    let params = PirParams::toy();
+    let (db, records) = toy_db(&params);
+    let config = ServeConfig {
+        window: Duration::ZERO,
+        max_batch: 2,
+        workers: 1,
+        // The whole pipeline holds ~4 jobs (worker + batch slot +
+        // dispatcher + this queue); everything past that must bounce.
+        queue_depth: 1,
+        shard: ShardPlan::Replicated,
+        rowsel_threads: 1,
+        order: TournamentOrder::Hs { subtree_depth: 2 },
+        backend: ive_pir::BackendKind::Optimized,
+        max_sessions: 8,
+        accept_updates: false,
+        compress_responses: false,
+        journal: None,
+        ..ServeConfig::default()
+    };
+    let (transport, connector) = in_proc_pair();
+    let service =
+        PirService::start(config, &params, db, Box::new(transport)).expect("service starts");
+
+    // Speak the wire protocol directly and pre-encode the burst, so all
+    // frames hit the server within microseconds — no client-side crypto
+    // pacing the offered load below the admission ceiling.
+    let (mut rx, mut tx) = connector.connect().expect("dial");
+    let mut raw =
+        ive_pir::PirClient::new(&params, rand::rngs::StdRng::seed_from_u64(55)).expect("keygen");
+    tx.send(&wire::encode_hello(raw.public_keys())).expect("hello");
+    let session = loop {
+        match rx.recv().expect("recv") {
+            Received::Frame(f) => break wire::decode_welcome(&f).expect("welcome"),
+            Received::Idle => continue,
+            Received::Closed => panic!("server closed during handshake"),
+        }
+    };
+    const BURST: usize = 12;
+    let queries: Vec<_> =
+        (0..BURST).map(|i| raw.query(i % records.len()).expect("in range")).collect();
+    let frames: Vec<_> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| wire::encode_session_query(session, i as u64 + 1, q))
+        .collect();
+    for frame in &frames {
+        tx.send(frame).expect("burst send");
+    }
+
+    let he = params.he().clone();
+    let mut served = 0u64;
+    let mut busy = 0u64;
+    let drain_started = std::time::Instant::now();
+    for _ in 0..BURST {
+        let frame = loop {
+            assert!(
+                drain_started.elapsed() < Duration::from_secs(120),
+                "drain stalled: {served} served, {busy} busy"
+            );
+            match rx.recv().expect("recv") {
+                Received::Frame(f) => break f,
+                Received::Idle => continue,
+                Received::Closed => panic!("server closed mid-drain"),
+            }
+        };
+        match wire::peek_tag(&frame).expect("tag") {
+            wire::Tag::SessionResponse => {
+                let (req, ct) = wire::decode_session_response(&he, &frame).expect("response");
+                let idx = (req as usize - 1) % records.len();
+                let plain = raw.decode(&queries[req as usize - 1], &ct).expect("decode");
+                assert_eq!(
+                    &plain[..records[idx].len()],
+                    &records[idx][..],
+                    "request {req} decoded the wrong record under overload"
+                );
+                served += 1;
+            }
+            wire::Tag::Error => {
+                let (req, message) = wire::decode_error_frame(&frame).expect("error frame");
+                assert!(req >= 1, "rejection must name the request it sheds: {message}");
+                let err = ServeError::Remote { request_id: req, message: message.clone() };
+                assert!(err.is_busy(), "only typed Busy rejections are acceptable: {message}");
+                busy += 1;
+            }
+            tag => panic!("unexpected {} frame under overload", tag.name()),
+        }
+    }
+    assert_eq!(served + busy, BURST as u64);
+    assert!(served >= 1, "the pipeline must keep serving under overload");
+    assert!(busy >= 1, "a 12-deep burst into a depth-1 queue must shed load");
+
+    drop(tx);
+    drop(rx);
+    let stats = service.shutdown();
+    assert_eq!(stats.queries, served, "only admitted queries may enter the latency histogram");
+    assert_eq!(stats.busy_rejections, busy, "every shed request must be counted");
+    assert_eq!(stats.errors, 0, "busy shedding is backpressure, not failure: {stats}");
+    assert!(stats.p999_latency_ms < 120_000.0, "admitted-work latency must stay bounded: {stats}");
+}
+
+/// Session-cache eviction end to end (the bounded-cache counterpart of
+/// the 100k-churn unit test in `ive_serve::session`): against a 2-slot
+/// cache, a third Hello LRU-evicts the stalest session, whose next query
+/// is refused with `unknown session`; the client recovers with a fresh
+/// Hello, the most recent sessions keep serving, and the evictions are
+/// counted in [`ive_serve::ServerStats::session_evictions`].
+#[test]
+fn evicted_sessions_recover_with_a_fresh_hello() {
+    let params = PirParams::toy();
+    let (db, records) = toy_db(&params);
+    let config =
+        ServeConfig { window: Duration::from_millis(1), max_sessions: 2, ..ServeConfig::default() };
+    let (transport, connector) = in_proc_pair();
+    let service =
+        PirService::start(config, &params, db, Box::new(transport)).expect("service starts");
+
+    let mut a = Connection::new(connector.connect().expect("dial"))
+        .into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(1))
+        .expect("handshake a");
+    let got = a.retrieve(5).expect("a serves while cached");
+    assert_eq!(&got[..records[5].len()], &records[5][..]);
+
+    // Two more registrations against the 2-slot cache: the second one
+    // evicts `a` (the least recently used at that point).
+    let _b = Connection::new(connector.connect().expect("dial"))
+        .into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(2))
+        .expect("handshake b");
+    let mut c = Connection::new(connector.connect().expect("dial"))
+        .into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(3))
+        .expect("handshake c");
+
+    let err = a.retrieve(5).expect_err("evicted session must be refused");
+    assert!(err.to_string().contains("unknown session"), "unhelpful: {err}");
+
+    // Recovery is a fresh Hello — the documented client protocol for an
+    // LRU-managed cache (this in turn evicts `b`, now the LRU).
+    let mut a2 = Connection::new(connector.connect().expect("dial"))
+        .into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(4))
+        .expect("re-hello");
+    let got = a2.retrieve(9).expect("recovered session serves");
+    assert_eq!(&got[..records[9].len()], &records[9][..]);
+    let got = c.retrieve(3).expect("recently used sessions survive");
+    assert_eq!(&got[..records[3].len()], &records[3][..]);
+
+    assert_eq!(service.sessions().len(), 2, "the cache never exceeds its cap");
+    assert_eq!(service.sessions().evictions(), 2, "a then b were LRU-evicted");
+    let stats = service.shutdown();
+    assert_eq!(stats.session_evictions, 2, "evictions must surface in the stats plane");
+    assert_eq!(stats.queries, 3, "three retrievals succeeded");
+    assert_eq!(stats.errors, 1, "exactly the evicted session's refused query");
+}
+
 /// Queries against unknown sessions are answered with error frames and
 /// counted, without disturbing well-behaved traffic.
 #[test]
