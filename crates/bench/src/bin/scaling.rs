@@ -146,6 +146,7 @@ fn measure_serve_qps(
         journal: None,
         slow_threshold: Duration::from_secs(3600),
         trace_ring: 0,
+        idle_timeout: Some(Duration::from_secs(60)),
     };
     let (transport, connector) = in_proc_pair();
     let service =

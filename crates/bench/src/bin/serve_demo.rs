@@ -342,6 +342,14 @@ fn json_phase(
             "    \"queue_depth\": {},\n",
             "    \"busy_rejections\": {},\n",
             "    \"session_evictions\": {},\n",
+            // The self-healing counters: all zero in a fault-free run,
+            // so any nonzero value in an artifact flags real trouble
+            // (client retries, reaped connections, panicking workers).
+            "    \"timeouts\": {},\n",
+            "    \"retries\": {},\n",
+            "    \"reconnects\": {},\n",
+            "    \"worker_panics\": {},\n",
+            "    \"drained_jobs\": {},\n",
             "    \"mean_latency_ms\": {:.3},\n",
             "    \"p95_latency_ms\": {:.3},\n",
             "    \"p999_latency_ms\": {:.3},\n",
@@ -367,6 +375,11 @@ fn json_phase(
         cfg.queue_depth,
         p.stats.busy_rejections,
         p.stats.session_evictions,
+        p.stats.timeouts,
+        p.stats.retries,
+        p.stats.reconnects,
+        p.stats.worker_panics,
+        p.stats.drained_jobs,
         p.stats.mean_latency_ms,
         p.stats.p95_latency_ms,
         p.stats.p999_latency_ms,
@@ -456,6 +469,7 @@ fn main() {
         // which the exit report averages into the stage breakdown.
         slow_threshold: Duration::ZERO,
         trace_ring: 16_384,
+        idle_timeout: Some(Duration::from_secs(60)),
     };
     let batched_cfg = ServeConfig {
         window,
@@ -476,6 +490,7 @@ fn main() {
         journal: None,
         slow_threshold: Duration::ZERO,
         trace_ring: 16_384,
+        idle_timeout: Some(Duration::from_secs(60)),
     };
 
     let single = run_phase(

@@ -124,6 +124,7 @@ fn run_phase(
         // report can break mean latency into pipeline stages per phase.
         slow_threshold: Duration::ZERO,
         trace_ring: 16_384,
+        idle_timeout: Some(Duration::from_secs(60)),
     };
     let (transport, connector) = in_proc_pair();
     let service =

@@ -53,6 +53,7 @@ pub mod client;
 pub mod coltor;
 pub mod db;
 pub mod expand;
+pub mod fault;
 pub mod keyword;
 pub mod kspir;
 pub mod packed;

@@ -335,6 +335,10 @@ impl Journal {
         let path = path.into();
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        // A freshly created journal is only durable once its *directory
+        // entry* is — fsync the parent so the file itself survives a
+        // crash, not just its (empty) contents.
+        sync_parent_dir(&path)?;
         let mut raw = Vec::new();
         file.read_to_end(&mut raw)?;
         let mut batches = Vec::new();
@@ -370,8 +374,21 @@ impl Journal {
         let mut rec = Vec::with_capacity(4 + frame.len());
         rec.extend_from_slice(&(frame.len() as u32).to_be_bytes());
         rec.extend_from_slice(&frame);
-        self.file.write_all(&rec)?;
-        self.file.sync_data()?;
+        let start = self.file.stream_position()?;
+        let synced = self
+            .file
+            .write_all(&rec)
+            .and_then(|()| crate::fault::fail_io(crate::fault::Site::Fsync))
+            .and_then(|()| self.file.sync_data());
+        if let Err(e) = synced {
+            // The record's durability is unknown (write or fsync failed,
+            // possibly ENOSPC): roll the file back to the pre-append
+            // length so an unacknowledged batch can never replay, and
+            // leave the cursor where the next append expects it.
+            let _ = self.file.set_len(start);
+            let _ = self.file.seek(SeekFrom::Start(start));
+            return Err(e.into());
+        }
         self.seq += 1;
         self.pending += 1;
         Ok(())
@@ -386,6 +403,10 @@ impl Journal {
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
         self.file.sync_data()?;
+        // Truncation rewrites the inode; sync the directory too so the
+        // checkpoint itself is durable and a crash cannot resurrect
+        // already-committed batches through a stale directory entry.
+        sync_parent_dir(&self.path)?;
         self.pending = 0;
         Ok(())
     }
@@ -400,6 +421,17 @@ impl Journal {
     #[inline]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+/// Fsyncs `path`'s parent directory, so that metadata operations on the
+/// file (creation, truncation) are durable — an fsync of the file alone
+/// does not cover its directory entry. A pathless file (no parent) is a
+/// no-op.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => File::open(dir)?.sync_all(),
+        _ => Ok(()),
     }
 }
 

@@ -1136,6 +1136,18 @@ pub struct StatsReport {
     pub busy_rejections: u64,
     /// Session-cache LRU evictions performed to admit new sessions.
     pub session_evictions: u64,
+    /// Connections closed after their idle deadline expired.
+    pub timeouts: u64,
+    /// Duplicate update requests answered from the idempotency cache
+    /// instead of re-applied (a client retried an already-acked batch).
+    pub retries: u64,
+    /// Hello handshakes that re-registered over a connection that
+    /// already held a session (evicted clients recovering).
+    pub reconnects: u64,
+    /// Worker panics caught and converted into typed error frames.
+    pub worker_panics: u64,
+    /// Queries answered while the service was draining for shutdown.
+    pub drained_jobs: u64,
 }
 
 /// Serializes a stats scrape request under a client-chosen request id.
@@ -1249,6 +1261,11 @@ pub fn encode_stats_response(request_id: u64, report: &StatsReport) -> Result<By
         report.slow_queries,
         report.busy_rejections,
         report.session_evictions,
+        report.timeouts,
+        report.retries,
+        report.reconnects,
+        report.worker_panics,
+        report.drained_jobs,
     ] {
         buf.put_u64(v);
     }
@@ -1292,10 +1309,10 @@ pub fn decode_stats_response(bytes: &Bytes) -> Result<(u64, StatsReport), PirErr
         let buckets = read_buckets(&mut buf, MAX_STATS_BUCKETS, "stage histogram")?;
         stages.push(StageReport { count, sum_us, max_us, buckets });
     }
-    if buf.remaining() < 8 * 9 {
+    if buf.remaining() < 8 * 14 {
         return Err(PirError::Wire("truncated kernel counters".into()));
     }
-    let mut trailing = [0u64; 9];
+    let mut trailing = [0u64; 14];
     for v in &mut trailing {
         *v = buf.get_u64();
     }
@@ -1328,6 +1345,11 @@ pub fn decode_stats_response(bytes: &Bytes) -> Result<(u64, StatsReport), PirErr
             slow_queries: trailing[6],
             busy_rejections: trailing[7],
             session_evictions: trailing[8],
+            timeouts: trailing[9],
+            retries: trailing[10],
+            reconnects: trailing[11],
+            worker_panics: trailing[12],
+            drained_jobs: trailing[13],
         },
     ))
 }
@@ -1672,6 +1694,11 @@ mod tests {
             slow_queries: 11,
             busy_rejections: 23,
             session_evictions: 31,
+            timeouts: 2,
+            retries: 6,
+            reconnects: 4,
+            worker_panics: 1,
+            drained_jobs: 13,
         };
         let frame = encode_stats_response(8, &report).expect("legal");
         assert_eq!(peek_tag(&frame).expect("well-formed"), Tag::StatsResponse);

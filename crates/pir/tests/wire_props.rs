@@ -151,6 +151,11 @@ fn random_stats_report(seed: u64) -> wire::StatsReport {
         slow_queries: rng.gen(),
         busy_rejections: rng.gen(),
         session_evictions: rng.gen(),
+        timeouts: rng.gen(),
+        retries: rng.gen(),
+        reconnects: rng.gen(),
+        worker_panics: rng.gen(),
+        drained_jobs: rng.gen(),
     }
 }
 

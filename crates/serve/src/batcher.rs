@@ -8,6 +8,8 @@
 //! as blocking — connection handlers stall instead of the server
 //! accumulating unbounded in-flight work.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -54,18 +56,27 @@ pub struct Batcher {
     pub jobs: SyncSender<Job>,
     /// Dispatcher + worker threads, joined on shutdown.
     pub threads: Vec<JoinHandle<()>>,
+    /// Graceful-drain marker: once set, jobs still answered are counted
+    /// as drained (`ServerStats.drained_jobs`).
+    pub draining: Arc<AtomicBool>,
+    /// Drain-deadline escape hatch: once set, workers stop computing and
+    /// answer every remaining job with a typed shutdown error instead.
+    pub abort: Arc<AtomicBool>,
 }
 
 /// Spawns the dispatcher and `config.workers` worker threads. The
 /// pipeline owns no shutdown flag: it drains and exits when the last
 /// submission handle (`Batcher::jobs` and its clones) is dropped, so no
-/// accepted query is ever silently discarded.
+/// accepted query is ever silently discarded — at worst (past the drain
+/// deadline) it is answered with a typed error.
 pub fn spawn(config: &ServeConfig, engine: Arc<ShardedEngine>, metrics: Arc<Metrics>) -> Batcher {
     let (jobs_tx, jobs_rx) = sync_channel::<Job>(config.queue_depth);
     // One slot per worker: a full pipeline blocks the dispatcher, which in
     // turn leaves jobs queued, which blocks submitters — backpressure.
     let (batch_tx, batch_rx) = sync_channel::<Vec<Job>>(config.workers);
     let batch_rx = Arc::new(Mutex::new(batch_rx));
+    let draining = Arc::new(AtomicBool::new(false));
+    let abort = Arc::new(AtomicBool::new(false));
 
     let mut threads = Vec::with_capacity(config.workers + 1);
     let window = config.window;
@@ -84,14 +95,16 @@ pub fn spawn(config: &ServeConfig, engine: Arc<ShardedEngine>, metrics: Arc<Metr
         let rx = Arc::clone(&batch_rx);
         let engine = Arc::clone(&engine);
         let metrics = Arc::clone(&metrics);
+        let draining = Arc::clone(&draining);
+        let abort = Arc::clone(&abort);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("ive-serve-worker-{i}"))
-                .spawn(move || worker_loop(&rx, &engine, &metrics, compress))
+                .spawn(move || worker_loop(&rx, &engine, &metrics, compress, &draining, &abort))
                 .expect("spawn worker"),
         );
     }
-    Batcher { jobs: jobs_tx, threads }
+    Batcher { jobs: jobs_tx, threads, draining, abort }
 }
 
 /// Collects jobs into waiting-window batches until every submitter hangs
@@ -143,6 +156,8 @@ fn worker_loop(
     engine: &ShardedEngine,
     metrics: &Metrics,
     compress: bool,
+    draining: &AtomicBool,
+    abort: &AtomicBool,
 ) {
     let mut scratch = QueryScratch::new();
     loop {
@@ -155,7 +170,7 @@ fn worker_loop(
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         };
-        process_batch(batch, engine, metrics, &mut scratch, compress);
+        process_batch(batch, engine, metrics, &mut scratch, compress, draining, abort);
     }
 }
 
@@ -196,27 +211,69 @@ fn frame_response(
 /// The engine fills one span with the batch's shared stage durations;
 /// each job's trace record is that span plus the job's own Decode, queue
 /// wait, and framing time — slow jobs land in the slow-query ring.
+///
+/// Compute is **panic-isolated**: an unwinding engine (or an injected
+/// `worker_compute` fault) is caught, counted in
+/// `ServerStats.worker_panics`, and the batch retried query-by-query —
+/// each query itself isolated — so one poisonous query turns into one
+/// typed error frame, never a dead worker thread. The warm scratch is
+/// rebuilt after any panic; its arena state mid-unwind is unspecified.
 fn process_batch(
     batch: Vec<Job>,
     engine: &ShardedEngine,
     metrics: &Metrics,
     scratch: &mut QueryScratch,
     compress: bool,
+    draining: &AtomicBool,
+    abort: &AtomicBool,
 ) {
+    if abort.load(Ordering::Relaxed) {
+        // Past the drain deadline: answering with a typed shutdown error
+        // (no compute) unblocks every waiting client immediately.
+        for job in &batch {
+            metrics.query_failed();
+            let _ = job.reply.send(crate::error_frame(job.request_id, &crate::ServeError::Closed));
+        }
+        return;
+    }
     // `QueueWait` is stamped here — not at dispatcher dequeue — so it
     // covers the whole pre-compute wait: submission queue, waiting
     // window, and any backlog in the bounded worker queue. That keeps a
     // query's stage sum accountable to its measured end-to-end latency.
     let compute_started = Instant::now();
-    let requests: Vec<(&ClientKeys, &PirQuery)> =
-        batch.iter().map(|job| (job.keys.as_ref(), &job.query)).collect();
     let mut span = Span::new();
-    let answers = engine.answer_batch_traced(&requests, scratch, &mut span);
-    let per_query: Vec<Result<ive_he::BfvCiphertext, ive_pir::PirError>> = match answers {
-        Ok(answers) => answers.into_iter().map(Ok).collect(),
-        Err(_) => batch
+    let whole_batch = catch_unwind(AssertUnwindSafe(|| {
+        ive_pir::fault::maybe_panic(ive_pir::fault::Site::WorkerCompute);
+        let requests: Vec<(&ClientKeys, &PirQuery)> =
+            batch.iter().map(|job| (job.keys.as_ref(), &job.query)).collect();
+        engine.answer_batch_traced(&requests, scratch, &mut span)
+    }));
+    let batch_answers = match whole_batch {
+        Ok(Ok(answers)) => Some(answers),
+        Ok(Err(_)) => None,
+        Err(_) => {
+            metrics.worker_panicked();
+            *scratch = QueryScratch::new();
+            None
+        }
+    };
+    let per_query: Vec<Result<ive_he::BfvCiphertext, String>> = match batch_answers {
+        Some(answers) => answers.into_iter().map(Ok).collect(),
+        None => batch
             .iter()
-            .map(|job| engine.answer_with(job.keys.as_ref(), &job.query, scratch))
+            .map(|job| {
+                let one = catch_unwind(AssertUnwindSafe(|| {
+                    engine.answer_with(job.keys.as_ref(), &job.query, scratch)
+                }));
+                match one {
+                    Ok(answer) => answer.map_err(|e| e.to_string()),
+                    Err(_) => {
+                        metrics.worker_panicked();
+                        *scratch = QueryScratch::new();
+                        Err("query worker panicked; query aborted".into())
+                    }
+                }
+            })
             .collect(),
     };
     let trace = metrics.trace();
@@ -228,12 +285,16 @@ fn process_batch(
         let wait = compute_started.duration_since(job.enqueued);
         jspan.add(Stage::QueueWait, wait);
         trace.record(Stage::QueueWait, wait);
-        match answer
-            .and_then(|ct| frame_response(engine, job.request_id, &ct, compress, trace, &mut jspan))
-        {
+        match answer.and_then(|ct| {
+            frame_response(engine, job.request_id, &ct, compress, trace, &mut jspan)
+                .map_err(|e| e.to_string())
+        }) {
             Ok(frame) => {
                 let total = job.enqueued.elapsed();
                 metrics.query_done(total);
+                if draining.load(Ordering::Relaxed) {
+                    metrics.job_drained();
+                }
                 trace.record_slow(&jspan, total, job.session_id, batch_size, epoch);
                 let _ = job.reply.send(frame); // receiver gone: client left
             }

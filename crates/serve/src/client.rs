@@ -6,7 +6,25 @@
 //! and [`UpdateClient`] for content ingestion (row put/delete batches,
 //! each acknowledged with the epoch it committed as — no keys, no
 //! session).
+//!
+//! ## Self-healing
+//!
+//! A [`Connection`] built with [`Connection::dial`] keeps its
+//! [`Connector`], so the typed clients can *recover* from transient
+//! failures instead of surfacing them: a [`RetryPolicy`] bounds the
+//! attempts and paces them with capped exponential backoff
+//! (deterministically jittered), a dead transport is re-dialed and the
+//! handshake replayed — key material is client-side, so an evicted or
+//! lost session re-registers with one `Hello` — and in-flight queries
+//! are resubmitted under the new session. Updates are made retry-safe
+//! by idempotency: every batch carries a process-unique request id the
+//! server remembers, so a retried already-acked batch is re-acked, never
+//! re-applied. [`RetryCounters`] (shared via
+//! [`Connection::retry_counters`]) expose what the recovery machinery
+//! did.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -15,39 +33,253 @@ use ive_pir::kspir::{KsPirClient, KsPirParams};
 use ive_pir::{wire, KvSchema, PirClient, PirParams, RecordUpdate};
 
 use crate::metrics::ServerStats;
-use crate::transport::{BoxedConn, FrameRx, FrameTx, Received};
+use crate::transport::{BoxedConn, Connector, FrameRx, FrameTx, Received};
 use crate::ServeError;
 
 /// How long a client waits for any single response before giving up.
 const RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
 
+/// How a client paces recovery: total attempt budget plus capped
+/// exponential backoff between attempts, with deterministic jitter (the
+/// jitter decorrelates a thundering herd without making test runs
+/// unreproducible — same seed, same delays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts for one operation, the first included; `1` means
+    /// no retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; attempt `n` waits up to
+    /// `base_backoff << n`.
+    pub base_backoff: Duration,
+    /// Ceiling the exponential backoff saturates at.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0x17E_5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The no-retry policy: every failure surfaces immediately (what
+    /// [`Connection::new`] defaults to — a connection without a
+    /// connector cannot re-dial anyway).
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The pause before retry number `attempt` (0-based): capped
+    /// exponential, jittered into `[d/2, d]` so concurrent clients
+    /// spread out. Deterministic in `(jitter_seed, attempt)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX))
+            .min(self.max_backoff);
+        let nanos = u64::try_from(exp.as_nanos()).unwrap_or(u64::MAX);
+        let mix = mix64(self.jitter_seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Duration::from_nanos(nanos / 2 + mix % (nanos / 2 + 1))
+    }
+}
+
+/// What the recovery machinery did on a connection's behalf — shared
+/// atomics ([`Connection::retry_counters`]) so callers can read them
+/// while the typed client owns the connection.
+#[derive(Debug, Default)]
+pub struct RetryCounters {
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl RetryCounters {
+    /// Operations retried after a transient failure.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Fresh connections dialed (and handshakes replayed) to recover.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Response deadlines that expired.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+}
+
+/// SplitMix64 finalizer: cheap deterministic mixing for jitter and
+/// request-id bases (not cryptographic).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A process-unique update request id: a random per-process base
+/// (time ⊕ pid, mixed) plus a counter. Uniqueness is what makes retried
+/// updates idempotent — the server's dedup cache is keyed by these ids,
+/// so two updaters in one process (or across processes) must never draw
+/// the same id for different batches.
+fn unique_request_id() -> u64 {
+    use std::sync::OnceLock;
+    static BASE: OnceLock<u64> = OnceLock::new();
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let base = *BASE.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        mix64(nanos ^ (u64::from(std::process::id()) << 32))
+    });
+    let id = base.wrapping_add(SEQ.fetch_add(1, Ordering::Relaxed));
+    // 0 is the connection-level sentinel in error frames; skip it.
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// The shared plumbing under every typed client: the live frame pair
+/// plus everything needed to replace it — the connector, the retry
+/// policy pacing recovery, the per-response deadline, and the counters.
+struct Link {
+    rx: Box<dyn FrameRx>,
+    tx: Box<dyn FrameTx>,
+    connector: Option<Box<dyn Connector>>,
+    retry: RetryPolicy,
+    timeout: Duration,
+    counters: Arc<RetryCounters>,
+}
+
+impl Link {
+    /// Blocks for the next frame under the configured deadline.
+    fn recv(&mut self) -> Result<Bytes, ServeError> {
+        recv_frame(self.rx.as_mut(), self.timeout)
+    }
+
+    /// Whether recovery is even possible: a connector to re-dial with
+    /// and a retry budget beyond the first attempt.
+    fn can_recover(&self) -> bool {
+        self.connector.is_some() && self.retry.max_attempts > 1
+    }
+
+    /// Replaces the frame pair with a freshly dialed connection.
+    fn redial(&mut self) -> Result<(), ServeError> {
+        let connector = self.connector.as_ref().ok_or(ServeError::Closed)?;
+        let (rx, tx) = connector.dial()?;
+        self.rx = rx;
+        self.tx = tx;
+        Ok(())
+    }
+
+    /// Books a failure into the counters (timeouts separately) and
+    /// sleeps out the backoff for retry `attempt`.
+    fn note_retry(&self, err: &ServeError, attempt: u32) {
+        if matches!(err, ServeError::Timeout) {
+            self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        std::thread::sleep(self.retry.backoff(attempt));
+        self.counters.retries.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// A raw framed connection, not yet committed to a protocol role. This
 /// is the single client entry point: wrap the [`BoxedConn`] a transport
-/// connector produced, then pick the role — every `into_*` method runs
-/// that role's handshake (or none, for updates) and returns the typed
-/// client.
+/// connector produced (or better, [`Connection::dial`] a [`Connector`]
+/// so the client can transparently reconnect), then pick the role —
+/// every `into_*` method runs that role's handshake (or none, for
+/// updates) and returns the typed client.
 ///
 /// ```no_run
 /// # use ive_pir::PirParams;
-/// # use ive_serve::{transport::in_proc_pair, Connection};
+/// # use ive_serve::{transport::in_proc_pair, Connection, RetryPolicy};
 /// # use rand::SeedableRng;
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// # let params = PirParams::toy();
 /// # let (_t, connector) = in_proc_pair();
 /// let rng = rand::rngs::StdRng::seed_from_u64(7);
-/// let mut reader = Connection::new(connector.connect()?).into_serve_client(&params, rng)?;
+/// // Self-healing reader: re-dials, re-Hellos, and resubmits on failure.
+/// let mut reader = Connection::dial(connector.clone())?
+///     .with_retry(RetryPolicy::default())
+///     .into_serve_client(&params, rng)?;
+/// // Bare writer: no connector, so failures surface immediately.
 /// let mut writer = Connection::new(connector.connect()?).into_update_client();
 /// # Ok(())
 /// # }
 /// ```
 pub struct Connection {
-    conn: BoxedConn,
+    link: Link,
 }
 
 impl Connection {
-    /// Wraps a connected transport pair.
+    /// Wraps a connected transport pair. Without a connector the
+    /// connection cannot re-dial, so the policy defaults to
+    /// [`RetryPolicy::none`].
     pub fn new(conn: BoxedConn) -> Self {
-        Connection { conn }
+        let (rx, tx) = conn;
+        Connection {
+            link: Link {
+                rx,
+                tx,
+                connector: None,
+                retry: RetryPolicy::none(),
+                timeout: RESPONSE_TIMEOUT,
+                counters: Arc::default(),
+            },
+        }
+    }
+
+    /// Dials a fresh connection through `connector` and keeps the
+    /// connector for transparent reconnects; retry defaults to
+    /// [`RetryPolicy::default`] (tune with [`Connection::with_retry`]).
+    ///
+    /// # Errors
+    /// Fails when the initial dial fails (later dials are the retry
+    /// machinery's problem).
+    pub fn dial(connector: impl Connector + 'static) -> Result<Self, ServeError> {
+        let (rx, tx) = connector.dial()?;
+        Ok(Connection {
+            link: Link {
+                rx,
+                tx,
+                connector: Some(Box::new(connector)),
+                retry: RetryPolicy::default(),
+                timeout: RESPONSE_TIMEOUT,
+                counters: Arc::default(),
+            },
+        })
+    }
+
+    /// Overrides the retry policy ([`RetryPolicy::none`] disables
+    /// recovery entirely).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.link.retry = retry;
+        self
+    }
+
+    /// Overrides the per-response deadline (default 120 s).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.link.timeout = timeout;
+        self
+    }
+
+    /// The shared counters the recovery machinery writes — clone before
+    /// converting into a typed client to observe retries from outside.
+    pub fn retry_counters(&self) -> Arc<RetryCounters> {
+        Arc::clone(&self.link.counters)
     }
 
     /// Runs the index-retrieval handshake ([`wire::Tag::Hello`] key
@@ -60,12 +292,12 @@ impl Connection {
         params: &PirParams,
         rng: rand::rngs::StdRng,
     ) -> Result<ServeClient, ServeError> {
-        ServeClient::handshake(params, self.conn, rng)
+        ServeClient::handshake(params, self.link, rng)
     }
 
     /// Returns an [`UpdateClient`] (updates exchange no handshake).
     pub fn into_update_client(self) -> UpdateClient {
-        UpdateClient::wrap(self.conn)
+        UpdateClient { link: self.link }
     }
 
     /// Runs the keyword handshake ([`wire::Tag::KsHello`] trace-key
@@ -80,7 +312,7 @@ impl Connection {
         params: &KsPirParams,
         rng: rand::rngs::StdRng,
     ) -> Result<KvClient, ServeError> {
-        KvClient::handshake(params, self.conn, rng)
+        KvClient::handshake(params, self.link, rng)
     }
 }
 
@@ -88,14 +320,20 @@ impl Connection {
 /// single-query use ([`ServeClient::retrieve`]) and pipelining several
 /// in-flight queries ([`ServeClient::submit`] / [`ServeClient::next_record`])
 /// so one connection can keep a batching server busy.
+///
+/// Built from a [`Connection::dial`], the client self-heals: transport
+/// failures re-dial and re-Hello (the key material is local, so an
+/// LRU-evicted session costs one handshake), and in-flight queries are
+/// resubmitted under the recovered session — callers just see
+/// `next_record` take a little longer.
 pub struct ServeClient {
-    rx: Box<dyn FrameRx>,
-    tx: Box<dyn FrameTx>,
+    link: Link,
     session_id: u64,
     next_request: u64,
     client: PirClient<rand::rngs::StdRng>,
     /// Queries awaiting their response, keyed by request id (needed to
-    /// decode the response that answers them).
+    /// decode the response that answers them — and to *resubmit* after a
+    /// reconnect).
     pending: std::collections::HashMap<u64, ive_pir::PirQuery>,
     /// Frames received while waiting for a specific response (e.g. query
     /// responses arriving during a [`ServeClient::stats`] scrape), to be
@@ -118,35 +356,37 @@ impl ServeClient {
         conn: BoxedConn,
         rng: rand::rngs::StdRng,
     ) -> Result<Self, ServeError> {
-        Self::handshake(params, conn, rng)
+        Connection::new(conn).into_serve_client(params, rng)
     }
 
-    /// The handshake body behind [`Connection::into_serve_client`].
+    /// The handshake body behind [`Connection::into_serve_client`],
+    /// retrying (with re-dials) under the link's policy.
     fn handshake(
         params: &PirParams,
-        conn: BoxedConn,
+        mut link: Link,
         rng: rand::rngs::StdRng,
     ) -> Result<Self, ServeError> {
-        let (mut rx, mut tx) = conn;
         let client = PirClient::new(params, rng)?;
-        tx.send(&wire::encode_hello(client.public_keys()))?;
-        let frame = recv_frame(rx.as_mut(), RESPONSE_TIMEOUT)?;
-        let session_id = match wire::peek_tag(&frame)? {
-            wire::Tag::Welcome => wire::decode_welcome(&frame)?,
-            wire::Tag::Error => {
-                let (request_id, message) = wire::decode_error_frame(&frame)?;
-                return Err(ServeError::Remote { request_id, message });
-            }
-            tag => {
-                return Err(ServeError::Protocol(format!(
-                    "expected Welcome, server sent {}",
-                    tag.name()
-                )))
+        let mut attempt = 0u32;
+        let session_id = loop {
+            match Self::hello_once(&mut link, &client) {
+                Ok(id) => break id,
+                Err(e)
+                    if e.is_transient()
+                        && link.can_recover()
+                        && attempt + 1 < link.retry.max_attempts =>
+                {
+                    link.note_retry(&e, attempt);
+                    attempt += 1;
+                    if link.redial().is_ok() {
+                        link.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e) => return Err(e),
             }
         };
         Ok(ServeClient {
-            rx,
-            tx,
+            link,
             session_id,
             next_request: 1,
             client,
@@ -155,7 +395,26 @@ impl ServeClient {
         })
     }
 
-    /// The session id the server assigned.
+    /// One Hello → Welcome exchange on the current connection.
+    fn hello_once(
+        link: &mut Link,
+        client: &PirClient<rand::rngs::StdRng>,
+    ) -> Result<u64, ServeError> {
+        link.tx.send(&wire::encode_hello(client.public_keys()))?;
+        let frame = link.recv()?;
+        match wire::peek_tag(&frame)? {
+            wire::Tag::Welcome => Ok(wire::decode_welcome(&frame)?),
+            wire::Tag::Error => {
+                let (request_id, message) = wire::decode_error_frame(&frame)?;
+                Err(ServeError::Remote { request_id, message })
+            }
+            tag => {
+                Err(ServeError::Protocol(format!("expected Welcome, server sent {}", tag.name())))
+            }
+        }
+    }
+
+    /// The session id the server assigned (may change after recovery).
     #[inline]
     pub fn session_id(&self) -> u64 {
         self.session_id
@@ -172,17 +431,90 @@ impl ServeClient {
     /// [`ServeClient::next_record`].
     ///
     /// # Errors
-    /// Fails on out-of-range indices or transport errors.
+    /// Fails on out-of-range indices or transport errors (after the
+    /// retry budget, when recovery is configured).
     pub fn submit(&mut self, index: usize) -> Result<u64, ServeError> {
         let query = self.client.query(index)?;
         let request_id = self.next_request;
         self.next_request += 1;
-        self.tx.send(&wire::encode_session_query(self.session_id, request_id, &query))?;
         self.pending.insert(request_id, query);
+        let frame =
+            wire::encode_session_query(self.session_id, request_id, &self.pending[&request_id]);
+        if let Err(e) = self.link.tx.send(&frame) {
+            // Recovery resubmits every pending query, this one included;
+            // on failure the query is withdrawn so `pending` stays
+            // truthful.
+            if let Err(e) = self.recover(e) {
+                self.pending.remove(&request_id);
+                return Err(e);
+            }
+        }
         Ok(request_id)
     }
 
+    /// Re-registers this client's keys on the *current* connection (an
+    /// evicted session recovering in place) and adopts the new session
+    /// id. Response frames arriving meanwhile are stashed.
+    fn rehello(&mut self) -> Result<(), ServeError> {
+        self.link.tx.send(&wire::encode_hello(self.client.public_keys()))?;
+        loop {
+            let frame = self.link.recv()?;
+            match wire::peek_tag(&frame)? {
+                wire::Tag::Welcome => {
+                    self.session_id = wire::decode_welcome(&frame)?;
+                    return Ok(());
+                }
+                wire::Tag::Error => {
+                    let (request_id, message) = wire::decode_error_frame(&frame)?;
+                    return Err(ServeError::Remote { request_id, message });
+                }
+                _ => self.stash.push_back(frame),
+            }
+        }
+    }
+
+    /// Full recovery after a transport failure: re-dial, re-Hello, and
+    /// resubmit every pending query under the new session. Returns the
+    /// original error when the budget is exhausted or recovery is not
+    /// configured.
+    fn recover(&mut self, err: ServeError) -> Result<(), ServeError> {
+        if !self.link.can_recover() {
+            return Err(err);
+        }
+        if matches!(err, ServeError::Timeout) {
+            self.link.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        for attempt in 0..self.link.retry.max_attempts.saturating_sub(1) {
+            std::thread::sleep(self.link.retry.backoff(attempt));
+            self.link.counters.retries.fetch_add(1, Ordering::Relaxed);
+            if self.link.redial().is_err() {
+                continue;
+            }
+            // The old socket died with responses possibly unread; the
+            // stash only holds frames already safely received, so it
+            // stays valid.
+            if self.rehello().is_err() {
+                continue;
+            }
+            self.link.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+            let replay: Vec<Bytes> = self
+                .pending
+                .iter()
+                .map(|(&id, q)| wire::encode_session_query(self.session_id, id, q))
+                .collect();
+            if replay.iter().try_for_each(|f| self.link.tx.send(f)).is_ok() {
+                return Ok(());
+            }
+        }
+        Err(err)
+    }
+
     /// Waits for the next response to any in-flight query and decodes it.
+    ///
+    /// With recovery configured, transient failures (dead transport,
+    /// timeouts, evicted sessions, overload rejections) are healed
+    /// in-line — reconnect + re-Hello + resubmit — and only surface once
+    /// the retry budget is spent.
     ///
     /// # Errors
     /// Fails on protocol, transport, or server-reported errors (a remote
@@ -192,44 +524,107 @@ impl ServeClient {
             return Err(ServeError::Protocol("no query in flight".into()));
         }
         let he = self.client.params().he().clone();
-        let frame = match self.stash.pop_front() {
-            Some(frame) => frame,
-            None => recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?,
-        };
-        match wire::peek_tag(&frame)? {
-            wire::Tag::SessionResponse => {
-                let (request_id, ct) = wire::decode_session_response(&he, &frame)?;
-                let query = self.pending.remove(&request_id).ok_or_else(|| {
-                    ServeError::Protocol(format!("response for unknown request {request_id}"))
-                })?;
-                Ok((request_id, self.client.decode(&query, &ct)?))
-            }
-            // A compress_responses server ships modulus-switched answers;
-            // the client decodes either form transparently.
-            wire::Tag::CompressedResponse => {
-                let (request_id, ct) = wire::decode_compressed_response(&he, &frame)?;
-                let query = self.pending.remove(&request_id).ok_or_else(|| {
-                    ServeError::Protocol(format!("response for unknown request {request_id}"))
-                })?;
-                Ok((request_id, self.client.decode_compressed(&query, &ct)?))
-            }
-            wire::Tag::Error => {
-                let (request_id, message) = wire::decode_error_frame(&frame)?;
-                if request_id == 0 {
-                    // Connection-level failure (the server could not even
-                    // decode the offending frame, so it cannot name it):
-                    // every in-flight query is lost. Clearing them keeps
-                    // the connection usable for fresh queries.
-                    self.pending.clear();
-                } else {
-                    self.pending.remove(&request_id);
+        let mut attempts = 0u32;
+        loop {
+            let frame = match self.stash.pop_front() {
+                Some(frame) => frame,
+                None => match self.link.recv() {
+                    Ok(frame) => frame,
+                    Err(e)
+                        if e.is_transient()
+                            && self.link.can_recover()
+                            && attempts + 1 < self.link.retry.max_attempts =>
+                    {
+                        attempts += 1;
+                        self.recover(e)?;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                },
+            };
+            match wire::peek_tag(&frame)? {
+                wire::Tag::SessionResponse => {
+                    let (request_id, ct) = wire::decode_session_response(&he, &frame)?;
+                    match self.pending.remove(&request_id) {
+                        Some(query) => return Ok((request_id, self.client.decode(&query, &ct)?)),
+                        // A duplicate answer (query resubmitted while its
+                        // first answer was in flight) is dropped, not an
+                        // error, when recovery is on.
+                        None if self.link.can_recover() => continue,
+                        None => {
+                            return Err(ServeError::Protocol(format!(
+                                "response for unknown request {request_id}"
+                            )))
+                        }
+                    }
                 }
-                Err(ServeError::Remote { request_id, message })
+                // A compress_responses server ships modulus-switched
+                // answers; the client decodes either form transparently.
+                wire::Tag::CompressedResponse => {
+                    let (request_id, ct) = wire::decode_compressed_response(&he, &frame)?;
+                    match self.pending.remove(&request_id) {
+                        Some(query) => {
+                            return Ok((request_id, self.client.decode_compressed(&query, &ct)?))
+                        }
+                        None if self.link.can_recover() => continue,
+                        None => {
+                            return Err(ServeError::Protocol(format!(
+                                "response for unknown request {request_id}"
+                            )))
+                        }
+                    }
+                }
+                wire::Tag::Error => {
+                    let (request_id, message) = wire::decode_error_frame(&frame)?;
+                    let remote = ServeError::Remote { request_id, message };
+                    let retryable = request_id != 0
+                        && self.pending.contains_key(&request_id)
+                        && self.link.retry.max_attempts > 1
+                        && attempts + 1 < self.link.retry.max_attempts;
+                    if retryable && remote.is_unknown_session() {
+                        // LRU-evicted session: re-register on this very
+                        // connection and resubmit the rejected query.
+                        attempts += 1;
+                        self.link.counters.retries.fetch_add(1, Ordering::Relaxed);
+                        self.rehello()?;
+                        let resend = wire::encode_session_query(
+                            self.session_id,
+                            request_id,
+                            &self.pending[&request_id],
+                        );
+                        self.link.tx.send(&resend)?;
+                        continue;
+                    }
+                    if retryable && remote.is_busy() {
+                        // Overload shed: back off and resubmit.
+                        attempts += 1;
+                        self.link.note_retry(&remote, attempts - 1);
+                        let resend = wire::encode_session_query(
+                            self.session_id,
+                            request_id,
+                            &self.pending[&request_id],
+                        );
+                        self.link.tx.send(&resend)?;
+                        continue;
+                    }
+                    if request_id == 0 {
+                        // Connection-level failure (the server could not
+                        // even decode the offending frame, so it cannot
+                        // name it): every in-flight query is lost.
+                        // Clearing them keeps the connection usable.
+                        self.pending.clear();
+                    } else {
+                        self.pending.remove(&request_id);
+                    }
+                    return Err(remote);
+                }
+                tag => {
+                    return Err(ServeError::Protocol(format!(
+                        "expected SessionResponse, server sent {}",
+                        tag.name()
+                    )))
+                }
             }
-            tag => Err(ServeError::Protocol(format!(
-                "expected SessionResponse, server sent {}",
-                tag.name()
-            ))),
         }
     }
 
@@ -270,9 +665,9 @@ impl ServeClient {
     pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
         let request_id = self.next_request;
         self.next_request += 1;
-        self.tx.send(&wire::encode_get_stats(request_id))?;
+        self.link.tx.send(&wire::encode_get_stats(request_id))?;
         loop {
-            let frame = recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?;
+            let frame = self.link.recv()?;
             match wire::peek_tag(&frame)? {
                 wire::Tag::StatsResponse => {
                     let (got, report) = wire::decode_stats_response(&frame)?;
@@ -307,6 +702,11 @@ impl ServeClient {
 /// after the ack observe the new contents, queries in flight finish on
 /// the previous epoch, and nobody sees a torn batch.
 ///
+/// Retried batches are **idempotent**: every `apply` draws a
+/// process-unique request id the server's dedup cache remembers, so a
+/// batch whose ack was lost in transit is re-acked on retry — with the
+/// epoch it originally committed as — never applied twice.
+///
 /// # Example
 ///
 /// ```
@@ -336,52 +736,79 @@ impl ServeClient {
 /// # }
 /// ```
 pub struct UpdateClient {
-    rx: Box<dyn FrameRx>,
-    tx: Box<dyn FrameTx>,
-    next_request: u64,
+    link: Link,
 }
 
 impl UpdateClient {
     /// Wraps a connection; no handshake is exchanged.
     #[deprecated(since = "0.1.0", note = "use `Connection::new(conn).into_update_client()`")]
     pub fn connect(conn: BoxedConn) -> Self {
-        Self::wrap(conn)
-    }
-
-    /// The constructor body behind [`Connection::into_update_client`].
-    fn wrap(conn: BoxedConn) -> Self {
-        let (rx, tx) = conn;
-        UpdateClient { rx, tx, next_request: 1 }
+        Connection::new(conn).into_update_client()
     }
 
     /// Ships one batch of deltas and blocks for its acknowledgement,
     /// returning `(epoch, applied)` — the epoch the batch committed as
-    /// and the number of deltas the server confirmed.
+    /// and the number of deltas the server confirmed. With recovery
+    /// configured, transient failures retry the *same* request id, so
+    /// the server's idempotency cache guarantees at-most-once apply.
     ///
     /// # Errors
     /// Fails on transport errors or a server-reported rejection (e.g. a
     /// read-only service or an out-of-range index).
     pub fn apply(&mut self, updates: &[RecordUpdate]) -> Result<(u64, u32), ServeError> {
-        let request_id = self.next_request;
-        self.next_request += 1;
-        self.tx.send(&wire::encode_update_rows(request_id, updates).map_err(ServeError::Pir)?)?;
-        let frame = recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?;
-        match wire::peek_tag(&frame)? {
-            wire::Tag::UpdateAck => {
-                let (got, epoch, applied) = wire::decode_update_ack(&frame)?;
-                if got != request_id {
-                    return Err(ServeError::Protocol(format!(
-                        "ack for request {got} while {request_id} was in flight"
-                    )));
+        let request_id = unique_request_id();
+        let frame = wire::encode_update_rows(request_id, updates).map_err(ServeError::Pir)?;
+        let mut attempt = 0u32;
+        loop {
+            match self.apply_once(&frame, request_id) {
+                Ok(acked) => return Ok(acked),
+                Err(e)
+                    if e.is_transient()
+                        && self.link.retry.max_attempts > 1
+                        && attempt + 1 < self.link.retry.max_attempts =>
+                {
+                    // Remote rejections (busy) retry on the live
+                    // connection; transport failures need a re-dial.
+                    let needs_redial = !matches!(e, ServeError::Remote { .. });
+                    if needs_redial && self.link.connector.is_none() {
+                        return Err(e);
+                    }
+                    self.link.note_retry(&e, attempt);
+                    attempt += 1;
+                    if needs_redial && self.link.redial().is_ok() {
+                        self.link.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-                Ok((epoch, applied))
+                Err(e) => return Err(e),
             }
-            wire::Tag::Error => {
-                let (request_id, message) = wire::decode_error_frame(&frame)?;
-                Err(ServeError::Remote { request_id, message })
-            }
-            tag => {
-                Err(ServeError::Protocol(format!("expected UpdateAck, server sent {}", tag.name())))
+        }
+    }
+
+    /// One send → ack exchange. Acks and errors for *other* request ids
+    /// are stale leftovers of earlier timed-out attempts and are skipped.
+    fn apply_once(&mut self, frame: &Bytes, request_id: u64) -> Result<(u64, u32), ServeError> {
+        self.link.tx.send(frame)?;
+        loop {
+            let resp = self.link.recv()?;
+            match wire::peek_tag(&resp)? {
+                wire::Tag::UpdateAck => {
+                    let (got, epoch, applied) = wire::decode_update_ack(&resp)?;
+                    if got == request_id {
+                        return Ok((epoch, applied));
+                    }
+                }
+                wire::Tag::Error => {
+                    let (got, message) = wire::decode_error_frame(&resp)?;
+                    if got == request_id || got == 0 {
+                        return Err(ServeError::Remote { request_id: got, message });
+                    }
+                }
+                tag => {
+                    return Err(ServeError::Protocol(format!(
+                        "expected UpdateAck, server sent {}",
+                        tag.name()
+                    )))
+                }
             }
         }
     }
@@ -412,9 +839,13 @@ impl UpdateClient {
 /// access pattern (always the same number of slot queries, each
 /// individually private), never which key was looked up or whether it
 /// was present.
+///
+/// Built from a [`Connection::dial`], lookups and mutations self-heal
+/// like the index client's: a dead transport re-dials and replays the
+/// `KsHello`, interrupted bucket fetches restart whole, and mutations
+/// ride the same idempotent request-id scheme as [`UpdateClient`].
 pub struct KvClient {
-    rx: Box<dyn FrameRx>,
-    tx: Box<dyn FrameTx>,
+    link: Link,
     session_id: u64,
     next_request: u64,
     client: KsPirClient<rand::rngs::StdRng>,
@@ -426,30 +857,62 @@ impl KvClient {
     /// generates trace keys, uploads them, and learns the table layout.
     fn handshake(
         params: &KsPirParams,
-        conn: BoxedConn,
+        mut link: Link,
         rng: rand::rngs::StdRng,
     ) -> Result<Self, ServeError> {
-        let (mut rx, mut tx) = conn;
         let client = KsPirClient::new(params, rng)?;
-        tx.send(&wire::encode_ks_hello(client.public_keys()))?;
-        let frame = recv_frame(rx.as_mut(), RESPONSE_TIMEOUT)?;
-        let (session_id, schema) = match wire::peek_tag(&frame)? {
-            wire::Tag::KsWelcome => wire::decode_ks_welcome(params, &frame)?,
-            wire::Tag::Error => {
-                let (request_id, message) = wire::decode_error_frame(&frame)?;
-                return Err(ServeError::Remote { request_id, message });
-            }
-            tag => {
-                return Err(ServeError::Protocol(format!(
-                    "expected KsWelcome, server sent {}",
-                    tag.name()
-                )))
+        let mut attempt = 0u32;
+        let (session_id, schema) = loop {
+            match Self::hello_once(&mut link, params, &client) {
+                Ok(welcome) => break welcome,
+                Err(e)
+                    if e.is_transient()
+                        && link.can_recover()
+                        && attempt + 1 < link.retry.max_attempts =>
+                {
+                    link.note_retry(&e, attempt);
+                    attempt += 1;
+                    if link.redial().is_ok() {
+                        link.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e) => return Err(e),
             }
         };
-        Ok(KvClient { rx, tx, session_id, next_request: 1, client, schema })
+        Ok(KvClient { link, session_id, next_request: 1, client, schema })
     }
 
-    /// The session id the server assigned.
+    /// One KsHello → KsWelcome exchange on the current connection.
+    fn hello_once(
+        link: &mut Link,
+        params: &KsPirParams,
+        client: &KsPirClient<rand::rngs::StdRng>,
+    ) -> Result<(u64, KvSchema), ServeError> {
+        link.tx.send(&wire::encode_ks_hello(client.public_keys()))?;
+        let frame = link.recv()?;
+        match wire::peek_tag(&frame)? {
+            wire::Tag::KsWelcome => Ok(wire::decode_ks_welcome(params, &frame)?),
+            wire::Tag::Error => {
+                let (request_id, message) = wire::decode_error_frame(&frame)?;
+                Err(ServeError::Remote { request_id, message })
+            }
+            tag => {
+                Err(ServeError::Protocol(format!("expected KsWelcome, server sent {}", tag.name())))
+            }
+        }
+    }
+
+    /// Re-runs the keyword handshake on the current connection, adopting
+    /// the new session id and (possibly refreshed) schema.
+    fn rehello(&mut self) -> Result<(), ServeError> {
+        let params = self.schema.params().clone();
+        let (session_id, schema) = Self::hello_once(&mut self.link, &params, &self.client)?;
+        self.session_id = session_id;
+        self.schema = schema;
+        Ok(())
+    }
+
+    /// The session id the server assigned (may change after recovery).
     #[inline]
     pub fn session_id(&self) -> u64 {
         self.session_id
@@ -500,26 +963,64 @@ impl KvClient {
     }
 
     fn mutate(&mut self, key: &[u8], value: Option<u64>) -> Result<u64, ServeError> {
-        let request_id = self.next_request;
-        self.next_request += 1;
-        self.tx.send(&wire::encode_kv_update(request_id, key, value).map_err(ServeError::Pir)?)?;
-        let frame = recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?;
-        match wire::peek_tag(&frame)? {
-            wire::Tag::UpdateAck => {
-                let (got, epoch, _applied) = wire::decode_update_ack(&frame)?;
-                if got != request_id {
-                    return Err(ServeError::Protocol(format!(
-                        "ack for request {got} while {request_id} was in flight"
-                    )));
+        let request_id = unique_request_id();
+        let frame = wire::encode_kv_update(request_id, key, value).map_err(ServeError::Pir)?;
+        let mut attempt = 0u32;
+        loop {
+            match self.mutate_once(&frame, request_id) {
+                Ok(epoch) => return Ok(epoch),
+                Err(e)
+                    if e.is_transient()
+                        && self.link.retry.max_attempts > 1
+                        && attempt + 1 < self.link.retry.max_attempts =>
+                {
+                    let needs_redial = !matches!(e, ServeError::Remote { .. });
+                    if needs_redial && self.link.connector.is_none() {
+                        return Err(e);
+                    }
+                    self.link.note_retry(&e, attempt);
+                    attempt += 1;
+                    if needs_redial && self.link.redial().is_ok() {
+                        self.link.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                        // Mutations don't need a session, but restoring
+                        // one keeps subsequent `get`s on this connection
+                        // working without their own re-Hello.
+                        let _ = self.rehello();
+                    }
                 }
-                Ok(epoch)
+                Err(e) => return Err(e),
             }
-            wire::Tag::Error => {
-                let (request_id, message) = wire::decode_error_frame(&frame)?;
-                Err(ServeError::Remote { request_id, message })
-            }
-            tag => {
-                Err(ServeError::Protocol(format!("expected UpdateAck, server sent {}", tag.name())))
+        }
+    }
+
+    /// One send → ack exchange; stale frames (acks/errors/responses of
+    /// earlier timed-out attempts) are skipped, not fatal.
+    fn mutate_once(&mut self, frame: &Bytes, request_id: u64) -> Result<u64, ServeError> {
+        self.link.tx.send(frame)?;
+        loop {
+            let resp = self.link.recv()?;
+            match wire::peek_tag(&resp)? {
+                wire::Tag::UpdateAck => {
+                    let (got, epoch, _applied) = wire::decode_update_ack(&resp)?;
+                    if got == request_id {
+                        return Ok(epoch);
+                    }
+                }
+                wire::Tag::Error => {
+                    let (got, message) = wire::decode_error_frame(&resp)?;
+                    if got == request_id || got == 0 {
+                        return Err(ServeError::Remote { request_id: got, message });
+                    }
+                }
+                wire::Tag::KsResponse | wire::Tag::CompressedResponse => {
+                    // Stale slot responses from an interrupted fetch.
+                }
+                tag => {
+                    return Err(ServeError::Protocol(format!(
+                        "expected UpdateAck, server sent {}",
+                        tag.name()
+                    )))
+                }
             }
         }
     }
@@ -533,8 +1034,8 @@ impl KvClient {
     pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
         let request_id = self.next_request;
         self.next_request += 1;
-        self.tx.send(&wire::encode_get_stats(request_id))?;
-        let frame = recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?;
+        self.link.tx.send(&wire::encode_get_stats(request_id))?;
+        let frame = self.link.recv()?;
         match wire::peek_tag(&frame)? {
             wire::Tag::StatsResponse => {
                 let (got, report) = wire::decode_stats_response(&frame)?;
@@ -556,10 +1057,39 @@ impl KvClient {
         }
     }
 
-    /// Fetches one bucket's slot group: all `group_slots` queries ship
-    /// before the first response is awaited (pipelined), and responses
-    /// are matched back by request id.
+    /// Fetches one bucket's slot group, retrying the whole group under
+    /// the link's policy: a group interrupted mid-flight restarts from
+    /// scratch (fresh request ids), so a recovered fetch can never mix
+    /// responses from two attempts.
     fn fetch_group(&mut self, bucket: usize) -> Result<Vec<u64>, ServeError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.fetch_group_once(bucket) {
+                Ok(group) => return Ok(group),
+                Err(e)
+                    if (e.is_transient() || e.is_unknown_session())
+                        && self.link.can_recover()
+                        && attempt + 1 < self.link.retry.max_attempts =>
+                {
+                    self.link.note_retry(&e, attempt);
+                    attempt += 1;
+                    if e.is_unknown_session() {
+                        // The session is gone but the transport is fine:
+                        // re-register in place.
+                        let _ = self.rehello();
+                    } else if self.link.redial().is_ok() && self.rehello().is_ok() {
+                        self.link.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One pipelined group fetch: all `group_slots` queries ship before
+    /// the first response is awaited, and responses are matched back by
+    /// request id. Stale frames from earlier attempts are skipped.
+    fn fetch_group_once(&mut self, bucket: usize) -> Result<Vec<u64>, ServeError> {
         let base = self.schema.slot_of(bucket);
         let width = self.schema.group_slots();
         let he = self.schema.params().he().clone();
@@ -568,12 +1098,12 @@ impl KvClient {
             let query = self.client.query(base + i)?;
             let request_id = self.next_request;
             self.next_request += 1;
-            self.tx.send(&wire::encode_ks_query(self.session_id, request_id, &query))?;
+            self.link.tx.send(&wire::encode_ks_query(self.session_id, request_id, &query))?;
             want.insert(request_id, i);
         }
         let mut group = vec![0u64; width];
-        for _ in 0..width {
-            let frame = recv_frame(self.rx.as_mut(), RESPONSE_TIMEOUT)?;
+        while !want.is_empty() {
+            let frame = self.link.recv()?;
             let (request_id, scalar) = match wire::peek_tag(&frame)? {
                 wire::Tag::KsResponse => {
                     let (request_id, ct) = wire::decode_ks_response(&he, &frame)?;
@@ -585,8 +1115,12 @@ impl KvClient {
                 }
                 wire::Tag::Error => {
                     let (request_id, message) = wire::decode_error_frame(&frame)?;
-                    return Err(ServeError::Remote { request_id, message });
+                    if request_id == 0 || want.contains_key(&request_id) {
+                        return Err(ServeError::Remote { request_id, message });
+                    }
+                    continue; // stale error of an earlier attempt
                 }
+                wire::Tag::UpdateAck => continue, // stale ack of an earlier attempt
                 tag => {
                     return Err(ServeError::Protocol(format!(
                         "expected KsResponse, server sent {}",
@@ -594,10 +1128,11 @@ impl KvClient {
                     )))
                 }
             };
-            let slot = want.remove(&request_id).ok_or_else(|| {
-                ServeError::Protocol(format!("response for unknown request {request_id}"))
-            })?;
-            group[slot] = scalar;
+            if let Some(slot) = want.remove(&request_id) {
+                group[slot] = scalar;
+            }
+            // Unknown ids are responses to an interrupted earlier group:
+            // already restarted, safe to drop.
         }
         Ok(group)
     }
@@ -616,5 +1151,62 @@ fn recv_frame(rx: &mut dyn FrameRx, timeout: Duration) -> Result<Bytes, ServeErr
             }
             Received::Closed => return Err(ServeError::Closed),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered_into_range() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            jitter_seed: 42,
+        };
+        for attempt in 0..8 {
+            let a = policy.backoff(attempt);
+            let b = policy.backoff(attempt);
+            assert_eq!(a, b, "same (seed, attempt) must give the same delay");
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << attempt.min(16))
+                .min(Duration::from_millis(200));
+            assert!(
+                a >= exp / 2 && a <= exp,
+                "attempt {attempt}: {a:?} outside [{:?}, {exp:?}]",
+                exp / 2
+            );
+        }
+        // Different seeds decorrelate.
+        let other = RetryPolicy { jitter_seed: 43, ..policy };
+        assert!(
+            (0..8).any(|n| policy.backoff(n) != other.backoff(n)),
+            "two seeds must not produce identical schedules"
+        );
+        // The cap holds far out.
+        assert!(policy.backoff(31) <= Duration::from_millis(200));
+    }
+
+    #[test]
+    fn no_retry_policy_has_one_attempt() {
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn unique_request_ids_never_repeat_or_hit_the_sentinel() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = unique_request_id();
+            assert_ne!(id, 0, "0 is the connection-level sentinel");
+            assert!(seen.insert(id), "request id {id} repeated");
+        }
+    }
+
+    #[test]
+    fn retry_counters_start_zeroed() {
+        let c = RetryCounters::default();
+        assert_eq!((c.retries(), c.reconnects(), c.timeouts()), (0, 0, 0));
     }
 }

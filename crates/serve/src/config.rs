@@ -99,6 +99,13 @@ pub struct ServeConfig {
     /// Capacity of the slow-query trace ring; `0` disables retention
     /// (the slow counter still counts).
     pub trace_ring: usize,
+    /// Per-connection idle deadline: a connection that delivers no frame
+    /// for this long is closed (counted in `ServerStats.timeouts`), so a
+    /// silent or wedged peer can pin a handler thread only this long.
+    /// `None` disables the deadline; the default is 60 s — generous for
+    /// interactive clients, tight enough that handler threads of dead
+    /// peers drain within a minute.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +126,7 @@ impl Default for ServeConfig {
             journal: None,
             slow_threshold: Duration::from_millis(250),
             trace_ring: 64,
+            idle_timeout: Some(Duration::from_secs(60)),
         }
     }
 }
@@ -184,6 +192,11 @@ impl ServeConfig {
                 return Err(ServeError::InvalidConfig("journal path must be non-empty".into()));
             }
         }
+        if self.idle_timeout == Some(Duration::ZERO) {
+            return Err(ServeError::InvalidConfig(
+                "idle_timeout must be positive (use None to disable)".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -245,6 +258,7 @@ mod tests {
             ServeConfig { shard: ShardPlan::RowSharded { shards: 3 }, ..ServeConfig::default() },
             ServeConfig { shard: ShardPlan::RowSharded { shards: 0 }, ..ServeConfig::default() },
             ServeConfig { journal: Some(PathBuf::new()), ..ServeConfig::default() },
+            ServeConfig { idle_timeout: Some(Duration::ZERO), ..ServeConfig::default() },
         ] {
             assert!(bad.validate().is_err(), "{bad:?} must be rejected");
         }

@@ -296,6 +296,11 @@ impl ShardedEngine {
 
     /// The commit body; the caller holds the commit mutex.
     fn commit_locked(&self) -> Result<u64, PirError> {
+        // Failpoint before the log drains: an injected commit failure
+        // leaves the staged deltas (and their journal records) intact,
+        // so a retry — or a restart's journal replay — still commits
+        // them. Nothing is lost, only delayed.
+        ive_pir::fault::fail_io(ive_pir::fault::Site::EpochCommit)?;
         let staged = self.log.drain();
         if staged.is_empty() {
             return Ok(self.epoch());

@@ -126,15 +126,22 @@ pub mod tcp;
 pub mod trace;
 pub mod transport;
 
-pub use client::{Connection, KvClient, ServeClient, UpdateClient};
+pub use client::{Connection, KvClient, RetryCounters, RetryPolicy, ServeClient, UpdateClient};
 pub use config::{ServeConfig, ShardPlan};
 pub use engine::{KeywordEngine, ShardedEngine};
 pub use metrics::{Metrics, ServerStats};
 pub use service::{KeywordHandle, PirService, ServiceHandle};
 pub use session::SessionManager;
-pub use tcp::TcpTransport;
+pub use tcp::{TcpConnector, TcpTransport};
 pub use trace::{Span, Stage, StageStats, StageTimer, TraceRecord, TraceRecorder};
-pub use transport::{in_proc_pair, Transport};
+pub use transport::{in_proc_pair, Connector, Transport};
+
+/// Deterministic failpoints the chaos suite arms to inject transport
+/// errors, torn frames, failed fsyncs, worker panics, and failed epoch
+/// commits (re-exported from `ive_pir` so the whole stack shares one
+/// registry). Disarmed — the default — every site check is one relaxed
+/// atomic load.
+pub use ive_pir::fault;
 
 use ive_pir::{wire, PirError};
 
@@ -209,6 +216,11 @@ impl core::fmt::Display for ServeError {
 /// by this marker — keep it in sync with [`ServeError::is_busy`].
 const BUSY_MARKER: &str = "server busy";
 
+/// The stable prefix of the [`ServeError::UnknownSession`] wire message
+/// (its `Display` form), used by the retrying client to recognize an
+/// LRU-evicted session and re-Hello instead of failing the query.
+const UNKNOWN_SESSION_MARKER: &str = "unknown session";
+
 impl ServeError {
     /// Whether this error is an overload rejection — either a local
     /// [`ServeError::Busy`] or the remote wire form of one — so callers
@@ -218,6 +230,30 @@ impl ServeError {
             ServeError::Busy { .. } => true,
             ServeError::Remote { message, .. } => message.contains(BUSY_MARKER),
             _ => false,
+        }
+    }
+
+    /// Whether this error says the server no longer knows our session —
+    /// either a local [`ServeError::UnknownSession`] or its remote wire
+    /// form — so a client holding its key material can re-Hello and
+    /// resume instead of surfacing the failure.
+    pub fn is_unknown_session(&self) -> bool {
+        match self {
+            ServeError::UnknownSession(_) => true,
+            ServeError::Remote { message, .. } => message.contains(UNKNOWN_SESSION_MARKER),
+            _ => false,
+        }
+    }
+
+    /// Whether this error is plausibly transient — a transport failure,
+    /// timeout, or overload rejection a [`RetryPolicy`]-driven client
+    /// may retry — as opposed to a protocol or configuration error
+    /// retrying cannot fix.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ServeError::Io(_) | ServeError::Closed | ServeError::Timeout => true,
+            ServeError::Protocol(_) => true,
+            other => other.is_busy(),
         }
     }
 }

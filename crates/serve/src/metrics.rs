@@ -50,6 +50,11 @@ pub struct Metrics {
     update_batches: AtomicU64,
     updates_applied: AtomicU64,
     epoch: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    worker_panics: AtomicU64,
+    drained_jobs: AtomicU64,
     /// Kernel op counters at creation: the process-global counters in
     /// [`ive_math::metrics`] may already carry preprocessing work, so
     /// snapshots report the delta attributable to this service.
@@ -92,6 +97,11 @@ impl Metrics {
             update_batches: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            drained_jobs: AtomicU64::new(0),
             ops_base: ive_math::metrics::snapshot(),
             trace,
         }
@@ -161,6 +171,34 @@ impl Metrics {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A connection idled past its deadline and was closed.
+    pub fn timeout_closed(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A duplicate update request was answered from the idempotency
+    /// cache instead of re-applied — the visible footprint of a client
+    /// retrying an already-acked batch.
+    pub fn retry_detected(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A Hello re-registered over a connection that already held a
+    /// session (an evicted client recovering in place).
+    pub fn reconnect_registered(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker panic was caught and isolated into typed error frames.
+    pub fn worker_panicked(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A queued job was answered while the service was draining.
+    pub fn job_drained(&self) {
+        self.drained_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Freezes every counter — including the stage histograms, kernel op
     /// deltas, and scan accounting — into the integer-only wire payload
     /// a [`wire::Tag::StatsResponse`](ive_pir::wire::Tag::StatsResponse)
@@ -203,6 +241,11 @@ impl Metrics {
             slow_queries: self.trace.slow_seen(),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             session_evictions: self.session_evictions.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            drained_jobs: self.drained_jobs.load(Ordering::Relaxed),
         }
     }
 
@@ -314,6 +357,18 @@ pub struct ServerStats {
     pub busy_rejections: u64,
     /// Session-cache LRU evictions performed to admit new Hellos.
     pub session_evictions: u64,
+    /// Connections closed after their idle deadline expired.
+    pub timeouts: u64,
+    /// Duplicate update requests answered from the idempotency cache
+    /// instead of re-applied (clients retrying already-acked batches).
+    pub retries: u64,
+    /// Hellos that re-registered over a connection already holding a
+    /// session (evicted clients recovering in place).
+    pub reconnects: u64,
+    /// Worker panics caught and isolated into typed error frames.
+    pub worker_panics: u64,
+    /// Queries answered while the service was draining for shutdown.
+    pub drained_jobs: u64,
 }
 
 impl ServerStats {
@@ -382,6 +437,11 @@ impl ServerStats {
             slow_queries: report.slow_queries,
             busy_rejections: report.busy_rejections,
             session_evictions: report.session_evictions,
+            timeouts: report.timeouts,
+            retries: report.retries,
+            reconnects: report.reconnects,
+            worker_panics: report.worker_panics,
+            drained_jobs: report.drained_jobs,
         }
     }
 
@@ -413,7 +473,7 @@ impl ServerStats {
     /// (each `le` edge is a power-of-two µs).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &str, u64); 14] = [
+        let counters: [(&str, &str, u64); 19] = [
             ("ive_queries_total", "Queries answered successfully.", self.queries),
             ("ive_errors_total", "Queries failed server-side.", self.errors),
             ("ive_batches_total", "Batches dispatched.", self.batches),
@@ -440,6 +500,15 @@ impl ServerStats {
                 self.busy_rejections,
             ),
             ("ive_session_evictions_total", "Session-cache LRU evictions.", self.session_evictions),
+            ("ive_timeouts_total", "Connections closed at their idle deadline.", self.timeouts),
+            (
+                "ive_retries_total",
+                "Duplicate updates answered from the idempotency cache.",
+                self.retries,
+            ),
+            ("ive_reconnects_total", "Hellos re-registering a live connection.", self.reconnects),
+            ("ive_worker_panics_total", "Worker panics caught and isolated.", self.worker_panics),
+            ("ive_drained_jobs_total", "Queries answered while draining.", self.drained_jobs),
         ];
         for (name, help, value) in counters {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
@@ -534,7 +603,8 @@ impl core::fmt::Display for ServerStats {
             "{} queries ({} errors) in {:.1}s = {:.1} QPS | {} batches (avg {:.2}, max {}, \
              {} multi) | latency ms: mean {:.1} p50 {:.1} p95 {:.1} p99 {:.1} p999 {:.1} \
              max {:.1} | queue depth {} (max {}) | epoch {} ({} updates in {} batches) | \
-             scan {:.2} GB/s | {:.2e} MACs/s | {} slow | {} busy | {} evicted",
+             scan {:.2} GB/s | {:.2e} MACs/s | {} slow | {} busy | {} evicted | \
+             {} timeouts | {} retries | {} reconnects | {} panics | {} drained",
             self.queries,
             self.errors,
             self.uptime_s,
@@ -558,7 +628,12 @@ impl core::fmt::Display for ServerStats {
             self.mults_per_s,
             self.slow_queries,
             self.busy_rejections,
-            self.session_evictions
+            self.session_evictions,
+            self.timeouts,
+            self.retries,
+            self.reconnects,
+            self.worker_panics,
+            self.drained_jobs
         )
     }
 }
@@ -583,9 +658,20 @@ mod tests {
         m.session_eviction_counter().fetch_add(3, Ordering::Relaxed);
         m.update_committed(5, 1);
         m.update_committed(2, 2);
+        m.timeout_closed();
+        m.retry_detected();
+        m.retry_detected();
+        m.reconnect_registered();
+        m.worker_panicked();
+        m.job_drained();
         let s = m.snapshot();
         assert_eq!(s.busy_rejections, 2);
         assert_eq!(s.session_evictions, 3);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.reconnects, 1);
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.drained_jobs, 1);
         assert_eq!(s.queries, 2);
         assert_eq!(s.update_batches, 2);
         assert_eq!(s.updates_applied, 7);
@@ -725,6 +811,11 @@ mod tests {
             slow_queries: 1,
             busy_rejections: 6,
             session_evictions: 9,
+            timeouts: 2,
+            retries: 7,
+            reconnects: 3,
+            worker_panics: 1,
+            drained_jobs: 8,
         };
         let text = ServerStats::from_report(&report).to_prometheus();
         for needle in [
@@ -735,6 +826,11 @@ mod tests {
             "ive_scan_bytes_total 4000000000\n",
             "# TYPE ive_busy_rejections_total counter\nive_busy_rejections_total 6\n",
             "# TYPE ive_session_evictions_total counter\nive_session_evictions_total 9\n",
+            "# TYPE ive_timeouts_total counter\nive_timeouts_total 2\n",
+            "# TYPE ive_retries_total counter\nive_retries_total 7\n",
+            "# TYPE ive_reconnects_total counter\nive_reconnects_total 3\n",
+            "# TYPE ive_worker_panics_total counter\nive_worker_panics_total 1\n",
+            "# TYPE ive_drained_jobs_total counter\nive_drained_jobs_total 8\n",
             "# TYPE ive_queue_depth gauge\nive_queue_depth 1\n",
             "ive_uptime_seconds 2\n",
             "ive_qps 2\n",

@@ -15,12 +15,12 @@
 //! receive buffers absorb the rest — clients feel backpressure instead of
 //! the server melting.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
@@ -97,6 +97,9 @@ impl PirService {
         let batcher = batcher::spawn(&config, Arc::clone(&engine), Arc::clone(&metrics));
         let mut threads = batcher.threads;
         let jobs = batcher.jobs;
+        let draining = batcher.draining;
+        let abort = batcher.abort;
+        let dedup = Arc::new(UpdateDedup::new(UPDATE_DEDUP_CAP));
 
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
@@ -105,6 +108,7 @@ impl PirService {
             let engine = Arc::clone(&engine);
             let accept_updates = config.accept_updates;
             let queue_depth = config.queue_depth;
+            let idle_timeout = config.idle_timeout;
             let jobs = jobs.clone();
             std::thread::Builder::new()
                 .name("ive-serve-accept".into())
@@ -114,10 +118,13 @@ impl PirService {
                         // Reap finished handlers so a long-lived server
                         // with many short connections doesn't accumulate
                         // join handles without bound — and *join* them,
-                        // so a handler panic surfaces here instead of
-                        // vanishing with the thread.
+                        // counting (not propagating) panics: one hostile
+                        // or unlucky connection must never take down the
+                        // acceptor and with it the whole service.
                         for h in extract_finished(&mut handlers) {
-                            h.join().expect("connection handler panicked");
+                            if h.join().is_err() {
+                                metrics.worker_panicked();
+                            }
                         }
                         match transport.accept() {
                             Ok(Some(conn)) => {
@@ -127,6 +134,8 @@ impl PirService {
                                     engine: Arc::clone(&engine),
                                     accept_updates,
                                     queue_depth,
+                                    idle_timeout,
+                                    dedup: Arc::clone(&dedup),
                                     jobs: jobs.clone(),
                                     shutdown: Arc::clone(&shutdown),
                                 };
@@ -142,7 +151,9 @@ impl PirService {
                         }
                     }
                     for h in handlers {
-                        h.join().expect("connection handler panicked");
+                        if h.join().is_err() {
+                            metrics.worker_panicked();
+                        }
                     }
                 })
                 .expect("spawn acceptor")
@@ -151,6 +162,8 @@ impl PirService {
 
         Ok(ServiceHandle {
             shutdown,
+            draining,
+            abort,
             jobs: Some(jobs),
             threads,
             metrics,
@@ -209,6 +222,8 @@ impl PirService {
                 engine: Arc::clone(&engine),
                 accept_updates: config.accept_updates,
                 compress: config.compress_responses,
+                idle_timeout: config.idle_timeout,
+                dedup: Arc::new(UpdateDedup::new(UPDATE_DEDUP_CAP)),
                 shutdown: Arc::clone(&shutdown),
             };
             std::thread::Builder::new()
@@ -217,7 +232,9 @@ impl PirService {
                     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
                     while !shutdown.load(Ordering::Relaxed) {
                         for h in extract_finished(&mut handlers) {
-                            h.join().expect("keyword handler panicked");
+                            if h.join().is_err() {
+                                ctx_proto.metrics.worker_panicked();
+                            }
                         }
                         match transport.accept() {
                             Ok(Some(conn)) => {
@@ -234,13 +251,64 @@ impl PirService {
                         }
                     }
                     for h in handlers {
-                        h.join().expect("keyword handler panicked");
+                        if h.join().is_err() {
+                            ctx_proto.metrics.worker_panicked();
+                        }
                     }
                 })
                 .expect("spawn keyword acceptor")
         };
 
         Ok(KeywordHandle { shutdown, threads: vec![acceptor], metrics, engine, endpoint })
+    }
+}
+
+/// Bound on remembered update request ids; old entries fall out FIFO.
+/// Sized so a retry storm (seconds of acks lost in transit) still finds
+/// its original ack, while the cache stays a few hundred KB at most.
+const UPDATE_DEDUP_CAP: usize = 4096;
+
+/// The server half of update idempotency: a bounded map from update
+/// request id to the `(epoch, applied)` it originally acked with. A
+/// retried batch whose first attempt *did* commit — the ack was lost, not
+/// the work — hits this cache and is re-acked verbatim instead of applied
+/// twice. Shared across connections, because a retry typically arrives on
+/// a *fresh* connection after the first one died.
+struct UpdateDedup {
+    cap: usize,
+    /// The id → ack map plus the FIFO insertion order used for eviction.
+    inner: Mutex<(HashMap<u64, AckedUpdate>, VecDeque<u64>)>,
+}
+
+/// What an update batch was originally acked with: `(epoch, applied)`.
+type AckedUpdate = (u64, u32);
+
+impl UpdateDedup {
+    fn new(cap: usize) -> Self {
+        UpdateDedup { cap, inner: Mutex::new((HashMap::new(), VecDeque::new())) }
+    }
+
+    /// The original ack for `request_id`, if this batch already committed.
+    fn get(&self, request_id: u64) -> Option<(u64, u32)> {
+        self.inner.lock().expect("dedup lock poisoned").0.get(&request_id).copied()
+    }
+
+    /// Remembers a committed batch's ack (id 0 is the protocol's
+    /// connection-level sentinel and is never cached).
+    fn insert(&self, request_id: u64, epoch: u64, applied: u32) {
+        if request_id == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("dedup lock poisoned");
+        let (map, order) = &mut *inner;
+        if map.insert(request_id, (epoch, applied)).is_none() {
+            order.push_back(request_id);
+            while order.len() > self.cap {
+                if let Some(old) = order.pop_front() {
+                    map.remove(&old);
+                }
+            }
+        }
     }
 }
 
@@ -266,11 +334,16 @@ struct HandlerCtx {
     accept_updates: bool,
     /// Admission queue bound, reported in [`ServeError::Busy`] rejections.
     queue_depth: usize,
+    /// Per-connection idle deadline (see [`ServeConfig::idle_timeout`]).
+    idle_timeout: Option<Duration>,
+    /// Update idempotency cache, shared by every connection.
+    dedup: Arc<UpdateDedup>,
     jobs: SyncSender<Job>,
     shutdown: Arc<AtomicBool>,
 }
 
-/// Serves one connection until the peer leaves or shutdown is flagged.
+/// Serves one connection until the peer leaves, the idle deadline
+/// expires, or shutdown is flagged.
 fn handle_connection(conn: BoxedConn, ctx: &HandlerCtx) {
     let (mut rx, tx) = conn;
     // Responses arrive asynchronously from the workers; a dedicated
@@ -288,17 +361,31 @@ fn handle_connection(conn: BoxedConn, ctx: &HandlerCtx) {
         })
         .expect("spawn connection writer");
 
+    // Whether this connection already registered a session: a second
+    // Hello is a client recovering, counted as a reconnect.
+    let mut registered = false;
+    let mut last_activity = Instant::now();
     // The flag is checked every iteration (not only when idle) so a
     // client that streams frames continuously cannot pin the handler —
     // and with it the whole shutdown sequence — forever.
     while !ctx.shutdown.load(Ordering::Relaxed) {
         match rx.recv() {
             Ok(Received::Frame(frame)) => {
-                if handle_frame(&frame, ctx, &out_tx).is_err() {
+                last_activity = Instant::now();
+                if handle_frame(&frame, ctx, &out_tx, &mut registered).is_err() {
                     break; // outgoing channel gone: writer saw a dead peer
                 }
             }
-            Ok(Received::Idle) => {}
+            Ok(Received::Idle) => {
+                // A silent peer can pin this thread (and delay shutdown)
+                // only until the idle deadline.
+                if let Some(limit) = ctx.idle_timeout {
+                    if last_activity.elapsed() >= limit {
+                        ctx.metrics.timeout_closed();
+                        break;
+                    }
+                }
+            }
             Ok(Received::Closed) | Err(_) => break,
         }
     }
@@ -311,6 +398,7 @@ fn handle_frame(
     frame: &Bytes,
     ctx: &HandlerCtx,
     out: &mpsc::Sender<Bytes>,
+    registered: &mut bool,
 ) -> Result<(), ServeError> {
     let sessions = &ctx.sessions;
     let he = sessions_he(sessions);
@@ -318,7 +406,14 @@ fn handle_frame(
     match wire::peek_tag(frame) {
         Ok(wire::Tag::Hello) => match wire::decode_hello(he, frame) {
             Ok(keys) => match sessions.register(keys) {
-                Ok(id) => reply(wire::encode_welcome(id)),
+                Ok(id) => {
+                    // A repeat Hello on one connection is a client
+                    // recovering an evicted session.
+                    if std::mem::replace(registered, true) {
+                        ctx.metrics.reconnect_registered();
+                    }
+                    reply(wire::encode_welcome(id))
+                }
                 Err(e) => reply(error_frame(0, &e)),
             },
             Err(e) => reply(error_frame(0, &e)),
@@ -385,12 +480,22 @@ fn handle_frame(
                             &ServeError::Protocol("this service is read-only".into()),
                         ));
                     }
+                    // Idempotency: a batch whose ack was lost in transit
+                    // is retried under the same request id — re-ack the
+                    // original commit instead of applying it again.
+                    if request_id != 0 {
+                        if let Some((epoch, applied)) = ctx.dedup.get(request_id) {
+                            ctx.metrics.retry_detected();
+                            return reply(wire::encode_update_ack(request_id, epoch, applied));
+                        }
+                    }
                     // Validation + the §II-B NTT lift run here, on the
                     // connection handler thread — the query workers never
                     // see an update until it is a memcpy-and-swap.
                     match ctx.engine.apply_updates(&updates) {
                         Ok(epoch) => {
                             ctx.metrics.update_committed(updates.len(), epoch);
+                            ctx.dedup.insert(request_id, epoch, updates.len() as u32);
                             reply(wire::encode_update_ack(request_id, epoch, updates.len() as u32))
                         }
                         Err(e) => reply(error_frame(request_id, &e)),
@@ -469,36 +574,56 @@ struct KsHandlerCtx {
     engine: Arc<KeywordEngine>,
     accept_updates: bool,
     compress: bool,
+    /// Per-connection idle deadline (see [`ServeConfig::idle_timeout`]).
+    idle_timeout: Option<Duration>,
+    /// Mutation idempotency cache, shared by every connection.
+    dedup: Arc<UpdateDedup>,
     shutdown: Arc<AtomicBool>,
 }
 
-/// Serves one keyword connection until the peer leaves or shutdown.
-/// Queries are answered inline (no batcher): the reply order matches the
-/// request order, and the per-connection writer thread is unnecessary.
+/// Serves one keyword connection until the peer leaves, the idle
+/// deadline expires, or shutdown. Queries are answered inline (no
+/// batcher): the reply order matches the request order, and the
+/// per-connection writer thread is unnecessary.
 fn handle_ks_connection(conn: BoxedConn, ctx: &KsHandlerCtx) {
     let (mut rx, mut tx) = conn;
+    let mut registered = false;
+    let mut last_activity = Instant::now();
     while !ctx.shutdown.load(Ordering::Relaxed) {
         match rx.recv() {
             Ok(Received::Frame(frame)) => {
-                let reply = handle_ks_frame(&frame, ctx);
+                last_activity = Instant::now();
+                let reply = handle_ks_frame(&frame, ctx, &mut registered);
                 if tx.send(&reply).is_err() {
                     break; // peer gone
                 }
             }
-            Ok(Received::Idle) => {}
+            Ok(Received::Idle) => {
+                if let Some(limit) = ctx.idle_timeout {
+                    if last_activity.elapsed() >= limit {
+                        ctx.metrics.timeout_closed();
+                        break;
+                    }
+                }
+            }
             Ok(Received::Closed) | Err(_) => break,
         }
     }
 }
 
 /// Dispatches one inbound keyword frame and produces its reply frame.
-fn handle_ks_frame(frame: &Bytes, ctx: &KsHandlerCtx) -> Bytes {
+fn handle_ks_frame(frame: &Bytes, ctx: &KsHandlerCtx, registered: &mut bool) -> Bytes {
     let params = &ctx.sessions.params;
     let he = params.he();
     match wire::peek_tag(frame) {
         Ok(wire::Tag::KsHello) => match wire::decode_ks_hello(he, frame) {
             Ok(keys) => match ctx.sessions.register(keys) {
-                Ok(id) => wire::encode_ks_welcome(id, &ctx.engine.schema()),
+                Ok(id) => {
+                    if std::mem::replace(registered, true) {
+                        ctx.metrics.reconnect_registered();
+                    }
+                    wire::encode_ks_welcome(id, &ctx.engine.schema())
+                }
                 Err(e) => error_frame(0, &e),
             },
             Err(e) => error_frame(0, &e),
@@ -558,6 +683,14 @@ fn handle_ks_frame(frame: &Bytes, ctx: &KsHandlerCtx) -> Bytes {
                         &ServeError::Protocol("this service is read-only".into()),
                     );
                 }
+                // Idempotency: a retried mutation whose ack was lost is
+                // re-acked with its original commit, never applied twice.
+                if request_id != 0 {
+                    if let Some((epoch, applied)) = ctx.dedup.get(request_id) {
+                        ctx.metrics.retry_detected();
+                        return wire::encode_update_ack(request_id, epoch, applied);
+                    }
+                }
                 let committed = match value {
                     Some(v) => ctx.engine.put(&key, v).map(|epoch| (epoch, 1)),
                     // Deleting an absent key is a no-op, acked with the
@@ -570,6 +703,7 @@ fn handle_ks_frame(frame: &Bytes, ctx: &KsHandlerCtx) -> Bytes {
                 match committed {
                     Ok((epoch, applied)) => {
                         ctx.metrics.update_committed(applied as usize, epoch);
+                        ctx.dedup.insert(request_id, epoch, applied);
                         wire::encode_update_ack(request_id, epoch, applied)
                     }
                     Err(e) => error_frame(request_id, &e),
@@ -627,7 +761,9 @@ impl KeywordHandle {
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         for t in self.threads.drain(..) {
-            t.join().expect("keyword service thread panicked");
+            if t.join().is_err() {
+                self.metrics.worker_panicked();
+            }
         }
     }
 }
@@ -643,6 +779,11 @@ impl Drop for KeywordHandle {
 /// A running service: stats, session access, and shutdown.
 pub struct ServiceHandle {
     shutdown: Arc<AtomicBool>,
+    /// Marks the drain phase: queries answered after this are counted in
+    /// `ServerStats.drained_jobs`.
+    draining: Arc<AtomicBool>,
+    /// Drain-deadline escape hatch: workers answer instead of compute.
+    abort: Arc<AtomicBool>,
     jobs: Option<SyncSender<Job>>,
     threads: Vec<JoinHandle<()>>,
     metrics: Arc<Metrics>,
@@ -675,25 +816,58 @@ impl ServiceHandle {
 
     /// Stops accepting, drains in-flight work, and joins every thread.
     pub fn shutdown(mut self) -> ServerStats {
-        self.stop();
+        self.stop(None);
         self.metrics.snapshot()
     }
 
-    fn stop(&mut self) {
+    /// Graceful drain with a ceiling: stops accepting, lets queued work
+    /// finish for up to `deadline`, then flips the abort flag so every
+    /// remaining job is answered with a typed shutdown error instead of
+    /// computed — the caller gets the threads back either way. Queries
+    /// answered during the drain are counted in
+    /// `ServerStats.drained_jobs`; the update journal is flushed (staged
+    /// batches commit and the checkpoint truncates) before returning, so
+    /// a clean shutdown leaves no replay work behind.
+    pub fn shutdown_deadline(mut self, deadline: Duration) -> ServerStats {
+        self.stop(Some(deadline));
+        self.metrics.snapshot()
+    }
+
+    fn stop(&mut self, deadline: Option<Duration>) {
+        // Order matters: the drain marker must be visible before any
+        // worker can observe the shutdown flag, or a drained job could
+        // go uncounted.
+        self.draining.store(true, Ordering::Relaxed);
         self.shutdown.store(true, Ordering::Relaxed);
         // Dropping the last submission handle lets the dispatcher drain
         // and exit once the handlers (who hold clones) notice the flag.
         self.jobs = None;
-        for t in self.threads.drain(..) {
-            t.join().expect("service thread panicked");
+        if let Some(deadline) = deadline {
+            let start = Instant::now();
+            while start.elapsed() < deadline && self.threads.iter().any(|t| !t.is_finished()) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // Deadline passed with work still in flight: stop computing
+            // and answer what remains with typed errors.
+            self.abort.store(true, Ordering::Relaxed);
         }
+        for t in self.threads.drain(..) {
+            if t.join().is_err() {
+                self.metrics.worker_panicked();
+            }
+        }
+        // Journal hygiene: anything staged but uncommitted commits now
+        // (and the checkpoint truncates the file), so a clean shutdown
+        // never leaves replay work behind. Failures are deliberately
+        // ignored — at teardown the journal on disk is still replayable.
+        let _ = self.engine.commit_updates();
     }
 }
 
 impl Drop for ServiceHandle {
     fn drop(&mut self) {
         if !self.threads.is_empty() {
-            self.stop();
+            self.stop(None);
         }
     }
 }

@@ -7,15 +7,25 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use bytes::Bytes;
+use ive_pir::fault;
 
-use crate::transport::{BoxedConn, FrameRx, FrameTx, Received, Transport, POLL_INTERVAL};
+use crate::transport::{
+    BoxedConn, Connector, FrameRx, FrameTx, Received, Transport, POLL_INTERVAL,
+};
 use crate::ServeError;
 
-/// Upper bound on a single frame; anything larger is treated as a corrupt
-/// stream rather than an allocation request.
-const MAX_FRAME_BYTES: usize = 256 << 20;
+/// Upper bound on a single frame; a length prefix past this is treated
+/// as a corrupt (or hostile) stream rather than an allocation request —
+/// the receiver rejects it with a typed error before reserving a byte.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// Per-syscall write deadline: a peer that stops draining its socket
+/// stalls our sends at most this long before the write surfaces as
+/// [`ServeError::Timeout`] instead of pinning the writer forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A TCP listener producing framed connections.
 pub struct TcpTransport {
@@ -66,12 +76,46 @@ pub fn connect(addr: impl ToSocketAddrs) -> Result<BoxedConn, ServeError> {
     framed_pair(TcpStream::connect(addr)?)
 }
 
+/// A reusable dialer for one TCP endpoint: the [`Connector`] the retrying
+/// [`crate::Connection`] builder uses to transparently reconnect.
+#[derive(Debug, Clone)]
+pub struct TcpConnector {
+    addr: SocketAddr,
+}
+
+impl TcpConnector {
+    /// Resolves `addr` once; every [`Connector::dial`] reconnects to the
+    /// same resolved address.
+    ///
+    /// # Errors
+    /// Fails when the address cannot be resolved.
+    pub fn new(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ServeError::InvalidConfig("endpoint resolved to no address".into()))?;
+        Ok(TcpConnector { addr })
+    }
+
+    /// The resolved endpoint this connector dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Connector for TcpConnector {
+    fn dial(&self) -> Result<BoxedConn, ServeError> {
+        connect(self.addr)
+    }
+}
+
 fn framed_pair(stream: TcpStream) -> Result<BoxedConn, ServeError> {
     // BSD-derived platforms let accepted sockets inherit the listener's
     // O_NONBLOCK; clear it so read timeouts and blocking writes behave.
     stream.set_nonblocking(false)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
     let writer = stream.try_clone()?;
     Ok((Box::new(TcpFrameRx { stream, buf: Vec::new() }), Box::new(TcpFrameTx { stream: writer })))
 }
@@ -118,7 +162,13 @@ impl FrameRx for TcpFrameRx {
                         Err(ServeError::Protocol("connection closed mid-frame".into()))
                     };
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    // Failpoint after real bytes moved: an injected error
+                    // here drops data already read off the socket, the
+                    // same stream desync a mid-read fault produces.
+                    fault::fail_io(fault::Site::IoRead)?;
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     return Ok(Received::Idle);
                 }
@@ -138,10 +188,37 @@ impl FrameTx for TcpFrameTx {
     fn send(&mut self, frame: &[u8]) -> Result<(), ServeError> {
         let len = u32::try_from(frame.len())
             .map_err(|_| ServeError::Protocol("frame exceeds u32 length prefix".into()))?;
-        self.stream.write_all(&len.to_be_bytes())?;
-        self.stream.write_all(frame)?;
-        self.stream.flush()?;
+        match fault::inject(fault::Site::IoWrite) {
+            Some(fault::Action::Tear) => {
+                // A torn frame: the prefix promises `len` bytes but only
+                // half arrive, then the socket dies — the peer must
+                // detect "closed mid-frame", never resync on garbage.
+                let _ = self.stream.write_all(&len.to_be_bytes());
+                let _ = self.stream.write_all(&frame[..frame.len() / 2]);
+                let _ = self.stream.flush();
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                return Err(ServeError::Io(std::io::Error::other("injected io_write tear")));
+            }
+            Some(fault::Action::Error) => {
+                return Err(ServeError::Io(std::io::Error::other("injected io_write fault")));
+            }
+            Some(fault::Action::Delay(d)) => std::thread::sleep(d),
+            None => {}
+        }
+        self.stream.write_all(&len.to_be_bytes()).map_err(write_error)?;
+        self.stream.write_all(frame).map_err(write_error)?;
+        self.stream.flush().map_err(write_error)?;
         Ok(())
+    }
+}
+
+/// Maps a stalled write (the [`WRITE_TIMEOUT`] deadline) to the typed
+/// [`ServeError::Timeout`]; other write failures stay transport errors.
+fn write_error(e: std::io::Error) -> ServeError {
+    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut {
+        ServeError::Timeout
+    } else {
+        e.into()
     }
 }
 

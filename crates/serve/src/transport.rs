@@ -49,6 +49,19 @@ pub trait FrameTx: Send {
 /// A connected duplex pair.
 pub type BoxedConn = (Box<dyn FrameRx>, Box<dyn FrameTx>);
 
+/// A reusable dialer: something that can open a *fresh* connection to a
+/// service on demand. The retrying [`crate::Connection`] builder keeps
+/// one so it can transparently reconnect (and re-Hello) after a
+/// transport failure; [`InProcConnector`] and [`crate::TcpConnector`]
+/// implement it for the two carriers.
+pub trait Connector: Send {
+    /// Opens a new connection to the service.
+    ///
+    /// # Errors
+    /// Fails when the endpoint is unreachable.
+    fn dial(&self) -> Result<BoxedConn, ServeError>;
+}
+
 /// A server-side connection source.
 pub trait Transport: Send {
     /// Waits briefly for the next inbound connection; `Ok(None)` means
@@ -68,7 +81,12 @@ struct ChanRx(mpsc::Receiver<Bytes>);
 impl FrameRx for ChanRx {
     fn recv(&mut self) -> Result<Received, ServeError> {
         match self.0.recv_timeout(POLL_INTERVAL) {
-            Ok(frame) => Ok(Received::Frame(frame)),
+            Ok(frame) => {
+                // Failpoint on delivery, so in-proc chaos profiles drop
+                // frames the way a faulted socket read drops bytes.
+                ive_pir::fault::fail_io(ive_pir::fault::Site::IoRead)?;
+                Ok(Received::Frame(frame))
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => Ok(Received::Idle),
             Err(mpsc::RecvTimeoutError::Disconnected) => Ok(Received::Closed),
         }
@@ -80,6 +98,9 @@ struct ChanTx(mpsc::Sender<Bytes>);
 
 impl FrameTx for ChanTx {
     fn send(&mut self, frame: &[u8]) -> Result<(), ServeError> {
+        // Channel frames are atomic, so a Tear degrades to a lost frame:
+        // the send fails and nothing reaches the peer.
+        ive_pir::fault::fail_io(ive_pir::fault::Site::IoWrite)?;
         self.0.send(Bytes::copy_from_slice(frame)).map_err(|_| ServeError::Closed)
     }
 }
@@ -114,6 +135,12 @@ impl InProcConnector {
         let server_side: BoxedConn = (Box::new(ChanRx(c2s_rx)), Box::new(ChanTx(s2c_tx)));
         self.dial.send(server_side).map_err(|_| ServeError::Closed)?;
         Ok((Box::new(ChanRx(s2c_rx)), Box::new(ChanTx(c2s_tx))))
+    }
+}
+
+impl Connector for InProcConnector {
+    fn dial(&self) -> Result<BoxedConn, ServeError> {
+        self.connect()
     }
 }
 

@@ -1,0 +1,587 @@
+//! Seeded chaos suite: mixed query/update/kv traffic driven through the
+//! serving stack while the `ive_serve::fault` failpoints inject errors,
+//! delays, torn frames, fsync failures, and worker panics.
+//!
+//! Invariants enforced here (the PR's robustness contract):
+//! - every call a client completes is either **bit-correct** or a
+//!   **typed** `ServeError` — never silent corruption, never a hang;
+//! - every **acked** update is durable and visible once faults clear;
+//! - journal replay after faulted appends is **word-identical** to the
+//!   acked batches (a failed fsync leaves no replayable record);
+//! - worker panics are isolated and counted, never fatal;
+//! - graceful drain answers or typed-rejects everything and leaks no
+//!   threads.
+//!
+//! The failpoint registry is process-global, so every test here
+//! serializes on [`FAULT_LOCK`] and disarms on exit (panic included) —
+//! this integration binary is its own process, so arming faults here
+//! can never perturb the unit-test binaries.
+//!
+//! Reproducibility: the seed is pinned (override with `CHAOS_SEED=<n>`);
+//! CI runs the suite once pinned and once with a random seed, printing
+//! the seed so failures replay exactly.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+
+use ive_pir::kspir::KsPirParams;
+use ive_pir::{wire, Database, Journal, KvStore, PirParams, RecordUpdate, TournamentOrder};
+use ive_serve::config::{ServeConfig, ShardPlan};
+use ive_serve::engine::ShardedEngine;
+use ive_serve::fault::{self, Action, Site};
+use ive_serve::transport::in_proc_pair;
+use ive_serve::{Connection, PirService, RetryPolicy, ServeError, TcpConnector, TcpTransport};
+
+/// Serializes every fault-arming test body: the registry is global.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the lock for the test's duration and disarms on drop, so a
+/// panicking test cannot leave faults armed for its successor.
+struct FaultSession(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for FaultSession {
+    fn drop(&mut self) {
+        fault::disarm();
+    }
+}
+
+fn begin_faults(seed: u64) -> FaultSession {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::arm(seed);
+    FaultSession(guard)
+}
+
+/// The suite seed: pinned by default, overridable for randomized CI runs.
+fn chaos_seed() -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => s.trim().parse().expect("CHAOS_SEED must be a u64"),
+        Err(_) => 0x17E_C4A05,
+    }
+}
+
+/// Live `ive-*` service threads of this process, by name prefix — the
+/// leak check: after a shutdown completes, none may remain.
+fn ive_threads() -> Vec<String> {
+    let mut names = Vec::new();
+    if let Ok(tasks) = std::fs::read_dir("/proc/self/task") {
+        for task in tasks.flatten() {
+            if let Ok(comm) = std::fs::read_to_string(task.path().join("comm")) {
+                let comm = comm.trim().to_string();
+                if comm.starts_with("ive-") {
+                    names.push(comm);
+                }
+            }
+        }
+    }
+    names
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ive-chaos-{tag}-{}", std::process::id()))
+}
+
+fn toy_db(params: &PirParams) -> (Database, Vec<Vec<u8>>) {
+    let records: Vec<Vec<u8>> =
+        (0..params.num_records()).map(|i| format!("chaos record {i:04}").into_bytes()).collect();
+    (Database::from_records(params, &records).expect("records fit"), records)
+}
+
+fn chaos_retry(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(100),
+        jitter_seed: seed,
+    }
+}
+
+/// One failpoint profile of the mixed-traffic sweep.
+struct Profile {
+    site: Site,
+    action: Action,
+    probability: f64,
+}
+
+/// The tentpole test: one index service (journaled) and one keyword
+/// service, both over real TCP, hammered by retrying clients while each
+/// failpoint profile is armed in turn. Completed reads must be
+/// bit-correct, acked updates must be visible once faults clear, and the
+/// whole stack must shut down without leaking a thread. Writes the
+/// per-site injection counters and final server stats as a JSON artifact
+/// (`CHAOS_STATS_JSON`, default `target/chaos_stats.json`).
+#[test]
+fn mixed_traffic_survives_every_failpoint_profile() {
+    let seed = chaos_seed();
+    let session = begin_faults(seed);
+    println!("chaos seed: {seed}");
+
+    let params = PirParams::toy();
+    let (db, records) = toy_db(&params);
+    let journal_path = tmp_path("mixed-journal");
+    let _ = std::fs::remove_file(&journal_path);
+    let config = ServeConfig {
+        window: Duration::from_millis(10),
+        max_batch: 4,
+        workers: 1,
+        queue_depth: 16,
+        shard: ShardPlan::Replicated,
+        rowsel_threads: 1,
+        order: TournamentOrder::Hs { subtree_depth: 2 },
+        backend: ive_pir::BackendKind::Optimized,
+        max_sessions: 64,
+        accept_updates: true,
+        compress_responses: false,
+        journal: Some(journal_path.clone()),
+        idle_timeout: Some(Duration::from_secs(30)),
+        ..ServeConfig::default()
+    };
+    let transport = TcpTransport::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = transport.local_addr();
+    let service = PirService::start(config.clone(), &params, db, Box::new(transport))
+        .expect("service starts");
+
+    let ks_params = KsPirParams::toy();
+    let entries: Vec<(Vec<u8>, u64)> =
+        (0..16u64).map(|i| (format!("key:{i:02}").into_bytes(), 500 + i)).collect();
+    let store = KvStore::build(&ks_params, &entries).expect("table builds");
+    let ks_transport = TcpTransport::bind("127.0.0.1:0").expect("bind ephemeral");
+    let ks_addr = ks_transport.local_addr();
+    let ks_config = ServeConfig { journal: None, ..config };
+    let ks_service =
+        PirService::start_keyword(ks_config, &ks_params, store, Box::new(ks_transport))
+            .expect("keyword service starts");
+
+    let profiles = [
+        Profile { site: Site::IoRead, action: Action::Error, probability: 0.03 },
+        Profile { site: Site::IoWrite, action: Action::Error, probability: 0.03 },
+        Profile { site: Site::IoWrite, action: Action::Tear, probability: 0.03 },
+        Profile {
+            site: Site::WorkerCompute,
+            action: Action::Delay(Duration::from_millis(10)),
+            probability: 0.25,
+        },
+        Profile { site: Site::EpochCommit, action: Action::Error, probability: 0.3 },
+        Profile { site: Site::Fsync, action: Action::Error, probability: 0.3 },
+    ];
+
+    // index → last acked value; every entry must be visible at the end.
+    let mut acked: HashMap<usize, Vec<u8>> = HashMap::new();
+    let mut kv_acked: HashMap<Vec<u8>, u64> = HashMap::new();
+    let mut reads_ok = 0u64;
+    let mut reads_err = 0u64;
+
+    for (p, profile) in profiles.iter().enumerate() {
+        // Re-arm per profile: same seed, exactly one site faulted.
+        fault::arm(seed.wrapping_add(p as u64));
+        fault::set(profile.site, profile.probability, profile.action);
+        let retry = chaos_retry(seed ^ p as u64);
+
+        // --- private reads, self-healing ---
+        let connector = TcpConnector::new(addr).expect("resolve");
+        match Connection::dial(connector)
+            .map(|c| c.with_retry(retry).with_timeout(Duration::from_secs(5)))
+            .and_then(|c| {
+                c.into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(seed ^ (p as u64)))
+            }) {
+            Ok(mut reader) => {
+                for q in 0..4usize {
+                    let target = (5 * p + 3 * q) % records.len();
+                    // The oracle: the last acked update to this row, or
+                    // the original record (reads and updates in one
+                    // profile are sequential, so there is no race).
+                    let want: &[u8] = acked.get(&target).map_or(&records[target][..], |v| &v[..]);
+                    match reader.retrieve(target) {
+                        Ok(got) => {
+                            assert_eq!(
+                                &got[..want.len()],
+                                want,
+                                "profile {p} ({}): completed read must be bit-correct",
+                                profile.site.name()
+                            );
+                            reads_ok += 1;
+                        }
+                        // A typed failure after the retry budget is a
+                        // legal outcome under injected faults.
+                        Err(_) => reads_err += 1,
+                    }
+                }
+            }
+            Err(_) => reads_err += 4,
+        }
+
+        // --- row updates, idempotent ids + app-level retry on remote
+        // rejections (injected commit/fsync failures reach the client as
+        // typed remote errors; the content is index-idempotent) ---
+        if let Ok(mut updater) = TcpConnector::new(addr)
+            .and_then(Connection::dial)
+            .map(|c| c.with_retry(retry).with_timeout(Duration::from_secs(5)))
+            .map(Connection::into_update_client)
+        {
+            for j in 0..3usize {
+                let index = 10 + 3 * p + j;
+                let value = format!("upd p{p} j{j} v{}", seed % 1000).into_bytes();
+                for _attempt in 0..10 {
+                    match updater.put(index, value.clone()) {
+                        Ok(_epoch) => {
+                            acked.insert(index, value.clone());
+                            break;
+                        }
+                        Err(e) => {
+                            assert!(
+                                !e.to_string().is_empty(),
+                                "errors must be typed and described"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- keyword gets and mutations ---
+        if let Ok(mut kv) = TcpConnector::new(ks_addr)
+            .and_then(Connection::dial)
+            .map(|c| c.with_retry(retry).with_timeout(Duration::from_secs(5)))
+            .and_then(|c| {
+                c.into_kv_client(
+                    &ks_params,
+                    rand::rngs::StdRng::seed_from_u64(seed ^ 0xA5 ^ p as u64),
+                )
+            })
+        {
+            match kv.get(b"key:03") {
+                Ok(got) => {
+                    let want = kv_acked.get(&b"key:03"[..]).copied().or(Some(503));
+                    assert_eq!(got, want, "profile {p}: completed kv get must be exact");
+                    reads_ok += 1;
+                }
+                Err(_) => reads_err += 1,
+            }
+            let fresh_key = format!("chaos:{p}").into_bytes();
+            for _attempt in 0..10 {
+                if kv.put(&fresh_key, 9000 + p as u64).is_ok() {
+                    kv_acked.insert(fresh_key.clone(), 9000 + p as u64);
+                    break;
+                }
+            }
+        }
+    }
+
+    let injected: Vec<(String, u64)> =
+        Site::ALL.iter().map(|s| (s.name().to_string(), fault::injected(*s))).collect();
+    let injected_total = fault::injected_total();
+    fault::disarm();
+
+    // --- faults cleared: every acked write must now be visible ---
+    let verify_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xFACE);
+    let mut verifier = Connection::new(ive_serve::tcp::connect(addr).expect("dial"))
+        .into_serve_client(&params, verify_rng)
+        .expect("clean handshake");
+    for (&index, value) in &acked {
+        let got = verifier.retrieve(index).expect("clean retrieve");
+        assert_eq!(&got[..value.len()], &value[..], "acked update to row {index} was lost");
+    }
+    let mut kv_verifier = Connection::new(ive_serve::tcp::connect(ks_addr).expect("dial"))
+        .into_kv_client(&ks_params, rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF))
+        .expect("clean ks handshake");
+    for (key, &value) in &kv_acked {
+        assert_eq!(
+            kv_verifier.get(key).expect("clean kv get"),
+            Some(value),
+            "acked kv write to {:?} was lost",
+            String::from_utf8_lossy(key)
+        );
+    }
+    drop(verifier);
+    drop(kv_verifier);
+
+    assert!(injected_total > 0, "the chaos sweep must actually inject faults");
+    assert!(reads_ok > 0, "some reads must complete under chaos ({reads_err} typed failures)");
+    assert!(!acked.is_empty(), "some updates must ack under chaos");
+
+    let stats = service.shutdown_deadline(Duration::from_secs(10));
+    let ks_stats = ks_service.shutdown();
+    let leftover = ive_threads();
+    assert!(leftover.is_empty(), "leaked service threads: {leftover:?}");
+
+    // Artifact for CI: what was injected and what the servers counted.
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\n  \"seed\": {seed},\n  \"injected_total\": {injected_total},\n  \"injected\": {{"
+    ));
+    for (i, (name, count)) in injected.iter().enumerate() {
+        json.push_str(&format!("{}\"{name}\": {count}", if i == 0 { " " } else { ", " }));
+    }
+    json.push_str(&format!(
+        " }},\n  \"reads_ok\": {reads_ok},\n  \"reads_typed_errors\": {reads_err},\n  \
+         \"acked_updates\": {},\n  \"index\": {{ \"queries\": {}, \"errors\": {}, \
+         \"timeouts\": {}, \"retries\": {}, \"reconnects\": {}, \"worker_panics\": {}, \
+         \"drained_jobs\": {} }},\n  \"keyword\": {{ \"queries\": {}, \"errors\": {}, \
+         \"retries\": {}, \"reconnects\": {} }}\n}}\n",
+        acked.len() + kv_acked.len(),
+        stats.queries,
+        stats.errors,
+        stats.timeouts,
+        stats.retries,
+        stats.reconnects,
+        stats.worker_panics,
+        stats.drained_jobs,
+        ks_stats.queries,
+        ks_stats.errors,
+        ks_stats.retries,
+        ks_stats.reconnects,
+    ));
+    let out = std::env::var("CHAOS_STATS_JSON")
+        .map_or_else(|_| PathBuf::from("target/chaos_stats.json"), PathBuf::from);
+    if let Some(dir) = out.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(mut f) = std::fs::File::create(&out) {
+        let _ = f.write_all(json.as_bytes());
+        println!("chaos stats written to {}", out.display());
+    }
+    let _ = std::fs::remove_file(&journal_path);
+    drop(session);
+}
+
+/// An injected fsync failure must leave the staged batch invisible *and*
+/// unreplayable: the journal's contract is append-durable-then-visible,
+/// so a batch whose record never reached disk must not exist anywhere.
+#[test]
+fn injected_fsync_failure_keeps_staged_batch_invisible_and_unreplayable() {
+    let session = begin_faults(chaos_seed());
+    let params = PirParams::toy();
+    let (db, _records) = toy_db(&params);
+    let path = tmp_path("fsync-journal");
+    let _ = std::fs::remove_file(&path);
+
+    let engine = ShardedEngine::new(
+        &params,
+        db,
+        ShardPlan::Replicated,
+        1,
+        TournamentOrder::Hs { subtree_depth: 2 },
+        ive_pir::BackendKind::Optimized,
+    )
+    .expect("engine builds");
+    let (journal, replayed) = Journal::open(&path, &params).expect("journal opens");
+    assert!(replayed.is_empty());
+    engine.set_journal(journal);
+
+    fault::set(Site::Fsync, 1.0, Action::Error);
+    let update = RecordUpdate::put(3, b"must never be visible".to_vec());
+    let err = engine
+        .stage_updates(std::slice::from_ref(&update))
+        .expect_err("fsync fault must fail staging");
+    assert!(err.to_string().contains("injected"), "unhelpful: {err}");
+    assert_eq!(engine.staged_updates(), 0, "failed append must not stage");
+    assert_eq!(engine.epoch(), 0, "no epoch may open");
+
+    // The un-synced record must not replay either.
+    fault::disarm();
+    let (journal, replayed) = Journal::open(&path, &params).expect("journal reopens");
+    assert!(replayed.is_empty(), "failed append left a replayable record: {}", replayed.len());
+    drop(journal);
+
+    // And the same engine heals: the retry stages, commits, and is seen.
+    let (journal, _) = Journal::open(&path, &params).expect("journal reopens");
+    engine.set_journal(journal);
+    engine.stage_updates(&[update]).expect("clean staging");
+    let epoch = engine.commit_updates().expect("clean commit");
+    assert_eq!(epoch, 1);
+    let _ = std::fs::remove_file(&path);
+    drop(session);
+}
+
+/// Word-identical replay: append batches under a 60% fsync fault rate
+/// with retries; after reopening, the replayed batches must be the acked
+/// ones exactly — same count, same order, same canonical wire bytes.
+#[test]
+fn journal_replay_matches_acked_batches_word_for_word() {
+    let seed = chaos_seed();
+    let session = begin_faults(seed);
+    let params = PirParams::toy();
+    let path = tmp_path("replay-journal");
+    let _ = std::fs::remove_file(&path);
+
+    let (mut journal, replayed) = Journal::open(&path, &params).expect("journal opens");
+    assert!(replayed.is_empty());
+    fault::set(Site::Fsync, 0.6, Action::Error);
+
+    let mut acked: Vec<Vec<RecordUpdate>> = Vec::new();
+    let mut faulted = 0u32;
+    for k in 0..16usize {
+        let batch = vec![RecordUpdate::put(k % 8, format!("r{k} v{seed}").into_bytes())];
+        // Bounded retry: each failed append must roll back cleanly, so
+        // retrying the same batch never double-writes.
+        let mut ok = false;
+        for _attempt in 0..64 {
+            match journal.append(&batch) {
+                Ok(()) => {
+                    ok = true;
+                    break;
+                }
+                Err(_) => faulted += 1,
+            }
+        }
+        assert!(ok, "p=0.6 must admit an append within 64 tries");
+        acked.push(batch);
+    }
+    assert!(faulted > 0, "a 60% fault rate must fail some appends");
+    assert_eq!(journal.pending_batches(), acked.len() as u64);
+    drop(journal);
+    fault::disarm();
+
+    let (journal, replayed) = Journal::open(&path, &params).expect("journal reopens");
+    assert_eq!(replayed.len(), acked.len(), "replay must carry exactly the acked batches");
+    for (i, (got, want)) in replayed.iter().zip(&acked).enumerate() {
+        // Canonical wire encoding is the word-identity oracle: identical
+        // frames mean identical indices, lengths, and payload words.
+        let got_frame = wire::encode_update_rows(7, got).expect("encodes");
+        let want_frame = wire::encode_update_rows(7, want).expect("encodes");
+        assert_eq!(got_frame, want_frame, "batch {i} replayed differently than acked");
+    }
+    drop(journal);
+    let _ = std::fs::remove_file(&path);
+    drop(session);
+}
+
+/// A worker panic (injected at the `worker_compute` site) must be
+/// isolated: the batch falls back to per-query answering, the client
+/// still gets the right record, the panic is counted, and the service
+/// keeps serving afterwards.
+#[test]
+fn worker_panics_are_isolated_counted_and_survivable() {
+    let session = begin_faults(chaos_seed());
+    let params = PirParams::toy();
+    let (db, records) = toy_db(&params);
+    let config = ServeConfig {
+        window: Duration::from_millis(5),
+        max_batch: 4,
+        workers: 1,
+        accept_updates: false,
+        ..ServeConfig::default()
+    };
+    let (transport, connector) = in_proc_pair();
+    let service =
+        PirService::start(config, &params, db, Box::new(transport)).expect("service starts");
+
+    let mut client = Connection::new(connector.connect().expect("dial"))
+        .into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(7))
+        .expect("handshake");
+
+    // Every batch answer panics; the per-query fallback still serves.
+    fault::set(Site::WorkerCompute, 1.0, Action::Error);
+    let got = client.retrieve(5).expect("fallback must answer through the panic");
+    assert_eq!(&got[..records[5].len()], &records[5][..]);
+
+    fault::disarm();
+    let got = client.retrieve(6).expect("clean retrieve after the panic");
+    assert_eq!(&got[..records[6].len()], &records[6][..]);
+
+    drop(client);
+    let stats = service.shutdown();
+    assert!(stats.worker_panics >= 1, "panics must be counted: {stats}");
+    assert_eq!(stats.errors, 0, "isolation must not fail queries: {stats}");
+    assert!(ive_threads().is_empty(), "leaked threads after panic recovery");
+    drop(session);
+}
+
+/// Graceful drain under slowed compute: queued queries finish inside the
+/// deadline (counted as drained), the handle returns promptly, and no
+/// `ive-*` thread survives. A second round with compute slower than the
+/// deadline proves the abort path answers what remains with typed errors
+/// instead of hanging.
+#[test]
+fn graceful_drain_answers_everything_and_leaks_no_threads() {
+    let session = begin_faults(chaos_seed());
+    let params = PirParams::toy();
+    let (db, records) = toy_db(&params);
+
+    // Round 1: slow-but-finishable compute, generous deadline.
+    let config = ServeConfig {
+        window: Duration::from_millis(20),
+        max_batch: 4,
+        workers: 1,
+        accept_updates: false,
+        ..ServeConfig::default()
+    };
+    let (transport, connector) = in_proc_pair();
+    let service = PirService::start(config.clone(), &params, db.clone(), Box::new(transport))
+        .expect("service starts");
+    fault::set(Site::WorkerCompute, 1.0, Action::Delay(Duration::from_millis(100)));
+
+    let mut client = Connection::new(connector.connect().expect("dial"))
+        .into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(11))
+        .expect("handshake");
+    for q in 0..3usize {
+        client.submit(q).expect("submit");
+    }
+    // Let the submissions reach the pipeline before the drain begins.
+    std::thread::sleep(Duration::from_millis(60));
+    let drained = std::thread::spawn(move || service.shutdown_deadline(Duration::from_secs(10)));
+    let mut correct = 0;
+    for _ in 0..3 {
+        match client.next_record() {
+            Ok((request_id, got)) => {
+                let target = (request_id - 1) as usize;
+                assert_eq!(&got[..records[target].len()], &records[target][..]);
+                correct += 1;
+            }
+            Err(e) => panic!("a 10s deadline must drain 3 slow queries, got {e}"),
+        }
+    }
+    assert_eq!(correct, 3);
+    let stats = drained.join().expect("drain thread");
+    assert!(stats.drained_jobs >= 1, "drained answers must be counted: {stats}");
+    assert!(ive_threads().is_empty(), "leaked threads after graceful drain");
+
+    // Round 2: compute slower than the deadline — remaining jobs must be
+    // answered with *typed* errors, and the handle must still return.
+    let (transport, connector) = in_proc_pair();
+    let service =
+        PirService::start(config, &params, db, Box::new(transport)).expect("service starts");
+    fault::set(Site::WorkerCompute, 1.0, Action::Delay(Duration::from_millis(600)));
+    let mut client = Connection::new(connector.connect().expect("dial"))
+        .with_timeout(Duration::from_secs(8))
+        .into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(12))
+        .expect("handshake");
+    for q in 0..4usize {
+        client.submit(q).expect("submit");
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let begun = Instant::now();
+    let drained = std::thread::spawn(move || service.shutdown_deadline(Duration::from_millis(300)));
+    let mut outcomes = (0u32, 0u32); // (correct, typed errors)
+    for _ in 0..4 {
+        match client.next_record() {
+            Ok((request_id, got)) => {
+                let target = (request_id - 1) as usize;
+                assert_eq!(&got[..records[target].len()], &records[target][..]);
+                outcomes.0 += 1;
+            }
+            Err(ServeError::Remote { .. } | ServeError::Closed | ServeError::Timeout) => {
+                outcomes.1 += 1;
+            }
+            Err(e) => panic!("untyped failure during abort: {e}"),
+        }
+        if client.in_flight() == 0 {
+            break;
+        }
+    }
+    let stats = drained.join().expect("drain thread");
+    assert!(
+        begun.elapsed() < Duration::from_secs(8),
+        "the abort path must not wait out 4 × 600ms of compute"
+    );
+    assert!(
+        outcomes.0 + outcomes.1 >= 1,
+        "every in-flight query must resolve to an answer or a typed error"
+    );
+    assert!(ive_threads().is_empty(), "leaked threads after deadline abort: {stats}");
+    drop(session);
+}

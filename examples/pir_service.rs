@@ -42,6 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // bounded ring of this capacity (see `ive_serve::trace`).
         slow_threshold: Duration::from_millis(250),
         trace_ring: 64,
+        // Connections silent for this long are closed (and counted).
+        idle_timeout: Some(Duration::from_secs(60)),
     };
     let transport = TcpTransport::bind("127.0.0.1:0")?;
     let addr = transport.local_addr();
@@ -79,9 +81,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let epoch = updater.put(target, fresh.clone())?;
     println!("updater: record {target} replaced at epoch {epoch}");
 
-    let conn = ive::serve::tcp::connect(addr)?;
-    let mut reader =
-        Connection::new(conn).into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(9))?;
+    // A self-healing reader: Connection::dial keeps the connector, so a
+    // dead transport re-dials, re-Hellos, and resubmits transparently
+    // under the (default) bounded-backoff retry policy.
+    let connector = ive::serve::TcpConnector::new(addr)?;
+    let mut reader = Connection::dial(connector)?
+        .into_serve_client(&params, rand::rngs::StdRng::seed_from_u64(9))?;
     let got = reader.retrieve(target)?;
     assert_eq!(&got[..fresh.len()], &fresh[..]);
     println!("reader: updated record {target} retrieved privately");
@@ -99,7 +104,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         live.stages.iter().filter(|s| s.count > 0).count(),
     );
 
-    let stats = service.shutdown();
+    // Graceful drain: in-flight queries get up to five seconds to finish
+    // before anything still queued is answered with a typed error.
+    let stats = service.shutdown_deadline(Duration::from_secs(5));
     println!("{stats}");
     Ok(())
 }
